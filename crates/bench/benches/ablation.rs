@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! redo vs undo logging, flush policy, SCM write penalties, and
+//! supercapacitor provisioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_cache::{CpuProfile, FlushAnalysis, FlushMethod};
+use wsp_pheap::HeapConfig;
+use wsp_power::SupercapProvisioner;
+use wsp_units::{ByteSize, Nanos, Watts};
+use wsp_workloads::HashBenchmark;
+
+/// Redo (STM) vs undo logging at the same flush policy.
+fn bench_log_discipline(c: &mut Criterion) {
+    let bench = HashBenchmark {
+        prepopulate: 1_000,
+        ops: 2_000,
+        region: ByteSize::mib(8),
+    };
+    let mut group = c.benchmark_group("ablation_log_discipline_foc");
+    group.sample_size(10);
+    for (label, config) in [
+        ("redo_stm", HeapConfig::FocStm),
+        ("undo", HeapConfig::FocUndo),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, &config| {
+            b.iter(|| bench.run(config, 1.0, 3).expect("benchmark runs"));
+        });
+    }
+    group.finish();
+}
+
+/// Flush-on-commit vs flush-on-fail with identical (undo) logging.
+fn bench_flush_policy(c: &mut Criterion) {
+    let bench = HashBenchmark {
+        prepopulate: 1_000,
+        ops: 2_000,
+        region: ByteSize::mib(8),
+    };
+    let mut group = c.benchmark_group("ablation_flush_policy_undo");
+    group.sample_size(10);
+    for (label, config) in [
+        ("flush_on_commit", HeapConfig::FocUndo),
+        ("flush_on_fail", HeapConfig::FofUndo),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, &config| {
+            b.iter(|| bench.run(config, 1.0, 3).expect("benchmark runs"));
+        });
+    }
+    group.finish();
+}
+
+/// SCM write penalties inflate the flush-on-fail save (paper §6 predicts
+/// flush-on-fail still wins — the *save-path* cost grows with cache
+/// size only).
+fn bench_scm_penalty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scm_write_penalty");
+    for penalty in [1.0f64, 10.0, 100.0] {
+        let profile = if penalty > 1.0 {
+            CpuProfile::amd_4180().with_scm(penalty)
+        } else {
+            CpuProfile::amd_4180()
+        };
+        let analysis = FlushAnalysis::new(profile);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(penalty as u64),
+            &analysis,
+            |b, analysis| {
+                b.iter(|| analysis.state_save_time(FlushMethod::Wbinvd, ByteSize::mib(6)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Supercap provisioning across safety margins.
+fn bench_provisioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_supercap_margin");
+    for margin in [1.0f64, 3.0, 10.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(margin as u64),
+            &margin,
+            |b, &margin| {
+                let prov = SupercapProvisioner::new(Watts::new(350.0), margin);
+                b.iter(|| prov.plan(Nanos::from_millis(3)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Index-structure ablation: hash table vs AVL vs B-tree (the CDDS-style
+/// two-cache-line nodes) under the Mnemosyne configuration.
+fn bench_index_structures(c: &mut Criterion) {
+    use wsp_pheap::PersistentHeap;
+    use wsp_workloads::{PmAvlTree, PmBTree, PmHashTable};
+
+    const N: u64 = 2_000;
+    let mut group = c.benchmark_group("ablation_index_structure_foc_stm");
+    group.sample_size(10);
+    group.bench_function("hashtable", |b| {
+        b.iter(|| {
+            let mut heap = PersistentHeap::create(ByteSize::mib(8), HeapConfig::FocStm);
+            let t = PmHashTable::create(&mut heap, 512).unwrap();
+            for k in 0..N {
+                t.insert(&mut heap, k, k).unwrap();
+            }
+            heap.elapsed()
+        });
+    });
+    group.bench_function("avl", |b| {
+        b.iter(|| {
+            let mut heap = PersistentHeap::create(ByteSize::mib(8), HeapConfig::FocStm);
+            let t = PmAvlTree::create(&mut heap).unwrap();
+            for k in 0..N {
+                t.insert(&mut heap, k, k).unwrap();
+            }
+            heap.elapsed()
+        });
+    });
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut heap = PersistentHeap::create(ByteSize::mib(8), HeapConfig::FocStm);
+            let t = PmBTree::create(&mut heap).unwrap();
+            for k in 0..N {
+                t.insert(&mut heap, k, k).unwrap();
+            }
+            heap.elapsed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_log_discipline,
+    bench_flush_policy,
+    bench_scm_penalty,
+    bench_provisioning,
+    bench_index_structures
+);
+criterion_main!(benches);

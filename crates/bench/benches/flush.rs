@@ -1,0 +1,71 @@
+//! Criterion bench for the flush paths behind Table 2 and Figure 8:
+//! `wbinvd` walks, per-line `clflush` streams, and the analytic
+//! flush-time model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_cache::{CacheHierarchy, CpuProfile, FlushAnalysis, FlushMethod};
+use wsp_units::ByteSize;
+
+fn dirty_hierarchy(lines: u64) -> CacheHierarchy {
+    let mut cache = CacheHierarchy::new(CpuProfile::intel_c5528());
+    for i in 0..lines {
+        cache.store(i * 64);
+    }
+    cache
+}
+
+fn bench_wbinvd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wbinvd_walk");
+    group.sample_size(20);
+    for lines in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(lines), &lines, |b, &lines| {
+            b.iter_batched(
+                || dirty_hierarchy(lines),
+                |mut cache| cache.wbinvd(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_clflush_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clflush_stream_1000_lines");
+    group.sample_size(20);
+    group.bench_function("clflush", |b| {
+        b.iter_batched(
+            || dirty_hierarchy(1_000),
+            |mut cache| {
+                for i in 0..1_000u64 {
+                    cache.clflush(i * 64);
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_analytic_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_analysis_table2");
+    for profile in [CpuProfile::intel_c5528(), CpuProfile::amd_4180()] {
+        let analysis = FlushAnalysis::new(profile);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(analysis.profile().name.clone()),
+            &analysis,
+            |b, analysis| {
+                b.iter(|| {
+                    (
+                        analysis.worst_case(FlushMethod::Wbinvd),
+                        analysis.worst_case(FlushMethod::Clflush),
+                        analysis.flush_time(FlushMethod::TheoreticalBest, ByteSize::mib(16)),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wbinvd, bench_clflush_stream, bench_analytic_model);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the Figure 5 microbenchmark: host-time cost of
+//! running the hash-table workload under each heap configuration. The
+//! *simulated* times are what reproduce the paper (see `repro fig5`);
+//! this bench confirms the relative shape holds for real executed work
+//! too (STM instrumentation, logging and flush bookkeeping are all real
+//! code here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_pheap::HeapConfig;
+use wsp_units::ByteSize;
+use wsp_workloads::HashBenchmark;
+
+fn bench_configs(c: &mut Criterion) {
+    let bench = HashBenchmark {
+        prepopulate: 2_000,
+        ops: 4_000,
+        region: ByteSize::mib(8),
+    };
+    let mut group = c.benchmark_group("hashtable_mixed_50pct");
+    group.sample_size(10);
+    for config in HeapConfig::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.label()),
+            &config,
+            |b, &config| {
+                b.iter(|| bench.run(config, 0.5, 7).expect("benchmark runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_update_ratios(c: &mut Criterion) {
+    let bench = HashBenchmark {
+        prepopulate: 2_000,
+        ops: 4_000,
+        region: ByteSize::mib(8),
+    };
+    let mut group = c.benchmark_group("hashtable_foc_stm_by_update_ratio");
+    group.sample_size(10);
+    for p in [0.0, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| bench.run(HeapConfig::FocStm, p, 7).expect("benchmark runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configs, bench_update_ratios);
+criterion_main!(benches);

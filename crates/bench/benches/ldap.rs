@@ -1,0 +1,27 @@
+//! Criterion bench for the Table 1 workload: directory inserts under the
+//! Mnemosyne configuration vs the WSP (plain in-memory) configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsp_pheap::HeapConfig;
+use wsp_units::{ByteSize, Nanos};
+use wsp_workloads::LdapBenchmark;
+
+fn bench_ldap(c: &mut Criterion) {
+    let bench = LdapBenchmark {
+        entries: 500,
+        region: ByteSize::mib(8),
+        per_op_overhead: Nanos::new(10_000),
+    };
+    let mut group = c.benchmark_group("ldap_insert_500");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(bench.entries));
+    for (label, config) in [("mnemosyne", HeapConfig::FocStm), ("wsp", HeapConfig::Fof)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, &config| {
+            b.iter(|| bench.run(config, 11).expect("benchmark runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldap);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench for the whole-system save/restore protocol (Figure 4)
+//! and NVDIMM device operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_core::{RestartStrategy, WspSystem};
+use wsp_machine::{Machine, SystemLoad};
+use wsp_nvram::NvDimm;
+use wsp_units::ByteSize;
+
+fn bench_drill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_failure_drill");
+    group.sample_size(10);
+    for (label, make) in [
+        ("intel", Machine::intel_testbed as fn() -> Machine),
+        ("amd", Machine::amd_testbed as fn() -> Machine),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &make, |b, make| {
+            b.iter(|| {
+                let mut system = WspSystem::new(make());
+                system.power_failure_drill(
+                    SystemLoad::Busy,
+                    RestartStrategy::RestorePathReinit,
+                    3,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nvdimm_save(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nvdimm_save_restore");
+    group.sample_size(10);
+    for mib in [16u64, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
+            b.iter_batched(
+                || {
+                    let mut dimm = NvDimm::agiga(ByteSize::mib(mib));
+                    // Touch a quarter of the pages so the sparse image has
+                    // real content to copy.
+                    let mut addr = 0u64;
+                    while addr < ByteSize::mib(mib).as_u64() {
+                        dimm.write(addr, &addr.to_le_bytes());
+                        addr += 16 * 1024;
+                    }
+                    dimm
+                },
+                |mut dimm| {
+                    dimm.enter_self_refresh();
+                    dimm.save().expect("save");
+                    dimm.power_loss();
+                    dimm.power_on();
+                    dimm.restore().expect("restore");
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drill, bench_nvdimm_save);
+criterion_main!(benches);

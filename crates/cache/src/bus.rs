@@ -1,0 +1,120 @@
+//! The memory bus: latency and bandwidth between the last-level cache and
+//! main memory (DRAM or, in WSP machines, NVDIMMs — the paper's NVDIMMs
+//! run at DRAM speed, so one model serves both).
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Bandwidth, ByteSize, Nanos};
+
+use crate::LINE_SIZE;
+
+/// Timing model for transfers between the cache hierarchy and memory.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cache::MemoryBus;
+/// use wsp_units::{Bandwidth, ByteSize, Nanos};
+///
+/// let bus = MemoryBus::new(Nanos::new(60), Bandwidth::gib_per_sec(20.0));
+/// let line = bus.line_fill();
+/// assert!(line > Nanos::new(60)); // latency plus transfer
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBus {
+    /// First-word access latency (row activation + controller).
+    pub access_latency: Nanos,
+    /// Sustained streaming bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Multiplier applied to write transfer time; 1.0 for DRAM/NVDIMM,
+    /// larger for storage-class memories such as PCM whose writes are
+    /// 10–100× slower than reads (paper §6).
+    pub write_penalty: f64,
+}
+
+impl MemoryBus {
+    /// Creates a symmetric (DRAM-like) bus.
+    #[must_use]
+    pub fn new(access_latency: Nanos, bandwidth: Bandwidth) -> Self {
+        MemoryBus {
+            access_latency,
+            bandwidth,
+            write_penalty: 1.0,
+        }
+    }
+
+    /// Creates an asymmetric bus whose writes are `write_penalty`× slower,
+    /// modelling SCMs like phase-change memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_penalty < 1.0`.
+    #[must_use]
+    pub fn asymmetric(access_latency: Nanos, bandwidth: Bandwidth, write_penalty: f64) -> Self {
+        assert!(write_penalty >= 1.0, "write penalty must be >= 1.0");
+        MemoryBus {
+            access_latency,
+            bandwidth,
+            write_penalty,
+        }
+    }
+
+    /// Time to fill one cache line from memory (a read).
+    #[must_use]
+    pub fn line_fill(&self) -> Nanos {
+        self.access_latency + self.bandwidth.transfer_time(ByteSize::new(LINE_SIZE))
+    }
+
+    /// Time to write one cache line back to memory. Asymmetric (SCM)
+    /// memories pay the write penalty on the access latency too: a PCM
+    /// cell write is itself 10–100× slower, not just lower-bandwidth.
+    #[must_use]
+    pub fn line_writeback(&self) -> Nanos {
+        self.access_latency * self.write_penalty
+            + self.bandwidth.transfer_time(ByteSize::new(LINE_SIZE)) * self.write_penalty
+    }
+
+    /// Time to stream `size` bytes of writes at full bandwidth (no
+    /// per-line latency — this is the "theoretical best" of Table 2, where
+    /// the flush saturates the bus).
+    #[must_use]
+    pub fn stream_write(&self, size: ByteSize) -> Nanos {
+        self.bandwidth.transfer_time(size) * self.write_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_fill_includes_latency_and_transfer() {
+        let bus = MemoryBus::new(Nanos::new(50), Bandwidth::bytes_per_sec(64.0 * 1e9));
+        // 64 bytes at 64 GB/s = 1 ns transfer.
+        assert_eq!(bus.line_fill().as_nanos(), 51);
+        assert_eq!(bus.line_writeback().as_nanos(), 51);
+    }
+
+    #[test]
+    fn asymmetric_writes_cost_more() {
+        let bus = MemoryBus::asymmetric(
+            Nanos::new(50),
+            Bandwidth::bytes_per_sec(64.0 * 1e9),
+            10.0,
+        );
+        assert_eq!(bus.line_fill().as_nanos(), 51);
+        // Writes pay the penalty on latency and transfer: 500 + 10.
+        assert_eq!(bus.line_writeback().as_nanos(), 510);
+    }
+
+    #[test]
+    fn stream_write_is_pure_bandwidth() {
+        let bus = MemoryBus::new(Nanos::new(50), Bandwidth::gib_per_sec(1.0));
+        assert_eq!(bus.stream_write(ByteSize::gib(1)).as_millis(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "write penalty")]
+    fn sub_unity_penalty_rejected() {
+        let _ = MemoryBus::asymmetric(Nanos::new(1), Bandwidth::gib_per_sec(1.0), 0.5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Cache geometry: line addressing and per-level configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{ByteSize, Nanos};
+
+/// Cache line size in bytes. All x86 machines in the paper's evaluation use
+/// 64-byte lines, so it is a crate-wide constant rather than a per-level
+/// parameter.
+pub const LINE_SIZE: u64 = 64;
+
+/// The address of one cache line (a byte address shifted down by the line
+/// size).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cache::LineAddr;
+///
+/// let a = LineAddr::containing(130);
+/// assert_eq!(a, LineAddr::containing(190));
+/// assert_eq!(a.first_byte(), 128);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// The line containing byte address `byte_addr`.
+    #[must_use]
+    pub const fn containing(byte_addr: u64) -> Self {
+        LineAddr(byte_addr / LINE_SIZE)
+    }
+
+    /// Constructs a line address from a raw line number.
+    #[must_use]
+    pub const fn from_index(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The raw line number.
+    #[must_use]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte in the line.
+    #[must_use]
+    pub const fn first_byte(self) -> u64 {
+        self.0 * LINE_SIZE
+    }
+
+    /// Iterates over the lines spanned by the byte range
+    /// `[start, start + len)`. An empty range yields no lines.
+    pub fn span(start: u64, len: u64) -> impl Iterator<Item = LineAddr> {
+        let first = if len == 0 { 1 } else { start / LINE_SIZE };
+        let last = if len == 0 {
+            0
+        } else {
+            (start + len - 1) / LINE_SIZE
+        };
+        (first..=last).map(LineAddr)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line@{:#x}", self.first_byte())
+    }
+}
+
+/// Geometry and latency of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cache::CacheConfig;
+/// use wsp_units::{ByteSize, Nanos};
+///
+/// let l3 = CacheConfig::new("L3", ByteSize::mib(8), 16, Nanos::new(18));
+/// assert_eq!(l3.num_sets(), 8192);
+/// assert_eq!(l3.total_lines(), 131_072);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human-readable level name ("L1d", "L2", "L3").
+    pub name: String,
+    /// Total capacity of the level.
+    pub capacity: ByteSize,
+    /// Ways per set.
+    pub associativity: u32,
+    /// Latency of a hit at this level.
+    pub hit_latency: Nanos,
+}
+
+impl CacheConfig {
+    /// Creates a level configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `associativity * LINE_SIZE`, or if the resulting set count is not a
+    /// power of two (set indexing uses address bits).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: ByteSize,
+        associativity: u32,
+        hit_latency: Nanos,
+    ) -> Self {
+        let cfg = CacheConfig {
+            name: name.into(),
+            capacity,
+            associativity,
+            hit_latency,
+        };
+        let way_bytes = u64::from(associativity) * LINE_SIZE;
+        assert!(associativity > 0, "associativity must be non-zero");
+        assert!(
+            capacity.as_u64() % way_bytes == 0,
+            "capacity {capacity} is not a multiple of associativity * line size"
+        );
+        let sets = cfg.num_sets();
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        cfg
+    }
+
+    /// Number of sets in the level.
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        self.capacity.as_u64() / (u64::from(self.associativity) * LINE_SIZE)
+    }
+
+    /// Total number of lines the level can hold.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.capacity.as_u64() / LINE_SIZE
+    }
+
+    /// Set index for a line under this geometry.
+    #[must_use]
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        line.index() & (self.num_sets() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_maps_bytes_to_lines() {
+        assert_eq!(LineAddr::containing(0).index(), 0);
+        assert_eq!(LineAddr::containing(63).index(), 0);
+        assert_eq!(LineAddr::containing(64).index(), 1);
+        assert_eq!(LineAddr::from_index(3).first_byte(), 192);
+    }
+
+    #[test]
+    fn span_covers_partial_lines() {
+        let lines: Vec<_> = LineAddr::span(60, 10).collect();
+        assert_eq!(lines, vec![LineAddr::from_index(0), LineAddr::from_index(1)]);
+        assert_eq!(LineAddr::span(64, 64).count(), 1);
+        assert_eq!(LineAddr::span(0, 0).count(), 0);
+        assert_eq!(LineAddr::span(100, 0).count(), 0);
+    }
+
+    #[test]
+    fn config_geometry() {
+        let cfg = CacheConfig::new("L1d", ByteSize::kib(32), 8, Nanos::new(1));
+        assert_eq!(cfg.num_sets(), 64);
+        assert_eq!(cfg.total_lines(), 512);
+        // Lines 64 apart in line-index space map to the same set.
+        assert_eq!(
+            cfg.set_of(LineAddr::from_index(5)),
+            cfg.set_of(LineAddr::from_index(5 + 64))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        // 96 KiB / (8 * 64) = 192 sets: not a power of two.
+        let _ = CacheConfig::new("bad", ByteSize::kib(96), 8, Nanos::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_capacity_rejected() {
+        let _ = CacheConfig::new("bad", ByteSize::new(1000), 4, Nanos::new(1));
+    }
+}

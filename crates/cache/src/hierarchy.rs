@@ -1,0 +1,515 @@
+//! The multi-level cache hierarchy: ordinary accesses, flush instructions,
+//! non-temporal stores and fences, with writeback events reported to the
+//! memory model.
+
+use std::collections::BTreeSet;
+
+use wsp_units::{ByteSize, Nanos};
+
+use crate::{CacheStats, CpuProfile, Eviction, LineAddr, SetAssocCache, LINE_SIZE};
+
+/// Outcome of a load or store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Simulated latency of the access.
+    pub latency: Nanos,
+    /// Which level hit (0 = innermost); `None` for a memory access.
+    pub hit_level: Option<usize>,
+    /// Dirty lines written back to memory as a side effect (evictions).
+    /// The memory model must persist these lines' current contents.
+    pub writebacks: Vec<LineAddr>,
+}
+
+/// Outcome of a `clflush`/`clwb` of one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushResult {
+    /// Simulated latency of the instruction.
+    pub latency: Nanos,
+    /// The line's contents were written back to memory.
+    pub wrote_back: bool,
+}
+
+/// Outcome of a `wbinvd` whole-cache writeback-and-invalidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WbinvdResult {
+    /// Simulated latency of the walk (scan-dominated; see Figure 8).
+    pub latency: Nanos,
+    /// Dirty lines written back, deduplicated across levels.
+    pub writebacks: Vec<LineAddr>,
+    /// Total bytes written back.
+    pub written_back: ByteSize,
+}
+
+/// A multi-level, inclusive-ish, write-back cache hierarchy for one core's
+/// access path (innermost level first), with machine-wide flush costing.
+///
+/// See the crate-level docs for the modelling rationale. The hierarchy
+/// reports *writeback events* — the set of lines whose contents became
+/// durable — so that a memory model layered above it (`wsp-pheap`) can
+/// maintain exact crash semantics: anything not written back is lost on a
+/// power failure unless a flush-on-fail save runs.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    profile: CpuProfile,
+    levels: Vec<SetAssocCache>,
+    stats: CacheStats,
+    /// Bytes queued in write-combining buffers by non-temporal stores and
+    /// not yet drained by a fence.
+    pending_wc: u64,
+    /// Lines touched by pending non-temporal stores; durable only after
+    /// the next fence.
+    pending_wc_lines: Vec<LineAddr>,
+}
+
+impl CacheHierarchy {
+    /// Builds an empty hierarchy from a CPU profile.
+    #[must_use]
+    pub fn new(profile: CpuProfile) -> Self {
+        let levels = profile
+            .levels
+            .iter()
+            .cloned()
+            .map(SetAssocCache::new)
+            .collect();
+        CacheHierarchy {
+            profile,
+            levels,
+            stats: CacheStats::default(),
+            pending_wc: 0,
+            pending_wc_lines: Vec::new(),
+        }
+    }
+
+    /// The profile this hierarchy was built from.
+    #[must_use]
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// Access statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets access statistics (geometry and contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Performs a load of the line containing `addr`.
+    pub fn load(&mut self, addr: u64) -> AccessResult {
+        self.stats.loads += 1;
+        self.access(LineAddr::containing(addr), false)
+    }
+
+    /// Performs a store to the line containing `addr` (write-allocate).
+    pub fn store(&mut self, addr: u64) -> AccessResult {
+        self.stats.stores += 1;
+        self.access(LineAddr::containing(addr), true)
+    }
+
+    fn access(&mut self, line: LineAddr, write: bool) -> AccessResult {
+        let mut result = AccessResult {
+            latency: Nanos::ZERO,
+            hit_level: None,
+            writebacks: Vec::new(),
+        };
+
+        // Probe level 0 first: a hit there is the common fast path.
+        result.latency += self.levels[0].config().hit_latency;
+        if self.levels[0].touch(line, write) {
+            self.stats.record_hit(0);
+            result.hit_level = Some(0);
+            return result;
+        }
+
+        // Probe outer levels.
+        for i in 1..self.levels.len() {
+            result.latency += self.levels[i].config().hit_latency;
+            if self.levels[i].touch(line, false) {
+                self.stats.record_hit(i);
+                result.hit_level = Some(i);
+                // Promote into the inner levels (line also stays at level
+                // i: inclusive).
+                for j in (1..i).rev() {
+                    self.install_at(j, line, false, &mut result);
+                }
+                self.install_at(0, line, write, &mut result);
+                return result;
+            }
+        }
+
+        // Miss everywhere: fill from memory into every level.
+        self.stats.misses += 1;
+        result.latency += self.profile.bus.line_fill();
+        for j in (1..self.levels.len()).rev() {
+            self.install_at(j, line, false, &mut result);
+        }
+        self.install_at(0, line, write, &mut result);
+        result
+    }
+
+    /// Installs `line` at `level`, cascading evictions outward and
+    /// recording memory writebacks in `result`.
+    fn install_at(&mut self, level: usize, line: LineAddr, dirty: bool, result: &mut AccessResult) {
+        if self.levels[level].contains(line) {
+            // Already resident (inclusive promote path): just set dirty.
+            self.levels[level].touch(line, dirty);
+            return;
+        }
+        match self.levels[level].install(line, dirty) {
+            Eviction::None => {}
+            Eviction::Clean(victim) => {
+                if level == self.levels.len() - 1 {
+                    self.back_invalidate(victim, false, result);
+                }
+            }
+            Eviction::Dirty(victim) => {
+                if level + 1 < self.levels.len() {
+                    // Victim moves outward, staying dirty.
+                    if self.levels[level + 1].contains(victim) {
+                        self.levels[level + 1].touch(victim, true);
+                    } else {
+                        self.install_at(level + 1, victim, true, result);
+                    }
+                } else {
+                    self.back_invalidate(victim, true, result);
+                }
+            }
+        }
+    }
+
+    /// Handles eviction of `victim` from the last level: inner copies must
+    /// be invalidated (inclusive hierarchy), and the line written back if
+    /// dirty anywhere.
+    fn back_invalidate(&mut self, victim: LineAddr, dirty_at_llc: bool, result: &mut AccessResult) {
+        let mut dirty = dirty_at_llc;
+        let last = self.levels.len() - 1;
+        for level in &mut self.levels[..last] {
+            if let Some(was_dirty) = level.invalidate(victim) {
+                dirty |= was_dirty;
+            }
+        }
+        if dirty {
+            self.stats.writebacks += 1;
+            result.latency += self.profile.bus.line_writeback();
+            result.writebacks.push(victim);
+        }
+    }
+
+    /// `clflush`: writes the line back (if dirty at any level) and
+    /// invalidates it everywhere.
+    pub fn clflush(&mut self, addr: u64) -> FlushResult {
+        self.stats.clflushes += 1;
+        let line = LineAddr::containing(addr);
+        let mut dirty = false;
+        for level in &mut self.levels {
+            if let Some(was_dirty) = level.invalidate(line) {
+                dirty |= was_dirty;
+            }
+        }
+        let mut latency = Nanos::from_secs_f64(self.profile.clflush_ns_per_line * 1e-9);
+        if dirty {
+            self.stats.writebacks += 1;
+            latency += self.profile.bus.line_writeback();
+        }
+        FlushResult {
+            latency,
+            wrote_back: dirty,
+        }
+    }
+
+    /// `clwb`: writes the line back if dirty but leaves it resident and
+    /// clean (the instruction later eADR-era persistent-memory code uses).
+    pub fn clwb(&mut self, addr: u64) -> FlushResult {
+        self.stats.clwbs += 1;
+        let line = LineAddr::containing(addr);
+        let mut dirty = false;
+        for level in &mut self.levels {
+            dirty |= level.clean(line);
+        }
+        let mut latency = Nanos::from_secs_f64(self.profile.clflush_ns_per_line * 1e-9);
+        if dirty {
+            self.stats.writebacks += 1;
+            latency += self.profile.bus.line_writeback();
+        }
+        FlushResult {
+            latency,
+            wrote_back: dirty,
+        }
+    }
+
+    /// A non-temporal store of `len` bytes at `addr`: bypasses the cache
+    /// through write-combining buffers. The affected lines are invalidated
+    /// for coherence (their contents were superseded), but the NT data
+    /// itself is durable only after the next [`sfence`].
+    ///
+    /// Returns `(result, wc_lines)` where `result.writebacks` holds lines
+    /// whose *cached* dirty data was flushed by the coherence
+    /// invalidation, and `wc_lines` the lines the NT data targets.
+    ///
+    /// [`sfence`]: CacheHierarchy::sfence
+    pub fn ntstore(&mut self, addr: u64, len: u64) -> AccessResult {
+        self.stats.ntstores += 1;
+        let mut result = AccessResult {
+            latency: Nanos::from_secs_f64(self.profile.ntstore_ns_per_8b * (len.max(1) as f64 / 8.0) * 1e-9),
+            hit_level: None,
+            writebacks: Vec::new(),
+        };
+        for line in LineAddr::span(addr, len) {
+            let mut dirty = false;
+            for level in &mut self.levels {
+                if let Some(was_dirty) = level.invalidate(line) {
+                    dirty |= was_dirty;
+                }
+            }
+            if dirty {
+                self.stats.writebacks += 1;
+                result.latency += self.profile.bus.line_writeback();
+                result.writebacks.push(line);
+            }
+            self.pending_wc_lines.push(line);
+        }
+        self.pending_wc += len;
+        result
+    }
+
+    /// `sfence`: drains write-combining buffers, making all pending
+    /// non-temporal stores durable. Returns the fence latency and the
+    /// lines whose NT data just became durable.
+    ///
+    /// The stall is one memory access per distinct write-combining
+    /// buffer (partial-line NT writes each cost a read-modify-write at
+    /// the controller) plus the streaming transfer — this is the
+    /// synchronous-durability cost flush-on-commit heaps pay at every
+    /// commit.
+    pub fn sfence(&mut self) -> (Nanos, Vec<LineAddr>) {
+        self.stats.fences += 1;
+        let stream = self.profile.bus.stream_write(ByteSize::new(self.pending_wc));
+        self.pending_wc = 0;
+        let lines = std::mem::take(&mut self.pending_wc_lines);
+        let distinct: BTreeSet<LineAddr> = lines.iter().copied().collect();
+        let drain = self.profile.bus.line_writeback() * distinct.len() as u64 + stream;
+        (self.profile.fence_cost + drain, lines)
+    }
+
+    /// Bytes of pending (un-fenced) non-temporal store data.
+    #[must_use]
+    pub fn pending_wc_bytes(&self) -> ByteSize {
+        ByteSize::new(self.pending_wc)
+    }
+
+    /// `wbinvd`: writes back and invalidates the entire hierarchy.
+    ///
+    /// Latency is `base + max(scan, writeback-stream)` where `scan` walks
+    /// every line slot of every level — which is why the paper (Figure 8)
+    /// sees almost no dependence on the number of dirty lines: the
+    /// microcoded walk, not the writeback traffic, dominates.
+    pub fn wbinvd(&mut self) -> WbinvdResult {
+        self.stats.wbinvds += 1;
+        let mut dirty: BTreeSet<LineAddr> = BTreeSet::new();
+        let mut total_slots = 0u64;
+        for level in &mut self.levels {
+            total_slots += level.config().total_lines();
+            dirty.extend(level.drain_all());
+        }
+        let written_back = ByteSize::new(dirty.len() as u64 * LINE_SIZE);
+        self.stats.writebacks += dirty.len() as u64;
+        let scan = Nanos::from_secs_f64(self.profile.wbinvd_scan_ns_per_line * total_slots as f64 * 1e-9);
+        let stream = self.profile.bus.stream_write(written_back);
+        let latency = self.profile.wbinvd_base + scan.max(stream);
+        WbinvdResult {
+            latency,
+            writebacks: dirty.into_iter().collect(),
+            written_back,
+        }
+    }
+
+    /// Total dirty bytes across all levels (lines dirty at several levels
+    /// counted once).
+    #[must_use]
+    pub fn dirty_bytes(&self) -> ByteSize {
+        let mut dirty: BTreeSet<LineAddr> = BTreeSet::new();
+        for level in &self.levels {
+            dirty.extend(level.iter_dirty());
+        }
+        ByteSize::new(dirty.len() as u64 * LINE_SIZE)
+    }
+
+    /// Iterates over all distinct dirty lines.
+    #[must_use]
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        let mut dirty: BTreeSet<LineAddr> = BTreeSet::new();
+        for level in &self.levels {
+            dirty.extend(level.iter_dirty());
+        }
+        dirty.into_iter().collect()
+    }
+
+    /// The cache levels (innermost first), for inspection.
+    #[must_use]
+    pub fn levels(&self) -> &[SetAssocCache] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuProfile;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(CpuProfile::intel_c5528())
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = hierarchy();
+        let miss = c.load(0x1000);
+        assert_eq!(miss.hit_level, None);
+        let hit = c.load(0x1000);
+        assert_eq!(hit.hit_level, Some(0));
+        assert!(hit.latency < miss.latency);
+    }
+
+    #[test]
+    fn store_dirties_exactly_one_line() {
+        let mut c = hierarchy();
+        c.store(0x40);
+        c.store(0x50); // same line
+        assert_eq!(c.dirty_bytes().as_u64(), 64);
+        c.store(0x80); // next line
+        assert_eq!(c.dirty_bytes().as_u64(), 128);
+    }
+
+    #[test]
+    fn clflush_writes_back_dirty_line() {
+        let mut c = hierarchy();
+        c.store(0x40);
+        let r = c.clflush(0x40);
+        assert!(r.wrote_back);
+        assert_eq!(c.dirty_bytes(), ByteSize::ZERO);
+        // Second flush: nothing left.
+        let r2 = c.clflush(0x40);
+        assert!(!r2.wrote_back);
+        assert!(r2.latency < r.latency);
+    }
+
+    #[test]
+    fn clwb_keeps_line_resident() {
+        let mut c = hierarchy();
+        c.store(0x40);
+        let r = c.clwb(0x40);
+        assert!(r.wrote_back);
+        assert_eq!(c.dirty_bytes(), ByteSize::ZERO);
+        // Still a hit afterwards.
+        assert_eq!(c.load(0x40).hit_level, Some(0));
+    }
+
+    #[test]
+    fn wbinvd_collects_all_dirty_lines() {
+        let mut c = hierarchy();
+        for i in 0..100u64 {
+            c.store(i * 64);
+        }
+        let r = c.wbinvd();
+        assert_eq!(r.writebacks.len(), 100);
+        assert_eq!(r.written_back.as_u64(), 6400);
+        assert_eq!(c.dirty_bytes(), ByteSize::ZERO);
+        // Everything was invalidated: next access misses.
+        assert_eq!(c.load(0).hit_level, None);
+    }
+
+    #[test]
+    fn wbinvd_latency_is_scan_dominated() {
+        let mut clean = hierarchy();
+        let t_clean = clean.wbinvd().latency;
+        let mut dirty = hierarchy();
+        for i in 0..10_000u64 {
+            dirty.store(i * 64);
+        }
+        let t_dirty = dirty.wbinvd().latency;
+        // Figure 8: save time barely depends on dirty bytes.
+        assert_eq!(t_clean, t_dirty);
+        assert!(t_clean.as_millis_f64() > 0.5);
+    }
+
+    #[test]
+    fn ntstore_bypasses_cache_and_fence_drains() {
+        let mut c = hierarchy();
+        let r = c.ntstore(0x1000, 64);
+        assert_eq!(r.hit_level, None);
+        assert_eq!(c.dirty_bytes(), ByteSize::ZERO);
+        assert_eq!(c.pending_wc_bytes().as_u64(), 64);
+        let (latency, lines) = c.sfence();
+        assert!(latency > Nanos::ZERO);
+        assert_eq!(lines, vec![LineAddr::containing(0x1000)]);
+        assert_eq!(c.pending_wc_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn ntstore_invalidates_conflicting_dirty_line() {
+        let mut c = hierarchy();
+        c.store(0x1000);
+        let r = c.ntstore(0x1000, 8);
+        assert_eq!(r.writebacks, vec![LineAddr::containing(0x1000)]);
+        assert_eq!(c.dirty_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn eviction_cascade_reaches_memory() {
+        // Thrash one L1 set far beyond total associativity so dirty
+        // victims cascade outward and eventually write back to memory.
+        let mut c = hierarchy();
+        let l1_sets = c.levels()[0].config().num_sets();
+        let mut wrote_back = 0;
+        for i in 0..100_000u64 {
+            let line_index = i * l1_sets; // always set 0 of L1
+            let r = c.store(line_index * 64);
+            wrote_back += r.writebacks.len();
+        }
+        assert!(wrote_back > 0, "expected dirty writebacks from cascade");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = hierarchy();
+        c.load(0);
+        c.store(0);
+        c.clflush(0);
+        c.ntstore(64, 8);
+        c.sfence();
+        c.wbinvd();
+        let s = c.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.clflushes, 1);
+        assert_eq!(s.ntstores, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.wbinvds, 1);
+        assert_eq!(s.misses, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().loads, 0);
+    }
+
+    #[test]
+    fn promote_from_outer_level_keeps_inclusion() {
+        let mut c = hierarchy();
+        c.store(0x40);
+        // Evict from L1 by thrashing its set; line remains in L2/L3.
+        let l1_sets = c.levels()[0].config().num_sets();
+        let ways = c.levels()[0].config().associativity as u64;
+        for k in 1..=ways + 1 {
+            c.load((k * l1_sets + 1) * 64 * l1_sets); // different lines, set 1...
+        }
+        // Regardless of where it now lives, the data must still be found
+        // somewhere on a reload (it was never flushed).
+        let r = c.load(0x40);
+        // Either an outer-level hit or (if fully evicted) a miss after a
+        // writeback was reported — never silent loss of the dirty bit.
+        if r.hit_level.is_none() {
+            assert!(c.stats().writebacks > 0);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A processor cache-hierarchy simulator with explicit flush semantics.
+//!
+//! This crate is the timing and dirty-state substrate for the
+//! whole-system-persistence (WSP) reproduction. The paper's central
+//! performance argument is about *where* cache flushes happen:
+//!
+//! * **flush-on-commit** persistent heaps (`clflush`/non-temporal stores on
+//!   every transactional update) pay the memory round-trip during normal
+//!   execution, while
+//! * **flush-on-fail** (WSP) leaves updates in cache and performs one
+//!   `wbinvd`-style whole-cache writeback inside the PSU's residual energy
+//!   window when power actually fails.
+//!
+//! To reproduce that argument we model a multi-level, set-associative,
+//! write-back cache hierarchy with per-line dirty tracking and the x86
+//! flush instructions the paper measures:
+//!
+//! * ordinary loads/stores ([`CacheHierarchy::load`] / [`store`]) that hit
+//!   or miss per level and may evict dirty victims,
+//! * [`clflush`] — flush one line from every level,
+//! * [`wbinvd`] — microcoded whole-cache walk, written back and
+//!   invalidated; its latency is scan-dominated, which reproduces the
+//!   paper's Figure 8 observation that save time barely depends on the
+//!   number of dirty lines,
+//! * non-temporal stores ([`ntstore`]) that bypass the cache the way
+//!   Mnemosyne writes its log, and
+//! * store fences ([`sfence`]).
+//!
+//! Four [`CpuProfile`]s parameterise the hierarchy to the machines in the
+//! paper's evaluation (Intel C5528, Intel X5650, AMD 4180, Intel D510).
+//!
+//! [`store`]: CacheHierarchy::store
+//! [`clflush`]: CacheHierarchy::clflush
+//! [`wbinvd`]: CacheHierarchy::wbinvd
+//! [`ntstore`]: CacheHierarchy::ntstore
+//! [`sfence`]: CacheHierarchy::sfence
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_cache::{CacheHierarchy, CpuProfile};
+//!
+//! let mut cache = CacheHierarchy::new(CpuProfile::intel_c5528());
+//! // Dirty a few lines, then flush-on-fail style wbinvd.
+//! for i in 0..1024u64 {
+//!     cache.store(i * 64);
+//! }
+//! let flush = cache.wbinvd();
+//! assert_eq!(flush.written_back.as_u64(), 1024 * 64);
+//! assert_eq!(cache.dirty_bytes().as_u64(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod config;
+mod flush;
+mod hierarchy;
+mod profiles;
+mod set;
+mod stats;
+mod trace;
+
+pub use bus::MemoryBus;
+pub use config::{CacheConfig, LineAddr, LINE_SIZE};
+pub use flush::{FlushAnalysis, FlushMethod};
+pub use hierarchy::{AccessResult, CacheHierarchy, FlushResult, WbinvdResult};
+pub use profiles::CpuProfile;
+pub use set::{Eviction, SetAssocCache};
+pub use stats::CacheStats;
+pub use trace::{AccessTrace, ReplayResult, TraceEvent};

@@ -1,0 +1,251 @@
+//! CPU profiles for the four machines in the paper's evaluation, plus an
+//! SCM (phase-change-memory-like) variant for the §6 what-if analysis.
+//!
+//! Geometry is taken from the parts' data sheets; instruction-cost
+//! parameters are calibrated so the analytic flush model lands on the
+//! paper's measured values (Table 2, Figure 8). `EXPERIMENTS.md` records
+//! the calibration targets next to the reproduced output.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Bandwidth, ByteSize, Nanos};
+
+use crate::{CacheConfig, MemoryBus};
+
+/// Cache geometry plus instruction-cost parameters for one machine.
+///
+/// `levels` describe a single core's access path (innermost first); the
+/// last level is shared per socket. Machine-wide totals for flush analysis
+/// come from [`CpuProfile::machine_cache`].
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cache::CpuProfile;
+///
+/// let p = CpuProfile::amd_4180();
+/// assert_eq!(p.total_cores(), 6);
+/// assert!(p.machine_cache().as_mib_f64() > 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuProfile {
+    /// Marketing name of the part.
+    pub name: String,
+    /// Number of populated sockets.
+    pub sockets: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+    /// One core's cache path, innermost first; the last entry is the
+    /// socket-shared last-level cache.
+    pub levels: Vec<CacheConfig>,
+    /// Memory bus behind the last-level cache.
+    pub bus: MemoryBus,
+    /// Fixed microcode entry/exit overhead of `wbinvd`.
+    pub wbinvd_base: Nanos,
+    /// Per-line-slot cost of the `wbinvd` microcode walk (fractional ns).
+    pub wbinvd_scan_ns_per_line: f64,
+    /// Sustained per-line cost of a back-to-back `clflush` stream
+    /// (fractional ns), including overlapped writebacks.
+    pub clflush_ns_per_line: f64,
+    /// Issue cost of non-temporal stores per 8 bytes (fractional ns);
+    /// the memory traffic itself is charged at the next fence.
+    pub ntstore_ns_per_8b: f64,
+    /// Fixed cost of a store fence.
+    pub fence_cost: Nanos,
+    /// Time for one core to save its register/thread context to memory.
+    pub context_save: Nanos,
+    /// Latency to deliver an inter-processor interrupt.
+    pub ipi_latency: Nanos,
+}
+
+impl CpuProfile {
+    /// Total core count across sockets.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Machine-wide cache capacity: private levels replicated per core,
+    /// the last (shared) level replicated per socket.
+    #[must_use]
+    pub fn machine_cache(&self) -> ByteSize {
+        let mut total = ByteSize::ZERO;
+        for (i, level) in self.levels.iter().enumerate() {
+            let copies = if i + 1 == self.levels.len() {
+                u64::from(self.sockets)
+            } else {
+                u64::from(self.total_cores())
+            };
+            total += level.capacity * copies;
+        }
+        total
+    }
+
+    /// Machine-wide number of cache line slots.
+    #[must_use]
+    pub fn machine_lines(&self) -> u64 {
+        self.machine_cache().lines(crate::LINE_SIZE)
+    }
+
+    /// The dual-socket Intel Xeon C5528 (Nehalem) high-end testbed:
+    /// 2 × 4 cores, 2 × 8 MiB L3, 48 GB DDR3-1333.
+    #[must_use]
+    pub fn intel_c5528() -> Self {
+        CpuProfile {
+            name: "Intel C5528 (2-socket)".to_owned(),
+            sockets: 2,
+            cores_per_socket: 4,
+            levels: vec![
+                CacheConfig::new("L1d", ByteSize::kib(32), 8, Nanos::new(2)),
+                CacheConfig::new("L2", ByteSize::kib(256), 8, Nanos::new(5)),
+                CacheConfig::new("L3", ByteSize::mib(8), 16, Nanos::new(19)),
+            ],
+            bus: MemoryBus::new(Nanos::new(65), Bandwidth::gib_per_sec(22.6)),
+            wbinvd_base: Nanos::from_micros(100),
+            // Calibrated: 100us + 9.03 ns * 299_008 lines = 2.8 ms (Table 2).
+            wbinvd_scan_ns_per_line: 9.03,
+            // Calibrated: 7.69 ns * 299_008 lines = 2.3 ms (Table 2).
+            clflush_ns_per_line: 7.69,
+            ntstore_ns_per_8b: 6.0,
+            fence_cost: Nanos::new(30),
+            context_save: Nanos::from_micros(10),
+            ipi_latency: Nanos::from_micros(5),
+        }
+    }
+
+    /// The single-socket Intel Xeon X5650 (Westmere): 6 cores, 12 MiB L3.
+    #[must_use]
+    pub fn intel_x5650() -> Self {
+        CpuProfile {
+            name: "Intel X5650".to_owned(),
+            sockets: 1,
+            cores_per_socket: 6,
+            levels: vec![
+                CacheConfig::new("L1d", ByteSize::kib(32), 8, Nanos::new(2)),
+                CacheConfig::new("L2", ByteSize::kib(256), 8, Nanos::new(4)),
+                CacheConfig::new("L3", ByteSize::mib(12), 24, Nanos::new(17)),
+            ],
+            bus: MemoryBus::new(Nanos::new(60), Bandwidth::gib_per_sec(21.0)),
+            wbinvd_base: Nanos::from_micros(100),
+            wbinvd_scan_ns_per_line: 15.1,
+            clflush_ns_per_line: 12.0,
+            ntstore_ns_per_8b: 6.0,
+            fence_cost: Nanos::new(28),
+            context_save: Nanos::from_micros(10),
+            ipi_latency: Nanos::from_micros(5),
+        }
+    }
+
+    /// The AMD Opteron 4180 low-power testbed: 6 cores, 6 MiB L3, 8 GB
+    /// DDR3.
+    #[must_use]
+    pub fn amd_4180() -> Self {
+        CpuProfile {
+            name: "AMD 4180".to_owned(),
+            sockets: 1,
+            cores_per_socket: 6,
+            levels: vec![
+                CacheConfig::new("L1d", ByteSize::kib(64), 2, Nanos::new(2)),
+                CacheConfig::new("L2", ByteSize::kib(512), 16, Nanos::new(6)),
+                CacheConfig::new("L3", ByteSize::mib(6), 48, Nanos::new(21)),
+            ],
+            bus: MemoryBus::new(Nanos::new(70), Bandwidth::gib_per_sec(14.1)),
+            wbinvd_base: Nanos::from_micros(50),
+            // Calibrated: 50us + 8.14 ns * 153_600 lines = 1.3 ms (Table 2).
+            wbinvd_scan_ns_per_line: 8.14,
+            // Calibrated: 10.4 ns * 153_600 lines = 1.6 ms (Table 2).
+            clflush_ns_per_line: 10.4,
+            ntstore_ns_per_8b: 7.0,
+            fence_cost: Nanos::new(35),
+            context_save: Nanos::from_micros(12),
+            ipi_latency: Nanos::from_micros(6),
+        }
+    }
+
+    /// The Intel Atom D510 embedded part: 2 in-order cores, 2 × 512 KiB L2
+    /// (1 MiB total — the paper's "largest cache on chip").
+    #[must_use]
+    pub fn intel_d510() -> Self {
+        CpuProfile {
+            name: "Intel D510".to_owned(),
+            sockets: 1,
+            cores_per_socket: 2,
+            levels: vec![
+                CacheConfig::new("L1d", ByteSize::kib(24), 6, Nanos::new(3)),
+                // Physically 2 x 512 KiB per-core L2s; modelled as one
+                // shared megabyte so machine totals match the paper's
+                // "1 MB L2" largest-cache figure.
+                CacheConfig::new("L2", ByteSize::mib(1), 8, Nanos::new(9)),
+            ],
+            bus: MemoryBus::new(Nanos::new(90), Bandwidth::gib_per_sec(4.0)),
+            wbinvd_base: Nanos::from_micros(50),
+            wbinvd_scan_ns_per_line: 32.0,
+            clflush_ns_per_line: 40.0,
+            ntstore_ns_per_8b: 12.0,
+            fence_cost: Nanos::new(60),
+            context_save: Nanos::from_micros(20),
+            ipi_latency: Nanos::from_micros(8),
+        }
+    }
+
+    /// Derives an SCM-backed variant of this machine: same caches, but the
+    /// memory behind them writes `write_penalty`× slower than it reads
+    /// (phase-change memory is 10–100× slower for writes, paper §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_penalty < 1.0`.
+    #[must_use]
+    pub fn with_scm(mut self, write_penalty: f64) -> Self {
+        self.name = format!("{} + SCM (write x{write_penalty})", self.name);
+        self.bus = MemoryBus::asymmetric(self.bus.access_latency, self.bus.bandwidth, write_penalty);
+        self
+    }
+
+    /// All four paper testbed profiles, in the order of Figure 8.
+    #[must_use]
+    pub fn paper_testbeds() -> Vec<CpuProfile> {
+        vec![
+            Self::intel_c5528(),
+            Self::intel_x5650(),
+            Self::amd_4180(),
+            Self::intel_d510(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_cache_counts_private_and_shared_levels() {
+        let p = CpuProfile::intel_c5528();
+        // 8 cores * (32 KiB + 256 KiB) + 2 sockets * 8 MiB = 18.25 MiB.
+        assert_eq!(p.machine_cache(), ByteSize::kib(8 * 288 + 2 * 8192));
+        assert_eq!(p.machine_lines(), p.machine_cache().as_u64() / 64);
+    }
+
+    #[test]
+    fn all_testbeds_have_valid_geometry() {
+        for p in CpuProfile::paper_testbeds() {
+            assert!(!p.levels.is_empty(), "{} has no cache levels", p.name);
+            assert!(p.total_cores() >= 2);
+            assert!(p.machine_cache() >= ByteSize::mib(1));
+        }
+    }
+
+    #[test]
+    fn scm_variant_slows_writes_only() {
+        let dram = CpuProfile::amd_4180();
+        let scm = dram.clone().with_scm(20.0);
+        assert_eq!(scm.bus.line_fill(), dram.bus.line_fill());
+        assert!(scm.bus.line_writeback() > dram.bus.line_writeback());
+        assert!(scm.name.contains("SCM"));
+    }
+
+    #[test]
+    #[should_panic(expected = "write penalty")]
+    fn scm_rejects_speedup() {
+        let _ = CpuProfile::intel_d510().with_scm(0.1);
+    }
+}

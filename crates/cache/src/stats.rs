@@ -1,0 +1,110 @@
+//! Access counters for the cache hierarchy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`CacheHierarchy`].
+///
+/// [`CacheHierarchy`]: crate::CacheHierarchy
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Load accesses issued.
+    pub loads: u64,
+    /// Store accesses issued.
+    pub stores: u64,
+    /// Hits per level (index 0 = innermost).
+    pub hits: Vec<u64>,
+    /// Accesses that missed every level.
+    pub misses: u64,
+    /// Dirty lines written back to memory (evictions, flushes, wbinvd).
+    pub writebacks: u64,
+    /// `clflush` instructions executed.
+    pub clflushes: u64,
+    /// `clwb` instructions executed.
+    pub clwbs: u64,
+    /// Non-temporal stores executed.
+    pub ntstores: u64,
+    /// Store fences executed.
+    pub fences: u64,
+    /// `wbinvd` instructions executed.
+    pub wbinvds: u64,
+}
+
+impl CacheStats {
+    /// Records a hit at `level`, growing the per-level vector on demand.
+    pub(crate) fn record_hit(&mut self, level: usize) {
+        if self.hits.len() <= level {
+            self.hits.resize(level + 1, 0);
+        }
+        self.hits[level] += 1;
+    }
+
+    /// Total accesses (loads + stores).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of accesses that missed all levels (0.0 when idle).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loads={} stores={} misses={} ({:.2}%) writebacks={} flushes={}",
+            self.loads,
+            self.stores,
+            self.misses,
+            self.miss_rate() * 100.0,
+            self.writebacks,
+            self.clflushes + self.clwbs + self.wbinvds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_of_idle_stats_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_hit_grows_vector() {
+        let mut s = CacheStats::default();
+        s.record_hit(2);
+        assert_eq!(s.hits, vec![0, 0, 1]);
+        s.record_hit(0);
+        assert_eq!(s.hits, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn miss_rate_counts_both_kinds_of_access() {
+        let s = CacheStats {
+            loads: 3,
+            stores: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = CacheStats::default().to_string();
+        assert!(text.contains("loads=0"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Access-trace capture and replay: record a workload's memory reference
+//! stream once, then replay it against different cache geometries — the
+//! standard methodology for asking "how would this workload behave on
+//! the other testbed?" without re-running the workload.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheHierarchy, CacheStats, CpuProfile};
+use wsp_units::Nanos;
+
+/// One recorded memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Load of the line containing the address.
+    Load(u64),
+    /// Store to the line containing the address.
+    Store(u64),
+    /// `clflush` of the line containing the address.
+    Clflush(u64),
+    /// Whole-cache writeback-and-invalidate.
+    Wbinvd,
+}
+
+/// A recorded reference stream.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cache::{AccessTrace, CpuProfile, TraceEvent};
+///
+/// let mut trace = AccessTrace::new();
+/// for i in 0..1000u64 {
+///     trace.push(TraceEvent::Store(i * 64));
+/// }
+/// let small = trace.replay(CpuProfile::intel_d510());
+/// let large = trace.replay(CpuProfile::intel_c5528());
+/// assert!(small.stats.miss_rate() >= large.stats.miss_rate());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    events: Vec<TraceEvent>,
+}
+
+/// The outcome of replaying a trace on one geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResult {
+    /// Machine the trace was replayed on.
+    pub machine: String,
+    /// Accumulated access statistics.
+    pub stats: CacheStats,
+    /// Total simulated time of the reference stream.
+    pub total_time: Nanos,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        AccessTrace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Replays the trace on a fresh hierarchy built from `profile`.
+    #[must_use]
+    pub fn replay(&self, profile: CpuProfile) -> ReplayResult {
+        let name = profile.name.clone();
+        let mut cache = CacheHierarchy::new(profile);
+        let mut total = Nanos::ZERO;
+        for event in &self.events {
+            total += match *event {
+                TraceEvent::Load(addr) => cache.load(addr).latency,
+                TraceEvent::Store(addr) => cache.store(addr).latency,
+                TraceEvent::Clflush(addr) => cache.clflush(addr).latency,
+                TraceEvent::Wbinvd => cache.wbinvd().latency,
+            };
+        }
+        ReplayResult {
+            machine: name,
+            stats: cache.stats().clone(),
+            total_time: total,
+        }
+    }
+
+    /// Replays on every paper testbed, returning results in
+    /// [`CpuProfile::paper_testbeds`] order.
+    #[must_use]
+    pub fn replay_all_testbeds(&self) -> Vec<ReplayResult> {
+        CpuProfile::paper_testbeds()
+            .into_iter()
+            .map(|p| self.replay(p))
+            .collect()
+    }
+}
+
+impl FromIterator<TraceEvent> for AccessTrace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        AccessTrace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceEvent> for AccessTrace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A loop over a working set, twice: the second pass should hit if
+    /// the set fits.
+    fn two_pass_trace(lines: u64) -> AccessTrace {
+        (0..2)
+            .flat_map(|_| (0..lines).map(|i| TraceEvent::Load(i * 64)))
+            .collect()
+    }
+
+    #[test]
+    fn working_set_fitting_in_cache_hits_on_second_pass() {
+        // 4096 lines = 256 KiB: fits every testbed's hierarchy.
+        let trace = two_pass_trace(4_096);
+        for result in trace.replay_all_testbeds() {
+            assert!(
+                result.stats.miss_rate() <= 0.51,
+                "{}: second pass should hit ({})",
+                result.machine,
+                result.stats
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_working_set_thrashes_small_caches_only() {
+        // 2 MiB working set: larger than the Atom's 1 MiB, far smaller
+        // than the C5528's 8 MiB L3.
+        let trace = two_pass_trace(32_768);
+        let atom = trace.replay(CpuProfile::intel_d510());
+        let xeon = trace.replay(CpuProfile::intel_c5528());
+        assert!(atom.stats.miss_rate() > 0.9, "atom thrashes: {}", atom.stats);
+        assert!(xeon.stats.miss_rate() < 0.55, "xeon caches it: {}", xeon.stats);
+        assert!(atom.total_time > xeon.total_time);
+    }
+
+    #[test]
+    fn stores_then_wbinvd_counts_writebacks() {
+        let mut trace = AccessTrace::new();
+        for i in 0..100u64 {
+            trace.push(TraceEvent::Store(i * 64));
+        }
+        trace.push(TraceEvent::Wbinvd);
+        let result = trace.replay(CpuProfile::amd_4180());
+        assert_eq!(result.stats.writebacks, 100);
+        assert_eq!(result.stats.wbinvds, 1);
+    }
+
+    #[test]
+    fn clflush_events_replay() {
+        let trace: AccessTrace = [
+            TraceEvent::Store(0),
+            TraceEvent::Clflush(0),
+            TraceEvent::Load(0),
+        ]
+        .into_iter()
+        .collect();
+        let result = trace.replay(CpuProfile::intel_x5650());
+        assert_eq!(result.stats.clflushes, 1);
+        // The reload misses: the flush invalidated the line.
+        assert_eq!(result.stats.misses, 2);
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = two_pass_trace(1_000);
+        let a = trace.replay(CpuProfile::amd_4180());
+        let b = trace.replay(CpuProfile::amd_4180());
+        assert_eq!(a, b);
+    }
+}

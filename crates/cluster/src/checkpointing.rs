@@ -1,0 +1,143 @@
+//! Checkpoint-interval policy: how often should a server checkpoint its
+//! heap to the back end?
+//!
+//! With WSP, checkpoints only matter for failures NVRAM cannot cover
+//! (§3.1: software errors, whole-server loss, saves that miss the
+//! window), so the effective failure rate — and with it the optimal
+//! checkpoint frequency — drops dramatically. This module computes
+//! Young's classic first-order optimum `τ* = √(2·C·M)` (checkpoint cost
+//! `C`, mean time between unrecoverable failures `M`) and the resulting
+//! overhead, with and without WSP.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::Nanos;
+
+/// Inputs for the checkpoint-interval analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Time to take and ship one checkpoint.
+    pub checkpoint_cost: Nanos,
+    /// Mean time between failures of *any* kind.
+    pub mtbf_all: Nanos,
+    /// Fraction of failures that NVRAM/WSP recovers locally (power
+    /// events with a completed save).
+    pub wsp_coverage: f64,
+}
+
+/// The analysis output for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPlan {
+    /// Mean time between failures the checkpoints must cover.
+    pub effective_mtbf: Nanos,
+    /// Young's optimal checkpoint interval.
+    pub interval: Nanos,
+    /// Steady-state fraction of runtime spent checkpointing plus
+    /// expected rework (first-order approximation).
+    pub overhead: f64,
+}
+
+impl CheckpointPolicy {
+    /// Creates a policy description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `wsp_coverage` is in `[0, 1]` and the other inputs
+    /// are positive.
+    #[must_use]
+    pub fn new(checkpoint_cost: Nanos, mtbf_all: Nanos, wsp_coverage: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&wsp_coverage),
+            "coverage must be a fraction"
+        );
+        assert!(checkpoint_cost > Nanos::ZERO, "checkpoint cost must be positive");
+        assert!(mtbf_all > Nanos::ZERO, "MTBF must be positive");
+        CheckpointPolicy {
+            checkpoint_cost,
+            mtbf_all,
+            wsp_coverage,
+        }
+    }
+
+    /// Plans with the given WSP coverage applied: only the failures WSP
+    /// cannot absorb drive the checkpoint cadence.
+    #[must_use]
+    pub fn plan(&self) -> CheckpointPlan {
+        let miss = (1.0 - self.wsp_coverage).max(1e-9);
+        let effective_mtbf = Nanos::from_secs_f64(self.mtbf_all.as_secs_f64() / miss);
+        let c = self.checkpoint_cost.as_secs_f64();
+        let m = effective_mtbf.as_secs_f64();
+        // Young's approximation: tau* = sqrt(2 C M).
+        let tau = (2.0 * c * m).sqrt();
+        // First-order overhead: C/tau (checkpointing) + tau/(2M) (rework).
+        let overhead = c / tau + tau / (2.0 * m);
+        CheckpointPlan {
+            effective_mtbf,
+            interval: Nanos::from_secs_f64(tau),
+            overhead,
+        }
+    }
+
+    /// The same plan with WSP disabled (all failures hit the back end).
+    #[must_use]
+    pub fn plan_without_wsp(&self) -> CheckpointPlan {
+        CheckpointPolicy {
+            wsp_coverage: 0.0,
+            ..*self
+        }
+        .plan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> CheckpointPolicy {
+        // 256 GB at 300 MiB/s ~ 15 min checkpoints; one failure a week;
+        // WSP absorbs 90% of them.
+        CheckpointPolicy::new(
+            Nanos::from_secs(15 * 60),
+            Nanos::from_secs(7 * 24 * 3600),
+            0.90,
+        )
+    }
+
+    #[test]
+    fn wsp_stretches_the_interval_by_sqrt_of_coverage() {
+        let p = policy();
+        let with = p.plan();
+        let without = p.plan_without_wsp();
+        let ratio = with.interval.as_secs_f64() / without.interval.as_secs_f64();
+        // 10x effective MTBF -> sqrt(10) ~ 3.16x longer intervals.
+        assert!((ratio - 10f64.sqrt()).abs() < 0.01, "ratio {ratio}");
+        assert!(with.overhead < without.overhead);
+    }
+
+    #[test]
+    fn youngs_formula_matches_hand_math() {
+        // C = 100 s, M = 20_000 s -> tau = sqrt(2*100*20000) = 2000 s.
+        let p = CheckpointPolicy::new(Nanos::from_secs(100), Nanos::from_secs(20_000), 0.0);
+        let plan = p.plan();
+        assert!((plan.interval.as_secs_f64() - 2_000.0).abs() < 1.0);
+        // Overhead: 100/2000 + 2000/40000 = 0.05 + 0.05 = 0.10.
+        assert!((plan.overhead - 0.10).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_coverage_nearly_eliminates_checkpointing() {
+        let p = CheckpointPolicy::new(
+            Nanos::from_secs(600),
+            Nanos::from_secs(24 * 3600),
+            0.999,
+        );
+        let plan = p.plan();
+        assert!(plan.interval.as_secs_f64() > 3.0 * 24.0 * 3600.0, "days apart");
+        assert!(plan.overhead < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be a fraction")]
+    fn bad_coverage_rejected() {
+        let _ = CheckpointPolicy::new(Nanos::from_secs(1), Nanos::from_secs(1), 1.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Datacenter-scale recovery economics: the paper's motivation (§1–2)
+//! and its §6 "Distributed applications" / "Long outages" discussion,
+//! as a quantitative model.
+//!
+//! Main-memory fleets recover from a shared storage back end. After a
+//! *correlated* failure (rack power outage, UPS fault) tens to hundreds
+//! of servers re-read terabytes through that back end at once — a
+//! **recovery storm** (the paper's example: 256 GB at 0.5 GB/s is over
+//! eight minutes *per server*, even alone). Whole-system persistence
+//! replaces that with a local NVDIMM restore plus a catch-up of only the
+//! updates missed during the outage.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_cluster::{ClusterSpec, OutageScenario};
+//! use wsp_units::Nanos;
+//!
+//! let cluster = ClusterSpec::memcache_tier(100);
+//! let outage = OutageScenario::rack_power(Nanos::from_secs(30), 100);
+//! let report = cluster.recovery_report(&outage);
+//! assert!(report.speedup() > 10.0, "WSP recovery is orders faster");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpointing;
+mod recovery;
+mod replication;
+mod timeline;
+
+pub use checkpointing::{CheckpointPlan, CheckpointPolicy};
+pub use recovery::{ClusterSpec, OutageScenario, StormReport};
+pub use replication::{RecoveryDecision, ReplicaGroup};
+pub use timeline::{AvailabilityReport, FleetTimeline, PowerEvent};

@@ -1,0 +1,179 @@
+//! Recovery storms: back-end recovery vs WSP local recovery for a fleet
+//! of main-memory servers.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Bandwidth, ByteSize, Nanos};
+
+/// A fleet of main-memory servers sharing one storage back end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Servers in the fleet.
+    pub servers: usize,
+    /// In-memory state per server.
+    pub memory_per_server: ByteSize,
+    /// Aggregate back-end read bandwidth, shared by all recovering
+    /// servers.
+    pub backend_bandwidth: Bandwidth,
+    /// Update traffic absorbed per server during normal operation
+    /// (bytes/sec of fresh state a recovering node must catch up on).
+    pub update_bandwidth_per_server: Bandwidth,
+    /// Log-replay slowdown: reconstructing state from checkpoint + log
+    /// is this many times slower than a raw stream (deserialization,
+    /// index rebuild).
+    pub replay_overhead: f64,
+    /// Per-server NVDIMM restore time (parallel across modules and
+    /// across servers).
+    pub nvdimm_restore: Nanos,
+}
+
+impl ClusterSpec {
+    /// A memcache-style tier: `servers` × 256 GB of state, a 0.5 GB/s
+    /// effective back-end stream per the paper's §2 example (shared), 2×
+    /// replay overhead, ~50 MB/s of update traffic per server, 7 s
+    /// NVDIMM restores.
+    #[must_use]
+    pub fn memcache_tier(servers: usize) -> Self {
+        ClusterSpec {
+            servers,
+            memory_per_server: ByteSize::gib(256),
+            backend_bandwidth: Bandwidth::gib_per_sec(0.5),
+            update_bandwidth_per_server: Bandwidth::mib_per_sec(50.0),
+            replay_overhead: 2.0,
+            nvdimm_restore: Nanos::from_secs(7),
+        }
+    }
+
+    /// Back-end recovery time for `failed` servers recovering
+    /// concurrently: each reads its full state through its share of the
+    /// back end, with replay overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is zero or exceeds the fleet.
+    #[must_use]
+    pub fn backend_recovery_time(&self, failed: usize) -> Nanos {
+        assert!(failed >= 1 && failed <= self.servers, "bad failure count");
+        let share = self.backend_bandwidth.shared_by(failed);
+        let stream = share.transfer_time(self.memory_per_server);
+        stream * self.replay_overhead
+    }
+
+    /// WSP recovery time for `failed` servers after an outage of
+    /// `outage`: local NVDIMM restore (fully parallel) plus catching up
+    /// the updates missed while down, fetched through the shared back
+    /// end.
+    #[must_use]
+    pub fn wsp_recovery_time(&self, failed: usize, outage: Nanos) -> Nanos {
+        assert!(failed >= 1 && failed <= self.servers, "bad failure count");
+        let down = outage + self.nvdimm_restore;
+        let missed = self.update_bandwidth_per_server.bytes_in(down);
+        let share = self.backend_bandwidth.shared_by(failed);
+        let catch_up = share.transfer_time(missed) * self.replay_overhead;
+        self.nvdimm_restore + catch_up
+    }
+
+    /// Full report for a scenario.
+    #[must_use]
+    pub fn recovery_report(&self, scenario: &OutageScenario) -> StormReport {
+        StormReport {
+            failed: scenario.failed,
+            outage: scenario.outage,
+            per_server_state: self.memory_per_server,
+            backend_time: self.backend_recovery_time(scenario.failed),
+            wsp_time: self.wsp_recovery_time(scenario.failed, scenario.outage),
+        }
+    }
+}
+
+/// A correlated-failure scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageScenario {
+    /// How long power stayed off.
+    pub outage: Nanos,
+    /// How many servers failed together.
+    pub failed: usize,
+}
+
+impl OutageScenario {
+    /// A rack/UPS power event taking `failed` servers down for `outage`.
+    #[must_use]
+    pub fn rack_power(outage: Nanos, failed: usize) -> Self {
+        OutageScenario { outage, failed }
+    }
+}
+
+/// Comparison of the two recovery paths for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormReport {
+    /// Servers recovering concurrently.
+    pub failed: usize,
+    /// Outage duration.
+    pub outage: Nanos,
+    /// State per server.
+    pub per_server_state: ByteSize,
+    /// Time for every server to finish back-end recovery.
+    pub backend_time: Nanos,
+    /// Time for every server to finish WSP local recovery + catch-up.
+    pub wsp_time: Nanos,
+}
+
+impl StormReport {
+    /// How much faster WSP recovery completes.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.backend_time.as_secs_f64() / self.wsp_time.as_secs_f64().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §2: "Reading 256 GB at 0.5 GB/s ... will take more than 8 min,
+    /// even if all the storage resources were dedicated to that single
+    /// recovering machine."
+    #[test]
+    fn paper_single_server_example() {
+        let mut cluster = ClusterSpec::memcache_tier(1);
+        cluster.replay_overhead = 1.0; // raw stream, as in the example
+        let t = cluster.backend_recovery_time(1);
+        assert!(t.as_secs_f64() > 8.0 * 60.0, "{t}");
+    }
+
+    #[test]
+    fn storms_scale_linearly_with_failed_servers() {
+        let cluster = ClusterSpec::memcache_tier(100);
+        let one = cluster.backend_recovery_time(1);
+        let hundred = cluster.backend_recovery_time(100);
+        let ratio = hundred.as_secs_f64() / one.as_secs_f64();
+        assert!((ratio - 100.0).abs() < 1.0, "ratio {ratio}");
+        // A 100-server storm takes around a day — the Facebook-outage
+        // regime the paper opens with.
+        assert!(hundred.as_secs_f64() > 3600.0 * 10.0);
+    }
+
+    #[test]
+    fn wsp_recovery_is_orders_of_magnitude_faster() {
+        let cluster = ClusterSpec::memcache_tier(100);
+        let scenario = OutageScenario::rack_power(Nanos::from_secs(30), 100);
+        let report = cluster.recovery_report(&scenario);
+        assert!(report.wsp_time < report.backend_time);
+        assert!(report.speedup() > 50.0, "speedup {}", report.speedup());
+    }
+
+    #[test]
+    fn longer_outages_erode_the_wsp_advantage() {
+        let cluster = ClusterSpec::memcache_tier(50);
+        let short = cluster.wsp_recovery_time(50, Nanos::from_secs(10));
+        let long = cluster.wsp_recovery_time(50, Nanos::from_secs(3600));
+        assert!(long > short);
+        // But even an hour-long outage beats full re-reads.
+        assert!(long < cluster.backend_recovery_time(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad failure count")]
+    fn zero_failures_rejected() {
+        let _ = ClusterSpec::memcache_tier(10).backend_recovery_time(0);
+    }
+}

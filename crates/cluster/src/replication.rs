@@ -1,0 +1,152 @@
+//! State-machine replication and the "long outages" trade-off (paper
+//! §6): after a replica fails, should the group re-replicate immediately
+//! or wait for the failed node's NVRAM-backed recovery?
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Bandwidth, ByteSize, Nanos};
+
+/// What the group decided to do about a failed replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryDecision {
+    /// Wait for the failed node to come back with its NVRAM state and
+    /// catch up; estimated completion time attached.
+    WaitForNvramRecovery {
+        /// Expected time until full redundancy is restored.
+        eta: Nanos,
+    },
+    /// Start building a fresh replica elsewhere immediately.
+    ReReplicate {
+        /// Expected time until full redundancy is restored.
+        eta: Nanos,
+    },
+}
+
+impl RecoveryDecision {
+    /// The expected time to restored redundancy, either way.
+    #[must_use]
+    pub fn eta(&self) -> Nanos {
+        match self {
+            RecoveryDecision::WaitForNvramRecovery { eta }
+            | RecoveryDecision::ReReplicate { eta } => *eta,
+        }
+    }
+}
+
+/// A replication group holding one partition of state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaGroup {
+    /// Live replicas remaining (service stays available while > 0).
+    pub live_replicas: u32,
+    /// State held by the partition.
+    pub state: ByteSize,
+    /// Network bandwidth available for building a fresh replica.
+    pub transfer_bandwidth: Bandwidth,
+    /// Update traffic the partition absorbs (bytes/sec) — what a
+    /// returning node must catch up on.
+    pub update_bandwidth: Bandwidth,
+    /// The failed node's local NVRAM restore time.
+    pub nvdimm_restore: Nanos,
+}
+
+impl ReplicaGroup {
+    /// A typical sharded KV partition: 64 GB state, 3 replicas, 1 GiB/s
+    /// replication network, 20 MiB/s update traffic.
+    #[must_use]
+    pub fn typical() -> Self {
+        ReplicaGroup {
+            live_replicas: 2, // one of three just failed
+            state: ByteSize::gib(64),
+            transfer_bandwidth: Bandwidth::gib_per_sec(1.0),
+            update_bandwidth: Bandwidth::mib_per_sec(20.0),
+            nvdimm_restore: Nanos::from_secs(7),
+        }
+    }
+
+    /// Time to build a fresh replica from a live one.
+    #[must_use]
+    pub fn re_replication_time(&self) -> Nanos {
+        self.transfer_bandwidth.transfer_time(self.state)
+    }
+
+    /// Time for the failed node to return with NVRAM state after
+    /// `outage` and catch up on missed updates.
+    #[must_use]
+    pub fn nvram_return_time(&self, outage: Nanos) -> Nanos {
+        let down = outage + self.nvdimm_restore;
+        let missed = self.update_bandwidth.bytes_in(down);
+        outage + self.nvdimm_restore + self.transfer_bandwidth.transfer_time(missed)
+    }
+
+    /// The outage duration at which re-replication becomes the faster
+    /// path to restored redundancy.
+    #[must_use]
+    pub fn break_even_outage(&self) -> Nanos {
+        // Solve nvram_return_time(t) == re_replication_time() for t.
+        // nvram_return(t) = t + r + (t + r) * u/b  where r = restore,
+        // u = update bw, b = transfer bw.
+        let r = self.nvdimm_restore.as_secs_f64();
+        let u = self.update_bandwidth.as_bytes_per_sec();
+        let b = self.transfer_bandwidth.as_bytes_per_sec();
+        let full = self.re_replication_time().as_secs_f64();
+        let t = (full - r * (1.0 + u / b)) / (1.0 + u / b);
+        Nanos::from_secs_f64(t.max(0.0))
+    }
+
+    /// Picks the faster path for an outage expected to last
+    /// `expected_outage`.
+    #[must_use]
+    pub fn decide(&self, expected_outage: Nanos) -> RecoveryDecision {
+        let wait = self.nvram_return_time(expected_outage);
+        let rebuild = self.re_replication_time();
+        if wait <= rebuild {
+            RecoveryDecision::WaitForNvramRecovery { eta: wait }
+        } else {
+            RecoveryDecision::ReReplicate { eta: rebuild }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_outages_favour_waiting() {
+        let group = ReplicaGroup::typical();
+        let decision = group.decide(Nanos::from_secs(20));
+        assert!(matches!(
+            decision,
+            RecoveryDecision::WaitForNvramRecovery { .. }
+        ));
+        assert!(decision.eta() < group.re_replication_time());
+    }
+
+    #[test]
+    fn long_outages_favour_re_replication() {
+        let group = ReplicaGroup::typical();
+        let decision = group.decide(Nanos::from_secs(3600));
+        assert!(matches!(decision, RecoveryDecision::ReReplicate { .. }));
+    }
+
+    #[test]
+    fn break_even_separates_the_regimes() {
+        let group = ReplicaGroup::typical();
+        let be = group.break_even_outage();
+        assert!(be > Nanos::ZERO);
+        let just_under = group.decide(be.saturating_sub(Nanos::from_secs(1)));
+        let just_over = group.decide(be + Nanos::from_secs(1));
+        assert!(matches!(
+            just_under,
+            RecoveryDecision::WaitForNvramRecovery { .. }
+        ));
+        assert!(matches!(just_over, RecoveryDecision::ReReplicate { .. }));
+    }
+
+    #[test]
+    fn catch_up_grows_with_outage() {
+        let group = ReplicaGroup::typical();
+        let a = group.nvram_return_time(Nanos::from_secs(10));
+        let b = group.nvram_return_time(Nanos::from_secs(100));
+        assert!(b > a + Nanos::from_secs(90), "catch-up adds on top");
+    }
+}

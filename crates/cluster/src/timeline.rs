@@ -1,0 +1,169 @@
+//! A discrete-event availability simulation: a year in the life of a
+//! main-memory fleet, with independent and correlated power events, under
+//! back-end-only recovery vs WSP local recovery. This quantifies the
+//! paper's opening story (the 2010 Facebook outage: 2.5 hours of
+//! unavailability while cache servers refreshed from the back end).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wsp_units::Nanos;
+
+use crate::ClusterSpec;
+
+/// One power event in the simulated year.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerEvent {
+    /// When the event starts (since simulation start).
+    pub at: Nanos,
+    /// How long power stays off.
+    pub outage: Nanos,
+    /// How many servers it takes down together.
+    pub servers: usize,
+}
+
+/// Fleet availability results for one recovery discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    /// Total server-downtime accumulated over the horizon.
+    pub server_downtime: Nanos,
+    /// Availability as a fraction of total server-time (1.0 = perfect).
+    pub availability: f64,
+    /// The single worst event's recovery time.
+    pub worst_event_recovery: Nanos,
+}
+
+/// Event generator + evaluator over a time horizon.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cluster::{ClusterSpec, FleetTimeline};
+///
+/// let cluster = ClusterSpec::memcache_tier(100);
+/// let timeline = FleetTimeline::typical_year(7);
+/// let (backend, wsp) = timeline.compare(&cluster);
+/// assert!(wsp.availability > backend.availability);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTimeline {
+    /// Simulation horizon.
+    pub horizon: Nanos,
+    /// The events, in time order.
+    pub events: Vec<PowerEvent>,
+}
+
+impl FleetTimeline {
+    /// A typical year: a handful of single-server PSU failures, a couple
+    /// of rack-level events, and one datacenter-wide outage — seeded and
+    /// reproducible.
+    #[must_use]
+    pub fn typical_year(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let year = Nanos::from_secs(365 * 24 * 3600);
+        let mut events = Vec::new();
+        // ~8 single-server PSU/UPS faults.
+        for _ in 0..8 {
+            events.push(PowerEvent {
+                at: year * rng.gen_range(0.0..1.0),
+                outage: Nanos::from_secs(rng.gen_range(20..120)),
+                servers: 1,
+            });
+        }
+        // 2 rack events (~20 servers).
+        for _ in 0..2 {
+            events.push(PowerEvent {
+                at: year * rng.gen_range(0.0..1.0),
+                outage: Nanos::from_secs(rng.gen_range(60..600)),
+                servers: 20,
+            });
+        }
+        // 1 datacenter-wide event (everything).
+        events.push(PowerEvent {
+            at: year * rng.gen_range(0.0..1.0),
+            outage: Nanos::from_secs(rng.gen_range(300..1800)),
+            servers: usize::MAX, // clamped to fleet size at evaluation
+        });
+        events.sort_by_key(|e| e.at);
+        FleetTimeline {
+            horizon: year,
+            events,
+        }
+    }
+
+    /// Evaluates the timeline under one recovery discipline.
+    fn evaluate(&self, cluster: &ClusterSpec, wsp: bool) -> AvailabilityReport {
+        let mut downtime = Nanos::ZERO;
+        let mut worst = Nanos::ZERO;
+        for e in &self.events {
+            let failed = e.servers.min(cluster.servers);
+            let recovery = if wsp {
+                cluster.wsp_recovery_time(failed, e.outage)
+            } else {
+                cluster.backend_recovery_time(failed)
+            };
+            worst = worst.max(recovery);
+            // Each failed server is down for the outage plus its
+            // recovery.
+            downtime += (e.outage + recovery) * failed as u64;
+        }
+        let total_server_time =
+            self.horizon.as_secs_f64() * cluster.servers as f64;
+        AvailabilityReport {
+            server_downtime: downtime,
+            availability: 1.0 - downtime.as_secs_f64() / total_server_time,
+            worst_event_recovery: worst,
+        }
+    }
+
+    /// Evaluates both disciplines: `(backend_only, wsp)`.
+    #[must_use]
+    pub fn compare(&self, cluster: &ClusterSpec) -> (AvailabilityReport, AvailabilityReport) {
+        (self.evaluate(cluster, false), self.evaluate(cluster, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wsp_buys_at_least_a_nine() {
+        let cluster = ClusterSpec::memcache_tier(100);
+        let timeline = FleetTimeline::typical_year(42);
+        let (backend, wsp) = timeline.compare(&cluster);
+        assert!(wsp.availability > backend.availability);
+        let backend_unavail = 1.0 - backend.availability;
+        let wsp_unavail = 1.0 - wsp.availability;
+        assert!(
+            backend_unavail / wsp_unavail > 5.0,
+            "unavailability should shrink by >5x: {backend_unavail:.6} vs {wsp_unavail:.6}"
+        );
+    }
+
+    #[test]
+    fn datacenter_event_dominates_backend_downtime() {
+        let cluster = ClusterSpec::memcache_tier(100);
+        let timeline = FleetTimeline::typical_year(1);
+        let (backend, _) = timeline.compare(&cluster);
+        // Storm recovery of 100 servers takes > a day of wall time.
+        assert!(backend.worst_event_recovery.as_secs_f64() > 24.0 * 3600.0);
+    }
+
+    #[test]
+    fn timelines_are_reproducible() {
+        assert_eq!(FleetTimeline::typical_year(5), FleetTimeline::typical_year(5));
+        assert_ne!(
+            FleetTimeline::typical_year(5).events,
+            FleetTimeline::typical_year(6).events
+        );
+    }
+
+    #[test]
+    fn events_sorted_and_within_horizon() {
+        let t = FleetTimeline::typical_year(9);
+        assert!(t.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(t.events.iter().all(|e| e.at <= t.horizon));
+        assert_eq!(t.events.len(), 11);
+    }
+}

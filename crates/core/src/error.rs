@@ -1,0 +1,62 @@
+//! Error type for the WSP runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use wsp_nvram::NvramError;
+
+/// Errors from the save/restore protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WspError {
+    /// Local NVRAM recovery is impossible; the node must refresh its
+    /// state from the storage back end (the paper's fallback path).
+    BackendRecoveryRequired {
+        /// Why local recovery failed.
+        reason: String,
+    },
+    /// An NVDIMM declined a protocol step.
+    Nvram(NvramError),
+}
+
+impl fmt::Display for WspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WspError::BackendRecoveryRequired { reason } => {
+                write!(f, "back-end recovery required: {reason}")
+            }
+            WspError::Nvram(e) => write!(f, "nvram protocol error: {e}"),
+        }
+    }
+}
+
+impl Error for WspError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WspError::Nvram(e) => Some(e),
+            WspError::BackendRecoveryRequired { .. } => None,
+        }
+    }
+}
+
+impl From<NvramError> for WspError {
+    fn from(e: NvramError) -> Self {
+        WspError::Nvram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = WspError::BackendRecoveryRequired {
+            reason: "no valid image".into(),
+        };
+        assert!(e.to_string().contains("back-end"));
+        assert!(e.source().is_none());
+        let n: WspError = NvramError::NoValidImage.into();
+        assert!(n.source().is_some());
+    }
+}

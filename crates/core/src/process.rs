@@ -1,0 +1,114 @@
+//! Process persistence (paper §6): save only one application process —
+//! plus its Drawbridge-style library OS — instead of the whole system,
+//! and restore it onto a *fresh* OS instance after the failure.
+//!
+//! Same fast flush-on-fail save path; different restore economics: the
+//! OS reboots (no device-restart problem at all), but the application
+//! must be re-attached through a narrow kernel interface.
+
+use serde::{Deserialize, Serialize};
+use wsp_cache::FlushMethod;
+use wsp_machine::Machine;
+use wsp_units::{ByteSize, Nanos};
+
+/// Report comparing process persistence against whole-system persistence
+/// for one process on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSaveReport {
+    /// Save-path time (same flush-on-fail mechanics; the cache flush
+    /// does not shrink with the process, as `wbinvd` is all-or-nothing).
+    pub save_time: Nanos,
+    /// Restore path: fresh OS boot + library-OS re-attach + page-table
+    /// reconstruction for the process image.
+    pub restore_time: Nanos,
+    /// Restore time WSP would need (NVDIMM restore + device re-init),
+    /// for comparison.
+    pub wsp_restore_time: Nanos,
+}
+
+/// Models process persistence for a process of a given footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessPersistence {
+    /// Resident set of the persisted process (its heap, stacks, and
+    /// library-OS state).
+    pub footprint: ByteSize,
+    /// Fresh kernel boot time on the restore path.
+    pub os_boot: Nanos,
+}
+
+impl ProcessPersistence {
+    /// Creates a model with a typical 20 s server kernel boot.
+    #[must_use]
+    pub fn new(footprint: ByteSize) -> Self {
+        ProcessPersistence {
+            footprint,
+            os_boot: Nanos::from_secs(20),
+        }
+    }
+
+    /// Computes the comparison on `machine`.
+    #[must_use]
+    pub fn analyze(&self, machine: &Machine) -> ProcessSaveReport {
+        let analysis = machine.flush_analysis();
+        // Save path: identical to WSP (wbinvd flushes everything anyway).
+        let save_time = analysis.state_save_time(
+            FlushMethod::Wbinvd,
+            machine.profile().machine_cache(),
+        );
+
+        // Restore: NVDIMM restore of the image, a fresh OS boot, then
+        // re-attaching the process: ~1 us per resident 4 KiB page for
+        // page-table and handle reconstruction through the narrow ABI.
+        let nvdimm = machine.nvram().parallel_restore_time();
+        let pages = self.footprint.as_u64().div_ceil(4096);
+        let reattach = Nanos::from_micros(1) * pages;
+        let restore_time = nvdimm + self.os_boot + reattach;
+
+        // WSP restore: NVDIMM restore + device re-init (sub-second) —
+        // no OS boot.
+        let device_reinit: Nanos = machine
+            .devices()
+            .iter()
+            .map(|d| d.reinit_time)
+            .sum();
+        let wsp_restore_time = nvdimm + device_reinit + Nanos::from_millis(1);
+
+        ProcessSaveReport {
+            save_time,
+            restore_time,
+            wsp_restore_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_restore_pays_the_os_boot() {
+        let machine = Machine::intel_testbed();
+        let report = ProcessPersistence::new(ByteSize::gib(16)).analyze(&machine);
+        assert!(report.restore_time > report.wsp_restore_time);
+        assert!(
+            report.restore_time.as_secs_f64()
+                > report.wsp_restore_time.as_secs_f64() + 15.0,
+            "OS boot dominates the difference"
+        );
+    }
+
+    #[test]
+    fn save_path_is_identical_to_wsp() {
+        let machine = Machine::amd_testbed();
+        let report = ProcessPersistence::new(ByteSize::gib(1)).analyze(&machine);
+        assert!(report.save_time.as_millis_f64() < 5.0);
+    }
+
+    #[test]
+    fn reattach_scales_with_footprint() {
+        let machine = Machine::amd_testbed();
+        let small = ProcessPersistence::new(ByteSize::mib(256)).analyze(&machine);
+        let large = ProcessPersistence::new(ByteSize::gib(8)).analyze(&machine);
+        assert!(large.restore_time > small.restore_time);
+    }
+}

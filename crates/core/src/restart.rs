@@ -1,0 +1,174 @@
+//! Device-restart strategies (paper §4 "Device restart" and §7 related
+//! work): what to do about the state NVRAM cannot protect.
+
+use serde::{Deserialize, Serialize};
+use wsp_machine::Machine;
+use wsp_units::Nanos;
+
+/// How device state is handled across the power failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RestartStrategy {
+    /// The strawman the paper implements and measures (Figure 9): put
+    /// every device into the D3 sleep state *on the save path* using the
+    /// existing ACPI suspend machinery. Simple and transparent — and
+    /// orders of magnitude too slow for the residual energy window.
+    AcpiSuspend,
+    /// Do nothing on the save path; on restore, re-initialize every
+    /// device from scratch and cancel/retry the I/Os that were in
+    /// flight. The approach the paper argues for.
+    RestorePathReinit,
+    /// Run the workload in VMs: after the failure a fresh host OS boots
+    /// with a fresh physical device stack, each VM's memory is restored
+    /// from NVRAM, and the hypervisor replays or fails outstanding
+    /// virtual I/Os (the paper's Hyper-V direction).
+    VirtualizedReplay,
+    /// Shadow device registers in NVRAM on every device access (Ohmura
+    /// et al.): zero save-path cost, tiny restore cost, but a runtime
+    /// tax on all I/O.
+    RegisterShadowing,
+}
+
+impl RestartStrategy {
+    /// All strategies, in the order discussed in the paper.
+    #[must_use]
+    pub fn all() -> [RestartStrategy; 4] {
+        [
+            RestartStrategy::AcpiSuspend,
+            RestartStrategy::RestorePathReinit,
+            RestartStrategy::VirtualizedReplay,
+            RestartStrategy::RegisterShadowing,
+        ]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RestartStrategy::AcpiSuspend => "ACPI suspend (strawman)",
+            RestartStrategy::RestorePathReinit => "restore-path re-init",
+            RestartStrategy::VirtualizedReplay => "virtualized I/O replay",
+            RestartStrategy::RegisterShadowing => "register shadowing",
+        }
+    }
+
+    /// Save-path cost of the strategy on this machine *right now* (with
+    /// whatever I/O is in flight). Only the ACPI strawman pays here; it
+    /// drains the devices as a side effect.
+    pub fn save_path_cost(self, machine: &mut Machine) -> Nanos {
+        match self {
+            RestartStrategy::AcpiSuspend => {
+                // Windows suspends devices sequentially down the tree.
+                machine
+                    .devices_mut()
+                    .iter_mut()
+                    .map(|d| d.suspend())
+                    .sum()
+            }
+            _ => Nanos::ZERO,
+        }
+    }
+
+    /// Restore-path cost, plus the number of cancelled I/Os the strategy
+    /// retried. Devices are re-initialized as a side effect.
+    pub fn restore_path_cost(self, machine: &mut Machine) -> (Nanos, u64) {
+        let mut total = Nanos::ZERO;
+        let mut retried = 0u64;
+        match self {
+            RestartStrategy::AcpiSuspend => {
+                // Devices were cleanly suspended; resume costs roughly a
+                // re-init each (context restore + link training).
+                for d in machine.devices_mut() {
+                    let (t, cancelled) = d.reinit();
+                    debug_assert_eq!(cancelled, 0, "suspend drained all I/O");
+                    total += t;
+                }
+            }
+            RestartStrategy::RestorePathReinit => {
+                for d in machine.devices_mut() {
+                    let (t, cancelled) = d.reinit();
+                    total += t;
+                    retried += cancelled;
+                    // Each retried I/O is re-submitted by the driver.
+                    total += Nanos::from_micros(50) * cancelled;
+                }
+            }
+            RestartStrategy::VirtualizedReplay => {
+                // Fresh host OS + device stack boot, then per-VM replay.
+                total += Nanos::from_secs(8);
+                for d in machine.devices_mut() {
+                    let (t, cancelled) = d.reinit();
+                    total += t;
+                    retried += cancelled;
+                    total += Nanos::from_micros(20) * cancelled;
+                }
+            }
+            RestartStrategy::RegisterShadowing => {
+                // Replay the shadowed register writes; no full re-init.
+                for d in machine.devices_mut() {
+                    let (_, cancelled) = d.reinit();
+                    total += Nanos::from_millis(5);
+                    retried += cancelled;
+                }
+            }
+        }
+        (total, retried)
+    }
+
+    /// Runtime overhead this strategy adds to every device I/O during
+    /// normal operation (only register shadowing pays one).
+    #[must_use]
+    pub fn per_io_overhead(self) -> Nanos {
+        match self {
+            RestartStrategy::RegisterShadowing => Nanos::new(600),
+            _ => Nanos::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_machine::SystemLoad;
+
+    #[test]
+    fn only_acpi_pays_on_the_save_path() {
+        for strategy in RestartStrategy::all() {
+            let mut m = Machine::intel_testbed();
+            m.apply_load(SystemLoad::Busy, 1);
+            let cost = strategy.save_path_cost(&mut m);
+            if strategy == RestartStrategy::AcpiSuspend {
+                assert!(cost.as_secs_f64() > 5.0, "ACPI suspend takes seconds");
+            } else {
+                assert_eq!(cost, Nanos::ZERO, "{}", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn reinit_retries_cancelled_io() {
+        let mut m = Machine::intel_testbed();
+        m.apply_load(SystemLoad::Busy, 1);
+        for d in m.devices_mut() {
+            d.power_cycle();
+        }
+        let (t, retried) = RestartStrategy::RestorePathReinit.restore_path_cost(&mut m);
+        assert!(retried > 20);
+        assert!(t.as_millis() < 1000, "restore path stays sub-second: {t}");
+    }
+
+    #[test]
+    fn virtualization_costs_a_host_boot() {
+        let mut m = Machine::amd_testbed();
+        let (t, _) = RestartStrategy::VirtualizedReplay.restore_path_cost(&mut m);
+        assert!(t.as_secs_f64() >= 8.0);
+    }
+
+    #[test]
+    fn shadowing_taxes_every_io() {
+        assert!(RestartStrategy::RegisterShadowing.per_io_overhead() > Nanos::ZERO);
+        assert_eq!(
+            RestartStrategy::RestorePathReinit.per_io_overhead(),
+            Nanos::ZERO
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The restore routine: Figure 4 steps 10–14, run by the modified boot
+//! loader on the next power-up.
+
+use serde::{Deserialize, Serialize};
+use wsp_machine::{CpuContext, Machine};
+use wsp_units::Nanos;
+
+use crate::layout;
+use crate::{RestartStrategy, WspError};
+
+/// One step of the restore path (Figure 4, right column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestoreStep {
+    /// NVDIMMs copy flash back into DRAM (in parallel).
+    RestoreNvdimmContents,
+    /// Boot loader checks the valid-image marker.
+    CheckImageValid,
+    /// Jump to the resume block.
+    JumpToResumeBlock,
+    /// Re-initialize (or resume) devices per the restart strategy.
+    ReinitDevices,
+    /// Other processors get their contexts back.
+    RestoreCpuContexts,
+    /// Normal scheduling resumes.
+    ResumeScheduling,
+}
+
+impl RestoreStep {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RestoreStep::RestoreNvdimmContents => "restore NVDIMM contents",
+            RestoreStep::CheckImageValid => "check image validity",
+            RestoreStep::JumpToResumeBlock => "jump to resume block",
+            RestoreStep::ReinitDevices => "re-initialize devices",
+            RestoreStep::RestoreCpuContexts => "restore CPU contexts",
+            RestoreStep::ResumeScheduling => "resume scheduling",
+        }
+    }
+}
+
+/// The outcome of a restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoreReport {
+    /// Each step with its cost, in order.
+    pub steps: Vec<(RestoreStep, Nanos)>,
+    /// Total restore time from power-up to scheduling.
+    pub total: Nanos,
+    /// Cancelled I/Os the restart strategy retried.
+    pub ios_retried: u64,
+}
+
+/// Restores `machine` after a power-up. The machine's NVDIMMs must have
+/// been powered on already (see [`WspSystem::power_failure_drill`] for
+/// the full choreography).
+///
+/// # Errors
+///
+/// [`WspError::BackendRecoveryRequired`] when any module lacks a valid
+/// image or the valid marker is absent — the node must refresh from the
+/// storage back end instead.
+///
+/// [`WspSystem::power_failure_drill`]: crate::WspSystem::power_failure_drill
+pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<RestoreReport, WspError> {
+    let mut steps = Vec::new();
+    let mut total = Nanos::ZERO;
+    let push = |steps: &mut Vec<(RestoreStep, Nanos)>, total: &mut Nanos, s, t| {
+        steps.push((s, t));
+        *total += t;
+    };
+
+    // Step 10: flash -> DRAM, all modules in parallel.
+    let restore_time = machine.nvram_mut().restore_all().map_err(|e| {
+        WspError::BackendRecoveryRequired {
+            reason: format!("NVDIMM restore failed: {e}"),
+        }
+    })?;
+    push(&mut steps, &mut total, RestoreStep::RestoreNvdimmContents, restore_time);
+
+    // Step 11: the valid marker distinguishes a completed save from a
+    // torn one.
+    let mut marker = [0u8; 8];
+    machine.nvram().dimms()[0].read(layout::VALID_MARKER_ADDR, &mut marker);
+    push(
+        &mut steps,
+        &mut total,
+        RestoreStep::CheckImageValid,
+        Nanos::from_micros(1),
+    );
+    if u64::from_le_bytes(marker) != layout::VALID_MAGIC {
+        return Err(WspError::BackendRecoveryRequired {
+            reason: "image marker invalid: save did not complete".into(),
+        });
+    }
+
+    push(
+        &mut steps,
+        &mut total,
+        RestoreStep::JumpToResumeBlock,
+        Nanos::from_micros(5),
+    );
+
+    // Step 13 (the paper notes device re-init belongs on this path).
+    let (device_time, ios_retried) = strategy.restore_path_cost(machine);
+    push(&mut steps, &mut total, RestoreStep::ReinitDevices, device_time);
+
+    // Step 14: contexts come back from the resume block.
+    let mut count_buf = [0u8; 8];
+    machine.nvram().dimms()[0].read(layout::CORE_COUNT_ADDR, &mut count_buf);
+    let count = u64::from_le_bytes(count_buf) as usize;
+    let mut contexts = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut buf = vec![0u8; CpuContext::SIZE as usize];
+        let addr = layout::CONTEXTS_BASE + i as u64 * CpuContext::SIZE;
+        machine.nvram().dimms()[0].read(addr, &mut buf);
+        contexts.push(CpuContext::from_bytes(&buf));
+    }
+    for (core, ctx) in machine.cores_mut().iter_mut().zip(contexts) {
+        core.context = ctx;
+        core.halted = false;
+    }
+    push(
+        &mut steps,
+        &mut total,
+        RestoreStep::RestoreCpuContexts,
+        machine.profile().context_save,
+    );
+
+    // The marker is cleared so a stale image can never be resumed twice
+    // (paper §4: "cleared on system startup and after a successful
+    // resume").
+    machine.nvram_mut().write(layout::VALID_MARKER_ADDR, &[0u8; 8]);
+    machine.nvram_mut().invalidate_images();
+
+    push(
+        &mut steps,
+        &mut total,
+        RestoreStep::ResumeScheduling,
+        Nanos::from_millis(1),
+    );
+
+    Ok(RestoreReport {
+        steps,
+        total,
+        ios_retried,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flush_on_fail_save;
+    use wsp_machine::SystemLoad;
+
+    #[test]
+    fn restore_without_save_demands_backend_recovery() {
+        let mut machine = Machine::amd_testbed();
+        machine.system_power_loss();
+        machine.system_power_on();
+        let err = restore(&mut machine, RestartStrategy::RestorePathReinit).unwrap_err();
+        assert!(matches!(err, WspError::BackendRecoveryRequired { .. }));
+    }
+
+    #[test]
+    fn full_save_restore_round_trip_restores_contexts() {
+        let mut machine = Machine::intel_testbed();
+        machine.apply_load(SystemLoad::Busy, 11);
+        let before: Vec<CpuContext> = machine.cores().iter().map(|c| c.context).collect();
+        let save = flush_on_fail_save(
+            &mut machine,
+            SystemLoad::Busy,
+            RestartStrategy::RestorePathReinit,
+        );
+        assert!(save.completed);
+        machine.system_power_loss();
+        machine.system_power_on();
+        let report = restore(&mut machine, RestartStrategy::RestorePathReinit).unwrap();
+        let after: Vec<CpuContext> = machine.cores().iter().map(|c| c.context).collect();
+        assert_eq!(before, after, "suspend/resume semantics");
+        assert!(machine.cores().iter().all(|c| !c.halted));
+        assert!(report.ios_retried > 0, "busy load had in-flight I/O");
+        // Restore is dominated by the NVDIMM flash read (seconds).
+        assert!(report.total.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn second_restore_is_rejected() {
+        let mut machine = Machine::amd_testbed();
+        let _ = flush_on_fail_save(
+            &mut machine,
+            SystemLoad::Idle,
+            RestartStrategy::RestorePathReinit,
+        );
+        machine.system_power_loss();
+        machine.system_power_on();
+        restore(&mut machine, RestartStrategy::RestorePathReinit).unwrap();
+        // Crash again immediately without a save: the cleared marker and
+        // invalidated images must force back-end recovery.
+        machine.system_power_loss();
+        machine.system_power_on();
+        let err = restore(&mut machine, RestartStrategy::RestorePathReinit).unwrap_err();
+        assert!(matches!(err, WspError::BackendRecoveryRequired { .. }));
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's stated future work (§6): "investigate failure and
+//! recovery tradeoffs … e.g., what are the costs/benefits of adding
+//! capacitance to a system compared to more frequent recovery from the
+//! back end."
+//!
+//! Model: residual energy windows vary between outages (PSU aging,
+//! temperature, load phase). If an outage's window undershoots the save
+//! time, the save is torn and the node pays a full back-end recovery
+//! instead of a local restore. Added supercapacitance shifts the whole
+//! window distribution up, buying reliability for dollars; this module
+//! produces the expected-annual-downtime curve across capacitance
+//! choices.
+
+use serde::{Deserialize, Serialize};
+use wsp_machine::{Machine, SystemLoad};
+use wsp_units::{Farads, Nanos, Volts, Watts};
+
+/// One point on the capacitance/downtime trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Supercapacitance added on the 12 V bus.
+    pub added_capacitance: Farads,
+    /// Component cost of the added capacitance (USD).
+    pub cost_usd: f64,
+    /// Effective residual window (nominal + added margin).
+    pub effective_window: Nanos,
+    /// Probability a given outage's save misses the window.
+    pub miss_probability: f64,
+    /// Expected downtime per year, given the outage rate.
+    pub expected_annual_downtime: Nanos,
+}
+
+/// Inputs for the trade-off sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacitanceTradeoff {
+    /// Nominal residual window of the stock PSU at the design load.
+    pub nominal_window: Nanos,
+    /// Window variability: each outage's actual window is
+    /// `nominal × (1 ± spread)`, uniformly distributed. Real supplies
+    /// vary a lot (the paper measured 10–400 ms across units).
+    pub window_spread: f64,
+    /// Flush-on-fail save time at the design load.
+    pub save_time: Nanos,
+    /// System power draw during the save.
+    pub load: Watts,
+    /// Power outages per year.
+    pub outages_per_year: f64,
+    /// Local recovery time (NVDIMM restore + device re-init).
+    pub local_recovery: Nanos,
+    /// Back-end recovery time (the recovery-storm path).
+    pub backend_recovery: Nanos,
+}
+
+impl CapacitanceTradeoff {
+    /// Builds the trade-off for a machine at `load`, with the given
+    /// outage rate and back-end recovery time.
+    #[must_use]
+    pub fn for_machine(
+        machine: &Machine,
+        load: SystemLoad,
+        outages_per_year: f64,
+        backend_recovery: Nanos,
+    ) -> Self {
+        let save_time = machine.flush_analysis().state_save_time(
+            wsp_cache::FlushMethod::Wbinvd,
+            machine.dirty_estimate(load),
+        );
+        CapacitanceTradeoff {
+            nominal_window: machine.residual_window(load),
+            window_spread: 0.9,
+            save_time,
+            load: machine.power_draw(load),
+            outages_per_year,
+            local_recovery: machine.nvram().parallel_restore_time() + Nanos::from_millis(700),
+            backend_recovery,
+        }
+    }
+
+    /// Extra window bought by `added` farads on the 12 V bus: the energy
+    /// in the 5 % regulation band divided by the load.
+    #[must_use]
+    pub fn added_window(&self, added: Farads) -> Nanos {
+        let usable = added.energy_between(Volts::new(12.0), Volts::new(12.0 * 0.95));
+        usable / self.load
+    }
+
+    /// Probability that an outage's window (uniform in
+    /// `nominal·(1±spread)` plus the added margin) undershoots the save
+    /// time.
+    #[must_use]
+    pub fn miss_probability(&self, added: Farads) -> f64 {
+        let margin = self.added_window(added);
+        let lo = self.nominal_window.as_secs_f64() * (1.0 - self.window_spread)
+            + margin.as_secs_f64();
+        let hi = self.nominal_window.as_secs_f64() * (1.0 + self.window_spread)
+            + margin.as_secs_f64();
+        let save = self.save_time.as_secs_f64();
+        if save <= lo {
+            0.0
+        } else if save >= hi {
+            1.0
+        } else {
+            (save - lo) / (hi - lo)
+        }
+    }
+
+    /// Evaluates one capacitance choice.
+    #[must_use]
+    pub fn evaluate(&self, added: Farads) -> TradeoffPoint {
+        let p_miss = self.miss_probability(added);
+        let per_outage = self.backend_recovery * p_miss + self.local_recovery * (1.0 - p_miss);
+        let annual = per_outage * self.outages_per_year;
+        // Foresight market figures: $0.01/F plus $2.85/kJ stored, plus
+        // packaging.
+        let stored_kj = added.stored_energy(Volts::new(12.0)).get() / 1000.0;
+        let cost = if added.get() > 0.0 {
+            1.50 + 0.01 * added.get() + 2.85 * stored_kj
+        } else {
+            0.0
+        };
+        TradeoffPoint {
+            added_capacitance: added,
+            cost_usd: cost,
+            effective_window: self.nominal_window + self.added_window(added),
+            miss_probability: p_miss,
+            expected_annual_downtime: annual,
+        }
+    }
+
+    /// Sweeps a set of capacitance choices into a curve.
+    #[must_use]
+    pub fn sweep(&self, choices: &[f64]) -> Vec<TradeoffPoint> {
+        choices
+            .iter()
+            .map(|&f| self.evaluate(Farads::new(f)))
+            .collect()
+    }
+
+    /// The cheapest capacitance (from `choices`) that makes the miss
+    /// probability zero, if any does.
+    #[must_use]
+    pub fn cheapest_safe(&self, choices: &[f64]) -> Option<TradeoffPoint> {
+        self.sweep(choices)
+            .into_iter()
+            .find(|p| p.miss_probability == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_case() -> CapacitanceTradeoff {
+        // A marginal system: save 3 ms, nominal window 4 ms ± 90%.
+        CapacitanceTradeoff {
+            nominal_window: Nanos::from_millis(4),
+            window_spread: 0.9,
+            save_time: Nanos::from_millis(3),
+            load: Watts::new(350.0),
+            outages_per_year: 4.0,
+            local_recovery: Nanos::from_secs(5),
+            backend_recovery: Nanos::from_secs(600),
+        }
+    }
+
+    #[test]
+    fn more_capacitance_means_fewer_misses_and_less_downtime() {
+        let t = tight_case();
+        let curve = t.sweep(&[0.0, 0.05, 0.1, 0.2, 0.5, 1.0]);
+        assert!(curve.windows(2).all(|w| {
+            w[1].miss_probability <= w[0].miss_probability
+                && w[1].expected_annual_downtime <= w[0].expected_annual_downtime
+        }));
+        assert!(curve[0].miss_probability > 0.0, "stock PSU is risky here");
+        let last = curve.last().unwrap();
+        assert_eq!(last.miss_probability, 0.0, "1 F buys certainty");
+    }
+
+    #[test]
+    fn cheapest_safe_point_is_found_and_cheap() {
+        let t = tight_case();
+        let safe = t
+            .cheapest_safe(&[0.0, 0.05, 0.1, 0.2, 0.5, 1.0])
+            .expect("some choice is safe");
+        assert!(safe.added_capacitance.get() <= 0.5);
+        assert!(safe.cost_usd < 2.5, "paper: under ~$2");
+    }
+
+    #[test]
+    fn roomy_machines_need_nothing() {
+        let machine = Machine::amd_testbed(); // 346 ms window, ~1.3 ms save
+        let t = CapacitanceTradeoff::for_machine(
+            &machine,
+            SystemLoad::Busy,
+            4.0,
+            Nanos::from_secs(600),
+        );
+        let stock = t.evaluate(Farads::new(0.0));
+        assert_eq!(stock.miss_probability, 0.0);
+        assert_eq!(stock.cost_usd, 0.0);
+    }
+
+    #[test]
+    fn added_window_matches_capacitor_physics() {
+        let t = tight_case();
+        // 0.5 F over the 5% band at 350 W: 0.5*7.02/350 ~ 10 ms.
+        let w = t.added_window(Farads::new(0.5));
+        assert!((w.as_millis_f64() - 10.0).abs() < 0.5, "{w}");
+    }
+
+    #[test]
+    fn downtime_dominated_by_backend_when_risky() {
+        let t = tight_case();
+        let stock = t.evaluate(Farads::new(0.0));
+        // With p_miss > 0 and a 600 s backend path, expected downtime is
+        // minutes per year, not seconds.
+        assert!(stock.expected_annual_downtime.as_secs_f64() > 60.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Processor cores and their architectural contexts: the transient state
+//! the flush-on-fail save routine must park in NVRAM.
+
+use serde::{Deserialize, Serialize};
+
+/// One core's architectural register state (the x86-64 context the save
+/// routine writes to memory in Figure 4 step 2).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuContext {
+    /// General-purpose registers (rax..r15).
+    pub gpr: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Stack pointer.
+    pub rsp: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// Control register 3 (page-table root) — restoring it is what makes
+    /// the resumed kernel see the same address spaces.
+    pub cr3: u64,
+}
+
+impl CpuContext {
+    /// Serialized size in bytes (the save routine reserves this much per
+    /// core in the resume block).
+    pub const SIZE: u64 = (16 + 4) * 8;
+
+    /// Serializes to the on-NVRAM layout.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SIZE as usize);
+        for r in self.gpr {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for r in [self.rip, self.rsp, self.rflags, self.cr3] {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the on-NVRAM layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`CpuContext::SIZE`].
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= Self::SIZE as usize, "short context image");
+        let word = |i: usize| -> u64 {
+            u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("aligned"))
+        };
+        let mut gpr = [0u64; 16];
+        for (i, r) in gpr.iter_mut().enumerate() {
+            *r = word(i);
+        }
+        CpuContext {
+            gpr,
+            rip: word(16),
+            rsp: word(17),
+            rflags: word(18),
+            cr3: word(19),
+        }
+    }
+}
+
+/// A processor core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Core {
+    /// Core id (0 is the control processor in the save protocol).
+    pub id: u32,
+    /// Architectural state.
+    pub context: CpuContext,
+    /// True once the save routine has halted this core.
+    pub halted: bool,
+}
+
+impl Core {
+    /// Creates a running core with a synthetic but distinctive context,
+    /// so save/restore round-trips have real bits to lose.
+    #[must_use]
+    pub fn new(id: u32) -> Self {
+        let mut context = CpuContext::default();
+        for (i, r) in context.gpr.iter_mut().enumerate() {
+            *r = u64::from(id) << 32 | i as u64;
+        }
+        context.rip = 0xffff_8000_0000_0000 + u64::from(id) * 0x1000;
+        context.rsp = 0xffff_c000_0000_0000 + u64::from(id) * 0x10000;
+        context.rflags = 0x202;
+        context.cr3 = 0x1000 + u64::from(id) * 0x1000;
+        Core {
+            id,
+            context,
+            halted: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_round_trips_through_bytes() {
+        let core = Core::new(3);
+        let bytes = core.context.to_bytes();
+        assert_eq!(bytes.len() as u64, CpuContext::SIZE);
+        assert_eq!(CpuContext::from_bytes(&bytes), core.context);
+    }
+
+    #[test]
+    fn cores_have_distinct_contexts() {
+        assert_ne!(Core::new(0).context, Core::new(1).context);
+    }
+
+    #[test]
+    #[should_panic(expected = "short context image")]
+    fn short_image_rejected() {
+        let _ = CpuContext::from_bytes(&[0u8; 8]);
+    }
+}

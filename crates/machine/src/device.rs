@@ -1,0 +1,226 @@
+//! Device models: the part of machine state that NVRAM does *not*
+//! protect. After a restore, devices have been power-cycled; their
+//! in-memory driver state is stale and their in-flight I/O is gone —
+//! the central complication of the paper's §4 "Device restart".
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use wsp_units::Nanos;
+
+/// Device categories with distinct suspend/restart behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Rotating or solid-state storage; drains queued writes slowly.
+    Disk,
+    /// Network interface; drains quickly but has driver timeouts.
+    Nic,
+    /// Graphics; huge fixed suspend timeouts (and irrelevant to servers,
+    /// as the paper notes).
+    Gpu,
+    /// Everything else (USB, timers, legacy bridges), aggregated.
+    Misc,
+}
+
+/// One outstanding I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Request id (for replay/retry accounting).
+    pub id: u64,
+    /// Time needed to drain this request to the device.
+    pub drain_time: Nanos,
+}
+
+/// A device with explicit in-flight I/O and D-state transitions.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_machine::DeviceModel;
+/// use wsp_units::Nanos;
+///
+/// let mut disk = DeviceModel::disk();
+/// disk.submit(Nanos::from_millis(20));
+/// let suspend = disk.suspend_time();
+/// assert!(suspend > DeviceModel::disk().suspend_time());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name.
+    pub name: String,
+    /// Category.
+    pub kind: DeviceKind,
+    /// Fixed cost of the driver's D3 (sleep) transition: quiesce,
+    /// save device context, firmware handshakes, driver timeouts.
+    pub suspend_fixed: Nanos,
+    /// Fixed cost of re-initialising the device from scratch on the
+    /// restore path.
+    pub reinit_time: Nanos,
+    inflight: VecDeque<IoRequest>,
+    next_io_id: u64,
+    /// I/Os cancelled by the last power cycle (must be retried or failed
+    /// by the restart strategy).
+    cancelled: u64,
+}
+
+impl DeviceModel {
+    /// Creates a device.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        kind: DeviceKind,
+        suspend_fixed: Nanos,
+        reinit_time: Nanos,
+    ) -> Self {
+        DeviceModel {
+            name: name.into(),
+            kind,
+            suspend_fixed,
+            reinit_time,
+            inflight: VecDeque::new(),
+            next_io_id: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// A SATA disk: slow quiesce (cache flush handshake, spindle
+    /// settling) and the paging-file problem the paper mentions.
+    #[must_use]
+    pub fn disk() -> Self {
+        Self::new(
+            "disk",
+            DeviceKind::Disk,
+            Nanos::from_millis(1500),
+            Nanos::from_millis(150),
+        )
+    }
+
+    /// A server NIC: moderate driver timeouts.
+    #[must_use]
+    pub fn nic() -> Self {
+        Self::new(
+            "nic",
+            DeviceKind::Nic,
+            Nanos::from_millis(1100),
+            Nanos::from_millis(120),
+        )
+    }
+
+    /// A GPU: the dominant contributor to the paper's measured device
+    /// save time (Figure 9) — and unnecessary on a server.
+    #[must_use]
+    pub fn gpu(suspend: Nanos) -> Self {
+        Self::new("gpu", DeviceKind::Gpu, suspend, Nanos::from_millis(300))
+    }
+
+    /// The aggregated long tail of platform devices.
+    #[must_use]
+    pub fn misc(suspend: Nanos) -> Self {
+        Self::new("misc", DeviceKind::Misc, suspend, Nanos::from_millis(60))
+    }
+
+    /// Queues an I/O that will take `drain_time` to complete.
+    pub fn submit(&mut self, drain_time: Nanos) {
+        self.inflight.push_back(IoRequest {
+            id: self.next_io_id,
+            drain_time,
+        });
+        self.next_io_id += 1;
+    }
+
+    /// Outstanding request count.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Requests cancelled by the last power cycle.
+    #[must_use]
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Time to put the device into D3: drain every outstanding I/O, then
+    /// the fixed driver transition. This is what the ACPI-suspend
+    /// strawman pays *on the save path*.
+    #[must_use]
+    pub fn suspend_time(&self) -> Nanos {
+        let drain: Nanos = self.inflight.iter().map(|io| io.drain_time).sum();
+        drain + self.suspend_fixed
+    }
+
+    /// Completes the suspend: the queue drains.
+    pub fn suspend(&mut self) -> Nanos {
+        let t = self.suspend_time();
+        self.inflight.clear();
+        t
+    }
+
+    /// Models loss of power: device context vanishes and outstanding
+    /// I/Os are cancelled (to be retried or failed after restore).
+    pub fn power_cycle(&mut self) {
+        self.cancelled += self.inflight.len() as u64;
+        self.inflight.clear();
+    }
+
+    /// Re-initialises the device on the restore path; returns the time
+    /// taken and clears the cancelled-I/O backlog (the caller decides
+    /// retry vs fail).
+    pub fn reinit(&mut self) -> (Nanos, u64) {
+        let cancelled = std::mem::take(&mut self.cancelled);
+        (self.reinit_time, cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspend_time_includes_drain() {
+        let mut d = DeviceModel::disk();
+        let idle = d.suspend_time();
+        d.submit(Nanos::from_millis(20));
+        d.submit(Nanos::from_millis(30));
+        assert_eq!(d.suspend_time(), idle + Nanos::from_millis(50));
+        let t = d.suspend();
+        assert_eq!(t, idle + Nanos::from_millis(50));
+        assert_eq!(d.inflight(), 0);
+    }
+
+    #[test]
+    fn power_cycle_cancels_io() {
+        let mut d = DeviceModel::nic();
+        d.submit(Nanos::from_millis(1));
+        d.submit(Nanos::from_millis(1));
+        d.power_cycle();
+        assert_eq!(d.inflight(), 0);
+        assert_eq!(d.cancelled(), 2);
+        let (t, cancelled) = d.reinit();
+        assert_eq!(t, d.reinit_time);
+        assert_eq!(cancelled, 2);
+        assert_eq!(d.cancelled(), 0);
+    }
+
+    #[test]
+    fn gpu_dominates_suspend() {
+        let gpu = DeviceModel::gpu(Nanos::from_millis(3000));
+        assert!(gpu.suspend_time() > DeviceModel::disk().suspend_time());
+        assert!(gpu.suspend_time() > DeviceModel::nic().suspend_time());
+    }
+
+    #[test]
+    fn reinit_is_much_cheaper_than_suspend() {
+        for d in [
+            DeviceModel::disk(),
+            DeviceModel::nic(),
+            DeviceModel::gpu(Nanos::from_millis(3000)),
+        ] {
+            assert!(
+                d.reinit_time * 5 < d.suspend_time(),
+                "{}: restore-path reinit should be far cheaper",
+                d.name
+            );
+        }
+    }
+}

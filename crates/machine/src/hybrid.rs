@@ -1,0 +1,220 @@
+//! Hybrid DRAM + SCM memory systems (paper §6): a small fast DRAM
+//! alongside a larger, slower storage-class memory, with the placement
+//! question the paper raises — "automatically mapping objects and pages
+//! to either DRAM or SCM to maximize overall performance" — modelled as
+//! an average-access-latency analysis under different policies.
+//!
+//! Persistence note (also from §6): WSP works on such systems by making
+//! the DRAM side NVDIMM-backed; placement affects performance only,
+//! never durability.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{ByteSize, Nanos};
+
+/// Where pages live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Everything in SCM; DRAM unused (worst case baseline).
+    AllScm,
+    /// Pages striped across both tiers proportionally to capacity.
+    StaticInterleave,
+    /// The hot set (by access frequency) pinned in DRAM, cold pages in
+    /// SCM — what a reasonable migrating policy converges to.
+    HotInDram,
+}
+
+impl PlacementPolicy {
+    /// All policies, worst first.
+    #[must_use]
+    pub fn all() -> [PlacementPolicy; 3] {
+        [
+            PlacementPolicy::AllScm,
+            PlacementPolicy::StaticInterleave,
+            PlacementPolicy::HotInDram,
+        ]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::AllScm => "all-SCM",
+            PlacementPolicy::StaticInterleave => "static interleave",
+            PlacementPolicy::HotInDram => "hot-in-DRAM",
+        }
+    }
+}
+
+/// A two-tier memory system with a skewed access pattern.
+///
+/// The workload model is the standard hot/cold split: a `hot_fraction`
+/// of the pages receives `hot_access_share` of the accesses.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_machine::{HybridMemory, PlacementPolicy};
+/// use wsp_units::{ByteSize, Nanos};
+///
+/// let hybrid = HybridMemory::typical(ByteSize::gib(32), ByteSize::gib(256));
+/// let smart = hybrid.average_latency(PlacementPolicy::HotInDram);
+/// let naive = hybrid.average_latency(PlacementPolicy::AllScm);
+/// assert!(smart < naive);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridMemory {
+    /// DRAM (NVDIMM) tier capacity.
+    pub dram: ByteSize,
+    /// SCM tier capacity.
+    pub scm: ByteSize,
+    /// DRAM access latency.
+    pub dram_latency: Nanos,
+    /// SCM read latency (PCM: ~2× DRAM).
+    pub scm_read_latency: Nanos,
+    /// SCM write latency (PCM: 10–100× DRAM writes).
+    pub scm_write_latency: Nanos,
+    /// Fraction of pages that are hot.
+    pub hot_fraction: f64,
+    /// Fraction of accesses that hit the hot pages.
+    pub hot_access_share: f64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+}
+
+impl HybridMemory {
+    /// A typical configuration: PCM-style asymmetry (reads 2×, writes
+    /// 40× DRAM), 10 % of pages taking 90 % of the accesses, 30 %
+    /// writes.
+    #[must_use]
+    pub fn typical(dram: ByteSize, scm: ByteSize) -> Self {
+        HybridMemory {
+            dram,
+            scm,
+            dram_latency: Nanos::new(65),
+            scm_read_latency: Nanos::new(130),
+            scm_write_latency: Nanos::new(2600),
+            hot_fraction: 0.10,
+            hot_access_share: 0.90,
+            write_fraction: 0.30,
+        }
+    }
+
+    /// Total capacity across tiers.
+    #[must_use]
+    pub fn total(&self) -> ByteSize {
+        self.dram + self.scm
+    }
+
+    fn scm_access(&self) -> f64 {
+        let r = self.scm_read_latency.as_nanos() as f64;
+        let w = self.scm_write_latency.as_nanos() as f64;
+        r * (1.0 - self.write_fraction) + w * self.write_fraction
+    }
+
+    /// Fraction of *accesses* served by DRAM under `policy`.
+    #[must_use]
+    pub fn dram_hit_share(&self, policy: PlacementPolicy) -> f64 {
+        let dram_page_share =
+            self.dram.as_u64() as f64 / self.total().as_u64() as f64;
+        match policy {
+            PlacementPolicy::AllScm => 0.0,
+            PlacementPolicy::StaticInterleave => dram_page_share,
+            PlacementPolicy::HotInDram => {
+                // The hot set fits in DRAM when hot_fraction of total
+                // pages <= DRAM pages; otherwise a proportional slice of
+                // the hot traffic lands in DRAM.
+                let hot_pages = self.hot_fraction;
+                if hot_pages <= dram_page_share {
+                    // All hot traffic in DRAM, plus the leftover DRAM
+                    // space holding some cold pages.
+                    let cold_in_dram =
+                        (dram_page_share - hot_pages) / (1.0 - hot_pages);
+                    self.hot_access_share
+                        + (1.0 - self.hot_access_share) * cold_in_dram
+                } else {
+                    self.hot_access_share * (dram_page_share / hot_pages)
+                }
+            }
+        }
+    }
+
+    /// Expected access latency under `policy`.
+    #[must_use]
+    pub fn average_latency(&self, policy: PlacementPolicy) -> Nanos {
+        let dram_share = self.dram_hit_share(policy);
+        let ns = self.dram_latency.as_nanos() as f64 * dram_share
+            + self.scm_access() * (1.0 - dram_share);
+        Nanos::from_secs_f64(ns * 1e-9)
+    }
+
+    /// Speedup of the smart policy over the all-SCM baseline.
+    #[must_use]
+    pub fn placement_speedup(&self) -> f64 {
+        self.average_latency(PlacementPolicy::AllScm).as_nanos() as f64
+            / self
+                .average_latency(PlacementPolicy::HotInDram)
+                .as_nanos()
+                .max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical() -> HybridMemory {
+        HybridMemory::typical(ByteSize::gib(32), ByteSize::gib(256))
+    }
+
+    #[test]
+    fn policy_ordering_is_strict() {
+        let h = typical();
+        let all_scm = h.average_latency(PlacementPolicy::AllScm);
+        let interleave = h.average_latency(PlacementPolicy::StaticInterleave);
+        let hot = h.average_latency(PlacementPolicy::HotInDram);
+        assert!(hot < interleave, "{hot} !< {interleave}");
+        assert!(interleave < all_scm, "{interleave} !< {all_scm}");
+    }
+
+    #[test]
+    fn hot_set_fitting_in_dram_captures_most_traffic() {
+        let h = typical(); // hot 10% of 288 GiB = 28.8 GiB < 32 GiB DRAM
+        let share = h.dram_hit_share(PlacementPolicy::HotInDram);
+        assert!(share >= 0.90, "share {share}");
+        assert!(h.placement_speedup() > 3.0);
+    }
+
+    #[test]
+    fn oversized_hot_set_degrades_gracefully() {
+        let mut h = HybridMemory::typical(ByteSize::gib(8), ByteSize::gib(256));
+        h.hot_fraction = 0.5; // 132 GiB of hot pages, 8 GiB of DRAM
+        let share = h.dram_hit_share(PlacementPolicy::HotInDram);
+        assert!(share < 0.20, "share {share}");
+        // Still beats interleave (hot pages preferred).
+        assert!(
+            h.average_latency(PlacementPolicy::HotInDram)
+                <= h.average_latency(PlacementPolicy::StaticInterleave)
+        );
+    }
+
+    #[test]
+    fn write_heavy_workloads_suffer_more_on_scm() {
+        let mut read_heavy = typical();
+        read_heavy.write_fraction = 0.05;
+        let mut write_heavy = typical();
+        write_heavy.write_fraction = 0.60;
+        assert!(
+            write_heavy.average_latency(PlacementPolicy::AllScm)
+                > read_heavy.average_latency(PlacementPolicy::AllScm) * 3
+        );
+    }
+
+    #[test]
+    fn shares_are_probabilities() {
+        let h = typical();
+        for policy in PlacementPolicy::all() {
+            let s = h.dram_hit_share(policy);
+            assert!((0.0..=1.0).contains(&s), "{}: {s}", policy.label());
+        }
+    }
+}

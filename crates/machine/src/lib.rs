@@ -1,0 +1,36 @@
+//! The whole-system simulator: processors with architectural contexts,
+//! devices with in-flight I/O, NVDIMM main memory, and a power supply —
+//! the machine the WSP runtime (in `wsp-core`) drives through the
+//! save/restore protocol of the paper's Figure 4.
+//!
+//! Two testbed machines mirror the paper's evaluation platforms:
+//!
+//! * [`Machine::intel_testbed`] — dual-socket Intel C5528, 48 GB of
+//!   NVDIMM memory, a 1050 W PSU, and the usual server device complement
+//!   (GPU, disk, NIC, miscellany);
+//! * [`Machine::amd_testbed`] — single-socket AMD 4180, 8 GB, 400 W PSU.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_machine::{Machine, SystemLoad};
+//!
+//! let machine = Machine::intel_testbed();
+//! let busy = machine.power_draw(SystemLoad::Busy);
+//! let idle = machine.power_draw(SystemLoad::Idle);
+//! assert!(busy > idle);
+//! assert_eq!(machine.cores().len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod device;
+mod hybrid;
+mod machine;
+
+pub use context::{Core, CpuContext};
+pub use device::{DeviceKind, DeviceModel, IoRequest};
+pub use hybrid::{HybridMemory, PlacementPolicy};
+pub use machine::{Machine, SystemLoad};

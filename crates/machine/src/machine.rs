@@ -1,0 +1,311 @@
+//! The machine: cores + caches + NVDIMM memory + devices + PSU, plus the
+//! load model that determines the residual energy window.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsp_cache::{CpuProfile, FlushAnalysis};
+use wsp_nvram::NvramPool;
+use wsp_power::{PowerMonitor, Psu};
+use wsp_units::{ByteSize, Nanos, Watts};
+
+use crate::{Core, DeviceModel};
+
+/// The two load levels of the paper's Figure 7 measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemLoad {
+    /// CPU prime-number stress + disk stress running on all cores (the
+    /// paper keeps the stress running even during the save, as a worst
+    /// case).
+    Busy,
+    /// Nothing but the OS idle loop.
+    Idle,
+}
+
+impl SystemLoad {
+    /// Both load levels, busy first (Figure 7 order).
+    #[must_use]
+    pub fn both() -> [SystemLoad; 2] {
+        [SystemLoad::Busy, SystemLoad::Idle]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemLoad::Busy => "Busy",
+            SystemLoad::Idle => "Idle",
+        }
+    }
+}
+
+/// A complete WSP-capable server.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    profile: CpuProfile,
+    cores: Vec<Core>,
+    devices: Vec<DeviceModel>,
+    nvram: NvramPool,
+    psu: Psu,
+    monitor: PowerMonitor,
+    busy_draw: Watts,
+    idle_draw: Watts,
+}
+
+impl Machine {
+    /// Builds a machine from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_draw < idle_draw`.
+    #[must_use]
+    pub fn new(
+        profile: CpuProfile,
+        devices: Vec<DeviceModel>,
+        nvram: NvramPool,
+        psu: Psu,
+        busy_draw: Watts,
+        idle_draw: Watts,
+    ) -> Self {
+        assert!(busy_draw >= idle_draw, "busy draw below idle draw");
+        let cores = (0..profile.total_cores()).map(Core::new).collect();
+        Machine {
+            profile,
+            cores,
+            devices,
+            nvram,
+            psu,
+            monitor: PowerMonitor::netduino(),
+            busy_draw,
+            idle_draw,
+        }
+    }
+
+    /// The paper's high-end testbed: 2-socket Intel C5528, 48 GB of
+    /// NVDIMMs, 1050 W PSU, 350 W busy / 200 W idle.
+    #[must_use]
+    pub fn intel_testbed() -> Self {
+        Machine::new(
+            CpuProfile::intel_c5528(),
+            vec![
+                DeviceModel::gpu(Nanos::from_millis(3100)),
+                DeviceModel::disk(),
+                DeviceModel::nic(),
+                DeviceModel::misc(Nanos::from_millis(500)),
+            ],
+            // 48 GB as 6 x 8 GiB NVDIMMs (kept sparse, so cheap).
+            NvramPool::uniform(6, ByteSize::gib(8)),
+            Psu::atx_1050w(),
+            Watts::new(350.0),
+            Watts::new(200.0),
+        )
+    }
+
+    /// The paper's low-power testbed: AMD 4180, 8 GB, 400 W PSU, 120 W
+    /// busy / 60 W idle.
+    #[must_use]
+    pub fn amd_testbed() -> Self {
+        Machine::new(
+            CpuProfile::amd_4180(),
+            vec![
+                DeviceModel::gpu(Nanos::from_millis(2500)),
+                DeviceModel::disk(),
+                DeviceModel::nic(),
+                DeviceModel::misc(Nanos::from_millis(400)),
+            ],
+            NvramPool::uniform(2, ByteSize::gib(4)),
+            Psu::atx_400w(),
+            Watts::new(120.0),
+            Watts::new(60.0),
+        )
+    }
+
+    /// Replaces the PSU (for the Figure 7 sweep).
+    #[must_use]
+    pub fn with_psu(mut self, psu: Psu) -> Self {
+        self.psu = psu;
+        self
+    }
+
+    /// The CPU profile.
+    #[must_use]
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// A flush analysis for this machine's caches.
+    #[must_use]
+    pub fn flush_analysis(&self) -> FlushAnalysis {
+        FlushAnalysis::new(self.profile.clone())
+    }
+
+    /// The cores.
+    #[must_use]
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// Mutable core access (the save/restore routines own the contexts).
+    pub fn cores_mut(&mut self) -> &mut [Core] {
+        &mut self.cores
+    }
+
+    /// The devices.
+    #[must_use]
+    pub fn devices(&self) -> &[DeviceModel] {
+        &self.devices
+    }
+
+    /// Mutable device access.
+    pub fn devices_mut(&mut self) -> &mut [DeviceModel] {
+        &mut self.devices
+    }
+
+    /// The NVDIMM pool.
+    #[must_use]
+    pub fn nvram(&self) -> &NvramPool {
+        &self.nvram
+    }
+
+    /// Mutable NVDIMM pool access.
+    pub fn nvram_mut(&mut self) -> &mut NvramPool {
+        &mut self.nvram
+    }
+
+    /// The PSU.
+    #[must_use]
+    pub fn psu(&self) -> &Psu {
+        &self.psu
+    }
+
+    /// The power-fail monitor.
+    #[must_use]
+    pub fn monitor(&self) -> &PowerMonitor {
+        &self.monitor
+    }
+
+    /// System power draw at `load`.
+    #[must_use]
+    pub fn power_draw(&self, load: SystemLoad) -> Watts {
+        match load {
+            SystemLoad::Busy => self.busy_draw,
+            SystemLoad::Idle => self.idle_draw,
+        }
+    }
+
+    /// The residual energy window this machine's PSU provides at `load`.
+    #[must_use]
+    pub fn residual_window(&self, load: SystemLoad) -> Nanos {
+        self.psu.residual_window(self.power_draw(load))
+    }
+
+    /// Applies a load level to the devices: busy queues a realistic
+    /// complement of in-flight I/O (seeded, reproducible), idle drains
+    /// everything.
+    pub fn apply_load(&mut self, load: SystemLoad, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for d in &mut self.devices {
+            // Reset the queue to the load level.
+            d.power_cycle();
+            let _ = d.reinit();
+            if load == SystemLoad::Busy {
+                let (count, max_ms) = match d.kind {
+                    crate::DeviceKind::Disk => (12, 25),
+                    crate::DeviceKind::Nic => (24, 4),
+                    crate::DeviceKind::Gpu => (2, 8),
+                    crate::DeviceKind::Misc => (4, 2),
+                };
+                for _ in 0..count {
+                    d.submit(Nanos::from_millis(rng.gen_range(1..=max_ms)));
+                }
+            }
+        }
+    }
+
+    /// Models the system losing power: NVDIMMs drop (flash images
+    /// survive if saved), and every device is power-cycled, cancelling
+    /// its in-flight I/O.
+    pub fn system_power_loss(&mut self) {
+        self.nvram.power_loss();
+        for d in &mut self.devices {
+            d.power_cycle();
+        }
+    }
+
+    /// Re-applies system power: NVDIMMs come up in self-refresh awaiting
+    /// restore; devices are cold and uninitialised.
+    pub fn system_power_on(&mut self) {
+        self.nvram.power_on();
+    }
+
+    /// Total dirty-cache estimate for `load` (the save path flushes at
+    /// most this much): busy dirties the whole cache, idle a sliver.
+    #[must_use]
+    pub fn dirty_estimate(&self, load: SystemLoad) -> ByteSize {
+        match load {
+            SystemLoad::Busy => self.profile.machine_cache(),
+            SystemLoad::Idle => self.profile.machine_cache() / 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbeds_match_paper_shape() {
+        let intel = Machine::intel_testbed();
+        let amd = Machine::amd_testbed();
+        assert_eq!(intel.cores().len(), 8);
+        assert_eq!(amd.cores().len(), 6);
+        assert_eq!(intel.nvram().total_capacity(), ByteSize::gib(48));
+        assert_eq!(amd.nvram().total_capacity(), ByteSize::gib(8));
+        // Fig 7: Intel 1050 W busy window ~33 ms; AMD 400 W busy ~346 ms.
+        let iw = intel.residual_window(SystemLoad::Busy).as_millis_f64();
+        let aw = amd.residual_window(SystemLoad::Busy).as_millis_f64();
+        assert!((iw - 33.0).abs() < 2.0, "intel window {iw}");
+        assert!((aw - 346.0).abs() < 18.0, "amd window {aw}");
+    }
+
+    #[test]
+    fn busy_load_queues_io_idle_drains_it() {
+        let mut m = Machine::intel_testbed();
+        m.apply_load(SystemLoad::Busy, 7);
+        let busy_io: usize = m.devices().iter().map(DeviceModel::inflight).sum();
+        assert!(busy_io > 20);
+        m.apply_load(SystemLoad::Idle, 7);
+        let idle_io: usize = m.devices().iter().map(DeviceModel::inflight).sum();
+        assert_eq!(idle_io, 0);
+    }
+
+    #[test]
+    fn load_application_is_deterministic() {
+        let mut a = Machine::amd_testbed();
+        let mut b = Machine::amd_testbed();
+        a.apply_load(SystemLoad::Busy, 42);
+        b.apply_load(SystemLoad::Busy, 42);
+        let ta: Nanos = a.devices().iter().map(DeviceModel::suspend_time).sum();
+        let tb: Nanos = b.devices().iter().map(DeviceModel::suspend_time).sum();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn with_psu_swaps_the_window() {
+        let m = Machine::intel_testbed().with_psu(Psu::atx_750w());
+        let w = m.residual_window(SystemLoad::Busy).as_millis_f64();
+        assert!((w - 10.0).abs() < 1.0, "750W busy window {w}");
+    }
+
+    #[test]
+    #[should_panic(expected = "busy draw below idle")]
+    fn inverted_draws_rejected() {
+        let _ = Machine::new(
+            CpuProfile::intel_d510(),
+            Vec::new(),
+            NvramPool::uniform(1, ByteSize::mib(64)),
+            Psu::atx_400w(),
+            Watts::new(10.0),
+            Watts::new(20.0),
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The I2C command surface the power-monitor microcontroller uses to talk
+//! to NVDIMMs (paper §4, "NVDIMMs": save/restore commands relayed from
+//! the host over the serial line).
+
+use serde::{Deserialize, Serialize};
+use wsp_units::Nanos;
+
+use crate::{DimmState, NvDimm, NvramError};
+
+/// Commands the microcontroller can issue to a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum I2cCommand {
+    /// Put the DRAM into self-refresh (precondition for save/restore).
+    ArmSelfRefresh,
+    /// Begin the ultracap-powered DRAM→flash save.
+    Save,
+    /// Begin the flash→DRAM restore.
+    Restore,
+    /// Leave self-refresh and resume normal operation.
+    Resume,
+    /// Query module status.
+    Status,
+}
+
+/// Responses from a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum I2cResponse {
+    /// Command accepted; `duration` is the modelled completion time.
+    Ack {
+        /// How long the operation takes.
+        duration: Nanos,
+    },
+    /// Status report.
+    Status {
+        /// Current state.
+        state: DimmState,
+        /// Whether flash holds a valid image.
+        valid_image: bool,
+    },
+    /// Command rejected.
+    Nak,
+}
+
+impl NvDimm {
+    /// Dispatches an I2C command against this module.
+    ///
+    /// # Errors
+    ///
+    /// Maps module errors through unchanged ([`NvramError`]); protocol-
+    /// level rejections (e.g. `Save` while active) surface as the
+    /// underlying state error.
+    pub fn handle_command(&mut self, cmd: I2cCommand) -> Result<I2cResponse, NvramError> {
+        match cmd {
+            I2cCommand::ArmSelfRefresh => {
+                self.enter_self_refresh();
+                Ok(I2cResponse::Ack {
+                    duration: Nanos::from_micros(10),
+                })
+            }
+            I2cCommand::Save => {
+                let outcome = self.save()?;
+                if outcome.completed {
+                    Ok(I2cResponse::Ack {
+                        duration: outcome.duration,
+                    })
+                } else {
+                    Err(NvramError::UltracapDepleted)
+                }
+            }
+            I2cCommand::Restore => {
+                let duration = self.restore()?;
+                Ok(I2cResponse::Ack { duration })
+            }
+            I2cCommand::Resume => {
+                self.exit_self_refresh()?;
+                Ok(I2cResponse::Ack {
+                    duration: Nanos::from_micros(10),
+                })
+            }
+            I2cCommand::Status => Ok(I2cResponse::Status {
+                state: self.state(),
+                valid_image: self.flash().has_valid_image(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_units::ByteSize;
+
+    #[test]
+    fn full_command_sequence() {
+        let mut d = NvDimm::agiga(ByteSize::mib(16));
+        d.write(0, b"cmd");
+        assert!(matches!(
+            d.handle_command(I2cCommand::ArmSelfRefresh),
+            Ok(I2cResponse::Ack { .. })
+        ));
+        assert!(matches!(
+            d.handle_command(I2cCommand::Save),
+            Ok(I2cResponse::Ack { .. })
+        ));
+        d.power_loss();
+        d.power_on();
+        assert!(matches!(
+            d.handle_command(I2cCommand::Restore),
+            Ok(I2cResponse::Ack { .. })
+        ));
+        let status = d.handle_command(I2cCommand::Status).unwrap();
+        assert!(matches!(
+            status,
+            I2cResponse::Status {
+                state: DimmState::Active,
+                valid_image: true,
+            }
+        ));
+    }
+
+    #[test]
+    fn save_without_arm_is_rejected() {
+        let mut d = NvDimm::agiga(ByteSize::mib(16));
+        assert_eq!(
+            d.handle_command(I2cCommand::Save).unwrap_err(),
+            NvramError::NotInSelfRefresh
+        );
+    }
+
+    #[test]
+    fn status_never_mutates() {
+        let mut d = NvDimm::agiga(ByteSize::mib(16));
+        let before = d.state();
+        d.handle_command(I2cCommand::Status).unwrap();
+        assert_eq!(d.state(), before);
+    }
+}

@@ -1,0 +1,134 @@
+//! The eNVy architecture (Wu & Zwaenepoel, ASPLOS '94 — paper §7): a
+//! battery-backed SRAM *buffer* in front of flash, presenting a
+//! byte-addressable non-volatile store on the memory bus. The paper's
+//! point about it: with a random-access workload the small buffer
+//! thrashes and the system bottlenecks on paging to flash, whereas
+//! NVDIMMs hold *everything* in DRAM and touch flash only at
+//! failure/recovery. This model quantifies that comparison.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Bandwidth, ByteSize, Nanos};
+
+/// An eNVy-style buffered non-volatile store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvyStore {
+    /// SRAM buffer size.
+    pub buffer: ByteSize,
+    /// Total (flash) capacity.
+    pub capacity: ByteSize,
+    /// SRAM access latency.
+    pub sram_latency: Nanos,
+    /// Flash page size for paging.
+    pub page_size: ByteSize,
+    /// Flash read bandwidth (page-in).
+    pub flash_read: Bandwidth,
+    /// Flash program bandwidth (page-out of dirty victims).
+    pub flash_write: Bandwidth,
+}
+
+impl EnvyStore {
+    /// The eNVy shape scaled to early-90s-relative proportions: a 1/32
+    /// buffer-to-capacity ratio.
+    #[must_use]
+    pub fn classic(capacity: ByteSize) -> Self {
+        EnvyStore {
+            buffer: capacity / 32,
+            capacity,
+            sram_latency: Nanos::new(70),
+            page_size: ByteSize::new(4096),
+            flash_read: Bandwidth::mib_per_sec(80.0),
+            flash_write: Bandwidth::mib_per_sec(30.0),
+        }
+    }
+
+    /// Buffer hit probability for a uniformly random working set of
+    /// `working_set` bytes (1.0 when it fits the buffer).
+    #[must_use]
+    pub fn hit_rate(&self, working_set: ByteSize) -> f64 {
+        if working_set <= self.buffer {
+            1.0
+        } else {
+            self.buffer.as_u64() as f64 / working_set.as_u64() as f64
+        }
+    }
+
+    /// Expected access latency at a given working set and write
+    /// fraction: hits cost SRAM; misses page in from flash (and page out
+    /// a dirty victim `write_fraction` of the time).
+    #[must_use]
+    pub fn expected_latency(&self, working_set: ByteSize, write_fraction: f64) -> Nanos {
+        let h = self.hit_rate(working_set);
+        let page_in = self.flash_read.transfer_time(self.page_size);
+        let page_out = self.flash_write.transfer_time(self.page_size);
+        let miss = page_in + page_out * write_fraction;
+        self.sram_latency + miss * (1.0 - h)
+    }
+
+    /// Slowdown relative to an NVDIMM store (plain DRAM latency) for the
+    /// same workload.
+    #[must_use]
+    pub fn slowdown_vs_nvdimm(
+        &self,
+        working_set: ByteSize,
+        write_fraction: f64,
+        dram_latency: Nanos,
+    ) -> f64 {
+        self.expected_latency(working_set, write_fraction).as_nanos() as f64
+            / dram_latency.as_nanos().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EnvyStore {
+        EnvyStore::classic(ByteSize::gib(8)) // 256 MiB buffer
+    }
+
+    #[test]
+    fn buffer_resident_working_sets_run_at_sram_speed() {
+        let s = store();
+        let t = s.expected_latency(ByteSize::mib(128), 0.3);
+        assert_eq!(t, s.sram_latency);
+        assert_eq!(s.hit_rate(ByteSize::mib(128)), 1.0);
+    }
+
+    #[test]
+    fn random_access_over_full_capacity_thrashes() {
+        let s = store();
+        let t = s.expected_latency(ByteSize::gib(8), 0.3);
+        // ~97% miss rate at 4 KiB paging: tens of microseconds per access.
+        assert!(t.as_micros() > 20, "{t}");
+        let slowdown = s.slowdown_vs_nvdimm(ByteSize::gib(8), 0.3, Nanos::new(70));
+        assert!(
+            slowdown > 100.0,
+            "paper: eNVy bottlenecks on paging; slowdown {slowdown:.0}x"
+        );
+    }
+
+    #[test]
+    fn slowdown_grows_with_working_set_and_writes() {
+        let s = store();
+        let small = s.expected_latency(ByteSize::mib(512), 0.0);
+        let large = s.expected_latency(ByteSize::gib(4), 0.0);
+        let large_writey = s.expected_latency(ByteSize::gib(4), 0.8);
+        assert!(small < large);
+        assert!(large < large_writey, "dirty victims cost flash programs");
+    }
+
+    #[test]
+    fn nvdimms_are_flat_by_construction() {
+        // The comparison the paper draws: NVDIMM latency is DRAM latency
+        // at every working set; eNVy degrades past its buffer.
+        let s = store();
+        for mib in [64u64, 256, 1024, 4096] {
+            let slowdown = s.slowdown_vs_nvdimm(ByteSize::mib(mib), 0.3, Nanos::new(70));
+            if ByteSize::mib(mib) <= s.buffer {
+                assert!((slowdown - 1.0).abs() < 1e-9);
+            } else {
+                assert!(slowdown > 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for NVDIMM operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by NVDIMM and pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NvramError {
+    /// A save or restore was requested while the DRAM was not in
+    /// self-refresh (the AgigaRAM parts require the handshake).
+    NotInSelfRefresh,
+    /// The operation is invalid in the module's current state.
+    BadState {
+        /// State the module was in.
+        state: &'static str,
+        /// Operation that was attempted.
+        operation: &'static str,
+    },
+    /// The ultracapacitor ran out of usable energy before the save
+    /// finished; the flash image is marked invalid.
+    UltracapDepleted,
+    /// A restore was requested but the flash holds no valid image.
+    NoValidImage,
+    /// An access fell outside the module's capacity.
+    OutOfRange {
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access.
+        len: u64,
+        /// Module capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for NvramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvramError::NotInSelfRefresh => {
+                write!(f, "DRAM must be in self-refresh before save/restore")
+            }
+            NvramError::BadState { state, operation } => {
+                write!(f, "cannot {operation} while module is {state}")
+            }
+            NvramError::UltracapDepleted => {
+                write!(f, "ultracapacitor depleted before the save completed")
+            }
+            NvramError::NoValidImage => write!(f, "no valid image in flash"),
+            NvramError::OutOfRange {
+                addr,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access [{addr:#x}, {:#x}) exceeds capacity {capacity:#x}",
+                addr + len
+            ),
+        }
+    }
+}
+
+impl Error for NvramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let errors = [
+            NvramError::NotInSelfRefresh,
+            NvramError::UltracapDepleted,
+            NvramError::NoValidImage,
+            NvramError::OutOfRange {
+                addr: 0x100,
+                len: 8,
+                capacity: 0x80,
+            },
+            NvramError::BadState {
+                state: "Saving",
+                operation: "write",
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(NvramError::NoValidImage);
+        assert!(e.source().is_none());
+    }
+}

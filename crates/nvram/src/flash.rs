@@ -1,0 +1,225 @@
+//! The NAND flash backing store inside an NVDIMM: invisible during normal
+//! operation, written only by saves and read only by restores.
+
+use std::collections::BTreeMap;
+
+use wsp_units::{Bandwidth, ByteSize, Nanos};
+
+/// Page granularity of the sparse DRAM/flash images.
+pub(crate) const PAGE_SIZE: u64 = 4096;
+
+pub(crate) type PageMap = BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>;
+
+/// The flash side of an NVDIMM: an image slot plus transfer timing.
+///
+/// The image is a snapshot of the DRAM page map; `valid` tracks whether
+/// the last save ran to completion (an interrupted save leaves a torn,
+/// invalid image — the failure mode the paper's valid-marker protocol
+/// exists to detect).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_nvram::FlashStore;
+/// use wsp_units::{Bandwidth, ByteSize};
+///
+/// let flash = FlashStore::new(ByteSize::gib(1), Bandwidth::mib_per_sec(150.0));
+/// assert!(!flash.has_valid_image());
+/// let t = flash.full_save_time();
+/// assert!(t.as_secs_f64() < 10.0); // paper: < 10 s for modules up to 8 GB
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashStore {
+    capacity: ByteSize,
+    write_bandwidth: Bandwidth,
+    read_bandwidth: Bandwidth,
+    image: PageMap,
+    valid: bool,
+    pe_cycles: u64,
+    endurance: u64,
+}
+
+/// Wear report for the NAND backing store. Every save is one full
+/// program/erase cycle of the flash (the controller streams the whole
+/// module); MLC NAND endures a few thousand such cycles — far more
+/// outages than any server will see, but finite, so the model tracks
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashHealth {
+    /// Program/erase cycles consumed so far.
+    pub pe_cycles: u64,
+    /// Rated endurance in cycles.
+    pub endurance: u64,
+}
+
+impl FlashHealth {
+    /// Fraction of rated life consumed (0.0 = fresh, 1.0 = worn out).
+    #[must_use]
+    pub fn wear(&self) -> f64 {
+        self.pe_cycles as f64 / self.endurance as f64
+    }
+
+    /// Saves remaining within the rated endurance.
+    #[must_use]
+    pub fn saves_remaining(&self) -> u64 {
+        self.endurance.saturating_sub(self.pe_cycles)
+    }
+
+    /// True once the rated endurance is exhausted; further saves risk
+    /// retention failures and the module should be replaced.
+    #[must_use]
+    pub fn worn_out(&self) -> bool {
+        self.pe_cycles >= self.endurance
+    }
+}
+
+impl FlashStore {
+    /// Creates an empty flash store. Reads (restores) run 2× the write
+    /// bandwidth, as NAND reads do.
+    #[must_use]
+    pub fn new(capacity: ByteSize, write_bandwidth: Bandwidth) -> Self {
+        FlashStore {
+            capacity,
+            write_bandwidth,
+            read_bandwidth: write_bandwidth * 2.0,
+            image: PageMap::new(),
+            valid: false,
+            pe_cycles: 0,
+            // MLC NAND: ~3000 full program/erase cycles.
+            endurance: 3_000,
+        }
+    }
+
+    /// Wear state of the NAND array.
+    #[must_use]
+    pub fn health(&self) -> FlashHealth {
+        FlashHealth {
+            pe_cycles: self.pe_cycles,
+            endurance: self.endurance,
+        }
+    }
+
+    /// Flash capacity (equal to the DRAM capacity on these parts).
+    #[must_use]
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// True if the store holds a complete, untorn image.
+    #[must_use]
+    pub fn has_valid_image(&self) -> bool {
+        self.valid
+    }
+
+    /// Time for a complete DRAM→flash save. The controller streams the
+    /// whole module regardless of how many pages are touched (it has no
+    /// idea which DRAM bytes matter).
+    #[must_use]
+    pub fn full_save_time(&self) -> Nanos {
+        self.write_bandwidth.transfer_time(self.capacity)
+    }
+
+    /// Time for a complete flash→DRAM restore.
+    #[must_use]
+    pub fn full_restore_time(&self) -> Nanos {
+        self.read_bandwidth.transfer_time(self.capacity)
+    }
+
+    /// Stores a complete image (one program/erase cycle of wear).
+    pub(crate) fn store_image(&mut self, pages: &PageMap) {
+        self.image = pages.clone();
+        self.valid = true;
+        self.pe_cycles += 1;
+    }
+
+    /// Stores a torn prefix of an image (a save that lost power midway):
+    /// only pages below `completed_bytes` land, and the image is invalid.
+    pub(crate) fn store_torn_image(&mut self, pages: &PageMap, completed_bytes: u64) {
+        self.image = pages
+            .range(..completed_bytes / PAGE_SIZE)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        self.valid = false;
+        self.pe_cycles += 1;
+    }
+
+    /// Retrieves the image if valid.
+    pub(crate) fn load_image(&self) -> Option<&PageMap> {
+        self.valid.then_some(&self.image)
+    }
+
+    /// Invalidates the stored image (after a successful restore the host
+    /// clears it so a stale image is never replayed twice).
+    pub(crate) fn invalidate(&mut self) {
+        self.valid = false;
+        self.image.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> Box<[u8; PAGE_SIZE as usize]> {
+        Box::new([fill; PAGE_SIZE as usize])
+    }
+
+    #[test]
+    fn save_time_scales_with_capacity() {
+        let small = FlashStore::new(ByteSize::gib(1), Bandwidth::mib_per_sec(150.0));
+        let t = small.full_save_time().as_secs_f64();
+        assert!((t - 6.83).abs() < 0.1, "1 GiB at 150 MiB/s ~ 6.8 s, got {t}");
+        assert!(small.full_restore_time() < small.full_save_time());
+    }
+
+    #[test]
+    fn torn_image_is_invalid_and_partial() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        let mut pages = PageMap::new();
+        pages.insert(0, page(1));
+        pages.insert(10, page(2));
+        pages.insert(100, page(3));
+        flash.store_torn_image(&pages, 50 * PAGE_SIZE);
+        assert!(!flash.has_valid_image());
+        assert!(flash.load_image().is_none());
+        assert_eq!(flash.image.len(), 2, "page 100 lost in the tear");
+    }
+
+    #[test]
+    fn saves_accumulate_wear() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        assert_eq!(flash.health().pe_cycles, 0);
+        assert!(!flash.health().worn_out());
+        let pages = PageMap::new();
+        for _ in 0..10 {
+            flash.store_image(&pages);
+        }
+        flash.store_torn_image(&pages, 0);
+        let h = flash.health();
+        assert_eq!(h.pe_cycles, 11, "torn saves wear the array too");
+        assert_eq!(h.saves_remaining(), 3_000 - 11);
+        assert!((h.wear() - 11.0 / 3_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worn_out_after_rated_endurance() {
+        let h = FlashHealth {
+            pe_cycles: 3_000,
+            endurance: 3_000,
+        };
+        assert!(h.worn_out());
+        assert_eq!(h.saves_remaining(), 0);
+    }
+
+    #[test]
+    fn complete_image_round_trips() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        let mut pages = PageMap::new();
+        pages.insert(3, page(7));
+        flash.store_image(&pages);
+        assert!(flash.has_valid_image());
+        assert_eq!(flash.load_image().unwrap()[&3][0], 7);
+        flash.invalidate();
+        assert!(flash.load_image().is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! A pool of NVDIMMs forming the machine's main memory: linear address
+//! concatenation, with saves and restores running on all modules in
+//! parallel (they share no resources — paper §2).
+
+use wsp_units::{ByteSize, Nanos};
+
+use crate::{NvDimm, NvramError, SaveOutcome};
+
+/// Main memory built from NVDIMMs.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_nvram::{NvDimm, NvramPool};
+/// use wsp_units::ByteSize;
+///
+/// let pool = NvramPool::uniform(4, ByteSize::gib(1));
+/// assert_eq!(pool.total_capacity(), ByteSize::gib(4));
+/// // Saving 4 modules takes no longer than saving one.
+/// let one = NvDimm::agiga(ByteSize::gib(1)).flash().full_save_time();
+/// assert_eq!(pool.parallel_save_time(), one);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvramPool {
+    dimms: Vec<NvDimm>,
+}
+
+impl NvramPool {
+    /// Builds a pool from modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimms` is empty.
+    #[must_use]
+    pub fn new(dimms: Vec<NvDimm>) -> Self {
+        assert!(!dimms.is_empty(), "a pool needs at least one module");
+        NvramPool { dimms }
+    }
+
+    /// Builds a pool of `n` identical AgigaRAM-style modules.
+    #[must_use]
+    pub fn uniform(n: usize, capacity_each: ByteSize) -> Self {
+        Self::new((0..n).map(|_| NvDimm::agiga(capacity_each)).collect())
+    }
+
+    /// The modules in address order.
+    #[must_use]
+    pub fn dimms(&self) -> &[NvDimm] {
+        &self.dimms
+    }
+
+    /// Total pool capacity.
+    #[must_use]
+    pub fn total_capacity(&self) -> ByteSize {
+        self.dimms.iter().map(NvDimm::capacity).sum()
+    }
+
+    fn locate(&self, addr: u64) -> Result<(usize, u64), NvramError> {
+        let mut base = 0u64;
+        for (i, d) in self.dimms.iter().enumerate() {
+            let cap = d.capacity().as_u64();
+            if addr < base + cap {
+                return Ok((i, addr - base));
+            }
+            base += cap;
+        }
+        Err(NvramError::OutOfRange {
+            addr,
+            len: 0,
+            capacity: self.total_capacity().as_u64(),
+        })
+    }
+
+    /// Writes `data` at pool address `addr`, spanning modules as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool or a touched module is not
+    /// active.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let (idx, offset) = self.locate(addr + pos as u64).unwrap();
+            let room = (self.dimms[idx].capacity().as_u64() - offset) as usize;
+            let chunk = room.min(data.len() - pos);
+            self.dimms[idx].write(offset, &data[pos..pos + chunk]);
+            pos += chunk;
+        }
+    }
+
+    /// Reads into `buf` from pool address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool or a touched module is not
+    /// active.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let (idx, offset) = self.locate(addr + pos as u64).unwrap();
+            let room = (self.dimms[idx].capacity().as_u64() - offset) as usize;
+            let chunk = room.min(buf.len() - pos);
+            self.dimms[idx].read(offset, &mut buf[pos..pos + chunk]);
+            pos += chunk;
+        }
+    }
+
+    /// Enters self-refresh and saves every module. Modules save in
+    /// parallel on their own ultracaps, so the pool save time is the
+    /// slowest module's, not the sum.
+    ///
+    /// Returns per-module outcomes; the save as a whole succeeded only if
+    /// [`NvramPool::all_saved`] is true afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first module handshake error.
+    pub fn save_all(&mut self) -> Result<Vec<SaveOutcome>, NvramError> {
+        self.dimms.iter_mut().try_for_each(|d| {
+            d.enter_self_refresh();
+            Ok(())
+        })?;
+        self.dimms.iter_mut().map(NvDimm::save).collect()
+    }
+
+    /// True if every module holds a valid flash image.
+    #[must_use]
+    pub fn all_saved(&self) -> bool {
+        self.dimms.iter().all(|d| d.flash().has_valid_image())
+    }
+
+    /// Wall-clock time of a parallel pool save (slowest module).
+    #[must_use]
+    pub fn parallel_save_time(&self) -> Nanos {
+        self.dimms
+            .iter()
+            .map(|d| d.flash().full_save_time())
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    /// Wall-clock time of a parallel pool restore (slowest module).
+    #[must_use]
+    pub fn parallel_restore_time(&self) -> Nanos {
+        self.dimms
+            .iter()
+            .map(|d| d.flash().full_restore_time())
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    /// Drops system power on every module.
+    pub fn power_loss(&mut self) {
+        self.dimms.iter_mut().for_each(NvDimm::power_loss);
+    }
+
+    /// Restores system power to every module.
+    pub fn power_on(&mut self) {
+        self.dimms.iter_mut().for_each(NvDimm::power_on);
+    }
+
+    /// Restores every module from flash (in parallel; returns the slowest
+    /// module's restore time).
+    ///
+    /// # Errors
+    ///
+    /// Fails with the first module that lacks a valid image — the caller
+    /// must then recover from the storage back end instead.
+    pub fn restore_all(&mut self) -> Result<Nanos, NvramError> {
+        let mut worst = Nanos::ZERO;
+        for d in &mut self.dimms {
+            worst = worst.max(d.restore()?);
+        }
+        Ok(worst)
+    }
+
+    /// Clears all flash images after a successful resume.
+    pub fn invalidate_images(&mut self) {
+        self.dimms.iter_mut().for_each(NvDimm::invalidate_image);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> NvramPool {
+        NvramPool::uniform(2, ByteSize::mib(1))
+    }
+
+    #[test]
+    fn addresses_concatenate_across_modules() {
+        let mut p = pool();
+        let boundary = ByteSize::mib(1).as_u64();
+        p.write(boundary - 3, b"spanning");
+        let mut buf = [0u8; 8];
+        p.read(boundary - 3, &mut buf);
+        assert_eq!(&buf, b"spanning");
+        // The two halves live on different modules.
+        let mut first = [0u8; 3];
+        p.dimms()[0].read(boundary - 3, &mut first);
+        assert_eq!(&first, b"spa");
+        let mut second = [0u8; 5];
+        p.dimms()[1].read(0, &mut second);
+        assert_eq!(&second, b"nning");
+    }
+
+    #[test]
+    fn save_power_cycle_restore_round_trip() {
+        let mut p = pool();
+        p.write(123, b"abc");
+        p.write(ByteSize::mib(1).as_u64() + 7, b"def");
+        let outcomes = p.save_all().unwrap();
+        assert!(outcomes.iter().all(|o| o.completed));
+        assert!(p.all_saved());
+        p.power_loss();
+        p.power_on();
+        p.restore_all().unwrap();
+        let mut buf = [0u8; 3];
+        p.read(123, &mut buf);
+        assert_eq!(&buf, b"abc");
+        p.read(ByteSize::mib(1).as_u64() + 7, &mut buf);
+        assert_eq!(&buf, b"def");
+    }
+
+    #[test]
+    fn restore_fails_if_any_module_unsaved() {
+        let mut p = pool();
+        p.write(0, b"x");
+        p.power_loss(); // no save
+        p.power_on();
+        assert_eq!(p.restore_all().unwrap_err(), NvramError::NoValidImage);
+    }
+
+    #[test]
+    fn parallel_times_take_the_max_not_the_sum() {
+        let p = NvramPool::uniform(8, ByteSize::gib(1));
+        let single = NvDimm::agiga(ByteSize::gib(1));
+        assert_eq!(p.parallel_save_time(), single.flash().full_save_time());
+        assert_eq!(
+            p.parallel_restore_time(),
+            single.flash().full_restore_time()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn empty_pool_rejected() {
+        let _ = NvramPool::new(Vec::new());
+    }
+
+    #[test]
+    fn total_capacity_sums_modules() {
+        assert_eq!(pool().total_capacity(), ByteSize::mib(2));
+    }
+}

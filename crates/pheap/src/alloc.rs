@@ -1,0 +1,322 @@
+//! A persistent free-list allocator whose metadata lives *inside* the
+//! region it manages, so that allocations recover exactly like data.
+//!
+//! All metadata mutation goes through the [`WordStore`] trait: the heap
+//! passes in its transactional read/write path, which means allocator
+//! writes are undo/redo-logged exactly like application writes and a
+//! crash mid-allocation rolls back cleanly. Blocks carry an 8-byte size
+//! header; the free list is address-ordered and coalesces adjacent
+//! blocks on free.
+
+use crate::HeapError;
+
+/// Word-granularity access to region memory. Implemented by the heap's
+/// transactional context (logged access) and by a direct pass-through for
+/// non-transactional configurations.
+pub trait WordStore {
+    /// Loads the `u64` at `addr`.
+    fn load(&mut self, addr: u64) -> u64;
+    /// Stores `value` at `addr`.
+    fn store(&mut self, addr: u64, value: u64);
+}
+
+/// Bit set in a block's size header while the block is allocated.
+const ALLOCATED_BIT: u64 = 1 << 63;
+/// Header size in bytes.
+const HEADER: u64 = 8;
+/// Minimum block size (header + room for the free-list `next` word).
+const MIN_BLOCK: u64 = 24;
+
+/// A first-fit, address-ordered, coalescing free-list allocator over
+/// `[heap_start, heap_end)`, with its list head pointer stored
+/// persistently at `head_addr`.
+///
+/// Block layout: `[size | flags][payload ...]`; free blocks reuse the
+/// first payload word as the `next` pointer (address of the next free
+/// block's header, or 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeListAllocator {
+    head_addr: u64,
+    heap_start: u64,
+    heap_end: u64,
+}
+
+impl FreeListAllocator {
+    /// Creates the allocator's view of a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the heap area is 8-byte aligned and large enough
+    /// for one minimum block.
+    #[must_use]
+    pub fn new(head_addr: u64, heap_start: u64, heap_end: u64) -> Self {
+        assert_eq!(heap_start % 8, 0, "heap start must be 8-byte aligned");
+        assert_eq!(heap_end % 8, 0, "heap end must be 8-byte aligned");
+        assert!(
+            heap_end >= heap_start + MIN_BLOCK,
+            "heap area too small for one block"
+        );
+        FreeListAllocator {
+            head_addr,
+            heap_start,
+            heap_end,
+        }
+    }
+
+    /// Formats the region: one free block spanning the whole heap area.
+    pub fn format(&self, ws: &mut dyn WordStore) {
+        ws.store(self.head_addr, self.heap_start);
+        ws.store(self.heap_start, self.heap_end - self.heap_start); // size, free
+        ws.store(self.heap_start + HEADER, 0); // next = null
+    }
+
+    fn block_size(word: u64) -> u64 {
+        word & !ALLOCATED_BIT
+    }
+
+    /// Allocates `size` payload bytes (rounded up to 8), returning the
+    /// payload address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] if no free block fits.
+    pub fn alloc(&self, ws: &mut dyn WordStore, size: u64) -> Result<u64, HeapError> {
+        let need = (size.max(16).div_ceil(8) * 8) + HEADER;
+        let mut prev_link = self.head_addr;
+        let mut cur = ws.load(self.head_addr);
+        while cur != 0 {
+            let size_word = ws.load(cur);
+            debug_assert_eq!(size_word & ALLOCATED_BIT, 0, "free list holds allocated block");
+            let cur_size = Self::block_size(size_word);
+            let next = ws.load(cur + HEADER);
+            if cur_size >= need {
+                let remainder = cur_size - need;
+                if remainder >= MIN_BLOCK {
+                    // Split: the tail of the block stays free.
+                    let rest = cur + need;
+                    ws.store(rest, remainder);
+                    ws.store(rest + HEADER, next);
+                    ws.store(prev_link, rest);
+                    ws.store(cur, need | ALLOCATED_BIT);
+                } else {
+                    // Hand out the whole block.
+                    ws.store(prev_link, next);
+                    ws.store(cur, cur_size | ALLOCATED_BIT);
+                }
+                return Ok(cur + HEADER);
+            }
+            prev_link = cur + HEADER;
+            cur = next;
+        }
+        Err(HeapError::OutOfMemory { requested: size })
+    }
+
+    /// Frees the allocation whose payload starts at `ptr`, coalescing
+    /// with adjacent free blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::InvalidPointer`] if `ptr` is not a live
+    /// allocation from this allocator.
+    pub fn free(&self, ws: &mut dyn WordStore, ptr: u64) -> Result<(), HeapError> {
+        if ptr < self.heap_start + HEADER || ptr >= self.heap_end || ptr % 8 != 0 {
+            return Err(HeapError::InvalidPointer { offset: ptr });
+        }
+        let block = ptr - HEADER;
+        let size_word = ws.load(block);
+        if size_word & ALLOCATED_BIT == 0 {
+            return Err(HeapError::InvalidPointer { offset: ptr });
+        }
+        let mut size = Self::block_size(size_word);
+        if size < MIN_BLOCK || block + size > self.heap_end {
+            return Err(HeapError::InvalidPointer { offset: ptr });
+        }
+
+        // Address-ordered insertion: find the free blocks around `block`.
+        let mut prev_link = self.head_addr;
+        let mut prev_block = 0u64;
+        let mut cur = ws.load(self.head_addr);
+        while cur != 0 && cur < block {
+            prev_link = cur + HEADER;
+            prev_block = cur;
+            cur = ws.load(cur + HEADER);
+        }
+
+        // Coalesce forward: `cur` (if any) directly follows this block.
+        let mut next = cur;
+        if next != 0 && block + size == next {
+            size += Self::block_size(ws.load(next));
+            next = ws.load(next + HEADER);
+        }
+
+        // Coalesce backward: previous free block directly precedes us.
+        if prev_block != 0 && prev_block + Self::block_size(ws.load(prev_block)) == block {
+            let merged = Self::block_size(ws.load(prev_block)) + size;
+            ws.store(prev_block, merged);
+            ws.store(prev_block + HEADER, next);
+        } else {
+            ws.store(block, size);
+            ws.store(block + HEADER, next);
+            ws.store(prev_link, block);
+        }
+        Ok(())
+    }
+
+    /// Total free payload bytes (walks the list; intended for tests and
+    /// diagnostics).
+    pub fn free_bytes(&self, ws: &mut dyn WordStore) -> u64 {
+        let mut total = 0;
+        let mut cur = ws.load(self.head_addr);
+        while cur != 0 {
+            total += Self::block_size(ws.load(cur)) - HEADER;
+            cur = ws.load(cur + HEADER);
+        }
+        total
+    }
+
+    /// Number of blocks on the free list.
+    pub fn free_blocks(&self, ws: &mut dyn WordStore) -> usize {
+        let mut n = 0;
+        let mut cur = ws.load(self.head_addr);
+        while cur != 0 {
+            n += 1;
+            cur = ws.load(cur + HEADER);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A plain in-memory word store for allocator unit tests.
+    #[derive(Default)]
+    struct MapStore(HashMap<u64, u64>);
+
+    impl WordStore for MapStore {
+        fn load(&mut self, addr: u64) -> u64 {
+            *self.0.get(&addr).unwrap_or(&0)
+        }
+        fn store(&mut self, addr: u64, value: u64) {
+            self.0.insert(addr, value);
+        }
+    }
+
+    fn setup() -> (MapStore, FreeListAllocator) {
+        let mut ws = MapStore::default();
+        let alloc = FreeListAllocator::new(0, 64, 64 + 4096);
+        alloc.format(&mut ws);
+        (ws, alloc)
+    }
+
+    #[test]
+    fn fresh_region_has_one_big_block() {
+        let (mut ws, alloc) = setup();
+        assert_eq!(alloc.free_blocks(&mut ws), 1);
+        assert_eq!(alloc.free_bytes(&mut ws), 4096 - 8);
+    }
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let (mut ws, alloc) = setup();
+        let a = alloc.alloc(&mut ws, 100).unwrap();
+        let b = alloc.alloc(&mut ws, 100).unwrap();
+        assert_ne!(a, b);
+        assert!(a >= 64 + 8);
+        alloc.free(&mut ws, a).unwrap();
+        alloc.free(&mut ws, b).unwrap();
+        // Full coalescing restores the single block.
+        assert_eq!(alloc.free_blocks(&mut ws), 1);
+        assert_eq!(alloc.free_bytes(&mut ws), 4096 - 8);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut ws, alloc) = setup();
+        let mut ptrs = Vec::new();
+        while let Ok(p) = alloc.alloc(&mut ws, 24) {
+            ptrs.push(p);
+        }
+        assert!(ptrs.len() > 50);
+        let mut sorted = ptrs.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[1] - w[0] >= 24 + 8, "blocks overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_out_of_memory() {
+        let (mut ws, alloc) = setup();
+        while alloc.alloc(&mut ws, 64).is_ok() {}
+        assert_eq!(
+            alloc.alloc(&mut ws, 64).unwrap_err(),
+            HeapError::OutOfMemory { requested: 64 }
+        );
+    }
+
+    #[test]
+    fn free_detects_bad_pointers() {
+        let (mut ws, alloc) = setup();
+        let p = alloc.alloc(&mut ws, 32).unwrap();
+        // Not a payload pointer.
+        assert!(matches!(
+            alloc.free(&mut ws, p - 8),
+            Err(HeapError::InvalidPointer { .. })
+        ));
+        // Double free.
+        alloc.free(&mut ws, p).unwrap();
+        assert!(matches!(
+            alloc.free(&mut ws, p),
+            Err(HeapError::InvalidPointer { .. })
+        ));
+        // Outside the heap entirely.
+        assert!(matches!(
+            alloc.free(&mut ws, 8),
+            Err(HeapError::InvalidPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn fragmentation_then_coalesce() {
+        let (mut ws, alloc) = setup();
+        let ptrs: Vec<u64> = (0..8).map(|_| alloc.alloc(&mut ws, 64).unwrap()).collect();
+        // Free every other block: no coalescing possible yet.
+        for p in ptrs.iter().step_by(2) {
+            alloc.free(&mut ws, *p).unwrap();
+        }
+        let fragmented = alloc.free_blocks(&mut ws);
+        assert!(fragmented >= 4);
+        // Free the rest: everything merges back into one block.
+        for p in ptrs.iter().skip(1).step_by(2) {
+            alloc.free(&mut ws, *p).unwrap();
+        }
+        assert_eq!(alloc.free_blocks(&mut ws), 1);
+    }
+
+    #[test]
+    fn reuse_after_free() {
+        let (mut ws, alloc) = setup();
+        let a = alloc.alloc(&mut ws, 200).unwrap();
+        alloc.free(&mut ws, a).unwrap();
+        let b = alloc.alloc(&mut ws, 200).unwrap();
+        assert_eq!(a, b, "first fit reuses the freed block");
+    }
+
+    #[test]
+    fn sizes_rounded_and_minimum_enforced() {
+        let (mut ws, alloc) = setup();
+        let a = alloc.alloc(&mut ws, 1).unwrap();
+        let b = alloc.alloc(&mut ws, 1).unwrap();
+        // Minimum payload is 16 bytes + 8 header.
+        assert!(b - a >= 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "heap area too small")]
+    fn tiny_heap_rejected() {
+        let _ = FreeListAllocator::new(0, 64, 72);
+    }
+}

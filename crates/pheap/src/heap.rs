@@ -1,0 +1,1132 @@
+//! The persistent heap: region layout, transactions, commit protocols,
+//! crash images and recovery — in all five paper configurations.
+
+use std::collections::HashSet;
+
+use wsp_cache::{CpuProfile, LINE_SIZE};
+use wsp_units::{ByteSize, Nanos};
+
+use crate::alloc::WordStore;
+use crate::{
+    FreeListAllocator, HeapConfig, HeapError, HeapStats, LogRecord, OverheadModel,
+    PersistentMemory, RecordKind, Stm, TornLog,
+};
+
+/// Region magic ("WSPHEAP0" as little-endian bytes).
+const MAGIC: u64 = 0x3050_4145_4850_5357;
+const MAGIC_ADDR: u64 = 0;
+const CONFIG_ADDR: u64 = 8;
+const ROOT_ADDR: u64 = 16;
+const TAIL_PTR_ADDR: u64 = 24;
+const ALLOC_HEAD_ADDR: u64 = 32;
+/// The log area starts one page in; everything before it is header.
+const LOG_BASE: u64 = 4096;
+
+/// Log area size for a region: 1/16th of capacity, clamped to
+/// [8 KiB, 4 MiB].
+fn log_capacity(region: ByteSize) -> ByteSize {
+    let raw = region.as_u64() / 16;
+    ByteSize::new(raw.clamp(8 * 1024, 4 * 1024 * 1024) / 8 * 8)
+}
+
+/// A typed offset into the heap region (never null; absent pointers are
+/// `Option<PmPtr>`).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::PmPtr;
+///
+/// let node = PmPtr::new(4096 * 3).unwrap();
+/// assert_eq!(node.field(2).offset(), node.offset() + 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PmPtr(u64);
+
+impl PmPtr {
+    /// Wraps a non-zero, 8-byte-aligned region offset.
+    #[must_use]
+    pub fn new(offset: u64) -> Option<Self> {
+        (offset != 0 && offset % 8 == 0).then_some(PmPtr(offset))
+    }
+
+    /// The raw region offset.
+    #[must_use]
+    pub const fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// The pointer to the `index`-th 8-byte field of the object.
+    #[must_use]
+    pub const fn field(self, index: u64) -> PmPtr {
+        PmPtr(self.0 + index * 8)
+    }
+
+    /// The pointer `bytes` past this one.
+    #[must_use]
+    pub const fn byte_offset(self, bytes: u64) -> PmPtr {
+        PmPtr(self.0 + bytes)
+    }
+}
+
+/// The durable bytes surviving a power failure, plus what the hardware
+/// knows about how the failure went.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    bytes: Vec<u8>,
+    fof_save_completed: bool,
+    profile: CpuProfile,
+}
+
+impl CrashImage {
+    /// Builds an image from raw parts — used by the recovery ladder to
+    /// turn a back-end checkpoint back into a recoverable image.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>, fof_save_completed: bool, profile: CpuProfile) -> Self {
+        CrashImage {
+            bytes,
+            fof_save_completed,
+            profile,
+        }
+    }
+
+    /// The CPU profile the image's heap ran on.
+    #[must_use]
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// Whether the flush-on-fail save ran to completion before power was
+    /// lost.
+    #[must_use]
+    pub fn fof_save_completed(&self) -> bool {
+        self.fof_save_completed
+    }
+
+    /// The raw durable bytes (inspection/testing).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// An NVRAM-backed persistent heap in one of the five paper
+/// configurations. See the crate-level docs for the configuration matrix
+/// and a complete example.
+#[derive(Debug, Clone)]
+pub struct PersistentHeap {
+    mem: PersistentMemory,
+    config: HeapConfig,
+    overheads: OverheadModel,
+    alloc: FreeListAllocator,
+    log: TornLog,
+    stm: Stm,
+    next_txid: u64,
+    /// Data lines updated in place since the last log truncation; a
+    /// flush-on-commit truncation must flush them first.
+    unflushed_lines: HashSet<u64>,
+    stats: HeapStats,
+}
+
+impl PersistentHeap {
+    /// Creates a fresh heap of `capacity` bytes on the default testbed
+    /// CPU (Intel C5528).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than 64 KiB.
+    #[must_use]
+    pub fn create(capacity: ByteSize, config: HeapConfig) -> Self {
+        Self::create_with(
+            capacity,
+            config,
+            CpuProfile::intel_c5528(),
+            OverheadModel::default(),
+        )
+    }
+
+    /// Creates a fresh heap with an explicit CPU profile and overhead
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than 64 KiB.
+    #[must_use]
+    pub fn create_with(
+        capacity: ByteSize,
+        config: HeapConfig,
+        profile: CpuProfile,
+        overheads: OverheadModel,
+    ) -> Self {
+        assert!(
+            capacity >= ByteSize::kib(64),
+            "heap region must be at least 64 KiB"
+        );
+        let mut mem = PersistentMemory::with_profile(capacity, profile);
+        let log_cap = log_capacity(capacity);
+        let heap_start = LOG_BASE + log_cap.as_u64();
+        let alloc = FreeListAllocator::new(ALLOC_HEAD_ADDR, heap_start, capacity.as_u64());
+        let log = TornLog::new(LOG_BASE, log_cap, TAIL_PTR_ADDR);
+
+        mem.write_u64(MAGIC_ADDR, MAGIC);
+        mem.write_u64(CONFIG_ADDR, config.code());
+        mem.write_u64(ROOT_ADDR, 0);
+        log.initialize(&mut mem);
+        let mut direct = Direct(&mut mem);
+        alloc.format(&mut direct);
+        // The formatted heap must be durable before first use.
+        mem.flush_all();
+
+        PersistentHeap {
+            mem,
+            config,
+            overheads,
+            alloc,
+            log,
+            stm: Stm::new(1024),
+            next_txid: 1,
+            unflushed_lines: HashSet::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The heap's configuration.
+    #[must_use]
+    pub fn config(&self) -> HeapConfig {
+        self.config
+    }
+
+    /// Observability counters (transactions, logging, allocation).
+    #[must_use]
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Total simulated time charged by every operation so far.
+    #[must_use]
+    pub fn elapsed(&self) -> Nanos {
+        self.mem.elapsed()
+    }
+
+    /// The underlying memory (statistics, dirty-byte inspection).
+    #[must_use]
+    pub fn mem(&self) -> &PersistentMemory {
+        &self.mem
+    }
+
+    /// Charges non-memory application time to the simulated clock
+    /// (protocol parsing, request handling — work a server does around
+    /// its heap operations).
+    pub fn charge(&mut self, d: Nanos) {
+        self.mem.charge(d);
+    }
+
+    /// Mutable STM state — used by tests and multi-client harnesses to
+    /// inject writes from "other threads" and provoke conflicts.
+    pub fn stm_mut(&mut self) -> &mut Stm {
+        &mut self.stm
+    }
+
+    /// The current root object, if one was ever published.
+    pub fn root(&mut self) -> Option<PmPtr> {
+        PmPtr::new(self.mem.read_u64(ROOT_ADDR))
+    }
+
+    /// Opens a transaction. For the plain [`HeapConfig::Fof`]
+    /// configuration the transaction is a thin pass-through (writes apply
+    /// immediately and commit is free) — the WSP programming model.
+    pub fn begin(&mut self) -> Tx<'_> {
+        self.mem.charge(if self.config.transactional() {
+            self.overheads.tx_begin
+        } else {
+            Nanos::ZERO
+        });
+        // Undo logs can only truncate between transactions (truncating
+        // mid-transaction would discard the records needed to roll this
+        // very transaction back).
+        if self.config.uses_undo_log() && self.log.needs_truncation() {
+            // Committed data was flushed at each commit (FoC) or will be
+            // covered by flush-on-fail (FoF); either way the log records
+            // before this point are dead.
+            self.stats.truncations += 1;
+            self.log.truncate(&mut self.mem, self.config.flush_on_commit());
+        }
+        self.stats.txs_started += 1;
+        let txid = self.next_txid;
+        self.next_txid += 1;
+        let rv = self.stm.begin();
+        Tx {
+            heap: self,
+            txid,
+            rv,
+            read_set: Vec::new(),
+            read_stripes: HashSet::new(),
+            write_set: Vec::new(),
+            undo_order: Vec::new(),
+            undo_logged: HashSet::new(),
+            fresh_allocs: Vec::new(),
+            touched_lines: HashSet::new(),
+            poisoned: None,
+            finished: false,
+        }
+    }
+
+    fn heap_bounds(&self) -> (u64, u64) {
+        let log_cap = log_capacity(self.mem.capacity());
+        (LOG_BASE + log_cap.as_u64(), self.mem.capacity().as_u64())
+    }
+
+    fn check_word_addr(&self, addr: u64) -> Result<(), HeapError> {
+        let (_, end) = self.heap_bounds();
+        if addr % 8 != 0 || addr < ROOT_ADDR || addr + 8 > end {
+            Err(HeapError::InvalidPointer { offset: addr })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Takes a consistent snapshot of the heap as a crash image (the
+    /// quiesce-and-copy a checkpoint performs): everything including
+    /// cached state is captured, without disturbing the live heap.
+    #[must_use]
+    pub fn checkpoint_image(&self) -> CrashImage {
+        self.clone().crash(true)
+    }
+
+    /// The transaction-id high-water mark (staleness metric for
+    /// checkpoints).
+    #[must_use]
+    pub fn txid_high_water(&self) -> u64 {
+        self.next_txid
+    }
+
+    /// Simulates a power failure: the flush-on-fail save runs iff
+    /// `fof_save_completed` (i.e. it fit in the residual energy window),
+    /// and the durable image is returned for later recovery.
+    #[must_use]
+    pub fn crash(self, fof_save_completed: bool) -> CrashImage {
+        let profile = self.mem.cache().profile().clone();
+        CrashImage {
+            bytes: self.mem.crash(fof_save_completed),
+            fof_save_completed,
+            profile,
+        }
+    }
+
+    /// Recovers a heap from a crash image.
+    ///
+    /// Flush-on-commit configurations recover from their logs: committed
+    /// transactions are replayed (redo) or surviving partial updates
+    /// rolled back (undo). Flush-on-fail configurations require the save
+    /// to have completed; with it, memory is exactly as it was (plus an
+    /// undo rollback of any transaction that was open at the failure).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Unrecoverable`] when a flush-on-fail heap crashed
+    /// without a completed save (the caller must refresh from the back
+    /// end), or [`HeapError::CorruptHeader`] for an unrecognisable image.
+    pub fn recover(image: CrashImage) -> Result<Self, HeapError> {
+        Self::recover_with(image, OverheadModel::default())
+    }
+
+    /// [`PersistentHeap::recover`] with an explicit overhead model.
+    pub fn recover_with(image: CrashImage, overheads: OverheadModel) -> Result<Self, HeapError> {
+        let CrashImage {
+            bytes,
+            fof_save_completed,
+            profile,
+        } = image;
+        if bytes.len() < (LOG_BASE as usize) + 8 * 1024 {
+            return Err(HeapError::CorruptHeader);
+        }
+        let word = |addr: u64| -> u64 {
+            u64::from_le_bytes(bytes[addr as usize..addr as usize + 8].try_into().expect("aligned"))
+        };
+        if word(MAGIC_ADDR) != MAGIC {
+            return Err(HeapError::CorruptHeader);
+        }
+        let config = HeapConfig::from_code(word(CONFIG_ADDR)).ok_or(HeapError::CorruptHeader)?;
+        if !config.flush_on_commit() && !fof_save_completed {
+            return Err(HeapError::Unrecoverable {
+                reason: "flush-on-fail heap lost its cache contents (save did not complete)",
+            });
+        }
+
+        let capacity = ByteSize::new(bytes.len() as u64);
+        let log_cap = log_capacity(capacity);
+        let records = TornLog::recover(&bytes, LOG_BASE, log_cap, TAIL_PTR_ADDR);
+        let mut mem = PersistentMemory::from_image(bytes, profile);
+
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Commit)
+            .map(|r| r.txid)
+            .collect();
+
+        if config.uses_redo_log() && !fof_save_completed {
+            // Redo: replay every committed transaction's writes in order.
+            for r in records.iter().filter(|r| {
+                r.kind == RecordKind::Write && committed.contains(&r.txid)
+            }) {
+                mem.write_u64(r.addr, r.value);
+            }
+        }
+        if config.uses_undo_log() {
+            // Undo: roll back transactions that never committed, newest
+            // record first.
+            for r in records.iter().rev().filter(|r| {
+                r.kind == RecordKind::Write && !committed.contains(&r.txid)
+            }) {
+                mem.write_u64(r.addr, r.value);
+            }
+        }
+
+        // Neutralise the log area so stale torn-bit polarities can never
+        // be mistaken for live records, then persist the recovered state.
+        mem.scrub(LOG_BASE, log_cap.as_u64());
+        let log = TornLog::new(LOG_BASE, log_cap, TAIL_PTR_ADDR);
+        log.initialize(&mut mem);
+        mem.flush_all();
+
+        let next_txid = records.iter().map(|r| r.txid).max().unwrap_or(0) + 1;
+        let heap_start = LOG_BASE + log_cap.as_u64();
+        Ok(PersistentHeap {
+            alloc: FreeListAllocator::new(ALLOC_HEAD_ADDR, heap_start, capacity.as_u64()),
+            mem,
+            config,
+            overheads,
+            log,
+            stm: Stm::new(1024),
+            next_txid,
+            unflushed_lines: HashSet::new(),
+            stats: HeapStats::default(),
+        })
+    }
+}
+
+/// Direct (non-transactional) word access for formatting and the plain
+/// FoF configuration.
+struct Direct<'a>(&'a mut PersistentMemory);
+
+impl WordStore for Direct<'_> {
+    fn load(&mut self, addr: u64) -> u64 {
+        self.0.read_u64(addr)
+    }
+    fn store(&mut self, addr: u64, value: u64) {
+        self.0.write_u64(addr, value);
+    }
+}
+
+/// An open transaction (or, for [`HeapConfig::Fof`], a pass-through
+/// handle). Dropping an unfinished transaction aborts it.
+pub struct Tx<'h> {
+    heap: &'h mut PersistentHeap,
+    txid: u64,
+    rv: u64,
+    read_set: Vec<(usize, u64)>,
+    read_stripes: HashSet<usize>,
+    /// STM-buffered writes in program order (later entries win).
+    write_set: Vec<(u64, u64)>,
+    /// Undo records in log order (for volatile rollback on abort).
+    undo_order: Vec<(u64, u64)>,
+    undo_logged: HashSet<u64>,
+    /// Blocks allocated by this transaction: writes into them need no
+    /// undo record (rolling back the allocator metadata reclaims them).
+    fresh_allocs: Vec<(u64, u64)>,
+    touched_lines: HashSet<u64>,
+    poisoned: Option<HeapError>,
+    finished: bool,
+}
+
+impl Tx<'_> {
+    /// The transaction id.
+    #[must_use]
+    pub fn txid(&self) -> u64 {
+        self.txid
+    }
+
+    /// Reads the word at `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidPointer`] for out-of-range pointers;
+    /// [`HeapError::Conflict`] if STM detects that the location was
+    /// written since this transaction began.
+    pub fn read_word(&mut self, ptr: PmPtr) -> Result<u64, HeapError> {
+        self.read_addr(ptr.offset())
+    }
+
+    fn read_addr(&mut self, addr: u64) -> Result<u64, HeapError> {
+        self.heap.check_word_addr(addr)?;
+        if self.heap.config.uses_stm() {
+            self.heap.mem.charge(
+                self.heap.overheads.stm_read
+                    + self.heap.overheads.stm_ws_scan * self.write_set.len() as u64,
+            );
+            // Read-your-own-writes from the write set, newest first.
+            if let Some(&(_, v)) = self.write_set.iter().rev().find(|&&(a, _)| a == addr) {
+                return Ok(v);
+            }
+            let stripe = self.heap.stm.stripe_of(addr);
+            let version = self.heap.stm.stripe_version(addr);
+            if version > self.rv {
+                return Err(HeapError::Conflict);
+            }
+            if self.read_stripes.insert(stripe) {
+                self.read_set.push((stripe, version));
+            }
+        }
+        Ok(self.heap.mem.read_u64(addr))
+    }
+
+    /// Writes the word at `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidPointer`] for out-of-range pointers.
+    pub fn write_word(&mut self, ptr: PmPtr, value: u64) -> Result<(), HeapError> {
+        self.write_addr(ptr.offset(), value)
+    }
+
+    fn write_addr(&mut self, addr: u64, value: u64) -> Result<(), HeapError> {
+        self.heap.check_word_addr(addr)?;
+        let config = self.heap.config;
+        if config.uses_stm() {
+            self.heap.mem.charge(self.heap.overheads.stm_write);
+            self.write_set.push((addr, value));
+            return Ok(());
+        }
+        if config.uses_undo_log() {
+            self.heap.mem.charge(self.heap.overheads.undo_check);
+            let fresh = self
+                .fresh_allocs
+                .iter()
+                .any(|&(start, len)| addr >= start && addr < start + len);
+            if !fresh && self.undo_logged.insert(addr) {
+                self.heap.stats.undo_records += 1;
+                let old = self.heap.mem.read_u64(addr);
+                self.heap.log.append(
+                    &mut self.heap.mem,
+                    &LogRecord::write(self.txid, addr, old),
+                    config.flush_on_commit(),
+                );
+                if config.flush_on_commit() {
+                    // The undo record must be durable before the in-place
+                    // write can possibly reach NVRAM (eviction order).
+                    self.heap.mem.sfence();
+                }
+                self.undo_order.push((addr, old));
+            }
+            self.touched_lines.insert(addr / LINE_SIZE);
+        }
+        self.heap.mem.write_u64(addr, value);
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `ptr` (word-granular under the
+    /// hood, so STM read-your-own-writes still applies).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tx::read_word`].
+    pub fn read_bytes(&mut self, ptr: PmPtr, buf: &mut [u8]) -> Result<(), HeapError> {
+        let mut addr = ptr.offset();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let word_base = addr / 8 * 8;
+            let word = self.read_addr(word_base)?.to_le_bytes();
+            let offset = (addr - word_base) as usize;
+            let chunk = (8 - offset).min(buf.len() - pos);
+            buf[pos..pos + chunk].copy_from_slice(&word[offset..offset + chunk]);
+            pos += chunk;
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `ptr` (word-granular read-modify-write).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tx::write_word`].
+    pub fn write_bytes(&mut self, ptr: PmPtr, data: &[u8]) -> Result<(), HeapError> {
+        let mut addr = ptr.offset();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let word_base = addr / 8 * 8;
+            let offset = (addr - word_base) as usize;
+            let chunk = (8 - offset).min(data.len() - pos);
+            let mut word = if offset == 0 && chunk == 8 {
+                [0u8; 8]
+            } else {
+                self.read_addr(word_base)?.to_le_bytes()
+            };
+            word[offset..offset + chunk].copy_from_slice(&data[pos..pos + chunk]);
+            self.write_addr(word_base, u64::from_le_bytes(word))?;
+            pos += chunk;
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Allocates `size` bytes in the persistent heap.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] when no block fits, or a propagated
+    /// transactional error.
+    pub fn alloc(&mut self, size: u64) -> Result<PmPtr, HeapError> {
+        let alloc = self.heap.alloc;
+        let ptr = {
+            let mut words = TxWords(self);
+            alloc.alloc(&mut words, size)?
+        };
+        if let Some(e) = self.poisoned.take() {
+            return Err(e);
+        }
+        if self.heap.config.uses_undo_log() {
+            // Payload rounded as the allocator rounds it.
+            self.fresh_allocs.push((ptr, size.max(16).div_ceil(8) * 8));
+        }
+        self.heap.stats.bytes_allocated += size;
+        PmPtr::new(ptr).ok_or(HeapError::InvalidPointer { offset: ptr })
+    }
+
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidPointer`] if `ptr` is not a live allocation.
+    pub fn free(&mut self, ptr: PmPtr) -> Result<(), HeapError> {
+        let alloc = self.heap.alloc;
+        {
+            let mut words = TxWords(self);
+            alloc.free(&mut words, ptr.offset())?;
+        }
+        if let Some(e) = self.poisoned.take() {
+            return Err(e);
+        }
+        self.heap.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Publishes `ptr` as the heap's root object.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tx::write_word`].
+    pub fn set_root(&mut self, ptr: PmPtr) -> Result<(), HeapError> {
+        self.write_addr(ROOT_ADDR, ptr.offset())
+    }
+
+    /// Reads the current root (seeing this transaction's own update).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tx::read_word`].
+    pub fn root(&mut self) -> Result<Option<PmPtr>, HeapError> {
+        Ok(PmPtr::new(self.read_addr(ROOT_ADDR)?))
+    }
+
+    /// Commits the transaction, making its effects durable according to
+    /// the heap's flush policy.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Conflict`] if STM validation fails (the transaction
+    /// is discarded, as on abort).
+    pub fn commit(mut self) -> Result<(), HeapError> {
+        self.finished = true;
+        let config = self.heap.config;
+        match config {
+            HeapConfig::Fof => {
+                self.heap.stats.commits += 1;
+                Ok(())
+            }
+            HeapConfig::FocUndo | HeapConfig::FofUndo => {
+                self.heap.stats.commits += 1;
+                if self.undo_order.is_empty() && self.touched_lines.is_empty() {
+                    // Read-only: nothing to make durable, no marker needed.
+                    return Ok(());
+                }
+                let flush = config.flush_on_commit();
+                if flush {
+                    // Data must be durable before the commit marker: a
+                    // marker without the data would break recovery.
+                    let lines: Vec<u64> = self.touched_lines.iter().copied().collect();
+                    for line in lines {
+                        self.heap.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+                    }
+                    self.heap.mem.sfence();
+                }
+                self.heap
+                    .log
+                    .append(&mut self.heap.mem, &LogRecord::commit(self.txid), flush);
+                if flush {
+                    self.heap.mem.sfence();
+                }
+                if self.heap.log.needs_truncation() {
+                    self.heap.stats.truncations += 1;
+                    self.heap.log.truncate(&mut self.heap.mem, flush);
+                }
+                Ok(())
+            }
+            HeapConfig::FocStm | HeapConfig::FofStm => {
+                let flush = config.flush_on_commit();
+                self.heap.mem.charge(
+                    self.heap.overheads.stm_validate * self.read_set.len() as u64,
+                );
+                if !self.heap.stm.validate(self.rv, &self.read_set) {
+                    self.heap.stats.conflicts += 1;
+                    return Err(HeapError::Conflict);
+                }
+                self.heap.stats.commits += 1;
+                if self.write_set.is_empty() {
+                    // Read-only: validated, nothing to log or apply.
+                    return Ok(());
+                }
+                self.heap.stats.redo_records += self.write_set.len() as u64;
+                // Make room in the log for the whole commit record set.
+                let needed = self.write_set.len() as u64 * 4 + 1;
+                if self.heap.log.free_words() < needed + 8 {
+                    self.heap.truncate_redo_log();
+                }
+                if flush {
+                    self.heap
+                        .mem
+                        .charge(self.heap.overheads.redo_append * self.write_set.len() as u64);
+                }
+                for &(addr, value) in &self.write_set {
+                    self.heap.log.append(
+                        &mut self.heap.mem,
+                        &LogRecord::write(self.txid, addr, value),
+                        flush,
+                    );
+                }
+                self.heap
+                    .log
+                    .append(&mut self.heap.mem, &LogRecord::commit(self.txid), flush);
+                if flush {
+                    self.heap.mem.sfence();
+                }
+                // Apply in place (cached) and remember the dirty lines for
+                // the next truncation's flush.
+                for &(addr, value) in &self.write_set {
+                    self.heap.mem.write_u64(addr, value);
+                    self.heap.unflushed_lines.insert(addr / LINE_SIZE);
+                }
+                let written = self.write_set.iter().map(|&(a, _)| a).collect::<Vec<_>>();
+                self.heap.stm.commit(written);
+                Ok(())
+            }
+        }
+    }
+
+    /// Harness support: records a write by a concurrent client landing
+    /// *while this transaction is open*. Subsequent reads of the stripe
+    /// (and commit-time validation) will conflict — the mechanism
+    /// multi-client contention tests drive.
+    pub fn interfere(&mut self, addr: u64) {
+        self.heap.stm.external_write(addr);
+    }
+
+    /// Aborts the transaction, rolling back any in-place (undo-logged)
+    /// writes. Dropping an unfinished transaction does the same.
+    pub fn abort(mut self) {
+        self.rollback();
+    }
+
+    fn rollback(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.heap.stats.aborts += 1;
+        let config = self.heap.config;
+        if config.uses_undo_log() {
+            for &(addr, old) in self.undo_order.iter().rev() {
+                self.heap.mem.write_u64(addr, old);
+            }
+            let flush = config.flush_on_commit();
+            if flush {
+                let lines: Vec<u64> = self.touched_lines.iter().copied().collect();
+                for line in lines {
+                    self.heap.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+                }
+                self.heap.mem.sfence();
+            }
+            self.heap
+                .log
+                .append(&mut self.heap.mem, &LogRecord::abort(self.txid), flush);
+            if flush {
+                self.heap.mem.sfence();
+            }
+        }
+        // STM / plain: buffered writes are simply discarded.
+        self.write_set.clear();
+    }
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        self.rollback();
+    }
+}
+
+impl PersistentHeap {
+    /// Truncates the redo log, first flushing every in-place data line
+    /// updated since the last truncation (flush-on-commit only): after
+    /// truncation the log can no longer replay them, so NVRAM must hold
+    /// them directly.
+    fn truncate_redo_log(&mut self) {
+        self.stats.truncations += 1;
+        if self.config.flush_on_commit() {
+            let lines: Vec<u64> = self.unflushed_lines.drain().collect();
+            for line in lines {
+                self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+            }
+            self.mem.sfence();
+        } else {
+            self.unflushed_lines.clear();
+        }
+        self.log.truncate(&mut self.mem, self.config.flush_on_commit());
+    }
+}
+
+/// Adapter letting the allocator run its metadata accesses through the
+/// transaction (so they are logged and rolled back like data). Errors are
+/// parked in `poisoned` and re-raised by the calling operation.
+struct TxWords<'a, 'h>(&'a mut Tx<'h>);
+
+impl WordStore for TxWords<'_, '_> {
+    fn load(&mut self, addr: u64) -> u64 {
+        match self.0.read_addr(addr) {
+            Ok(v) => v,
+            Err(e) => {
+                self.0.poisoned.get_or_insert(e);
+                0
+            }
+        }
+    }
+    fn store(&mut self, addr: u64, value: u64) {
+        if let Err(e) = self.0.write_addr(addr, value) {
+            self.0.poisoned.get_or_insert(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(config: HeapConfig) -> PersistentHeap {
+        PersistentHeap::create(ByteSize::kib(256), config)
+    }
+
+    fn put_one(heap: &mut PersistentHeap, value: u64) -> PmPtr {
+        let mut tx = heap.begin();
+        let p = tx.alloc(16).unwrap();
+        tx.write_word(p, value).unwrap();
+        tx.set_root(p).unwrap();
+        tx.commit().unwrap();
+        p
+    }
+
+    #[test]
+    fn basic_alloc_write_read_in_every_config() {
+        for config in HeapConfig::all() {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1234);
+            let mut tx = h.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 1234, "{config}");
+            assert_eq!(tx.root().unwrap(), Some(p));
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn foc_configs_recover_committed_state_without_save() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 42);
+            let image = h.crash(false);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            assert_eq!(r.config(), config);
+            let root = r.root().expect("root survives");
+            assert_eq!(root, p);
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(root).unwrap(), 42, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn foc_configs_lose_uncommitted_transactions() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            // Open a transaction that writes but never commits.
+            let mut tx = h.begin();
+            tx.write_word(p, 999).unwrap();
+            drop(tx); // abort
+            let mut tx = h.begin();
+            tx.write_word(p, 777).unwrap();
+            std::mem::forget(tx); // crash mid-transaction: no abort runs
+        }
+    }
+
+    #[test]
+    fn foc_undo_rolls_back_in_flight_transaction_on_recovery() {
+        let mut h = heap(HeapConfig::FocUndo);
+        let p = put_one(&mut h, 41);
+        // Write in a transaction, then crash before commit. The in-place
+        // write may or may not have reached NVRAM; recovery must roll it
+        // back either way.
+        let mut tx = h.begin();
+        tx.write_word(p, 13).unwrap();
+        // Force the dirty line out so the "wrote to NVRAM early" case is
+        // actually exercised.
+        tx.heap.mem.clflush_range(p.offset(), 8);
+        tx.heap.mem.sfence();
+        // Simulate the crash: leak the tx so no abort cleanup runs.
+        let txid = tx.txid();
+        assert!(txid > 0);
+        std::mem::forget(unsafe_extend(tx));
+        let image = h.crash(false);
+        let mut r = PersistentHeap::recover(image).unwrap();
+        let root = r.root().unwrap();
+        let mut check = r.begin();
+        assert_eq!(check.read_word(root).unwrap(), 41, "rolled back");
+        check.commit().unwrap();
+    }
+
+    /// Helper: extend a Tx's lifetime so `std::mem::forget` can outlive
+    /// the borrow checker's view of the heap borrow. Safe here because the
+    /// forgotten Tx is never touched again.
+    fn unsafe_extend(tx: Tx<'_>) -> Tx<'_> {
+        tx
+    }
+
+    #[test]
+    fn fof_configs_are_unrecoverable_without_save() {
+        for config in [HeapConfig::FofStm, HeapConfig::FofUndo, HeapConfig::Fof] {
+            let mut h = heap(config);
+            put_one(&mut h, 7);
+            let image = h.crash(false);
+            assert!(matches!(
+                PersistentHeap::recover(image),
+                Err(HeapError::Unrecoverable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn fof_configs_recover_everything_with_save() {
+        for config in [HeapConfig::FofStm, HeapConfig::FofUndo, HeapConfig::Fof] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 2026);
+            let image = h.crash(true);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let root = r.root().unwrap();
+            assert_eq!(root, p);
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(root).unwrap(), 2026, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn abort_rolls_back_undo_writes() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FofUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 5);
+            let mut tx = h.begin();
+            tx.write_word(p, 50).unwrap();
+            assert_eq!(tx.read_word(p).unwrap(), 50);
+            tx.abort();
+            let mut tx = h.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 5, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn stm_buffers_writes_until_commit() {
+        let mut h = heap(HeapConfig::FofStm);
+        let p = put_one(&mut h, 1);
+        let mut tx = h.begin();
+        tx.write_word(p, 2).unwrap();
+        // Read-your-own-writes.
+        assert_eq!(tx.read_word(p).unwrap(), 2);
+        tx.abort();
+        let mut tx = h.begin();
+        assert_eq!(tx.read_word(p).unwrap(), 1);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn stm_conflict_detected_at_commit() {
+        let mut h = heap(HeapConfig::FocStm);
+        let p = put_one(&mut h, 10);
+        let mut tx = h.begin();
+        let _ = tx.read_word(p).unwrap();
+        // Another thread commits a write to the same stripe.
+        tx.heap.stm.external_write(p.offset());
+        tx.write_word(p, 11).unwrap();
+        assert_eq!(tx.commit().unwrap_err(), HeapError::Conflict);
+        // The failed transaction left no trace.
+        let mut tx = h.begin();
+        assert_eq!(tx.read_word(p).unwrap(), 10);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn stm_eager_conflict_on_read() {
+        let mut h = heap(HeapConfig::FofStm);
+        let p = put_one(&mut h, 10);
+        let mut tx = h.begin();
+        tx.heap.stm.external_write(p.offset());
+        assert_eq!(tx.read_word(p).unwrap_err(), HeapError::Conflict);
+        tx.abort();
+    }
+
+    #[test]
+    fn alloc_free_cycle_reuses_memory() {
+        for config in HeapConfig::all() {
+            let mut h = heap(config);
+            let mut tx = h.begin();
+            let a = tx.alloc(64).unwrap();
+            tx.free(a).unwrap();
+            let b = tx.alloc(64).unwrap();
+            assert_eq!(a, b, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_across_word_boundaries() {
+        let mut h = heap(HeapConfig::FocUndo);
+        let mut tx = h.begin();
+        let p = tx.alloc(64).unwrap();
+        let payload = b"whole-system persistence!";
+        tx.write_bytes(p.byte_offset(3), payload).unwrap();
+        let mut buf = [0u8; 25];
+        tx.read_bytes(p.byte_offset(3), &mut buf).unwrap();
+        assert_eq!(&buf, payload);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn many_transactions_force_log_truncation() {
+        // A small heap has an 8 KiB log (1024 words); each FocUndo tx
+        // writes ~4 records + marker, so a few hundred txs force several
+        // truncations.
+        for config in [HeapConfig::FocUndo, HeapConfig::FofUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            for i in 0..500u64 {
+                let mut tx = h.begin();
+                tx.write_word(p, i).unwrap();
+                tx.commit().unwrap();
+            }
+            let mut tx = h.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 499, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_crash_consistency() {
+        // After heavy truncation traffic, a crash must still recover the
+        // last committed value.
+        let mut h = heap(HeapConfig::FocStm);
+        let p = put_one(&mut h, 0);
+        for i in 1..=300u64 {
+            let mut tx = h.begin();
+            tx.write_word(p, i).unwrap();
+            tx.commit().unwrap();
+        }
+        let image = h.crash(false);
+        let mut r = PersistentHeap::recover(image).unwrap();
+        let root = r.root().unwrap();
+        let mut tx = r.begin();
+        assert_eq!(tx.read_word(root).unwrap(), 300);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn double_crash_recovery_is_stable() {
+        let mut h = heap(HeapConfig::FocUndo);
+        put_one(&mut h, 99);
+        let image = h.crash(false);
+        let r1 = PersistentHeap::recover(image).unwrap();
+        let image2 = r1.crash(false);
+        let mut r2 = PersistentHeap::recover(image2).unwrap();
+        let root = r2.root().unwrap();
+        let mut tx = r2.begin();
+        assert_eq!(tx.read_word(root).unwrap(), 99);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn flush_on_commit_costs_more_than_flush_on_fail() {
+        let mut foc = heap(HeapConfig::FocStm);
+        let mut fof = heap(HeapConfig::Fof);
+        let p1 = put_one(&mut foc, 0);
+        let p2 = put_one(&mut fof, 0);
+        let t_foc0 = foc.elapsed();
+        let t_fof0 = fof.elapsed();
+        for i in 0..200u64 {
+            let mut tx = foc.begin();
+            tx.write_word(p1, i).unwrap();
+            tx.commit().unwrap();
+            let mut tx = fof.begin();
+            tx.write_word(p2, i).unwrap();
+            tx.commit().unwrap();
+        }
+        let foc_time = foc.elapsed() - t_foc0;
+        let fof_time = fof.elapsed() - t_fof0;
+        assert!(
+            foc_time.as_nanos() > 3 * fof_time.as_nanos(),
+            "FoC {foc_time} should dwarf FoF {fof_time}"
+        );
+    }
+
+    #[test]
+    fn corrupt_image_rejected() {
+        let h = heap(HeapConfig::Fof);
+        let mut image = h.crash(true);
+        image.bytes[0] ^= 0xff;
+        assert_eq!(
+            PersistentHeap::recover(image).unwrap_err(),
+            HeapError::CorruptHeader
+        );
+    }
+
+    #[test]
+    fn out_of_range_pointer_rejected() {
+        let mut h = heap(HeapConfig::Fof);
+        let mut tx = h.begin();
+        let end = ByteSize::kib(256).as_u64();
+        let bad = PmPtr::new(end).unwrap();
+        assert!(matches!(
+            tx.read_word(bad),
+            Err(HeapError::InvalidPointer { .. })
+        ));
+        let misaligned = PmPtr::new(LOG_BASE + 4);
+        assert!(misaligned.is_none());
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut h = heap(HeapConfig::Fof);
+        let mut tx = h.begin();
+        assert!(matches!(
+            tx.alloc(10 * 1024 * 1024),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        tx.commit().unwrap();
+    }
+}

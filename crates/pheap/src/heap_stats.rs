@@ -1,0 +1,129 @@
+//! Heap observability: counters for transactions, logging and
+//! allocation — what a production persistent heap exports to its
+//! operators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`PersistentHeap`].
+///
+/// [`PersistentHeap`]: crate::PersistentHeap
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Transactions opened.
+    pub txs_started: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (explicitly or by drop).
+    pub aborts: u64,
+    /// Commits refused by STM validation.
+    pub conflicts: u64,
+    /// Undo records appended.
+    pub undo_records: u64,
+    /// Redo records appended.
+    pub redo_records: u64,
+    /// Log truncations performed.
+    pub truncations: u64,
+    /// Bytes handed out by the allocator.
+    pub bytes_allocated: u64,
+    /// Allocations freed.
+    pub frees: u64,
+}
+
+impl HeapStats {
+    /// Commit success rate over finished transactions (1.0 when no
+    /// transaction has finished).
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        let finished = self.commits + self.aborts + self.conflicts;
+        if finished == 0 {
+            1.0
+        } else {
+            self.commits as f64 / finished as f64
+        }
+    }
+}
+
+impl fmt::Display for HeapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "txs={} commits={} aborts={} conflicts={} undo={} redo={} truncations={} alloc={}B frees={}",
+            self.txs_started,
+            self.commits,
+            self.aborts,
+            self.conflicts,
+            self.undo_records,
+            self.redo_records,
+            self.truncations,
+            self.bytes_allocated,
+            self.frees,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeapConfig, PersistentHeap};
+    use wsp_units::ByteSize;
+
+    #[test]
+    fn counters_track_a_session() {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo);
+        let mut tx = heap.begin();
+        let p = tx.alloc(32).unwrap();
+        tx.write_word(p, 1).unwrap();
+        tx.commit().unwrap();
+        let mut tx = heap.begin();
+        tx.write_word(p, 2).unwrap();
+        tx.abort();
+        let s = *heap.stats();
+        assert_eq!(s.txs_started, 2);
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert!(s.undo_records >= 2, "allocator + data writes logged: {s}");
+        assert!(s.bytes_allocated >= 32);
+        assert!((s.commit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicts_counted_separately_from_aborts() {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FofStm);
+        let p = {
+            let mut tx = heap.begin();
+            let p = tx.alloc(16).unwrap();
+            tx.set_root(p).unwrap();
+            tx.commit().unwrap();
+            p
+        };
+        let mut tx = heap.begin();
+        let _ = tx.read_word(p).unwrap();
+        tx.interfere(p.offset());
+        tx.write_word(p, 9).unwrap();
+        assert!(tx.commit().is_err());
+        let s = heap.stats();
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.commits, 1);
+        assert!(s.commit_rate() < 1.0);
+    }
+
+    #[test]
+    fn redo_records_counted_for_stm_commits() {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocStm);
+        let mut tx = heap.begin();
+        let p = tx.alloc(16).unwrap();
+        tx.write_word(p, 7).unwrap();
+        tx.commit().unwrap();
+        assert!(heap.stats().redo_records > 0);
+        assert_eq!(heap.stats().undo_records, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = HeapStats::default();
+        assert!(s.to_string().contains("txs=0"));
+        assert_eq!(s.commit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,489 @@
+//! A torn-bit raw log, after Mnemosyne's: a circular region of 64-bit
+//! words, each reserving its top bit as a *torn bit* whose expected
+//! polarity flips on every pass around the circle. Recovery scans from
+//! the persistent tail and stops at the first word whose torn bit does
+//! not match — detecting both torn (partially durable) records and stale
+//! words from a previous pass, with no checksums and no read-modify-write
+//! of log metadata on the append path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mem::PersistentMemory;
+
+/// Kinds of log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// A word write: `addr` held `value` (undo logs store the *old*
+    /// value; redo logs store the *new* one).
+    Write,
+    /// Transaction commit marker.
+    Commit,
+    /// Transaction abort marker.
+    Abort,
+}
+
+impl RecordKind {
+    fn code(self) -> u64 {
+        match self {
+            RecordKind::Write => 0,
+            RecordKind::Commit => 1,
+            RecordKind::Abort => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(RecordKind::Write),
+            1 => Some(RecordKind::Commit),
+            2 => Some(RecordKind::Abort),
+            _ => None,
+        }
+    }
+
+    /// Number of log words this kind occupies (header + payload).
+    fn words(self) -> u64 {
+        match self {
+            RecordKind::Write => 4,
+            RecordKind::Commit | RecordKind::Abort => 1,
+        }
+    }
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Transaction id.
+    pub txid: u64,
+    /// Target address (zero for commit/abort markers).
+    pub addr: u64,
+    /// Logged value (old value for undo, new for redo; zero for
+    /// markers).
+    pub value: u64,
+}
+
+impl LogRecord {
+    /// A write record.
+    #[must_use]
+    pub fn write(txid: u64, addr: u64, value: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::Write,
+            txid,
+            addr,
+            value,
+        }
+    }
+
+    /// A commit marker.
+    #[must_use]
+    pub fn commit(txid: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::Commit,
+            txid,
+            addr: 0,
+            value: 0,
+        }
+    }
+
+    /// An abort marker.
+    #[must_use]
+    pub fn abort(txid: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::Abort,
+            txid,
+            addr: 0,
+            value: 0,
+        }
+    }
+}
+
+const TORN_BIT: u64 = 1 << 63;
+const PAYLOAD_MASK: u64 = TORN_BIT - 1;
+
+/// The circular torn-bit log. The struct itself is volatile writer state;
+/// the log words live in a [`PersistentMemory`] range and the tail
+/// pointer in one persistent header word, so recovery needs only the
+/// durable image.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::{LogRecord, PersistentMemory, TornLog};
+/// use wsp_units::ByteSize;
+///
+/// let mut mem = PersistentMemory::new(ByteSize::kib(64));
+/// let mut log = TornLog::new(4096, ByteSize::kib(8), 64);
+/// log.initialize(&mut mem);
+/// log.append(&mut mem, &LogRecord::write(1, 0x100, 42), true);
+/// log.append(&mut mem, &LogRecord::commit(1), true);
+/// mem.sfence();
+/// let records = TornLog::recover(mem.durable_bytes(), 4096, ByteSize::kib(8), 64);
+/// assert_eq!(records.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TornLog {
+    /// Byte address of word 0.
+    base: u64,
+    /// Capacity in words.
+    cap_words: u64,
+    /// Next word to write (index in `0..cap_words`).
+    head: u64,
+    /// Torn-bit polarity for words written on the current pass.
+    polarity: bool,
+    /// Oldest live word (start of recovery scan).
+    tail: u64,
+    /// Polarity that was current when the tail was set.
+    tail_polarity: bool,
+    /// Byte address of the persistent tail word.
+    tail_ptr_addr: u64,
+}
+
+impl TornLog {
+    /// Creates writer state for a log occupying `[base, base + capacity)`
+    /// with its persistent tail pointer at `tail_ptr_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` and `capacity` are 8-byte aligned and the log
+    /// holds at least 8 words.
+    #[must_use]
+    pub fn new(base: u64, capacity: wsp_units::ByteSize, tail_ptr_addr: u64) -> Self {
+        assert_eq!(base % 8, 0, "log base must be 8-byte aligned");
+        assert_eq!(capacity.as_u64() % 8, 0, "log capacity must be 8-byte aligned");
+        let cap_words = capacity.as_u64() / 8;
+        assert!(cap_words >= 8, "log must hold at least 8 words");
+        TornLog {
+            base,
+            cap_words,
+            head: 0,
+            polarity: true,
+            tail: 0,
+            tail_polarity: true,
+            tail_ptr_addr,
+        }
+    }
+
+    /// Writes the initial (empty) persistent tail pointer. Call once when
+    /// creating a fresh heap.
+    pub fn initialize(&self, mem: &mut PersistentMemory) {
+        mem.ntstore_u64(self.tail_ptr_addr, Self::pack_tail(0, true));
+        mem.sfence();
+    }
+
+    fn pack_tail(tail: u64, polarity: bool) -> u64 {
+        (tail << 1) | u64::from(polarity)
+    }
+
+    fn unpack_tail(word: u64) -> (u64, bool) {
+        (word >> 1, word & 1 == 1)
+    }
+
+    /// Words available before the head would collide with the tail.
+    #[must_use]
+    pub fn free_words(&self) -> u64 {
+        if self.head >= self.tail {
+            // Free space wraps; keep one word of slack so head==tail
+            // always means "empty".
+            self.cap_words - (self.head - self.tail) - 1
+        } else {
+            self.tail - self.head - 1
+        }
+    }
+
+    /// True when less than a quarter of the log remains — time for the
+    /// owner to truncate (with enough headroom that a long transaction
+    /// never hits the hard full condition mid-flight).
+    #[must_use]
+    pub fn needs_truncation(&self) -> bool {
+        self.free_words() < self.cap_words / 4
+    }
+
+    fn word_addr(&self, index: u64) -> u64 {
+        self.base + (index % self.cap_words) * 8
+    }
+
+    fn push_word(&mut self, mem: &mut PersistentMemory, payload: u64, flush: bool) {
+        debug_assert_eq!(payload & TORN_BIT, 0, "payload must fit 63 bits");
+        let word = payload | if self.polarity { TORN_BIT } else { 0 };
+        let addr = self.word_addr(self.head);
+        if flush {
+            mem.ntstore_u64(addr, word);
+        } else {
+            mem.write_u64(addr, word);
+        }
+        self.head += 1;
+        if self.head == self.cap_words {
+            self.head = 0;
+            self.polarity = !self.polarity;
+        }
+    }
+
+    /// Appends a record. With `flush` the words go out as non-temporal
+    /// stores (durable at the next fence — the caller fences at commit);
+    /// without it they are ordinary cached stores (the flush-on-fail
+    /// configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log is full; the owner must truncate first (checked
+    /// via [`TornLog::needs_truncation`]).
+    pub fn append(&mut self, mem: &mut PersistentMemory, record: &LogRecord, flush: bool) {
+        let words = record.kind.words();
+        assert!(
+            self.free_words() >= words,
+            "log full: truncation was not performed in time"
+        );
+        let header = (record.txid << 8) | record.kind.code();
+        self.push_word(mem, header, flush);
+        if record.kind == RecordKind::Write {
+            self.push_word(mem, record.addr, flush);
+            self.push_word(mem, record.value & 0xffff_ffff, flush);
+            self.push_word(mem, record.value >> 32, flush);
+        }
+    }
+
+    /// Truncates the log: everything before the current head is dead.
+    /// With `flush`, the new tail pointer is made durable immediately
+    /// (non-temporal store + fence).
+    pub fn truncate(&mut self, mem: &mut PersistentMemory, flush: bool) {
+        self.tail = self.head;
+        self.tail_polarity = self.polarity;
+        let packed = Self::pack_tail(self.tail, self.tail_polarity);
+        if flush {
+            mem.ntstore_u64(self.tail_ptr_addr, packed);
+            mem.sfence();
+        } else {
+            mem.write_u64(self.tail_ptr_addr, packed);
+        }
+    }
+
+    /// Scans a durable image and returns every intact record from the
+    /// persistent tail up to the first torn or stale word.
+    #[must_use]
+    pub fn recover(
+        image: &[u8],
+        base: u64,
+        capacity: wsp_units::ByteSize,
+        tail_ptr_addr: u64,
+    ) -> Vec<LogRecord> {
+        let cap_words = capacity.as_u64() / 8;
+        let word_at = |index: u64| -> u64 {
+            let addr = (base + (index % cap_words) * 8) as usize;
+            u64::from_le_bytes(image[addr..addr + 8].try_into().expect("aligned read"))
+        };
+        let (tail, tail_polarity) =
+            Self::unpack_tail(u64::from_le_bytes(
+                image[tail_ptr_addr as usize..tail_ptr_addr as usize + 8]
+                    .try_into()
+                    .expect("aligned read"),
+            ));
+
+        let mut records = Vec::new();
+        let mut index = tail;
+        let mut polarity = tail_polarity;
+        let mut consumed = 0u64;
+        let next = |index: &mut u64, polarity: &mut bool| {
+            *index += 1;
+            if *index == cap_words {
+                *index = 0;
+                *polarity = !*polarity;
+            }
+        };
+        'scan: while consumed + 1 <= cap_words {
+            let header = word_at(index);
+            if (header & TORN_BIT != 0) != polarity {
+                break;
+            }
+            let payload = header & PAYLOAD_MASK;
+            let Some(kind) = RecordKind::from_code(payload & 0xff) else {
+                break;
+            };
+            let txid = payload >> 8;
+            let mut addr = 0u64;
+            let mut value = 0u64;
+            if kind == RecordKind::Write {
+                let mut parts = [0u64; 3];
+                let mut scratch_index = index;
+                let mut scratch_polarity = polarity;
+                for part in &mut parts {
+                    next(&mut scratch_index, &mut scratch_polarity);
+                    let w = word_at(scratch_index);
+                    if (w & TORN_BIT != 0) != scratch_polarity {
+                        break 'scan; // torn record
+                    }
+                    *part = w & PAYLOAD_MASK;
+                }
+                addr = parts[0];
+                value = parts[1] | (parts[2] << 32);
+                index = scratch_index;
+                polarity = scratch_polarity;
+                consumed += 3;
+            }
+            records.push(LogRecord {
+                kind,
+                txid,
+                addr,
+                value,
+            });
+            next(&mut index, &mut polarity);
+            consumed += 1;
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_units::ByteSize;
+
+    const BASE: u64 = 4096;
+    const CAP: ByteSize = ByteSize::new(512); // 64 words
+    const TAIL_PTR: u64 = 64;
+
+    fn fresh() -> (PersistentMemory, TornLog) {
+        let mut mem = PersistentMemory::new(ByteSize::kib(64));
+        let log = TornLog::new(BASE, CAP, TAIL_PTR);
+        log.initialize(&mut mem);
+        (mem, log)
+    }
+
+    fn recover_from(mem: PersistentMemory, fof: bool) -> Vec<LogRecord> {
+        let image = mem.crash(fof);
+        TornLog::recover(&image, BASE, CAP, TAIL_PTR)
+    }
+
+    #[test]
+    fn fenced_records_survive_a_crash() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(1, 100, u64::MAX - 5), true);
+        log.append(&mut mem, &LogRecord::commit(1), true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], LogRecord::write(1, 100, u64::MAX - 5));
+        assert_eq!(records[1], LogRecord::commit(1));
+    }
+
+    #[test]
+    fn unfenced_nt_records_are_lost() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(1, 100, 7), true);
+        // no fence
+        let records = recover_from(mem, false);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn cached_appends_need_flush_on_fail() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(3, 8, 9), false);
+        log.append(&mut mem, &LogRecord::commit(3), false);
+        // Without the save, cached log words never reached NVRAM.
+        let lost = recover_from(mem.clone(), false);
+        assert!(lost.is_empty());
+        // With flush-on-fail, they did.
+        let saved = recover_from(mem, true);
+        assert_eq!(saved.len(), 2);
+    }
+
+    #[test]
+    fn torn_record_detected_and_scan_stops() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(1, 100, 7), true);
+        mem.sfence();
+        // Tear: append another record but only fence after corrupting the
+        // image manually — emulate by appending with cached stores and
+        // flushing just the first word's line... simplest honest tear:
+        // write the header word durably but not the payload words.
+        let header = (2u64 << 8) | 0 /* Write */ | (1 << 63);
+        let addr = BASE + log.head * 8;
+        mem.ntstore_u64(addr, header);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        // Only the first, intact record is recovered; the torn one is
+        // rejected by its payload words' stale polarity.
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].txid, 1);
+    }
+
+    #[test]
+    fn truncation_hides_old_records() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(1, 100, 7), true);
+        log.append(&mut mem, &LogRecord::commit(1), true);
+        mem.sfence();
+        log.truncate(&mut mem, true);
+        let records = recover_from(mem, false);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn wrap_around_flips_polarity_and_still_recovers() {
+        let (mut mem, mut log) = fresh();
+        // 64-word log; fill it across several truncations to force
+        // multiple wraps, then leave live records straddling the wrap.
+        for round in 0..10u64 {
+            while log.free_words() >= 5 {
+                log.append(&mut mem, &LogRecord::write(round, round * 8, round), true);
+            }
+            mem.sfence();
+            log.truncate(&mut mem, true);
+        }
+        log.append(&mut mem, &LogRecord::write(99, 512, 1), true);
+        log.append(&mut mem, &LogRecord::commit(99), true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].txid, 99);
+        assert_eq!(records[1], LogRecord::commit(99));
+    }
+
+    #[test]
+    fn full_value_range_round_trips() {
+        let (mut mem, mut log) = fresh();
+        let values = [0u64, 1, u64::MAX, 1 << 63, 0xdead_beef_cafe_babe];
+        for (i, v) in values.iter().enumerate() {
+            log.append(&mut mem, &LogRecord::write(i as u64, 64, *v), true);
+        }
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), values.len());
+        for (r, v) in records.iter().zip(values) {
+            assert_eq!(r.value, v);
+        }
+    }
+
+    #[test]
+    fn free_words_accounting() {
+        let (mut mem, mut log) = fresh();
+        let initial = log.free_words();
+        assert_eq!(initial, 63); // 64 words minus one slack
+        log.append(&mut mem, &LogRecord::write(1, 0, 0), true);
+        assert_eq!(log.free_words(), 59);
+        log.append(&mut mem, &LogRecord::commit(1), true);
+        assert_eq!(log.free_words(), 58);
+        mem.sfence();
+        log.truncate(&mut mem, true);
+        assert_eq!(log.free_words(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "log full")]
+    fn overflow_panics_without_truncation() {
+        let (mut mem, mut log) = fresh();
+        for i in 0..20 {
+            log.append(&mut mem, &LogRecord::write(i, 0, 0), true);
+        }
+    }
+
+    #[test]
+    fn abort_records_round_trip() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::abort(5), true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records, vec![LogRecord::abort(5)]);
+    }
+}

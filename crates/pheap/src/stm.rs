@@ -1,0 +1,155 @@
+//! A TL2-style software transactional memory: striped version locks, a
+//! global version clock, and commit-time read-set validation. This is
+//! the concurrency-control machinery whose *cost* (not its correctness)
+//! the paper's Figure 5 isolates — so it is implemented for real and its
+//! bookkeeping is charged to simulated time by the heap layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Striped-version STM state shared by all transactions of one heap.
+///
+/// Addresses hash to stripes (1 KiB granularity by default); each stripe
+/// carries the global-clock value of the last commit that wrote it. A
+/// transaction validates at commit that no stripe it read has been
+/// written since the transaction began.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::Stm;
+///
+/// let mut stm = Stm::new(256);
+/// let rv = stm.begin();
+/// let observed = stm.stripe_version(0x1000);
+/// // ... a concurrent writer commits to the same stripe:
+/// stm.external_write(0x1000);
+/// assert!(!stm.validate(rv, &[(stm.stripe_of(0x1000), observed)]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stm {
+    versions: Vec<u64>,
+    clock: u64,
+    stripe_shift: u32,
+}
+
+impl Stm {
+    /// Creates STM state with `stripes` version stripes (rounded up to a
+    /// power of two) at 1 KiB address granularity.
+    #[must_use]
+    pub fn new(stripes: usize) -> Self {
+        let n = stripes.next_power_of_two().max(16);
+        Stm {
+            versions: vec![0; n],
+            clock: 0,
+            stripe_shift: 10,
+        }
+    }
+
+    /// The stripe index covering `addr`.
+    #[must_use]
+    pub fn stripe_of(&self, addr: u64) -> usize {
+        ((addr >> self.stripe_shift) as usize) & (self.versions.len() - 1)
+    }
+
+    /// Current version of the stripe covering `addr`.
+    #[must_use]
+    pub fn stripe_version(&self, addr: u64) -> u64 {
+        self.versions[self.stripe_of(addr)]
+    }
+
+    /// Starts a transaction: returns the read version (current global
+    /// clock) the transaction validates against.
+    #[must_use]
+    pub fn begin(&self) -> u64 {
+        self.clock
+    }
+
+    /// Validates a read set: every `(stripe, version_observed)` pair must
+    /// still hold a version no newer than the transaction's read version
+    /// `rv`. Returns `false` on conflict.
+    #[must_use]
+    pub fn validate(&self, rv: u64, read_set: &[(usize, u64)]) -> bool {
+        read_set
+            .iter()
+            .all(|&(stripe, observed)| self.versions[stripe] == observed && observed <= rv)
+    }
+
+    /// Commits a write set: bumps the global clock and stamps every
+    /// written stripe with the new version. Returns the commit version.
+    pub fn commit(&mut self, written: impl IntoIterator<Item = u64>) -> u64 {
+        self.clock += 1;
+        let wv = self.clock;
+        for addr in written {
+            let stripe = self.stripe_of(addr);
+            self.versions[stripe] = wv;
+        }
+        wv
+    }
+
+    /// Records a write performed outside any transaction of this heap
+    /// (another thread / process in the paper's setting). Subsequent
+    /// validations of transactions that read the stripe will fail.
+    pub fn external_write(&mut self, addr: u64) {
+        self.clock += 1;
+        let stripe = self.stripe_of(addr);
+        self.versions[stripe] = self.clock;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_transactions_validate() {
+        let mut stm = Stm::new(64);
+        let rv = stm.begin();
+        let rs = vec![(stm.stripe_of(0), stm.stripe_version(0))];
+        stm.commit([1 << 10]); // writes the next stripe over
+        assert!(stm.validate(rv, &rs));
+    }
+
+    #[test]
+    fn conflicting_commit_invalidates_readers() {
+        let mut stm = Stm::new(64);
+        let rv = stm.begin();
+        let rs = vec![(stm.stripe_of(0x40), stm.stripe_version(0x40))];
+        stm.commit([0x40]);
+        assert!(!stm.validate(rv, &rs));
+    }
+
+    #[test]
+    fn same_stripe_addresses_conflict() {
+        let mut stm = Stm::new(64);
+        let rv = stm.begin();
+        // 0x0 and 0x3ff share a 1 KiB stripe.
+        let rs = vec![(stm.stripe_of(0x0), stm.stripe_version(0x0))];
+        stm.external_write(0x3ff);
+        assert!(!stm.validate(rv, &rs));
+    }
+
+    #[test]
+    fn commit_returns_monotone_versions() {
+        let mut stm = Stm::new(16);
+        let v1 = stm.commit([0]);
+        let v2 = stm.commit([0]);
+        assert!(v2 > v1);
+        assert_eq!(stm.stripe_version(0), v2);
+    }
+
+    #[test]
+    fn empty_read_set_always_validates() {
+        let mut stm = Stm::new(16);
+        let rv = stm.begin();
+        stm.external_write(0);
+        assert!(stm.validate(rv, &[]));
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        let stm = Stm::new(100);
+        assert_eq!(stm.versions.len(), 128);
+        let tiny = Stm::new(1);
+        assert_eq!(tiny.versions.len(), 16);
+    }
+}

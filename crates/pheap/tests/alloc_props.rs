@@ -1,0 +1,103 @@
+//! Property tests for the persistent allocator: arbitrary alloc/free
+//! interleavings never hand out overlapping blocks, frees reclaim space,
+//! and full release coalesces back to one block — all through the
+//! transactional heap, so allocator metadata enjoys crash consistency
+//! like everything else.
+
+use proptest::prelude::*;
+use wsp_pheap::{HeapConfig, PersistentHeap, PmPtr};
+use wsp_units::ByteSize;
+
+#[derive(Debug, Clone, Copy)]
+enum AllocOp {
+    Alloc(u64),
+    /// Free the i-th oldest live allocation (modulo the live count).
+    Free(usize),
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        3 => (8u64..200).prop_map(AllocOp::Alloc),
+        2 => (0usize..64).prop_map(AllocOp::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn no_overlap_and_full_reclamation(
+        ops in prop::collection::vec(alloc_op(), 1..80),
+        use_undo in any::<bool>(),
+    ) {
+        let config = if use_undo { HeapConfig::FofUndo } else { HeapConfig::Fof };
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut live: Vec<(PmPtr, u64)> = Vec::new();
+
+        let mut tx = heap.begin();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    if let Ok(ptr) = tx.alloc(size) {
+                        // Check non-overlap against every live block.
+                        let start = ptr.offset();
+                        let end = start + size;
+                        for (other, other_size) in &live {
+                            let os = other.offset();
+                            let oe = os + other_size;
+                            prop_assert!(
+                                end + 8 <= os || oe + 8 <= start,
+                                "blocks overlap: [{start},{end}) vs [{os},{oe})"
+                            );
+                        }
+                        live.push((ptr, size));
+                    }
+                }
+                AllocOp::Free(i) => {
+                    if !live.is_empty() {
+                        let (ptr, _) = live.remove(i % live.len());
+                        tx.free(ptr).unwrap();
+                    }
+                }
+            }
+        }
+        // Release everything; the free list must coalesce to one block
+        // so a max-size allocation succeeds again.
+        for (ptr, _) in live.drain(..) {
+            tx.free(ptr).unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut tx = heap.begin();
+        let big = tx.alloc(180 * 1024).expect("full heap available again");
+        tx.free(big).unwrap();
+        tx.commit().unwrap();
+    }
+
+    /// Writing every byte of each allocation never corrupts neighbours.
+    #[test]
+    fn payload_writes_stay_inside_blocks(
+        sizes in prop::collection::vec(8u64..120, 2..20),
+    ) {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::Fof);
+        let mut tx = heap.begin();
+        let blocks: Vec<(PmPtr, u64, u8)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                let ptr = tx.alloc(size).unwrap();
+                (ptr, size, (i % 251) as u8)
+            })
+            .collect();
+        for (ptr, size, fill) in &blocks {
+            let payload = vec![*fill; *size as usize];
+            tx.write_bytes(*ptr, &payload).unwrap();
+        }
+        for (ptr, size, fill) in &blocks {
+            let mut buf = vec![0u8; *size as usize];
+            tx.read_bytes(*ptr, &mut buf).unwrap();
+            prop_assert!(buf.iter().all(|b| b == fill), "block payload corrupted");
+        }
+        tx.commit().unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests for the cache-mediated NVRAM model: no matter what
+//! sequence of stores, NT stores, fences and flushes runs, the durable
+//! image obeys the architecture's persistence rules.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use wsp_pheap::PersistentMemory;
+use wsp_units::ByteSize;
+
+const REGION: u64 = 64 * 1024;
+
+#[derive(Debug, Clone, Copy)]
+enum MemOp {
+    /// Cached store of a word.
+    Write { addr: u64, value: u64 },
+    /// Non-temporal store of a word.
+    NtStore { addr: u64, value: u64 },
+    /// Fence (drains NT stores).
+    Sfence,
+    /// clflush of one line.
+    Clflush { addr: u64 },
+}
+
+fn aligned_addr() -> impl Strategy<Value = u64> {
+    (0u64..REGION / 8).prop_map(|w| w * 8)
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (aligned_addr(), any::<u64>()).prop_map(|(addr, value)| MemOp::Write { addr, value }),
+        (aligned_addr(), any::<u64>()).prop_map(|(addr, value)| MemOp::NtStore { addr, value }),
+        Just(MemOp::Sfence),
+        aligned_addr().prop_map(|addr| MemOp::Clflush { addr }),
+    ]
+}
+
+/// Applies ops to the simulated memory and, in parallel, to a model
+/// tracking (a) the architectural value of every word and (b) the set of
+/// words whose latest value is *guaranteed durable* (flushed or fenced,
+/// and not overwritten since).
+struct Model {
+    current: HashMap<u64, u64>,
+    durable_guaranteed: HashMap<u64, u64>,
+    /// NT stores issued since the last fence.
+    pending_nt: Vec<(u64, u64)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            current: HashMap::new(),
+            durable_guaranteed: HashMap::new(),
+            pending_nt: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, mem: &mut PersistentMemory, op: MemOp) {
+        match op {
+            MemOp::Write { addr, value } => {
+                mem.write_u64(addr, value);
+                self.current.insert(addr, value);
+                // A cached overwrite invalidates any durability guarantee
+                // for the word (the dirty line may or may not make it).
+                self.durable_guaranteed.remove(&addr);
+            }
+            MemOp::NtStore { addr, value } => {
+                mem.ntstore_u64(addr, value);
+                self.current.insert(addr, value);
+                self.durable_guaranteed.remove(&addr);
+                self.pending_nt.push((addr, value));
+            }
+            MemOp::Sfence => {
+                mem.sfence();
+                for (addr, value) in self.pending_nt.drain(..) {
+                    // Guaranteed only if this is still the latest value.
+                    if self.current.get(&addr) == Some(&value) {
+                        self.durable_guaranteed.insert(addr, value);
+                    }
+                }
+            }
+            MemOp::Clflush { addr } => {
+                let line = addr / 64 * 64;
+                mem.clflush_range(line, 64);
+                for w in 0..8 {
+                    let a = line + w * 8;
+                    // clflush writes back the *cache* line; data still
+                    // sitting in a write-combining buffer is not covered
+                    // (x86 needs a fence for that).
+                    let nt_pending = self.pending_nt.iter().any(|&(pa, _)| pa == a);
+                    if nt_pending {
+                        continue;
+                    }
+                    if let Some(&v) = self.current.get(&a) {
+                        self.durable_guaranteed.insert(a, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn word(image: &[u8], addr: u64) -> u64 {
+    u64::from_le_bytes(image[addr as usize..addr as usize + 8].try_into().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// With a flush-on-fail save, the durable image equals the full
+    /// architectural state — every word, including un-fenced NT stores.
+    #[test]
+    fn fof_save_preserves_architectural_state(
+        ops in prop::collection::vec(mem_op(), 1..120),
+    ) {
+        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+        let mut model = Model::new();
+        for op in ops {
+            model.apply(&mut mem, op);
+        }
+        let image = mem.crash(true);
+        for (addr, value) in &model.current {
+            prop_assert_eq!(word(&image, *addr), *value, "word {:#x}", addr);
+        }
+    }
+
+    /// Without the save, every explicitly-flushed (or fenced) word is
+    /// durable, and every word reads as either its latest value or some
+    /// previously-written value — never garbage.
+    #[test]
+    fn unsaved_crash_durability_rules(
+        ops in prop::collection::vec(mem_op(), 1..120),
+    ) {
+        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+        let mut model = Model::new();
+        let mut ever_written: HashMap<u64, Vec<u64>> = HashMap::new();
+        for op in ops {
+            if let MemOp::Write { addr, value } | MemOp::NtStore { addr, value } = op {
+                ever_written.entry(addr).or_default().push(value);
+            }
+            model.apply(&mut mem, op);
+        }
+        let image = mem.crash(false);
+        // Guaranteed-durable words hold exactly their guaranteed value.
+        for (addr, value) in &model.durable_guaranteed {
+            prop_assert_eq!(word(&image, *addr), *value, "flushed word {:#x}", addr);
+        }
+        // Every written word holds zero (never persisted) or one of its
+        // historical values — no invented bytes.
+        for (addr, history) in &ever_written {
+            let v = word(&image, *addr);
+            prop_assert!(
+                v == 0 || history.contains(&v),
+                "word {:#x} = {v} not in history {:?}",
+                addr,
+                history
+            );
+        }
+    }
+
+    /// flush_all is equivalent to crash(true): afterwards the durable
+    /// view equals the architectural view.
+    #[test]
+    fn flush_all_synchronises_views(
+        ops in prop::collection::vec(mem_op(), 1..80),
+    ) {
+        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+        let mut model = Model::new();
+        for op in ops {
+            model.apply(&mut mem, op);
+        }
+        mem.flush_all();
+        for (addr, value) in &model.current {
+            let mut buf = [0u8; 8];
+            let a = *addr as usize;
+            buf.copy_from_slice(&mem.durable_bytes()[a..a + 8]);
+            prop_assert_eq!(u64::from_le_bytes(buf), *value);
+        }
+    }
+
+    /// Reads always return the architectural value regardless of cache
+    /// state (read-your-writes through any op sequence).
+    #[test]
+    fn reads_are_architectural(
+        ops in prop::collection::vec(mem_op(), 1..100),
+    ) {
+        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+        let mut model = Model::new();
+        for op in ops {
+            model.apply(&mut mem, op);
+        }
+        for (addr, value) in &model.current {
+            prop_assert_eq!(mem.read_u64(*addr), *value);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The power-fail monitor: the microcontroller that watches the ATX
+//! `PWR_OK` line and interrupts the host (paper §4, "Power monitor").
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Nanos, Watts};
+
+use crate::Psu;
+
+/// A power-failure notification as seen by the host processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerFailEvent {
+    /// Time from `PWR_OK` dropping to the host interrupt firing
+    /// (microcontroller polling + serial line).
+    pub interrupt_latency: Nanos,
+    /// Residual energy window measured from `PWR_OK` dropping.
+    pub total_window: Nanos,
+    /// Window remaining once the host starts executing its save routine
+    /// (`total_window − interrupt_latency`, saturating).
+    pub usable_window: Nanos,
+}
+
+/// The NetDuino-style microcontroller of the prototype: watches
+/// `PWR_OK`, raises a host interrupt over a serial line, and relays
+/// save/restore commands to the NVDIMMs over I2C.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_power::{PowerMonitor, Psu};
+/// use wsp_units::Watts;
+///
+/// let monitor = PowerMonitor::netduino();
+/// let event = monitor.power_fail(&Psu::atx_1050w(), Watts::new(350.0));
+/// assert!(event.usable_window < event.total_window);
+/// assert!(event.usable_window.as_millis() >= 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerMonitor {
+    /// `PWR_OK` edge → host interrupt latency.
+    pub interrupt_latency: Nanos,
+    /// Host command → NVDIMM command latency (serial + I2C relay).
+    pub i2c_command_latency: Nanos,
+}
+
+impl PowerMonitor {
+    /// The prototype's NetDuino microcontroller: ~100 µs to interrupt the
+    /// host, ~200 µs to relay an I2C command to the NVDIMMs.
+    #[must_use]
+    pub fn netduino() -> Self {
+        PowerMonitor {
+            interrupt_latency: Nanos::from_micros(100),
+            i2c_command_latency: Nanos::from_micros(200),
+        }
+    }
+
+    /// Creates a monitor with explicit latencies.
+    #[must_use]
+    pub fn new(interrupt_latency: Nanos, i2c_command_latency: Nanos) -> Self {
+        PowerMonitor {
+            interrupt_latency,
+            i2c_command_latency,
+        }
+    }
+
+    /// Models an input-power failure: computes the PSU's residual window
+    /// at the current `load` and the slice of it the host can actually
+    /// use after interrupt delivery.
+    #[must_use]
+    pub fn power_fail(&self, psu: &Psu, load: Watts) -> PowerFailEvent {
+        let total = psu.residual_window(load);
+        PowerFailEvent {
+            interrupt_latency: self.interrupt_latency,
+            total_window: total,
+            usable_window: total.saturating_sub(self.interrupt_latency),
+        }
+    }
+}
+
+impl Default for PowerMonitor {
+    fn default() -> Self {
+        Self::netduino()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usable_window_subtracts_interrupt_latency() {
+        let m = PowerMonitor::new(Nanos::from_millis(1), Nanos::ZERO);
+        let e = m.power_fail(&Psu::atx_1050w(), Watts::new(350.0));
+        assert_eq!(e.total_window - e.usable_window, Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn tight_window_saturates_to_zero() {
+        let m = PowerMonitor::new(Nanos::from_secs(1), Nanos::ZERO);
+        let e = m.power_fail(&Psu::atx_750w(), Watts::new(350.0));
+        assert_eq!(e.usable_window, Nanos::ZERO);
+    }
+
+    #[test]
+    fn default_is_netduino() {
+        assert_eq!(PowerMonitor::default(), PowerMonitor::netduino());
+    }
+}

@@ -1,0 +1,127 @@
+//! Supercapacitor provisioning: sizing and pricing the extra capacitance
+//! that guarantees a safe flush-on-fail window (paper §5.4 and §6,
+//! "NVRAM failures").
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Farads, Joules, Nanos, Volts, Watts};
+
+use crate::psu::REGULATION_FLOOR;
+
+/// A provisioning recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionPlan {
+    /// Energy the save path needs, including the safety margin.
+    pub required_energy: Joules,
+    /// Supercapacitance to add on the 12 V bus so that the usable 5 %
+    /// regulation band alone covers the requirement.
+    pub capacitance: Farads,
+    /// Estimated component cost in US dollars.
+    pub cost_usd: f64,
+    /// The residual window the added capacitance provides by itself.
+    pub provided_window: Nanos,
+}
+
+/// Sizes a supercapacitor for a given system.
+///
+/// Pricing uses the paper's Foresight market figures: below $0.01 per
+/// farad and $2.85 per kilojoule, plus a small fixed packaging cost. The
+/// paper's example — the Intel testbed's save powered by a 0.5 F part for
+/// under US$2 — falls out of these numbers.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_power::SupercapProvisioner;
+/// use wsp_units::{Nanos, Watts};
+///
+/// let prov = SupercapProvisioner::new(Watts::new(350.0), 3.0);
+/// let plan = prov.plan(Nanos::from_millis(3));
+/// assert!(plan.capacitance.get() <= 0.5);
+/// assert!(plan.cost_usd < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupercapProvisioner {
+    /// Worst-case system power draw during the save.
+    pub system_load: Watts,
+    /// Multiplicative safety margin on the save time (e.g. 3.0 = size for
+    /// three times the measured save).
+    pub safety_margin: f64,
+}
+
+impl SupercapProvisioner {
+    /// Creates a provisioner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin is below 1.0.
+    #[must_use]
+    pub fn new(system_load: Watts, safety_margin: f64) -> Self {
+        assert!(safety_margin >= 1.0, "safety margin must be at least 1.0");
+        SupercapProvisioner {
+            system_load,
+            safety_margin,
+        }
+    }
+
+    /// Plans the capacitance needed to power a save of `save_time`.
+    #[must_use]
+    pub fn plan(&self, save_time: Nanos) -> ProvisionPlan {
+        let required = self.system_load * save_time * self.safety_margin;
+        // Usable band on the 12 V bus: nominal down to the 95 % floor.
+        let v0 = 12.0f64;
+        let vf = v0 * REGULATION_FLOOR;
+        let per_farad = (v0 * v0 - vf * vf) / 2.0;
+        let capacitance = Farads::new(required.get() / per_farad);
+        let stored_kj = Farads::new(capacitance.get())
+            .stored_energy(Volts::new(v0))
+            .get()
+            / 1000.0;
+        let cost_usd = 1.50 + 0.01 * capacitance.get() + 2.85 * stored_kj;
+        let provided_window = required / self.system_load;
+        ProvisionPlan {
+            required_energy: required,
+            capacitance,
+            cost_usd,
+            provided_window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §5.4: "the state save on our test platform could be powered
+    /// by a 0.5 F supercapacitor that costs less than US$2".
+    #[test]
+    fn intel_save_fits_half_farad_under_two_dollars() {
+        let prov = SupercapProvisioner::new(Watts::new(350.0), 3.0);
+        let plan = prov.plan(Nanos::from_millis(3));
+        assert!(
+            plan.capacitance.get() > 0.3 && plan.capacitance.get() <= 0.55,
+            "capacitance {}",
+            plan.capacitance
+        );
+        assert!(plan.cost_usd < 2.0, "cost ${:.2}", plan.cost_usd);
+    }
+
+    #[test]
+    fn margin_scales_linearly() {
+        let base = SupercapProvisioner::new(Watts::new(100.0), 1.0).plan(Nanos::from_millis(10));
+        let doubled = SupercapProvisioner::new(Watts::new(100.0), 2.0).plan(Nanos::from_millis(10));
+        assert!((doubled.capacitance.get() / base.capacitance.get() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provided_window_covers_margin() {
+        let prov = SupercapProvisioner::new(Watts::new(200.0), 3.0);
+        let plan = prov.plan(Nanos::from_millis(5));
+        assert_eq!(plan.provided_window.as_millis(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety margin")]
+    fn sub_unity_margin_rejected() {
+        let _ = SupercapProvisioner::new(Watts::new(1.0), 0.5);
+    }
+}

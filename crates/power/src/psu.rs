@@ -1,0 +1,338 @@
+//! ATX power supply model: output rails, `PWR_OK`, and the residual
+//! energy window.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Farads, Nanos, Volts, Watts};
+
+/// Fraction of nominal rail voltage below which the paper's measurement
+/// procedure declares the output "dropped" (any 250 µs interval under 95 %
+/// of nominal).
+pub const REGULATION_FLOOR: f64 = 0.95;
+
+/// One DC output rail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rail {
+    /// Rail name ("12V", "5V", "3.3V").
+    pub name: String,
+    /// Nominal output voltage.
+    pub nominal: Volts,
+}
+
+impl Rail {
+    /// Creates a rail.
+    #[must_use]
+    pub fn new(name: impl Into<String>, nominal: Volts) -> Self {
+        Rail {
+            name: name.into(),
+            nominal,
+        }
+    }
+
+    /// The voltage below which this rail is out of regulation.
+    #[must_use]
+    pub fn floor(&self) -> Volts {
+        self.nominal * REGULATION_FLOOR
+    }
+}
+
+/// An ATX power supply with an empirically calibrated residual energy
+/// window.
+///
+/// # Model
+///
+/// After input power fails the PSU drops `PWR_OK` and its outputs coast on
+/// stored energy. We model the store as an *effective output capacitance*
+/// on the 12 V bus that is an affine function of load power,
+/// `C(P) = a + b·P`: real supplies differ wildly here (the paper's 750 W
+/// and 1050 W units show load-independent windows, the 525 W unit loses
+/// most of its window under load, and the 400 W unit barely cares), and an
+/// affine `C(P)` is the simplest form that reproduces every measured pair
+/// in Figure 7. The window is then the constant-power discharge time from
+/// nominal down to the 95 % regulation floor:
+///
+/// `t(P) = C(P) · (V₀² − (0.95·V₀)²) / (2P)`
+///
+/// Calibration constructors ([`Psu::atx_400w`] … [`Psu::atx_1050w`]) feed
+/// the paper's measured (load, window) pairs to
+/// [`Psu::from_measurements`], which solves for `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_power::Psu;
+/// use wsp_units::{Nanos, Watts};
+///
+/// // The paper's 525 W unit: 22 ms busy, 71 ms idle.
+/// let psu = Psu::atx_525w();
+/// let busy = psu.residual_window(Watts::new(120.0));
+/// assert!((busy.as_millis_f64() - 22.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Psu {
+    /// Model name.
+    pub name: String,
+    /// Rated output power.
+    pub rated: Watts,
+    /// Output rails; the first is the primary (12 V) bus that the
+    /// capacitance model discharges.
+    pub rails: Vec<Rail>,
+    /// Constant term of the effective capacitance (farads).
+    cap_base: f64,
+    /// Load-proportional term of the effective capacitance (farads per
+    /// watt; may be negative for supplies that regulate worse under
+    /// load).
+    cap_per_watt: f64,
+}
+
+impl Psu {
+    /// Builds a PSU whose effective capacitance is constant (`C(P) = c`).
+    #[must_use]
+    pub fn from_capacitance(name: impl Into<String>, rated: Watts, c: Farads) -> Self {
+        Psu {
+            name: name.into(),
+            rated,
+            rails: Self::default_rails(),
+            cap_base: c.get(),
+            cap_per_watt: 0.0,
+        }
+    }
+
+    /// Builds a PSU calibrated to two measured (load, window) points, as
+    /// taken from an oscilloscope trace. Solves `C(P) = a + b·P` so that
+    /// [`Psu::residual_window`] reproduces both measurements exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two loads are equal or non-positive.
+    #[must_use]
+    pub fn from_measurements(
+        name: impl Into<String>,
+        rated: Watts,
+        busy: (Watts, Nanos),
+        idle: (Watts, Nanos),
+    ) -> Self {
+        let (p1, t1) = busy;
+        let (p2, t2) = idle;
+        assert!(p1.get() > 0.0 && p2.get() > 0.0, "loads must be positive");
+        assert!(
+            (p1.get() - p2.get()).abs() > f64::EPSILON,
+            "calibration loads must differ"
+        );
+        let k = Self::discharge_constant();
+        // t = C(P)·k/P  =>  C(P) = t·P/k; two points give the affine fit.
+        let c1 = t1.as_secs_f64() * p1.get() / k;
+        let c2 = t2.as_secs_f64() * p2.get() / k;
+        let b = (c1 - c2) / (p1.get() - p2.get());
+        let a = c1 - b * p1.get();
+        Psu {
+            name: name.into(),
+            rated,
+            rails: Self::default_rails(),
+            cap_base: a,
+            cap_per_watt: b,
+        }
+    }
+
+    fn default_rails() -> Vec<Rail> {
+        vec![
+            Rail::new("12V", Volts::new(12.0)),
+            Rail::new("5V", Volts::new(5.0)),
+            Rail::new("3.3V", Volts::new(3.3)),
+        ]
+    }
+
+    /// `(V₀² − (0.95 V₀)²) / 2` for the 12 V bus: joules released per
+    /// farad while sagging from nominal to the regulation floor.
+    fn discharge_constant() -> f64 {
+        let v0 = 12.0f64;
+        let vf = v0 * REGULATION_FLOOR;
+        (v0 * v0 - vf * vf) / 2.0
+    }
+
+    /// Effective output capacitance at load `p`, clamped to be
+    /// non-negative.
+    #[must_use]
+    pub fn effective_capacitance(&self, p: Watts) -> Farads {
+        Farads::new((self.cap_base + self.cap_per_watt * p.get()).max(0.0))
+    }
+
+    /// The residual energy window at load `p`: time from `PWR_OK`
+    /// dropping until the first rail leaves regulation. A non-positive
+    /// load never drains the store ([`Nanos::MAX`]).
+    #[must_use]
+    pub fn residual_window(&self, p: Watts) -> Nanos {
+        if p.get() <= 0.0 {
+            return Nanos::MAX;
+        }
+        let c = self.effective_capacitance(p);
+        Nanos::from_secs_f64(c.get() * Self::discharge_constant() / p.get())
+    }
+
+    /// Voltage on the primary (12 V) rail at time `t` after `PWR_OK`
+    /// drops, under constant load `p`: `√(V₀² − 2·P·t/C)`, floored at
+    /// zero.
+    #[must_use]
+    pub fn rail_voltage_at(&self, p: Watts, t: Nanos) -> Volts {
+        let v0 = self.rails[0].nominal;
+        if p.get() <= 0.0 {
+            return v0;
+        }
+        let c = self.effective_capacitance(p);
+        c.voltage_after(v0, p * t)
+    }
+
+    /// The paper's 400 W unit on the AMD testbed: 346 ms busy, 392 ms
+    /// idle — the roomiest window measured.
+    #[must_use]
+    pub fn atx_400w() -> Self {
+        Self::from_measurements(
+            "ATX 400W",
+            Watts::new(400.0),
+            (Watts::new(120.0), Nanos::from_millis(346)),
+            (Watts::new(60.0), Nanos::from_millis(392)),
+        )
+    }
+
+    /// The paper's 525 W unit on the AMD testbed: 22 ms busy, 71 ms idle
+    /// — strongly load-sensitive.
+    #[must_use]
+    pub fn atx_525w() -> Self {
+        Self::from_measurements(
+            "ATX 525W",
+            Watts::new(525.0),
+            (Watts::new(120.0), Nanos::from_millis(22)),
+            (Watts::new(60.0), Nanos::from_millis(71)),
+        )
+    }
+
+    /// The paper's 750 W unit on the Intel testbed: 10 ms busy and idle —
+    /// the tightest window measured.
+    #[must_use]
+    pub fn atx_750w() -> Self {
+        Self::from_measurements(
+            "ATX 750W",
+            Watts::new(750.0),
+            (Watts::new(350.0), Nanos::from_millis(10)),
+            (Watts::new(200.0), Nanos::from_millis(10)),
+        )
+    }
+
+    /// The paper's 1050 W unit on the Intel testbed: 33 ms busy and idle.
+    #[must_use]
+    pub fn atx_1050w() -> Self {
+        Self::from_measurements(
+            "ATX 1050W",
+            Watts::new(1050.0),
+            (Watts::new(350.0), Nanos::from_millis(33)),
+            (Watts::new(200.0), Nanos::from_millis(33)),
+        )
+    }
+
+    /// All four PSUs of Figure 7, in the paper's order.
+    #[must_use]
+    pub fn paper_psus() -> Vec<Psu> {
+        vec![
+            Self::atx_400w(),
+            Self::atx_525w(),
+            Self::atx_750w(),
+            Self::atx_1050w(),
+        ]
+    }
+}
+
+impl fmt::Display for Psu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} rated)", self.name, self.rated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    /// Figure 7 calibration: every (PSU, load) pair must land on the
+    /// paper's measured window within 5%.
+    #[test]
+    fn fig7_calibration() {
+        let cases: &[(Psu, f64, f64)] = &[
+            (Psu::atx_400w(), 346.0, 392.0),
+            (Psu::atx_525w(), 22.0, 71.0),
+            (Psu::atx_750w(), 10.0, 10.0),
+            (Psu::atx_1050w(), 33.0, 33.0),
+        ];
+        for (psu, busy_ms, idle_ms) in cases {
+            let (p_busy, p_idle) = if psu.rated.get() >= 700.0 {
+                (Watts::new(350.0), Watts::new(200.0))
+            } else {
+                (Watts::new(120.0), Watts::new(60.0))
+            };
+            let b = psu.residual_window(p_busy).as_millis_f64();
+            let i = psu.residual_window(p_idle).as_millis_f64();
+            assert!((b - busy_ms).abs() / busy_ms < 0.05, "{}: busy {b} vs {busy_ms}", psu.name);
+            assert!((i - idle_ms).abs() / idle_ms < 0.05, "{}: idle {i} vs {idle_ms}", psu.name);
+        }
+    }
+
+    #[test]
+    fn zero_load_window_is_unbounded() {
+        assert_eq!(Psu::atx_750w().residual_window(Watts::ZERO), Nanos::MAX);
+    }
+
+    #[test]
+    fn rail_voltage_decays_monotonically() {
+        let psu = Psu::atx_1050w();
+        let p = Watts::new(350.0);
+        let mut last = Volts::new(13.0);
+        for t_ms in [0u64, 5, 10, 20, 33, 50, 100] {
+            let v = psu.rail_voltage_at(p, ms(t_ms));
+            assert!(v < last || v == Volts::ZERO, "voltage must not rise");
+            last = v;
+        }
+        // At the window boundary the rail is exactly at the floor.
+        let at_window = psu.rail_voltage_at(p, psu.residual_window(p));
+        assert!((at_window.get() - 12.0 * REGULATION_FLOOR).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacitance_clamped_non_negative() {
+        // The 525 W unit has a negative load coefficient; at absurd loads
+        // the effective capacitance must clamp to zero, not go negative.
+        let psu = Psu::atx_525w();
+        let c = psu.effective_capacitance(Watts::new(100_000.0));
+        assert!(c.get() >= 0.0);
+        assert_eq!(psu.residual_window(Watts::new(100_000.0)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn from_capacitance_matches_hand_math() {
+        // 1 F from 12 V to 11.4 V releases 7.02 J; at 70.2 W that is 100 ms.
+        let psu = Psu::from_capacitance("test", Watts::new(100.0), Farads::new(1.0));
+        let w = psu.residual_window(Watts::new(70.2));
+        assert!((w.as_millis_f64() - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration loads must differ")]
+    fn equal_calibration_loads_rejected() {
+        let _ = Psu::from_measurements(
+            "bad",
+            Watts::new(100.0),
+            (Watts::new(50.0), ms(10)),
+            (Watts::new(50.0), ms(20)),
+        );
+    }
+
+    #[test]
+    fn rails_have_floors() {
+        let psu = Psu::atx_400w();
+        assert_eq!(psu.rails.len(), 3);
+        let floor = psu.rails[0].floor();
+        assert!((floor.get() - 11.4).abs() < 1e-9);
+    }
+}

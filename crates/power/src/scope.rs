@@ -1,0 +1,244 @@
+//! A sampling-oscilloscope model: reproduces the paper's residual-window
+//! measurement procedure (Figure 6) — monitor `PWR_OK` and the DC rails
+//! at 100 kHz and report the first 250 µs interval in which any rail sits
+//! below 95 % of nominal.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Nanos, Watts};
+
+use crate::psu::{Psu, REGULATION_FLOOR};
+
+/// One oscilloscope sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeSample {
+    /// Time relative to the `PWR_OK` falling edge (negative = before the
+    /// failure).
+    pub offset_ns: i64,
+    /// `PWR_OK` logic level.
+    pub pwr_ok: bool,
+    /// Measured rail voltages, in the PSU's rail order (12 V, 5 V, 3.3 V).
+    pub rails: Vec<f64>,
+}
+
+/// A captured trace plus the capture's metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScopeTrace {
+    /// Samples in time order.
+    pub samples: Vec<ScopeSample>,
+    /// Sampling interval.
+    pub sample_interval: Nanos,
+    /// Nominal rail voltages.
+    pub nominals: Vec<f64>,
+}
+
+impl ScopeTrace {
+    /// Applies the paper's detector: the measured window is the time from
+    /// the `PWR_OK` drop (offset 0) to the start of the first 250 µs
+    /// interval throughout which some rail stays below 95 % of nominal.
+    /// Returns `None` if no rail ever drops within the capture.
+    #[must_use]
+    pub fn measured_window(&self) -> Option<Nanos> {
+        let detect_samples =
+            (250_000 / self.sample_interval.as_nanos().max(1)).max(1) as usize;
+        let floors: Vec<f64> = self.nominals.iter().map(|v| v * REGULATION_FLOOR).collect();
+        let post: Vec<&ScopeSample> =
+            self.samples.iter().filter(|s| s.offset_ns >= 0).collect();
+        for rail in 0..floors.len() {
+            let mut run = 0usize;
+            for (i, s) in post.iter().enumerate() {
+                if s.rails[rail] < floors[rail] {
+                    run += 1;
+                    if run >= detect_samples {
+                        let start = post[i + 1 - run];
+                        return Some(Nanos::new(start.offset_ns as u64));
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The measurement instrument: sample rate and capture length.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_power::{Oscilloscope, Psu};
+/// use wsp_units::{Nanos, Watts};
+///
+/// let scope = Oscilloscope::at_100khz();
+/// let trace = scope.capture(&Psu::atx_1050w(), Watts::new(350.0), Nanos::from_millis(100));
+/// let window = trace.measured_window().expect("rails drop within 100 ms");
+/// assert!((window.as_millis_f64() - 33.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Oscilloscope {
+    /// Interval between samples.
+    pub sample_interval: Nanos,
+    /// Pre-trigger capture length (before the `PWR_OK` drop).
+    pub pre_trigger: Nanos,
+}
+
+impl Oscilloscope {
+    /// The paper's configuration: 100 kHz sampling, 20 ms of pre-trigger.
+    #[must_use]
+    pub fn at_100khz() -> Self {
+        Oscilloscope {
+            sample_interval: Nanos::from_micros(10),
+            pre_trigger: Nanos::from_millis(20),
+        }
+    }
+
+    /// Captures `duration` of post-failure samples of `psu` discharging
+    /// into `load`, with measurement ripple and noise overlaid so the
+    /// detector has something realistic to chew on. The noise is
+    /// deterministic (a fixed-seed xorshift), so traces are reproducible.
+    #[must_use]
+    pub fn capture(&self, psu: &Psu, load: Watts, duration: Nanos) -> ScopeTrace {
+        let nominals: Vec<f64> = psu.rails.iter().map(|r| r.nominal.get()).collect();
+        let step = self.sample_interval.as_nanos().max(1);
+        let mut samples = Vec::new();
+        let mut noise_state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut noise = move || {
+            // xorshift64*; scaled to ±1.
+            noise_state ^= noise_state >> 12;
+            noise_state ^= noise_state << 25;
+            noise_state ^= noise_state >> 27;
+            let v = noise_state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            (v >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+
+        let pre = self.pre_trigger.as_nanos() as i64;
+        let mut t = -pre;
+        let end = duration.as_nanos() as i64;
+        while t <= end {
+            let v12 = if t < 0 {
+                psu.rails[0].nominal
+            } else {
+                psu.rail_voltage_at(load, Nanos::new(t as u64))
+            };
+            let floor12 = psu.rails[0].floor();
+            let rails: Vec<f64> = nominals
+                .iter()
+                .enumerate()
+                .map(|(i, nominal)| {
+                    // Secondary rails are regulated off the 12 V bus: they
+                    // hold nominal until the bus leaves regulation, then
+                    // collapse proportionally.
+                    let base = if i == 0 {
+                        v12.get()
+                    } else if v12 >= floor12 {
+                        *nominal
+                    } else {
+                        nominal * (v12.get() / floor12.get()).max(0.0)
+                    };
+                    // 120 Hz rectifier ripple + white measurement noise.
+                    let ripple = 0.004 * nominal * (t as f64 * 2.0 * std::f64::consts::PI * 120.0 / 1e9).sin();
+                    base + ripple + 0.002 * nominal * noise()
+                })
+                .collect();
+            samples.push(ScopeSample {
+                offset_ns: t,
+                pwr_ok: t < 0,
+                rails,
+            });
+            t += step as i64;
+        }
+        ScopeTrace {
+            samples,
+            sample_interval: Nanos::new(step),
+            nominals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_intel_1050w_busy_window_is_33ms() {
+        let scope = Oscilloscope::at_100khz();
+        let trace = scope.capture(&Psu::atx_1050w(), Watts::new(350.0), Nanos::from_millis(120));
+        let w = trace.measured_window().expect("window detected");
+        assert!((w.as_millis_f64() - 33.0).abs() < 2.0, "measured {w}");
+    }
+
+    #[test]
+    fn detector_ignores_sub_250us_glitches() {
+        // A trace that dips below the floor for 100 us then recovers.
+        let nominals = vec![12.0];
+        let step = Nanos::from_micros(10);
+        let mut samples = Vec::new();
+        for i in 0..1000i64 {
+            let t = i * 10_000;
+            let v = if (200_000..300_000).contains(&t) { 11.0 } else { 12.0 };
+            samples.push(ScopeSample {
+                offset_ns: t,
+                pwr_ok: false,
+                rails: vec![v],
+            });
+        }
+        let trace = ScopeTrace {
+            samples,
+            sample_interval: step,
+            nominals,
+        };
+        // 100 us dip: 10 samples < 25 required.
+        assert_eq!(trace.measured_window(), None);
+    }
+
+    #[test]
+    fn detector_finds_sustained_drop_start() {
+        let nominals = vec![12.0];
+        let step = Nanos::from_micros(10);
+        let samples = (0..2000i64)
+            .map(|i| {
+                let t = i * 10_000;
+                ScopeSample {
+                    offset_ns: t,
+                    pwr_ok: false,
+                    rails: vec![if t >= 5_000_000 { 11.0 } else { 12.0 }],
+                }
+            })
+            .collect();
+        let trace = ScopeTrace {
+            samples,
+            sample_interval: step,
+            nominals,
+        };
+        assert_eq!(trace.measured_window(), Some(Nanos::from_millis(5)));
+    }
+
+    #[test]
+    fn capture_includes_pre_trigger_with_pwr_ok_high() {
+        let scope = Oscilloscope::at_100khz();
+        let trace = scope.capture(&Psu::atx_400w(), Watts::new(120.0), Nanos::from_millis(1));
+        let pre: Vec<_> = trace.samples.iter().filter(|s| s.offset_ns < 0).collect();
+        assert!(!pre.is_empty());
+        assert!(pre.iter().all(|s| s.pwr_ok));
+        assert!(trace.samples.iter().filter(|s| s.offset_ns >= 0).all(|s| !s.pwr_ok));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let scope = Oscilloscope::at_100khz();
+        let a = scope.capture(&Psu::atx_525w(), Watts::new(120.0), Nanos::from_millis(30));
+        let b = scope.capture(&Psu::atx_525w(), Watts::new(120.0), Nanos::from_millis(30));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn secondary_rails_collapse_after_primary() {
+        let scope = Oscilloscope::at_100khz();
+        let trace = scope.capture(&Psu::atx_750w(), Watts::new(350.0), Nanos::from_millis(60));
+        let last = trace.samples.last().unwrap();
+        // Long after the 10 ms window everything has sagged.
+        assert!(last.rails[0] < 11.4);
+        assert!(last.rails[1] < 5.0 * 0.95 + 0.1);
+        assert!(last.rails[2] < 3.3 * 0.95 + 0.1);
+    }
+}

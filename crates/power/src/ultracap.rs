@@ -1,0 +1,249 @@
+//! Ultracapacitor energy cells: the backup store that lets NVDIMMs finish
+//! their DRAM→flash save after system power is gone, plus the cycle-aging
+//! model of Figure 1.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Farads, Joules, Nanos, Volts, Watts};
+
+/// Any rechargeable energy cell whose usable capacity degrades with
+/// charge/discharge cycling — the axis of the paper's Figure 1 comparison
+/// between ultracapacitors and lead-acid/Li-ion batteries.
+pub trait EnergyCell {
+    /// Usable capacity after `cycles` full charge/discharge cycles, as a
+    /// fraction of the brand-new capacity (1.0 = like new).
+    fn capacity_fraction(&self, cycles: u64) -> f64;
+
+    /// Human-readable technology name.
+    fn technology(&self) -> &str;
+}
+
+/// Capacitance-fade model for an ultracapacitor, and a battery foil.
+///
+/// Figure 1 (AgigA Tech data): after 100,000 cycles at elevated
+/// temperature and voltage, ultracaps retain ~96 % (best case) to ~90 %
+/// (worst case / data-sheet value) of their capacitance, while
+/// rechargeable batteries degrade severely within a few hundred cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AgingModel {
+    /// Ultracapacitor, best observed case (~4 % fade at 100 k cycles).
+    UltracapBest,
+    /// Ultracapacitor, worst case / data-sheet value (~10 % fade at
+    /// 100 k cycles).
+    UltracapWorst,
+    /// Rechargeable battery: usable capacity collapses after a few
+    /// hundred cycles (the paper's motivation for avoiding batteries).
+    Battery,
+}
+
+impl EnergyCell for AgingModel {
+    fn capacity_fraction(&self, cycles: u64) -> f64 {
+        match self {
+            // Square-root fade: fast initial conditioning loss, then
+            // flattening — the shape of the Figure 1 curves.
+            AgingModel::UltracapBest => 1.0 - 0.04 * (cycles as f64 / 100_000.0).sqrt().min(1.5),
+            AgingModel::UltracapWorst => 1.0 - 0.10 * (cycles as f64 / 100_000.0).sqrt().min(1.5),
+            // Linear collapse to a 10% floor within ~400 cycles.
+            AgingModel::Battery => (1.0 - cycles as f64 / 450.0).max(0.10),
+        }
+    }
+
+    fn technology(&self) -> &str {
+        match self {
+            AgingModel::UltracapBest => "ultracapacitor (best case)",
+            AgingModel::UltracapWorst => "ultracapacitor (worst case)",
+            AgingModel::Battery => "rechargeable battery",
+        }
+    }
+}
+
+/// An ultracapacitor bank: capacitance, charge state, cycling history and
+/// a minimum usable voltage (the NVDIMM's regulator needs ~6 V input for
+/// its 3.3 V internals — paper footnote 1).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_power::Ultracapacitor;
+/// use wsp_units::{Farads, Nanos, Volts, Watts};
+///
+/// let mut cap = Ultracapacitor::new(Farads::new(50.0), Volts::new(12.0), Volts::new(6.0));
+/// let supply = cap.supply_time(Watts::new(10.0));
+/// assert!(supply.as_secs_f64() > 20.0); // tens of seconds for a save
+/// cap.discharge(Watts::new(10.0), Nanos::from_secs(10));
+/// assert!(cap.voltage() < Volts::new(12.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ultracapacitor {
+    nominal_capacitance: Farads,
+    charge_voltage: Volts,
+    min_voltage: Volts,
+    voltage: Volts,
+    cycles: u64,
+    aging: AgingModel,
+}
+
+impl Ultracapacitor {
+    /// Creates a fully charged ultracapacitor bank with worst-case aging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_voltage >= charge_voltage` or capacitance is not
+    /// positive.
+    #[must_use]
+    pub fn new(capacitance: Farads, charge_voltage: Volts, min_voltage: Volts) -> Self {
+        assert!(capacitance.get() > 0.0, "capacitance must be positive");
+        assert!(
+            min_voltage < charge_voltage,
+            "minimum usable voltage must be below the charge voltage"
+        );
+        Ultracapacitor {
+            nominal_capacitance: capacitance,
+            charge_voltage,
+            min_voltage,
+            voltage: charge_voltage,
+            cycles: 0,
+            aging: AgingModel::UltracapWorst,
+        }
+    }
+
+    /// Replaces the aging model (default: worst case).
+    #[must_use]
+    pub fn with_aging(mut self, aging: AgingModel) -> Self {
+        self.aging = aging;
+        self
+    }
+
+    /// Present capacitance, accounting for cycle aging.
+    #[must_use]
+    pub fn capacitance(&self) -> Farads {
+        self.nominal_capacitance * self.aging.capacity_fraction(self.cycles)
+    }
+
+    /// Present terminal voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// Completed charge/discharge cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Usable energy from the present voltage down to the minimum usable
+    /// voltage.
+    #[must_use]
+    pub fn usable_energy(&self) -> Joules {
+        self.capacitance().energy_between(self.voltage, self.min_voltage)
+    }
+
+    /// How long the cell can sustain a constant `load` before dropping
+    /// below the minimum usable voltage.
+    #[must_use]
+    pub fn supply_time(&self, load: Watts) -> Nanos {
+        self.usable_energy() / load
+    }
+
+    /// Drains the cell at constant `load` for `duration`, updating the
+    /// terminal voltage. Returns `true` if the cell stayed above its
+    /// minimum usable voltage for the whole interval.
+    pub fn discharge(&mut self, load: Watts, duration: Nanos) -> bool {
+        let drained = load * duration;
+        self.voltage = self.capacitance().voltage_after(self.voltage, drained);
+        self.voltage >= self.min_voltage
+    }
+
+    /// Recharges to full and records one charge/discharge cycle.
+    pub fn recharge(&mut self) {
+        self.voltage = self.charge_voltage;
+        self.cycles += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Ultracapacitor {
+        Ultracapacitor::new(Farads::new(50.0), Volts::new(12.0), Volts::new(6.0))
+    }
+
+    #[test]
+    fn fig1_ultracap_retains_90_percent_at_100k_cycles() {
+        let worst = AgingModel::UltracapWorst.capacity_fraction(100_000);
+        let best = AgingModel::UltracapBest.capacity_fraction(100_000);
+        assert!((worst - 0.90).abs() < 0.005, "worst case: {worst}");
+        assert!((best - 0.96).abs() < 0.005, "best case: {best}");
+    }
+
+    #[test]
+    fn fig1_battery_collapses_quickly() {
+        let b = AgingModel::Battery;
+        assert!(b.capacity_fraction(300) < 0.5);
+        assert_eq!(b.capacity_fraction(10_000), 0.10);
+        // Ultracaps at the same cycle count are nearly pristine.
+        assert!(AgingModel::UltracapWorst.capacity_fraction(300) > 0.99);
+    }
+
+    #[test]
+    fn aging_is_monotone_nonincreasing() {
+        for model in [
+            AgingModel::UltracapBest,
+            AgingModel::UltracapWorst,
+            AgingModel::Battery,
+        ] {
+            let mut last = model.capacity_fraction(0);
+            assert!((last - 1.0).abs() < 1e-9, "{}", model.technology());
+            for c in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+                let f = model.capacity_fraction(c);
+                assert!(f <= last + 1e-12);
+                assert!(f > 0.0);
+                last = f;
+            }
+        }
+    }
+
+    #[test]
+    fn discharge_tracks_energy() {
+        let mut c = cell();
+        let e0 = c.usable_energy();
+        assert!(c.discharge(Watts::new(10.0), Nanos::from_secs(5)));
+        let e1 = c.usable_energy();
+        assert!((e0.get() - e1.get() - 50.0).abs() < 1e-6, "50 J drained");
+    }
+
+    #[test]
+    fn discharge_fails_when_exhausted() {
+        let mut c = cell();
+        // 50 F * (144-36)/2 = 2700 J usable; drain 3000 J.
+        assert!(!c.discharge(Watts::new(100.0), Nanos::from_secs(30)));
+        assert!(c.voltage() < Volts::new(6.0));
+    }
+
+    #[test]
+    fn supply_time_matches_energy_budget() {
+        let c = cell();
+        let t = c.supply_time(Watts::new(27.0));
+        // 2700 J / 27 W = 100 s.
+        assert!((t.as_secs_f64() - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn recharge_counts_cycles_and_ages() {
+        let mut c = cell();
+        let fresh = c.capacitance();
+        for _ in 0..100_000 {
+            c.recharge();
+        }
+        assert_eq!(c.cycles(), 100_000);
+        assert!(c.capacitance() < fresh);
+        assert!((c.capacitance().get() / fresh.get() - 0.90).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum usable voltage")]
+    fn inverted_voltage_range_rejected() {
+        let _ = Ultracapacitor::new(Farads::new(1.0), Volts::new(5.0), Volts::new(6.0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Uninterruptible power supplies and battery-backed alternatives —
+//! the incumbent solutions the paper's §2 argues NVDIMMs displace.
+//!
+//! A UPS keeps the *whole system* powered for minutes-to-hours on
+//! lead-acid batteries (bulky, environmentally unfriendly, a correlated
+//! failure point); battery-backed NVRAM keeps only the memory alive and
+//! still needs battery monitoring/replacement after a few hundred
+//! cycles. NVDIMM ultracaps power a one-shot save and endure hundreds
+//! of thousands of cycles.
+
+use serde::{Deserialize, Serialize};
+use wsp_units::{Joules, Nanos, Watts};
+
+use crate::{AgingModel, EnergyCell};
+
+/// A battery-based backup supply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ups {
+    /// Model name.
+    pub name: String,
+    /// Usable stored energy when new.
+    pub energy: Joules,
+    /// Rack space consumed (units).
+    pub rack_units: f64,
+    /// Battery aging behaviour.
+    pub aging: AgingModel,
+    /// Full charge/discharge cycles experienced.
+    pub cycles: u64,
+}
+
+impl Ups {
+    /// A datacenter lead-acid UPS: ~5 kWh usable, 4U of rack space.
+    #[must_use]
+    pub fn lead_acid_rack() -> Self {
+        Ups {
+            name: "lead-acid rack UPS".to_owned(),
+            energy: Joules::new(5_000.0 * 3_600.0),
+            rack_units: 4.0,
+            aging: AgingModel::Battery,
+            cycles: 0,
+        }
+    }
+
+    /// A per-server "distributed UPS" battery (the Open Compute style
+    /// design the paper cites): ~50 Wh, inside the chassis.
+    #[must_use]
+    pub fn distributed_server_battery() -> Self {
+        Ups {
+            name: "distributed server battery".to_owned(),
+            energy: Joules::new(50.0 * 3_600.0),
+            rack_units: 0.0,
+            aging: AgingModel::Battery,
+            cycles: 0,
+        }
+    }
+
+    /// Present usable energy, accounting for battery aging.
+    #[must_use]
+    pub fn usable_energy(&self) -> Joules {
+        self.energy * self.aging.capacity_fraction(self.cycles)
+    }
+
+    /// How long the UPS carries a system drawing `load`.
+    #[must_use]
+    pub fn runtime(&self, load: Watts) -> Nanos {
+        self.usable_energy() / load
+    }
+
+    /// Records one full discharge event (an outage it covered).
+    pub fn discharge_cycle(&mut self) {
+        self.cycles += 1;
+    }
+}
+
+/// Comparison row between backup technologies for a given system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackupComparison {
+    /// Technology label.
+    pub technology: String,
+    /// How long the protected state survives an outage.
+    pub protection: &'static str,
+    /// Runtime/coverage on one charge (UPS: bridging time; NVDIMM:
+    /// unlimited — the save completes and flash holds the data).
+    pub coverage: Option<Nanos>,
+    /// Usable capacity after 200 outage cycles, as a fraction of new.
+    pub capacity_after_200_cycles: f64,
+}
+
+/// Compares a rack UPS, a distributed battery and the NVDIMM approach
+/// for a server drawing `load`.
+#[must_use]
+pub fn compare_backup_technologies(load: Watts) -> Vec<BackupComparison> {
+    let mk_ups = |ups: &Ups| BackupComparison {
+        technology: ups.name.clone(),
+        protection: "whole system stays up while charge lasts",
+        coverage: Some(ups.runtime(load)),
+        capacity_after_200_cycles: ups.aging.capacity_fraction(200),
+    };
+    vec![
+        mk_ups(&Ups::lead_acid_rack()),
+        mk_ups(&Ups::distributed_server_battery()),
+        BackupComparison {
+            technology: "NVDIMM ultracap + flash (WSP)".to_owned(),
+            protection: "memory contents survive indefinitely in flash",
+            coverage: None,
+            capacity_after_200_cycles: AgingModel::UltracapWorst.capacity_fraction(200),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_ups_carries_a_rack_for_tens_of_minutes() {
+        let ups = Ups::lead_acid_rack();
+        // A 10 kW rack on 5 kWh: 30 minutes.
+        let t = ups.runtime(Watts::new(10_000.0));
+        assert!((t.as_secs_f64() / 60.0 - 30.0).abs() < 0.5, "{t}");
+    }
+
+    #[test]
+    fn distributed_battery_bridges_one_server_briefly() {
+        let ups = Ups::distributed_server_battery();
+        let t = ups.runtime(Watts::new(350.0));
+        let minutes = t.as_secs_f64() / 60.0;
+        assert!((5.0..15.0).contains(&minutes), "{minutes} min");
+    }
+
+    #[test]
+    fn batteries_fade_fast_ultracaps_do_not() {
+        let mut ups = Ups::lead_acid_rack();
+        let fresh = ups.usable_energy();
+        for _ in 0..200 {
+            ups.discharge_cycle();
+        }
+        let worn = ups.usable_energy();
+        assert!(
+            worn.get() < fresh.get() * 0.6,
+            "200 cycles cost batteries >40%: {} -> {}",
+            fresh,
+            worn
+        );
+        let rows = compare_backup_technologies(Watts::new(350.0));
+        let nvdimm = rows.last().unwrap();
+        assert!(nvdimm.capacity_after_200_cycles > 0.99);
+        assert!(rows[0].capacity_after_200_cycles < 0.6);
+    }
+
+    #[test]
+    fn comparison_covers_all_three_technologies() {
+        let rows = compare_backup_technologies(Watts::new(200.0));
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].coverage.is_some());
+        assert!(rows[2].coverage.is_none(), "flash protection is open-ended");
+    }
+}

@@ -1,0 +1,180 @@
+//! Transfer rates: the [`Bandwidth`] type and its interaction with
+//! [`ByteSize`] and [`Nanos`].
+
+use std::fmt;
+use std::ops::{Div, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ByteSize, Nanos};
+
+/// A data transfer rate in bytes per second.
+///
+/// # Examples
+///
+/// The "theoretical best" flush time of Table 2 is cache bytes over memory
+/// bandwidth:
+///
+/// ```
+/// use wsp_units::{Bandwidth, ByteSize};
+///
+/// let t = ByteSize::mib(6) / Bandwidth::gib_per_sec(9.0);
+/// assert!(t.as_millis_f64() < 0.7);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero transfer rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Creates a rate of `v` bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN or negative.
+    #[must_use]
+    pub fn bytes_per_sec(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "bandwidth must be finite and non-negative");
+        Bandwidth(v)
+    }
+
+    /// `v` mebibytes per second.
+    #[must_use]
+    pub fn mib_per_sec(v: f64) -> Self {
+        Self::bytes_per_sec(v * 1024.0 * 1024.0)
+    }
+
+    /// `v` gibibytes per second.
+    #[must_use]
+    pub fn gib_per_sec(v: f64) -> Self {
+        Self::bytes_per_sec(v * 1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Raw rate in bytes per second.
+    #[must_use]
+    pub const fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in fractional gibibytes per second.
+    #[must_use]
+    pub fn as_gib_per_sec(self) -> f64 {
+        self.0 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Time to transfer `size` at this rate. A zero rate yields
+    /// [`Nanos::MAX`] ("never completes").
+    #[must_use]
+    pub fn transfer_time(self, size: ByteSize) -> Nanos {
+        if self.0 <= 0.0 {
+            if size.is_zero() {
+                Nanos::ZERO
+            } else {
+                Nanos::MAX
+            }
+        } else {
+            Nanos::from_secs_f64(size.as_u64() as f64 / self.0)
+        }
+    }
+
+    /// Bytes moved in `d` at this rate (truncating).
+    #[must_use]
+    pub fn bytes_in(self, d: Nanos) -> ByteSize {
+        ByteSize::new((self.0 * d.as_secs_f64()) as u64)
+    }
+
+    /// Splits this bandwidth evenly across `n` concurrent consumers — the
+    /// shared back-end bottleneck of a recovery storm. Zero consumers get
+    /// the full rate (nobody is contending).
+    #[must_use]
+    pub fn shared_by(self, n: usize) -> Bandwidth {
+        if n <= 1 {
+            self
+        } else {
+            Bandwidth(self.0 / n as f64)
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MIB: f64 = 1024.0 * 1024.0;
+        const GIB: f64 = 1024.0 * MIB;
+        if self.0 >= GIB {
+            write!(f, "{:.2}GiB/s", self.0 / GIB)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB/s", self.0 / MIB)
+        } else {
+            write!(f, "{:.0}B/s", self.0)
+        }
+    }
+}
+
+impl Div<Bandwidth> for ByteSize {
+    type Output = Nanos;
+    fn div(self, rhs: Bandwidth) -> Nanos {
+        rhs.transfer_time(self)
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_hand_math() {
+        let bw = Bandwidth::gib_per_sec(0.5);
+        let t = bw.transfer_time(ByteSize::gib(256));
+        // 256 GiB at 0.5 GiB/s = 512 s — the paper's "> 8 min" example.
+        assert_eq!(t.as_millis(), 512_000);
+        assert!(t.as_secs_f64() > 8.0 * 60.0);
+    }
+
+    #[test]
+    fn zero_bandwidth_never_completes() {
+        assert_eq!(Bandwidth::ZERO.transfer_time(ByteSize::new(1)), Nanos::MAX);
+        assert_eq!(Bandwidth::ZERO.transfer_time(ByteSize::ZERO), Nanos::ZERO);
+    }
+
+    #[test]
+    fn bytes_in_inverts_transfer_time() {
+        let bw = Bandwidth::mib_per_sec(100.0);
+        let moved = bw.bytes_in(Nanos::from_secs(2));
+        assert_eq!(moved, ByteSize::mib(200));
+    }
+
+    #[test]
+    fn sharing_divides_rate() {
+        let bw = Bandwidth::gib_per_sec(8.0);
+        assert!((bw.shared_by(4).as_gib_per_sec() - 2.0).abs() < 1e-12);
+        assert_eq!(bw.shared_by(0), bw);
+        assert_eq!(bw.shared_by(1), bw);
+    }
+
+    #[test]
+    fn division_operator_is_transfer_time() {
+        let t = ByteSize::mib(1) / Bandwidth::mib_per_sec(1.0);
+        assert_eq!(t.as_millis(), 1000);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Bandwidth::gib_per_sec(1.5).to_string(), "1.50GiB/s");
+        assert_eq!(Bandwidth::mib_per_sec(3.0).to_string(), "3.00MiB/s");
+        assert_eq!(Bandwidth::bytes_per_sec(10.0).to_string(), "10B/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_rejected() {
+        let _ = Bandwidth::bytes_per_sec(-1.0);
+    }
+}

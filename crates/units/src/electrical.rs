@@ -1,0 +1,296 @@
+//! Electrical quantities: [`Volts`], [`Watts`], [`Joules`] and [`Farads`],
+//! with the capacitor-energy algebra the paper's residual-energy analysis
+//! is built on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+macro_rules! f64_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a quantity from a raw value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `v` is NaN — a NaN quantity would silently poison
+            /// every downstream energy calculation.
+            #[must_use]
+            pub fn new(v: f64) -> Self {
+                assert!(!v.is_nan(), concat!(stringify!($name), " must not be NaN"));
+                $name(v)
+            }
+
+            /// Raw value in base units.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// The larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// The smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3}{}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+    };
+}
+
+f64_unit!(
+    /// Electrical potential in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wsp_units::Volts;
+    /// let rail = Volts::new(12.0);
+    /// assert!(rail * 0.95 < rail);
+    /// ```
+    Volts,
+    "V"
+);
+
+f64_unit!(
+    /// Power in watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wsp_units::{Nanos, Watts};
+    /// let load = Watts::new(250.0);
+    /// let energy = load * Nanos::from_millis(40);
+    /// assert!((energy.get() - 10.0).abs() < 1e-9);
+    /// ```
+    Watts,
+    "W"
+);
+
+f64_unit!(
+    /// Energy in joules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wsp_units::{Joules, Watts};
+    /// let window = Joules::new(5.0) / Watts::new(100.0);
+    /// assert_eq!(window.as_millis(), 50);
+    /// ```
+    Joules,
+    "J"
+);
+
+f64_unit!(
+    /// Capacitance in farads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wsp_units::{Farads, Volts};
+    /// let c = Farads::new(0.5);
+    /// let e = c.stored_energy(Volts::new(12.0));
+    /// assert!((e.get() - 36.0).abs() < 1e-9);
+    /// ```
+    Farads,
+    "F"
+);
+
+impl Farads {
+    /// Energy stored on this capacitance charged to `v`: `½·C·V²`.
+    #[must_use]
+    pub fn stored_energy(self, v: Volts) -> Joules {
+        Joules::new(0.5 * self.0 * v.get() * v.get())
+    }
+
+    /// Usable energy released while the voltage sags from `from` down to
+    /// `to`: `½·C·(V₁²−V₂²)`. Returns zero if `to >= from`.
+    #[must_use]
+    pub fn energy_between(self, from: Volts, to: Volts) -> Joules {
+        if to >= from {
+            Joules::ZERO
+        } else {
+            Joules::new(0.5 * self.0 * (from.get() * from.get() - to.get() * to.get()))
+        }
+    }
+
+    /// Voltage remaining after this capacitance, charged to `v0`, has
+    /// delivered `drained` of energy: `√(V₀² − 2E/C)`. Returns zero volts
+    /// once the capacitor is exhausted.
+    #[must_use]
+    pub fn voltage_after(self, v0: Volts, drained: Joules) -> Volts {
+        if self.0 <= 0.0 {
+            return Volts::ZERO;
+        }
+        let v_sq = v0.get() * v0.get() - 2.0 * drained.get() / self.0;
+        if v_sq <= 0.0 {
+            Volts::ZERO
+        } else {
+            Volts::new(v_sq.sqrt())
+        }
+    }
+}
+
+impl Mul<Nanos> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Nanos) -> Joules {
+        Joules::new(self.0 * rhs.as_secs_f64())
+    }
+}
+
+impl Mul<Watts> for Nanos {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Nanos;
+    /// Time for which this energy sustains a `rhs` load. An infinitesimal
+    /// or non-positive load yields [`Nanos::MAX`] ("effectively forever"),
+    /// and non-positive energy yields zero.
+    fn div(self, rhs: Watts) -> Nanos {
+        if self.0 <= 0.0 {
+            Nanos::ZERO
+        } else if rhs.0 <= 0.0 {
+            Nanos::MAX
+        } else {
+            Nanos::from_secs_f64(self.0 / rhs.0)
+        }
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = f64;
+    /// Current draw in amperes implied by this power at voltage `rhs`.
+    fn div(self, rhs: Volts) -> f64 {
+        self.0 / rhs.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitor_energy_identities() {
+        let c = Farads::new(0.047);
+        let full = c.stored_energy(Volts::new(12.0));
+        let empty = c.stored_energy(Volts::ZERO);
+        assert!((full.get() - 0.5 * 0.047 * 144.0).abs() < 1e-12);
+        assert_eq!(empty, Joules::ZERO);
+        let between = c.energy_between(Volts::new(12.0), Volts::ZERO);
+        assert!((between.get() - full.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_between_is_zero_for_inverted_range() {
+        let c = Farads::new(1.0);
+        assert_eq!(c.energy_between(Volts::new(3.0), Volts::new(5.0)), Joules::ZERO);
+    }
+
+    #[test]
+    fn voltage_after_round_trips_energy() {
+        let c = Farads::new(0.5);
+        let v0 = Volts::new(12.0);
+        let drained = c.energy_between(v0, Volts::new(9.0));
+        let v = c.voltage_after(v0, drained);
+        assert!((v.get() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_after_clamps_at_zero() {
+        let c = Farads::new(0.001);
+        let v = c.voltage_after(Volts::new(5.0), Joules::new(100.0));
+        assert_eq!(v, Volts::ZERO);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(400.0) * Nanos::from_millis(25);
+        assert!((e.get() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Joules::new(2.0) / Watts::new(500.0);
+        assert_eq!(t.as_millis(), 4);
+        assert_eq!(Joules::new(-1.0) / Watts::new(10.0), Nanos::ZERO);
+        assert_eq!(Joules::new(1.0) / Watts::ZERO, Nanos::MAX);
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(Volts::new(12.0).to_string(), "12.000V");
+        assert_eq!(Watts::new(1050.0).to_string(), "1050.000W");
+        assert_eq!(Joules::new(0.5).to_string(), "0.500J");
+        assert_eq!(Farads::new(0.047).to_string(), "0.047F");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        let _ = Watts::new(f64::NAN);
+    }
+}

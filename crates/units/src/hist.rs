@@ -1,0 +1,217 @@
+//! A log-bucketed latency histogram for tail reporting (p50/p95/p99),
+//! in the spirit of HdrHistogram but sized for simulation use.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+/// Buckets per power of two (higher = finer resolution).
+const SUB_BUCKETS: usize = 16;
+/// Powers of two covered (1 ns .. ~1.2 hours).
+const POWERS: usize = 42;
+
+/// A fixed-memory latency histogram with ~6 % relative error.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_units::{LatencyHistogram, Nanos};
+///
+/// let mut h = LatencyHistogram::new();
+/// for i in 1..=1000u64 {
+///     h.record(Nanos::new(i));
+/// }
+/// let p50 = h.percentile(50.0).as_nanos();
+/// assert!((450..=560).contains(&p50), "p50 = {p50}");
+/// assert!(h.percentile(99.0) > h.percentile(50.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; POWERS * SUB_BUCKETS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        let power = 63 - value.leading_zeros() as usize;
+        if power < 4 {
+            // Values below 16 ns land in the first sub-bucket range
+            // directly (exact).
+            return value as usize;
+        }
+        // Sub-bucket index from the 4 bits below the leading one.
+        let sub = ((value >> (power - 4)) & 0xf) as usize;
+        (power.min(POWERS - 1)) * SUB_BUCKETS + sub
+    }
+
+    /// Lower bound of a bucket (inverse of [`Self::bucket_of`]).
+    fn bucket_floor(index: usize) -> u64 {
+        if index < 16 {
+            return index as u64;
+        }
+        let power = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        (1u64 << power) | ((sub as u64) << (power - 4))
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: Nanos) {
+        let v = value.as_nanos();
+        let idx = Self::bucket_of(v).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation (zero when empty).
+    #[must_use]
+    pub fn max(&self) -> Nanos {
+        Nanos::new(if self.total == 0 { 0 } else { self.max })
+    }
+
+    /// Smallest observation (zero when empty).
+    #[must_use]
+    pub fn min(&self) -> Nanos {
+        Nanos::new(if self.total == 0 { 0 } else { self.min })
+    }
+
+    /// The value at percentile `p` (0–100). Returns zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Nanos {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Nanos::new(Self::bucket_floor(i).min(self.max).max(self.min));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), Nanos::ZERO);
+        assert_eq!(h.max(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn single_value_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::new(1234));
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p).as_nanos();
+            assert!((1150..=1300).contains(&v), "p{p} = {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_accurate() {
+        let mut h = LatencyHistogram::new();
+        // Uniform 1..=10_000 ns.
+        for i in 1..=10_000u64 {
+            h.record(Nanos::new(i));
+        }
+        let p50 = h.percentile(50.0).as_nanos();
+        let p90 = h.percentile(90.0).as_nanos();
+        let p99 = h.percentile(99.0).as_nanos();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((4_600..=5_400).contains(&p50), "p50 = {p50}");
+        assert!((8_400..=9_600).contains(&p90), "p90 = {p90}");
+        assert!((9_300..=10_000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn bimodal_tail_is_visible() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..990 {
+            h.record(Nanos::new(100));
+        }
+        for _ in 0..10 {
+            h.record(Nanos::from_micros(100)); // 1% slow ops
+        }
+        assert!(h.percentile(50.0).as_nanos() < 150);
+        assert!(h.percentile(99.5).as_micros() >= 90);
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            a.record(Nanos::new(i));
+            b.record(Nanos::new(i * 1000));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.percentile(25.0).as_nanos() <= 100);
+        assert!(a.percentile(75.0).as_nanos() >= 1000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::new(3));
+        assert_eq!(h.percentile(100.0).as_nanos(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_rejected() {
+        let _ = LatencyHistogram::new().percentile(101.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Data sizes: the [`ByteSize`] type used for cache geometries, NVDIMM
+//! capacities and transfer accounting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A size in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_units::ByteSize;
+///
+/// let l3 = ByteSize::mib(8) * 2;          // two sockets
+/// assert_eq!(l3.as_u64(), 16 * 1024 * 1024);
+/// assert_eq!(l3.lines(64), 262_144);       // 64-byte cache lines
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size of `n` bytes.
+    #[must_use]
+    pub const fn new(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// `n` kibibytes (1024 bytes each).
+    #[must_use]
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// `n` mebibytes.
+    #[must_use]
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// `n` gibibytes.
+    #[must_use]
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Size in fractional mebibytes.
+    #[must_use]
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Size in fractional gibibytes.
+    #[must_use]
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Number of cache lines of `line_size` bytes needed to cover this
+    /// size, rounding up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero.
+    #[must_use]
+    pub fn lines(self, line_size: u64) -> u64 {
+        assert!(line_size > 0, "line size must be non-zero");
+        self.0.div_ceil(line_size)
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two sizes.
+    #[must_use]
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.min(other.0))
+    }
+
+    /// The larger of two sizes.
+    #[must_use]
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.max(other.0))
+    }
+
+    /// True if the size is exactly zero bytes.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * KIB;
+        const GIB: u64 = 1024 * MIB;
+        let n = self.0;
+        if n >= GIB && n % GIB == 0 {
+            write!(f, "{}GiB", n / GIB)
+        } else if n >= MIB && n % MIB == 0 {
+            write!(f, "{}MiB", n / MIB)
+        } else if n >= KIB && n % KIB == 0 {
+            write!(f, "{}KiB", n / KIB)
+        } else {
+            write!(f, "{n}B")
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    fn div(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 / rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(ByteSize::kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::mib(1).as_u64(), 1 << 20);
+        assert_eq!(ByteSize::gib(1).as_u64(), 1 << 30);
+    }
+
+    #[test]
+    fn lines_round_up() {
+        assert_eq!(ByteSize::new(0).lines(64), 0);
+        assert_eq!(ByteSize::new(1).lines(64), 1);
+        assert_eq!(ByteSize::new(64).lines(64), 1);
+        assert_eq!(ByteSize::new(65).lines(64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be non-zero")]
+    fn lines_rejects_zero_line_size() {
+        let _ = ByteSize::new(64).lines(0);
+    }
+
+    #[test]
+    fn display_uses_exact_units() {
+        assert_eq!(ByteSize::new(17).to_string(), "17B");
+        assert_eq!(ByteSize::kib(3).to_string(), "3KiB");
+        assert_eq!(ByteSize::mib(8).to_string(), "8MiB");
+        assert_eq!(ByteSize::gib(48).to_string(), "48GiB");
+        assert_eq!(ByteSize::new(1536).to_string(), "1536B");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::kib(4);
+        assert_eq!((a + a).as_u64(), 8192);
+        assert_eq!((a - ByteSize::kib(1)).as_u64(), 3072);
+        assert_eq!((a * 3).as_u64(), 12_288);
+        assert_eq!((a / 2).as_u64(), 2048);
+        assert_eq!(ByteSize::ZERO.saturating_sub(a), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn fractional_views() {
+        assert!((ByteSize::mib(1).as_mib_f64() - 1.0).abs() < 1e-12);
+        assert!((ByteSize::gib(2).as_gib_f64() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,359 @@
+//! Simulated time: the [`Nanos`] duration type and the [`SimClock`]
+//! accumulator used by every timing model in the reproduction.
+
+use std::cell::Cell;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time in nanoseconds.
+///
+/// All latencies in the reproduction — cache hits, `wbinvd` walks, NVDIMM
+/// saves, residual energy windows — are expressed as `Nanos`. A `u64`
+/// nanosecond count covers ~584 years, far beyond any simulated scenario.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_units::Nanos;
+///
+/// let hit = Nanos::new(4);
+/// let miss = Nanos::from_micros(1) / 10;
+/// assert!(miss > hit);
+/// assert_eq!((hit + miss).as_nanos(), 104);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Largest representable duration; used as an "effectively forever"
+    /// sentinel (e.g. a residual window with no load attached).
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a duration of `ns` nanoseconds.
+    #[must_use]
+    pub const fn new(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `s` seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, saturating at
+    /// [`Nanos::MAX`] and clamping negatives/NaN to zero.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        let ns = s * 1e9;
+        if ns.is_nan() || ns <= 0.0 {
+            Nanos::ZERO
+        } else if ns >= u64::MAX as f64 {
+            Nanos::MAX
+        } else {
+            Nanos(ns as u64)
+        }
+    }
+
+    /// Creates a duration from fractional milliseconds (same saturation
+    /// rules as [`Nanos::from_secs_f64`]).
+    #[must_use]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Raw nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in whole microseconds (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Duration in whole milliseconds (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Duration in fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs` is larger.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked division producing the ratio of two durations.
+    ///
+    /// Returns `None` when `denom` is zero. Used for safety-margin style
+    /// computations such as "save time as a fraction of the residual
+    /// window".
+    #[must_use]
+    pub fn ratio_of(self, denom: Nanos) -> Option<f64> {
+        if denom.0 == 0 {
+            None
+        } else {
+            Some(self.0 as f64 / denom.0 as f64)
+        }
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Mul<Nanos> for u64 {
+    type Output = Nanos;
+    fn mul(self, rhs: Nanos) -> Nanos {
+        Nanos(self * rhs.0)
+    }
+}
+
+impl Mul<f64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: f64) -> Nanos {
+        Nanos::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// Components charge time to the clock as they model work; the clock is the
+/// single source of "now" within one simulated machine. Interior mutability
+/// (a [`Cell`]) lets many components share one clock without threading
+/// `&mut` borrows through every call — simulations are single-threaded per
+/// machine, which is also why the type is deliberately `!Sync`.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_units::{Nanos, SimClock};
+///
+/// let clock = SimClock::new();
+/// clock.advance(Nanos::from_micros(3));
+/// clock.advance(Nanos::new(250));
+/// assert_eq!(clock.now().as_nanos(), 3_250);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Cell<u64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time since the clock was created or last reset.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        Nanos(self.now.get())
+    }
+
+    /// Advances the clock by `d`, saturating at the maximum representable
+    /// time rather than wrapping.
+    pub fn advance(&self, d: Nanos) {
+        self.now.set(self.now.get().saturating_add(d.0));
+    }
+
+    /// Resets the clock to zero (used between benchmark repetitions).
+    pub fn reset(&self) {
+        self.now.set(0);
+    }
+
+    /// Runs `f` and returns both its result and the simulated time it
+    /// charged to the clock.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Nanos) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Nanos::from_micros(2).as_nanos(), 2_000);
+        assert_eq!(Nanos::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Nanos::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn float_constructor_saturates() {
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(1e300), Nanos::MAX);
+        assert_eq!(Nanos::from_secs_f64(1.5).as_millis(), 1_500);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Nanos::new(100);
+        let b = Nanos::new(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!((a * 3).as_nanos(), 300);
+        assert_eq!((a / 4).as_nanos(), 25);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+    }
+
+    #[test]
+    fn scalar_float_multiplication() {
+        let a = Nanos::from_micros(10);
+        assert_eq!((a * 0.5).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn ratio_of_handles_zero_denominator() {
+        assert_eq!(Nanos::new(5).ratio_of(Nanos::ZERO), None);
+        let r = Nanos::new(5).ratio_of(Nanos::new(20)).unwrap();
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_natural_scale() {
+        assert_eq!(Nanos::new(12).to_string(), "12ns");
+        assert_eq!(Nanos::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Nanos::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Nanos::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Nanos = (1..=4).map(Nanos::new).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn clock_advances_and_measures() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Nanos::ZERO);
+        let ((), spent) = clock.measure(|| clock.advance(Nanos::new(7)));
+        assert_eq!(spent.as_nanos(), 7);
+        clock.reset();
+        assert_eq!(clock.now(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn clock_saturates_instead_of_wrapping() {
+        let clock = SimClock::new();
+        clock.advance(Nanos::MAX);
+        clock.advance(Nanos::new(1));
+        assert_eq!(clock.now(), Nanos::MAX);
+    }
+}

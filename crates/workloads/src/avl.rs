@@ -1,0 +1,454 @@
+//! A persistent AVL tree over the transactional heap — the store the
+//! paper drops into OpenLDAP in place of Berkeley DB for the Table 1
+//! experiment.
+
+use wsp_pheap::{HeapError, PersistentHeap, PmPtr, Tx};
+
+/// Descriptor field indices: `[root, count]`.
+const D_ROOT: u64 = 0;
+const D_COUNT: u64 = 1;
+
+/// Node field indices: `[key, value, left, right, height]`.
+const N_KEY: u64 = 0;
+const N_VALUE: u64 = 1;
+const N_LEFT: u64 = 2;
+const N_RIGHT: u64 = 3;
+const N_HEIGHT: u64 = 4;
+const NODE_BYTES: u64 = 40;
+
+fn height(tx: &mut Tx<'_>, node: u64) -> Result<u64, HeapError> {
+    match PmPtr::new(node) {
+        Some(p) => tx.read_word(p.field(N_HEIGHT)),
+        None => Ok(0),
+    }
+}
+
+fn update_height(tx: &mut Tx<'_>, node: PmPtr) -> Result<(), HeapError> {
+    let left = tx.read_word(node.field(N_LEFT))?;
+    let right = tx.read_word(node.field(N_RIGHT))?;
+    let l = height(tx, left)?;
+    let r = height(tx, right)?;
+    tx.write_word(node.field(N_HEIGHT), 1 + l.max(r))
+}
+
+fn balance(tx: &mut Tx<'_>, node: PmPtr) -> Result<i64, HeapError> {
+    let left = tx.read_word(node.field(N_LEFT))?;
+    let right = tx.read_word(node.field(N_RIGHT))?;
+    let l = height(tx, left)? as i64;
+    let r = height(tx, right)? as i64;
+    Ok(l - r)
+}
+
+/// Left rotation around `node`; returns the new subtree root offset.
+fn rotate_left(tx: &mut Tx<'_>, node: PmPtr) -> Result<u64, HeapError> {
+    let pivot = PmPtr::new(tx.read_word(node.field(N_RIGHT))?)
+        .expect("rotate_left requires a right child");
+    let inner = tx.read_word(pivot.field(N_LEFT))?;
+    tx.write_word(node.field(N_RIGHT), inner)?;
+    tx.write_word(pivot.field(N_LEFT), node.offset())?;
+    update_height(tx, node)?;
+    update_height(tx, pivot)?;
+    Ok(pivot.offset())
+}
+
+/// Right rotation around `node`; returns the new subtree root offset.
+fn rotate_right(tx: &mut Tx<'_>, node: PmPtr) -> Result<u64, HeapError> {
+    let pivot = PmPtr::new(tx.read_word(node.field(N_LEFT))?)
+        .expect("rotate_right requires a left child");
+    let inner = tx.read_word(pivot.field(N_RIGHT))?;
+    tx.write_word(node.field(N_LEFT), inner)?;
+    tx.write_word(pivot.field(N_RIGHT), node.offset())?;
+    update_height(tx, node)?;
+    update_height(tx, pivot)?;
+    Ok(pivot.offset())
+}
+
+/// Restores the AVL invariant at `node`; returns the subtree root.
+fn rebalance(tx: &mut Tx<'_>, node: PmPtr) -> Result<u64, HeapError> {
+    update_height(tx, node)?;
+    let bf = balance(tx, node)?;
+    if bf > 1 {
+        let left = PmPtr::new(tx.read_word(node.field(N_LEFT))?).expect("bf>1 has left");
+        if balance(tx, left)? < 0 {
+            let new_left = rotate_left(tx, left)?;
+            tx.write_word(node.field(N_LEFT), new_left)?;
+        }
+        return rotate_right(tx, node);
+    }
+    if bf < -1 {
+        let right = PmPtr::new(tx.read_word(node.field(N_RIGHT))?).expect("bf<-1 has right");
+        if balance(tx, right)? > 0 {
+            let new_right = rotate_right(tx, right)?;
+            tx.write_word(node.field(N_RIGHT), new_right)?;
+        }
+        return rotate_left(tx, node);
+    }
+    Ok(node.offset())
+}
+
+fn insert_rec(
+    tx: &mut Tx<'_>,
+    node: u64,
+    key: u64,
+    value: u64,
+    replaced: &mut Option<u64>,
+) -> Result<u64, HeapError> {
+    let Some(p) = PmPtr::new(node) else {
+        let fresh = tx.alloc(NODE_BYTES)?;
+        tx.write_word(fresh.field(N_KEY), key)?;
+        tx.write_word(fresh.field(N_VALUE), value)?;
+        tx.write_word(fresh.field(N_LEFT), 0)?;
+        tx.write_word(fresh.field(N_RIGHT), 0)?;
+        tx.write_word(fresh.field(N_HEIGHT), 1)?;
+        return Ok(fresh.offset());
+    };
+    let node_key = tx.read_word(p.field(N_KEY))?;
+    if key == node_key {
+        *replaced = Some(tx.read_word(p.field(N_VALUE))?);
+        tx.write_word(p.field(N_VALUE), value)?;
+        return Ok(p.offset());
+    }
+    let side = if key < node_key { N_LEFT } else { N_RIGHT };
+    let child = tx.read_word(p.field(side))?;
+    let new_child = insert_rec(tx, child, key, value, replaced)?;
+    if new_child != child {
+        tx.write_word(p.field(side), new_child)?;
+    }
+    if replaced.is_some() {
+        // Pure value update: no structural change to rebalance.
+        return Ok(p.offset());
+    }
+    rebalance(tx, p)
+}
+
+/// Removes the minimum node of the subtree, returning
+/// `(new_subtree_root, detached_min_node)`.
+fn detach_min(tx: &mut Tx<'_>, node: PmPtr) -> Result<(u64, PmPtr), HeapError> {
+    let left = tx.read_word(node.field(N_LEFT))?;
+    match PmPtr::new(left) {
+        None => {
+            let right = tx.read_word(node.field(N_RIGHT))?;
+            Ok((right, node))
+        }
+        Some(l) => {
+            let (new_left, min) = detach_min(tx, l)?;
+            tx.write_word(node.field(N_LEFT), new_left)?;
+            Ok((rebalance(tx, node)?, min))
+        }
+    }
+}
+
+fn remove_rec(
+    tx: &mut Tx<'_>,
+    node: u64,
+    key: u64,
+    removed: &mut Option<u64>,
+    to_free: &mut Vec<PmPtr>,
+) -> Result<u64, HeapError> {
+    let Some(p) = PmPtr::new(node) else {
+        return Ok(0);
+    };
+    let node_key = tx.read_word(p.field(N_KEY))?;
+    if key < node_key {
+        let child = tx.read_word(p.field(N_LEFT))?;
+        let new_child = remove_rec(tx, child, key, removed, to_free)?;
+        tx.write_word(p.field(N_LEFT), new_child)?;
+    } else if key > node_key {
+        let child = tx.read_word(p.field(N_RIGHT))?;
+        let new_child = remove_rec(tx, child, key, removed, to_free)?;
+        tx.write_word(p.field(N_RIGHT), new_child)?;
+    } else {
+        *removed = Some(tx.read_word(p.field(N_VALUE))?);
+        let left = tx.read_word(p.field(N_LEFT))?;
+        let right = tx.read_word(p.field(N_RIGHT))?;
+        to_free.push(p);
+        match (PmPtr::new(left), PmPtr::new(right)) {
+            (None, None) => return Ok(0),
+            (Some(_), None) => return Ok(left),
+            (None, Some(_)) => return Ok(right),
+            (Some(_), Some(r)) => {
+                // Replace with the successor: detach the right subtree's
+                // minimum and graft the children onto it.
+                let (new_right, successor) = detach_min(tx, r)?;
+                tx.write_word(successor.field(N_LEFT), left)?;
+                tx.write_word(successor.field(N_RIGHT), new_right)?;
+                return rebalance(tx, successor);
+            }
+        }
+    }
+    rebalance(tx, p)
+}
+
+fn walk_in_order(
+    tx: &mut Tx<'_>,
+    node: u64,
+    out: &mut Vec<(u64, u64)>,
+) -> Result<(), HeapError> {
+    let Some(p) = PmPtr::new(node) else {
+        return Ok(());
+    };
+    let left = tx.read_word(p.field(N_LEFT))?;
+    walk_in_order(tx, left, out)?;
+    out.push((
+        tx.read_word(p.field(N_KEY))?,
+        tx.read_word(p.field(N_VALUE))?,
+    ));
+    let right = tx.read_word(p.field(N_RIGHT))?;
+    walk_in_order(tx, right, out)
+}
+
+/// A `u64 → u64` AVL map stored in a persistent heap; each public
+/// operation runs in its own transaction. The descriptor is published as
+/// the heap root.
+#[derive(Debug, Clone, Copy)]
+pub struct PmAvlTree {
+    desc: PmPtr,
+}
+
+impl PmAvlTree {
+    /// Creates an empty tree and publishes it as the heap root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation or transaction failures.
+    pub fn create(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        let mut tx = heap.begin();
+        let desc = tx.alloc(16)?;
+        tx.write_word(desc.field(D_ROOT), 0)?;
+        tx.write_word(desc.field(D_COUNT), 0)?;
+        tx.set_root(desc)?;
+        tx.commit()?;
+        Ok(PmAvlTree { desc })
+    }
+
+    /// Re-opens the tree published as the heap root (after recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::CorruptHeader`] if the heap has no root.
+    pub fn open(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        let desc = heap.root().ok_or(HeapError::CorruptHeader)?;
+        Ok(PmAvlTree { desc })
+    }
+
+    /// Inserts or updates a key; returns the previous value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn insert(
+        &self,
+        heap: &mut PersistentHeap,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let root = tx.read_word(self.desc.field(D_ROOT))?;
+        let mut replaced = None;
+        let new_root = insert_rec(&mut tx, root, key, value, &mut replaced)?;
+        tx.write_word(self.desc.field(D_ROOT), new_root)?;
+        if replaced.is_none() {
+            let count = tx.read_word(self.desc.field(D_COUNT))?;
+            tx.write_word(self.desc.field(D_COUNT), count + 1)?;
+        }
+        tx.commit()?;
+        Ok(replaced)
+    }
+
+    /// Looks a key up (iteratively — reads only the search path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn get(&self, heap: &mut PersistentHeap, key: u64) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let mut cursor = tx.read_word(self.desc.field(D_ROOT))?;
+        while let Some(p) = PmPtr::new(cursor) {
+            let node_key = tx.read_word(p.field(N_KEY))?;
+            if key == node_key {
+                let v = tx.read_word(p.field(N_VALUE))?;
+                tx.commit()?;
+                return Ok(Some(v));
+            }
+            cursor = tx.read_word(p.field(if key < node_key { N_LEFT } else { N_RIGHT }))?;
+        }
+        tx.commit()?;
+        Ok(None)
+    }
+
+    /// Removes a key; returns its value, if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn remove(&self, heap: &mut PersistentHeap, key: u64) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let root = tx.read_word(self.desc.field(D_ROOT))?;
+        let mut removed = None;
+        let mut to_free = Vec::new();
+        let new_root = remove_rec(&mut tx, root, key, &mut removed, &mut to_free)?;
+        if removed.is_some() {
+            tx.write_word(self.desc.field(D_ROOT), new_root)?;
+            let count = tx.read_word(self.desc.field(D_COUNT))?;
+            tx.write_word(self.desc.field(D_COUNT), count - 1)?;
+            for node in to_free {
+                tx.free(node)?;
+            }
+        }
+        tx.commit()?;
+        Ok(removed)
+    }
+
+    /// Number of live entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn len(&self, heap: &mut PersistentHeap) -> Result<u64, HeapError> {
+        let mut tx = heap.begin();
+        let n = tx.read_word(self.desc.field(D_COUNT))?;
+        tx.commit()?;
+        Ok(n)
+    }
+
+    /// True if the tree holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn is_empty(&self, heap: &mut PersistentHeap) -> Result<bool, HeapError> {
+        Ok(self.len(heap)? == 0)
+    }
+
+    /// All entries in key order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn entries(&self, heap: &mut PersistentHeap) -> Result<Vec<(u64, u64)>, HeapError> {
+        let mut tx = heap.begin();
+        let root = tx.read_word(self.desc.field(D_ROOT))?;
+        let mut out = Vec::new();
+        walk_in_order(&mut tx, root, &mut out)?;
+        tx.commit()?;
+        Ok(out)
+    }
+
+    /// Height of the tree (test support: AVL balance verification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn tree_height(&self, heap: &mut PersistentHeap) -> Result<u64, HeapError> {
+        let mut tx = heap.begin();
+        let root = tx.read_word(self.desc.field(D_ROOT))?;
+        let h = height(&mut tx, root)?;
+        tx.commit()?;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_pheap::HeapConfig;
+    use wsp_units::ByteSize;
+
+    fn heap(config: HeapConfig) -> PersistentHeap {
+        PersistentHeap::create(ByteSize::mib(4), config)
+    }
+
+    #[test]
+    fn sorted_insertion_stays_balanced() {
+        let mut h = heap(HeapConfig::Fof);
+        let t = PmAvlTree::create(&mut h).unwrap();
+        for k in 0..512u64 {
+            t.insert(&mut h, k, k).unwrap();
+        }
+        // A 512-node AVL tree has height <= 1.44 log2(512) ~ 13.
+        let height = t.tree_height(&mut h).unwrap();
+        assert!((9..=13).contains(&height), "height {height}");
+        let entries = t.entries(&mut h).unwrap();
+        assert_eq!(entries.len(), 512);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        for config in HeapConfig::all() {
+            let mut h = heap(config);
+            let t = PmAvlTree::create(&mut h).unwrap();
+            let keys = [50u64, 30, 70, 20, 40, 60, 80, 10, 25, 35, 45];
+            for &k in &keys {
+                assert_eq!(t.insert(&mut h, k, k * 10).unwrap(), None);
+            }
+            assert_eq!(t.insert(&mut h, 40, 999).unwrap(), Some(400));
+            assert_eq!(t.get(&mut h, 40).unwrap(), Some(999));
+            // Remove a leaf, a one-child node, and a two-child node.
+            assert_eq!(t.remove(&mut h, 10).unwrap(), Some(100));
+            assert_eq!(t.remove(&mut h, 20).unwrap(), Some(200));
+            assert_eq!(t.remove(&mut h, 50).unwrap(), Some(500));
+            assert_eq!(t.remove(&mut h, 50).unwrap(), None);
+            assert_eq!(t.len(&mut h).unwrap(), keys.len() as u64 - 3 + 1 - 1);
+            let entries = t.entries(&mut h).unwrap();
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "{config}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut h = heap(HeapConfig::FofUndo);
+        let t = PmAvlTree::create(&mut h).unwrap();
+        let mut model = BTreeMap::new();
+        // Deterministic pseudo-random op stream.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let r = next();
+            let key = r % 200;
+            match r % 3 {
+                0 => {
+                    assert_eq!(
+                        t.insert(&mut h, key, r).unwrap(),
+                        model.insert(key, r),
+                        "insert {key}"
+                    );
+                }
+                1 => {
+                    assert_eq!(t.remove(&mut h, key).unwrap(), model.remove(&key), "remove {key}");
+                }
+                _ => {
+                    assert_eq!(
+                        t.get(&mut h, key).unwrap(),
+                        model.get(&key).copied(),
+                        "get {key}"
+                    );
+                }
+            }
+        }
+        assert_eq!(t.len(&mut h).unwrap(), model.len() as u64);
+        let entries = t.entries(&mut h).unwrap();
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(entries, expect);
+    }
+
+    #[test]
+    fn tree_survives_crash_recovery() {
+        let mut h = heap(HeapConfig::FocStm);
+        let t = PmAvlTree::create(&mut h).unwrap();
+        for k in 0..100u64 {
+            t.insert(&mut h, k * 7 % 100, k).unwrap();
+        }
+        let mut h = PersistentHeap::recover(h.crash(false)).unwrap();
+        let t = PmAvlTree::open(&mut h).unwrap();
+        assert_eq!(t.len(&mut h).unwrap(), 100);
+        let entries = t.entries(&mut h).unwrap();
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

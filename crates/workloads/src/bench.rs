@@ -1,0 +1,268 @@
+//! Benchmark drivers: the Figure 5 hash-table microbenchmark and the
+//! Table 1 OpenLDAP-style insert benchmark, runnable against any heap
+//! configuration, reporting *simulated* time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wsp_pheap::{HeapConfig, HeapError, PersistentHeap};
+use wsp_units::{ByteSize, Nanos};
+
+use crate::generators::{Op, OpMix};
+use crate::{random_dn, DirEntry, Directory, PmHashTable};
+
+/// Result of one hash-microbenchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Heap configuration measured.
+    pub config: HeapConfig,
+    /// Update probability of the op mix.
+    pub update_probability: f64,
+    /// Operations executed.
+    pub ops: u64,
+    /// Total simulated time.
+    pub elapsed: Nanos,
+    /// Simulated time per operation.
+    pub time_per_op: Nanos,
+}
+
+/// The Figure 5 microbenchmark: pre-populate a hash table, then run a
+/// mixed lookup/insert/delete stream and report simulated time per
+/// operation.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::HeapConfig;
+/// use wsp_workloads::HashBenchmark;
+///
+/// let bench = HashBenchmark::quick();
+/// let fof = bench.run(HeapConfig::Fof, 0.5, 1).unwrap();
+/// let foc = bench.run(HeapConfig::FocStm, 0.5, 1).unwrap();
+/// assert!(foc.time_per_op > fof.time_per_op);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashBenchmark {
+    /// Entries pre-populated before measurement (paper: 100,000).
+    pub prepopulate: u64,
+    /// Measured operations (paper: 1,000,000).
+    pub ops: u64,
+    /// Heap region size.
+    pub region: ByteSize,
+}
+
+impl HashBenchmark {
+    /// The paper's configuration: 100 k entries, 1 M operations.
+    #[must_use]
+    pub fn paper() -> Self {
+        HashBenchmark {
+            prepopulate: 100_000,
+            ops: 1_000_000,
+            region: ByteSize::mib(64),
+        }
+    }
+
+    /// A scaled-down configuration for tests and doc examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        HashBenchmark {
+            prepopulate: 2_000,
+            ops: 10_000,
+            region: ByteSize::mib(8),
+        }
+    }
+
+    /// Runs the benchmark for one configuration and update probability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn run(
+        &self,
+        config: HeapConfig,
+        update_probability: f64,
+        seed: u64,
+    ) -> Result<BenchResult, HeapError> {
+        let mut heap = PersistentHeap::create(self.region, config);
+        let buckets = (self.prepopulate / 4).next_power_of_two().max(64);
+        let table = PmHashTable::create(&mut heap, buckets)?;
+
+        // Pre-populate with the even keys of a 2x key space, so inserts
+        // and deletes in the measured phase hit both present and absent
+        // keys.
+        let key_space = self.prepopulate * 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inserted = 0u64;
+        while inserted < self.prepopulate {
+            let key = rng.gen_range(0..key_space);
+            if table.insert(&mut heap, key, key)?.is_none() {
+                inserted += 1;
+            }
+        }
+
+        let mix = OpMix::new(update_probability);
+        let start = heap.elapsed();
+        for _ in 0..self.ops {
+            match mix.next_op(&mut rng, key_space) {
+                Op::Lookup(k) => {
+                    table.get(&mut heap, k)?;
+                }
+                Op::Insert(k, v) => {
+                    table.insert(&mut heap, k, v)?;
+                }
+                Op::Delete(k) => {
+                    table.remove(&mut heap, k)?;
+                }
+            }
+        }
+        let elapsed = heap.elapsed() - start;
+        Ok(BenchResult {
+            config,
+            update_probability,
+            ops: self.ops,
+            elapsed,
+            time_per_op: elapsed / self.ops.max(1),
+        })
+    }
+}
+
+/// Result of one LDAP-benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LdapResult {
+    /// Heap configuration measured.
+    pub config: HeapConfig,
+    /// Entries inserted.
+    pub inserted: u64,
+    /// Total simulated time.
+    pub elapsed: Nanos,
+    /// Simulated updates per second (Table 1's metric).
+    pub updates_per_sec: f64,
+}
+
+/// The Table 1 benchmark: insert randomly generated entries into an
+/// empty AVL-backed directory, single-threaded, closed-loop.
+///
+/// The paper compares the Mnemosyne configuration ([`HeapConfig::FocStm`])
+/// against WSP (a plain in-memory AVL tree — [`HeapConfig::Fof`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LdapBenchmark {
+    /// Entries to insert (paper: 100,000).
+    pub entries: u64,
+    /// Heap region size.
+    pub region: ByteSize,
+    /// Per-request server work outside the store (protocol decode,
+    /// schema checks, result encode). OpenLDAP does a lot of it, which
+    /// is why Table 1's gap (2.4×) is narrower than the raw
+    /// microbenchmark gap of Figure 5; both configurations pay this
+    /// equally.
+    pub per_op_overhead: Nanos,
+}
+
+impl LdapBenchmark {
+    /// The paper's configuration: 100,000 entries.
+    #[must_use]
+    pub fn paper() -> Self {
+        LdapBenchmark {
+            entries: 100_000,
+            region: ByteSize::mib(128),
+            per_op_overhead: Nanos::new(10_000),
+        }
+    }
+
+    /// A scaled-down configuration for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        LdapBenchmark {
+            entries: 1_000,
+            region: ByteSize::mib(8),
+            per_op_overhead: Nanos::new(10_000),
+        }
+    }
+
+    /// Runs the insert workload against one configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn run(&self, config: HeapConfig, seed: u64) -> Result<LdapResult, HeapError> {
+        let mut heap = PersistentHeap::create(self.region, config);
+        let dir = Directory::create(&mut heap)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let start = heap.elapsed();
+        let mut inserted = 0u64;
+        while inserted < self.entries {
+            let dn = random_dn(&mut rng);
+            let entry = DirEntry::new(
+                dn,
+                vec![
+                    ("objectClass".into(), "inetOrgPerson".into()),
+                    ("sn".into(), format!("surname{inserted}")),
+                    ("uid".into(), format!("uid{inserted}")),
+                ],
+            );
+            heap.charge(self.per_op_overhead);
+            if dir.add(&mut heap, &entry)? {
+                inserted += 1;
+            }
+        }
+        let elapsed = heap.elapsed() - start;
+        Ok(LdapResult {
+            config,
+            inserted,
+            elapsed,
+            updates_per_sec: inserted as f64 / elapsed.as_secs_f64().max(1e-12),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fof_beats_foc_stm_by_paper_margins() {
+        let bench = HashBenchmark::quick();
+        let fof = bench.run(HeapConfig::Fof, 0.5, 42).unwrap();
+        let foc = bench.run(HeapConfig::FocStm, 0.5, 42).unwrap();
+        let ratio = foc.time_per_op.as_nanos() as f64 / fof.time_per_op.as_nanos() as f64;
+        assert!(ratio > 3.0, "FoC+STM/FoF ratio {ratio} too small");
+    }
+
+    #[test]
+    fn update_heavy_widens_the_gap() {
+        let bench = HashBenchmark::quick();
+        let read_only = bench.run(HeapConfig::FocStm, 0.0, 1).unwrap();
+        let update_only = bench.run(HeapConfig::FocStm, 1.0, 1).unwrap();
+        assert!(update_only.time_per_op > read_only.time_per_op);
+    }
+
+    #[test]
+    fn fof_is_flat_across_update_ratios() {
+        let bench = HashBenchmark::quick();
+        let ro = bench.run(HeapConfig::Fof, 0.0, 1).unwrap();
+        let uo = bench.run(HeapConfig::Fof, 1.0, 1).unwrap();
+        let ratio = uo.time_per_op.as_nanos() as f64 / ro.time_per_op.as_nanos() as f64;
+        assert!(ratio < 2.0, "FoF should be nearly flat, got {ratio}");
+    }
+
+    #[test]
+    fn ldap_wsp_faster_than_mnemosyne() {
+        let bench = LdapBenchmark::quick();
+        let wsp = bench.run(HeapConfig::Fof, 9).unwrap();
+        let mnemosyne = bench.run(HeapConfig::FocStm, 9).unwrap();
+        let speedup = wsp.updates_per_sec / mnemosyne.updates_per_sec;
+        assert!(
+            speedup > 1.5,
+            "paper: WSP ~2.4x Mnemosyne; got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let bench = HashBenchmark::quick();
+        let a = bench.run(HeapConfig::FofUndo, 0.3, 5).unwrap();
+        let b = bench.run(HeapConfig::FofUndo, 0.3, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

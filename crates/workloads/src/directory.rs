@@ -1,0 +1,298 @@
+//! An LDAP-like in-memory directory server backed by the persistent AVL
+//! tree — the application of the paper's Table 1 experiment (OpenLDAP
+//! with its Berkeley DB store replaced by an AVL tree in the persistent
+//! heap).
+
+use wsp_pheap::{HeapError, PersistentHeap, PmPtr};
+
+use crate::PmAvlTree;
+
+/// A directory entry: a distinguished name plus attribute pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Distinguished name, e.g. `cn=user042,ou=People,dc=example,dc=com`.
+    pub dn: String,
+    /// Attribute name/value pairs.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl DirEntry {
+    /// Creates an entry.
+    #[must_use]
+    pub fn new(dn: impl Into<String>, attributes: Vec<(String, String)>) -> Self {
+        DirEntry {
+            dn: dn.into(),
+            attributes,
+        }
+    }
+
+    /// Serializes to the on-heap blob format (length-prefixed strings).
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let put = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        put(&mut out, &self.dn);
+        out.extend_from_slice(&(self.attributes.len() as u32).to_le_bytes());
+        for (k, v) in &self.attributes {
+            put(&mut out, k);
+            put(&mut out, v);
+        }
+        out
+    }
+
+    /// Deserializes from the on-heap blob format.
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        fn take_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+            let len =
+                u32::from_le_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+            *pos += 4;
+            let s = std::str::from_utf8(bytes.get(*pos..*pos + len)?)
+                .ok()?
+                .to_owned();
+            *pos += len;
+            Some(s)
+        }
+        let mut pos = 0usize;
+        let dn = take_str(bytes, &mut pos)?;
+        let n = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let mut attributes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = take_str(bytes, &mut pos)?;
+            let v = take_str(bytes, &mut pos)?;
+            attributes.push((k, v));
+        }
+        Some(DirEntry { dn, attributes })
+    }
+}
+
+/// FNV-1a hash of a DN.
+fn dn_hash(dn: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in dn.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The directory server: AVL tree keyed by DN hash (open addressing on
+/// the key for the rare collision), values pointing to encoded entry
+/// blobs in the heap.
+#[derive(Debug, Clone, Copy)]
+pub struct Directory {
+    tree: PmAvlTree,
+}
+
+impl Directory {
+    /// Creates an empty directory, publishing its index as the heap root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn create(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        Ok(Directory {
+            tree: PmAvlTree::create(heap)?,
+        })
+    }
+
+    /// Re-opens a directory after recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::CorruptHeader`] if the heap has no root.
+    pub fn open(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        Ok(Directory {
+            tree: PmAvlTree::open(heap)?,
+        })
+    }
+
+    /// Reads the entry blob behind `value_ptr` outside the index tx.
+    fn read_entry(heap: &mut PersistentHeap, value: u64) -> Result<Option<DirEntry>, HeapError> {
+        let Some(blob) = PmPtr::new(value) else {
+            return Ok(None);
+        };
+        let mut tx = heap.begin();
+        let len = tx.read_word(blob)?;
+        let mut bytes = vec![0u8; len as usize];
+        tx.read_bytes(blob.field(1), &mut bytes)?;
+        tx.commit()?;
+        Ok(DirEntry::decode(&bytes))
+    }
+
+    /// Adds an entry. Returns `false` (without modifying anything) if the
+    /// DN already exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn add(&self, heap: &mut PersistentHeap, entry: &DirEntry) -> Result<bool, HeapError> {
+        let mut key = dn_hash(&entry.dn);
+        // Open addressing on hash collision with a *different* DN.
+        loop {
+            match self.tree.get(heap, key)? {
+                None => break,
+                Some(value) => {
+                    if let Some(existing) = Self::read_entry(heap, value)? {
+                        if existing.dn == entry.dn {
+                            return Ok(false);
+                        }
+                    }
+                    key = key.wrapping_add(1);
+                }
+            }
+        }
+        let encoded = entry.encode();
+        let mut tx = heap.begin();
+        let blob = tx.alloc(8 + encoded.len() as u64)?;
+        tx.write_word(blob, encoded.len() as u64)?;
+        tx.write_bytes(blob.field(1), &encoded)?;
+        tx.commit()?;
+        self.tree.insert(heap, key, blob.offset())?;
+        Ok(true)
+    }
+
+    /// Searches for a DN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn search(
+        &self,
+        heap: &mut PersistentHeap,
+        dn: &str,
+    ) -> Result<Option<DirEntry>, HeapError> {
+        let mut key = dn_hash(dn);
+        loop {
+            match self.tree.get(heap, key)? {
+                None => return Ok(None),
+                Some(value) => {
+                    if let Some(entry) = Self::read_entry(heap, value)? {
+                        if entry.dn == dn {
+                            return Ok(Some(entry));
+                        }
+                    }
+                    key = key.wrapping_add(1);
+                }
+            }
+        }
+    }
+
+    /// Deletes a DN; returns `true` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn delete(&self, heap: &mut PersistentHeap, dn: &str) -> Result<bool, HeapError> {
+        let mut key = dn_hash(dn);
+        loop {
+            match self.tree.get(heap, key)? {
+                None => return Ok(false),
+                Some(value) => {
+                    if let Some(entry) = Self::read_entry(heap, value)? {
+                        if entry.dn == dn {
+                            self.tree.remove(heap, key)?;
+                            let mut tx = heap.begin();
+                            if let Some(blob) = PmPtr::new(value) {
+                                tx.free(blob)?;
+                            }
+                            tx.commit()?;
+                            return Ok(true);
+                        }
+                    }
+                    key = key.wrapping_add(1);
+                }
+            }
+        }
+    }
+
+    /// Number of entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn len(&self, heap: &mut PersistentHeap) -> Result<u64, HeapError> {
+        self.tree.len(heap)
+    }
+
+    /// True if the directory is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn is_empty(&self, heap: &mut PersistentHeap) -> Result<bool, HeapError> {
+        self.tree.is_empty(heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_pheap::HeapConfig;
+    use wsp_units::ByteSize;
+
+    fn entry(n: u32) -> DirEntry {
+        DirEntry::new(
+            format!("cn=user{n:05},ou=People,dc=example,dc=com"),
+            vec![
+                ("objectClass".into(), "person".into()),
+                ("sn".into(), format!("User {n}")),
+                ("mail".into(), format!("user{n}@example.com")),
+            ],
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let e = entry(42);
+        assert_eq!(DirEntry::decode(&e.encode()), Some(e));
+        assert_eq!(DirEntry::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn add_search_delete() {
+        let mut h = PersistentHeap::create(ByteSize::mib(4), HeapConfig::FocUndo);
+        let dir = Directory::create(&mut h).unwrap();
+        for n in 0..100 {
+            assert!(dir.add(&mut h, &entry(n)).unwrap());
+        }
+        // Duplicate add is refused.
+        assert!(!dir.add(&mut h, &entry(5)).unwrap());
+        assert_eq!(dir.len(&mut h).unwrap(), 100);
+        let found = dir
+            .search(&mut h, "cn=user00042,ou=People,dc=example,dc=com")
+            .unwrap()
+            .expect("present");
+        assert_eq!(found.attributes[2].1, "user42@example.com");
+        assert!(dir.delete(&mut h, &found.dn).unwrap());
+        assert!(!dir.delete(&mut h, &found.dn).unwrap());
+        assert!(dir.search(&mut h, &found.dn).unwrap().is_none());
+        assert_eq!(dir.len(&mut h).unwrap(), 99);
+    }
+
+    #[test]
+    fn directory_survives_crash() {
+        let mut h = PersistentHeap::create(ByteSize::mib(4), HeapConfig::FocStm);
+        let dir = Directory::create(&mut h).unwrap();
+        for n in 0..50 {
+            dir.add(&mut h, &entry(n)).unwrap();
+        }
+        let mut h = PersistentHeap::recover(h.crash(false)).unwrap();
+        let dir = Directory::open(&mut h).unwrap();
+        assert_eq!(dir.len(&mut h).unwrap(), 50);
+        let e = dir
+            .search(&mut h, "cn=user00007,ou=People,dc=example,dc=com")
+            .unwrap();
+        assert!(e.is_some());
+    }
+
+    #[test]
+    fn missing_dn_returns_none() {
+        let mut h = PersistentHeap::create(ByteSize::mib(1), HeapConfig::Fof);
+        let dir = Directory::create(&mut h).unwrap();
+        assert!(dir.search(&mut h, "cn=nobody").unwrap().is_none());
+        assert!(dir.is_empty(&mut h).unwrap());
+    }
+}

@@ -1,0 +1,213 @@
+//! Workload generators: key distributions, operation mixes, and random
+//! LDAP distinguished names.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The operation mix of the Figure 5 microbenchmark: a lookup with
+/// probability `1 − update_probability`, otherwise an update that is an
+/// insert or a delete with equal probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Probability an operation is an update (0.0 = read-only, 1.0 =
+    /// update-only) — the x-axis of Figure 5.
+    pub update_probability: f64,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Key lookup.
+    Lookup(u64),
+    /// Insert (or overwrite) a key.
+    Insert(u64, u64),
+    /// Delete a key.
+    Delete(u64),
+}
+
+impl OpMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `update_probability` is in `[0, 1]`.
+    #[must_use]
+    pub fn new(update_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&update_probability),
+            "probability must be in [0, 1]"
+        );
+        OpMix { update_probability }
+    }
+
+    /// Draws the next operation over the key space `0..key_space`.
+    pub fn next_op(&self, rng: &mut StdRng, key_space: u64) -> Op {
+        let key = rng.gen_range(0..key_space);
+        if rng.gen_bool(self.update_probability) {
+            if rng.gen_bool(0.5) {
+                Op::Insert(key, rng.gen())
+            } else {
+                Op::Delete(key)
+            }
+        } else {
+            Op::Lookup(key)
+        }
+    }
+}
+
+/// Key distributions for lookups and updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipfian over `0..n` (YCSB-style skew).
+    Zipfian(Zipfian),
+}
+
+impl KeyDistribution {
+    /// Draws a key.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            KeyDistribution::Uniform { n } => rng.gen_range(0..*n),
+            KeyDistribution::Zipfian(z) => z.sample(rng),
+        }
+    }
+}
+
+/// A Zipfian distribution over `0..n` with skew `theta`, using the
+/// Gray et al. transform that YCSB popularised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Creates a Zipfian over `0..n` with skew `theta` (0 < theta < 1;
+    /// YCSB uses 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n == 0` or `theta` outside `(0, 1)`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta in (0,1)");
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Draws a rank in `0..n` (0 is the hottest key).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Generates a random LDAP distinguished name like the paper's
+/// 100,000-entry OpenLDAP insert workload
+/// (`cn=user012345,ou=People,dc=example,dc=com`).
+pub fn random_dn(rng: &mut StdRng) -> String {
+    format!(
+        "cn=user{:08},ou={},dc=example,dc=com",
+        rng.gen_range(0..100_000_000u64),
+        ["People", "Groups", "Services"][rng.gen_range(0..3usize)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn op_mix_respects_probability() {
+        let mut r = rng();
+        let read_only = OpMix::new(0.0);
+        let update_only = OpMix::new(1.0);
+        for _ in 0..100 {
+            assert!(matches!(read_only.next_op(&mut r, 100), Op::Lookup(_)));
+            assert!(!matches!(update_only.next_op(&mut r, 100), Op::Lookup(_)));
+        }
+        let mixed = OpMix::new(0.5);
+        let updates = (0..10_000)
+            .filter(|_| !matches!(mixed.next_op(&mut r, 100), Op::Lookup(_)))
+            .count();
+        assert!((4_500..5_500).contains(&updates), "{updates}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_rank_zero() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut r = rng();
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        // Hottest key draws a large share under theta=0.99.
+        assert!(counts[0] > 5_000, "rank 0 count {}", counts[0]);
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(10, 0.5);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 10);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let d = KeyDistribution::Uniform { n: 8 };
+        let mut r = rng();
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[d.sample(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dns_look_like_ldap() {
+        let mut r = rng();
+        let dn = random_dn(&mut r);
+        assert!(dn.starts_with("cn=user"));
+        assert!(dn.contains("dc=example"));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let _ = OpMix::new(1.5);
+    }
+}

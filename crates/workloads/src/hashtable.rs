@@ -1,0 +1,276 @@
+//! A persistent separate-chaining hash table over the transactional heap
+//! — the data structure of the paper's Figure 5 microbenchmark.
+
+use wsp_pheap::{HeapError, PersistentHeap, PmPtr};
+
+/// Descriptor field indices.
+const D_BUCKETS: u64 = 0;
+const D_ARRAY: u64 = 1;
+const D_COUNT: u64 = 2;
+
+/// Node field indices: `[key, value, next]`.
+const N_KEY: u64 = 0;
+const N_VALUE: u64 = 1;
+const N_NEXT: u64 = 2;
+const NODE_BYTES: u64 = 24;
+
+/// Fibonacci hash of a key into `buckets` (a power of two).
+fn bucket_of(key: u64, buckets: u64) -> u64 {
+    key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - buckets.trailing_zeros())
+}
+
+/// A `u64 → u64` hash table stored in a persistent heap. Each public
+/// operation runs in its own transaction, exactly as the paper's
+/// benchmark wraps each hash-table operation.
+///
+/// The table's descriptor is published as the heap root, so
+/// [`PmHashTable::open`] finds it again after crash recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct PmHashTable {
+    desc: PmPtr,
+    buckets: u64,
+}
+
+impl PmHashTable {
+    /// Creates a table with `buckets` chains (rounded up to a power of
+    /// two) and publishes it as the heap root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation or transaction failures.
+    pub fn create(heap: &mut PersistentHeap, buckets: u64) -> Result<Self, HeapError> {
+        let buckets = buckets.next_power_of_two().max(8);
+        let mut tx = heap.begin();
+        let desc = tx.alloc(24)?;
+        let array = tx.alloc(buckets * 8)?;
+        tx.write_word(desc.field(D_BUCKETS), buckets)?;
+        tx.write_word(desc.field(D_ARRAY), array.offset())?;
+        tx.write_word(desc.field(D_COUNT), 0)?;
+        for i in 0..buckets {
+            tx.write_word(array.field(i), 0)?;
+        }
+        tx.set_root(desc)?;
+        tx.commit()?;
+        Ok(PmHashTable { desc, buckets })
+    }
+
+    /// Re-opens the table published as the heap root (after recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::CorruptHeader`] if the heap has no root.
+    pub fn open(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        let desc = heap.root().ok_or(HeapError::CorruptHeader)?;
+        let mut tx = heap.begin();
+        let buckets = tx.read_word(desc.field(D_BUCKETS))?;
+        tx.commit()?;
+        Ok(PmHashTable { desc, buckets })
+    }
+
+    /// Inserts or updates a key; returns the previous value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures (e.g. [`HeapError::Conflict`]).
+    pub fn insert(
+        &self,
+        heap: &mut PersistentHeap,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let array = PmPtr::new(tx.read_word(self.desc.field(D_ARRAY))?)
+            .ok_or(HeapError::CorruptHeader)?;
+        let slot = array.field(bucket_of(key, self.buckets));
+        // Walk the chain looking for the key.
+        let mut cursor = tx.read_word(slot)?;
+        while let Some(node) = PmPtr::new(cursor) {
+            if tx.read_word(node.field(N_KEY))? == key {
+                let old = tx.read_word(node.field(N_VALUE))?;
+                tx.write_word(node.field(N_VALUE), value)?;
+                tx.commit()?;
+                return Ok(Some(old));
+            }
+            cursor = tx.read_word(node.field(N_NEXT))?;
+        }
+        // Prepend a new node.
+        let node = tx.alloc(NODE_BYTES)?;
+        tx.write_word(node.field(N_KEY), key)?;
+        tx.write_word(node.field(N_VALUE), value)?;
+        let head = tx.read_word(slot)?;
+        tx.write_word(node.field(N_NEXT), head)?;
+        tx.write_word(slot, node.offset())?;
+        let count = tx.read_word(self.desc.field(D_COUNT))?;
+        tx.write_word(self.desc.field(D_COUNT), count + 1)?;
+        tx.commit()?;
+        Ok(None)
+    }
+
+    /// Looks a key up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn get(&self, heap: &mut PersistentHeap, key: u64) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let array = PmPtr::new(tx.read_word(self.desc.field(D_ARRAY))?)
+            .ok_or(HeapError::CorruptHeader)?;
+        let mut cursor = tx.read_word(array.field(bucket_of(key, self.buckets)))?;
+        while let Some(node) = PmPtr::new(cursor) {
+            if tx.read_word(node.field(N_KEY))? == key {
+                let value = tx.read_word(node.field(N_VALUE))?;
+                tx.commit()?;
+                return Ok(Some(value));
+            }
+            cursor = tx.read_word(node.field(N_NEXT))?;
+        }
+        tx.commit()?;
+        Ok(None)
+    }
+
+    /// Removes a key; returns its value, if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn remove(&self, heap: &mut PersistentHeap, key: u64) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let array = PmPtr::new(tx.read_word(self.desc.field(D_ARRAY))?)
+            .ok_or(HeapError::CorruptHeader)?;
+        let slot = array.field(bucket_of(key, self.buckets));
+        let mut prev: Option<PmPtr> = None;
+        let mut cursor = tx.read_word(slot)?;
+        while let Some(node) = PmPtr::new(cursor) {
+            let next = tx.read_word(node.field(N_NEXT))?;
+            if tx.read_word(node.field(N_KEY))? == key {
+                let value = tx.read_word(node.field(N_VALUE))?;
+                match prev {
+                    Some(p) => tx.write_word(p.field(N_NEXT), next)?,
+                    None => tx.write_word(slot, next)?,
+                }
+                tx.free(node)?;
+                let count = tx.read_word(self.desc.field(D_COUNT))?;
+                tx.write_word(self.desc.field(D_COUNT), count - 1)?;
+                tx.commit()?;
+                return Ok(Some(value));
+            }
+            prev = Some(node);
+            cursor = next;
+        }
+        tx.commit()?;
+        Ok(None)
+    }
+
+    /// Number of live entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn len(&self, heap: &mut PersistentHeap) -> Result<u64, HeapError> {
+        let mut tx = heap.begin();
+        let count = tx.read_word(self.desc.field(D_COUNT))?;
+        tx.commit()?;
+        Ok(count)
+    }
+
+    /// True if the table holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn is_empty(&self, heap: &mut PersistentHeap) -> Result<bool, HeapError> {
+        Ok(self.len(heap)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_pheap::HeapConfig;
+    use wsp_units::ByteSize;
+
+    fn heap(config: HeapConfig) -> PersistentHeap {
+        PersistentHeap::create(ByteSize::mib(4), config)
+    }
+
+    #[test]
+    fn insert_get_remove_in_every_config() {
+        for config in HeapConfig::all() {
+            let mut h = heap(config);
+            let t = PmHashTable::create(&mut h, 16).unwrap();
+            assert_eq!(t.insert(&mut h, 1, 10).unwrap(), None);
+            assert_eq!(t.insert(&mut h, 2, 20).unwrap(), None);
+            assert_eq!(t.insert(&mut h, 1, 11).unwrap(), Some(10));
+            assert_eq!(t.get(&mut h, 1).unwrap(), Some(11));
+            assert_eq!(t.get(&mut h, 3).unwrap(), None);
+            assert_eq!(t.remove(&mut h, 2).unwrap(), Some(20));
+            assert_eq!(t.remove(&mut h, 2).unwrap(), None);
+            assert_eq!(t.len(&mut h).unwrap(), 1, "{config}");
+        }
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let mut h = heap(HeapConfig::Fof);
+        let t = PmHashTable::create(&mut h, 8).unwrap();
+        // 200 keys over 8 buckets: every bucket chains deeply.
+        for k in 0..200u64 {
+            t.insert(&mut h, k, k * 2).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(&mut h, k).unwrap(), Some(k * 2));
+        }
+        // Remove from the middle of chains.
+        for k in (0..200u64).step_by(3) {
+            assert_eq!(t.remove(&mut h, k).unwrap(), Some(k * 2));
+        }
+        for k in 0..200u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k * 2) };
+            assert_eq!(t.get(&mut h, k).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn survives_crash_and_recovery_foc() {
+        let mut h = heap(HeapConfig::FocUndo);
+        let t = PmHashTable::create(&mut h, 32).unwrap();
+        for k in 0..50u64 {
+            t.insert(&mut h, k, k + 100).unwrap();
+        }
+        let mut h = PersistentHeap::recover(h.crash(false)).unwrap();
+        let t = PmHashTable::open(&mut h).unwrap();
+        assert_eq!(t.len(&mut h).unwrap(), 50);
+        for k in 0..50u64 {
+            assert_eq!(t.get(&mut h, k).unwrap(), Some(k + 100));
+        }
+    }
+
+    #[test]
+    fn survives_crash_with_fof_save() {
+        let mut h = heap(HeapConfig::Fof);
+        let t = PmHashTable::create(&mut h, 32).unwrap();
+        for k in 0..50u64 {
+            t.insert(&mut h, k, k).unwrap();
+        }
+        let mut h = PersistentHeap::recover(h.crash(true)).unwrap();
+        let t = PmHashTable::open(&mut h).unwrap();
+        for k in 0..50u64 {
+            assert_eq!(t.get(&mut h, k).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn freed_nodes_are_reused() {
+        let mut h = heap(HeapConfig::Fof);
+        let t = PmHashTable::create(&mut h, 8).unwrap();
+        for round in 0..20u64 {
+            for k in 0..50u64 {
+                t.insert(&mut h, k, round).unwrap();
+            }
+            for k in 0..50u64 {
+                t.remove(&mut h, k).unwrap();
+            }
+        }
+        assert!(t.is_empty(&mut h).unwrap());
+    }
+}

@@ -1,0 +1,378 @@
+//! A memcached-style key-value server: the application class the paper's
+//! introduction is about (in-memory cache tiers that take hours to
+//! re-warm after a correlated outage). Text-protocol commands are parsed
+//! and executed against the persistent hash table, with per-operation
+//! latency recorded for tail analysis.
+
+use std::fmt;
+
+use wsp_pheap::{HeapError, PersistentHeap};
+use wsp_units::{LatencyHistogram, Nanos};
+
+use crate::PmHashTable;
+
+/// A parsed client command (memcached-like text protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get <key>`
+    Get(u64),
+    /// `set <key> <value>`
+    Set(u64, u64),
+    /// `delete <key>`
+    Delete(u64),
+    /// `incr <key> <delta>`
+    Incr(u64, u64),
+    /// `stats`
+    Stats,
+}
+
+impl Command {
+    /// Parses a protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error string for malformed input.
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().ok_or(ProtocolError::Empty)?;
+        let mut arg = |name: &'static str| -> Result<u64, ProtocolError> {
+            parts
+                .next()
+                .ok_or(ProtocolError::MissingArgument { name })?
+                .parse()
+                .map_err(|_| ProtocolError::BadNumber { name })
+        };
+        let cmd = match verb {
+            "get" => Command::Get(arg("key")?),
+            "set" => Command::Set(arg("key")?, arg("value")?),
+            "delete" => Command::Delete(arg("key")?),
+            "incr" => Command::Incr(arg("key")?, arg("delta")?),
+            "stats" => Command::Stats,
+            other => {
+                return Err(ProtocolError::UnknownVerb {
+                    verb: other.to_owned(),
+                })
+            }
+        };
+        if parts.next().is_some() {
+            return Err(ProtocolError::TrailingInput);
+        }
+        Ok(cmd)
+    }
+}
+
+/// Protocol-level errors (distinct from storage errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// Empty input line.
+    Empty,
+    /// Verb not recognised.
+    UnknownVerb {
+        /// The offending verb.
+        verb: String,
+    },
+    /// A required argument was missing.
+    MissingArgument {
+        /// The missing argument's name.
+        name: &'static str,
+    },
+    /// An argument was not a number.
+    BadNumber {
+        /// The argument's name.
+        name: &'static str,
+    },
+    /// Extra tokens after a complete command.
+    TrailingInput,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty command"),
+            ProtocolError::UnknownVerb { verb } => write!(f, "unknown verb '{verb}'"),
+            ProtocolError::MissingArgument { name } => {
+                write!(f, "missing {name} argument")
+            }
+            ProtocolError::BadNumber { name } => write!(f, "{name} is not a number"),
+            ProtocolError::TrailingInput => write!(f, "trailing input after command"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Value for a `get`/`incr`.
+    Value(u64),
+    /// Key absent.
+    NotFound,
+    /// Mutation applied.
+    Stored,
+    /// Key removed.
+    Deleted,
+    /// Server statistics.
+    Stats {
+        /// Live entries.
+        items: u64,
+        /// Commands served.
+        commands: u64,
+        /// p99 service latency.
+        p99: Nanos,
+    },
+}
+
+/// The server: persistent store + protocol + latency accounting.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::{HeapConfig, PersistentHeap};
+/// use wsp_units::ByteSize;
+/// use wsp_workloads::{KvServer, Response};
+///
+/// let mut heap = PersistentHeap::create(ByteSize::mib(1), HeapConfig::Fof);
+/// let mut server = KvServer::create(&mut heap)?;
+/// assert_eq!(server.serve_line(&mut heap, "set 7 700").unwrap(), Response::Stored);
+/// assert_eq!(server.serve_line(&mut heap, "get 7").unwrap(), Response::Value(700));
+/// # Ok::<(), wsp_pheap::HeapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvServer {
+    table: PmHashTable,
+    latencies: LatencyHistogram,
+    commands: u64,
+}
+
+impl KvServer {
+    /// Creates a server over a fresh heap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn create(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        Ok(KvServer {
+            table: PmHashTable::create(heap, 4096)?,
+            latencies: LatencyHistogram::new(),
+            commands: 0,
+        })
+    }
+
+    /// Re-attaches to a recovered heap. Latency statistics are volatile
+    /// and restart from zero — exactly what a WSP resume preserves
+    /// (they'd survive too) vs a back-end rebuild (they wouldn't); we
+    /// model the conservative case.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn open(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        Ok(KvServer {
+            table: PmHashTable::open(heap)?,
+            latencies: LatencyHistogram::new(),
+            commands: 0,
+        })
+    }
+
+    /// Parses and serves one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Malformed lines return [`ServeError::Protocol`]; store failures
+    /// return [`ServeError::Storage`].
+    pub fn serve_line(
+        &mut self,
+        heap: &mut PersistentHeap,
+        line: &str,
+    ) -> Result<Response, ServeError> {
+        let cmd = Command::parse(line).map_err(ServeError::Protocol)?;
+        self.execute(heap, &cmd).map_err(ServeError::Storage)
+    }
+
+    /// Executes a parsed command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn execute(
+        &mut self,
+        heap: &mut PersistentHeap,
+        cmd: &Command,
+    ) -> Result<Response, HeapError> {
+        let start = heap.elapsed();
+        let response = match *cmd {
+            Command::Get(k) => match self.table.get(heap, k)? {
+                Some(v) => Response::Value(v),
+                None => Response::NotFound,
+            },
+            Command::Set(k, v) => {
+                self.table.insert(heap, k, v)?;
+                Response::Stored
+            }
+            Command::Delete(k) => match self.table.remove(heap, k)? {
+                Some(_) => Response::Deleted,
+                None => Response::NotFound,
+            },
+            Command::Incr(k, delta) => match self.table.get(heap, k)? {
+                Some(v) => {
+                    let next = v.wrapping_add(delta);
+                    self.table.insert(heap, k, next)?;
+                    Response::Value(next)
+                }
+                None => Response::NotFound,
+            },
+            Command::Stats => Response::Stats {
+                items: self.table.len(heap)?,
+                commands: self.commands,
+                p99: self.latencies.percentile(99.0),
+            },
+        };
+        self.commands += 1;
+        self.latencies.record(heap.elapsed() - start);
+        Ok(response)
+    }
+
+    /// Commands served since start/recovery.
+    #[must_use]
+    pub fn commands_served(&self) -> u64 {
+        self.commands
+    }
+
+    /// The service-latency histogram.
+    #[must_use]
+    pub fn latencies(&self) -> &LatencyHistogram {
+        &self.latencies
+    }
+}
+
+/// Errors from [`KvServer::serve_line`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The line did not parse.
+    Protocol(ProtocolError),
+    /// The store failed.
+    Storage(HeapError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServeError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl KvServer {
+    /// The underlying table descriptor (for direct verification in
+    /// tests and examples).
+    #[must_use]
+    pub fn table(&self) -> PmHashTable {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_pheap::HeapConfig;
+    use wsp_units::ByteSize;
+
+    fn setup() -> (PersistentHeap, KvServer) {
+        let mut heap = PersistentHeap::create(ByteSize::mib(2), HeapConfig::FocUndo);
+        let server = KvServer::create(&mut heap).unwrap();
+        (heap, server)
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        let (mut heap, mut server) = setup();
+        assert_eq!(
+            server.serve_line(&mut heap, "set 1 100").unwrap(),
+            Response::Stored
+        );
+        assert_eq!(
+            server.serve_line(&mut heap, "get 1").unwrap(),
+            Response::Value(100)
+        );
+        assert_eq!(
+            server.serve_line(&mut heap, "incr 1 5").unwrap(),
+            Response::Value(105)
+        );
+        assert_eq!(
+            server.serve_line(&mut heap, "delete 1").unwrap(),
+            Response::Deleted
+        );
+        assert_eq!(
+            server.serve_line(&mut heap, "get 1").unwrap(),
+            Response::NotFound
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_protocol_errors() {
+        let (mut heap, mut server) = setup();
+        for bad in ["", "frobnicate 1", "set 1", "get one", "get 1 2"] {
+            match server.serve_line(&mut heap, bad) {
+                Err(ServeError::Protocol(_)) => {}
+                other => panic!("{bad:?} should be a protocol error, got {other:?}"),
+            }
+        }
+        // Protocol errors never count as served commands.
+        assert_eq!(server.commands_served(), 0);
+    }
+
+    #[test]
+    fn stats_reports_items_and_latency() {
+        let (mut heap, mut server) = setup();
+        for k in 0..50 {
+            server
+                .execute(&mut heap, &Command::Set(k, k * 2))
+                .unwrap();
+        }
+        match server.serve_line(&mut heap, "stats").unwrap() {
+            Response::Stats {
+                items,
+                commands,
+                p99,
+            } => {
+                assert_eq!(items, 50);
+                assert_eq!(commands, 50);
+                assert!(p99 > Nanos::ZERO);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_state_survives_crash_recovery() {
+        let (mut heap, mut server) = setup();
+        for k in 0..100 {
+            server.execute(&mut heap, &Command::Set(k, k + 1)).unwrap();
+        }
+        let mut heap = PersistentHeap::recover(heap.crash(false)).unwrap();
+        let mut server = KvServer::open(&mut heap).unwrap();
+        assert_eq!(
+            server.serve_line(&mut heap, "get 42").unwrap(),
+            Response::Value(43)
+        );
+        match server.serve_line(&mut heap, "stats").unwrap() {
+            Response::Stats { items, .. } => assert_eq!(items, 100),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incr_on_missing_key_is_not_found() {
+        let (mut heap, mut server) = setup();
+        assert_eq!(
+            server.serve_line(&mut heap, "incr 9 1").unwrap(),
+            Response::NotFound
+        );
+    }
+}

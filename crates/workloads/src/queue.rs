@@ -1,0 +1,221 @@
+//! A persistent FIFO queue (ring buffer) over the transactional heap —
+//! the message-queue/durable-log shape of workload, complementing the
+//! map structures. A fixed ring of slots with head/tail indices; all
+//! mutation transactional, so the queue recovers exactly like the maps.
+
+use wsp_pheap::{HeapError, PersistentHeap, PmPtr};
+
+/// Descriptor: `[capacity, head, tail, ring_ptr]` (head = next pop slot,
+/// tail = next push slot; empty when head == tail; one slot kept free).
+const D_CAP: u64 = 0;
+const D_HEAD: u64 = 1;
+const D_TAIL: u64 = 2;
+const D_RING: u64 = 3;
+
+/// A bounded `u64` FIFO stored in a persistent heap; each operation is
+/// one transaction. The descriptor is published as the heap root.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::{HeapConfig, PersistentHeap};
+/// use wsp_units::ByteSize;
+/// use wsp_workloads::PmQueue;
+///
+/// let mut heap = PersistentHeap::create(ByteSize::kib(128), HeapConfig::FocUndo);
+/// let q = PmQueue::create(&mut heap, 8)?;
+/// q.push(&mut heap, 1)?;
+/// q.push(&mut heap, 2)?;
+/// assert_eq!(q.pop(&mut heap)?, Some(1));
+///
+/// // Crash: the committed pops/pushes survive.
+/// let mut heap = PersistentHeap::recover(heap.crash(false))?;
+/// let q = PmQueue::open(&mut heap)?;
+/// assert_eq!(q.pop(&mut heap)?, Some(2));
+/// assert_eq!(q.pop(&mut heap)?, None);
+/// # Ok::<(), wsp_pheap::HeapError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PmQueue {
+    desc: PmPtr,
+}
+
+impl PmQueue {
+    /// Creates a queue holding up to `capacity` items and publishes it
+    /// as the heap root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/transaction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn create(heap: &mut PersistentHeap, capacity: u64) -> Result<Self, HeapError> {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        let slots = capacity + 1; // one slot of slack distinguishes full from empty
+        let mut tx = heap.begin();
+        let desc = tx.alloc(32)?;
+        let ring = tx.alloc(slots * 8)?;
+        tx.write_word(desc.field(D_CAP), slots)?;
+        tx.write_word(desc.field(D_HEAD), 0)?;
+        tx.write_word(desc.field(D_TAIL), 0)?;
+        tx.write_word(desc.field(D_RING), ring.offset())?;
+        tx.set_root(desc)?;
+        tx.commit()?;
+        Ok(PmQueue { desc })
+    }
+
+    /// Re-opens the queue published as the heap root (after recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::CorruptHeader`] if the heap has no root.
+    pub fn open(heap: &mut PersistentHeap) -> Result<Self, HeapError> {
+        let desc = heap.root().ok_or(HeapError::CorruptHeader)?;
+        Ok(PmQueue { desc })
+    }
+
+    /// Pushes a value; returns `false` (unchanged) when full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn push(&self, heap: &mut PersistentHeap, value: u64) -> Result<bool, HeapError> {
+        let mut tx = heap.begin();
+        let slots = tx.read_word(self.desc.field(D_CAP))?;
+        let head = tx.read_word(self.desc.field(D_HEAD))?;
+        let tail = tx.read_word(self.desc.field(D_TAIL))?;
+        if (tail + 1) % slots == head {
+            tx.commit()?;
+            return Ok(false);
+        }
+        let ring = PmPtr::new(tx.read_word(self.desc.field(D_RING))?)
+            .ok_or(HeapError::CorruptHeader)?;
+        tx.write_word(ring.field(tail), value)?;
+        tx.write_word(self.desc.field(D_TAIL), (tail + 1) % slots)?;
+        tx.commit()?;
+        Ok(true)
+    }
+
+    /// Pops the oldest value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn pop(&self, heap: &mut PersistentHeap) -> Result<Option<u64>, HeapError> {
+        let mut tx = heap.begin();
+        let slots = tx.read_word(self.desc.field(D_CAP))?;
+        let head = tx.read_word(self.desc.field(D_HEAD))?;
+        let tail = tx.read_word(self.desc.field(D_TAIL))?;
+        if head == tail {
+            tx.commit()?;
+            return Ok(None);
+        }
+        let ring = PmPtr::new(tx.read_word(self.desc.field(D_RING))?)
+            .ok_or(HeapError::CorruptHeader)?;
+        let value = tx.read_word(ring.field(head))?;
+        tx.write_word(self.desc.field(D_HEAD), (head + 1) % slots)?;
+        tx.commit()?;
+        Ok(Some(value))
+    }
+
+    /// Items currently queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn len(&self, heap: &mut PersistentHeap) -> Result<u64, HeapError> {
+        let mut tx = heap.begin();
+        let slots = tx.read_word(self.desc.field(D_CAP))?;
+        let head = tx.read_word(self.desc.field(D_HEAD))?;
+        let tail = tx.read_word(self.desc.field(D_TAIL))?;
+        tx.commit()?;
+        Ok((tail + slots - head) % slots)
+    }
+
+    /// True when nothing is queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures.
+    pub fn is_empty(&self, heap: &mut PersistentHeap) -> Result<bool, HeapError> {
+        Ok(self.len(heap)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_pheap::HeapConfig;
+    use wsp_units::ByteSize;
+
+    fn heap(config: HeapConfig) -> PersistentHeap {
+        PersistentHeap::create(ByteSize::kib(256), config)
+    }
+
+    #[test]
+    fn fifo_order_in_every_config() {
+        for config in HeapConfig::all() {
+            let mut h = heap(config);
+            let q = PmQueue::create(&mut h, 16).unwrap();
+            for v in 1..=10u64 {
+                assert!(q.push(&mut h, v).unwrap());
+            }
+            for v in 1..=10u64 {
+                assert_eq!(q.pop(&mut h).unwrap(), Some(v), "{config}");
+            }
+            assert_eq!(q.pop(&mut h).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn full_queue_refuses_pushes() {
+        let mut h = heap(HeapConfig::Fof);
+        let q = PmQueue::create(&mut h, 3).unwrap();
+        assert!(q.push(&mut h, 1).unwrap());
+        assert!(q.push(&mut h, 2).unwrap());
+        assert!(q.push(&mut h, 3).unwrap());
+        assert!(!q.push(&mut h, 4).unwrap(), "capacity 3 is full");
+        assert_eq!(q.len(&mut h).unwrap(), 3);
+        assert_eq!(q.pop(&mut h).unwrap(), Some(1));
+        assert!(q.push(&mut h, 4).unwrap(), "space again after pop");
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let mut h = heap(HeapConfig::FofUndo);
+        let q = PmQueue::create(&mut h, 4).unwrap();
+        for round in 0..50u64 {
+            for v in 0..3 {
+                assert!(q.push(&mut h, round * 10 + v).unwrap());
+            }
+            for v in 0..3 {
+                assert_eq!(q.pop(&mut h).unwrap(), Some(round * 10 + v));
+            }
+        }
+        assert!(q.is_empty(&mut h).unwrap());
+    }
+
+    #[test]
+    fn committed_operations_survive_crash() {
+        let mut h = heap(HeapConfig::FocStm);
+        let q = PmQueue::create(&mut h, 8).unwrap();
+        for v in [10, 20, 30] {
+            q.push(&mut h, v).unwrap();
+        }
+        q.pop(&mut h).unwrap(); // 10 leaves
+        let mut h = PersistentHeap::recover(h.crash(false)).unwrap();
+        let q = PmQueue::open(&mut h).unwrap();
+        assert_eq!(q.len(&mut h).unwrap(), 2);
+        assert_eq!(q.pop(&mut h).unwrap(), Some(20));
+        assert_eq!(q.pop(&mut h).unwrap(), Some(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let mut h = heap(HeapConfig::Fof);
+        let _ = PmQueue::create(&mut h, 0);
+    }
+}

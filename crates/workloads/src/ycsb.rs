@@ -1,0 +1,234 @@
+//! YCSB-style workload mixes over the persistent key-value structures —
+//! the standard cloud-serving benchmark shapes, driven against any heap
+//! configuration. The paper's motivating applications (memcache tiers,
+//! key-value stores) are exactly the systems YCSB characterises.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wsp_pheap::{HeapConfig, HeapError, PersistentHeap};
+use wsp_units::{ByteSize, Nanos};
+
+use crate::{PmHashTable, Zipfian};
+
+/// The classic YCSB core workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum YcsbMix {
+    /// A: update heavy — 50% reads, 50% updates.
+    A,
+    /// B: read mostly — 95% reads, 5% updates.
+    B,
+    /// C: read only.
+    C,
+    /// D: read latest — 95% reads, 5% inserts (fresh keys).
+    D,
+    /// F: read-modify-write — 50% reads, 50% RMW.
+    F,
+}
+
+impl YcsbMix {
+    /// All mixes, in YCSB order.
+    #[must_use]
+    pub fn all() -> [YcsbMix; 5] {
+        [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::D, YcsbMix::F]
+    }
+
+    /// Workload label ("YCSB-A" …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbMix::A => "YCSB-A",
+            YcsbMix::B => "YCSB-B",
+            YcsbMix::C => "YCSB-C",
+            YcsbMix::D => "YCSB-D",
+            YcsbMix::F => "YCSB-F",
+        }
+    }
+}
+
+/// Result of one YCSB run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YcsbResult {
+    /// Workload mix.
+    pub mix: YcsbMix,
+    /// Heap configuration.
+    pub config: HeapConfig,
+    /// Operations executed.
+    pub ops: u64,
+    /// Simulated time per operation.
+    pub time_per_op: Nanos,
+    /// Simulated throughput (ops/s).
+    pub ops_per_sec: f64,
+}
+
+/// A YCSB driver over the persistent hash table.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::HeapConfig;
+/// use wsp_workloads::{YcsbDriver, YcsbMix};
+///
+/// let driver = YcsbDriver::quick();
+/// let read_only = driver.run(YcsbMix::C, HeapConfig::FocStm, 1)?;
+/// let update_heavy = driver.run(YcsbMix::A, HeapConfig::FocStm, 1)?;
+/// assert!(update_heavy.time_per_op > read_only.time_per_op);
+/// # Ok::<(), wsp_pheap::HeapError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YcsbDriver {
+    /// Records loaded before the measured phase.
+    pub records: u64,
+    /// Measured operations.
+    pub ops: u64,
+    /// Zipfian skew for key selection (YCSB default 0.99).
+    pub zipf_theta: f64,
+    /// Heap region size.
+    pub region: ByteSize,
+}
+
+impl YcsbDriver {
+    /// Standard-ish scale: 10 k records, 50 k operations.
+    #[must_use]
+    pub fn standard() -> Self {
+        YcsbDriver {
+            records: 10_000,
+            ops: 50_000,
+            zipf_theta: 0.99,
+            region: ByteSize::mib(32),
+        }
+    }
+
+    /// Scaled down for tests and doc examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        YcsbDriver {
+            records: 1_000,
+            ops: 5_000,
+            zipf_theta: 0.99,
+            region: ByteSize::mib(8),
+        }
+    }
+
+    /// Runs one (mix, configuration) cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn run(
+        &self,
+        mix: YcsbMix,
+        config: HeapConfig,
+        seed: u64,
+    ) -> Result<YcsbResult, HeapError> {
+        let mut heap = PersistentHeap::create(self.region, config);
+        let table = PmHashTable::create(&mut heap, self.records / 2)?;
+        for k in 0..self.records {
+            table.insert(&mut heap, k, k)?;
+        }
+        let zipf = Zipfian::new(self.records, self.zipf_theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next_fresh = self.records;
+
+        let start = heap.elapsed();
+        for _ in 0..self.ops {
+            let key = zipf.sample(&mut rng);
+            let roll: f64 = rng.gen();
+            match mix {
+                YcsbMix::A => {
+                    if roll < 0.5 {
+                        table.get(&mut heap, key)?;
+                    } else {
+                        table.insert(&mut heap, key, roll.to_bits())?;
+                    }
+                }
+                YcsbMix::B => {
+                    if roll < 0.95 {
+                        table.get(&mut heap, key)?;
+                    } else {
+                        table.insert(&mut heap, key, roll.to_bits())?;
+                    }
+                }
+                YcsbMix::C => {
+                    table.get(&mut heap, key)?;
+                }
+                YcsbMix::D => {
+                    if roll < 0.95 {
+                        // Read latest: bias toward recently inserted keys.
+                        let recent = next_fresh - 1 - key.min(next_fresh - 1);
+                        table.get(&mut heap, recent)?;
+                    } else {
+                        table.insert(&mut heap, next_fresh, next_fresh)?;
+                        next_fresh += 1;
+                    }
+                }
+                YcsbMix::F => {
+                    if roll < 0.5 {
+                        table.get(&mut heap, key)?;
+                    } else {
+                        let old = table.get(&mut heap, key)?.unwrap_or(0);
+                        table.insert(&mut heap, key, old + 1)?;
+                    }
+                }
+            }
+        }
+        let elapsed = heap.elapsed() - start;
+        Ok(YcsbResult {
+            mix,
+            config,
+            ops: self.ops,
+            time_per_op: elapsed / self.ops.max(1),
+            ops_per_sec: self.ops as f64 / elapsed.as_secs_f64().max(1e-12),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_c_is_cheapest_under_foc() {
+        let d = YcsbDriver::quick();
+        let c = d.run(YcsbMix::C, HeapConfig::FocUndo, 1).unwrap();
+        let a = d.run(YcsbMix::A, HeapConfig::FocUndo, 1).unwrap();
+        let f = d.run(YcsbMix::F, HeapConfig::FocUndo, 1).unwrap();
+        assert!(c.time_per_op < a.time_per_op);
+        assert!(c.time_per_op < f.time_per_op);
+    }
+
+    #[test]
+    fn fof_beats_foc_on_update_heavy_mixes() {
+        let d = YcsbDriver::quick();
+        for mix in [YcsbMix::A, YcsbMix::F] {
+            let foc = d.run(mix, HeapConfig::FocStm, 2).unwrap();
+            let fof = d.run(mix, HeapConfig::Fof, 2).unwrap();
+            let ratio =
+                foc.time_per_op.as_nanos() as f64 / fof.time_per_op.as_nanos() as f64;
+            assert!(ratio > 3.0, "{}: {ratio:.1}", mix.label());
+        }
+    }
+
+    #[test]
+    fn insert_mix_d_grows_the_table() {
+        let d = YcsbDriver::quick();
+        let mut heap = PersistentHeap::create(d.region, HeapConfig::Fof);
+        let table = PmHashTable::create(&mut heap, 512).unwrap();
+        for k in 0..d.records {
+            table.insert(&mut heap, k, k).unwrap();
+        }
+        // Run D manually to observe growth.
+        drop(heap);
+        let r = d.run(YcsbMix::D, HeapConfig::Fof, 3).unwrap();
+        assert_eq!(r.ops, d.ops);
+        assert!(r.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn results_deterministic_per_seed() {
+        let d = YcsbDriver::quick();
+        let a = d.run(YcsbMix::B, HeapConfig::FofUndo, 9).unwrap();
+        let b = d.run(YcsbMix::B, HeapConfig::FofUndo, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! The datacenter motivation (paper §1–2) and the §6 replication
+//! trade-off: recovery storms after a correlated power failure, and when
+//! a replica group should wait for NVRAM recovery vs re-replicate.
+//!
+//! Run with: `cargo run --release --example recovery_storm`
+
+use wsp_repro::cluster::{ClusterSpec, OutageScenario, RecoveryDecision, ReplicaGroup};
+use wsp_repro::units::Nanos;
+
+fn main() {
+    let cluster = ClusterSpec::memcache_tier(100);
+    println!(
+        "fleet: {} servers x {} in-memory state, shared {} back end\n",
+        cluster.servers, cluster.memory_per_server, cluster.backend_bandwidth
+    );
+
+    println!("recovery storms after a 30 s rack power event:");
+    println!(
+        "{:>8}  {:>18}  {:>14}  {:>9}",
+        "failed", "back-end recovery", "WSP recovery", "speedup"
+    );
+    for failed in [1usize, 10, 50, 100] {
+        let report =
+            cluster.recovery_report(&OutageScenario::rack_power(Nanos::from_secs(30), failed));
+        println!(
+            "{failed:>8}  {:>15.1} min  {:>12.1} s  {:>8.0}x",
+            report.backend_time.as_secs_f64() / 60.0,
+            report.wsp_time.as_secs_f64(),
+            report.speedup()
+        );
+    }
+
+    println!("\nhow long an outage can WSP absorb before full re-reads win?");
+    for outage_secs in [60u64, 600, 3600, 6 * 3600] {
+        let t = cluster.wsp_recovery_time(100, Nanos::from_secs(outage_secs));
+        println!(
+            "  outage {:>5} s -> WSP catch-up {:>8.1} s (back-end: {:.1} h)",
+            outage_secs,
+            t.as_secs_f64(),
+            cluster.backend_recovery_time(100).as_secs_f64() / 3600.0
+        );
+    }
+
+    println!("\nreplica-group decision (64 GB partition, one of three replicas down):");
+    let group = ReplicaGroup::typical();
+    println!(
+        "  re-replication from a live copy takes {:.1} s",
+        group.re_replication_time().as_secs_f64()
+    );
+    println!(
+        "  break-even outage: {:.1} s",
+        group.break_even_outage().as_secs_f64()
+    );
+    for outage_secs in [5u64, 30, 120, 600] {
+        let decision = group.decide(Nanos::from_secs(outage_secs));
+        let (what, eta) = match decision {
+            RecoveryDecision::WaitForNvramRecovery { eta } => ("wait for NVRAM recovery", eta),
+            RecoveryDecision::ReReplicate { eta } => ("re-replicate now", eta),
+        };
+        println!(
+            "  expected outage {outage_secs:>4} s -> {what} (redundancy back in {:.1} s)",
+            eta.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The §6 "Discussion and Future Work" analyses, runnable: capacitance
+//! provisioning vs downtime, optimal checkpoint cadence under WSP,
+//! hybrid DRAM+SCM placement, and a simulated year of fleet operation.
+//!
+//! Run with: `cargo run --release --example whatif_analysis`
+
+use wsp_repro::cluster::{CheckpointPolicy, ClusterSpec, FleetTimeline};
+use wsp_repro::machine::{HybridMemory, Machine, PlacementPolicy, SystemLoad};
+use wsp_repro::power::Psu;
+use wsp_repro::units::{ByteSize, Nanos};
+use wsp_repro::wsp::CapacitanceTradeoff;
+
+fn main() {
+    // 1. Capacitance vs downtime on a marginal deployment.
+    println!("capacitance trade-off (Intel + tight 750 W PSU, 4 outages/yr):");
+    let machine = Machine::intel_testbed().with_psu(Psu::atx_750w());
+    let mut tradeoff = CapacitanceTradeoff::for_machine(
+        &machine,
+        SystemLoad::Busy,
+        4.0,
+        Nanos::from_secs(600),
+    );
+    tradeoff.window_spread = 0.95;
+    for p in tradeoff.sweep(&[0.0, 0.1, 0.25, 0.5]) {
+        println!(
+            "  +{:.2} F (${:.2}): window {:.0} ms, P(miss) {:.0}%, E[downtime] {:.0} s/yr",
+            p.added_capacitance.get(),
+            p.cost_usd,
+            p.effective_window.as_millis_f64(),
+            p.miss_probability * 100.0,
+            p.expected_annual_downtime.as_secs_f64(),
+        );
+    }
+
+    // 2. Checkpoint cadence: WSP covers ~90% of failures locally.
+    println!("\ncheckpoint cadence (Young's tau* = sqrt(2CM)):");
+    let policy = CheckpointPolicy::new(
+        Nanos::from_secs(15 * 60),
+        Nanos::from_secs(7 * 24 * 3600),
+        0.90,
+    );
+    let with = policy.plan();
+    let without = policy.plan_without_wsp();
+    println!(
+        "  without WSP: checkpoint every {:.1} h (overhead {:.1}%)",
+        without.interval.as_secs_f64() / 3600.0,
+        without.overhead * 100.0
+    );
+    println!(
+        "  with WSP:    checkpoint every {:.1} h (overhead {:.1}%)",
+        with.interval.as_secs_f64() / 3600.0,
+        with.overhead * 100.0
+    );
+
+    // 3. Hybrid DRAM + SCM placement.
+    println!("\nhybrid memory (32 GiB NVDIMM + 256 GiB SCM, hot 10% gets 90% of accesses):");
+    let hybrid = HybridMemory::typical(ByteSize::gib(32), ByteSize::gib(256));
+    for policy in PlacementPolicy::all() {
+        println!(
+            "  {:<18} avg access {:>5} ns  (DRAM share {:>3.0}%)",
+            policy.label(),
+            hybrid.average_latency(policy).as_nanos(),
+            hybrid.dram_hit_share(policy) * 100.0,
+        );
+    }
+    println!(
+        "  smart placement speedup over all-SCM: {:.1}x",
+        hybrid.placement_speedup()
+    );
+
+    // 4. A year of fleet power events.
+    println!("\na simulated year (100 x 256 GiB servers, seeded events):");
+    let cluster = ClusterSpec::memcache_tier(100);
+    let (backend, wsp) = FleetTimeline::typical_year(2012).compare(&cluster);
+    for (label, r) in [("back-end only", backend), ("WSP", wsp)] {
+        println!(
+            "  {:<14} availability {:>9.5}%  downtime {:>7.1} server-h  worst recovery {:>6.1} min",
+            label,
+            r.availability * 100.0,
+            r.server_downtime.as_secs_f64() / 3600.0,
+            r.worst_event_recovery.as_secs_f64() / 60.0,
+        );
+    }
+}

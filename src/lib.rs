@@ -1,0 +1,68 @@
+//! # wsp-repro — Whole-System Persistence, reproduced in Rust
+//!
+//! A full reproduction of *Whole-System Persistence* (Narayanan &
+//! Hodson, ASPLOS 2012): the flush-on-fail save/restore runtime, the
+//! NVDIMM / PSU / cache substrates it runs on, the persistent-heap
+//! baselines it is compared against, and the workloads and harnesses
+//! that regenerate every table and figure of the paper's evaluation.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a module name.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`units`] | `wsp-units` | simulated time, sizes, electrical units, stats |
+//! | [`cache`] | `wsp-cache` | cache-hierarchy simulator, flush instructions, CPU profiles |
+//! | [`nvram`] | `wsp-nvram` | NVDIMM device model (DRAM + flash + ultracap) |
+//! | [`power`] | `wsp-power` | PSUs, residual energy windows, power monitor, ultracaps |
+//! | [`pheap`] | `wsp-pheap` | persistent heaps: Mnemosyne-style STM+redo, undo log, plain |
+//! | [`machine`] | `wsp-machine` | whole-system simulator: cores, devices, testbeds |
+//! | [`wsp`] | `wsp-core` | the WSP runtime: flush-on-fail save, restore, feasibility |
+//! | [`workloads`] | `wsp-workloads` | hash table, AVL tree, LDAP directory, benchmarks |
+//! | [`cluster`] | `wsp-cluster` | recovery storms, replication trade-offs |
+//!
+//! # Quickstart
+//!
+//! Survive a power failure with zero runtime overhead:
+//!
+//! ```
+//! use wsp_repro::machine::{Machine, SystemLoad};
+//! use wsp_repro::wsp::{RestartStrategy, WspSystem};
+//!
+//! let mut system = WspSystem::new(Machine::intel_testbed());
+//! let outage = system.power_failure_drill(
+//!     SystemLoad::Busy,
+//!     RestartStrategy::RestorePathReinit,
+//!     7,
+//! );
+//! assert!(outage.save.completed && outage.data_preserved);
+//! ```
+//!
+//! Or compare the persistent-heap baselines the paper measures against:
+//!
+//! ```
+//! use wsp_repro::pheap::{HeapConfig, PersistentHeap};
+//! use wsp_repro::units::ByteSize;
+//!
+//! let mut mnemosyne = PersistentHeap::create(ByteSize::mib(1), HeapConfig::FocStm);
+//! let mut wsp = PersistentHeap::create(ByteSize::mib(1), HeapConfig::Fof);
+//! // ... run the same workload against both and compare `elapsed()`.
+//! # let _ = (mnemosyne.root(), wsp.root());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios, `DESIGN.md` for
+//! the system inventory, and `EXPERIMENTS.md` for paper-vs-reproduced
+//! results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wsp_cache as cache;
+pub use wsp_cluster as cluster;
+pub use wsp_core as wsp;
+pub use wsp_machine as machine;
+pub use wsp_nvram as nvram;
+pub use wsp_pheap as pheap;
+pub use wsp_power as power;
+pub use wsp_units as units;
+pub use wsp_workloads as workloads;

@@ -1,0 +1,213 @@
+//! Property-based crash-consistency tests: random workloads, crashes at
+//! arbitrary points, recovery checked against an in-memory model.
+//!
+//! These are the invariants the whole reproduction stands on:
+//!
+//! * flush-on-commit heaps recover **exactly** the committed prefix with
+//!   no flush-on-fail save at all;
+//! * flush-on-fail heaps recover **everything** when the save completes
+//!   and refuse local recovery when it does not;
+//! * recovery is idempotent across repeated crashes.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use wsp_repro::pheap::{HeapConfig, HeapError, PersistentHeap};
+use wsp_repro::units::ByteSize;
+use wsp_repro::workloads::{PmAvlTree, PmHashTable};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u8, u64),
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+fn apply_model(model: &mut HashMap<u64, u64>, op: Op) {
+    match op {
+        Op::Insert(k, v) => {
+            model.insert(u64::from(k), v);
+        }
+        Op::Remove(k) => {
+            model.remove(&u64::from(k));
+        }
+    }
+}
+
+fn apply_table(
+    table: &PmHashTable,
+    heap: &mut PersistentHeap,
+    op: Op,
+) -> Result<(), HeapError> {
+    match op {
+        Op::Insert(k, v) => {
+            table.insert(heap, u64::from(k), v)?;
+        }
+        Op::Remove(k) => {
+            table.remove(heap, u64::from(k))?;
+        }
+    }
+    Ok(())
+}
+
+fn check_matches_model(
+    table: &PmHashTable,
+    heap: &mut PersistentHeap,
+    model: &HashMap<u64, u64>,
+) {
+    assert_eq!(table.len(heap).unwrap(), model.len() as u64);
+    for k in 0u64..256 {
+        assert_eq!(
+            table.get(heap, k).unwrap(),
+            model.get(&k).copied(),
+            "key {k} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Flush-on-commit heaps recover the exact committed prefix after an
+    /// unsaved crash, regardless of where the crash lands.
+    #[test]
+    fn foc_recovers_committed_prefix(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        crash_at in 0usize..60,
+        use_stm in any::<bool>(),
+    ) {
+        let config = if use_stm { HeapConfig::FocStm } else { HeapConfig::FocUndo };
+        let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+        let table = PmHashTable::create(&mut heap, 32).unwrap();
+        let mut model = HashMap::new();
+
+        let crash_at = crash_at.min(ops.len());
+        for op in &ops[..crash_at] {
+            apply_table(&table, &mut heap, *op).unwrap();
+            apply_model(&mut model, *op);
+        }
+        // Ops after the crash point never happen.
+        let image = heap.crash(false);
+        let mut recovered = PersistentHeap::recover(image).unwrap();
+        let table = PmHashTable::open(&mut recovered).unwrap();
+        check_matches_model(&table, &mut recovered, &model);
+    }
+
+    /// Flush-on-fail heaps with a completed save recover everything;
+    /// without one they refuse local recovery.
+    #[test]
+    fn fof_all_or_nothing(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        config_pick in 0u8..3,
+        save_fits in any::<bool>(),
+    ) {
+        let config = [HeapConfig::Fof, HeapConfig::FofUndo, HeapConfig::FofStm]
+            [usize::from(config_pick)];
+        let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+        let table = PmHashTable::create(&mut heap, 32).unwrap();
+        let mut model = HashMap::new();
+        for op in &ops {
+            apply_table(&table, &mut heap, *op).unwrap();
+            apply_model(&mut model, *op);
+        }
+        let image = heap.crash(save_fits);
+        match PersistentHeap::recover(image) {
+            Ok(mut recovered) => {
+                prop_assert!(save_fits, "recovery must require the save");
+                let table = PmHashTable::open(&mut recovered).unwrap();
+                check_matches_model(&table, &mut recovered, &model);
+            }
+            Err(HeapError::Unrecoverable { .. }) => prop_assert!(!save_fits),
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// A second crash immediately after recovery changes nothing: the
+    /// recovered state is durable and recovery is idempotent.
+    #[test]
+    fn recovery_is_idempotent(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut heap = PersistentHeap::create(ByteSize::kib(512), HeapConfig::FocUndo);
+        let table = PmHashTable::create(&mut heap, 32).unwrap();
+        let mut model = HashMap::new();
+        for op in &ops {
+            apply_table(&table, &mut heap, *op).unwrap();
+            apply_model(&mut model, *op);
+        }
+        let once = PersistentHeap::recover(heap.crash(false)).unwrap();
+        let mut twice = PersistentHeap::recover(once.crash(false)).unwrap();
+        let table = PmHashTable::open(&mut twice).unwrap();
+        check_matches_model(&table, &mut twice, &model);
+    }
+
+    /// An uncommitted (aborted) transaction leaves no trace after
+    /// recovery, even when its writes were forced to NVRAM mid-flight.
+    #[test]
+    fn aborted_transactions_vanish(
+        committed in any::<u64>(),
+        attempted in any::<u64>(),
+    ) {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo);
+        let ptr = {
+            let mut tx = heap.begin();
+            let p = tx.alloc(16).unwrap();
+            tx.write_word(p, committed).unwrap();
+            tx.set_root(p).unwrap();
+            tx.commit().unwrap();
+            p
+        };
+        {
+            let mut tx = heap.begin();
+            tx.write_word(ptr, attempted).unwrap();
+            tx.abort();
+        }
+        let mut recovered = PersistentHeap::recover(heap.crash(false)).unwrap();
+        let root = recovered.root().unwrap();
+        let mut tx = recovered.begin();
+        prop_assert_eq!(tx.read_word(root).unwrap(), committed);
+        tx.commit().unwrap();
+    }
+
+    /// The AVL tree stays ordered, balanced, and model-faithful through
+    /// crash recovery.
+    #[test]
+    fn avl_survives_crashes_ordered(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+    ) {
+        let mut heap = PersistentHeap::create(ByteSize::kib(512), HeapConfig::FocStm);
+        let tree = PmAvlTree::create(&mut heap).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    tree.insert(&mut heap, u64::from(k), v).unwrap();
+                    model.insert(u64::from(k), v);
+                }
+                Op::Remove(k) => {
+                    tree.remove(&mut heap, u64::from(k)).unwrap();
+                    model.remove(&u64::from(k));
+                }
+            }
+        }
+        let mut recovered = PersistentHeap::recover(heap.crash(false)).unwrap();
+        let tree = PmAvlTree::open(&mut recovered).unwrap();
+        let entries = tree.entries(&mut recovered).unwrap();
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(entries, expected);
+        // AVL balance: height <= 1.44 lg(n+2).
+        let n = tree.len(&mut recovered).unwrap();
+        let height = tree.tree_height(&mut recovered).unwrap();
+        let bound = (1.44 * ((n + 2) as f64).log2()).ceil() as u64 + 1;
+        prop_assert!(height <= bound, "height {height} > bound {bound} for n={n}");
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end integration tests spanning the machine, power, NVRAM and
+//! WSP-runtime crates: full outage drills under every strategy, PSU and
+//! load combination, plus failure injection.
+
+use wsp_repro::machine::{Machine, SystemLoad};
+use wsp_repro::nvram::NvramError;
+use wsp_repro::power::Psu;
+use wsp_repro::units::{ByteSize, Nanos};
+use wsp_repro::wsp::{flush_on_fail_save, RestartStrategy, WspError, WspSystem};
+
+#[test]
+fn drills_succeed_for_all_non_acpi_strategies_on_all_testbeds() {
+    for make in [Machine::intel_testbed, Machine::amd_testbed] {
+        for strategy in [
+            RestartStrategy::RestorePathReinit,
+            RestartStrategy::VirtualizedReplay,
+            RestartStrategy::RegisterShadowing,
+        ] {
+            for load in SystemLoad::both() {
+                let mut system = WspSystem::new(make());
+                let name = system.machine().profile().name.clone();
+                let report = system.power_failure_drill(load, strategy, 17);
+                assert!(
+                    report.save.completed,
+                    "{name} {} {}: save missed the window",
+                    strategy.label(),
+                    load.label()
+                );
+                assert!(
+                    report.data_preserved,
+                    "{name} {} {}: data lost",
+                    strategy.label(),
+                    load.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn acpi_suspend_fails_everywhere() {
+    for make in [Machine::intel_testbed, Machine::amd_testbed] {
+        let mut system = WspSystem::new(make());
+        let report =
+            system.power_failure_drill(SystemLoad::Busy, RestartStrategy::AcpiSuspend, 5);
+        assert!(!report.save.completed);
+        assert!(report.backend_reason.is_some());
+    }
+}
+
+#[test]
+fn every_psu_pairing_fits_the_save() {
+    // Figure 7's pairings: each measured PSU against its testbed.
+    let cases = [
+        (Machine::amd_testbed as fn() -> Machine, Psu::atx_400w()),
+        (Machine::amd_testbed, Psu::atx_525w()),
+        (Machine::intel_testbed, Psu::atx_750w()),
+        (Machine::intel_testbed, Psu::atx_1050w()),
+    ];
+    for (make, psu) in cases {
+        let psu_name = psu.name.clone();
+        let mut system = WspSystem::new(make().with_psu(psu));
+        let report = system.power_failure_drill(
+            SystemLoad::Busy,
+            RestartStrategy::RestorePathReinit,
+            31,
+        );
+        assert!(report.save.completed, "{psu_name}: save missed");
+        assert!(report.data_preserved, "{psu_name}: data lost");
+        let fraction = report.save.fraction_of_window.unwrap();
+        assert!(
+            fraction < 0.35,
+            "{psu_name}: save used {:.0}% of the window",
+            fraction * 100.0
+        );
+    }
+}
+
+#[test]
+fn undersized_psu_forces_backend_recovery() {
+    // A pathological supply whose window is shorter than the cache
+    // flush: the save cannot complete and restore must refuse.
+    let tiny = Psu::from_capacitance(
+        "tiny",
+        wsp_repro::units::Watts::new(100.0),
+        wsp_repro::units::Farads::new(0.001),
+    );
+    let mut system = WspSystem::new(Machine::intel_testbed().with_psu(tiny));
+    let report = system.power_failure_drill(
+        SystemLoad::Busy,
+        RestartStrategy::RestorePathReinit,
+        3,
+    );
+    assert!(!report.save.completed);
+    assert!(!report.data_preserved);
+    assert!(report.backend_reason.unwrap().contains("back-end"));
+}
+
+#[test]
+fn save_without_power_loss_can_resume_in_place() {
+    // A false alarm: power fail signalled, save runs, but power comes
+    // back before the outage. The machine can restore from the (still
+    // valid) image.
+    let mut machine = Machine::amd_testbed();
+    let report = flush_on_fail_save(
+        &mut machine,
+        SystemLoad::Idle,
+        RestartStrategy::RestorePathReinit,
+    );
+    assert!(report.completed);
+    machine.system_power_loss();
+    machine.system_power_on();
+    let restore = wsp_repro::wsp::restore(&mut machine, RestartStrategy::RestorePathReinit)
+        .expect("restore succeeds");
+    assert!(restore.total > Nanos::ZERO);
+}
+
+#[test]
+fn nvdimm_pool_survives_repeated_outage_cycles() {
+    // 50 outage cycles: ultracaps age but stay comfortably above the
+    // energy needed; data survives every round trip.
+    let mut system = WspSystem::new(Machine::amd_testbed());
+    for round in 0..50u64 {
+        let report = system.power_failure_drill(
+            SystemLoad::Idle,
+            RestartStrategy::RestorePathReinit,
+            round,
+        );
+        assert!(report.data_preserved, "round {round}");
+    }
+    let cycles = system.machine().nvram().dimms()[0].ultracap().cycles();
+    assert!(cycles >= 50, "aging cycles recorded: {cycles}");
+}
+
+#[test]
+fn direct_nvram_errors_map_to_wsp_errors() {
+    let e: WspError = NvramError::NoValidImage.into();
+    assert!(matches!(e, WspError::Nvram(NvramError::NoValidImage)));
+    assert!(std::error::Error::source(&e).is_some());
+}
+
+#[test]
+fn machine_memory_round_trips_through_outage_at_scale() {
+    // Write a megabyte of patterned data across DIMM boundaries, drill,
+    // verify every byte.
+    let mut system = WspSystem::new(Machine::amd_testbed());
+    let boundary = ByteSize::gib(4).as_u64();
+    let pattern: Vec<u8> = (0..1024 * 1024).map(|i| (i % 251) as u8).collect();
+    system
+        .machine_mut()
+        .nvram_mut()
+        .write(boundary - 512 * 1024, &pattern);
+    let report = system.power_failure_drill(
+        SystemLoad::Idle,
+        RestartStrategy::RestorePathReinit,
+        77,
+    );
+    assert!(report.data_preserved);
+    let mut buf = vec![0u8; pattern.len()];
+    system.machine().nvram().read(boundary - 512 * 1024, &mut buf);
+    assert_eq!(buf, pattern, "cross-DIMM pattern survived");
+}

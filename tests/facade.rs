@@ -1,0 +1,56 @@
+//! Facade-level sanity: the re-exports compose, and the types that
+//! should cross threads can.
+
+use wsp_repro::cache::CpuProfile;
+use wsp_repro::machine::Machine;
+use wsp_repro::pheap::{HeapConfig, PersistentHeap};
+use wsp_repro::power::Psu;
+use wsp_repro::units::{ByteSize, Nanos};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send<T: Send>() {}
+
+#[test]
+fn key_types_are_send_sync() {
+    assert_send_sync::<CpuProfile>();
+    assert_send_sync::<Psu>();
+    assert_send_sync::<Machine>();
+    assert_send_sync::<wsp_repro::nvram::NvDimm>();
+    assert_send::<PersistentHeap>();
+    assert_send::<wsp_repro::pheap::CrashImage>();
+}
+
+#[test]
+fn crash_images_recover_across_threads() {
+    // A heap crashed on one "machine" recovers on another thread — the
+    // distributed-recovery shape of the paper's §6.
+    let mut heap = PersistentHeap::create(ByteSize::kib(128), HeapConfig::FocUndo);
+    let mut tx = heap.begin();
+    let p = tx.alloc(16).unwrap();
+    tx.write_word(p, 424_242).unwrap();
+    tx.set_root(p).unwrap();
+    tx.commit().unwrap();
+    let image = heap.crash(false);
+
+    let handle = std::thread::spawn(move || {
+        let mut recovered = PersistentHeap::recover(image).unwrap();
+        let root = recovered.root().unwrap();
+        let mut tx = recovered.begin();
+        let v = tx.read_word(root).unwrap();
+        tx.commit().unwrap();
+        v
+    });
+    assert_eq!(handle.join().unwrap(), 424_242);
+}
+
+#[test]
+fn facade_modules_interoperate() {
+    // Types from different crates meet in one expression.
+    let machine = Machine::amd_testbed();
+    let window: Nanos = machine.residual_window(wsp_repro::machine::SystemLoad::Idle);
+    let save = machine.flush_analysis().state_save_time(
+        wsp_repro::cache::FlushMethod::Wbinvd,
+        machine.profile().machine_cache(),
+    );
+    assert!(save < window);
+}

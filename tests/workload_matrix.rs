@@ -1,0 +1,154 @@
+//! The full workload × configuration × crash-mode matrix: every
+//! persistent data structure, under every heap configuration, through
+//! both crash outcomes — one sweeping consistency check.
+
+use wsp_repro::pheap::{HeapConfig, HeapError, PersistentHeap};
+use wsp_repro::units::ByteSize;
+use wsp_repro::workloads::{Directory, DirEntry, PmAvlTree, PmBTree, PmHashTable, PmQueue};
+
+const N: u64 = 200;
+
+fn fresh(config: HeapConfig) -> PersistentHeap {
+    PersistentHeap::create(ByteSize::mib(4), config)
+}
+
+/// Recovery is expected to succeed iff the config flushes on commit or
+/// the save completed.
+fn recoverable(config: HeapConfig, save: bool) -> bool {
+    config.flush_on_commit() || save
+}
+
+#[test]
+fn hashtable_matrix() {
+    for config in HeapConfig::all() {
+        for save in [false, true] {
+            let mut heap = fresh(config);
+            let t = PmHashTable::create(&mut heap, 64).unwrap();
+            for k in 0..N {
+                t.insert(&mut heap, k, k * 2 + 1).unwrap();
+            }
+            for k in (0..N).step_by(4) {
+                t.remove(&mut heap, k).unwrap();
+            }
+            match PersistentHeap::recover(heap.crash(save)) {
+                Ok(mut heap) => {
+                    assert!(recoverable(config, save), "{config} save={save}");
+                    let t = PmHashTable::open(&mut heap).unwrap();
+                    for k in 0..N {
+                        let expect = (k % 4 != 0).then_some(k * 2 + 1);
+                        assert_eq!(t.get(&mut heap, k).unwrap(), expect, "{config} key {k}");
+                    }
+                }
+                Err(HeapError::Unrecoverable { .. }) => {
+                    assert!(!recoverable(config, save), "{config} save={save}");
+                }
+                Err(e) => panic!("{config}: unexpected {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn avl_matrix() {
+    for config in HeapConfig::all() {
+        for save in [false, true] {
+            let mut heap = fresh(config);
+            let t = PmAvlTree::create(&mut heap).unwrap();
+            for k in 0..N {
+                t.insert(&mut heap, (k * 37) % N, k).unwrap();
+            }
+            match PersistentHeap::recover(heap.crash(save)) {
+                Ok(mut heap) => {
+                    assert!(recoverable(config, save));
+                    let t = PmAvlTree::open(&mut heap).unwrap();
+                    assert_eq!(t.len(&mut heap).unwrap(), N, "{config}");
+                    let entries = t.entries(&mut heap).unwrap();
+                    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+                Err(HeapError::Unrecoverable { .. }) => assert!(!recoverable(config, save)),
+                Err(e) => panic!("{config}: unexpected {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn btree_matrix() {
+    for config in HeapConfig::all() {
+        for save in [false, true] {
+            let mut heap = fresh(config);
+            let t = PmBTree::create(&mut heap).unwrap();
+            for k in 0..N {
+                t.insert(&mut heap, (k * 13) % N, k).unwrap();
+            }
+            match PersistentHeap::recover(heap.crash(save)) {
+                Ok(mut heap) => {
+                    assert!(recoverable(config, save));
+                    let t = PmBTree::open(&mut heap).unwrap();
+                    assert_eq!(t.len(&mut heap).unwrap(), N, "{config}");
+                    let entries = t.entries(&mut heap).unwrap();
+                    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+                Err(HeapError::Unrecoverable { .. }) => assert!(!recoverable(config, save)),
+                Err(e) => panic!("{config}: unexpected {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn queue_matrix() {
+    for config in HeapConfig::all() {
+        for save in [false, true] {
+            let mut heap = fresh(config);
+            let q = PmQueue::create(&mut heap, 64).unwrap();
+            for v in 0..50u64 {
+                assert!(q.push(&mut heap, v).unwrap());
+            }
+            for _ in 0..20 {
+                q.pop(&mut heap).unwrap();
+            }
+            match PersistentHeap::recover(heap.crash(save)) {
+                Ok(mut heap) => {
+                    assert!(recoverable(config, save));
+                    let q = PmQueue::open(&mut heap).unwrap();
+                    assert_eq!(q.len(&mut heap).unwrap(), 30, "{config}");
+                    assert_eq!(q.pop(&mut heap).unwrap(), Some(20), "FIFO order holds");
+                }
+                Err(HeapError::Unrecoverable { .. }) => assert!(!recoverable(config, save)),
+                Err(e) => panic!("{config}: unexpected {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn directory_matrix() {
+    for config in HeapConfig::all() {
+        for save in [false, true] {
+            let mut heap = fresh(config);
+            let dir = Directory::create(&mut heap).unwrap();
+            for n in 0..60 {
+                let entry = DirEntry::new(
+                    format!("cn=user{n:04},dc=example,dc=com"),
+                    vec![("uid".into(), n.to_string())],
+                );
+                assert!(dir.add(&mut heap, &entry).unwrap());
+            }
+            match PersistentHeap::recover(heap.crash(save)) {
+                Ok(mut heap) => {
+                    assert!(recoverable(config, save));
+                    let dir = Directory::open(&mut heap).unwrap();
+                    assert_eq!(dir.len(&mut heap).unwrap(), 60, "{config}");
+                    let e = dir
+                        .search(&mut heap, "cn=user0033,dc=example,dc=com")
+                        .unwrap()
+                        .expect("entry survives");
+                    assert_eq!(e.attributes[0].1, "33");
+                }
+                Err(HeapError::Unrecoverable { .. }) => assert!(!recoverable(config, save)),
+                Err(e) => panic!("{config}: unexpected {e}"),
+            }
+        }
+    }
+}
