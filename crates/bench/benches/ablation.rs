@@ -2,7 +2,7 @@
 //! redo vs undo logging, flush policy, SCM write penalties, and
 //! supercapacitor provisioning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsp_cache::{CpuProfile, FlushAnalysis, FlushMethod};
 use wsp_pheap::HeapConfig;
 use wsp_power::SupercapProvisioner;

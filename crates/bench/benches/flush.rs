@@ -2,7 +2,7 @@
 //! `wbinvd` walks, per-line `clflush` streams, and the analytic
 //! flush-time model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsp_cache::{CacheHierarchy, CpuProfile, FlushAnalysis, FlushMethod};
 use wsp_units::ByteSize;
 
@@ -22,7 +22,7 @@ fn bench_wbinvd(c: &mut Criterion) {
             b.iter_batched(
                 || dirty_hierarchy(lines),
                 |mut cache| cache.wbinvd(),
-                criterion::BatchSize::LargeInput,
+                wsp_microbench::BatchSize::LargeInput,
             );
         });
     }
@@ -40,7 +40,7 @@ fn bench_clflush_stream(c: &mut Criterion) {
                     cache.clflush(i * 64);
                 }
             },
-            criterion::BatchSize::LargeInput,
+            wsp_microbench::BatchSize::LargeInput,
         );
     });
     group.finish();

@@ -5,7 +5,7 @@
 //! too (STM instrumentation, logging and flush bookkeeping are all real
 //! code here).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsp_pheap::HeapConfig;
 use wsp_units::ByteSize;
 use wsp_workloads::HashBenchmark;

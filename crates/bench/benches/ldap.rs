@@ -1,7 +1,7 @@
 //! Criterion bench for the Table 1 workload: directory inserts under the
 //! Mnemosyne configuration vs the WSP (plain in-memory) configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wsp_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wsp_pheap::HeapConfig;
 use wsp_units::{ByteSize, Nanos};
 use wsp_workloads::LdapBenchmark;

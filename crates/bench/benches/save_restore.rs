@@ -1,7 +1,7 @@
 //! Criterion bench for the whole-system save/restore protocol (Figure 4)
 //! and NVDIMM device operations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsp_core::{RestartStrategy, WspSystem};
 use wsp_machine::{Machine, SystemLoad};
 use wsp_nvram::NvDimm;
@@ -52,7 +52,7 @@ fn bench_nvdimm_save(c: &mut Criterion) {
                     dimm.power_on();
                     dimm.restore().expect("restore");
                 },
-                criterion::BatchSize::LargeInput,
+                wsp_microbench::BatchSize::LargeInput,
             );
         });
     }

@@ -1,7 +1,6 @@
 //! One driver per paper table/figure, returning structured results.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wsp_det::{DetRng, Rng};
 use wsp_cache::{CpuProfile, FlushAnalysis, FlushMethod};
 use wsp_cluster::{AvailabilityReport, ClusterSpec, FleetTimeline, OutageScenario, StormReport};
 use wsp_core::{feasibility_matrix, CapacitanceTradeoff, FeasibilityRow, RestartStrategy, TradeoffPoint};
@@ -223,7 +222,7 @@ pub struct Fig7Row {
 /// of `runs` measurements with ±3 % load jitter (the paper reports the
 /// worst of 3).
 pub fn fig7(runs: u32) -> Vec<Fig7Row> {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = DetRng::seed_from_u64(7);
     let cases: Vec<(&'static str, Psu, f64, f64)> = vec![
         ("AMD", Psu::atx_400w(), 120.0, 60.0),
         ("AMD", Psu::atx_525w(), 120.0, 60.0),

@@ -2,7 +2,6 @@
 //! main memory (DRAM or, in WSP machines, NVDIMMs — the paper's NVDIMMs
 //! run at DRAM speed, so one model serves both).
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
 use crate::LINE_SIZE;
@@ -19,7 +18,7 @@ use crate::LINE_SIZE;
 /// let line = bus.line_fill();
 /// assert!(line > Nanos::new(60)); // latency plus transfer
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryBus {
     /// First-word access latency (row activation + controller).
     pub access_latency: Nanos,

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{ByteSize, Nanos};
 
 /// Cache line size in bytes. All x86 machines in the paper's evaluation use
@@ -23,7 +22,7 @@ pub const LINE_SIZE: u64 = 64;
 /// assert_eq!(a.first_byte(), 128);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct LineAddr(u64);
 
@@ -83,7 +82,7 @@ impl fmt::Display for LineAddr {
 /// assert_eq!(l3.num_sets(), 8192);
 /// assert_eq!(l3.total_lines(), 131_072);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Human-readable level name ("L1d", "L2", "L3").
     pub name: String,

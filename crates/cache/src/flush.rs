@@ -12,13 +12,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{ByteSize, Nanos};
 
 use crate::{CpuProfile, LINE_SIZE};
 
 /// How transient state is pushed out of the caches on the save path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlushMethod {
     /// `wbinvd`: microcoded walk of every line slot. Time is essentially
     /// independent of how many lines are dirty (Figure 8).
@@ -58,7 +57,7 @@ impl fmt::Display for FlushMethod {
 /// assert!(wbinvd > best);
 /// assert!(wbinvd.as_millis_f64() < 5.0); // Figure 8: always under 5 ms
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlushAnalysis {
     profile: CpuProfile,
 }

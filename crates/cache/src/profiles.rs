@@ -6,7 +6,6 @@
 //! paper's measured values (Table 2, Figure 8). `EXPERIMENTS.md` records
 //! the calibration targets next to the reproduced output.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
 use crate::{CacheConfig, MemoryBus};
@@ -26,7 +25,7 @@ use crate::{CacheConfig, MemoryBus};
 /// assert_eq!(p.total_cores(), 6);
 /// assert!(p.machine_cache().as_mib_f64() > 6.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuProfile {
     /// Marketing name of the part.
     pub name: String,

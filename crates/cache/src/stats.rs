@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by a [`CacheHierarchy`].
 ///
 /// [`CacheHierarchy`]: crate::CacheHierarchy
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CacheStats {
     /// Load accesses issued.
     pub loads: u64,

@@ -3,13 +3,12 @@
 //! standard methodology for asking "how would this workload behave on
 //! the other testbed?" without re-running the workload.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheHierarchy, CacheStats, CpuProfile};
 use wsp_units::Nanos;
 
 /// One recorded memory reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Load of the line containing the address.
     Load(u64),
@@ -36,7 +35,7 @@ pub enum TraceEvent {
 /// let large = trace.replay(CpuProfile::intel_c5528());
 /// assert!(small.stats.miss_rate() >= large.stats.miss_rate());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessTrace {
     events: Vec<TraceEvent>,
 }

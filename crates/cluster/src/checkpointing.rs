@@ -9,11 +9,10 @@
 //! `C`, mean time between unrecoverable failures `M`) and the resulting
 //! overhead, with and without WSP.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::Nanos;
 
 /// Inputs for the checkpoint-interval analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointPolicy {
     /// Time to take and ship one checkpoint.
     pub checkpoint_cost: Nanos,
@@ -25,7 +24,7 @@ pub struct CheckpointPolicy {
 }
 
 /// The analysis output for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointPlan {
     /// Mean time between failures the checkpoints must cover.
     pub effective_mtbf: Nanos,

@@ -1,11 +1,10 @@
 //! Recovery storms: back-end recovery vs WSP local recovery for a fleet
 //! of main-memory servers.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
 /// A fleet of main-memory servers sharing one storage back end.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Servers in the fleet.
     pub servers: usize,
@@ -86,7 +85,7 @@ impl ClusterSpec {
 }
 
 /// A correlated-failure scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutageScenario {
     /// How long power stayed off.
     pub outage: Nanos,
@@ -103,7 +102,7 @@ impl OutageScenario {
 }
 
 /// Comparison of the two recovery paths for one scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StormReport {
     /// Servers recovering concurrently.
     pub failed: usize,

@@ -2,11 +2,10 @@
 //! §6): after a replica fails, should the group re-replicate immediately
 //! or wait for the failed node's NVRAM-backed recovery?
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
 /// What the group decided to do about a failed replica.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecoveryDecision {
     /// Wait for the failed node to come back with its NVRAM state and
     /// catch up; estimated completion time attached.
@@ -33,7 +32,7 @@ impl RecoveryDecision {
 }
 
 /// A replication group holding one partition of state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaGroup {
     /// Live replicas remaining (service stays available while > 0).
     pub live_replicas: u32,

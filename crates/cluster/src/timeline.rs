@@ -4,15 +4,13 @@
 //! paper's opening story (the 2010 Facebook outage: 2.5 hours of
 //! unavailability while cache servers refreshed from the back end).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use wsp_det::{DetRng, Rng};
 use wsp_units::Nanos;
 
 use crate::ClusterSpec;
 
 /// One power event in the simulated year.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerEvent {
     /// When the event starts (since simulation start).
     pub at: Nanos,
@@ -23,7 +21,7 @@ pub struct PowerEvent {
 }
 
 /// Fleet availability results for one recovery discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailabilityReport {
     /// Total server-downtime accumulated over the horizon.
     pub server_downtime: Nanos,
@@ -45,7 +43,7 @@ pub struct AvailabilityReport {
 /// let (backend, wsp) = timeline.compare(&cluster);
 /// assert!(wsp.availability > backend.availability);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetTimeline {
     /// Simulation horizon.
     pub horizon: Nanos,
@@ -59,7 +57,7 @@ impl FleetTimeline {
     /// reproducible.
     #[must_use]
     pub fn typical_year(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let year = Nanos::from_secs(365 * 24 * 3600);
         let mut events = Vec::new();
         // ~8 single-server PSU/UPS faults.
@@ -129,15 +127,25 @@ mod tests {
 
     #[test]
     fn wsp_buys_at_least_a_nine() {
+        // A single simulated year is dominated by one datacenter-wide
+        // event whose random duration swings the ratio 3x-16x, so
+        // aggregate downtime over many seeded years: in expectation WSP
+        // cuts unavailability well past 5x (the paper's motivating
+        // Facebook outage was 2.5h of back-end refresh vs seconds of
+        // local restore, Section 1).
         let cluster = ClusterSpec::memcache_tier(100);
-        let timeline = FleetTimeline::typical_year(42);
-        let (backend, wsp) = timeline.compare(&cluster);
-        assert!(wsp.availability > backend.availability);
-        let backend_unavail = 1.0 - backend.availability;
-        let wsp_unavail = 1.0 - wsp.availability;
+        let mut backend_down = Nanos::ZERO;
+        let mut wsp_down = Nanos::ZERO;
+        for seed in 0..20 {
+            let (backend, wsp) = FleetTimeline::typical_year(seed).compare(&cluster);
+            assert!(wsp.availability > backend.availability, "seed {seed}");
+            backend_down += backend.server_downtime;
+            wsp_down += wsp.server_downtime;
+        }
+        let ratio = backend_down.as_secs_f64() / wsp_down.as_secs_f64();
         assert!(
-            backend_unavail / wsp_unavail > 5.0,
-            "unavailability should shrink by >5x: {backend_unavail:.6} vs {wsp_unavail:.6}"
+            ratio > 5.0,
+            "aggregate unavailability should shrink by >5x, got {ratio:.2}x"
         );
     }
 

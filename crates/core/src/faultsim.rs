@@ -1,0 +1,390 @@
+//! The crash-point sweep engine: inject a power failure at **every**
+//! step of the Figure-4 save path (and at mid-transaction points inside
+//! the persistent-heap logs), run the restore path, and check the
+//! recovery invariants against an in-memory model.
+//!
+//! The invariant is the paper's all-or-nothing contract:
+//!
+//! * a failure at any point **before** the NVDIMM save is armed leaves
+//!   no valid image — restore must refuse and demand back-end recovery
+//!   (a torn image must never be mistaken for a complete one);
+//! * a failure at any point **after** the arm changes nothing — the
+//!   modules finish on ultracapacitor power, and restore brings back
+//!   every sentinel byte and every CPU context bit-exactly.
+//!
+//! For the persistent heaps, the analogous sweep crashes an open
+//! transaction after every prefix of its operations: transactional
+//! configurations must recover exactly the committed state (redo replay
+//! or undo rollback), while the plain flush-on-fail heap — the WSP
+//! programming model, with no transactions at all — must recover
+//! exactly the words written so far.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_core::{sweep_save_path, RestartStrategy};
+//! use wsp_machine::{Machine, SystemLoad};
+//!
+//! let report = sweep_save_path(
+//!     Machine::intel_testbed,
+//!     SystemLoad::Busy,
+//!     RestartStrategy::RestorePathReinit,
+//!     42,
+//! );
+//! // Every pre-arm fault forced back-end recovery; every post-arm
+//! // fault restored locally.
+//! assert!(report.outcomes.len() > 10);
+//! assert!(report.locally_restored >= 1);
+//! ```
+
+use std::collections::HashMap;
+
+use wsp_det::{DetRng, Rng};
+use wsp_machine::{CpuContext, Machine, SystemLoad};
+use wsp_pheap::{HeapConfig, HeapError, PersistentHeap, PmPtr};
+use wsp_units::ByteSize;
+
+use crate::restore::restore;
+use crate::save::{flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep};
+use crate::{layout, RestartStrategy, WspError};
+
+/// How many equal batches the cache flush is split into for
+/// mid-flush injection points.
+pub const FLUSH_BATCHES: usize = 4;
+
+/// The result of one injected fault.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// Where the power failure landed.
+    pub fault: SaveFault,
+    /// The (truncated) save report.
+    pub save: SaveReport,
+    /// True if the restore path recovered locally; false if it demanded
+    /// back-end recovery.
+    pub locally_restored: bool,
+    /// The restore error, when local recovery was refused.
+    pub refusal: Option<String>,
+}
+
+/// The full sweep over one machine/load/strategy combination.
+#[derive(Debug, Clone)]
+pub struct SaveSweepReport {
+    /// One outcome per injected fault, in save-path order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// How many faults still recovered locally (post-arm points).
+    pub locally_restored: usize,
+}
+
+/// Enumerates every injectable power-failure point of the save path:
+/// before each Figure-4 step the strategy executes, inside each cache
+/// flush batch, and an ultracap brown-out on each NVDIMM module.
+#[must_use]
+pub fn save_path_crash_points(strategy: RestartStrategy, modules: usize) -> Vec<SaveFault> {
+    let mut points = Vec::new();
+    for step in [
+        SaveStep::PowerFailInterrupt,
+        SaveStep::InterruptAllProcessors,
+        SaveStep::SuspendDevices,
+        SaveStep::SaveContexts,
+        SaveStep::FlushCaches,
+        SaveStep::HaltOthers,
+        SaveStep::SetupResumeBlock,
+        SaveStep::MarkImageValid,
+        SaveStep::InitiateNvdimmSave,
+        SaveStep::Halt,
+    ] {
+        if step == SaveStep::SuspendDevices && strategy != RestartStrategy::AcpiSuspend {
+            continue; // the step does not exist on this strategy's path
+        }
+        points.push(SaveFault::BeforeStep(step));
+    }
+    for batch in 0..FLUSH_BATCHES {
+        points.push(SaveFault::DuringCacheFlush {
+            batch,
+            batches: FLUSH_BATCHES,
+        });
+    }
+    for module in 0..modules {
+        points.push(SaveFault::UltracapShortfall { module });
+    }
+    points
+}
+
+/// Runs the save-path crash-point sweep: for every point from
+/// [`save_path_crash_points`], build a fresh machine, scatter seeded
+/// sentinel data, run the save with the fault injected, cut power,
+/// restore, and check the all-or-nothing invariant against the
+/// in-memory model (sentinels + CPU contexts).
+///
+/// # Panics
+///
+/// Panics when any injected fault violates the invariant — a fault
+/// before the NVDIMM arm that still restored locally, a fault after it
+/// that failed to, or a local restore that lost or corrupted data.
+pub fn sweep_save_path(
+    make_machine: impl Fn() -> Machine,
+    load: SystemLoad,
+    strategy: RestartStrategy,
+    seed: u64,
+) -> SaveSweepReport {
+    let modules = make_machine().nvram().dimms().len();
+    let mut outcomes = Vec::new();
+    for fault in save_path_crash_points(strategy, modules) {
+        let mut machine = make_machine();
+        machine.apply_load(load, seed);
+
+        // The in-memory model: sentinel heap data plus the registers.
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x57u64);
+        let capacity = machine.nvram().total_capacity().as_u64();
+        let sentinels: Vec<(u64, [u8; 32])> = (0..64)
+            .map(|_| {
+                // Keep clear of the resume block in the first page.
+                let addr = rng.gen_range(8192..capacity - 32) / 8 * 8;
+                let mut data = [0u8; 32];
+                rng.fill_bytes(&mut data);
+                (addr, data)
+            })
+            .collect();
+        for (addr, data) in &sentinels {
+            machine.nvram_mut().write(*addr, data);
+        }
+        let contexts_before: Vec<CpuContext> =
+            machine.cores().iter().map(|c| c.context).collect();
+
+        let save = flush_on_fail_save_with_fault(&mut machine, load, strategy, Some(fault));
+        machine.system_power_loss();
+        machine.system_power_on();
+
+        // An ACPI-suspend save blows the window on its own; with the
+        // suspend step executed, even a post-arm fault cannot recover.
+        let expect_recovery = fault.recoverable() && save.completed;
+        match restore(&mut machine, strategy) {
+            Ok(_) => {
+                assert!(
+                    expect_recovery,
+                    "fault {fault:?} must force back-end recovery, but restore succeeded"
+                );
+                for (addr, data) in &sentinels {
+                    let mut buf = [0u8; 32];
+                    machine.nvram().read(*addr, &mut buf);
+                    assert_eq!(&buf, data, "sentinel at {addr:#x} after {fault:?}");
+                }
+                let contexts_after: Vec<CpuContext> =
+                    machine.cores().iter().map(|c| c.context).collect();
+                assert_eq!(contexts_before, contexts_after, "contexts after {fault:?}");
+                assert!(
+                    machine.cores().iter().all(|c| !c.halted),
+                    "cores resume after {fault:?}"
+                );
+                // The marker is cleared: a second restore must refuse.
+                let mut marker = [0u8; 8];
+                machine.nvram().read(layout::VALID_MARKER_ADDR, &mut marker);
+                assert_ne!(
+                    u64::from_le_bytes(marker),
+                    layout::VALID_MAGIC,
+                    "marker must be cleared after resume"
+                );
+                outcomes.push(FaultOutcome {
+                    fault,
+                    save,
+                    locally_restored: true,
+                    refusal: None,
+                });
+            }
+            Err(WspError::BackendRecoveryRequired { reason }) => {
+                assert!(
+                    !expect_recovery,
+                    "fault {fault:?} after the NVDIMM arm must restore locally: {reason}"
+                );
+                assert!(
+                    !save.completed,
+                    "a save that reports completion must be restorable ({fault:?})"
+                );
+                outcomes.push(FaultOutcome {
+                    fault,
+                    save,
+                    locally_restored: false,
+                    refusal: Some(reason),
+                });
+            }
+            Err(other) => panic!("unexpected restore error after {fault:?}: {other}"),
+        }
+    }
+    let locally_restored = outcomes.iter().filter(|o| o.locally_restored).count();
+    SaveSweepReport {
+        outcomes,
+        locally_restored,
+    }
+}
+
+/// The result of the mid-transaction sweep for one heap configuration.
+#[derive(Debug, Clone)]
+pub struct MidTxSweepReport {
+    /// The configuration swept.
+    pub config: HeapConfig,
+    /// Crash points exercised (one per prefix of the scripted
+    /// transaction, including the empty prefix).
+    pub crash_points: usize,
+}
+
+/// Crashes an open transaction after every prefix of a seeded operation
+/// script and verifies recovery against the in-memory model:
+/// transactional configurations recover exactly the committed state
+/// (mid-transaction redo records are not committed, mid-transaction
+/// undo records roll back); the plain FoF heap — no transactions, the
+/// WSP programming model — recovers exactly the words written so far.
+///
+/// Flush-on-commit configurations are crashed *without* the
+/// flush-on-fail save (their whole point), flush-on-fail configurations
+/// with it.
+///
+/// # Panics
+///
+/// Panics when recovery diverges from the model at any crash point.
+pub fn sweep_mid_transaction(config: HeapConfig, seed: u64) -> MidTxSweepReport {
+    let mut rng = DetRng::seed_from_u64(seed);
+
+    // Committed baseline: eight root-reachable cells with known values.
+    let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+    let cells = 8usize;
+    let mut committed: Vec<(PmPtr, u64)> = Vec::new();
+    {
+        let mut tx = heap.begin();
+        let base = tx.alloc(cells as u64 * 8).unwrap();
+        for i in 0..cells {
+            let p = base.field(i as u64);
+            let v = rng.gen::<u64>();
+            tx.write_word(p, v).unwrap();
+            committed.push((p, v));
+        }
+        tx.set_root(base).unwrap();
+        tx.commit().unwrap();
+    }
+
+    // The scripted in-flight transaction: twelve writes over the cells.
+    let script: Vec<(usize, u64)> = (0..12)
+        .map(|_| (rng.gen_range(0..cells), rng.gen::<u64>()))
+        .collect();
+
+    // FoC crashes raw (no save — that is the configuration's claim);
+    // FoF crashes with the completed save it depends on.
+    let save_runs = !config.flush_on_commit();
+    for crash_at in 0..=script.len() {
+        let mut h = heap.clone();
+        let mut tx = h.begin();
+        for &(idx, value) in &script[..crash_at] {
+            tx.write_word(committed[idx].0, value).unwrap();
+        }
+        // Power failure mid-transaction: the abort path never runs, the
+        // log keeps whatever records were appended so far.
+        std::mem::forget(tx);
+
+        let mut recovered = match PersistentHeap::recover(h.crash(save_runs)) {
+            Ok(r) => r,
+            Err(HeapError::Unrecoverable { .. }) if !save_runs => {
+                unreachable!("FoC heaps recover without the save")
+            }
+            Err(e) => panic!("{config}: recovery failed at crash point {crash_at}: {e}"),
+        };
+
+        // The model: committed values, overlaid — for the plain
+        // non-transactional heap only — by the prefix that ran.
+        let mut expected: HashMap<u64, u64> =
+            committed.iter().map(|&(p, v)| (p.offset(), v)).collect();
+        if !config.transactional() {
+            for &(idx, value) in &script[..crash_at] {
+                expected.insert(committed[idx].0.offset(), value);
+            }
+        }
+
+        let root = recovered.root().expect("root survives");
+        assert_eq!(root, committed[0].0, "{config}: root at point {crash_at}");
+        let mut check = recovered.begin();
+        for (&addr, &want) in &expected {
+            let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
+            assert_eq!(
+                got, want,
+                "{config}: cell {addr:#x} at crash point {crash_at}"
+            );
+        }
+        check.commit().unwrap();
+    }
+
+    MidTxSweepReport {
+        config,
+        crash_points: script.len() + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_save_step_and_module() {
+        let points = save_path_crash_points(RestartStrategy::RestorePathReinit, 4);
+        // 9 steps (no ACPI suspend) + 4 flush batches + 4 modules.
+        assert_eq!(points.len(), 9 + FLUSH_BATCHES + 4);
+        assert!(points.contains(&SaveFault::BeforeStep(SaveStep::MarkImageValid)));
+        assert!(!points
+            .iter()
+            .any(|f| *f == SaveFault::BeforeStep(SaveStep::SuspendDevices)));
+        let acpi = save_path_crash_points(RestartStrategy::AcpiSuspend, 1);
+        assert!(acpi.contains(&SaveFault::BeforeStep(SaveStep::SuspendDevices)));
+    }
+
+    #[test]
+    fn only_post_arm_faults_are_recoverable() {
+        assert!(SaveFault::BeforeStep(SaveStep::Halt).recoverable());
+        for fault in save_path_crash_points(RestartStrategy::RestorePathReinit, 2) {
+            if fault != SaveFault::BeforeStep(SaveStep::Halt) {
+                assert!(!fault.recoverable(), "{fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn save_sweep_holds_on_intel_busy() {
+        let report = sweep_save_path(
+            Machine::intel_testbed,
+            SystemLoad::Busy,
+            RestartStrategy::RestorePathReinit,
+            42,
+        );
+        // Exactly the post-arm point recovers locally.
+        assert_eq!(report.locally_restored, 1);
+        assert!(report.outcomes.len() > 10);
+    }
+
+    #[test]
+    fn save_sweep_holds_on_amd_idle() {
+        let report = sweep_save_path(
+            Machine::amd_testbed,
+            SystemLoad::Idle,
+            RestartStrategy::RestorePathReinit,
+            7,
+        );
+        assert_eq!(report.locally_restored, 1);
+    }
+
+    #[test]
+    fn acpi_strawman_never_recovers_locally() {
+        // The suspend step alone blows the residual window, so even the
+        // post-arm fault point cannot produce a valid image.
+        let report = sweep_save_path(
+            Machine::intel_testbed,
+            SystemLoad::Busy,
+            RestartStrategy::AcpiSuspend,
+            3,
+        );
+        assert_eq!(report.locally_restored, 0);
+    }
+
+    #[test]
+    fn mid_transaction_sweep_holds_for_every_config() {
+        for config in HeapConfig::all() {
+            let report = sweep_mid_transaction(config, 1234);
+            assert_eq!(report.crash_points, 13, "{config}");
+        }
+    }
+}

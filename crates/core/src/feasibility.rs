@@ -5,14 +5,13 @@
 //! 2–35 % of the measured window, i.e. the window is 2.5–80× larger
 //! than the save time.
 
-use serde::{Deserialize, Serialize};
 use wsp_cache::FlushMethod;
 use wsp_machine::{Machine, SystemLoad};
 use wsp_power::Psu;
 use wsp_units::Nanos;
 
 /// One row of the feasibility matrix: a (machine, PSU, load) combination.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeasibilityRow {
     /// CPU/testbed name.
     pub machine: String,

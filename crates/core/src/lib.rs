@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod faultsim;
 mod feasibility;
 mod process;
 mod restart;
@@ -58,11 +59,15 @@ mod tradeoff;
 mod vm;
 
 pub use error::WspError;
+pub use faultsim::{
+    save_path_crash_points, sweep_mid_transaction, sweep_save_path, FaultOutcome,
+    MidTxSweepReport, SaveSweepReport, FLUSH_BATCHES,
+};
 pub use feasibility::{feasibility_matrix, FeasibilityRow};
 pub use process::{ProcessPersistence, ProcessSaveReport};
 pub use restart::RestartStrategy;
 pub use restore::{restore, RestoreReport, RestoreStep};
-pub use save::{flush_on_fail_save, SaveReport, SaveStep};
+pub use save::{flush_on_fail_save, flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep};
 pub use system::{OutageReport, WspSystem};
 pub use tradeoff::{CapacitanceTradeoff, TradeoffPoint};
 pub use vm::{VirtualizedHost, VmInstance, VmRestoreMilestone, VmRestoreSchedule};

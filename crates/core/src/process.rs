@@ -6,14 +6,13 @@
 //! OS reboots (no device-restart problem at all), but the application
 //! must be re-attached through a narrow kernel interface.
 
-use serde::{Deserialize, Serialize};
 use wsp_cache::FlushMethod;
 use wsp_machine::Machine;
 use wsp_units::{ByteSize, Nanos};
 
 /// Report comparing process persistence against whole-system persistence
 /// for one process on one machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessSaveReport {
     /// Save-path time (same flush-on-fail mechanics; the cache flush
     /// does not shrink with the process, as `wbinvd` is all-or-nothing).
@@ -27,7 +26,7 @@ pub struct ProcessSaveReport {
 }
 
 /// Models process persistence for a process of a given footprint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessPersistence {
     /// Resident set of the persisted process (its heap, stacks, and
     /// library-OS state).

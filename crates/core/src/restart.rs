@@ -1,12 +1,11 @@
 //! Device-restart strategies (paper §4 "Device restart" and §7 related
 //! work): what to do about the state NVRAM cannot protect.
 
-use serde::{Deserialize, Serialize};
 use wsp_machine::Machine;
 use wsp_units::Nanos;
 
 /// How device state is handled across the power failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RestartStrategy {
     /// The strawman the paper implements and measures (Figure 9): put
     /// every device into the D3 sleep state *on the save path* using the

@@ -1,7 +1,6 @@
 //! The restore routine: Figure 4 steps 10–14, run by the modified boot
 //! loader on the next power-up.
 
-use serde::{Deserialize, Serialize};
 use wsp_machine::{CpuContext, Machine};
 use wsp_units::Nanos;
 
@@ -9,7 +8,7 @@ use crate::layout;
 use crate::{RestartStrategy, WspError};
 
 /// One step of the restore path (Figure 4, right column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RestoreStep {
     /// NVDIMMs copy flash back into DRAM (in parallel).
     RestoreNvdimmContents,
@@ -41,7 +40,7 @@ impl RestoreStep {
 }
 
 /// The outcome of a restore.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RestoreReport {
     /// Each step with its cost, in order.
     pub steps: Vec<(RestoreStep, Nanos)>,

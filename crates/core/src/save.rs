@@ -1,16 +1,16 @@
 //! The flush-on-fail save routine: Figure 4 steps 1–8, raced against the
-//! residual energy window.
+//! residual energy window — with optional power-failure fault injection
+//! at every step for the crash-point sweep engine.
 
-use serde::{Deserialize, Serialize};
 use wsp_cache::FlushMethod;
 use wsp_machine::{CpuContext, Machine, SystemLoad};
-use wsp_units::Nanos;
+use wsp_units::{Nanos, Watts};
 
 use crate::layout;
 use crate::RestartStrategy;
 
 /// One step of the save path (Figure 4, left column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SaveStep {
     /// Power monitor raises the interrupt on the control processor.
     PowerFailInterrupt,
@@ -53,8 +53,46 @@ impl SaveStep {
     }
 }
 
+/// A power-failure injection point on the save path. The sweep engine
+/// ([`crate::faultsim`]) enumerates these and asserts the recovery
+/// invariants at every one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveFault {
+    /// Residual energy runs out immediately *before* this step's side
+    /// effects execute — the step and everything after it never happen.
+    BeforeStep(SaveStep),
+    /// Power dies partway through the cache flush: `batch` of `batches`
+    /// equal line batches were written back, the rest stayed dirty in
+    /// cache. `batch == 0` means the flush had not retired a single
+    /// batch.
+    DuringCacheFlush {
+        /// Batches already written back when power died.
+        batch: usize,
+        /// Total batches the flush was split into.
+        batches: usize,
+    },
+    /// NVDIMM `module`'s ultracapacitor browns out partway through its
+    /// DRAM→flash copy, leaving a torn (invalid) image on that module
+    /// while its siblings complete — the pool restore must then refuse.
+    UltracapShortfall {
+        /// Index of the sabotaged module in the pool.
+        module: usize,
+    },
+}
+
+impl SaveFault {
+    /// True if a save interrupted at this point still yields a complete,
+    /// locally-restorable image: only faults landing *after* the NVDIMM
+    /// save was armed qualify (from then on the modules finish on
+    /// ultracapacitor power without the host).
+    #[must_use]
+    pub fn recoverable(self) -> bool {
+        matches!(self, SaveFault::BeforeStep(SaveStep::Halt))
+    }
+}
+
 /// The outcome of a flush-on-fail save attempt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaveReport {
     /// Each executed step with its cost, in order.
     pub steps: Vec<(SaveStep, Nanos)>,
@@ -90,6 +128,21 @@ pub fn flush_on_fail_save(
     load: SystemLoad,
     strategy: RestartStrategy,
 ) -> SaveReport {
+    flush_on_fail_save_with_fault(machine, load, strategy, None)
+}
+
+/// [`flush_on_fail_save`] with an injected power failure. A
+/// [`SaveFault`] marks the instant the residual energy actually runs
+/// out: every side effect *before* that instant happens exactly as in a
+/// clean save, everything after it does not. `fault: None` is the
+/// unfaulted path.
+#[allow(clippy::too_many_lines)]
+pub fn flush_on_fail_save_with_fault(
+    machine: &mut Machine,
+    load: SystemLoad,
+    strategy: RestartStrategy,
+    fault: Option<SaveFault>,
+) -> SaveReport {
     let window = machine.residual_window(load);
     let mut steps: Vec<(SaveStep, Nanos)> = Vec::new();
     let mut elapsed = Nanos::ZERO;
@@ -97,15 +150,30 @@ pub fn flush_on_fail_save(
         steps.push((s, t));
         *elapsed += t;
     };
+    // Power dies at this step: the report ends here, nothing later runs.
+    let dies_before = |s: SaveStep| fault == Some(SaveFault::BeforeStep(s));
+    let interrupted = |steps: Vec<(SaveStep, Nanos)>, elapsed: Nanos| SaveReport {
+        steps,
+        total: elapsed,
+        window,
+        completed: false,
+        fraction_of_window: elapsed.ratio_of(window),
+    };
 
     let monitor = machine.monitor().clone();
     let profile = machine.profile().clone();
+    if dies_before(SaveStep::PowerFailInterrupt) {
+        return interrupted(steps, elapsed);
+    }
     push(
         &mut steps,
         &mut elapsed,
         SaveStep::PowerFailInterrupt,
         monitor.interrupt_latency,
     );
+    if dies_before(SaveStep::InterruptAllProcessors) {
+        return interrupted(steps, elapsed);
+    }
     push(
         &mut steps,
         &mut elapsed,
@@ -114,12 +182,18 @@ pub fn flush_on_fail_save(
     );
 
     if strategy == RestartStrategy::AcpiSuspend {
+        if dies_before(SaveStep::SuspendDevices) {
+            return interrupted(steps, elapsed);
+        }
         let t = strategy.save_path_cost(machine);
         push(&mut steps, &mut elapsed, SaveStep::SuspendDevices, t);
     }
 
     // All cores save contexts in parallel; the step costs one context
     // save. The contexts actually land in the NVDIMM pool.
+    if dies_before(SaveStep::SaveContexts) {
+        return interrupted(steps, elapsed);
+    }
     let contexts: Vec<(u32, CpuContext)> = machine
         .cores()
         .iter()
@@ -140,11 +214,30 @@ pub fn flush_on_fail_save(
         profile.context_save,
     );
 
+    if dies_before(SaveStep::FlushCaches) {
+        return interrupted(steps, elapsed);
+    }
     let flush = machine
         .flush_analysis()
         .flush_time(FlushMethod::Wbinvd, machine.dirty_estimate(load));
+    if let Some(SaveFault::DuringCacheFlush { batch, batches }) = fault {
+        // Power dies with `batch`/`batches` of the dirty lines written
+        // back. In the simulation the flush has no NVRAM side effects to
+        // truncate — what matters is that the valid marker is never
+        // written, so the partial image can never be mistaken for a
+        // complete one.
+        assert!(batches > 0 && batch < batches, "batch {batch}/{batches}");
+        let partial = Nanos::new(
+            (flush.as_nanos() as u128 * batch as u128 / batches as u128) as u64,
+        );
+        push(&mut steps, &mut elapsed, SaveStep::FlushCaches, partial);
+        return interrupted(steps, elapsed);
+    }
     push(&mut steps, &mut elapsed, SaveStep::FlushCaches, flush);
 
+    if dies_before(SaveStep::HaltOthers) {
+        return interrupted(steps, elapsed);
+    }
     for core in machine.cores_mut().iter_mut().skip(1) {
         core.halted = true;
     }
@@ -154,6 +247,9 @@ pub fn flush_on_fail_save(
         SaveStep::HaltOthers,
         Nanos::from_micros(1),
     );
+    if dies_before(SaveStep::SetupResumeBlock) {
+        return interrupted(steps, elapsed);
+    }
     push(
         &mut steps,
         &mut elapsed,
@@ -163,6 +259,9 @@ pub fn flush_on_fail_save(
 
     // Valid marker: written only if we are still inside the window when
     // we get here — this is the all-or-nothing bit recovery checks.
+    if dies_before(SaveStep::MarkImageValid) {
+        return interrupted(steps, elapsed);
+    }
     let marker_time = Nanos::from_micros(1);
     let will_mark = elapsed + marker_time <= window;
     if will_mark {
@@ -172,6 +271,12 @@ pub fn flush_on_fail_save(
     }
     push(&mut steps, &mut elapsed, SaveStep::MarkImageValid, marker_time);
 
+    if dies_before(SaveStep::InitiateNvdimmSave) {
+        // The marker may already be durable, but the NVDIMMs were never
+        // armed: restore finds no flash images and falls back to the
+        // back end — the marker alone must never suffice.
+        return interrupted(steps, elapsed);
+    }
     let initiate = monitor.i2c_command_latency;
     let will_initiate = will_mark && elapsed + initiate <= window;
     push(
@@ -180,23 +285,34 @@ pub fn flush_on_fail_save(
         SaveStep::InitiateNvdimmSave,
         initiate,
     );
+    let mut modules_saved = true;
     if will_initiate {
+        if let Some(SaveFault::UltracapShortfall { module }) = fault {
+            let dimms = machine.nvram_mut().dimms_mut();
+            assert!(module < dimms.len(), "module {module} out of range");
+            // Drain the bank below its usable floor; the save tears.
+            let cap = dimms[module].ultracap_mut();
+            let _ = cap.discharge(Watts::new(1e6), Nanos::from_secs(3600));
+        }
         let outcomes = machine
             .nvram_mut()
             .save_all()
             .expect("modules accept save after self-refresh");
+        modules_saved = outcomes.iter().all(|o| o.completed);
         debug_assert!(
-            outcomes.iter().all(|o| o.completed),
+            modules_saved || matches!(fault, Some(SaveFault::UltracapShortfall { .. })),
             "agiga ultracaps cover the save by construction"
         );
     }
 
-    if let Some(core) = machine.cores_mut().first_mut() {
-        core.halted = true;
+    if !dies_before(SaveStep::Halt) {
+        if let Some(core) = machine.cores_mut().first_mut() {
+            core.halted = true;
+        }
+        push(&mut steps, &mut elapsed, SaveStep::Halt, Nanos::new(100));
     }
-    push(&mut steps, &mut elapsed, SaveStep::Halt, Nanos::new(100));
 
-    let completed = will_initiate;
+    let completed = will_initiate && modules_saved;
     SaveReport {
         steps,
         total: elapsed,

@@ -1,8 +1,6 @@
 //! End-to-end power-failure drills: save, outage, restore, verify.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use wsp_det::{DetRng, Rng};
 use wsp_machine::{Machine, SystemLoad};
 use wsp_units::Nanos;
 
@@ -11,7 +9,7 @@ use crate::save::flush_on_fail_save;
 use crate::{RestartStrategy, RestoreReport, SaveReport, WspError};
 
 /// The complete record of one simulated outage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OutageReport {
     /// The save-path report.
     pub save: SaveReport,
@@ -70,14 +68,14 @@ impl WspSystem {
         self.machine.apply_load(load, seed);
 
         // Sentinel data: what an in-memory database's heap would be.
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x57u64);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x57u64);
         let capacity = self.machine.nvram().total_capacity().as_u64();
         let sentinels: Vec<(u64, [u8; 32])> = (0..64)
             .map(|_| {
                 // Keep clear of the resume block in the first page.
                 let addr = rng.gen_range(8192..capacity - 32) / 8 * 8;
                 let mut data = [0u8; 32];
-                rng.fill(&mut data);
+                rng.fill_bytes(&mut data);
                 (addr, data)
             })
             .collect();

@@ -11,12 +11,11 @@
 //! produces the expected-annual-downtime curve across capacitance
 //! choices.
 
-use serde::{Deserialize, Serialize};
 use wsp_machine::{Machine, SystemLoad};
 use wsp_units::{Farads, Nanos, Volts, Watts};
 
 /// One point on the capacitance/downtime trade-off curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TradeoffPoint {
     /// Supercapacitance added on the 12 V bus.
     pub added_capacitance: Farads,
@@ -31,7 +30,7 @@ pub struct TradeoffPoint {
 }
 
 /// Inputs for the trade-off sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CapacitanceTradeoff {
     /// Nominal residual window of the stock PSU at the design load.
     pub nominal_window: Nanos,

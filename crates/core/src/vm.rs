@@ -5,12 +5,11 @@
 //! memory is already sitting in NVRAM; the hypervisor re-attaches VMs in
 //! priority order and replays their in-flight virtual I/O.
 
-use serde::{Deserialize, Serialize};
 use wsp_machine::Machine;
 use wsp_units::{ByteSize, Nanos};
 
 /// One guest VM on the host.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmInstance {
     /// VM name.
     pub name: String,
@@ -44,7 +43,7 @@ impl VmInstance {
 }
 
 /// A VM's recovery milestone in the restore schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmRestoreMilestone {
     /// VM name.
     pub name: String,
@@ -53,7 +52,7 @@ pub struct VmRestoreMilestone {
 }
 
 /// The full restore schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmRestoreSchedule {
     /// Per-VM readiness, in restore order.
     pub milestones: Vec<VmRestoreMilestone>,
@@ -81,7 +80,7 @@ pub struct VmRestoreSchedule {
 /// assert_eq!(schedule.milestones[0].name, "db");
 /// assert!(schedule.time_to_first < schedule.time_to_all);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirtualizedHost {
     vms: Vec<VmInstance>,
     /// Fresh host OS + device stack boot.

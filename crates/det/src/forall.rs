@@ -1,0 +1,376 @@
+//! The property-test runner: randomized cases, deterministic seeds,
+//! choice-stream shrinking, and a pinned regression corpus.
+//!
+//! # Reproducibility contract
+//!
+//! * Every run derives all entropy from one base seed. The default is a
+//!   fixed constant, so CI runs are identical across machines.
+//! * `WSP_DET_SEED=<u64>` overrides the base seed; `WSP_DET_CASES=<n>`
+//!   overrides the case count.
+//! * A failure report contains the seed, the case index, the shrunk
+//!   value, and the shrunk choice stream — paste the stream into
+//!   [`Forall::regression`] to pin the exact case forever.
+//!
+//! # Examples
+//!
+//! ```should_panic
+//! use wsp_det::{forall, gen};
+//!
+//! // Fails and shrinks to a minimal counterexample near 100.
+//! forall(gen::vec_of(gen::in_range(0..1000u64), 0..20usize), |v| {
+//!     assert!(v.iter().all(|&x| x < 100), "found {v:?}");
+//! });
+//! ```
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::gen::Gen;
+use crate::rng::DetRng;
+use crate::source::Source;
+
+/// Default base seed ("WSPDET" + revision); see module docs.
+pub const DEFAULT_SEED: u64 = 0x5753_5044_4554_0001;
+
+/// Default number of randomized cases per property.
+pub const DEFAULT_CASES: usize = 32;
+
+/// Upper bound on property re-evaluations spent shrinking one failure.
+const MAX_SHRINK_EVALS: usize = 2048;
+
+thread_local! {
+    /// True while the runner probes candidate cases: panics are expected
+    /// there and must not spam stderr through the global panic hook.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().map(|v| {
+        v.trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got {v:?}"))
+    })
+}
+
+/// A configured property over values of `T`. See the module docs.
+pub struct Forall<T> {
+    gen: Gen<T>,
+    cases: usize,
+    seed: u64,
+    regressions: Vec<Vec<u64>>,
+}
+
+impl<T: Debug + 'static> Forall<T> {
+    /// A property over values from `gen`, with default seed and case
+    /// count (both overridable via environment, see module docs).
+    #[must_use]
+    pub fn new(gen: Gen<T>) -> Self {
+        Forall {
+            gen,
+            cases: env_u64("WSP_DET_CASES").map_or(DEFAULT_CASES, |n| n as usize),
+            seed: env_u64("WSP_DET_SEED").unwrap_or(DEFAULT_SEED),
+            regressions: Vec::new(),
+        }
+    }
+
+    /// Sets the randomized case count (`WSP_DET_CASES` still wins).
+    #[must_use]
+    pub fn cases(mut self, n: usize) -> Self {
+        if env_u64("WSP_DET_CASES").is_none() {
+            self.cases = n;
+        }
+        self
+    }
+
+    /// Sets the base seed (`WSP_DET_SEED` still wins).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        if env_u64("WSP_DET_SEED").is_none() {
+            self.seed = seed;
+        }
+        self
+    }
+
+    /// Pins a previously-found failing choice stream: it re-runs before
+    /// any randomized case, every time, like proptest's regression
+    /// files — but checked into the test source itself.
+    #[must_use]
+    pub fn regression(mut self, choices: &[u64]) -> Self {
+        self.regressions.push(choices.to_vec());
+        self
+    }
+
+    /// Runs the property: regression corpus first, then `cases`
+    /// randomized cases. On failure, shrinks to a minimal
+    /// counterexample and panics with a reproducible report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the property fails for any generated value.
+    pub fn check(self, prop: impl Fn(&T)) {
+        install_quiet_hook();
+
+        let try_case = |choices: &[u64]| -> Result<(), (T, String)> {
+            let mut src = Source::replay(choices.to_vec());
+            let value = self.gen.generate(&mut src);
+            QUIET.with(|q| q.set(true));
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(&value)));
+            QUIET.with(|q| q.set(false));
+            outcome.map_err(|payload| (value, panic_message(payload.as_ref())))
+        };
+
+        for (i, choices) in self.regressions.iter().enumerate() {
+            if let Err((value, message)) = try_case(choices) {
+                // Regression cases are already minimal; fail directly.
+                panic!(
+                    "wsp-det: pinned regression case {i} failed\n  value: {value:?}\n  \
+                     choices: {choices:?}\n  cause: {message}"
+                );
+            }
+        }
+
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        for case in 0..self.cases {
+            // Record the stream with a fresh generation pass...
+            let mut src = Source::fresh(rng.split());
+            let _ = self.gen.generate(&mut src);
+            let choices = src.into_recorded();
+            // ...then evaluate through the replay path so failure and
+            // shrinking see the identical value.
+            if try_case(&choices).is_ok() {
+                continue;
+            }
+            let shrunk = shrink(choices, |c| try_case(c).is_err());
+            let (value, message) =
+                try_case(&shrunk).expect_err("shrunk stream must still fail");
+            panic!(
+                "wsp-det: property failed (case {case}/{}, seed {})\n  \
+                 minimal value: {value:?}\n  \
+                 choices: {shrunk:?}\n  \
+                 cause: {message}\n  \
+                 reproduce: WSP_DET_SEED={} (or pin with .regression(&{shrunk:?}))",
+                self.cases, self.seed, self.seed,
+            );
+        }
+    }
+}
+
+/// One-line form: `forall(gen, prop)` with default configuration.
+///
+/// # Panics
+///
+/// Panics when the property fails for any generated value.
+pub fn forall<T: Debug + 'static>(gen: Gen<T>, prop: impl Fn(&T)) {
+    Forall::new(gen).check(prop);
+}
+
+/// Greedily minimises a failing choice stream. `fails` must be a pure
+/// function of the stream. Two passes alternate until a fixpoint (or
+/// the evaluation budget runs out): chunk deletion (shorter stream ⇒
+/// structurally smaller value) and per-word minimisation toward zero
+/// (zero words decode to the smallest in-range scalars).
+fn shrink(mut current: Vec<u64>, fails: impl Fn(&[u64]) -> bool) -> Vec<u64> {
+    let mut evals = 0usize;
+    let budget = |evals: &mut usize| {
+        *evals += 1;
+        *evals <= MAX_SHRINK_EVALS
+    };
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks, largest first.
+        let mut chunk = current.len().max(1) / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= current.len() {
+                let mut candidate = current.clone();
+                candidate.drain(start..start + chunk);
+                if !budget(&mut evals) {
+                    return current;
+                }
+                if fails(&candidate) {
+                    current = candidate;
+                    improved = true;
+                    // Same start now names the next chunk.
+                } else {
+                    start += chunk;
+                }
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: minimise individual words toward zero (zero first,
+        // then binary descent).
+        for i in 0..current.len() {
+            if current[i] == 0 {
+                continue;
+            }
+            let original = current[i];
+            current[i] = 0;
+            if !budget(&mut evals) {
+                current[i] = original;
+                return current;
+            }
+            if fails(&current) {
+                improved = true;
+                continue;
+            }
+            current[i] = original;
+            // Binary search the smallest failing value in (0, original].
+            let mut lo = 0u64;
+            let mut hi = original;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                current[i] = mid;
+                if !budget(&mut evals) {
+                    current[i] = hi;
+                    return current;
+                }
+                if fails(&current) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if hi != original {
+                improved = true;
+            }
+            current[i] = hi;
+        }
+
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_clean() {
+        Forall::new(gen::vec_of(gen::in_range(0..50u64), 0..20usize))
+            .cases(64)
+            .check(|v| assert!(v.iter().all(|&x| x < 50)));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        let caught = panic::catch_unwind(|| {
+            Forall::new(gen::vec_of(gen::in_range(0..1000u64), 0..30usize))
+                .seed(7)
+                .cases(200)
+                .check(|v| assert!(v.iter().all(|&x| x < 500), "big element"));
+        })
+        .expect_err("property must fail");
+        let message = if let Some(s) = caught.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            panic!("expected String panic payload");
+        };
+        // The minimal counterexample is a single-element vector holding
+        // exactly the boundary value 500.
+        assert!(
+            message.contains("minimal value: [500]"),
+            "shrink fell short: {message}"
+        );
+    }
+
+    #[test]
+    fn failure_reports_are_deterministic() {
+        let run = || {
+            panic::catch_unwind(|| {
+                Forall::new(gen::pair(gen::any::<u8>(), gen::any::<u8>()))
+                    .seed(11)
+                    .cases(100)
+                    .check(|&(a, b)| assert!(u32::from(a) + u32::from(b) < 300));
+            })
+            .expect_err("must fail")
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload")
+        };
+        assert_eq!(run(), run(), "same seed, same report, byte for byte");
+    }
+
+    #[test]
+    fn regression_cases_run_first_and_fail_loud() {
+        let caught = panic::catch_unwind(|| {
+            // u64::MAX decodes to the top of the range (9) under the
+            // multiply-shift sampler.
+            Forall::new(gen::in_range(0..10u64))
+                .regression(&[u64::MAX])
+                .cases(0)
+                .check(|&v| assert!(v < 9, "v={v}"));
+        })
+        .expect_err("regression must fail");
+        let message = caught.downcast_ref::<String>().cloned().unwrap();
+        assert!(message.contains("pinned regression case 0"), "{message}");
+    }
+
+    #[test]
+    fn different_seeds_explore_different_cases() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..5u64 {
+            let first = Cell::new(None);
+            Forall::new(gen::any::<u64>())
+                .seed(seed)
+                .cases(1)
+                .check(|&v| {
+                    if first.get().is_none() {
+                        first.set(Some(v));
+                    }
+                });
+            seen.insert(first.get().unwrap());
+        }
+        assert!(seen.len() >= 4, "seeds barely vary: {seen:?}");
+    }
+
+    #[test]
+    fn shrink_handles_interdependent_draws() {
+        // Value validity depends on earlier draws (length prefix); the
+        // shrinker must still find a small failing stream.
+        let caught = panic::catch_unwind(|| {
+            Forall::new(gen::vec_of(
+                gen::pair(gen::in_range(0..100u64), gen::any::<bool>()),
+                0..40usize,
+            ))
+            .seed(3)
+            .cases(300)
+            .check(|v| assert!(!v.iter().any(|&(x, flag)| flag && x >= 90)));
+        })
+        .expect_err("must fail");
+        let message = caught.downcast_ref::<String>().cloned().unwrap();
+        assert!(
+            message.contains("minimal value: [(90, true)]"),
+            "shrink fell short: {message}"
+        );
+    }
+}

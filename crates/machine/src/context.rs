@@ -1,11 +1,10 @@
 //! Processor cores and their architectural contexts: the transient state
 //! the flush-on-fail save routine must park in NVRAM.
 
-use serde::{Deserialize, Serialize};
 
 /// One core's architectural register state (the x86-64 context the save
 /// routine writes to memory in Figure 4 step 2).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CpuContext {
     /// General-purpose registers (rax..r15).
     pub gpr: [u64; 16],
@@ -64,7 +63,7 @@ impl CpuContext {
 }
 
 /// A processor core.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Core {
     /// Core id (0 is the control processor in the save protocol).
     pub id: u32,

@@ -5,11 +5,10 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 use wsp_units::Nanos;
 
 /// Device categories with distinct suspend/restart behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Rotating or solid-state storage; drains queued writes slowly.
     Disk,
@@ -23,7 +22,7 @@ pub enum DeviceKind {
 }
 
 /// One outstanding I/O request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoRequest {
     /// Request id (for replay/retry accounting).
     pub id: u64,
@@ -44,7 +43,7 @@ pub struct IoRequest {
 /// let suspend = disk.suspend_time();
 /// assert!(suspend > DeviceModel::disk().suspend_time());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceModel {
     /// Device name.
     pub name: String,

@@ -8,11 +8,10 @@
 //! the DRAM side NVDIMM-backed; placement affects performance only,
 //! never durability.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{ByteSize, Nanos};
 
 /// Where pages live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Everything in SCM; DRAM unused (worst case baseline).
     AllScm,
@@ -61,7 +60,7 @@ impl PlacementPolicy {
 /// let naive = hybrid.average_latency(PlacementPolicy::AllScm);
 /// assert!(smart < naive);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HybridMemory {
     /// DRAM (NVDIMM) tier capacity.
     pub dram: ByteSize,

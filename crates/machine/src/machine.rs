@@ -1,8 +1,7 @@
 //! The machine: cores + caches + NVDIMM memory + devices + PSU, plus the
 //! load model that determines the residual energy window.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wsp_det::{DetRng, Rng};
 use wsp_cache::{CpuProfile, FlushAnalysis};
 use wsp_nvram::NvramPool;
 use wsp_power::{PowerMonitor, Psu};
@@ -202,7 +201,7 @@ impl Machine {
     /// complement of in-flight I/O (seeded, reproducible), idle drains
     /// everything.
     pub fn apply_load(&mut self, load: SystemLoad, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         for d in &mut self.devices {
             // Reset the queue to the load level.
             d.power_cycle();

@@ -1,0 +1,299 @@
+//! # wsp-microbench — an offline micro-benchmark harness
+//!
+//! A drop-in replacement for the slice of the `criterion` API the
+//! workspace's benches use, with zero external dependencies so the
+//! required build path never touches a registry. Timing is wall-clock
+//! (`std::time::Instant`) over a fixed number of warm-up and measured
+//! iterations; results print as a fixed-width table of min / mean / max
+//! per iteration.
+//!
+//! This harness intentionally does no statistics beyond min/mean/max:
+//! the workspace's quantitative claims come from the *simulated* clocks
+//! in `wsp-units`, not from host timing. These benches exist to confirm
+//! relative shapes on real hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_microbench::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("sums");
+//! group.sample_size(8);
+//! group.bench_function("1..1000", |b| b.iter(|| (1..1000u64).sum::<u64>()));
+//! group.finish();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The harness runs one setup
+/// per iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup values; criterion would batch few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for reporting group throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, printed as the row label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// (total, min, max) per-iteration durations of the measured runs.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    fn record(&mut self, times: &[Duration]) {
+        let total: Duration = times.iter().sum();
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        self.result = Some((total, min, max));
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a single untimed run primes caches and lazy statics.
+        std_black_box(routine());
+        let times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                std_black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        self.record(&times);
+    }
+
+    /// Times `routine` over fresh values from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std_black_box(routine(setup()));
+        let times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                std_black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        self.record(&times);
+    }
+}
+
+fn human(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut bencher);
+        let Some((total, min, max)) = bencher.result else {
+            println!("{}/{label}: no measurement recorded", self.name);
+            return;
+        };
+        let mean = total / self.samples as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<44} [{:>10} {:>10} {:>10}]{rate}",
+            format!("{}/{label}", self.name),
+            human(min),
+            human(mean),
+            human(max),
+        );
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Ends the group (prints nothing; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group with default settings (10 measured
+    /// iterations).
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("== {name} ==  (min / mean / max per iteration)");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::LargeInput);
+        });
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("throughput", |b| b.iter(|| std::hint::black_box(42)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+
+    #[test]
+    fn human_durations_scale() {
+        assert!(human(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(human(Duration::from_micros(50)).ends_with("µs"));
+        assert!(human(Duration::from_millis(50)).ends_with("ms"));
+        assert!(human(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

@@ -2,13 +2,12 @@
 //! to NVDIMMs (paper §4, "NVDIMMs": save/restore commands relayed from
 //! the host over the serial line).
 
-use serde::{Deserialize, Serialize};
 use wsp_units::Nanos;
 
 use crate::{DimmState, NvDimm, NvramError};
 
 /// Commands the microcontroller can issue to a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum I2cCommand {
     /// Put the DRAM into self-refresh (precondition for save/restore).
     ArmSelfRefresh,
@@ -23,7 +22,7 @@ pub enum I2cCommand {
 }
 
 /// Responses from a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum I2cResponse {
     /// Command accepted; `duration` is the modelled completion time.
     Ack {

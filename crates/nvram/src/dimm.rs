@@ -1,7 +1,6 @@
 //! The NVDIMM device: DRAM array, self-refresh handshake, ultracap-powered
 //! DRAM→flash save, and flash→DRAM restore.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Bandwidth, ByteSize, Farads, Joules, Nanos, Volts, Watts};
 use wsp_power::Ultracapacitor;
 
@@ -9,7 +8,7 @@ use crate::flash::{FlashStore, PageMap, PAGE_SIZE};
 use crate::NvramError;
 
 /// Operating state of the module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DimmState {
     /// Normal operation: host loads/stores hit the DRAM.
     Active,
@@ -33,7 +32,7 @@ impl DimmState {
 }
 
 /// Result of a save operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaveOutcome {
     /// True if the whole DRAM image reached flash before the ultracap
     /// dropped below its minimum usable voltage.
@@ -47,7 +46,7 @@ pub struct SaveOutcome {
 }
 
 /// One point of a Figure-2-style save trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaveTracePoint {
     /// Time since the save began.
     pub t: Nanos,
@@ -144,6 +143,12 @@ impl NvDimm {
     #[must_use]
     pub fn ultracap(&self) -> &Ultracapacitor {
         &self.ultracap
+    }
+
+    /// Mutable ultracapacitor access — lets fault-injection harnesses
+    /// pre-drain the bank so the next save tears partway through.
+    pub fn ultracap_mut(&mut self) -> &mut Ultracapacitor {
+        &mut self.ultracap
     }
 
     fn check_range(&self, addr: u64, len: u64) -> Result<(), NvramError> {

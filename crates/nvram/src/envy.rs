@@ -6,11 +6,10 @@
 //! NVDIMMs hold *everything* in DRAM and touch flash only at
 //! failure/recovery. This model quantifies that comparison.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
 /// An eNVy-style buffered non-volatile store.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnvyStore {
     /// SRAM buffer size.
     pub buffer: ByteSize,

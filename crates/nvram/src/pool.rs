@@ -49,6 +49,13 @@ impl NvramPool {
         &self.dimms
     }
 
+    /// Mutable module access — fault-injection harnesses use this to
+    /// sabotage individual modules (e.g. drain an ultracapacitor so its
+    /// save browns out mid-copy).
+    pub fn dimms_mut(&mut self) -> &mut [NvDimm] {
+        &mut self.dimms
+    }
+
     /// Total pool capacity.
     #[must_use]
     pub fn total_capacity(&self) -> ByteSize {

@@ -3,11 +3,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wsp_units::Nanos;
 
 /// The five persistent-heap configurations the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HeapConfig {
     /// Flush-on-commit with STM: the default Mnemosyne configuration
     /// (instrumented reads, redo log written with fenced non-temporal
@@ -120,7 +119,7 @@ impl fmt::Display for HeapConfig {
 /// read/write barriers, transactional-context setup, commit-time
 /// validation. Calibrated against the paper's observations (e.g. the 60 %
 /// read-only overhead of FoC + UL comes almost entirely from `tx_begin`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Creating a transactional context (stack setup, log reservation).
     pub tx_begin: Nanos,

@@ -4,12 +4,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by a [`PersistentHeap`].
 ///
 /// [`PersistentHeap`]: crate::PersistentHeap
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HeapStats {
     /// Transactions opened.
     pub txs_started: u64,

@@ -6,12 +6,11 @@
 //! words from a previous pass, with no checksums and no read-modify-write
 //! of log metadata on the append path.
 
-use serde::{Deserialize, Serialize};
 
 use crate::mem::PersistentMemory;
 
 /// Kinds of log record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecordKind {
     /// A word write: `addr` held `value` (undo logs store the *old*
     /// value; redo logs store the *new* one).
@@ -50,7 +49,7 @@ impl RecordKind {
 }
 
 /// One decoded log record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogRecord {
     /// Record kind.
     pub kind: RecordKind,

@@ -4,7 +4,6 @@
 //! the paper's Figure 5 isolates — so it is implemented for real and its
 //! bookkeeping is charged to simulated time by the heap layer.
 
-use serde::{Deserialize, Serialize};
 
 /// Striped-version STM state shared by all transactions of one heap.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// stm.external_write(0x1000);
 /// assert!(!stm.validate(rv, &[(stm.stripe_of(0x1000), observed)]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stm {
     versions: Vec<u64>,
     clock: u64,

@@ -4,7 +4,7 @@
 //! transactional heap, so allocator metadata enjoys crash consistency
 //! like everything else.
 
-use proptest::prelude::*;
+use wsp_det::{gen, Forall, Gen};
 use wsp_pheap::{HeapConfig, PersistentHeap, PmPtr};
 use wsp_units::ByteSize;
 
@@ -15,28 +15,32 @@ enum AllocOp {
     Free(usize),
 }
 
-fn alloc_op() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        3 => (8u64..200).prop_map(AllocOp::Alloc),
-        2 => (0usize..64).prop_map(AllocOp::Free),
-    ]
+fn alloc_op() -> Gen<AllocOp> {
+    gen::weighted(vec![
+        (3, gen::in_range(8u64..200).map(AllocOp::Alloc)),
+        (2, gen::in_range(0usize..64).map(AllocOp::Free)),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn no_overlap_and_full_reclamation(
-        ops in prop::collection::vec(alloc_op(), 1..80),
-        use_undo in any::<bool>(),
-    ) {
-        let config = if use_undo { HeapConfig::FofUndo } else { HeapConfig::Fof };
+#[test]
+fn no_overlap_and_full_reclamation() {
+    Forall::new(gen::pair(
+        gen::vec_of(alloc_op(), 1..80usize),
+        gen::any::<bool>(),
+    ))
+    .cases(32)
+    .check(|(ops, use_undo)| {
+        let config = if *use_undo {
+            HeapConfig::FofUndo
+        } else {
+            HeapConfig::Fof
+        };
         let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
         let mut live: Vec<(PmPtr, u64)> = Vec::new();
 
         let mut tx = heap.begin();
         for op in ops {
-            match op {
+            match *op {
                 AllocOp::Alloc(size) => {
                     if let Ok(ptr) = tx.alloc(size) {
                         // Check non-overlap against every live block.
@@ -45,7 +49,7 @@ proptest! {
                         for (other, other_size) in &live {
                             let os = other.offset();
                             let oe = os + other_size;
-                            prop_assert!(
+                            assert!(
                                 end + 8 <= os || oe + 8 <= start,
                                 "blocks overlap: [{start},{end}) vs [{os},{oe})"
                             );
@@ -72,32 +76,34 @@ proptest! {
         let big = tx.alloc(180 * 1024).expect("full heap available again");
         tx.free(big).unwrap();
         tx.commit().unwrap();
-    }
+    });
+}
 
-    /// Writing every byte of each allocation never corrupts neighbours.
-    #[test]
-    fn payload_writes_stay_inside_blocks(
-        sizes in prop::collection::vec(8u64..120, 2..20),
-    ) {
-        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::Fof);
-        let mut tx = heap.begin();
-        let blocks: Vec<(PmPtr, u64, u8)> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &size)| {
-                let ptr = tx.alloc(size).unwrap();
-                (ptr, size, (i % 251) as u8)
-            })
-            .collect();
-        for (ptr, size, fill) in &blocks {
-            let payload = vec![*fill; *size as usize];
-            tx.write_bytes(*ptr, &payload).unwrap();
-        }
-        for (ptr, size, fill) in &blocks {
-            let mut buf = vec![0u8; *size as usize];
-            tx.read_bytes(*ptr, &mut buf).unwrap();
-            prop_assert!(buf.iter().all(|b| b == fill), "block payload corrupted");
-        }
-        tx.commit().unwrap();
-    }
+/// Writing every byte of each allocation never corrupts neighbours.
+#[test]
+fn payload_writes_stay_inside_blocks() {
+    Forall::new(gen::vec_of(gen::in_range(8u64..120), 2..20usize))
+        .cases(32)
+        .check(|sizes| {
+            let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::Fof);
+            let mut tx = heap.begin();
+            let blocks: Vec<(PmPtr, u64, u8)> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &size)| {
+                    let ptr = tx.alloc(size).unwrap();
+                    (ptr, size, (i % 251) as u8)
+                })
+                .collect();
+            for (ptr, size, fill) in &blocks {
+                let payload = vec![*fill; *size as usize];
+                tx.write_bytes(*ptr, &payload).unwrap();
+            }
+            for (ptr, size, fill) in &blocks {
+                let mut buf = vec![0u8; *size as usize];
+                tx.read_bytes(*ptr, &mut buf).unwrap();
+                assert!(buf.iter().all(|b| b == fill), "block payload corrupted");
+            }
+            tx.commit().unwrap();
+        });
 }

@@ -2,7 +2,7 @@
 //! appends, fences, truncations and crashes recover exactly the fenced
 //! suffix, across any number of wrap-arounds.
 
-use proptest::prelude::*;
+use wsp_det::{gen, Forall, Gen};
 use wsp_pheap::{LogRecord, PersistentMemory, TornLog};
 use wsp_units::ByteSize;
 
@@ -18,104 +18,123 @@ enum LogOp {
     Truncate,
 }
 
-fn log_op() -> impl Strategy<Value = LogOp> {
-    prop_oneof![
-        4 => (0u64..16, 0u64..1024, any::<u64>())
-            .prop_map(|(txid, addr, value)| LogOp::Append { txid, addr: addr * 8, value }),
-        2 => (0u64..16).prop_map(|txid| LogOp::Commit { txid }),
-        2 => Just(LogOp::Fence),
-        1 => Just(LogOp::Truncate),
-    ]
+fn log_op() -> Gen<LogOp> {
+    gen::weighted(vec![
+        (
+            4,
+            gen::triple(
+                gen::in_range(0u64..16),
+                gen::in_range(0u64..1024),
+                gen::any::<u64>(),
+            )
+            .map(|(txid, addr, value)| LogOp::Append {
+                txid,
+                addr: addr * 8,
+                value,
+            }),
+        ),
+        (2, gen::in_range(0u64..16).map(|txid| LogOp::Commit { txid })),
+        (2, gen::constant(LogOp::Fence)),
+        (1, gen::constant(LogOp::Truncate)),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// Recovery returns exactly the records appended after the last
+/// truncation and before the last fence — in order, bit-exact.
+#[test]
+fn recovery_returns_fenced_suffix() {
+    Forall::new(gen::vec_of(log_op(), 1..150usize))
+        .cases(48)
+        .check(|ops| {
+            let mut mem = PersistentMemory::new(ByteSize::kib(64));
+            let mut log = TornLog::new(BASE, CAP, TAIL_PTR);
+            log.initialize(&mut mem);
 
-    /// Recovery returns exactly the records appended after the last
-    /// truncation and before the last fence — in order, bit-exact.
-    #[test]
-    fn recovery_returns_fenced_suffix(ops in prop::collection::vec(log_op(), 1..150)) {
-        let mut mem = PersistentMemory::new(ByteSize::kib(64));
-        let mut log = TornLog::new(BASE, CAP, TAIL_PTR);
-        log.initialize(&mut mem);
+            // Model: records appended since the last truncation, split into
+            // fenced (durable) and pending.
+            let mut fenced: Vec<LogRecord> = Vec::new();
+            let mut pending: Vec<LogRecord> = Vec::new();
 
-        // Model: records appended since the last truncation, split into
-        // fenced (durable) and pending.
-        let mut fenced: Vec<LogRecord> = Vec::new();
-        let mut pending: Vec<LogRecord> = Vec::new();
-
-        for op in ops {
-            match op {
-                LogOp::Append { txid, addr, value } => {
-                    if log.needs_truncation() {
-                        // The owner's contract: truncate before filling.
+            for op in ops {
+                match *op {
+                    LogOp::Append { txid, addr, value } => {
+                        if log.needs_truncation() {
+                            // The owner's contract: truncate before filling.
+                            mem.sfence();
+                            log.truncate(&mut mem, true);
+                            fenced.clear();
+                            pending.clear();
+                        }
+                        let r = LogRecord::write(txid, addr, value);
+                        log.append(&mut mem, &r, true);
+                        pending.push(r);
+                    }
+                    LogOp::Commit { txid } => {
+                        if log.needs_truncation() {
+                            mem.sfence();
+                            log.truncate(&mut mem, true);
+                            fenced.clear();
+                            pending.clear();
+                        }
+                        let r = LogRecord::commit(txid);
+                        log.append(&mut mem, &r, true);
+                        pending.push(r);
+                    }
+                    LogOp::Fence => {
+                        mem.sfence();
+                        fenced.append(&mut pending);
+                    }
+                    LogOp::Truncate => {
+                        // Truncating with unfenced appends would tear the
+                        // model; fence first as the heap does.
                         mem.sfence();
                         log.truncate(&mut mem, true);
                         fenced.clear();
                         pending.clear();
                     }
-                    let r = LogRecord::write(txid, addr, value);
-                    log.append(&mut mem, &r, true);
-                    pending.push(r);
                 }
-                LogOp::Commit { txid } => {
-                    if log.needs_truncation() {
-                        mem.sfence();
-                        log.truncate(&mut mem, true);
-                        fenced.clear();
-                        pending.clear();
-                    }
-                    let r = LogRecord::commit(txid);
-                    log.append(&mut mem, &r, true);
-                    pending.push(r);
-                }
-                LogOp::Fence => {
-                    mem.sfence();
-                    fenced.append(&mut pending);
-                }
-                LogOp::Truncate => {
-                    // Truncating with unfenced appends would tear the
-                    // model; fence first as the heap does.
+            }
+
+            let image = mem.crash(false);
+            let recovered = TornLog::recover(&image, BASE, CAP, TAIL_PTR);
+            assert_eq!(recovered, fenced);
+        });
+}
+
+/// Unfenced appends are never recovered, fenced ones always are —
+/// even straddling multiple wrap-arounds of a tiny log.
+#[test]
+fn wraps_never_resurrect_stale_records() {
+    Forall::new(gen::pair(gen::in_range(1u32..20), gen::in_range(1u32..8)))
+        .cases(48)
+        .check(|&(rounds, per_round)| {
+            let mut mem = PersistentMemory::new(ByteSize::kib(64));
+            let mut log = TornLog::new(BASE, CAP, TAIL_PTR);
+            log.initialize(&mut mem);
+
+            let mut expected: Vec<LogRecord> = Vec::new();
+            for round in 0..rounds {
+                if log.free_words() < u64::from(per_round) * 4 + 4 {
                     mem.sfence();
                     log.truncate(&mut mem, true);
-                    fenced.clear();
-                    pending.clear();
+                    expected.clear();
                 }
-            }
-        }
-
-        let image = mem.crash(false);
-        let recovered = TornLog::recover(&image, BASE, CAP, TAIL_PTR);
-        prop_assert_eq!(recovered, fenced);
-    }
-
-    /// Unfenced appends are never recovered, fenced ones always are —
-    /// even straddling multiple wrap-arounds of a tiny log.
-    #[test]
-    fn wraps_never_resurrect_stale_records(rounds in 1u32..20, per_round in 1u32..8) {
-        let mut mem = PersistentMemory::new(ByteSize::kib(64));
-        let mut log = TornLog::new(BASE, CAP, TAIL_PTR);
-        log.initialize(&mut mem);
-
-        let mut expected: Vec<LogRecord> = Vec::new();
-        for round in 0..rounds {
-            if log.free_words() < u64::from(per_round) * 4 + 4 {
+                for i in 0..per_round {
+                    let r = LogRecord::write(
+                        u64::from(round),
+                        u64::from(i) * 8,
+                        u64::from(round * 1000 + i),
+                    );
+                    log.append(&mut mem, &r, true);
+                    expected.push(r);
+                }
                 mem.sfence();
-                log.truncate(&mut mem, true);
-                expected.clear();
             }
-            for i in 0..per_round {
-                let r = LogRecord::write(u64::from(round), u64::from(i) * 8, u64::from(round * 1000 + i));
-                log.append(&mut mem, &r, true);
-                expected.push(r);
-            }
-            mem.sfence();
-        }
-        // One final unfenced record that must vanish.
-        log.append(&mut mem, &LogRecord::commit(9999), true);
+            // One final unfenced record that must vanish.
+            log.append(&mut mem, &LogRecord::commit(9999), true);
 
-        let image = mem.crash(false);
-        let recovered = TornLog::recover(&image, BASE, CAP, TAIL_PTR);
-        prop_assert_eq!(recovered, expected);
-    }
+            let image = mem.crash(false);
+            let recovered = TornLog::recover(&image, BASE, CAP, TAIL_PTR);
+            assert_eq!(recovered, expected);
+        });
 }

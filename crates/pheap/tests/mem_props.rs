@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use wsp_det::{gen, Forall, Gen};
 use wsp_pheap::PersistentMemory;
 use wsp_units::ByteSize;
 
@@ -22,16 +22,56 @@ enum MemOp {
     Clflush { addr: u64 },
 }
 
-fn aligned_addr() -> impl Strategy<Value = u64> {
-    (0u64..REGION / 8).prop_map(|w| w * 8)
+fn aligned_addr() -> Gen<u64> {
+    gen::in_range(0u64..REGION / 8).map(|w| w * 8)
 }
 
-fn mem_op() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        (aligned_addr(), any::<u64>()).prop_map(|(addr, value)| MemOp::Write { addr, value }),
-        (aligned_addr(), any::<u64>()).prop_map(|(addr, value)| MemOp::NtStore { addr, value }),
-        Just(MemOp::Sfence),
-        aligned_addr().prop_map(|addr| MemOp::Clflush { addr }),
+fn mem_op() -> Gen<MemOp> {
+    gen::one_of(vec![
+        gen::pair(aligned_addr(), gen::any::<u64>())
+            .map(|(addr, value)| MemOp::Write { addr, value }),
+        gen::pair(aligned_addr(), gen::any::<u64>())
+            .map(|(addr, value)| MemOp::NtStore { addr, value }),
+        gen::constant(MemOp::Sfence),
+        aligned_addr().map(|addr| MemOp::Clflush { addr }),
+    ])
+}
+
+/// The shrunk counterexamples proptest found historically (its
+/// `.proptest-regressions` file, ported 1:1): every one re-runs, every
+/// time, before any randomized case.
+fn regression_corpus() -> Vec<Vec<MemOp>> {
+    vec![
+        vec![MemOp::NtStore { addr: 0, value: 1 }],
+        vec![
+            MemOp::NtStore {
+                addr: 58304,
+                value: 1_933_120_084_138,
+            },
+            MemOp::Write {
+                addr: 58320,
+                value: 73_197_122_877_176_612,
+            },
+            MemOp::Sfence,
+        ],
+        vec![
+            MemOp::NtStore {
+                addr: 8512,
+                value: 3_527_536_197_743,
+            },
+            MemOp::Write {
+                addr: 8544,
+                value: 12_338_552_816_611_509_280,
+            },
+            MemOp::Sfence,
+        ],
+        vec![
+            MemOp::NtStore {
+                addr: 39616,
+                value: 1,
+            },
+            MemOp::Clflush { addr: 39616 },
+        ],
     ]
 }
 
@@ -104,93 +144,105 @@ fn word(image: &[u8], addr: u64) -> u64 {
     u64::from_le_bytes(image[addr as usize..addr as usize + 8].try_into().unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// With a flush-on-fail save, the durable image equals the full
-    /// architectural state — every word, including un-fenced NT stores.
-    #[test]
-    fn fof_save_preserves_architectural_state(
-        ops in prop::collection::vec(mem_op(), 1..120),
-    ) {
-        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
-        let mut model = Model::new();
-        for op in ops {
-            model.apply(&mut mem, op);
-        }
-        let image = mem.crash(true);
-        for (addr, value) in &model.current {
-            prop_assert_eq!(word(&image, *addr), *value, "word {:#x}", addr);
-        }
+/// With a flush-on-fail save, the durable image equals the full
+/// architectural state — every word, including un-fenced NT stores.
+fn check_fof_save_preserves_architectural_state(ops: &[MemOp]) {
+    let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+    let mut model = Model::new();
+    for op in ops {
+        model.apply(&mut mem, *op);
     }
+    let image = mem.crash(true);
+    for (addr, value) in &model.current {
+        assert_eq!(word(&image, *addr), *value, "word {addr:#x}");
+    }
+}
 
-    /// Without the save, every explicitly-flushed (or fenced) word is
-    /// durable, and every word reads as either its latest value or some
-    /// previously-written value — never garbage.
-    #[test]
-    fn unsaved_crash_durability_rules(
-        ops in prop::collection::vec(mem_op(), 1..120),
-    ) {
-        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
-        let mut model = Model::new();
-        let mut ever_written: HashMap<u64, Vec<u64>> = HashMap::new();
-        for op in ops {
-            if let MemOp::Write { addr, value } | MemOp::NtStore { addr, value } = op {
-                ever_written.entry(addr).or_default().push(value);
+#[test]
+fn fof_save_preserves_architectural_state() {
+    for ops in regression_corpus() {
+        check_fof_save_preserves_architectural_state(&ops);
+    }
+    Forall::new(gen::vec_of(mem_op(), 1..120usize))
+        .cases(32)
+        .check(|ops| check_fof_save_preserves_architectural_state(ops));
+}
+
+/// Without the save, every explicitly-flushed (or fenced) word is
+/// durable, and every word reads as either its latest value or some
+/// previously-written value — never garbage.
+fn check_unsaved_crash_durability_rules(ops: &[MemOp]) {
+    let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+    let mut model = Model::new();
+    let mut ever_written: HashMap<u64, Vec<u64>> = HashMap::new();
+    for op in ops {
+        if let MemOp::Write { addr, value } | MemOp::NtStore { addr, value } = *op {
+            ever_written.entry(addr).or_default().push(value);
+        }
+        model.apply(&mut mem, *op);
+    }
+    let image = mem.crash(false);
+    // Guaranteed-durable words hold exactly their guaranteed value.
+    for (addr, value) in &model.durable_guaranteed {
+        assert_eq!(word(&image, *addr), *value, "flushed word {addr:#x}");
+    }
+    // Every written word holds zero (never persisted) or one of its
+    // historical values — no invented bytes.
+    for (addr, history) in &ever_written {
+        let v = word(&image, *addr);
+        assert!(
+            v == 0 || history.contains(&v),
+            "word {addr:#x} = {v} not in history {history:?}"
+        );
+    }
+}
+
+#[test]
+fn unsaved_crash_durability_rules() {
+    for ops in regression_corpus() {
+        check_unsaved_crash_durability_rules(&ops);
+    }
+    Forall::new(gen::vec_of(mem_op(), 1..120usize))
+        .cases(32)
+        .check(|ops| check_unsaved_crash_durability_rules(ops));
+}
+
+/// flush_all is equivalent to crash(true): afterwards the durable
+/// view equals the architectural view.
+#[test]
+fn flush_all_synchronises_views() {
+    Forall::new(gen::vec_of(mem_op(), 1..80usize))
+        .cases(32)
+        .check(|ops| {
+            let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+            let mut model = Model::new();
+            for op in ops {
+                model.apply(&mut mem, *op);
             }
-            model.apply(&mut mem, op);
-        }
-        let image = mem.crash(false);
-        // Guaranteed-durable words hold exactly their guaranteed value.
-        for (addr, value) in &model.durable_guaranteed {
-            prop_assert_eq!(word(&image, *addr), *value, "flushed word {:#x}", addr);
-        }
-        // Every written word holds zero (never persisted) or one of its
-        // historical values — no invented bytes.
-        for (addr, history) in &ever_written {
-            let v = word(&image, *addr);
-            prop_assert!(
-                v == 0 || history.contains(&v),
-                "word {:#x} = {v} not in history {:?}",
-                addr,
-                history
-            );
-        }
-    }
+            mem.flush_all();
+            for (addr, value) in &model.current {
+                let mut buf = [0u8; 8];
+                let a = *addr as usize;
+                buf.copy_from_slice(&mem.durable_bytes()[a..a + 8]);
+                assert_eq!(u64::from_le_bytes(buf), *value);
+            }
+        });
+}
 
-    /// flush_all is equivalent to crash(true): afterwards the durable
-    /// view equals the architectural view.
-    #[test]
-    fn flush_all_synchronises_views(
-        ops in prop::collection::vec(mem_op(), 1..80),
-    ) {
-        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
-        let mut model = Model::new();
-        for op in ops {
-            model.apply(&mut mem, op);
-        }
-        mem.flush_all();
-        for (addr, value) in &model.current {
-            let mut buf = [0u8; 8];
-            let a = *addr as usize;
-            buf.copy_from_slice(&mem.durable_bytes()[a..a + 8]);
-            prop_assert_eq!(u64::from_le_bytes(buf), *value);
-        }
-    }
-
-    /// Reads always return the architectural value regardless of cache
-    /// state (read-your-writes through any op sequence).
-    #[test]
-    fn reads_are_architectural(
-        ops in prop::collection::vec(mem_op(), 1..100),
-    ) {
-        let mut mem = PersistentMemory::new(ByteSize::new(REGION));
-        let mut model = Model::new();
-        for op in ops {
-            model.apply(&mut mem, op);
-        }
-        for (addr, value) in &model.current {
-            prop_assert_eq!(mem.read_u64(*addr), *value);
-        }
-    }
+/// Reads always return the architectural value regardless of cache
+/// state (read-your-writes through any op sequence).
+#[test]
+fn reads_are_architectural() {
+    Forall::new(gen::vec_of(mem_op(), 1..100usize))
+        .cases(32)
+        .check(|ops| {
+            let mut mem = PersistentMemory::new(ByteSize::new(REGION));
+            let mut model = Model::new();
+            for op in ops {
+                model.apply(&mut mem, *op);
+            }
+            for (addr, value) in &model.current {
+                assert_eq!(mem.read_u64(*addr), *value);
+            }
+        });
 }

@@ -1,13 +1,12 @@
 //! The power-fail monitor: the microcontroller that watches the ATX
 //! `PWR_OK` line and interrupts the host (paper §4, "Power monitor").
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Nanos, Watts};
 
 use crate::Psu;
 
 /// A power-failure notification as seen by the host processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PowerFailEvent {
     /// Time from `PWR_OK` dropping to the host interrupt firing
     /// (microcontroller polling + serial line).
@@ -34,7 +33,7 @@ pub struct PowerFailEvent {
 /// assert!(event.usable_window < event.total_window);
 /// assert!(event.usable_window.as_millis() >= 30);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PowerMonitor {
     /// `PWR_OK` edge → host interrupt latency.
     pub interrupt_latency: Nanos,

@@ -2,13 +2,12 @@
 //! that guarantees a safe flush-on-fail window (paper §5.4 and §6,
 //! "NVRAM failures").
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Farads, Joules, Nanos, Volts, Watts};
 
 use crate::psu::REGULATION_FLOOR;
 
 /// A provisioning recommendation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProvisionPlan {
     /// Energy the save path needs, including the safety margin.
     pub required_energy: Joules,
@@ -39,7 +38,7 @@ pub struct ProvisionPlan {
 /// assert!(plan.capacitance.get() <= 0.5);
 /// assert!(plan.cost_usd < 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupercapProvisioner {
     /// Worst-case system power draw during the save.
     pub system_load: Watts,

@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Farads, Nanos, Volts, Watts};
 
 /// Fraction of nominal rail voltage below which the paper's measurement
@@ -12,7 +11,7 @@ use wsp_units::{Farads, Nanos, Volts, Watts};
 pub const REGULATION_FLOOR: f64 = 0.95;
 
 /// One DC output rail.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rail {
     /// Rail name ("12V", "5V", "3.3V").
     pub name: String,
@@ -69,7 +68,7 @@ impl Rail {
 /// let busy = psu.residual_window(Watts::new(120.0));
 /// assert!((busy.as_millis_f64() - 22.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Psu {
     /// Model name.
     pub name: String,

@@ -3,13 +3,12 @@
 //! at 100 kHz and report the first 250 µs interval in which any rail sits
 //! below 95 % of nominal.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Nanos, Watts};
 
 use crate::psu::{Psu, REGULATION_FLOOR};
 
 /// One oscilloscope sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScopeSample {
     /// Time relative to the `PWR_OK` falling edge (negative = before the
     /// failure).
@@ -21,7 +20,7 @@ pub struct ScopeSample {
 }
 
 /// A captured trace plus the capture's metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScopeTrace {
     /// Samples in time order.
     pub samples: Vec<ScopeSample>,
@@ -74,7 +73,7 @@ impl ScopeTrace {
 /// let window = trace.measured_window().expect("rails drop within 100 ms");
 /// assert!((window.as_millis_f64() - 33.0).abs() < 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Oscilloscope {
     /// Interval between samples.
     pub sample_interval: Nanos,

@@ -2,7 +2,6 @@
 //! their DRAM→flash save after system power is gone, plus the cycle-aging
 //! model of Figure 1.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Farads, Joules, Nanos, Volts, Watts};
 
 /// Any rechargeable energy cell whose usable capacity degrades with
@@ -23,7 +22,7 @@ pub trait EnergyCell {
 /// temperature and voltage, ultracaps retain ~96 % (best case) to ~90 %
 /// (worst case / data-sheet value) of their capacitance, while
 /// rechargeable batteries degrade severely within a few hundred cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AgingModel {
     /// Ultracapacitor, best observed case (~4 % fade at 100 k cycles).
     UltracapBest,
@@ -72,7 +71,7 @@ impl EnergyCell for AgingModel {
 /// cap.discharge(Watts::new(10.0), Nanos::from_secs(10));
 /// assert!(cap.voltage() < Volts::new(12.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ultracapacitor {
     nominal_capacitance: Farads,
     charge_voltage: Volts,

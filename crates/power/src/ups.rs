@@ -8,13 +8,12 @@
 //! cycles. NVDIMM ultracaps power a one-shot save and endure hundreds
 //! of thousands of cycles.
 
-use serde::{Deserialize, Serialize};
 use wsp_units::{Joules, Nanos, Watts};
 
 use crate::{AgingModel, EnergyCell};
 
 /// A battery-based backup supply.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ups {
     /// Model name.
     pub name: String,
@@ -73,7 +72,7 @@ impl Ups {
 }
 
 /// Comparison row between backup technologies for a given system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BackupComparison {
     /// Technology label.
     pub technology: String,

@@ -4,7 +4,6 @@
 use std::fmt;
 use std::ops::{Div, Mul};
 
-use serde::{Deserialize, Serialize};
 
 use crate::{ByteSize, Nanos};
 
@@ -21,7 +20,7 @@ use crate::{ByteSize, Nanos};
 /// let t = ByteSize::mib(6) / Bandwidth::gib_per_sec(9.0);
 /// assert!(t.as_millis_f64() < 0.7);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {

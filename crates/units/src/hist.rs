@@ -1,7 +1,6 @@
 //! A log-bucketed latency histogram for tail reporting (p50/p95/p99),
 //! in the spirit of HdrHistogram but sized for simulation use.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Nanos;
 
@@ -25,7 +24,7 @@ const POWERS: usize = 42;
 /// assert!((450..=560).contains(&p50), "p50 = {p50}");
 /// assert!(h.percentile(99.0) > h.percentile(50.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,

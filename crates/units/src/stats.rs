@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_stdev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -145,7 +144,7 @@ impl FromIterator<f64> for OnlineStats {
 ///
 /// This is the row format the paper's tables use ("means of 5 runs, with
 /// standard deviations shown in brackets"; "error bars show min-max").
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,

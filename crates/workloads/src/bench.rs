@@ -2,9 +2,7 @@
 //! Table 1 OpenLDAP-style insert benchmark, runnable against any heap
 //! configuration, reporting *simulated* time.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use wsp_det::{DetRng, Rng};
 use wsp_pheap::{HeapConfig, HeapError, PersistentHeap};
 use wsp_units::{ByteSize, Nanos};
 
@@ -12,7 +10,7 @@ use crate::generators::{Op, OpMix};
 use crate::{random_dn, DirEntry, Directory, PmHashTable};
 
 /// Result of one hash-microbenchmark run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchResult {
     /// Heap configuration measured.
     pub config: HeapConfig,
@@ -41,7 +39,7 @@ pub struct BenchResult {
 /// let foc = bench.run(HeapConfig::FocStm, 0.5, 1).unwrap();
 /// assert!(foc.time_per_op > fof.time_per_op);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashBenchmark {
     /// Entries pre-populated before measurement (paper: 100,000).
     pub prepopulate: u64,
@@ -91,7 +89,7 @@ impl HashBenchmark {
         // and deletes in the measured phase hit both present and absent
         // keys.
         let key_space = self.prepopulate * 2;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut inserted = 0u64;
         while inserted < self.prepopulate {
             let key = rng.gen_range(0..key_space);
@@ -127,7 +125,7 @@ impl HashBenchmark {
 }
 
 /// Result of one LDAP-benchmark run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LdapResult {
     /// Heap configuration measured.
     pub config: HeapConfig,
@@ -144,7 +142,7 @@ pub struct LdapResult {
 ///
 /// The paper compares the Mnemosyne configuration ([`HeapConfig::FocStm`])
 /// against WSP (a plain in-memory AVL tree — [`HeapConfig::Fof`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LdapBenchmark {
     /// Entries to insert (paper: 100,000).
     pub entries: u64,
@@ -187,7 +185,7 @@ impl LdapBenchmark {
     pub fn run(&self, config: HeapConfig, seed: u64) -> Result<LdapResult, HeapError> {
         let mut heap = PersistentHeap::create(self.region, config);
         let dir = Directory::create(&mut heap)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
 
         let start = heap.elapsed();
         let mut inserted = 0u64;

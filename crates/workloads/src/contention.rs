@@ -4,14 +4,12 @@
 //! concurrency-control cost axis the paper's §3.2 discusses (STM "adds
 //! additional overheads in the form of conflict detection at commit").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use wsp_det::{DetRng, Rng};
 use wsp_pheap::{HeapConfig, HeapError, PersistentHeap, PmPtr};
 use wsp_units::ByteSize;
 
 /// Outcome of a contention run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContentionReport {
     /// Operations that ultimately committed.
     pub committed: u64,
@@ -39,7 +37,7 @@ impl ContentionReport {
 /// The harness: an array of counters, a hot prefix, and a knob for how
 /// often a "concurrent client" commits to a hot counter while this
 /// client's transaction is open.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionHarness {
     /// Total counters.
     pub keys: u64,
@@ -94,7 +92,7 @@ impl ContentionHarness {
             array
         };
 
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut report = ContentionReport {
             committed: 0,
             aborts: 0,

@@ -1,14 +1,12 @@
 //! Workload generators: key distributions, operation mixes, and random
 //! LDAP distinguished names.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use wsp_det::{DetRng, Rng};
 
 /// The operation mix of the Figure 5 microbenchmark: a lookup with
 /// probability `1 − update_probability`, otherwise an update that is an
 /// insert or a delete with equal probability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// Probability an operation is an update (0.0 = read-only, 1.0 =
     /// update-only) — the x-axis of Figure 5.
@@ -42,7 +40,7 @@ impl OpMix {
     }
 
     /// Draws the next operation over the key space `0..key_space`.
-    pub fn next_op(&self, rng: &mut StdRng, key_space: u64) -> Op {
+    pub fn next_op(&self, rng: &mut DetRng, key_space: u64) -> Op {
         let key = rng.gen_range(0..key_space);
         if rng.gen_bool(self.update_probability) {
             if rng.gen_bool(0.5) {
@@ -57,7 +55,7 @@ impl OpMix {
 }
 
 /// Key distributions for lookups and updates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KeyDistribution {
     /// Uniform over `0..n`.
     Uniform {
@@ -70,7 +68,7 @@ pub enum KeyDistribution {
 
 impl KeyDistribution {
     /// Draws a key.
-    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
         match self {
             KeyDistribution::Uniform { n } => rng.gen_range(0..*n),
             KeyDistribution::Zipfian(z) => z.sample(rng),
@@ -80,7 +78,7 @@ impl KeyDistribution {
 
 /// A Zipfian distribution over `0..n` with skew `theta`, using the
 /// Gray et al. transform that YCSB popularised.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Zipfian {
     n: u64,
     theta: f64,
@@ -114,7 +112,7 @@ impl Zipfian {
     }
 
     /// Draws a rank in `0..n` (0 is the hottest key).
-    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
         let u: f64 = rng.gen();
         let uz = u * self.zetan;
         if uz < 1.0 {
@@ -131,7 +129,7 @@ impl Zipfian {
 /// Generates a random LDAP distinguished name like the paper's
 /// 100,000-entry OpenLDAP insert workload
 /// (`cn=user012345,ou=People,dc=example,dc=com`).
-pub fn random_dn(rng: &mut StdRng) -> String {
+pub fn random_dn(rng: &mut DetRng) -> String {
     format!(
         "cn=user{:08},ou={},dc=example,dc=com",
         rng.gen_range(0..100_000_000u64),
@@ -142,10 +140,9 @@ pub fn random_dn(rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(7)
     }
 
     #[test]

@@ -3,16 +3,14 @@
 //! configuration. The paper's motivating applications (memcache tiers,
 //! key-value stores) are exactly the systems YCSB characterises.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use wsp_det::{DetRng, Rng};
 use wsp_pheap::{HeapConfig, HeapError, PersistentHeap};
 use wsp_units::{ByteSize, Nanos};
 
 use crate::{PmHashTable, Zipfian};
 
 /// The classic YCSB core workload mixes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum YcsbMix {
     /// A: update heavy — 50% reads, 50% updates.
     A,
@@ -47,7 +45,7 @@ impl YcsbMix {
 }
 
 /// Result of one YCSB run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct YcsbResult {
     /// Workload mix.
     pub mix: YcsbMix,
@@ -75,7 +73,7 @@ pub struct YcsbResult {
 /// assert!(update_heavy.time_per_op > read_only.time_per_op);
 /// # Ok::<(), wsp_pheap::HeapError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct YcsbDriver {
     /// Records loaded before the measured phase.
     pub records: u64,
@@ -127,7 +125,7 @@ impl YcsbDriver {
             table.insert(&mut heap, k, k)?;
         }
         let zipf = Zipfian::new(self.records, self.zipf_theta);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut next_fresh = self.records;
 
         let start = heap.elapsed();

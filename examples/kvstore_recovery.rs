@@ -3,22 +3,43 @@
 //! cost during normal operation and what each model can (and cannot)
 //! recover afterwards.
 //!
-//! Run with: `cargo run --release --example kvstore_recovery`
+//! Run with: `cargo run --release --example kvstore_recovery [--seed N]`
+//! (the seed derives the stored values; default 42).
 
+use wsp_repro::det::{DetRng, Rng};
 use wsp_repro::pheap::{HeapConfig, HeapError, PersistentHeap};
 use wsp_repro::units::ByteSize;
 use wsp_repro::workloads::PmHashTable;
 
 const ENTRIES: u64 = 5_000;
 
-fn run_one(config: HeapConfig, fof_save_fits: bool) -> Result<(), HeapError> {
+/// Parses `--seed N` (or `--seed=N`) from the command line.
+fn seed_arg(default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--seed needs a u64 value"));
+        }
+        if let Some(v) = arg.strip_prefix("--seed=") {
+            return v.parse().unwrap_or_else(|_| panic!("--seed needs a u64 value"));
+        }
+    }
+    default
+}
+
+fn run_one(config: HeapConfig, fof_save_fits: bool, seed: u64) -> Result<(), HeapError> {
     let mut heap = PersistentHeap::create(ByteSize::mib(16), config);
     let table = PmHashTable::create(&mut heap, 1024)?;
 
-    // Normal operation: load the store.
+    // Normal operation: load the store with seeded values.
+    let mut rng = DetRng::seed_from_u64(seed);
+    let values: Vec<u64> = (0..ENTRIES).map(|_| rng.gen()).collect();
     let t0 = heap.elapsed();
     for k in 0..ENTRIES {
-        table.insert(&mut heap, k, k * 3)?;
+        table.insert(&mut heap, k, values[k as usize])?;
     }
     let load_time = heap.elapsed() - t0;
     let per_op = load_time / ENTRIES;
@@ -31,7 +52,7 @@ fn run_one(config: HeapConfig, fof_save_fits: bool) -> Result<(), HeapError> {
             let table = PmHashTable::open(&mut heap)?;
             let mut intact = 0u64;
             for k in 0..ENTRIES {
-                if table.get(&mut heap, k)? == Some(k * 3) {
+                if table.get(&mut heap, k)? == Some(values[k as usize]) {
                     intact += 1;
                 }
             }
@@ -50,18 +71,19 @@ fn run_one(config: HeapConfig, fof_save_fits: bool) -> Result<(), HeapError> {
 }
 
 fn main() -> Result<(), HeapError> {
-    println!("insert {ENTRIES} keys, crash, recover — per persistence model\n");
+    let seed = seed_arg(42);
+    println!("insert {ENTRIES} keys (values from seed {seed}), crash, recover — per persistence model\n");
 
     println!("-- power failure with a completed flush-on-fail save --");
     for config in HeapConfig::all() {
-        run_one(config, true)?;
+        run_one(config, true, seed)?;
     }
 
     println!("\n-- power failure where the save did NOT complete --");
     println!("   (flush-on-commit models still recover from their logs;");
     println!("    flush-on-fail models must fall back to the back end)");
     for config in HeapConfig::all() {
-        run_one(config, false)?;
+        run_one(config, false, seed)?;
     }
 
     println!("\nthe trade the paper quantifies: FoF's zero runtime overhead");

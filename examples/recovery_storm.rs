@@ -2,12 +2,31 @@
 //! trade-off: recovery storms after a correlated power failure, and when
 //! a replica group should wait for NVRAM recovery vs re-replicate.
 //!
-//! Run with: `cargo run --release --example recovery_storm`
+//! Run with: `cargo run --release --example recovery_storm [--seed N]`
+//! (the seed drives the simulated year of power events; default 42).
 
-use wsp_repro::cluster::{ClusterSpec, OutageScenario, RecoveryDecision, ReplicaGroup};
+use wsp_repro::cluster::{ClusterSpec, FleetTimeline, OutageScenario, RecoveryDecision, ReplicaGroup};
 use wsp_repro::units::Nanos;
 
+/// Parses `--seed N` (or `--seed=N`) from the command line.
+fn seed_arg(default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--seed needs a u64 value"));
+        }
+        if let Some(v) = arg.strip_prefix("--seed=") {
+            return v.parse().unwrap_or_else(|_| panic!("--seed needs a u64 value"));
+        }
+    }
+    default
+}
+
 fn main() {
+    let seed = seed_arg(42);
     let cluster = ClusterSpec::memcache_tier(100);
     println!(
         "fleet: {} servers x {} in-memory state, shared {} back end\n",
@@ -40,6 +59,17 @@ fn main() {
             cluster.backend_recovery_time(100).as_secs_f64() / 3600.0
         );
     }
+
+    println!("\na simulated year of power events (seed {seed}):");
+    let timeline = FleetTimeline::typical_year(seed);
+    let (backend, wsp) = timeline.compare(&cluster);
+    println!(
+        "  {} events; availability {:.6} back-end-only vs {:.6} WSP ({:.1}x less downtime)",
+        timeline.events.len(),
+        backend.availability,
+        wsp.availability,
+        backend.server_downtime.as_secs_f64() / wsp.server_downtime.as_secs_f64(),
+    );
 
     println!("\nreplica-group decision (64 GB partition, one of three replicas down):");
     let group = ReplicaGroup::typical();

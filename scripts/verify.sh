@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full offline verification gate for wsp-repro.
+#
+# Everything runs with --offline: the workspace has no external crate
+# dependencies, so no network access is ever required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build (offline) =="
+cargo build --release --offline --workspace
+
+echo "== workspace tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== crash sweeps under a pinned seed =="
+WSP_DET_SEED=42 cargo test -q --offline --test fault_injection
+WSP_DET_SEED=42 cargo test -q --offline --test crash_consistency
+
+echo "== benches compile (bench feature) =="
+cargo build --offline -p wsp-bench --features bench --benches
+
+echo "== deny-warnings build =="
+RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
+
+echo "verify.sh: all gates passed"

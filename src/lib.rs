@@ -20,6 +20,7 @@
 //! | [`wsp`] | `wsp-core` | the WSP runtime: flush-on-fail save, restore, feasibility |
 //! | [`workloads`] | `wsp-workloads` | hash table, AVL tree, LDAP directory, benchmarks |
 //! | [`cluster`] | `wsp-cluster` | recovery storms, replication trade-offs |
+//! | [`det`] | `wsp-det` | deterministic PRNG + property-test harness |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@
 
 pub use wsp_cache as cache;
 pub use wsp_cluster as cluster;
+pub use wsp_det as det;
 pub use wsp_core as wsp;
 pub use wsp_machine as machine;
 pub use wsp_nvram as nvram;

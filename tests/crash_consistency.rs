@@ -7,11 +7,16 @@
 //!   no flush-on-fail save at all;
 //! * flush-on-fail heaps recover **everything** when the save completes
 //!   and refuse local recovery when it does not;
-//! * recovery is idempotent across repeated crashes.
+//! * recovery is idempotent across repeated crashes — including power
+//!   failures that land *during* restore, back to back.
+//!
+//! All randomness flows through `wsp_det` (`WSP_DET_SEED` /
+//! `WSP_DET_CASES` override seed and case count); the fixed-seed
+//! regression corpus at the bottom pins historically-interesting seeds.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use wsp_det::{gen, Forall, Gen};
 use wsp_repro::pheap::{HeapConfig, HeapError, PersistentHeap};
 use wsp_repro::units::ByteSize;
 use wsp_repro::workloads::{PmAvlTree, PmHashTable};
@@ -22,11 +27,15 @@ enum Op {
     Remove(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        any::<u8>().prop_map(Op::Remove),
-    ]
+fn op() -> Gen<Op> {
+    gen::one_of(vec![
+        gen::pair(gen::any::<u8>(), gen::any::<u64>()).map(|(k, v)| Op::Insert(k, v)),
+        gen::any::<u8>().map(Op::Remove),
+    ])
+}
+
+fn ops(max: usize) -> Gen<Vec<Op>> {
+    gen::vec_of(op(), 1..max)
 }
 
 fn apply_model(model: &mut HashMap<u64, u64>, op: Op) {
@@ -71,76 +80,89 @@ fn check_matches_model(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+/// Flush-on-commit heaps recover the exact committed prefix after an
+/// unsaved crash, regardless of where the crash lands.
+fn check_foc_recovers_committed_prefix(ops: &[Op], crash_at: usize, use_stm: bool) {
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+    let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+    let table = PmHashTable::create(&mut heap, 32).unwrap();
+    let mut model = HashMap::new();
 
-    /// Flush-on-commit heaps recover the exact committed prefix after an
-    /// unsaved crash, regardless of where the crash lands.
-    #[test]
-    fn foc_recovers_committed_prefix(
-        ops in prop::collection::vec(op_strategy(), 1..60),
-        crash_at in 0usize..60,
-        use_stm in any::<bool>(),
-    ) {
-        let config = if use_stm { HeapConfig::FocStm } else { HeapConfig::FocUndo };
-        let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
-        let table = PmHashTable::create(&mut heap, 32).unwrap();
-        let mut model = HashMap::new();
-
-        let crash_at = crash_at.min(ops.len());
-        for op in &ops[..crash_at] {
-            apply_table(&table, &mut heap, *op).unwrap();
-            apply_model(&mut model, *op);
-        }
-        // Ops after the crash point never happen.
-        let image = heap.crash(false);
-        let mut recovered = PersistentHeap::recover(image).unwrap();
-        let table = PmHashTable::open(&mut recovered).unwrap();
-        check_matches_model(&table, &mut recovered, &model);
+    let crash_at = crash_at.min(ops.len());
+    for op in &ops[..crash_at] {
+        apply_table(&table, &mut heap, *op).unwrap();
+        apply_model(&mut model, *op);
     }
+    // Ops after the crash point never happen.
+    let image = heap.crash(false);
+    let mut recovered = PersistentHeap::recover(image).unwrap();
+    let table = PmHashTable::open(&mut recovered).unwrap();
+    check_matches_model(&table, &mut recovered, &model);
+}
 
-    /// Flush-on-fail heaps with a completed save recover everything;
-    /// without one they refuse local recovery.
-    #[test]
-    fn fof_all_or_nothing(
-        ops in prop::collection::vec(op_strategy(), 1..60),
-        config_pick in 0u8..3,
-        save_fits in any::<bool>(),
-    ) {
-        let config = [HeapConfig::Fof, HeapConfig::FofUndo, HeapConfig::FofStm]
-            [usize::from(config_pick)];
-        let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
-        let table = PmHashTable::create(&mut heap, 32).unwrap();
-        let mut model = HashMap::new();
-        for op in &ops {
-            apply_table(&table, &mut heap, *op).unwrap();
-            apply_model(&mut model, *op);
-        }
-        let image = heap.crash(save_fits);
-        match PersistentHeap::recover(image) {
-            Ok(mut recovered) => {
-                prop_assert!(save_fits, "recovery must require the save");
-                let table = PmHashTable::open(&mut recovered).unwrap();
-                check_matches_model(&table, &mut recovered, &model);
-            }
-            Err(HeapError::Unrecoverable { .. }) => prop_assert!(!save_fits),
-            Err(other) => prop_assert!(false, "unexpected error: {other}"),
-        }
+#[test]
+fn foc_recovers_committed_prefix() {
+    Forall::new(gen::triple(
+        ops(60),
+        gen::in_range(0usize..60),
+        gen::any::<bool>(),
+    ))
+    .cases(24)
+    .check(|(ops, crash_at, use_stm)| {
+        check_foc_recovers_committed_prefix(ops, *crash_at, *use_stm);
+    });
+}
+
+/// Flush-on-fail heaps with a completed save recover everything;
+/// without one they refuse local recovery.
+fn check_fof_all_or_nothing(ops: &[Op], config_pick: u8, save_fits: bool) {
+    let config =
+        [HeapConfig::Fof, HeapConfig::FofUndo, HeapConfig::FofStm][usize::from(config_pick)];
+    let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+    let table = PmHashTable::create(&mut heap, 32).unwrap();
+    let mut model = HashMap::new();
+    for op in ops {
+        apply_table(&table, &mut heap, *op).unwrap();
+        apply_model(&mut model, *op);
     }
+    let image = heap.crash(save_fits);
+    match PersistentHeap::recover(image) {
+        Ok(mut recovered) => {
+            assert!(save_fits, "recovery must require the save");
+            let table = PmHashTable::open(&mut recovered).unwrap();
+            check_matches_model(&table, &mut recovered, &model);
+        }
+        Err(HeapError::Unrecoverable { .. }) => assert!(!save_fits),
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
 
-    /// A second crash immediately after recovery changes nothing: the
-    /// recovered state is durable and recovery is idempotent.
-    #[test]
-    fn recovery_is_idempotent(
-        ops in prop::collection::vec(op_strategy(), 1..40),
-    ) {
+#[test]
+fn fof_all_or_nothing() {
+    Forall::new(gen::triple(
+        ops(60),
+        gen::in_range(0u8..3),
+        gen::any::<bool>(),
+    ))
+    .cases(24)
+    .check(|(ops, config_pick, save_fits)| {
+        check_fof_all_or_nothing(ops, *config_pick, *save_fits);
+    });
+}
+
+/// A second crash immediately after recovery changes nothing: the
+/// recovered state is durable and recovery is idempotent.
+#[test]
+fn recovery_is_idempotent() {
+    Forall::new(ops(40)).cases(24).check(|ops| {
         let mut heap = PersistentHeap::create(ByteSize::kib(512), HeapConfig::FocUndo);
         let table = PmHashTable::create(&mut heap, 32).unwrap();
         let mut model = HashMap::new();
-        for op in &ops {
+        for op in ops {
             apply_table(&table, &mut heap, *op).unwrap();
             apply_model(&mut model, *op);
         }
@@ -148,46 +170,47 @@ proptest! {
         let mut twice = PersistentHeap::recover(once.crash(false)).unwrap();
         let table = PmHashTable::open(&mut twice).unwrap();
         check_matches_model(&table, &mut twice, &model);
-    }
+    });
+}
 
-    /// An uncommitted (aborted) transaction leaves no trace after
-    /// recovery, even when its writes were forced to NVRAM mid-flight.
-    #[test]
-    fn aborted_transactions_vanish(
-        committed in any::<u64>(),
-        attempted in any::<u64>(),
-    ) {
-        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo);
-        let ptr = {
-            let mut tx = heap.begin();
-            let p = tx.alloc(16).unwrap();
-            tx.write_word(p, committed).unwrap();
-            tx.set_root(p).unwrap();
+/// An uncommitted (aborted) transaction leaves no trace after
+/// recovery, even when its writes were forced to NVRAM mid-flight.
+#[test]
+fn aborted_transactions_vanish() {
+    Forall::new(gen::pair(gen::any::<u64>(), gen::any::<u64>()))
+        .cases(24)
+        .check(|&(committed, attempted)| {
+            let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo);
+            let ptr = {
+                let mut tx = heap.begin();
+                let p = tx.alloc(16).unwrap();
+                tx.write_word(p, committed).unwrap();
+                tx.set_root(p).unwrap();
+                tx.commit().unwrap();
+                p
+            };
+            {
+                let mut tx = heap.begin();
+                tx.write_word(ptr, attempted).unwrap();
+                tx.abort();
+            }
+            let mut recovered = PersistentHeap::recover(heap.crash(false)).unwrap();
+            let root = recovered.root().unwrap();
+            let mut tx = recovered.begin();
+            assert_eq!(tx.read_word(root).unwrap(), committed);
             tx.commit().unwrap();
-            p
-        };
-        {
-            let mut tx = heap.begin();
-            tx.write_word(ptr, attempted).unwrap();
-            tx.abort();
-        }
-        let mut recovered = PersistentHeap::recover(heap.crash(false)).unwrap();
-        let root = recovered.root().unwrap();
-        let mut tx = recovered.begin();
-        prop_assert_eq!(tx.read_word(root).unwrap(), committed);
-        tx.commit().unwrap();
-    }
+        });
+}
 
-    /// The AVL tree stays ordered, balanced, and model-faithful through
-    /// crash recovery.
-    #[test]
-    fn avl_survives_crashes_ordered(
-        ops in prop::collection::vec(op_strategy(), 1..50),
-    ) {
+/// The AVL tree stays ordered, balanced, and model-faithful through
+/// crash recovery.
+#[test]
+fn avl_survives_crashes_ordered() {
+    Forall::new(ops(50)).cases(24).check(|ops| {
         let mut heap = PersistentHeap::create(ByteSize::kib(512), HeapConfig::FocStm);
         let tree = PmAvlTree::create(&mut heap).unwrap();
         let mut model = std::collections::BTreeMap::new();
-        for op in &ops {
+        for op in ops {
             match *op {
                 Op::Insert(k, v) => {
                     tree.insert(&mut heap, u64::from(k), v).unwrap();
@@ -202,12 +225,104 @@ proptest! {
         let mut recovered = PersistentHeap::recover(heap.crash(false)).unwrap();
         let tree = PmAvlTree::open(&mut recovered).unwrap();
         let entries = tree.entries(&mut recovered).unwrap();
-        let expected: Vec<(u64, u64)> = model.into_iter().collect();
-        prop_assert_eq!(entries, expected);
+        let expected: Vec<(u64, u64)> = model.clone().into_iter().collect();
+        assert_eq!(entries, expected);
         // AVL balance: height <= 1.44 lg(n+2).
         let n = tree.len(&mut recovered).unwrap();
         let height = tree.tree_height(&mut recovered).unwrap();
         let bound = (1.44 * ((n + 2) as f64).log2()).ceil() as u64 + 1;
-        prop_assert!(height <= bound, "height {height} > bound {bound} for n={n}");
+        assert!(height <= bound, "height {height} > bound {bound} for n={n}");
+    });
+}
+
+/// The repeated-crash-during-restore sweep: power fails again while (or
+/// right after) the previous restore ran, 1..=4 times back to back,
+/// with fresh mutations squeezed in after the first restore. However
+/// many times the power fails, the heap converges to exactly the
+/// committed state — restore must itself be crash-consistent.
+fn check_repeated_crash_during_restore(
+    ops: &[Op],
+    between: &[Op],
+    crashes: usize,
+    use_stm: bool,
+) {
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+    let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+    let table = PmHashTable::create(&mut heap, 32).unwrap();
+    let mut model = HashMap::new();
+    for op in ops {
+        apply_table(&table, &mut heap, *op).unwrap();
+        apply_model(&mut model, *op);
+    }
+
+    for round in 0..crashes {
+        // Power failure: no flush-on-fail save, then restore.
+        heap = PersistentHeap::recover(heap.crash(false)).unwrap();
+        if round == 0 {
+            // Mutate after the first restore, then keep crashing: later
+            // rounds crash "during restore" of this newer state.
+            let table = PmHashTable::open(&mut heap).unwrap();
+            for op in between {
+                apply_table(&table, &mut heap, *op).unwrap();
+                apply_model(&mut model, *op);
+            }
+        }
+    }
+
+    let table = PmHashTable::open(&mut heap).unwrap();
+    check_matches_model(&table, &mut heap, &model);
+}
+
+#[test]
+fn repeated_crash_during_restore_sweep() {
+    Forall::new(gen::pair(
+        gen::triple(ops(40), gen::vec_of(op(), 0..10), gen::in_range(1usize..5)),
+        gen::any::<bool>(),
+    ))
+    .cases(24)
+    .check(|((ops, between, crashes), use_stm)| {
+        check_repeated_crash_during_restore(ops, between, *crashes, *use_stm);
+    });
+}
+
+/// Fixed-seed regression corpus: seeds that exercised interesting
+/// schedules stay pinned so every future run re-checks them even after
+/// the default seed or generators change.
+#[test]
+fn fixed_seed_regression_corpus() {
+    for seed in [1u64, 42, 0x5749_5350, 0x00DE_C0DE] {
+        Forall::new(gen::triple(
+            ops(60),
+            gen::in_range(0usize..60),
+            gen::any::<bool>(),
+        ))
+        .seed(seed)
+        .cases(6)
+        .check(|(ops, crash_at, use_stm)| {
+            check_foc_recovers_committed_prefix(ops, *crash_at, *use_stm);
+        });
+        Forall::new(gen::triple(
+            ops(60),
+            gen::in_range(0u8..3),
+            gen::any::<bool>(),
+        ))
+        .seed(seed)
+        .cases(6)
+        .check(|(ops, config_pick, save_fits)| {
+            check_fof_all_or_nothing(ops, *config_pick, *save_fits);
+        });
+        Forall::new(gen::pair(
+            gen::triple(ops(40), gen::vec_of(op(), 0..10), gen::in_range(1usize..5)),
+            gen::any::<bool>(),
+        ))
+        .seed(seed)
+        .cases(6)
+        .check(|((ops, between, crashes), use_stm)| {
+            check_repeated_crash_during_restore(ops, between, *crashes, *use_stm);
+        });
     }
 }

@@ -1,0 +1,83 @@
+//! The fault-injection engine, driven end to end: every save-path
+//! crash point on both testbeds at both loads, and every
+//! mid-transaction crash point in every heap configuration, across
+//! randomized seeds under the deterministic harness.
+
+use wsp_det::{gen, Forall};
+use wsp_repro::pheap::HeapConfig;
+use wsp_repro::wsp::{
+    save_path_crash_points, sweep_mid_transaction, sweep_save_path, RestartStrategy,
+    SaveFault, SaveStep, FLUSH_BATCHES,
+};
+use wsp_repro::machine::{Machine, SystemLoad};
+
+/// The sweep enumerates one point per Figure-4 step (the ACPI suspend
+/// step only on the strawman strategy), one per cache-flush batch, and
+/// one ultracap brown-out per NVDIMM module.
+#[test]
+fn crash_point_enumeration_is_exhaustive() {
+    let machine = Machine::intel_testbed();
+    let modules = machine.nvram().dimms().len();
+    let points = save_path_crash_points(RestartStrategy::RestorePathReinit, modules);
+    assert_eq!(points.len(), 9 + FLUSH_BATCHES + modules);
+    // Every injectable Figure-4 step is present.
+    for step in [
+        SaveStep::PowerFailInterrupt,
+        SaveStep::InterruptAllProcessors,
+        SaveStep::SaveContexts,
+        SaveStep::FlushCaches,
+        SaveStep::HaltOthers,
+        SaveStep::SetupResumeBlock,
+        SaveStep::MarkImageValid,
+        SaveStep::InitiateNvdimmSave,
+        SaveStep::Halt,
+    ] {
+        assert!(points.contains(&SaveFault::BeforeStep(step)), "{step:?}");
+    }
+}
+
+/// The all-or-nothing invariant holds at every crash point on both
+/// testbeds, at both loads, for randomized sentinel seeds. The sweep
+/// itself panics on any violation; exactly one injection point (power
+/// dying after the NVDIMM arm) may recover locally.
+#[test]
+fn save_path_sweep_holds_across_testbeds_loads_and_seeds() {
+    Forall::new(gen::triple(
+        gen::any::<u64>(),
+        gen::any::<bool>(),
+        gen::any::<bool>(),
+    ))
+    .cases(8)
+    .check(|&(seed, intel, busy)| {
+        let make = if intel {
+            Machine::intel_testbed
+        } else {
+            Machine::amd_testbed
+        };
+        let load = if busy {
+            SystemLoad::Busy
+        } else {
+            SystemLoad::Idle
+        };
+        let report = sweep_save_path(make, load, RestartStrategy::RestorePathReinit, seed);
+        assert_eq!(report.locally_restored, 1);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.locally_restored == o.fault.recoverable()));
+    });
+}
+
+/// Every heap configuration survives a crash after every prefix of an
+/// open transaction, across seeds: FoC+STM and FoF+STM never leak
+/// buffered writes, FoC+UL and FoF+UL roll back from the undo log, and
+/// the plain FoF heap keeps exactly the prefix that ran.
+#[test]
+fn mid_transaction_sweep_holds_for_every_config_and_seed() {
+    Forall::new(gen::any::<u64>()).cases(6).check(|&seed| {
+        for config in HeapConfig::all() {
+            let report = sweep_mid_transaction(config, seed);
+            assert!(report.crash_points >= 2, "{config}");
+        }
+    });
+}
