@@ -1,0 +1,101 @@
+//! Poor-man's profiler for the hash-table microbenchmark: phase and
+//! per-op-kind wall-clock breakdown, plus bare-layer costs (cache-only,
+//! memory-only) to localise where host time goes.
+
+use std::time::{Duration, Instant};
+
+use wsp_cache::{CacheHierarchy, CpuProfile};
+use wsp_det::{DetRng, Rng};
+use wsp_pheap::{HeapConfig, PersistentHeap, PersistentMemory};
+use wsp_units::ByteSize;
+use wsp_workloads::{Op, OpMix, PmHashTable};
+
+fn main() {
+    // Layer 1: bare cache hierarchy on a hashtable-like address stream.
+    let mut cache = CacheHierarchy::new(CpuProfile::intel_c5528());
+    let mut rng = DetRng::seed_from_u64(1);
+    let n = 2_000_000u64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let addr = rng.gen_range(0..1_000_000u64) / 8 * 8;
+        std::hint::black_box(cache.load_fast(addr));
+    }
+    println!(
+        "bare cache load_fast (1MB working set): {:.1} ns/access",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+
+    // Layer 2: PersistentMemory word ops.
+    let mut mem = PersistentMemory::new(ByteSize::mib(64));
+    let mut rng = DetRng::seed_from_u64(2);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let addr = rng.gen_range(0..1_000_000u64) / 8 * 8;
+        if addr % 3 == 0 {
+            mem.write_u64(addr, addr);
+        } else {
+            std::hint::black_box(mem.read_u64(addr));
+        }
+    }
+    println!(
+        "mem read/write_u64 (1MB working set): {:.1} ns/access",
+        t0.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+
+    // Layer 3: the real benchmark, phase- and op-kind-timed.
+    for config in HeapConfig::all() {
+        let prepopulate = 20_000u64;
+        let ops = 50_000u64;
+        let mut heap = PersistentHeap::create(ByteSize::mib(64), config);
+        let buckets = (prepopulate / 4).next_power_of_two().max(64);
+        let table = PmHashTable::create(&mut heap, buckets).unwrap();
+
+        let key_space = prepopulate * 2;
+        let mut rng = DetRng::seed_from_u64(42);
+        let t0 = Instant::now();
+        let mut inserted = 0u64;
+        while inserted < prepopulate {
+            let key = rng.gen_range(0..key_space);
+            if table.insert(&mut heap, key, key).unwrap().is_none() {
+                inserted += 1;
+            }
+        }
+        let t_prep = t0.elapsed();
+
+        let mix = OpMix::new(0.5);
+        let mut t_lookup = Duration::ZERO;
+        let mut t_insert = Duration::ZERO;
+        let mut t_delete = Duration::ZERO;
+        let (mut n_lookup, mut n_insert, mut n_delete) = (0u64, 0u64, 0u64);
+        for _ in 0..ops {
+            match mix.next_op(&mut rng, key_space) {
+                Op::Lookup(k) => {
+                    let t = Instant::now();
+                    table.get(&mut heap, k).unwrap();
+                    t_lookup += t.elapsed();
+                    n_lookup += 1;
+                }
+                Op::Insert(k, v) => {
+                    let t = Instant::now();
+                    table.insert(&mut heap, k, v).unwrap();
+                    t_insert += t.elapsed();
+                    n_insert += 1;
+                }
+                Op::Delete(k) => {
+                    let t = Instant::now();
+                    table.remove(&mut heap, k).unwrap();
+                    t_delete += t.elapsed();
+                    n_delete += 1;
+                }
+            }
+        }
+        let per = |t: Duration, n: u64| t.as_secs_f64() * 1e9 / n.max(1) as f64;
+        println!(
+            "{config}: prep {:.0} ns/op | lookup {:.0} ns ({n_lookup}) insert {:.0} ns ({n_insert}) delete {:.0} ns ({n_delete})",
+            per(t_prep, prepopulate),
+            per(t_lookup, n_lookup),
+            per(t_insert, n_insert),
+            per(t_delete, n_delete),
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Poor-man's profiler for the crash-point sweeps: per-component
+//! wall-clock (heap create, clone, crash with/without the save path,
+//! recovery, one full mid-transaction sweep) for every heap
+//! configuration, to localise where sweep host time goes.
+
+use std::time::Instant;
+use wsp_pheap::{HeapConfig, PersistentHeap};
+use wsp_units::ByteSize;
+
+fn main() {
+    for config in HeapConfig::all() {
+        let t0 = Instant::now();
+        let heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let t_create = t0.elapsed();
+
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            std::hint::black_box(heap.clone());
+        }
+        let t_clone = t0.elapsed() / 100;
+
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            let h = heap.clone();
+            std::hint::black_box(h.crash(true));
+        }
+        let t_crash_save = t0.elapsed() / 20;
+
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            let h = heap.clone();
+            let image = h.crash(false);
+            std::hint::black_box(PersistentHeap::recover(image).ok());
+        }
+        let t_recover = t0.elapsed() / 20;
+
+        let t0 = Instant::now();
+        std::hint::black_box(wsp_core::sweep_mid_transaction(config, 1234));
+        let t_sweep = t0.elapsed();
+
+        println!("{config}: create {t_create:?} clone {t_clone:?} crash+save {t_crash_save:?} crash+recover {t_recover:?} sweep {t_sweep:?}");
+    }
+}

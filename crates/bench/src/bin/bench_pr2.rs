@@ -1,0 +1,256 @@
+//! `bench_pr2` — the recorded host-time performance baseline.
+//!
+//! Measures the simulator's hot paths in host wall-clock terms and
+//! emits machine-readable JSON, so every PR from PR 2 onward has a
+//! throughput trajectory to compare against (`BENCH_PR2.json` at the
+//! repository root records the PR-2 before/after numbers).
+//!
+//! ```text
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr2 -- run
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr2 -- run --quick
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr2 -- check BENCH_PR2.json
+//! ```
+//!
+//! * `run` executes the suite (hash-table ops/sec per heap config,
+//!   crash-sweep wall-clock, `wbinvd` walk time) and prints the results
+//!   object to stdout.
+//! * `check` re-runs the quick hash-table benchmark and fails (exit 1)
+//!   if any heap configuration's ops/sec regressed more than 20%
+//!   against the `gate` section of the given baseline file.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wsp_cache::{CacheHierarchy, CpuProfile};
+use wsp_core::{sweep_mid_transaction, sweep_save_path, RestartStrategy};
+use wsp_machine::{Machine, SystemLoad};
+use wsp_microbench::json::Json;
+use wsp_pheap::HeapConfig;
+use wsp_units::ByteSize;
+use wsp_workloads::HashBenchmark;
+
+/// Regression threshold for `check`: fail when ops/sec drops below
+/// `1 - GATE_TOLERANCE` of the recorded gate value.
+const GATE_TOLERANCE: f64 = 0.20;
+
+/// Repetitions for `check`; the best of the runs is compared, which
+/// absorbs scheduler noise on shared hardware.
+const GATE_REPS: usize = 3;
+
+/// Repetitions for `run`'s hash-table measurement (best-of; the recorded
+/// baseline must not be a hostage of scheduler noise).
+const RUN_HASH_REPS: usize = 5;
+
+/// Repetitions for `run`'s sweep measurement (best-of).
+const RUN_SWEEP_REPS: usize = 3;
+
+fn hash_bench(quick: bool) -> HashBenchmark {
+    if quick {
+        HashBenchmark {
+            prepopulate: 1_000,
+            ops: 4_000,
+            region: ByteSize::mib(8),
+        }
+    } else {
+        HashBenchmark {
+            prepopulate: 20_000,
+            ops: 50_000,
+            region: ByteSize::mib(64),
+        }
+    }
+}
+
+/// Host-time ops/sec of the Figure-5 hash-table microbenchmark for one
+/// heap configuration (prepopulate + measured phase, like the paper).
+fn measure_hashtable(bench: &HashBenchmark, config: HeapConfig) -> f64 {
+    let start = Instant::now();
+    bench.run(config, 0.5, 42).expect("benchmark runs");
+    let wall = start.elapsed().as_secs_f64();
+    (bench.prepopulate + bench.ops) as f64 / wall
+}
+
+fn measure_hashtable_all(quick: bool) -> Json {
+    let bench = hash_bench(quick);
+    let mut rates = Vec::new();
+    for config in HeapConfig::all() {
+        let rate = (0..RUN_HASH_REPS)
+            .map(|_| measure_hashtable(&bench, config))
+            .fold(0.0f64, f64::max);
+        eprintln!(
+            "  hashtable {:<9} {:>12.0} ops/sec (best of {RUN_HASH_REPS})",
+            config.label(),
+            rate
+        );
+        rates.push((config.label().to_owned(), Json::from(rate)));
+    }
+    Json::object([
+        ("prepopulate", Json::from(bench.prepopulate)),
+        ("ops", Json::from(bench.ops)),
+        ("update_probability", Json::from(0.5)),
+        ("ops_per_sec", Json::Obj(rates)),
+    ])
+}
+
+/// Wall-clock of the PR-1 crash sweeps at the load the test suite puts
+/// on them: the save-path sweep across both testbeds and loads over
+/// several sentinel seeds, and the mid-transaction sweep across every
+/// heap configuration over several script seeds.
+fn measure_sweeps(quick: bool) -> Json {
+    let (save_seeds, tx_seeds) = if quick { (2u64, 2u64) } else { (16, 32) };
+
+    let mut save_path_ms = f64::INFINITY;
+    let mut mid_tx_ms = f64::INFINITY;
+    for _ in 0..RUN_SWEEP_REPS {
+        let start = Instant::now();
+        for seed in 0..save_seeds {
+            for (make, load) in [
+                (Machine::intel_testbed as fn() -> Machine, SystemLoad::Busy),
+                (Machine::amd_testbed as fn() -> Machine, SystemLoad::Idle),
+            ] {
+                let report =
+                    sweep_save_path(make, load, RestartStrategy::RestorePathReinit, seed * 31 + 42);
+                assert_eq!(report.locally_restored, 1);
+            }
+        }
+        save_path_ms = save_path_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        for seed in 0..tx_seeds {
+            for config in HeapConfig::all() {
+                let report = sweep_mid_transaction(config, seed * 97 + 1234);
+                assert!(report.crash_points > 0);
+            }
+        }
+        mid_tx_ms = mid_tx_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    eprintln!(
+        "  sweeps    save-path {save_path_ms:.1} ms, mid-tx {mid_tx_ms:.1} ms (best of {RUN_SWEEP_REPS})"
+    );
+    Json::object([
+        ("save_path_seeds", Json::from(save_seeds)),
+        ("mid_tx_seeds", Json::from(tx_seeds)),
+        ("save_path_ms", Json::from(save_path_ms)),
+        ("mid_tx_ms", Json::from(mid_tx_ms)),
+        ("total_ms", Json::from(save_path_ms + mid_tx_ms)),
+    ])
+}
+
+/// Host time of one `wbinvd` whole-hierarchy walk with `lines` dirty
+/// lines (best of 5, on fresh clones of a pre-dirtied hierarchy).
+fn measure_wbinvd() -> Json {
+    const DIRTY_LINES: u64 = 10_000;
+    let mut template = CacheHierarchy::new(CpuProfile::intel_c5528());
+    for i in 0..DIRTY_LINES {
+        template.store(i * 64);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let mut cache = template.clone();
+        let start = Instant::now();
+        let r = cache.wbinvd();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(r.writebacks.len() as u64, DIRTY_LINES);
+        best = best.min(us);
+    }
+    eprintln!("  wbinvd    walk {best:.1} us host ({DIRTY_LINES} dirty lines)");
+    Json::object([
+        ("dirty_lines", Json::from(DIRTY_LINES)),
+        ("walk_host_us", Json::from(best)),
+    ])
+}
+
+fn run_suite(quick: bool) -> Json {
+    eprintln!("bench_pr2: running {} suite", if quick { "quick" } else { "full" });
+    Json::object([
+        ("schema", Json::from("wsp-bench-pr2/v1")),
+        ("mode", Json::from(if quick { "quick" } else { "full" })),
+        ("hashtable", measure_hashtable_all(quick)),
+        ("sweeps", measure_sweeps(quick)),
+        ("wbinvd", measure_wbinvd()),
+    ])
+}
+
+/// The `check` subcommand: quick hash-table throughput vs. the recorded
+/// gate, per heap configuration, with a [`GATE_TOLERANCE`] margin.
+fn check_against(baseline_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_pr2: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_pr2: {baseline_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(gate) = doc
+        .get("gate")
+        .and_then(|g| g.get("hashtable_ops_per_sec"))
+        .and_then(Json::entries)
+    else {
+        eprintln!("bench_pr2: {baseline_path} has no gate.hashtable_ops_per_sec section");
+        return ExitCode::FAILURE;
+    };
+
+    // Best-of-N current quick throughput per config.
+    let bench = hash_bench(true);
+    let mut failed = false;
+    for (label, recorded) in gate {
+        let recorded = recorded.as_f64().unwrap_or(0.0);
+        let config = HeapConfig::all()
+            .into_iter()
+            .find(|c| c.label() == label);
+        let Some(config) = config else {
+            eprintln!("bench_pr2: unknown heap config `{label}` in gate; skipping");
+            continue;
+        };
+        let current = (0..GATE_REPS)
+            .map(|_| measure_hashtable(&bench, config))
+            .fold(0.0f64, f64::max);
+        let floor = recorded * (1.0 - GATE_TOLERANCE);
+        let verdict = if current >= floor { "ok" } else { "REGRESSED" };
+        eprintln!(
+            "  gate {label:<9} current {current:>12.0} ops/sec, recorded {recorded:>12.0}, floor {floor:>12.0}  [{verdict}]"
+        );
+        if current < floor {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_pr2: hash-table throughput regressed more than {:.0}% against {baseline_path}",
+            GATE_TOLERANCE * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_pr2: throughput gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            print!("{}", run_suite(quick).to_string_pretty());
+            ExitCode::SUCCESS
+        }
+        Some("check") => match args.get(1) {
+            Some(path) => check_against(path),
+            None => {
+                eprintln!("usage: bench_pr2 check <BENCH_PR2.json>");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_pr2 run [--quick] | bench_pr2 check <baseline.json>");
+            ExitCode::FAILURE
+        }
+    }
+}

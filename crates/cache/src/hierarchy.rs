@@ -2,8 +2,6 @@
 //! non-temporal stores and fences, with writeback events reported to the
 //! memory model.
 
-use std::collections::BTreeSet;
-
 use wsp_units::{ByteSize, Nanos};
 
 use crate::{CacheStats, CpuProfile, Eviction, LineAddr, SetAssocCache, LINE_SIZE};
@@ -20,6 +18,24 @@ pub struct AccessResult {
     pub writebacks: Vec<LineAddr>,
 }
 
+/// Outcome of a load or store on the allocation-free fast path
+/// ([`CacheHierarchy::load_fast`] / [`store_fast`]): the writeback
+/// lines themselves stay in the hierarchy's reused scratch buffer,
+/// readable through [`CacheHierarchy::last_writebacks`] until the next
+/// access.
+///
+/// [`store_fast`]: CacheHierarchy::store_fast
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessMeta {
+    /// Simulated latency of the access.
+    pub latency: Nanos,
+    /// Which level hit (0 = innermost); `None` for a memory access.
+    pub hit_level: Option<usize>,
+    /// How many dirty lines were written back to memory (the common
+    /// case is zero; callers check this before touching the scratch).
+    pub writebacks: usize,
+}
+
 /// Outcome of a `clflush`/`clwb` of one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlushResult {
@@ -34,7 +50,8 @@ pub struct FlushResult {
 pub struct WbinvdResult {
     /// Simulated latency of the walk (scan-dominated; see Figure 8).
     pub latency: Nanos,
-    /// Dirty lines written back, deduplicated across levels.
+    /// Dirty lines written back, deduplicated across levels, in
+    /// address-sorted order.
     pub writebacks: Vec<LineAddr>,
     /// Total bytes written back.
     pub written_back: ByteSize,
@@ -48,35 +65,64 @@ pub struct WbinvdResult {
 /// durable — so that a memory model layered above it (`wsp-pheap`) can
 /// maintain exact crash semantics: anything not written back is lost on a
 /// power failure unless a flush-on-fail save runs.
+///
+/// Two access surfaces exist: [`load`](Self::load)/[`store`](Self::store)
+/// return an owned [`AccessResult`], while the allocation-free
+/// [`load_fast`](Self::load_fast)/[`store_fast`](Self::store_fast) pair
+/// records writebacks in a reused scratch buffer for hot callers.
 #[derive(Debug, Clone)]
 pub struct CacheHierarchy {
     profile: CpuProfile,
     levels: Vec<SetAssocCache>,
+    /// Per-level hit latencies, lifted out of the level configs so the
+    /// access path's latency accounting touches no config structs.
+    hit_latencies: Vec<Nanos>,
     stats: CacheStats,
     /// Bytes queued in write-combining buffers by non-temporal stores and
     /// not yet drained by a fence.
     pending_wc: u64,
-    /// Lines touched by pending non-temporal stores; durable only after
-    /// the next fence.
+    /// Distinct lines touched by pending non-temporal stores; durable
+    /// only after the next fence. Deduplicated at insert.
     pending_wc_lines: Vec<LineAddr>,
+    /// Reused writeback scratch for the fast access path: dirty lines the
+    /// in-flight access pushed back to memory.
+    wb_scratch: Vec<LineAddr>,
+    /// Reused buffer for the `wbinvd` walk and dirty-line collection.
+    walk_scratch: Vec<LineAddr>,
+    /// Line index of the most recent access ([`u64::MAX`] = none): a
+    /// repeat access to it is a guaranteed level-0 hit whose LRU touch
+    /// cannot change any replacement order (the line is already the
+    /// most recently used everywhere it is resident), so the whole walk
+    /// is skipped. Reset by every flush/invalidation entry point.
+    last_line: u64,
+    /// Whether the memoised line is known dirty at level 0 (a repeat
+    /// *store* can only take the shortcut when no dirty bit would need
+    /// setting).
+    last_dirty: bool,
 }
 
 impl CacheHierarchy {
     /// Builds an empty hierarchy from a CPU profile.
     #[must_use]
     pub fn new(profile: CpuProfile) -> Self {
-        let levels = profile
+        let levels: Vec<SetAssocCache> = profile
             .levels
             .iter()
             .cloned()
             .map(SetAssocCache::new)
             .collect();
+        let hit_latencies = levels.iter().map(|l| l.config().hit_latency).collect();
         CacheHierarchy {
             profile,
             levels,
+            hit_latencies,
             stats: CacheStats::default(),
             pending_wc: 0,
             pending_wc_lines: Vec::new(),
+            wb_scratch: Vec::new(),
+            walk_scratch: Vec::new(),
+            last_line: u64::MAX,
+            last_dirty: false,
         }
     }
 
@@ -99,82 +145,150 @@ impl CacheHierarchy {
 
     /// Performs a load of the line containing `addr`.
     pub fn load(&mut self, addr: u64) -> AccessResult {
-        self.stats.loads += 1;
-        self.access(LineAddr::containing(addr), false)
+        let meta = self.load_fast(addr);
+        self.to_result(meta)
     }
 
     /// Performs a store to the line containing `addr` (write-allocate).
     pub fn store(&mut self, addr: u64) -> AccessResult {
+        let meta = self.store_fast(addr);
+        self.to_result(meta)
+    }
+
+    fn to_result(&self, meta: AccessMeta) -> AccessResult {
+        AccessResult {
+            latency: meta.latency,
+            hit_level: meta.hit_level,
+            writebacks: self.wb_scratch.clone(),
+        }
+    }
+
+    /// Allocation-free load: like [`load`](Self::load), but the
+    /// writeback lines stay in the reused scratch buffer
+    /// ([`last_writebacks`](Self::last_writebacks)).
+    pub fn load_fast(&mut self, addr: u64) -> AccessMeta {
+        self.stats.loads += 1;
+        self.access(LineAddr::containing(addr), false)
+    }
+
+    /// Allocation-free store: like [`store`](Self::store), but the
+    /// writeback lines stay in the reused scratch buffer
+    /// ([`last_writebacks`](Self::last_writebacks)).
+    pub fn store_fast(&mut self, addr: u64) -> AccessMeta {
         self.stats.stores += 1;
         self.access(LineAddr::containing(addr), true)
     }
 
-    fn access(&mut self, line: LineAddr, write: bool) -> AccessResult {
-        let mut result = AccessResult {
-            latency: Nanos::ZERO,
-            hit_level: None,
-            writebacks: Vec::new(),
-        };
+    /// The dirty lines the most recent fast access wrote back to memory.
+    /// Valid until the next access.
+    #[must_use]
+    pub fn last_writebacks(&self) -> &[LineAddr] {
+        &self.wb_scratch
+    }
+
+    fn access(&mut self, line: LineAddr, write: bool) -> AccessMeta {
+        // Repeat access to the memoised line: a guaranteed level-0 hit.
+        // The LRU touch is skipped because the line already holds the
+        // newest stamp in every set it occupies, so no replacement
+        // decision can change; a store additionally requires the dirty
+        // bit to be set already.
+        if line.index() == self.last_line && (!write || self.last_dirty) {
+            self.wb_scratch.clear();
+            self.stats.record_hit(0);
+            return AccessMeta {
+                latency: self.hit_latencies[0],
+                hit_level: Some(0),
+                writebacks: 0,
+            };
+        }
+        self.last_line = line.index();
+        self.last_dirty = write;
+        self.wb_scratch.clear();
+        let mut latency;
 
         // Probe level 0 first: a hit there is the common fast path.
-        result.latency += self.levels[0].config().hit_latency;
+        latency = self.hit_latencies[0];
         if self.levels[0].touch(line, write) {
             self.stats.record_hit(0);
-            result.hit_level = Some(0);
-            return result;
+            return AccessMeta {
+                latency,
+                hit_level: Some(0),
+                writebacks: 0,
+            };
         }
 
         // Probe outer levels.
         for i in 1..self.levels.len() {
-            result.latency += self.levels[i].config().hit_latency;
+            latency += self.hit_latencies[i];
             if self.levels[i].touch(line, false) {
                 self.stats.record_hit(i);
-                result.hit_level = Some(i);
                 // Promote into the inner levels (line also stays at level
-                // i: inclusive).
+                // i: inclusive). Every level below `i` just missed its
+                // probe, so the line is known absent there.
                 for j in (1..i).rev() {
-                    self.install_at(j, line, false, &mut result);
+                    self.install_missing_at(j, line, false, &mut latency);
                 }
-                self.install_at(0, line, write, &mut result);
-                return result;
+                self.install_missing_at(0, line, write, &mut latency);
+                return AccessMeta {
+                    latency,
+                    hit_level: Some(i),
+                    writebacks: self.wb_scratch.len(),
+                };
             }
         }
 
-        // Miss everywhere: fill from memory into every level.
+        // Miss everywhere: fill from memory into every level (the probe
+        // loop established absence at each one).
         self.stats.misses += 1;
-        result.latency += self.profile.bus.line_fill();
+        latency += self.profile.bus.line_fill();
         for j in (1..self.levels.len()).rev() {
-            self.install_at(j, line, false, &mut result);
+            self.install_missing_at(j, line, false, &mut latency);
         }
-        self.install_at(0, line, write, &mut result);
-        result
+        self.install_missing_at(0, line, write, &mut latency);
+        AccessMeta {
+            latency,
+            hit_level: None,
+            writebacks: self.wb_scratch.len(),
+        }
     }
 
-    /// Installs `line` at `level`, cascading evictions outward and
-    /// recording memory writebacks in `result`.
-    fn install_at(&mut self, level: usize, line: LineAddr, dirty: bool, result: &mut AccessResult) {
-        if self.levels[level].contains(line) {
-            // Already resident (inclusive promote path): just set dirty.
-            self.levels[level].touch(line, dirty);
-            return;
+    /// Installs a line the caller has already proven absent at `level`
+    /// (its probe just missed), skipping the residency re-scan. The
+    /// access-counter bump and stamp assignment are identical to
+    /// [`install_at`](Self::install_at)'s absent branch.
+    fn install_missing_at(&mut self, level: usize, line: LineAddr, dirty: bool, latency: &mut Nanos) {
+        let eviction = self.levels[level].install(line, dirty);
+        self.handle_eviction(level, eviction, latency);
+    }
+
+    /// Installs `line` at `level` (touching it in place if already
+    /// resident), cascading evictions outward and recording memory
+    /// writebacks in the scratch buffer.
+    fn install_at(&mut self, level: usize, line: LineAddr, dirty: bool, latency: &mut Nanos) {
+        // Already resident (inclusive promote path: dirty bit set in
+        // place) → `None`: nothing to cascade.
+        if let Some(eviction) = self.levels[level].install_or_touch(line, dirty) {
+            self.handle_eviction(level, eviction, latency);
         }
-        match self.levels[level].install(line, dirty) {
+    }
+
+    /// Cascades an eviction at `level` outward: dirty victims move to the
+    /// next level (or memory), last-level victims back-invalidate inner
+    /// copies.
+    fn handle_eviction(&mut self, level: usize, eviction: Eviction, latency: &mut Nanos) {
+        match eviction {
             Eviction::None => {}
             Eviction::Clean(victim) => {
                 if level == self.levels.len() - 1 {
-                    self.back_invalidate(victim, false, result);
+                    self.back_invalidate(victim, false, latency);
                 }
             }
             Eviction::Dirty(victim) => {
                 if level + 1 < self.levels.len() {
                     // Victim moves outward, staying dirty.
-                    if self.levels[level + 1].contains(victim) {
-                        self.levels[level + 1].touch(victim, true);
-                    } else {
-                        self.install_at(level + 1, victim, true, result);
-                    }
+                    self.install_at(level + 1, victim, true, latency);
                 } else {
-                    self.back_invalidate(victim, true, result);
+                    self.back_invalidate(victim, true, latency);
                 }
             }
         }
@@ -183,7 +297,7 @@ impl CacheHierarchy {
     /// Handles eviction of `victim` from the last level: inner copies must
     /// be invalidated (inclusive hierarchy), and the line written back if
     /// dirty anywhere.
-    fn back_invalidate(&mut self, victim: LineAddr, dirty_at_llc: bool, result: &mut AccessResult) {
+    fn back_invalidate(&mut self, victim: LineAddr, dirty_at_llc: bool, latency: &mut Nanos) {
         let mut dirty = dirty_at_llc;
         let last = self.levels.len() - 1;
         for level in &mut self.levels[..last] {
@@ -193,8 +307,8 @@ impl CacheHierarchy {
         }
         if dirty {
             self.stats.writebacks += 1;
-            result.latency += self.profile.bus.line_writeback();
-            result.writebacks.push(victim);
+            *latency += self.profile.bus.line_writeback();
+            self.wb_scratch.push(victim);
         }
     }
 
@@ -202,6 +316,7 @@ impl CacheHierarchy {
     /// invalidates it everywhere.
     pub fn clflush(&mut self, addr: u64) -> FlushResult {
         self.stats.clflushes += 1;
+        self.last_line = u64::MAX;
         let line = LineAddr::containing(addr);
         let mut dirty = false;
         for level in &mut self.levels {
@@ -224,6 +339,7 @@ impl CacheHierarchy {
     /// clean (the instruction later eADR-era persistent-memory code uses).
     pub fn clwb(&mut self, addr: u64) -> FlushResult {
         self.stats.clwbs += 1;
+        self.last_line = u64::MAX;
         let line = LineAddr::containing(addr);
         let mut dirty = false;
         for level in &mut self.levels {
@@ -245,18 +361,27 @@ impl CacheHierarchy {
     /// for coherence (their contents were superseded), but the NT data
     /// itself is durable only after the next [`sfence`].
     ///
-    /// Returns `(result, wc_lines)` where `result.writebacks` holds lines
-    /// whose *cached* dirty data was flushed by the coherence
-    /// invalidation, and `wc_lines` the lines the NT data targets.
+    /// Returns a result whose `writebacks` holds lines whose *cached*
+    /// dirty data was flushed by the coherence invalidation; the lines
+    /// the NT data targets are tracked for the next fence (repeated NT
+    /// stores to the same un-fenced line occupy one write-combining
+    /// buffer, so the pending set is deduplicated at insert).
     ///
     /// [`sfence`]: CacheHierarchy::sfence
     pub fn ntstore(&mut self, addr: u64, len: u64) -> AccessResult {
+        let meta = self.ntstore_fast(addr, len);
+        self.to_result(meta)
+    }
+
+    /// Allocation-free non-temporal store: like [`ntstore`](Self::ntstore),
+    /// but the coherence-writeback lines stay in the reused scratch buffer
+    /// ([`last_writebacks`](Self::last_writebacks)).
+    pub fn ntstore_fast(&mut self, addr: u64, len: u64) -> AccessMeta {
         self.stats.ntstores += 1;
-        let mut result = AccessResult {
-            latency: Nanos::from_secs_f64(self.profile.ntstore_ns_per_8b * (len.max(1) as f64 / 8.0) * 1e-9),
-            hit_level: None,
-            writebacks: Vec::new(),
-        };
+        self.last_line = u64::MAX;
+        self.wb_scratch.clear();
+        let mut latency =
+            Nanos::from_secs_f64(self.profile.ntstore_ns_per_8b * (len.max(1) as f64 / 8.0) * 1e-9);
         for line in LineAddr::span(addr, len) {
             let mut dirty = false;
             for level in &mut self.levels {
@@ -266,18 +391,24 @@ impl CacheHierarchy {
             }
             if dirty {
                 self.stats.writebacks += 1;
-                result.latency += self.profile.bus.line_writeback();
-                result.writebacks.push(line);
+                latency += self.profile.bus.line_writeback();
+                self.wb_scratch.push(line);
             }
-            self.pending_wc_lines.push(line);
+            if !self.pending_wc_lines.contains(&line) {
+                self.pending_wc_lines.push(line);
+            }
         }
         self.pending_wc += len;
-        result
+        AccessMeta {
+            latency,
+            hit_level: None,
+            writebacks: self.wb_scratch.len(),
+        }
     }
 
     /// `sfence`: drains write-combining buffers, making all pending
     /// non-temporal stores durable. Returns the fence latency and the
-    /// lines whose NT data just became durable.
+    /// distinct lines whose NT data just became durable, in issue order.
     ///
     /// The stall is one memory access per distinct write-combining
     /// buffer (partial-line NT writes each cost a read-modify-write at
@@ -285,19 +416,34 @@ impl CacheHierarchy {
     /// synchronous-durability cost flush-on-commit heaps pay at every
     /// commit.
     pub fn sfence(&mut self) -> (Nanos, Vec<LineAddr>) {
+        let latency = self.sfence_fast();
+        (latency, std::mem::take(&mut self.wb_scratch))
+    }
+
+    /// Allocation-free fence: like [`sfence`](Self::sfence), but the
+    /// drained lines stay in the reused scratch buffer
+    /// ([`last_writebacks`](Self::last_writebacks)) and the pending-line
+    /// buffer keeps its capacity for the next transaction.
+    pub fn sfence_fast(&mut self) -> Nanos {
         self.stats.fences += 1;
         let stream = self.profile.bus.stream_write(ByteSize::new(self.pending_wc));
         self.pending_wc = 0;
-        let lines = std::mem::take(&mut self.pending_wc_lines);
-        let distinct: BTreeSet<LineAddr> = lines.iter().copied().collect();
-        let drain = self.profile.bus.line_writeback() * distinct.len() as u64 + stream;
-        (self.profile.fence_cost + drain, lines)
+        let drain = self.profile.bus.line_writeback() * self.pending_wc_lines.len() as u64 + stream;
+        std::mem::swap(&mut self.wb_scratch, &mut self.pending_wc_lines);
+        self.pending_wc_lines.clear();
+        self.profile.fence_cost + drain
     }
 
     /// Bytes of pending (un-fenced) non-temporal store data.
     #[must_use]
     pub fn pending_wc_bytes(&self) -> ByteSize {
         ByteSize::new(self.pending_wc)
+    }
+
+    /// Distinct lines with pending (un-fenced) non-temporal store data.
+    #[must_use]
+    pub fn pending_wc_line_count(&self) -> usize {
+        self.pending_wc_lines.len()
     }
 
     /// `wbinvd`: writes back and invalidates the entire hierarchy.
@@ -308,20 +454,28 @@ impl CacheHierarchy {
     /// microcoded walk, not the writeback traffic, dominates.
     pub fn wbinvd(&mut self) -> WbinvdResult {
         self.stats.wbinvds += 1;
-        let mut dirty: BTreeSet<LineAddr> = BTreeSet::new();
+        self.last_line = u64::MAX;
+        let mut dirty = std::mem::take(&mut self.walk_scratch);
+        dirty.clear();
         let mut total_slots = 0u64;
         for level in &mut self.levels {
             total_slots += level.config().total_lines();
-            dirty.extend(level.drain_all());
+            level.drain_dirty_into(&mut dirty);
         }
+        // Lines dirty at several levels appear once: sort-dedup over the
+        // reused walk buffer.
+        dirty.sort_unstable();
+        dirty.dedup();
         let written_back = ByteSize::new(dirty.len() as u64 * LINE_SIZE);
         self.stats.writebacks += dirty.len() as u64;
         let scan = Nanos::from_secs_f64(self.profile.wbinvd_scan_ns_per_line * total_slots as f64 * 1e-9);
         let stream = self.profile.bus.stream_write(written_back);
         let latency = self.profile.wbinvd_base + scan.max(stream);
+        let writebacks = dirty.clone();
+        self.walk_scratch = dirty;
         WbinvdResult {
             latency,
-            writebacks: dirty.into_iter().collect(),
+            writebacks,
             written_back,
         }
     }
@@ -330,21 +484,19 @@ impl CacheHierarchy {
     /// counted once).
     #[must_use]
     pub fn dirty_bytes(&self) -> ByteSize {
-        let mut dirty: BTreeSet<LineAddr> = BTreeSet::new();
-        for level in &self.levels {
-            dirty.extend(level.iter_dirty());
-        }
-        ByteSize::new(dirty.len() as u64 * LINE_SIZE)
+        ByteSize::new(self.dirty_lines().len() as u64 * LINE_SIZE)
     }
 
-    /// Iterates over all distinct dirty lines.
+    /// All distinct dirty lines, in address-sorted order.
     #[must_use]
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        let mut dirty: BTreeSet<LineAddr> = BTreeSet::new();
+        let mut dirty = Vec::new();
         for level in &self.levels {
-            dirty.extend(level.iter_dirty());
+            level.collect_dirty_into(&mut dirty);
         }
-        dirty.into_iter().collect()
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
     }
 
     /// The cache levels (innermost first), for inspection.
@@ -381,6 +533,22 @@ mod tests {
         assert_eq!(c.dirty_bytes().as_u64(), 64);
         c.store(0x80); // next line
         assert_eq!(c.dirty_bytes().as_u64(), 128);
+    }
+
+    #[test]
+    fn fast_path_matches_owned_path() {
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        for i in 0..5_000u64 {
+            let addr = (i * 97) % 4096 * 64;
+            let ra = a.store(addr);
+            let mb = b.store_fast(addr);
+            assert_eq!(ra.latency, mb.latency);
+            assert_eq!(ra.hit_level, mb.hit_level);
+            assert_eq!(ra.writebacks.len(), mb.writebacks);
+            assert_eq!(ra.writebacks.as_slice(), b.last_writebacks());
+        }
+        assert_eq!(a.dirty_lines(), b.dirty_lines());
     }
 
     #[test]
@@ -422,6 +590,19 @@ mod tests {
     }
 
     #[test]
+    fn wbinvd_writebacks_are_address_sorted() {
+        let mut c = hierarchy();
+        for i in [900u64, 3, 512, 77, 4096].into_iter() {
+            c.store(i * 64);
+        }
+        let r = c.wbinvd();
+        let mut sorted = r.writebacks.clone();
+        sorted.sort_unstable();
+        assert_eq!(r.writebacks, sorted);
+        assert_eq!(r.writebacks.len(), 5);
+    }
+
+    #[test]
     fn wbinvd_latency_is_scan_dominated() {
         let mut clean = hierarchy();
         let t_clean = clean.wbinvd().latency;
@@ -446,6 +627,29 @@ mod tests {
         assert!(latency > Nanos::ZERO);
         assert_eq!(lines, vec![LineAddr::containing(0x1000)]);
         assert_eq!(c.pending_wc_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn repeated_ntstores_to_one_line_occupy_one_wc_buffer() {
+        // Regression: before PR 2 the pending write-combining set
+        // accumulated one entry per NT store, so repeated stores to the
+        // same line inflated the fence's per-buffer drain cost.
+        let mut c = hierarchy();
+        for _ in 0..10 {
+            c.ntstore(0x2000, 8);
+        }
+        assert_eq!(c.pending_wc_line_count(), 1);
+        let (latency_many, lines) = c.sfence();
+        assert_eq!(lines, vec![LineAddr::containing(0x2000)]);
+
+        // The fence must cost the same as two NT stores covering the same
+        // total bytes within that line: one distinct buffer either way.
+        let mut d = hierarchy();
+        d.ntstore(0x2000, 40);
+        d.ntstore(0x2000, 40);
+        assert_eq!(d.pending_wc_line_count(), 1);
+        let (latency_once, _) = d.sfence();
+        assert_eq!(latency_many, latency_once);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod config;
 mod flush;
 mod hierarchy;
 mod profiles;
+mod reference;
 mod set;
 mod stats;
 mod trace;
@@ -65,8 +66,9 @@ mod trace;
 pub use bus::MemoryBus;
 pub use config::{CacheConfig, LineAddr, LINE_SIZE};
 pub use flush::{FlushAnalysis, FlushMethod};
-pub use hierarchy::{AccessResult, CacheHierarchy, FlushResult, WbinvdResult};
+pub use hierarchy::{AccessMeta, AccessResult, CacheHierarchy, FlushResult, WbinvdResult};
 pub use profiles::CpuProfile;
+pub use reference::RefSetAssocCache;
 pub use set::{Eviction, SetAssocCache};
 pub use stats::CacheStats;
 pub use trace::{AccessTrace, ReplayResult, TraceEvent};

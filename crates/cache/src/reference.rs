@@ -1,0 +1,285 @@
+//! The naive reference cache level: the original `Vec<Way>`-per-set
+//! implementation, retained verbatim as the executable specification
+//! for the packed fast-path level in [`crate::SetAssocCache`].
+//!
+//! This model favours obviousness over speed — per-set `Vec`s, linear
+//! tag scans, `min_by_key` LRU selection — so the differential property
+//! tests (`tests/differential.rs`) can check the optimised level
+//! against something short enough to audit by eye. It is not used on
+//! any simulation path.
+
+use wsp_units::ByteSize;
+
+use crate::{CacheConfig, Eviction, LineAddr, LINE_SIZE};
+
+/// A line slot within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    line: LineAddr,
+    dirty: bool,
+    /// LRU stamp: global access counter value at last touch.
+    stamp: u64,
+}
+
+/// The reference implementation of one set-associative, write-back
+/// cache level with true LRU replacement and per-line dirty bits.
+///
+/// Mirrors the public surface of [`crate::SetAssocCache`] operation for
+/// operation; the differential tests drive both with the same traces
+/// and assert the observable outcomes agree.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_cache::{CacheConfig, LineAddr, RefSetAssocCache};
+/// use wsp_units::{ByteSize, Nanos};
+///
+/// let mut l1 = RefSetAssocCache::new(CacheConfig::new(
+///     "L1d",
+///     ByteSize::kib(32),
+///     8,
+///     Nanos::new(1),
+/// ));
+/// let line = LineAddr::from_index(7);
+/// l1.install(line, true);
+/// assert!(l1.is_dirty(line));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RefSetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    access_counter: u64,
+    dirty_count: u64,
+}
+
+impl RefSetAssocCache {
+    /// Creates an empty cache level with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![Vec::new(); config.num_sets() as usize];
+        RefSetAssocCache {
+            config,
+            sets,
+            access_counter: 0,
+            dirty_count: 0,
+        }
+    }
+
+    /// The level's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_mut(&mut self, line: LineAddr) -> &mut Vec<Way> {
+        let idx = self.config.set_of(line) as usize;
+        &mut self.sets[idx]
+    }
+
+    fn set_ref(&self, line: LineAddr) -> &Vec<Way> {
+        let idx = self.config.set_of(line) as usize;
+        &self.sets[idx]
+    }
+
+    /// True if the line is resident at this level.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.set_ref(line).iter().any(|w| w.line == line)
+    }
+
+    /// True if the line is resident and dirty at this level.
+    #[must_use]
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        self.set_ref(line)
+            .iter()
+            .any(|w| w.line == line && w.dirty)
+    }
+
+    /// Touches a resident line (updates LRU; optionally marks it dirty).
+    /// Returns `true` on hit, `false` if the line is not resident.
+    pub fn touch(&mut self, line: LineAddr, write: bool) -> bool {
+        self.access_counter += 1;
+        let stamp = self.access_counter;
+        let mut hit = false;
+        let mut newly_dirty = false;
+        if let Some(w) = self.set_mut(line).iter_mut().find(|w| w.line == line) {
+            w.stamp = stamp;
+            if write && !w.dirty {
+                w.dirty = true;
+                newly_dirty = true;
+            }
+            hit = true;
+        }
+        if newly_dirty {
+            self.dirty_count += 1;
+        }
+        hit
+    }
+
+    /// Installs a line at this level (after a miss was satisfied below),
+    /// evicting the LRU way if the set is full. Returns what happened to
+    /// the victim.
+    pub fn install(&mut self, line: LineAddr, dirty: bool) -> Eviction {
+        self.access_counter += 1;
+        let stamp = self.access_counter;
+        let associativity = self.config.associativity as usize;
+        let mut dirty_delta: i64 = i64::from(dirty);
+
+        let set = {
+            let idx = self.config.set_of(line) as usize;
+            &mut self.sets[idx]
+        };
+        debug_assert!(
+            !set.iter().any(|w| w.line == line),
+            "install of already-resident line {line}"
+        );
+
+        let eviction = if set.len() < associativity {
+            set.push(Way { line, dirty, stamp });
+            Eviction::None
+        } else {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let victim = set[lru];
+            set[lru] = Way { line, dirty, stamp };
+            if victim.dirty {
+                dirty_delta -= 1;
+                Eviction::Dirty(victim.line)
+            } else {
+                Eviction::Clean(victim.line)
+            }
+        };
+
+        match dirty_delta {
+            1 => self.dirty_count += 1,
+            -1 => self.dirty_count -= 1,
+            _ => {}
+        }
+        eviction
+    }
+
+    /// Removes a line from this level, returning `Some(dirty)` if it was
+    /// resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_mut(line);
+        let pos = set.iter().position(|w| w.line == line)?;
+        let way = set.swap_remove(pos);
+        if way.dirty {
+            self.dirty_count -= 1;
+        }
+        Some(way.dirty)
+    }
+
+    /// Clears the dirty bit on a resident line. Returns `true` if the
+    /// line was resident and dirty.
+    pub fn clean(&mut self, line: LineAddr) -> bool {
+        let mut cleaned = false;
+        if let Some(w) = self
+            .set_mut(line)
+            .iter_mut()
+            .find(|w| w.line == line && w.dirty)
+        {
+            w.dirty = false;
+            cleaned = true;
+        }
+        if cleaned {
+            self.dirty_count -= 1;
+        }
+        cleaned
+    }
+
+    /// Drains every line from the level, returning the dirty ones in
+    /// address order.
+    pub fn drain_all(&mut self) -> Vec<LineAddr> {
+        let mut dirty = Vec::with_capacity(self.dirty_count as usize);
+        for set in &mut self.sets {
+            for way in set.drain(..) {
+                if way.dirty {
+                    dirty.push(way.line);
+                }
+            }
+        }
+        dirty.sort_unstable();
+        self.dirty_count = 0;
+        dirty
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> u64 {
+        self.sets.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Number of dirty resident lines.
+    #[must_use]
+    pub fn dirty_lines(&self) -> u64 {
+        self.dirty_count
+    }
+
+    /// Bytes of dirty data at this level.
+    #[must_use]
+    pub fn dirty_bytes(&self) -> ByteSize {
+        ByteSize::new(self.dirty_count * LINE_SIZE)
+    }
+
+    /// Iterates over all dirty lines in address order.
+    pub fn iter_dirty(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        let mut dirty: Vec<LineAddr> = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|w| w.dirty)
+            .map(|w| w.line)
+            .collect();
+        dirty.sort_unstable();
+        dirty.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_units::Nanos;
+
+    fn tiny() -> RefSetAssocCache {
+        // 2 sets x 2 ways.
+        RefSetAssocCache::new(CacheConfig::new(
+            "tiny",
+            ByteSize::new(2 * 2 * LINE_SIZE),
+            2,
+            Nanos::new(1),
+        ))
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn reference_semantics_hold() {
+        let mut c = tiny();
+        assert!(!c.touch(line(0), false));
+        assert_eq!(c.install(line(0), true), Eviction::None);
+        assert!(c.is_dirty(line(0)));
+        c.install(line(2), false);
+        c.touch(line(2), false); // 0 is now LRU
+        assert_eq!(c.install(line(4), false), Eviction::Dirty(line(0)));
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.invalidate(line(2)), Some(false));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn reference_drain_is_sorted() {
+        let mut c = tiny();
+        c.install(line(3), true);
+        c.install(line(0), true);
+        c.install(line(1), false);
+        assert_eq!(c.drain_all(), vec![line(0), line(3)]);
+        assert_eq!(c.iter_dirty().count(), 0);
+    }
+}

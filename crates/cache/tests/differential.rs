@@ -1,0 +1,243 @@
+//! Differential property tests: the packed fast-path cache level
+//! (`SetAssocCache`) against the retained naive reference
+//! (`RefSetAssocCache`), driven with identical operation traces.
+//!
+//! Both implementations claim the same observable semantics — true-LRU
+//! replacement with unique stamps, per-line dirty bits, address-sorted
+//! drains — so every probe, eviction, dirty count and writeback set
+//! must agree exactly, on every prefix of every trace.
+//!
+//! Seeds come from the shared harness (`WSP_DET_SEED` / `WSP_DET_CASES`
+//! override); a fixed regression corpus pins the traces that exercised
+//! the trickiest interleavings while this suite was written.
+
+use wsp_cache::{CacheConfig, LineAddr, RefSetAssocCache, SetAssocCache, LINE_SIZE};
+use wsp_det::{gen, Forall, Gen};
+use wsp_units::{ByteSize, Nanos};
+
+/// Operations over a cache level, as the hierarchy would issue them.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Touch; on miss, install (write-allocate) — the access path.
+    Access { line: u64, write: bool },
+    /// Fused touch-or-install — the hierarchy's promote/evict path
+    /// (`install_or_touch`).
+    Promote { line: u64, dirty: bool },
+    /// Invalidate a line (`clflush` / back-invalidation).
+    Invalidate { line: u64 },
+    /// Clear a dirty bit in place (`clwb`).
+    Clean { line: u64 },
+    /// Drain the level (`wbinvd` walk) and compare the writeback sets.
+    Drain,
+}
+
+/// Line universe: 4× the capacity of the largest geometry under test, so
+/// traces force evictions, re-installs and set conflicts constantly.
+const LINES: u64 = 64;
+
+fn op() -> Gen<Op> {
+    gen::weighted(vec![
+        (
+            8,
+            gen::pair(gen::in_range(0..LINES), gen::any::<bool>())
+                .map(|(line, write)| Op::Access { line, write }),
+        ),
+        (
+            4,
+            gen::pair(gen::in_range(0..LINES), gen::any::<bool>())
+                .map(|(line, dirty)| Op::Promote { line, dirty }),
+        ),
+        (
+            2,
+            gen::in_range(0..LINES).map(|line| Op::Invalidate { line }),
+        ),
+        (2, gen::in_range(0..LINES).map(|line| Op::Clean { line })),
+        (1, gen::constant(Op::Drain)),
+    ])
+}
+
+/// Geometries small enough that every structural case (free way, LRU
+/// eviction, bitmask holes, non-power-of-two associativity) is hit
+/// within a short trace.
+fn geometries() -> Vec<CacheConfig> {
+    vec![
+        // 2 sets × 2 ways.
+        CacheConfig::new("2x2", ByteSize::new(2 * 2 * LINE_SIZE), 2, Nanos::new(1)),
+        // 4 sets × 3 ways: associativity is not a power of two.
+        CacheConfig::new("4x3", ByteSize::new(4 * 3 * LINE_SIZE), 3, Nanos::new(1)),
+        // 1 set × 8 ways: fully associative.
+        CacheConfig::new("1x8", ByteSize::new(8 * LINE_SIZE), 8, Nanos::new(1)),
+    ]
+}
+
+/// Applies one op to both implementations and asserts every observable
+/// outcome matches.
+fn step(packed: &mut SetAssocCache, reference: &mut RefSetAssocCache, op: Op, at: usize) {
+    match op {
+        Op::Access { line, write } => {
+            let line = LineAddr::from_index(line);
+            let hit_p = packed.touch(line, write);
+            let hit_r = reference.touch(line, write);
+            assert_eq!(hit_p, hit_r, "hit at op {at} for {line}");
+            if !hit_p {
+                let ev_p = packed.install(line, write);
+                let ev_r = reference.install(line, write);
+                assert_eq!(ev_p, ev_r, "eviction at op {at} for {line}");
+            }
+        }
+        Op::Promote { line, dirty } => {
+            let line = LineAddr::from_index(line);
+            // The reference spells the fused operation out as the probe
+            // sequence it replaces.
+            let out_p = packed.install_or_touch(line, dirty);
+            let out_r = if reference.contains(line) {
+                reference.touch(line, dirty);
+                None
+            } else {
+                Some(reference.install(line, dirty))
+            };
+            assert_eq!(out_p, out_r, "promote at op {at} for {line}");
+        }
+        Op::Invalidate { line } => {
+            let line = LineAddr::from_index(line);
+            assert_eq!(
+                packed.invalidate(line),
+                reference.invalidate(line),
+                "invalidate at op {at} for {line}"
+            );
+        }
+        Op::Clean { line } => {
+            let line = LineAddr::from_index(line);
+            assert_eq!(
+                packed.clean(line),
+                reference.clean(line),
+                "clean at op {at} for {line}"
+            );
+        }
+        Op::Drain => {
+            assert_eq!(
+                packed.drain_all(),
+                reference.drain_all(),
+                "drain writeback set at op {at}"
+            );
+        }
+    }
+    // Aggregate state must agree after every single operation.
+    assert_eq!(
+        packed.resident_lines(),
+        reference.resident_lines(),
+        "resident count after op {at}"
+    );
+    assert_eq!(
+        packed.dirty_lines(),
+        reference.dirty_lines(),
+        "dirty count after op {at}"
+    );
+}
+
+fn check_trace(config: &CacheConfig, ops: &[Op]) {
+    let mut packed = SetAssocCache::new(config.clone());
+    let mut reference = RefSetAssocCache::new(config.clone());
+    for (at, &op) in ops.iter().enumerate() {
+        step(&mut packed, &mut reference, op, at);
+    }
+    // Full dirty-set and final-drain agreement.
+    let dirty_p: Vec<LineAddr> = packed.iter_dirty().collect();
+    let dirty_r: Vec<LineAddr> = reference.iter_dirty().collect();
+    assert_eq!(dirty_p, dirty_r, "final dirty set ({})", config.name);
+    assert_eq!(packed.dirty_bytes(), reference.dirty_bytes());
+    assert_eq!(
+        packed.drain_all(),
+        reference.drain_all(),
+        "final drain ({})",
+        config.name
+    );
+}
+
+/// Traces that pinned real edge cases during development: repeated
+/// accesses to one line, eviction storms on a single set, drains
+/// interleaved with cleans, and immediate reuse of invalidated ways.
+fn regression_corpus() -> Vec<Vec<Op>> {
+    vec![
+        // Same line over and over: stamp updates without evictions.
+        vec![
+            Op::Access { line: 0, write: true },
+            Op::Access { line: 0, write: false },
+            Op::Access { line: 0, write: true },
+            Op::Clean { line: 0 },
+            Op::Access { line: 0, write: false },
+            Op::Drain,
+        ],
+        // Single-set eviction storm (every even line maps to set 0 of
+        // the 2x2 geometry).
+        (0..16)
+            .map(|i| Op::Access { line: i * 2, write: i % 3 == 0 })
+            .collect(),
+        // Invalidate opens a hole; the next install must fill it and the
+        // LRU order must survive.
+        vec![
+            Op::Access { line: 1, write: true },
+            Op::Access { line: 3, write: false },
+            Op::Invalidate { line: 1 },
+            Op::Access { line: 5, write: true },
+            Op::Access { line: 7, write: true },
+            Op::Access { line: 3, write: false },
+            Op::Access { line: 9, write: false },
+            Op::Drain,
+            Op::Access { line: 1, write: true },
+        ],
+        // Fused promote: resident → touch (dirty set in place), absent →
+        // install, interleaved with invalidation holes.
+        vec![
+            Op::Promote { line: 0, dirty: true },
+            Op::Promote { line: 0, dirty: false },
+            Op::Access { line: 2, write: false },
+            Op::Promote { line: 4, dirty: false },
+            Op::Promote { line: 6, dirty: true },
+            Op::Invalidate { line: 0 },
+            Op::Promote { line: 0, dirty: false },
+            Op::Drain,
+        ],
+        // Clean/drain interleaving.
+        vec![
+            Op::Access { line: 4, write: true },
+            Op::Access { line: 6, write: true },
+            Op::Clean { line: 4 },
+            Op::Drain,
+            Op::Access { line: 4, write: true },
+            Op::Clean { line: 6 },
+            Op::Drain,
+        ],
+    ]
+}
+
+#[test]
+fn packed_level_matches_reference_on_regression_corpus() {
+    for config in geometries() {
+        for ops in regression_corpus() {
+            check_trace(&config, &ops);
+        }
+    }
+}
+
+#[test]
+fn packed_level_matches_reference_on_random_traces() {
+    for config in geometries() {
+        let cfg = config.clone();
+        Forall::new(gen::vec_of(op(), 1..400usize))
+            .cases(64)
+            .check(move |ops| check_trace(&cfg, ops));
+    }
+}
+
+#[test]
+fn packed_level_matches_reference_on_long_trace() {
+    // One long trace per geometry: LRU stamp wrap-around behaviour and
+    // sustained eviction pressure.
+    for config in geometries() {
+        let cfg = config.clone();
+        Forall::new(gen::vec_of(op(), 2_000..3_000usize))
+            .cases(4)
+            .check(move |ops| check_trace(&cfg, ops));
+    }
+}

@@ -52,6 +52,68 @@ use crate::{layout, RestartStrategy, WspError};
 /// mid-flush injection points.
 pub const FLUSH_BATCHES: usize = 4;
 
+/// Worker count for the crash-point sweeps.
+///
+/// `WSP_FAULTSIM_THREADS` overrides (set `1` to force the serial path);
+/// otherwise the host's available parallelism is used. Results are
+/// bitwise identical either way: every per-point PRNG is split from the
+/// sweep seed *serially* before any worker starts, and outcomes are
+/// reassembled in crash-point order.
+#[must_use]
+pub fn faultsim_threads() -> usize {
+    if let Ok(v) = std::env::var("WSP_FAULTSIM_THREADS") {
+        return v.trim().parse::<usize>().map_or(1, |n| n.max(1));
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Distributes `items` round-robin over `threads` scoped workers, runs
+/// `work` on each, and returns the results in the original item order.
+/// Worker panics (invariant violations) propagate to the caller.
+fn run_sharded<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let total = items.len();
+    let threads = threads.clamp(1, total.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(work).collect();
+    }
+    let mut queues: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % threads].push((i, item));
+    }
+    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|queue| {
+                let work = &work;
+                s.spawn(move || {
+                    queue
+                        .into_iter()
+                        .map(|(i, item)| (i, work(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let results = handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            for (i, r) in results {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every sharded item produces a result"))
+        .collect()
+}
+
 /// The result of one injected fault.
 #[derive(Debug, Clone)]
 pub struct FaultOutcome {
@@ -122,98 +184,128 @@ pub fn save_path_crash_points(strategy: RestartStrategy, modules: usize) -> Vec<
 /// before the NVDIMM arm that still restored locally, a fault after it
 /// that failed to, or a local restore that lost or corrupted data.
 pub fn sweep_save_path(
-    make_machine: impl Fn() -> Machine,
+    make_machine: impl Fn() -> Machine + Sync,
     load: SystemLoad,
     strategy: RestartStrategy,
     seed: u64,
 ) -> SaveSweepReport {
+    sweep_save_path_threads(make_machine, load, strategy, seed, faultsim_threads())
+}
+
+fn sweep_save_path_threads(
+    make_machine: impl Fn() -> Machine + Sync,
+    load: SystemLoad,
+    strategy: RestartStrategy,
+    seed: u64,
+    threads: usize,
+) -> SaveSweepReport {
     let modules = make_machine().nvram().dimms().len();
-    let mut outcomes = Vec::new();
-    for fault in save_path_crash_points(strategy, modules) {
-        let mut machine = make_machine();
-        machine.apply_load(load, seed);
-
-        // The in-memory model: sentinel heap data plus the registers.
-        let mut rng = DetRng::seed_from_u64(seed ^ 0x57u64);
-        let capacity = machine.nvram().total_capacity().as_u64();
-        let sentinels: Vec<(u64, [u8; 32])> = (0..64)
-            .map(|_| {
-                // Keep clear of the resume block in the first page.
-                let addr = rng.gen_range(8192..capacity - 32) / 8 * 8;
-                let mut data = [0u8; 32];
-                rng.fill_bytes(&mut data);
-                (addr, data)
-            })
-            .collect();
-        for (addr, data) in &sentinels {
-            machine.nvram_mut().write(*addr, data);
-        }
-        let contexts_before: Vec<CpuContext> =
-            machine.cores().iter().map(|c| c.context).collect();
-
-        let save = flush_on_fail_save_with_fault(&mut machine, load, strategy, Some(fault));
-        machine.system_power_loss();
-        machine.system_power_on();
-
-        // An ACPI-suspend save blows the window on its own; with the
-        // suspend step executed, even a post-arm fault cannot recover.
-        let expect_recovery = fault.recoverable() && save.completed;
-        match restore(&mut machine, strategy) {
-            Ok(_) => {
-                assert!(
-                    expect_recovery,
-                    "fault {fault:?} must force back-end recovery, but restore succeeded"
-                );
-                for (addr, data) in &sentinels {
-                    let mut buf = [0u8; 32];
-                    machine.nvram().read(*addr, &mut buf);
-                    assert_eq!(&buf, data, "sentinel at {addr:#x} after {fault:?}");
-                }
-                let contexts_after: Vec<CpuContext> =
-                    machine.cores().iter().map(|c| c.context).collect();
-                assert_eq!(contexts_before, contexts_after, "contexts after {fault:?}");
-                assert!(
-                    machine.cores().iter().all(|c| !c.halted),
-                    "cores resume after {fault:?}"
-                );
-                // The marker is cleared: a second restore must refuse.
-                let mut marker = [0u8; 8];
-                machine.nvram().read(layout::VALID_MARKER_ADDR, &mut marker);
-                assert_ne!(
-                    u64::from_le_bytes(marker),
-                    layout::VALID_MAGIC,
-                    "marker must be cleared after resume"
-                );
-                outcomes.push(FaultOutcome {
-                    fault,
-                    save,
-                    locally_restored: true,
-                    refusal: None,
-                });
-            }
-            Err(WspError::BackendRecoveryRequired { reason }) => {
-                assert!(
-                    !expect_recovery,
-                    "fault {fault:?} after the NVDIMM arm must restore locally: {reason}"
-                );
-                assert!(
-                    !save.completed,
-                    "a save that reports completion must be restorable ({fault:?})"
-                );
-                outcomes.push(FaultOutcome {
-                    fault,
-                    save,
-                    locally_restored: false,
-                    refusal: Some(reason),
-                });
-            }
-            Err(other) => panic!("unexpected restore error after {fault:?}: {other}"),
-        }
-    }
+    // Serially pre-split one sentinel PRNG per crash point: the streams
+    // depend only on the sweep seed and the point index, never on which
+    // worker runs the point or in what order.
+    let mut parent = DetRng::seed_from_u64(seed ^ 0x57u64);
+    let points: Vec<(SaveFault, DetRng)> = save_path_crash_points(strategy, modules)
+        .into_iter()
+        .map(|fault| (fault, parent.split()))
+        .collect();
+    let outcomes = run_sharded(points, threads, |(fault, rng)| {
+        run_save_point(&make_machine, load, strategy, seed, fault, rng)
+    });
     let locally_restored = outcomes.iter().filter(|o| o.locally_restored).count();
     SaveSweepReport {
         outcomes,
         locally_restored,
+    }
+}
+
+/// One save-path crash point: build a fresh machine, scatter sentinels
+/// from this point's PRNG, inject the fault, cut power, restore, check
+/// the all-or-nothing invariant.
+fn run_save_point(
+    make_machine: &impl Fn() -> Machine,
+    load: SystemLoad,
+    strategy: RestartStrategy,
+    seed: u64,
+    fault: SaveFault,
+    mut rng: DetRng,
+) -> FaultOutcome {
+    let mut machine = make_machine();
+    machine.apply_load(load, seed);
+
+    // The in-memory model: sentinel heap data plus the registers.
+    let capacity = machine.nvram().total_capacity().as_u64();
+    let sentinels: Vec<(u64, [u8; 32])> = (0..64)
+        .map(|_| {
+            // Keep clear of the resume block in the first page.
+            let addr = rng.gen_range(8192..capacity - 32) / 8 * 8;
+            let mut data = [0u8; 32];
+            rng.fill_bytes(&mut data);
+            (addr, data)
+        })
+        .collect();
+    for (addr, data) in &sentinels {
+        machine.nvram_mut().write(*addr, data);
+    }
+    let contexts_before: Vec<CpuContext> =
+        machine.cores().iter().map(|c| c.context).collect();
+
+    let save = flush_on_fail_save_with_fault(&mut machine, load, strategy, Some(fault));
+    machine.system_power_loss();
+    machine.system_power_on();
+
+    // An ACPI-suspend save blows the window on its own; with the
+    // suspend step executed, even a post-arm fault cannot recover.
+    let expect_recovery = fault.recoverable() && save.completed;
+    match restore(&mut machine, strategy) {
+        Ok(_) => {
+            assert!(
+                expect_recovery,
+                "fault {fault:?} must force back-end recovery, but restore succeeded"
+            );
+            for (addr, data) in &sentinels {
+                let mut buf = [0u8; 32];
+                machine.nvram().read(*addr, &mut buf);
+                assert_eq!(&buf, data, "sentinel at {addr:#x} after {fault:?}");
+            }
+            let contexts_after: Vec<CpuContext> =
+                machine.cores().iter().map(|c| c.context).collect();
+            assert_eq!(contexts_before, contexts_after, "contexts after {fault:?}");
+            assert!(
+                machine.cores().iter().all(|c| !c.halted),
+                "cores resume after {fault:?}"
+            );
+            // The marker is cleared: a second restore must refuse.
+            let mut marker = [0u8; 8];
+            machine.nvram().read(layout::VALID_MARKER_ADDR, &mut marker);
+            assert_ne!(
+                u64::from_le_bytes(marker),
+                layout::VALID_MAGIC,
+                "marker must be cleared after resume"
+            );
+            FaultOutcome {
+                fault,
+                save,
+                locally_restored: true,
+                refusal: None,
+            }
+        }
+        Err(WspError::BackendRecoveryRequired { reason }) => {
+            assert!(
+                !expect_recovery,
+                "fault {fault:?} after the NVDIMM arm must restore locally: {reason}"
+            );
+            assert!(
+                !save.completed,
+                "a save that reports completion must be restorable ({fault:?})"
+            );
+            FaultOutcome {
+                fault,
+                save,
+                locally_restored: false,
+                refusal: Some(reason),
+            }
+        }
+        Err(other) => panic!("unexpected restore error after {fault:?}: {other}"),
     }
 }
 
@@ -242,6 +334,10 @@ pub struct MidTxSweepReport {
 ///
 /// Panics when recovery diverges from the model at any crash point.
 pub fn sweep_mid_transaction(config: HeapConfig, seed: u64) -> MidTxSweepReport {
+    sweep_mid_transaction_threads(config, seed, faultsim_threads())
+}
+
+fn sweep_mid_transaction_threads(config: HeapConfig, seed: u64, threads: usize) -> MidTxSweepReport {
     let mut rng = DetRng::seed_from_u64(seed);
 
     // Committed baseline: eight root-reachable cells with known values.
@@ -267,53 +363,71 @@ pub fn sweep_mid_transaction(config: HeapConfig, seed: u64) -> MidTxSweepReport 
         .collect();
 
     // FoC crashes raw (no save — that is the configuration's claim);
-    // FoF crashes with the completed save it depends on.
+    // FoF crashes with the completed save it depends on. Crash points
+    // are independent (each clones the committed heap), so they shard
+    // across workers; every point is pure assertion, so the sweep's
+    // outcome is schedule-independent by construction.
     let save_runs = !config.flush_on_commit();
-    for crash_at in 0..=script.len() {
-        let mut h = heap.clone();
-        let mut tx = h.begin();
-        for &(idx, value) in &script[..crash_at] {
-            tx.write_word(committed[idx].0, value).unwrap();
-        }
-        // Power failure mid-transaction: the abort path never runs, the
-        // log keeps whatever records were appended so far.
-        std::mem::forget(tx);
-
-        let mut recovered = match PersistentHeap::recover(h.crash(save_runs)) {
-            Ok(r) => r,
-            Err(HeapError::Unrecoverable { .. }) if !save_runs => {
-                unreachable!("FoC heaps recover without the save")
-            }
-            Err(e) => panic!("{config}: recovery failed at crash point {crash_at}: {e}"),
-        };
-
-        // The model: committed values, overlaid — for the plain
-        // non-transactional heap only — by the prefix that ran.
-        let mut expected: HashMap<u64, u64> =
-            committed.iter().map(|&(p, v)| (p.offset(), v)).collect();
-        if !config.transactional() {
-            for &(idx, value) in &script[..crash_at] {
-                expected.insert(committed[idx].0.offset(), value);
-            }
-        }
-
-        let root = recovered.root().expect("root survives");
-        assert_eq!(root, committed[0].0, "{config}: root at point {crash_at}");
-        let mut check = recovered.begin();
-        for (&addr, &want) in &expected {
-            let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
-            assert_eq!(
-                got, want,
-                "{config}: cell {addr:#x} at crash point {crash_at}"
-            );
-        }
-        check.commit().unwrap();
-    }
+    let points: Vec<usize> = (0..=script.len()).collect();
+    run_sharded(points, threads, |crash_at| {
+        run_tx_point(&heap, &committed, &script, config, save_runs, crash_at);
+    });
 
     MidTxSweepReport {
         config,
         crash_points: script.len() + 1,
     }
+}
+
+/// One mid-transaction crash point: replay the script prefix inside an
+/// open transaction on a clone of the committed heap, cut power, recover,
+/// and compare against the in-memory model.
+fn run_tx_point(
+    heap: &PersistentHeap,
+    committed: &[(PmPtr, u64)],
+    script: &[(usize, u64)],
+    config: HeapConfig,
+    save_runs: bool,
+    crash_at: usize,
+) {
+    let mut h = heap.clone();
+    let mut tx = h.begin();
+    for &(idx, value) in &script[..crash_at] {
+        tx.write_word(committed[idx].0, value).unwrap();
+    }
+    // Power failure mid-transaction: the abort path never runs, the
+    // log keeps whatever records were appended so far.
+    std::mem::forget(tx);
+
+    let mut recovered = match PersistentHeap::recover(h.crash(save_runs)) {
+        Ok(r) => r,
+        Err(HeapError::Unrecoverable { .. }) if !save_runs => {
+            unreachable!("FoC heaps recover without the save")
+        }
+        Err(e) => panic!("{config}: recovery failed at crash point {crash_at}: {e}"),
+    };
+
+    // The model: committed values, overlaid — for the plain
+    // non-transactional heap only — by the prefix that ran.
+    let mut expected: HashMap<u64, u64> =
+        committed.iter().map(|&(p, v)| (p.offset(), v)).collect();
+    if !config.transactional() {
+        for &(idx, value) in &script[..crash_at] {
+            expected.insert(committed[idx].0.offset(), value);
+        }
+    }
+
+    let root = recovered.root().expect("root survives");
+    assert_eq!(root, committed[0].0, "{config}: root at point {crash_at}");
+    let mut check = recovered.begin();
+    for (&addr, &want) in &expected {
+        let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
+        assert_eq!(
+            got, want,
+            "{config}: cell {addr:#x} at crash point {crash_at}"
+        );
+    }
+    check.commit().unwrap();
 }
 
 #[cfg(test)]
@@ -386,5 +500,53 @@ mod tests {
             let report = sweep_mid_transaction(config, 1234);
             assert_eq!(report.crash_points, 13, "{config}");
         }
+    }
+
+    #[test]
+    fn parallel_save_sweep_matches_serial() {
+        // The acceptance contract for the sharded engine: outcomes are
+        // bitwise identical to the serial order regardless of workers,
+        // because per-point PRNGs are split before dispatch and results
+        // are reassembled in point order.
+        let serial = sweep_save_path_threads(
+            Machine::intel_testbed,
+            SystemLoad::Busy,
+            RestartStrategy::RestorePathReinit,
+            42,
+            1,
+        );
+        for threads in [2, 4, 7] {
+            let parallel = sweep_save_path_threads(
+                Machine::intel_testbed,
+                SystemLoad::Busy,
+                RestartStrategy::RestorePathReinit,
+                42,
+                threads,
+            );
+            assert_eq!(parallel.locally_restored, serial.locally_restored);
+            assert_eq!(format!("{:?}", parallel.outcomes), format!("{:?}", serial.outcomes));
+        }
+    }
+
+    #[test]
+    fn parallel_mid_tx_sweep_matches_serial() {
+        for config in HeapConfig::all() {
+            let serial = sweep_mid_transaction_threads(config, 1234, 1);
+            let parallel = sweep_mid_transaction_threads(config, 1234, 4);
+            assert_eq!(parallel.crash_points, serial.crash_points, "{config}");
+        }
+    }
+
+    #[test]
+    fn run_sharded_preserves_item_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_sharded((0..37u64).collect(), threads, |x| x * x);
+            assert_eq!(out, (0..37u64).map(|x| x * x).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn faultsim_threads_is_at_least_one() {
+        assert!(faultsim_threads() >= 1);
     }
 }

@@ -60,8 +60,8 @@ mod vm;
 
 pub use error::WspError;
 pub use faultsim::{
-    save_path_crash_points, sweep_mid_transaction, sweep_save_path, FaultOutcome,
-    MidTxSweepReport, SaveSweepReport, FLUSH_BATCHES,
+    faultsim_threads, save_path_crash_points, sweep_mid_transaction, sweep_save_path,
+    FaultOutcome, MidTxSweepReport, SaveSweepReport, FLUSH_BATCHES,
 };
 pub use feasibility::{feasibility_matrix, FeasibilityRow};
 pub use process::{ProcessPersistence, ProcessSaveReport};

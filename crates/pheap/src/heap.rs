@@ -3,6 +3,8 @@
 
 use std::collections::HashSet;
 
+use crate::fasthash::FastSet;
+
 use wsp_cache::{CpuProfile, LINE_SIZE};
 use wsp_units::{ByteSize, Nanos};
 
@@ -124,7 +126,7 @@ pub struct PersistentHeap {
     next_txid: u64,
     /// Data lines updated in place since the last log truncation; a
     /// flush-on-commit truncation must flush them first.
-    unflushed_lines: HashSet<u64>,
+    unflushed_lines: FastSet<u64>,
     stats: HeapStats,
 }
 
@@ -185,7 +187,7 @@ impl PersistentHeap {
             log,
             stm: Stm::new(1024),
             next_txid: 1,
-            unflushed_lines: HashSet::new(),
+            unflushed_lines: FastSet::default(),
             stats: HeapStats::default(),
         }
     }
@@ -260,24 +262,19 @@ impl PersistentHeap {
             txid,
             rv,
             read_set: Vec::new(),
-            read_stripes: HashSet::new(),
+            read_stripes: FastSet::default(),
             write_set: Vec::new(),
             undo_order: Vec::new(),
-            undo_logged: HashSet::new(),
+            undo_logged: FastSet::default(),
             fresh_allocs: Vec::new(),
-            touched_lines: HashSet::new(),
+            touched_lines: FastSet::default(),
             poisoned: None,
             finished: false,
         }
     }
 
-    fn heap_bounds(&self) -> (u64, u64) {
-        let log_cap = log_capacity(self.mem.capacity());
-        (LOG_BASE + log_cap.as_u64(), self.mem.capacity().as_u64())
-    }
-
     fn check_word_addr(&self, addr: u64) -> Result<(), HeapError> {
-        let (_, end) = self.heap_bounds();
+        let end = self.mem.capacity().as_u64();
         if addr % 8 != 0 || addr < ROOT_ADDR || addr + 8 > end {
             Err(HeapError::InvalidPointer { offset: addr })
         } else {
@@ -399,7 +396,7 @@ impl PersistentHeap {
             log,
             stm: Stm::new(1024),
             next_txid,
-            unflushed_lines: HashSet::new(),
+            unflushed_lines: FastSet::default(),
             stats: HeapStats::default(),
         })
     }
@@ -425,16 +422,16 @@ pub struct Tx<'h> {
     txid: u64,
     rv: u64,
     read_set: Vec<(usize, u64)>,
-    read_stripes: HashSet<usize>,
+    read_stripes: FastSet<usize>,
     /// STM-buffered writes in program order (later entries win).
     write_set: Vec<(u64, u64)>,
     /// Undo records in log order (for volatile rollback on abort).
     undo_order: Vec<(u64, u64)>,
-    undo_logged: HashSet<u64>,
+    undo_logged: FastSet<u64>,
     /// Blocks allocated by this transaction: writes into them need no
     /// undo record (rolling back the allocator metadata reclaims them).
     fresh_allocs: Vec<(u64, u64)>,
-    touched_lines: HashSet<u64>,
+    touched_lines: FastSet<u64>,
     poisoned: Option<HeapError>,
     finished: bool,
 }
@@ -716,8 +713,7 @@ impl Tx<'_> {
                     self.heap.mem.write_u64(addr, value);
                     self.heap.unflushed_lines.insert(addr / LINE_SIZE);
                 }
-                let written = self.write_set.iter().map(|&(a, _)| a).collect::<Vec<_>>();
-                self.heap.stm.commit(written);
+                self.heap.stm.commit(self.write_set.iter().map(|&(a, _)| a));
                 Ok(())
             }
         }

@@ -55,8 +55,10 @@ mod alloc;
 mod backend;
 mod config;
 mod error;
+mod fasthash;
 mod heap;
 mod heap_stats;
+mod linetable;
 mod log;
 mod mem;
 mod stm;

@@ -8,12 +8,41 @@
 //! writebacks, explicit flushes, fenced non-temporal stores, or a
 //! flush-on-fail `wbinvd` at crash time.
 
-use std::collections::HashMap;
-
 use wsp_cache::{CacheHierarchy, CpuProfile, LineAddr, LINE_SIZE};
 use wsp_units::{ByteSize, Nanos};
 
-type LineBuf = Box<[u8; LINE_SIZE as usize]>;
+use crate::linetable::LineTable;
+
+/// One pending write-combining entry's payload. Almost every
+/// non-temporal store the heaps issue is a single log word, so payloads
+/// up to 16 bytes live inline; anything larger spills to the heap.
+#[derive(Debug, Clone)]
+enum WcData {
+    Inline { len: u8, bytes: [u8; 16] },
+    Spill(Vec<u8>),
+}
+
+impl WcData {
+    fn new(data: &[u8]) -> Self {
+        if data.len() <= 16 {
+            let mut bytes = [0u8; 16];
+            bytes[..data.len()].copy_from_slice(data);
+            WcData::Inline {
+                len: data.len() as u8,
+                bytes,
+            }
+        } else {
+            WcData::Spill(data.to_vec())
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            WcData::Inline { len, bytes } => &bytes[..usize::from(*len)],
+            WcData::Spill(v) => v,
+        }
+    }
+}
 
 /// A simulated NVRAM address space behind a write-back cache.
 ///
@@ -37,9 +66,9 @@ type LineBuf = Box<[u8; LINE_SIZE as usize]>;
 #[derive(Debug, Clone)]
 pub struct PersistentMemory {
     durable: Vec<u8>,
-    overlay: HashMap<u64, LineBuf>,
+    overlay: LineTable,
     /// Non-temporal stores issued but not yet fenced: (addr, bytes).
-    wc_pending: Vec<(u64, Vec<u8>)>,
+    wc_pending: Vec<(u64, WcData)>,
     cache: CacheHierarchy,
     elapsed: Nanos,
 }
@@ -57,7 +86,7 @@ impl PersistentMemory {
     pub fn with_profile(capacity: ByteSize, profile: CpuProfile) -> Self {
         PersistentMemory {
             durable: vec![0u8; capacity.as_u64() as usize],
-            overlay: HashMap::new(),
+            overlay: LineTable::new(),
             wc_pending: Vec::new(),
             cache: CacheHierarchy::new(profile),
             elapsed: Nanos::ZERO,
@@ -100,16 +129,23 @@ impl PersistentMemory {
     /// Moves the overlay contents of `line` into the durable view (a
     /// cache writeback reaching the NVDIMM).
     fn persist_line(&mut self, line: LineAddr) {
-        if let Some(buf) = self.overlay.remove(&line.index()) {
-            let start = line.first_byte() as usize;
-            let end = (start + LINE_SIZE as usize).min(self.durable.len());
-            self.durable[start..end].copy_from_slice(&buf[..end - start]);
-        }
+        Self::persist_lines(&mut self.durable, &mut self.overlay, &[line]);
     }
 
     fn persist_writebacks(&mut self, lines: &[LineAddr]) {
+        Self::persist_lines(&mut self.durable, &mut self.overlay, lines);
+    }
+
+    /// Field-split form of writeback persistence, so the access paths can
+    /// borrow the cache's scratch writeback slice while mutating the
+    /// durable bytes and the overlay.
+    fn persist_lines(durable: &mut [u8], overlay: &mut LineTable, lines: &[LineAddr]) {
         for &line in lines {
-            self.persist_line(line);
+            if let Some(buf) = overlay.remove(line.index()) {
+                let start = line.first_byte() as usize;
+                let end = (start + LINE_SIZE as usize).min(durable.len());
+                durable[start..end].copy_from_slice(&buf[..end - start]);
+            }
         }
     }
 
@@ -123,30 +159,17 @@ impl PersistentMemory {
         let last_line = (addr + len - 1) / LINE_SIZE;
         let mut remaining = Vec::with_capacity(self.wc_pending.len());
         for (nt_addr, data) in std::mem::take(&mut self.wc_pending) {
+            let bytes = data.bytes();
             let nt_first = nt_addr / LINE_SIZE;
-            let nt_last = (nt_addr + data.len() as u64 - 1) / LINE_SIZE;
+            let nt_last = (nt_addr + bytes.len() as u64 - 1) / LINE_SIZE;
             if nt_last >= first_line && nt_first <= last_line {
                 let start = nt_addr as usize;
-                self.durable[start..start + data.len()].copy_from_slice(&data);
+                self.durable[start..start + bytes.len()].copy_from_slice(bytes);
             } else {
                 remaining.push((nt_addr, data));
             }
         }
         self.wc_pending = remaining;
-    }
-
-    /// Current bytes of `line` as the CPU sees them (overlay if dirty,
-    /// durable otherwise).
-    fn line_view(&self, line: LineAddr) -> LineBuf {
-        if let Some(buf) = self.overlay.get(&line.index()) {
-            buf.clone()
-        } else {
-            let start = line.first_byte() as usize;
-            let end = (start + LINE_SIZE as usize).min(self.durable.len());
-            let mut buf: LineBuf = Box::new([0u8; LINE_SIZE as usize]);
-            buf[..end - start].copy_from_slice(&self.durable[start..end]);
-            buf
-        }
     }
 
     /// Reads `buf.len()` bytes at `addr` through the cache.
@@ -160,28 +183,41 @@ impl PersistentMemory {
         while pos < buf.len() {
             let abs = addr + pos as u64;
             let line = LineAddr::containing(abs);
-            let r = self.cache.load(abs);
-            self.elapsed += r.latency;
-            self.persist_writebacks(&r.writebacks);
-            let view = self.line_view(line);
+            let meta = self.cache.load_fast(abs);
+            self.elapsed += meta.latency;
+            if meta.writebacks > 0 {
+                Self::persist_lines(
+                    &mut self.durable,
+                    &mut self.overlay,
+                    self.cache.last_writebacks(),
+                );
+            }
             let offset = (abs - line.first_byte()) as usize;
             let chunk = (LINE_SIZE as usize - offset).min(buf.len() - pos);
-            buf[pos..pos + chunk].copy_from_slice(&view[offset..offset + chunk]);
+            // Overlay if the line is dirty, durable view otherwise — no
+            // intermediate line copy either way.
+            if let Some(view) = self.overlay.get(line.index()) {
+                buf[pos..pos + chunk].copy_from_slice(&view[offset..offset + chunk]);
+            } else {
+                let start = abs as usize;
+                buf[pos..pos + chunk].copy_from_slice(&self.durable[start..start + chunk]);
+            }
             pos += chunk;
         }
         // Pending (un-fenced) non-temporal stores are architecturally
         // visible to loads (store forwarding), even though they are not
         // yet durable: overlay them last, in issue order.
         for (nt_addr, data) in &self.wc_pending {
+            let bytes = data.bytes();
             let nt_start = *nt_addr;
-            let nt_end = nt_start + data.len() as u64;
+            let nt_end = nt_start + bytes.len() as u64;
             let start = addr.max(nt_start);
             let end = (addr + buf.len() as u64).min(nt_end);
             if start < end {
                 let dst = (start - addr) as usize;
                 let src = (start - nt_start) as usize;
                 let n = (end - start) as usize;
-                buf[dst..dst + n].copy_from_slice(&data[src..src + n]);
+                buf[dst..dst + n].copy_from_slice(&bytes[src..src + n]);
             }
         }
     }
@@ -203,18 +239,27 @@ impl PersistentMemory {
         while pos < data.len() {
             let abs = addr + pos as u64;
             let line = LineAddr::containing(abs);
-            let r = self.cache.store(abs);
-            self.elapsed += r.latency;
-            self.persist_writebacks(&r.writebacks);
+            let meta = self.cache.store_fast(abs);
+            self.elapsed += meta.latency;
+            if meta.writebacks > 0 {
+                Self::persist_lines(
+                    &mut self.durable,
+                    &mut self.overlay,
+                    self.cache.last_writebacks(),
+                );
+            }
             // Materialise the overlay line (from the durable view) and
-            // apply the store to it.
+            // apply the store to it — one table probe for both.
             let offset = (abs - line.first_byte()) as usize;
             let chunk = (LINE_SIZE as usize - offset).min(data.len() - pos);
-            if !self.overlay.contains_key(&line.index()) {
-                let view = self.line_view(line);
-                self.overlay.insert(line.index(), view);
-            }
-            let buf = self.overlay.get_mut(&line.index()).expect("just inserted");
+            let durable = &self.durable;
+            let buf = self.overlay.get_mut_or_insert_with(line.index(), || {
+                let mut fresh = [0u8; LINE_SIZE as usize];
+                let start = line.first_byte() as usize;
+                let end = (start + LINE_SIZE as usize).min(durable.len());
+                fresh[..end - start].copy_from_slice(&durable[start..end]);
+                fresh
+            });
             buf[offset..offset + chunk].copy_from_slice(&data[pos..pos + chunk]);
             pos += chunk;
         }
@@ -223,6 +268,31 @@ impl PersistentMemory {
     /// Reads a little-endian `u64` at `addr`.
     #[must_use]
     pub fn read_u64(&mut self, addr: u64) -> u64 {
+        // Word reads are the heap's access primitive: take the single-line
+        // path (no chunk loop) whenever the word does not straddle a line
+        // boundary and no pending NT data could need forwarding.
+        let offset = (addr % LINE_SIZE) as usize;
+        if offset + 8 <= LINE_SIZE as usize && self.wc_pending.is_empty() {
+            self.check(addr, 8);
+            let meta = self.cache.load_fast(addr);
+            self.elapsed += meta.latency;
+            if meta.writebacks > 0 {
+                Self::persist_lines(
+                    &mut self.durable,
+                    &mut self.overlay,
+                    self.cache.last_writebacks(),
+                );
+            }
+            let line = LineAddr::containing(addr);
+            let bytes: [u8; 8] = match self.overlay.get(line.index()) {
+                Some(view) => view[offset..offset + 8].try_into().unwrap(),
+                None => {
+                    let start = addr as usize;
+                    self.durable[start..start + 8].try_into().unwrap()
+                }
+            };
+            return u64::from_le_bytes(bytes);
+        }
         let mut buf = [0u8; 8];
         self.read(addr, &mut buf);
         u64::from_le_bytes(buf)
@@ -230,6 +300,32 @@ impl PersistentMemory {
 
     /// Writes a little-endian `u64` at `addr` (cached store).
     pub fn write_u64(&mut self, addr: u64, value: u64) {
+        // Single-line fast path mirroring `read_u64`; pending NT data
+        // falls back to the general path for the drain-before-store rule.
+        let offset = (addr % LINE_SIZE) as usize;
+        if offset + 8 <= LINE_SIZE as usize && self.wc_pending.is_empty() {
+            self.check(addr, 8);
+            let meta = self.cache.store_fast(addr);
+            self.elapsed += meta.latency;
+            if meta.writebacks > 0 {
+                Self::persist_lines(
+                    &mut self.durable,
+                    &mut self.overlay,
+                    self.cache.last_writebacks(),
+                );
+            }
+            let line = LineAddr::containing(addr);
+            let durable = &self.durable;
+            let buf = self.overlay.get_mut_or_insert_with(line.index(), || {
+                let mut fresh = [0u8; LINE_SIZE as usize];
+                let start = line.first_byte() as usize;
+                let end = (start + LINE_SIZE as usize).min(durable.len());
+                fresh[..end - start].copy_from_slice(&durable[start..end]);
+                fresh
+            });
+            buf[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write(addr, &value.to_le_bytes());
     }
 
@@ -243,10 +339,16 @@ impl PersistentMemory {
     /// Panics if the range exceeds the region.
     pub fn ntstore(&mut self, addr: u64, data: &[u8]) {
         self.check(addr, data.len());
-        let r = self.cache.ntstore(addr, data.len() as u64);
-        self.elapsed += r.latency;
-        self.persist_writebacks(&r.writebacks);
-        self.wc_pending.push((addr, data.to_vec()));
+        let meta = self.cache.ntstore_fast(addr, data.len() as u64);
+        self.elapsed += meta.latency;
+        if meta.writebacks > 0 {
+            Self::persist_lines(
+                &mut self.durable,
+                &mut self.overlay,
+                self.cache.last_writebacks(),
+            );
+        }
+        self.wc_pending.push((addr, WcData::new(data)));
     }
 
     /// Non-temporal store of a little-endian `u64`.
@@ -257,13 +359,15 @@ impl PersistentMemory {
     /// Store fence: drains the write-combining buffers, making every
     /// pending non-temporal store durable, in issue order.
     pub fn sfence(&mut self) {
-        let (latency, _lines) = self.cache.sfence();
+        let latency = self.cache.sfence_fast();
         self.elapsed += latency;
-        let pending = std::mem::take(&mut self.wc_pending);
-        for (addr, data) in pending {
-            let start = addr as usize;
-            self.durable[start..start + data.len()].copy_from_slice(&data);
+        let durable = &mut self.durable;
+        for (addr, data) in &self.wc_pending {
+            let bytes = data.bytes();
+            let start = *addr as usize;
+            durable[start..start + bytes.len()].copy_from_slice(bytes);
         }
+        self.wc_pending.clear();
     }
 
     /// `clflush`es every line overlapping `[addr, addr + len)`, making
@@ -320,7 +424,7 @@ impl PersistentMemory {
     pub fn from_image(image: Vec<u8>, profile: CpuProfile) -> Self {
         PersistentMemory {
             durable: image,
-            overlay: HashMap::new(),
+            overlay: LineTable::new(),
             wc_pending: Vec::new(),
             cache: CacheHierarchy::new(profile),
             elapsed: Nanos::ZERO,
@@ -346,12 +450,12 @@ impl PersistentMemory {
         self.check(addr, len as usize);
         self.durable[addr as usize..(addr + len) as usize].fill(0);
         for line in LineAddr::span(addr, len) {
-            self.overlay.remove(&line.index());
+            self.overlay.remove(line.index());
             let r = self.cache.clflush(line.first_byte());
             self.elapsed += r.latency;
         }
         self.wc_pending.retain(|(a, data)| {
-            let end = *a + data.len() as u64;
+            let end = *a + data.bytes().len() as u64;
             end <= addr || *a >= addr + len
         });
     }

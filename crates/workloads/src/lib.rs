@@ -54,7 +54,7 @@ pub use bench::{BenchResult, HashBenchmark, LdapBenchmark, LdapResult};
 pub use btree::PmBTree;
 pub use contention::{ContentionHarness, ContentionReport};
 pub use directory::{DirEntry, Directory};
-pub use generators::{random_dn, KeyDistribution, OpMix, Zipfian};
+pub use generators::{random_dn, KeyDistribution, Op, OpMix, Zipfian};
 pub use hashtable::PmHashTable;
 pub use kvserver::{Command, KvServer, ProtocolError, Response, ServeError};
 pub use queue::PmQueue;

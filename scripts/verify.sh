@@ -19,6 +19,12 @@ WSP_DET_SEED=42 cargo test -q --offline --test crash_consistency
 echo "== benches compile (bench feature) =="
 cargo build --offline -p wsp-bench --features bench --benches
 
+echo "== bench smoke (quick mode) =="
+cargo test -q --offline -p wsp-bench --features bench
+
+echo "== host-time throughput gate (>20% hash-table regression fails) =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr2 -- check BENCH_PR2.json
+
 echo "== deny-warnings build =="
 RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
 
