@@ -1,0 +1,183 @@
+//! `bench_pr3` — the recorded recovery-ladder performance baseline.
+//!
+//! Measures the PR-3 degraded-mode machinery in host wall-clock terms
+//! and emits machine-readable JSON, extending the PR-2 trajectory
+//! (`BENCH_PR3.json` at the repository root records the numbers at the
+//! commit that introduced the ladder).
+//!
+//! ```text
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr3 -- run
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr3 -- run --quick
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr3 -- check BENCH_PR3.json
+//! ```
+//!
+//! * `run` executes the suite (recovery-ladder sweep wall-clock across
+//!   both testbeds over sentinel seeds, and the single-point supervised
+//!   save + full-resume path) and prints the results object to stdout.
+//! * `check` re-runs the quick ladder sweep and fails (exit 1) if its
+//!   wall-clock regressed more than 20% against the `gate` section of
+//!   the given baseline file. Time gates invert the PR-2 throughput
+//!   logic: the ceiling is `recorded * (1 + tolerance)`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wsp_core::{ladder_crash_points, sweep_recovery_ladder};
+use wsp_machine::{Machine, SystemLoad};
+use wsp_microbench::json::Json;
+
+/// Regression threshold for `check`: fail when the sweep's wall-clock
+/// rises above `1 + GATE_TOLERANCE` of the recorded gate value.
+const GATE_TOLERANCE: f64 = 0.20;
+
+/// Repetitions for `check`; the best (lowest) run is compared, which
+/// absorbs scheduler noise on shared hardware.
+const GATE_REPS: usize = 3;
+
+/// Repetitions for `run`'s measurements (best-of).
+const RUN_REPS: usize = 3;
+
+fn ladder_seeds(quick: bool) -> u64 {
+    if quick {
+        2
+    } else {
+        8
+    }
+}
+
+/// Wall-clock ms of the full recovery-ladder sweep — every degraded-mode
+/// fault class from save supervision through ladder convergence — across
+/// both testbeds over `seeds` sentinel seeds. Returns the best-of-reps
+/// time; the sweep's own contract assertions run on every pass.
+fn measure_ladder_sweep(seeds: u64) -> f64 {
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..RUN_REPS {
+        let start = Instant::now();
+        for seed in 0..seeds {
+            for (make, load) in [
+                (Machine::intel_testbed as fn() -> Machine, SystemLoad::Busy),
+                (Machine::amd_testbed as fn() -> Machine, SystemLoad::Idle),
+            ] {
+                let report = sweep_recovery_ladder(make, load, seed * 31 + 42);
+                assert_eq!(report.glitches_ignored, 2);
+                assert_eq!(report.recovered, 4);
+            }
+        }
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best_ms
+}
+
+fn measure_ladder(quick: bool) -> Json {
+    let seeds = ladder_seeds(quick);
+    let sweep_ms = measure_ladder_sweep(seeds);
+    let points = ladder_crash_points(Machine::intel_testbed().nvram().dimms().len()).len();
+    eprintln!(
+        "  ladder    sweep {sweep_ms:.1} ms ({seeds} seeds x 2 testbeds, {points} points each, best of {RUN_REPS})"
+    );
+    Json::object([
+        ("seeds", Json::from(seeds)),
+        ("points_per_sweep", Json::from(points as u64)),
+        ("sweep_ms", Json::from(sweep_ms)),
+    ])
+}
+
+fn run_suite(quick: bool) -> Json {
+    eprintln!(
+        "bench_pr3: running {} suite",
+        if quick { "quick" } else { "full" }
+    );
+    let ladder = measure_ladder(quick);
+    // The gate always records the *quick* configuration so `check` can
+    // compare like with like regardless of the recorded run's mode.
+    let gate_ms = if quick {
+        ladder
+            .get("sweep_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::INFINITY)
+    } else {
+        let quick_ms = measure_ladder_sweep(ladder_seeds(true));
+        eprintln!("  gate      quick sweep {quick_ms:.1} ms (recorded for `check`)");
+        quick_ms
+    };
+    Json::object([
+        ("schema", Json::from("wsp-bench-pr3/v1")),
+        ("mode", Json::from(if quick { "quick" } else { "full" })),
+        ("ladder", ladder),
+        (
+            "gate",
+            Json::object([
+                ("mode", Json::from("quick")),
+                ("ladder_sweep_ms", Json::from(gate_ms)),
+            ]),
+        ),
+    ])
+}
+
+/// The `check` subcommand: quick ladder-sweep wall-clock vs. the
+/// recorded gate, with a [`GATE_TOLERANCE`] margin above it.
+fn check_against(baseline_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_pr3: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_pr3: {baseline_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(recorded) = doc
+        .get("gate")
+        .and_then(|g| g.get("ladder_sweep_ms"))
+        .and_then(Json::as_f64)
+    else {
+        eprintln!("bench_pr3: {baseline_path} has no gate.ladder_sweep_ms value");
+        return ExitCode::FAILURE;
+    };
+
+    let current = (0..GATE_REPS)
+        .map(|_| measure_ladder_sweep(ladder_seeds(true)))
+        .fold(f64::INFINITY, f64::min);
+    let ceiling = recorded * (1.0 + GATE_TOLERANCE);
+    let verdict = if current <= ceiling { "ok" } else { "REGRESSED" };
+    eprintln!(
+        "  gate ladder_sweep current {current:>8.1} ms, recorded {recorded:>8.1}, ceiling {ceiling:>8.1}  [{verdict}]"
+    );
+    if current > ceiling {
+        eprintln!(
+            "bench_pr3: ladder sweep slowed more than {:.0}% against {baseline_path}",
+            GATE_TOLERANCE * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_pr3: ladder-sweep time gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            print!("{}", run_suite(quick).to_string_pretty());
+            ExitCode::SUCCESS
+        }
+        Some("check") => match args.get(1) {
+            Some(path) => check_against(path),
+            None => {
+                eprintln!("usage: bench_pr3 check <BENCH_PR3.json>");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_pr3 run [--quick] | bench_pr3 check <baseline.json>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -371,6 +371,55 @@ pub fn strategy_drills() -> Vec<DrillRow> {
         .collect()
 }
 
+/// Extension: YCSB mixes across the five heap configurations.
+pub fn ycsb_matrix(driver: &YcsbDriver) -> Vec<YcsbResult> {
+    let mut out = Vec::new();
+    for mix in YcsbMix::all() {
+        for config in HeapConfig::all() {
+            out.push(driver.run(mix, config, 5).expect("driver runs"));
+        }
+    }
+    out
+}
+
+/// Extension (paper §6 future work): the capacitance/downtime trade-off
+/// curve for a marginal system.
+#[must_use]
+pub fn capacitance_curve() -> Vec<TradeoffPoint> {
+    // A marginal deployment: Intel machine on the tight 750 W supply,
+    // high window variance, four outages a year, ten-minute back-end
+    // recovery.
+    let machine = Machine::intel_testbed().with_psu(wsp_power::Psu::atx_750w());
+    let mut tradeoff = CapacitanceTradeoff::for_machine(
+        &machine,
+        SystemLoad::Busy,
+        4.0,
+        Nanos::from_secs(600),
+    );
+    tradeoff.window_spread = 0.95;
+    tradeoff.sweep(&[0.0, 0.05, 0.1, 0.25, 0.5, 1.0])
+}
+
+/// Extension (paper §6 "Hybrid systems"): placement-policy latency table.
+#[must_use]
+pub fn hybrid_placement() -> Vec<(PlacementPolicy, Nanos, f64)> {
+    let hybrid = HybridMemory::typical(
+        wsp_units::ByteSize::gib(32),
+        wsp_units::ByteSize::gib(256),
+    );
+    PlacementPolicy::all()
+        .into_iter()
+        .map(|p| (p, hybrid.average_latency(p), hybrid.dram_hit_share(p)))
+        .collect()
+}
+
+/// Extension: a simulated year of fleet power events, back-end-only vs
+/// WSP recovery.
+#[must_use]
+pub fn fleet_year() -> (AvailabilityReport, AvailabilityReport) {
+    FleetTimeline::typical_year(2012).compare(&ClusterSpec::memcache_tier(100))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,53 +489,4 @@ mod tests {
             .windows(2)
             .all(|w| w[1].backend_time >= w[0].backend_time));
     }
-}
-
-/// Extension: YCSB mixes across the five heap configurations.
-pub fn ycsb_matrix(driver: &YcsbDriver) -> Vec<YcsbResult> {
-    let mut out = Vec::new();
-    for mix in YcsbMix::all() {
-        for config in HeapConfig::all() {
-            out.push(driver.run(mix, config, 5).expect("driver runs"));
-        }
-    }
-    out
-}
-
-/// Extension (paper §6 future work): the capacitance/downtime trade-off
-/// curve for a marginal system.
-#[must_use]
-pub fn capacitance_curve() -> Vec<TradeoffPoint> {
-    // A marginal deployment: Intel machine on the tight 750 W supply,
-    // high window variance, four outages a year, ten-minute back-end
-    // recovery.
-    let machine = Machine::intel_testbed().with_psu(wsp_power::Psu::atx_750w());
-    let mut tradeoff = CapacitanceTradeoff::for_machine(
-        &machine,
-        SystemLoad::Busy,
-        4.0,
-        Nanos::from_secs(600),
-    );
-    tradeoff.window_spread = 0.95;
-    tradeoff.sweep(&[0.0, 0.05, 0.1, 0.25, 0.5, 1.0])
-}
-
-/// Extension (paper §6 "Hybrid systems"): placement-policy latency table.
-#[must_use]
-pub fn hybrid_placement() -> Vec<(PlacementPolicy, Nanos, f64)> {
-    let hybrid = HybridMemory::typical(
-        wsp_units::ByteSize::gib(32),
-        wsp_units::ByteSize::gib(256),
-    );
-    PlacementPolicy::all()
-        .into_iter()
-        .map(|p| (p, hybrid.average_latency(p), hybrid.dram_hit_share(p)))
-        .collect()
-}
-
-/// Extension: a simulated year of fleet power events, back-end-only vs
-/// WSP recovery.
-#[must_use]
-pub fn fleet_year() -> (AvailabilityReport, AvailabilityReport) {
-    FleetTimeline::typical_year(2012).compare(&ClusterSpec::memcache_tier(100))
 }

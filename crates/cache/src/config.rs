@@ -118,7 +118,7 @@ impl CacheConfig {
         let way_bytes = u64::from(associativity) * LINE_SIZE;
         assert!(associativity > 0, "associativity must be non-zero");
         assert!(
-            capacity.as_u64() % way_bytes == 0,
+            capacity.as_u64().is_multiple_of(way_bytes),
             "capacity {capacity} is not a multiple of associativity * line size"
         );
         let sets = cfg.num_sets();

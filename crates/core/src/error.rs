@@ -4,6 +4,8 @@ use std::error::Error;
 use std::fmt;
 
 use wsp_nvram::NvramError;
+use wsp_pheap::HeapError;
+use wsp_power::MonitorError;
 
 /// Errors from the save/restore protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +19,22 @@ pub enum WspError {
     },
     /// An NVDIMM declined a protocol step.
     Nvram(NvramError),
+    /// The save wrote only the priority stage (register contexts, heap
+    /// log and metadata): a full WSP resume is impossible, but the heap
+    /// is recoverable by log replay/rollback — the second rung of the
+    /// recovery ladder.
+    PartialImage,
+    /// A module's flash image is torn or stale even though its valid
+    /// marker survived — caught by the per-DIMM checksum or the pool's
+    /// generation-coherence check, never silently resumed.
+    TornImage {
+        /// Which integrity check failed and how.
+        detail: String,
+    },
+    /// The persistent heap refused recovery.
+    Heap(HeapError),
+    /// The power monitor rejected its `PWR_OK` trace.
+    Monitor(MonitorError),
 }
 
 impl fmt::Display for WspError {
@@ -26,6 +44,12 @@ impl fmt::Display for WspError {
                 write!(f, "back-end recovery required: {reason}")
             }
             WspError::Nvram(e) => write!(f, "nvram protocol error: {e}"),
+            WspError::PartialImage => {
+                write!(f, "partial save image: priority stage only, resume impossible")
+            }
+            WspError::TornImage { detail } => write!(f, "torn save image: {detail}"),
+            WspError::Heap(e) => write!(f, "persistent heap error: {e}"),
+            WspError::Monitor(e) => write!(f, "power monitor error: {e}"),
         }
     }
 }
@@ -34,7 +58,11 @@ impl Error for WspError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             WspError::Nvram(e) => Some(e),
-            WspError::BackendRecoveryRequired { .. } => None,
+            WspError::Heap(e) => Some(e),
+            WspError::Monitor(e) => Some(e),
+            WspError::BackendRecoveryRequired { .. }
+            | WspError::PartialImage
+            | WspError::TornImage { .. } => None,
         }
     }
 }
@@ -42,6 +70,18 @@ impl Error for WspError {
 impl From<NvramError> for WspError {
     fn from(e: NvramError) -> Self {
         WspError::Nvram(e)
+    }
+}
+
+impl From<HeapError> for WspError {
+    fn from(e: HeapError) -> Self {
+        WspError::Heap(e)
+    }
+}
+
+impl From<MonitorError> for WspError {
+    fn from(e: MonitorError) -> Self {
+        WspError::Monitor(e)
     }
 }
 
@@ -58,5 +98,19 @@ mod tests {
         assert!(e.source().is_none());
         let n: WspError = NvramError::NoValidImage.into();
         assert!(n.source().is_some());
+    }
+
+    #[test]
+    fn ladder_variants_display_and_source() {
+        assert!(WspError::PartialImage.to_string().contains("priority stage"));
+        let torn = WspError::TornImage {
+            detail: "checksum mismatch on module 3".into(),
+        };
+        assert!(torn.to_string().contains("module 3"));
+        assert!(torn.source().is_none());
+        let h: WspError = HeapError::CorruptHeader.into();
+        assert!(h.source().is_some());
+        let m: WspError = MonitorError::NonMonotonicTrace { index: 2 }.into();
+        assert!(m.source().is_some());
     }
 }

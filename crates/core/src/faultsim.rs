@@ -39,13 +39,20 @@
 
 use std::collections::HashMap;
 
+use wsp_cache::FlushMethod;
+use wsp_cluster::ClusterSpec;
 use wsp_det::{DetRng, Rng};
 use wsp_machine::{CpuContext, Machine, SystemLoad};
-use wsp_pheap::{HeapConfig, HeapError, PersistentHeap, PmPtr};
-use wsp_units::ByteSize;
+use wsp_pheap::{BackendStore, HeapConfig, HeapError, PersistentHeap, PmPtr, RecoveryLadder};
+use wsp_power::{AgingModel, Ultracapacitor};
+use wsp_units::{ByteSize, Farads, Nanos, Volts, Watts};
 
+use crate::ladder::{run_recovery_ladder, LadderInput, LadderRung, RecoveryOutcome};
 use crate::restore::restore;
 use crate::save::{flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep};
+use crate::supervisor::{
+    clean_failure_trace, glitch_storm_trace, supervised_save, SaveBudget, SaveVerdict,
+};
 use crate::{layout, RestartStrategy, WspError};
 
 /// How many equal batches the cache flush is split into for
@@ -289,10 +296,14 @@ fn run_save_point(
                 refusal: None,
             }
         }
-        Err(WspError::BackendRecoveryRequired { reason }) => {
+        Err(
+            err @ (WspError::BackendRecoveryRequired { .. }
+            | WspError::TornImage { .. }
+            | WspError::PartialImage),
+        ) => {
             assert!(
                 !expect_recovery,
-                "fault {fault:?} after the NVDIMM arm must restore locally: {reason}"
+                "fault {fault:?} after the NVDIMM arm must restore locally: {err}"
             );
             assert!(
                 !save.completed,
@@ -302,7 +313,7 @@ fn run_save_point(
                 fault,
                 save,
                 locally_restored: false,
-                refusal: Some(reason),
+                refusal: Some(err.to_string()),
             }
         }
         Err(other) => panic!("unexpected restore error after {fault:?}: {other}"),
@@ -430,6 +441,465 @@ fn run_tx_point(
     check.commit().unwrap();
 }
 
+/// A fault class injected into the supervised save → recovery-ladder
+/// pipeline. Unlike [`SaveFault`] (a single crash instant on the plain
+/// save path), each of these exercises a whole degraded-mode scenario:
+/// how the save supervisor budgets it and which ladder rung the node
+/// comes back on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderFault {
+    /// `dips` sub-threshold `PWR_OK` dips: the debounce filter must
+    /// swallow the storm without saving, arming, or halting anything.
+    GlitchStorm {
+        /// Number of sub-debounce dips in the trace.
+        dips: u32,
+    },
+    /// The residual window falls short of the bulk flush. `fatal: false`
+    /// leaves room for the priority stage (partial image, log replay);
+    /// `fatal: true` covers nothing (no image, cluster rebuild).
+    WindowShortfall {
+        /// True when even the priority stage cannot fit.
+        fatal: bool,
+    },
+    /// Power actually dies halfway through the bulk cache flush even
+    /// though the measured window promised room: no marker may survive.
+    BrownOutMidSave,
+    /// `module`'s flash image is torn *after* a completed save (the
+    /// valid flag stays high): the per-DIMM checksum must catch it at
+    /// restore and the ladder must drop to the back end.
+    TornSave {
+        /// Index of the sabotaged module.
+        module: usize,
+    },
+    /// `module`'s ultracapacitor is drained below its usable floor
+    /// before the outage: the feasibility gate must refuse the save.
+    UltracapBrownOut {
+        /// Index of the drained module.
+        module: usize,
+    },
+    /// Every module's cell is marginally provisioned and aged `cycles`
+    /// charge cycles under the worst-case Figure-1 curve: feasibility
+    /// must degrade the save before any flash wear.
+    AgedUltracap {
+        /// Charge cycles of wear on every cell.
+        cycles: u64,
+    },
+    /// `module`'s save command fails `failures` times transiently; the
+    /// supervisor's retry/backoff must absorb it into a complete save.
+    SaveCommandFlake {
+        /// Index of the flaky module.
+        module: usize,
+        /// Transient failures before the command sticks.
+        failures: u32,
+    },
+    /// `module`'s save command fails on every attempt: the retry budget
+    /// exhausts and the save must end in a typed `Failed` verdict.
+    SaveCommandStuck {
+        /// Index of the dead module.
+        module: usize,
+    },
+    /// Power fails *again* at the entry of the given recovery rung; the
+    /// ladder must power-cycle, restart from the top, and converge.
+    CrashDuringRestore {
+        /// The rung whose entry the second outage hits.
+        rung: LadderRung,
+    },
+}
+
+/// The result of one ladder fault injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderPointOutcome {
+    /// The injected fault class.
+    pub fault: LadderFault,
+    /// The supervisor's save verdict under the fault.
+    pub verdict: SaveVerdict,
+    /// The ladder's terminal verdict — `None` only for glitch storms,
+    /// where no outage happened and no recovery ran.
+    pub outcome: Option<RecoveryOutcome>,
+    /// Power cycles consumed by crashes during recovery.
+    pub power_cycles: u32,
+    /// Ladder rungs attempted (including refusals and crash restarts).
+    pub rungs_tried: usize,
+}
+
+/// The full supervised-save → recovery-ladder sweep.
+#[derive(Debug, Clone)]
+pub struct LadderSweepReport {
+    /// One outcome per fault class, in [`ladder_crash_points`] order.
+    pub outcomes: Vec<LadderPointOutcome>,
+    /// Points that ended in [`RecoveryOutcome::Recovered`].
+    pub recovered: usize,
+    /// Points that ended in a typed [`RecoveryOutcome::Degraded`].
+    pub degraded: usize,
+    /// Glitch storms the debounce filter absorbed (no outage at all).
+    pub glitches_ignored: usize,
+}
+
+/// Enumerates every ladder fault class for a machine with `modules`
+/// NVDIMMs: glitch storms, window shortfalls (partial and fatal), a
+/// mid-save brown-out, marginal aged cells, save-command flakes and
+/// dead commands, per-module torn saves and cell brown-outs, and a
+/// crash-during-restore at each ladder rung.
+#[must_use]
+pub fn ladder_crash_points(modules: usize) -> Vec<LadderFault> {
+    let mut points = vec![
+        LadderFault::GlitchStorm { dips: 3 },
+        LadderFault::GlitchStorm { dips: 9 },
+        LadderFault::WindowShortfall { fatal: false },
+        LadderFault::WindowShortfall { fatal: true },
+        LadderFault::BrownOutMidSave,
+        LadderFault::AgedUltracap { cycles: 150_000 },
+        LadderFault::SaveCommandFlake {
+            module: 0,
+            failures: 2,
+        },
+        LadderFault::SaveCommandStuck { module: 0 },
+        LadderFault::CrashDuringRestore {
+            rung: LadderRung::LocalWsp,
+        },
+        LadderFault::CrashDuringRestore {
+            rung: LadderRung::HeapLogReplay,
+        },
+        LadderFault::CrashDuringRestore {
+            rung: LadderRung::ClusterRebuild,
+        },
+    ];
+    for module in 0..modules {
+        points.push(LadderFault::TornSave { module });
+        points.push(LadderFault::UltracapBrownOut { module });
+    }
+    points
+}
+
+/// Runs the recovery-ladder sweep: for every fault class from
+/// [`ladder_crash_points`], build a fresh machine and heap (committed
+/// state plus an in-flight transaction and a deliberately stale back-end
+/// checkpoint), run the supervised save under the fault, cut power,
+/// climb the ladder, and assert the degraded-mode contract.
+///
+/// The contract, checked at every point:
+///
+/// * the supervisor's verdict *predicts* the terminal rung (complete →
+///   full resume, partial → log replay, failed/torn → cluster rebuild);
+/// * `Recovered` outcomes hold every committed transaction, `Degraded`
+///   outcomes hold exactly the checkpoint and *quantify* the loss;
+/// * glitch storms touch nothing;
+/// * no fault class panics — every path ends in a typed verdict.
+///
+/// Deterministic and thread-count-independent exactly like
+/// [`sweep_save_path`]: per-point PRNGs are split serially from the seed
+/// before dispatch.
+///
+/// # Panics
+///
+/// Panics when any fault class violates the contract.
+pub fn sweep_recovery_ladder(
+    make_machine: impl Fn() -> Machine + Sync,
+    load: SystemLoad,
+    seed: u64,
+) -> LadderSweepReport {
+    sweep_recovery_ladder_threads(make_machine, load, seed, faultsim_threads())
+}
+
+fn sweep_recovery_ladder_threads(
+    make_machine: impl Fn() -> Machine + Sync,
+    load: SystemLoad,
+    seed: u64,
+    threads: usize,
+) -> LadderSweepReport {
+    let modules = make_machine().nvram().dimms().len();
+    let mut parent = DetRng::seed_from_u64(seed ^ 0x1ad);
+    let points: Vec<(LadderFault, DetRng)> = ladder_crash_points(modules)
+        .into_iter()
+        .map(|fault| (fault, parent.split()))
+        .collect();
+    let outcomes = run_sharded(points, threads, |(fault, rng)| {
+        run_ladder_point(&make_machine, load, seed, fault, rng)
+    });
+    let recovered = outcomes
+        .iter()
+        .filter(|o| matches!(o.outcome, Some(RecoveryOutcome::Recovered { .. })))
+        .count();
+    let degraded = outcomes
+        .iter()
+        .filter(|o| matches!(o.outcome, Some(RecoveryOutcome::Degraded { .. })))
+        .count();
+    let glitches_ignored = outcomes.iter().filter(|o| o.outcome.is_none()).count();
+    LadderSweepReport {
+        outcomes,
+        recovered,
+        degraded,
+        glitches_ignored,
+    }
+}
+
+/// Which terminal state a fault class must reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LadderExpect {
+    LocalResume,
+    LogReplay,
+    Rebuild,
+}
+
+fn commit_word(heap: &mut PersistentHeap, value: u64) {
+    let mut tx = heap.begin();
+    let p = tx.alloc(16).expect("model heap has room");
+    tx.write_word(p, value).expect("fresh allocation is writable");
+    tx.set_root(p).expect("root update");
+    tx.commit().expect("commit on a healthy heap");
+}
+
+fn ladder_root_value(heap: &mut PersistentHeap) -> u64 {
+    let root = heap.root().expect("recovered heap keeps its root");
+    let mut tx = heap.begin();
+    let v = tx.read_word(root).expect("root cell readable");
+    tx.commit().expect("read-only commit");
+    v
+}
+
+/// One ladder fault point: sabotage, save, outage, ladder, verify.
+#[allow(clippy::too_many_lines)]
+fn run_ladder_point(
+    make_machine: &impl Fn() -> Machine,
+    load: SystemLoad,
+    seed: u64,
+    fault: LadderFault,
+    mut rng: DetRng,
+) -> LadderPointOutcome {
+    let mut machine = make_machine();
+    machine.apply_load(load, seed);
+
+    // Pre-save sabotage: energy cells and the save-command path.
+    match fault {
+        LadderFault::AgedUltracap { cycles } => {
+            for dimm in machine.nvram_mut().dimms_mut() {
+                let need = dimm.save_power() * dimm.flash().full_save_time();
+                // 5 % fresh margin over the save demand between 12 V and
+                // the 6 V cutoff (usable = ½·C·(12² − 6²) = 54·C joules):
+                // feasible new, infeasible once worst-case aging bites.
+                let marginal = Farads::new(need.get() * 1.05 / 54.0);
+                *dimm.ultracap_mut() =
+                    Ultracapacitor::new(marginal, Volts::new(12.0), Volts::new(6.0))
+                        .with_aging(AgingModel::UltracapWorst)
+                        .with_cycles(cycles);
+            }
+        }
+        LadderFault::UltracapBrownOut { module } => {
+            let cap = machine.nvram_mut().dimms_mut()[module].ultracap_mut();
+            let _ = cap.discharge(Watts::new(1e6), Nanos::from_secs(3600));
+        }
+        LadderFault::SaveCommandFlake { module, failures } => {
+            machine.nvram_mut().dimms_mut()[module].inject_save_command_faults(failures);
+        }
+        LadderFault::SaveCommandStuck { module } => {
+            machine.nvram_mut().dimms_mut()[module].inject_save_command_faults(u32::MAX);
+        }
+        _ => {}
+    }
+
+    // Every module carries payload beyond the resume block, so a torn
+    // flash image is detectable on any of them (the stored image is
+    // sparse: an all-empty module would have nothing to tear).
+    for dimm in machine.nvram_mut().dimms_mut() {
+        let mut payload = [0u8; 32];
+        rng.fill_bytes(&mut payload);
+        dimm.write(0x2000, &payload);
+    }
+
+    // The node's heap: `v1` checkpointed to the back end, `v2` committed
+    // after it (lost on a rebuild, quantified by the checkpoint seq),
+    // plus an in-flight transaction that must roll back on every rung.
+    let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FofUndo);
+    let v1 = rng.gen::<u64>();
+    let v2 = rng.gen::<u64>();
+    commit_word(&mut heap, v1);
+    let mut backend = RecoveryLadder::new(BackendStore::disk_array());
+    backend.checkpoint(&heap);
+    let checkpoint_seq = backend
+        .backend()
+        .checkpoint_seq()
+        .expect("checkpoint just taken");
+    commit_word(&mut heap, v2);
+    {
+        let mut tx = heap.begin();
+        let junk = tx.alloc(16).expect("model heap has room");
+        tx.write_word(junk, rng.gen::<u64>()).expect("writable");
+        std::mem::forget(tx); // power fails with the transaction open
+    }
+
+    let trace = match fault {
+        LadderFault::GlitchStorm { dips } => glitch_storm_trace(dips),
+        _ => clean_failure_trace(),
+    };
+    let detection = machine.monitor().debounce
+        + machine.monitor().interrupt_latency
+        + machine.profile().ipi_latency;
+    let stage_a_probe = {
+        let mut probe = heap.clone();
+        probe.priority_flush()
+    };
+    let partial_window = detection
+        + machine.profile().context_save
+        + stage_a_probe
+        + machine.monitor().i2c_command_latency
+        + Nanos::from_micros(60);
+    let budget = match fault {
+        LadderFault::WindowShortfall { fatal: false }
+        | LadderFault::CrashDuringRestore {
+            rung: LadderRung::LocalWsp | LadderRung::HeapLogReplay,
+        } => SaveBudget {
+            window_cap: Some(partial_window),
+            ..SaveBudget::trusting()
+        },
+        LadderFault::WindowShortfall { fatal: true }
+        | LadderFault::CrashDuringRestore {
+            rung: LadderRung::ClusterRebuild,
+        } => SaveBudget {
+            window_cap: Some(Nanos::from_micros(150)),
+            ..SaveBudget::trusting()
+        },
+        LadderFault::BrownOutMidSave => {
+            let stage_b = machine
+                .flush_analysis()
+                .flush_time(FlushMethod::Wbinvd, machine.dirty_estimate(load));
+            SaveBudget {
+                cut: Some(detection + machine.profile().context_save + stage_a_probe + stage_b / 2),
+                ..SaveBudget::trusting()
+            }
+        }
+        _ => SaveBudget::trusting(),
+    };
+
+    let report = supervised_save(&mut machine, &mut heap, load, &trace, budget)
+        .expect("every injected fault class yields a verdict, not an error");
+
+    if let SaveVerdict::GlitchIgnored { .. } = report.verdict {
+        assert!(!report.armed, "{fault:?}: glitches must not arm the modules");
+        assert!(
+            !machine.nvram().all_saved(),
+            "{fault:?}: glitches must not save"
+        );
+        assert!(
+            machine.cores().iter().all(|c| !c.halted),
+            "{fault:?}: glitches must not halt cores"
+        );
+        return LadderPointOutcome {
+            fault,
+            verdict: report.verdict,
+            outcome: None,
+            power_cycles: 0,
+            rungs_tried: 0,
+        };
+    }
+
+    // Post-save sabotage: tear a completed flash image behind the
+    // supervisor's back — the valid flag stays high, only the checksum
+    // knows.
+    if let LadderFault::TornSave { module } = fault {
+        assert_eq!(
+            report.verdict,
+            SaveVerdict::Complete,
+            "torn-save points ride a completed save"
+        );
+        // Tearing anywhere inside the first page drops every stored
+        // page, including the module's payload — the checksum must
+        // notice no matter how much of the image survived.
+        let tear_from = rng.gen_range(0..4096);
+        machine.nvram_mut().dimms_mut()[module].tear_saved_image(tear_from);
+    }
+
+    let image = report
+        .armed
+        .then(|| heap.crash(report.verdict == SaveVerdict::Complete));
+
+    machine.system_power_loss();
+    machine.system_power_on();
+
+    let cluster = ClusterSpec::memcache_tier(64);
+    let crash_at = match fault {
+        LadderFault::CrashDuringRestore { rung } => Some(rung),
+        _ => None,
+    };
+    let (ladder, recovered) = run_recovery_ladder(LadderInput {
+        machine: &mut machine,
+        strategy: RestartStrategy::RestorePathReinit,
+        image,
+        backend: &backend,
+        cluster: &cluster,
+        crash_at,
+    });
+
+    // The degraded-mode contract: the save verdict predicts the rung.
+    let expect = match (fault, &report.verdict) {
+        (LadderFault::TornSave { .. }, _) => LadderExpect::Rebuild,
+        (_, SaveVerdict::Complete) => LadderExpect::LocalResume,
+        (_, SaveVerdict::PartialPriority) => LadderExpect::LogReplay,
+        (_, SaveVerdict::Failed { .. }) => LadderExpect::Rebuild,
+        (_, SaveVerdict::GlitchIgnored { .. }) => unreachable!("returned above"),
+    };
+    match &ladder.outcome {
+        RecoveryOutcome::Recovered {
+            rung: LadderRung::LocalWsp,
+            ..
+        } => {
+            assert_eq!(expect, LadderExpect::LocalResume, "{fault:?}: {ladder:?}");
+            let mut h = recovered.expect("recovered rungs return the heap");
+            assert_eq!(
+                ladder_root_value(&mut h),
+                v2,
+                "{fault:?}: a full resume loses nothing"
+            );
+        }
+        RecoveryOutcome::Recovered {
+            rung: LadderRung::HeapLogReplay,
+            ..
+        } => {
+            assert_eq!(expect, LadderExpect::LogReplay, "{fault:?}: {ladder:?}");
+            let mut h = recovered.expect("recovered rungs return the heap");
+            assert_eq!(
+                ladder_root_value(&mut h),
+                v2,
+                "{fault:?}: log replay recovers every committed transaction"
+            );
+        }
+        RecoveryOutcome::Recovered {
+            rung: LadderRung::ClusterRebuild,
+            ..
+        } => panic!("{fault:?}: the bottom rung is Degraded by definition"),
+        RecoveryOutcome::Degraded { rung, reason, .. } => {
+            assert_eq!(expect, LadderExpect::Rebuild, "{fault:?}: {ladder:?}");
+            assert_eq!(*rung, LadderRung::ClusterRebuild, "{fault:?}");
+            assert!(
+                reason.contains(&format!("transaction {checkpoint_seq}")),
+                "{fault:?}: data loss must be quantified, got: {reason}"
+            );
+            assert!(
+                ladder.attempts.iter().any(|a| a.refusal.is_some()),
+                "{fault:?}: degradation must be traced to a typed refusal"
+            );
+            let mut h = recovered.expect("the checkpoint rebuild returns a heap");
+            assert_eq!(
+                ladder_root_value(&mut h),
+                v1,
+                "{fault:?}: a rebuild restores exactly the checkpoint"
+            );
+        }
+    }
+    let expected_cycles = u32::from(matches!(fault, LadderFault::CrashDuringRestore { .. }));
+    assert_eq!(
+        ladder.power_cycles, expected_cycles,
+        "{fault:?}: crash-during-restore fires exactly once"
+    );
+
+    LadderPointOutcome {
+        fault,
+        verdict: report.verdict,
+        outcome: Some(ladder.outcome),
+        power_cycles: ladder.power_cycles,
+        rungs_tried: ladder.attempts.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,9 +910,7 @@ mod tests {
         // 9 steps (no ACPI suspend) + 4 flush batches + 4 modules.
         assert_eq!(points.len(), 9 + FLUSH_BATCHES + 4);
         assert!(points.contains(&SaveFault::BeforeStep(SaveStep::MarkImageValid)));
-        assert!(!points
-            .iter()
-            .any(|f| *f == SaveFault::BeforeStep(SaveStep::SuspendDevices)));
+        assert!(!points.contains(&SaveFault::BeforeStep(SaveStep::SuspendDevices)));
         let acpi = save_path_crash_points(RestartStrategy::AcpiSuspend, 1);
         assert!(acpi.contains(&SaveFault::BeforeStep(SaveStep::SuspendDevices)));
     }
@@ -548,5 +1016,54 @@ mod tests {
     #[test]
     fn faultsim_threads_is_at_least_one() {
         assert!(faultsim_threads() >= 1);
+    }
+
+    #[test]
+    fn ladder_points_cover_every_fault_class_and_module() {
+        let points = ladder_crash_points(4);
+        // 11 machine-independent classes + 2 per module.
+        assert_eq!(points.len(), 11 + 2 * 4);
+        assert!(points.contains(&LadderFault::TornSave { module: 3 }));
+        assert!(points.contains(&LadderFault::CrashDuringRestore {
+            rung: LadderRung::ClusterRebuild
+        }));
+    }
+
+    #[test]
+    fn ladder_sweep_holds_on_intel_busy() {
+        let report = sweep_recovery_ladder(Machine::intel_testbed, SystemLoad::Busy, 42);
+        assert_eq!(report.glitches_ignored, 2, "both glitch storms absorbed");
+        // Recovered: the partial window shortfall, the absorbed command
+        // flake, and the two crash-during-restore points that ride a
+        // partial save.
+        assert_eq!(report.recovered, 4, "{:?}", report.outcomes);
+        // Everything else ends in a typed Degraded verdict.
+        assert_eq!(
+            report.degraded,
+            report.outcomes.len() - report.recovered - report.glitches_ignored
+        );
+        assert!(report.degraded >= 5);
+    }
+
+    #[test]
+    fn ladder_sweep_holds_on_amd_idle() {
+        let report = sweep_recovery_ladder(Machine::amd_testbed, SystemLoad::Idle, 7);
+        assert_eq!(report.glitches_ignored, 2);
+        assert_eq!(report.recovered, 4);
+    }
+
+    #[test]
+    fn parallel_ladder_sweep_matches_serial() {
+        let serial = sweep_recovery_ladder_threads(Machine::intel_testbed, SystemLoad::Busy, 42, 1);
+        for threads in [2, 5] {
+            let parallel =
+                sweep_recovery_ladder_threads(Machine::intel_testbed, SystemLoad::Busy, 42, threads);
+            assert_eq!(parallel.recovered, serial.recovered);
+            assert_eq!(parallel.degraded, serial.degraded);
+            assert_eq!(
+                format!("{:?}", parallel.outcomes),
+                format!("{:?}", serial.outcomes)
+            );
+        }
     }
 }

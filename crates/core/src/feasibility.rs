@@ -7,6 +7,7 @@
 
 use wsp_cache::FlushMethod;
 use wsp_machine::{Machine, SystemLoad};
+use wsp_nvram::{NvDimm, NvramPool};
 use wsp_power::Psu;
 use wsp_units::Nanos;
 
@@ -65,6 +66,79 @@ pub fn feasibility_matrix() -> Vec<FeasibilityRow> {
     rows
 }
 
+/// Whether an NVDIMM's ultracapacitor — at its *current* age and charge
+/// — still covers the module's DRAM→flash save.
+///
+/// This ties the paper's Figure 1 (energy-cell aging) to its Figure 2
+/// (save-energy demand): a cell that has faded below the save budget
+/// must surface here as `Degraded` *before* a save is attempted, never
+/// as a save that silently tears.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaveFeasibility {
+    /// The cell's usable energy covers the save.
+    Feasible {
+        /// Usable energy beyond the save's demand, in joules.
+        margin_joules: f64,
+    },
+    /// The cell cannot power the save to completion; arming the module
+    /// would tear its image. The node must plan for back-end recovery.
+    Degraded {
+        /// Which budget failed and by how much.
+        reason: String,
+    },
+}
+
+impl SaveFeasibility {
+    /// True for the `Feasible` verdict.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, SaveFeasibility::Feasible { .. })
+    }
+}
+
+/// Feasibility verdict for one module: can its aged ultracapacitor still
+/// deliver `save_power × full_save_time`?
+#[must_use]
+pub fn nvdimm_save_feasibility(dimm: &NvDimm) -> SaveFeasibility {
+    let need = dimm.save_power() * dimm.flash().full_save_time();
+    let usable = dimm.ultracap().usable_energy();
+    if dimm.ultracap().covers(dimm.save_power(), dimm.flash().full_save_time()) {
+        SaveFeasibility::Feasible {
+            margin_joules: usable.get() - need.get(),
+        }
+    } else {
+        SaveFeasibility::Degraded {
+            reason: format!(
+                "ultracap usable energy {:.1} J (after {} charge cycles) < {:.1} J save demand",
+                usable.get(),
+                dimm.ultracap().cycles(),
+                need.get()
+            ),
+        }
+    }
+}
+
+/// Pool-wide verdict: `Feasible` only if *every* module's cell covers
+/// its save (the pool save is only as strong as its weakest cell). The
+/// save supervisor consults this before arming the modules.
+#[must_use]
+pub fn pool_save_feasibility(pool: &NvramPool) -> SaveFeasibility {
+    let mut margin = f64::INFINITY;
+    for (i, dimm) in pool.dimms().iter().enumerate() {
+        match nvdimm_save_feasibility(dimm) {
+            SaveFeasibility::Feasible { margin_joules } => margin = margin.min(margin_joules),
+            SaveFeasibility::Degraded { reason } => {
+                return SaveFeasibility::Degraded {
+                    reason: format!("module {i}: {reason}"),
+                }
+            }
+        }
+    }
+    SaveFeasibility::Feasible {
+        margin_joules: margin,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +179,83 @@ mod tests {
             let ratio = row.window.as_secs_f64() / row.save_time.as_secs_f64();
             assert!(ratio >= 2.5, "{} + {}: ratio {ratio}", row.machine, row.psu);
         }
+    }
+
+    #[test]
+    fn fresh_agiga_pool_is_feasible() {
+        use wsp_units::ByteSize;
+        let pool = NvramPool::uniform(4, ByteSize::gib(1));
+        let v = pool_save_feasibility(&pool);
+        assert!(v.is_feasible(), "{v:?}");
+    }
+
+    #[test]
+    fn drained_module_degrades_the_pool_verdict() {
+        use wsp_units::{ByteSize, Nanos, Watts};
+        let mut pool = NvramPool::uniform(4, ByteSize::gib(1));
+        let cap = pool.dimms_mut()[2].ultracap_mut();
+        let _ = cap.discharge(Watts::new(1e6), Nanos::from_secs(3600));
+        match pool_save_feasibility(&pool) {
+            SaveFeasibility::Degraded { reason } => {
+                assert!(reason.starts_with("module 2:"), "{reason}");
+            }
+            other => panic!("drained cell must degrade the pool: {other:?}"),
+        }
+    }
+
+    /// The satellite property: Figure 1's aging curves composed with
+    /// Figure 2's save-energy demand. For marginally-provisioned cells
+    /// at any age, the feasibility verdict must *predict* the actual
+    /// save outcome — a cell the matrix calls `Degraded` never yields a
+    /// completed save, and a `Feasible` cell never tears. Verdict and
+    /// device model can therefore never disagree silently.
+    #[test]
+    fn aged_cell_feasibility_matches_actual_save_outcome() {
+        use wsp_det::forall;
+        use wsp_det::gen::{in_range, pair};
+        use wsp_power::{AgingModel, Ultracapacitor};
+        use wsp_units::{Bandwidth, ByteSize, Farads, Volts, Watts};
+
+        // 0.90–1.30 F between 12 V and the 6 V floor gives 48.6–70.2 J
+        // usable against a 56 J save (8 W × 7 s): both verdicts occur,
+        // and worst-case aging (up to ~12 % fade by 150k cycles) flips
+        // cells near the boundary.
+        let gen = pair(in_range(90u64..=130), in_range(0u64..=150_000));
+        forall(gen, |&(centifarads, cycles)| {
+            let capacity = ByteSize::mib(1);
+            let bw = Bandwidth::bytes_per_sec(capacity.as_u64() as f64 / 7.0);
+            let cell = Ultracapacitor::new(
+                Farads::new(centifarads as f64 / 100.0),
+                Volts::new(12.0),
+                Volts::new(6.0),
+            )
+            .with_aging(AgingModel::UltracapWorst)
+            .with_cycles(cycles);
+            let mut dimm = NvDimm::new(capacity, bw, cell, Watts::new(8.0));
+            dimm.write(0x40, b"aged-cell probe");
+            let verdict = nvdimm_save_feasibility(&dimm);
+            dimm.enter_self_refresh();
+            let outcome = dimm.save().expect("command accepted");
+            match verdict {
+                SaveFeasibility::Feasible { margin_joules } => {
+                    assert!(
+                        outcome.completed,
+                        "feasible cell ({centifarads} cF, {cycles} cycles, \
+                         margin {margin_joules:.2} J) must complete its save"
+                    );
+                }
+                SaveFeasibility::Degraded { reason } => {
+                    assert!(
+                        !outcome.completed,
+                        "degraded cell ({centifarads} cF, {cycles} cycles) \
+                         must never report a successful save: {reason}"
+                    );
+                    assert!(
+                        !dimm.flash().has_valid_image(),
+                        "a torn save must leave an invalid image"
+                    );
+                }
+            }
+        });
     }
 }

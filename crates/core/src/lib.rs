@@ -50,24 +50,35 @@
 mod error;
 pub mod faultsim;
 mod feasibility;
+mod ladder;
 mod process;
 mod restart;
 mod restore;
 mod save;
+mod supervisor;
 mod system;
 mod tradeoff;
 mod vm;
 
 pub use error::WspError;
 pub use faultsim::{
-    faultsim_threads, save_path_crash_points, sweep_mid_transaction, sweep_save_path,
-    FaultOutcome, MidTxSweepReport, SaveSweepReport, FLUSH_BATCHES,
+    faultsim_threads, ladder_crash_points, save_path_crash_points, sweep_mid_transaction,
+    sweep_recovery_ladder, sweep_save_path, FaultOutcome, LadderFault, LadderPointOutcome,
+    LadderSweepReport, MidTxSweepReport, SaveSweepReport, FLUSH_BATCHES,
 };
-pub use feasibility::{feasibility_matrix, FeasibilityRow};
+pub use feasibility::{
+    feasibility_matrix, nvdimm_save_feasibility, pool_save_feasibility, FeasibilityRow,
+    SaveFeasibility,
+};
+pub use ladder::{run_recovery_ladder, LadderInput, LadderReport, LadderRung, RecoveryOutcome, RungAttempt};
 pub use process::{ProcessPersistence, ProcessSaveReport};
 pub use restart::RestartStrategy;
 pub use restore::{restore, RestoreReport, RestoreStep};
 pub use save::{flush_on_fail_save, flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep};
+pub use supervisor::{
+    clean_failure_trace, glitch_storm_trace, supervised_save, SaveBudget, SaveVerdict,
+    StagedSaveReport,
+};
 pub use system::{OutageReport, WspSystem};
 pub use tradeoff::{CapacitanceTradeoff, TradeoffPoint};
 pub use vm::{VirtualizedHost, VmInstance, VmRestoreMilestone, VmRestoreSchedule};
@@ -79,6 +90,14 @@ pub(crate) mod layout {
     pub const VALID_MARKER_ADDR: u64 = 0x0;
     /// Magic value marking a complete save ("WSPVALID").
     pub const VALID_MAGIC: u64 = 0x4449_4c41_5650_5357;
+    /// The partial-image marker word: set by the save supervisor when
+    /// only the priority stage (contexts + heap log/metadata) fit in the
+    /// residual window. Distinct from [`VALID_MARKER_ADDR`] so a partial
+    /// save can never be mistaken for a resumable one.
+    pub const PARTIAL_MARKER_ADDR: u64 = 0x8;
+    /// Magic value marking a partial (priority-stage-only) save
+    /// ("WSPPARTL").
+    pub const PARTIAL_MAGIC: u64 = 0x4c54_5241_5050_5357;
     /// Core count of the saved image.
     pub const CORE_COUNT_ADDR: u64 = 0x40;
     /// Resume-block base: per-core contexts at stride

@@ -2,6 +2,7 @@
 //! loader on the next power-up.
 
 use wsp_machine::{CpuContext, Machine};
+use wsp_nvram::NvramError;
 use wsp_units::Nanos;
 
 use crate::layout;
@@ -56,8 +57,17 @@ pub struct RestoreReport {
 ///
 /// # Errors
 ///
+/// [`WspError::TornImage`] when a module's image fails its checksum or
+/// the pool holds images from mixed save generations — corruption the
+/// integrity checks caught before it could be resumed.
+///
+/// [`WspError::PartialImage`] when the partial marker is set: the save
+/// supervisor only got the priority stage durable, so a full resume is
+/// impossible but the heap log survives — recover on the ladder's
+/// second rung instead.
+///
 /// [`WspError::BackendRecoveryRequired`] when any module lacks a valid
-/// image or the valid marker is absent — the node must refresh from the
+/// image or no marker is present — the node must refresh from the
 /// storage back end instead.
 ///
 /// [`WspSystem::power_failure_drill`]: crate::WspSystem::power_failure_drill
@@ -69,18 +79,26 @@ pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<Resto
         *total += t;
     };
 
-    // Step 10: flash -> DRAM, all modules in parallel.
-    let restore_time = machine.nvram_mut().restore_all().map_err(|e| {
-        WspError::BackendRecoveryRequired {
-            reason: format!("NVDIMM restore failed: {e}"),
+    // Step 10: flash -> DRAM, all modules in parallel. Integrity
+    // failures (checksum, generation coherence) are typed distinctly
+    // from a plain missing image: the former is detected corruption, the
+    // latter an ordinary incomplete save.
+    let restore_time = machine.nvram_mut().restore_all().map_err(|e| match e {
+        NvramError::ChecksumMismatch { .. } | NvramError::GenerationMismatch { .. } => {
+            WspError::TornImage {
+                detail: format!("NVDIMM restore failed: {e}"),
+            }
         }
+        other => WspError::BackendRecoveryRequired {
+            reason: format!("NVDIMM restore failed: {other}"),
+        },
     })?;
     push(&mut steps, &mut total, RestoreStep::RestoreNvdimmContents, restore_time);
 
     // Step 11: the valid marker distinguishes a completed save from a
-    // torn one.
+    // torn one; the partial marker flags a priority-stage-only save.
     let mut marker = [0u8; 8];
-    machine.nvram().dimms()[0].read(layout::VALID_MARKER_ADDR, &mut marker);
+    machine.nvram().read(layout::VALID_MARKER_ADDR, &mut marker);
     push(
         &mut steps,
         &mut total,
@@ -88,6 +106,11 @@ pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<Resto
         Nanos::from_micros(1),
     );
     if u64::from_le_bytes(marker) != layout::VALID_MAGIC {
+        let mut partial = [0u8; 8];
+        machine.nvram().read(layout::PARTIAL_MARKER_ADDR, &mut partial);
+        if u64::from_le_bytes(partial) == layout::PARTIAL_MAGIC {
+            return Err(WspError::PartialImage);
+        }
         return Err(WspError::BackendRecoveryRequired {
             reason: "image marker invalid: save did not complete".into(),
         });
@@ -106,13 +129,13 @@ pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<Resto
 
     // Step 14: contexts come back from the resume block.
     let mut count_buf = [0u8; 8];
-    machine.nvram().dimms()[0].read(layout::CORE_COUNT_ADDR, &mut count_buf);
+    machine.nvram().read(layout::CORE_COUNT_ADDR, &mut count_buf);
     let count = u64::from_le_bytes(count_buf) as usize;
     let mut contexts = Vec::with_capacity(count);
     for i in 0..count {
         let mut buf = vec![0u8; CpuContext::SIZE as usize];
         let addr = layout::CONTEXTS_BASE + i as u64 * CpuContext::SIZE;
-        machine.nvram().dimms()[0].read(addr, &mut buf);
+        machine.nvram().read(addr, &mut buf);
         contexts.push(CpuContext::from_bytes(&buf));
     }
     for (core, ctx) in machine.cores_mut().iter_mut().zip(contexts) {
@@ -126,10 +149,11 @@ pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<Resto
         machine.profile().context_save,
     );
 
-    // The marker is cleared so a stale image can never be resumed twice
-    // (paper §4: "cleared on system startup and after a successful
+    // The markers are cleared so a stale image can never be resumed
+    // twice (paper §4: "cleared on system startup and after a successful
     // resume").
     machine.nvram_mut().write(layout::VALID_MARKER_ADDR, &[0u8; 8]);
+    machine.nvram_mut().write(layout::PARTIAL_MARKER_ADDR, &[0u8; 8]);
     machine.nvram_mut().invalidate_images();
 
     push(

@@ -294,11 +294,13 @@ pub fn flush_on_fail_save_with_fault(
             let cap = dimms[module].ultracap_mut();
             let _ = cap.discharge(Watts::new(1e6), Nanos::from_secs(3600));
         }
-        let outcomes = machine
+        // A declined save command (module off, relay dropping the I2C
+        // command) means the modules were never armed: the save did not
+        // complete, and restore will refuse — no panic on this path.
+        modules_saved = machine
             .nvram_mut()
             .save_all()
-            .expect("modules accept save after self-refresh");
-        modules_saved = outcomes.iter().all(|o| o.completed);
+            .is_ok_and(|outcomes| outcomes.iter().all(|o| o.completed));
         debug_assert!(
             modules_saved || matches!(fault, Some(SaveFault::UltracapShortfall { .. })),
             "agiga ultracaps cover the save by construction"

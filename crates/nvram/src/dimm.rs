@@ -71,6 +71,10 @@ pub struct NvDimm {
     flash: FlashStore,
     ultracap: Ultracapacitor,
     save_power: Watts,
+    /// Injected transient save-command failures still pending: each
+    /// `save()` consumes one and fails before touching flash, modelling
+    /// an I2C relay dropping the command.
+    pending_command_faults: u32,
 }
 
 impl NvDimm {
@@ -118,6 +122,7 @@ impl NvDimm {
             flash: FlashStore::new(capacity, flash_write_bandwidth),
             ultracap,
             save_power,
+            pending_command_faults: 0,
         }
     }
 
@@ -149,6 +154,30 @@ impl NvDimm {
     /// pre-drain the bank so the next save tears partway through.
     pub fn ultracap_mut(&mut self) -> &mut Ultracapacitor {
         &mut self.ultracap
+    }
+
+    /// Power the module draws from its ultracapacitor during a
+    /// DRAM→flash save. Together with
+    /// [`FlashStore::full_save_time`] this is the energy a feasibility
+    /// check must budget against [`Ultracapacitor::usable_energy`].
+    #[must_use]
+    pub fn save_power(&self) -> Watts {
+        self.save_power
+    }
+
+    /// Arms `count` transient save-command failures: the next `count`
+    /// calls to [`NvDimm::save`] fail with
+    /// [`NvramError::SaveCommandFailed`] before touching flash (the I2C
+    /// relay dropping the command; a retry succeeds once exhausted).
+    pub fn inject_save_command_faults(&mut self, count: u32) {
+        self.pending_command_faults = count;
+    }
+
+    /// Test-harness sabotage: tears the *stored* flash image from
+    /// `from_byte` on while leaving the valid flag high — the silent
+    /// corruption case the per-DIMM checksum exists to detect.
+    pub fn tear_saved_image(&mut self, from_byte: u64) {
+        self.flash.corrupt_tail(from_byte);
     }
 
     fn check_range(&self, addr: u64, len: u64) -> Result<(), NvramError> {
@@ -258,12 +287,18 @@ impl NvDimm {
     /// # Errors
     ///
     /// Returns [`NvramError::NotInSelfRefresh`] if the handshake was
-    /// skipped. An energy shortfall is *not* an `Err`: it is reported via
-    /// [`SaveOutcome::completed`] `== false` and leaves a torn, invalid
-    /// image in flash.
+    /// skipped, or [`NvramError::SaveCommandFailed`] if an injected
+    /// transient command fault is pending (nothing is written; a retry
+    /// may succeed). An energy shortfall is *not* an `Err`: it is
+    /// reported via [`SaveOutcome::completed`] `== false` and leaves a
+    /// torn, invalid image in flash.
     pub fn save(&mut self) -> Result<SaveOutcome, NvramError> {
         if self.state != DimmState::SelfRefresh {
             return Err(NvramError::NotInSelfRefresh);
+        }
+        if self.pending_command_faults > 0 {
+            self.pending_command_faults -= 1;
+            return Err(NvramError::SaveCommandFailed { attempts: 1 });
         }
         let full_time = self.flash.full_save_time();
         let available = self.ultracap.supply_time(self.save_power);
@@ -350,13 +385,19 @@ impl NvDimm {
     /// # Errors
     ///
     /// Returns [`NvramError::NotInSelfRefresh`] if the handshake was
-    /// skipped, or [`NvramError::NoValidImage`] if the last save never
-    /// completed (the boot path must then fall back to back-end
-    /// recovery).
+    /// skipped, [`NvramError::NoValidImage`] if the last save never
+    /// completed, or [`NvramError::ChecksumMismatch`] if the image is
+    /// marked valid but its contents fail verification (a torn save that
+    /// slipped past the marker). On either failure the boot path must
+    /// fall back to a lower recovery rung.
     pub fn restore(&mut self) -> Result<Nanos, NvramError> {
         if self.state != DimmState::SelfRefresh {
             return Err(NvramError::NotInSelfRefresh);
         }
+        if self.flash.load_image().is_none() {
+            return Err(NvramError::NoValidImage);
+        }
+        self.flash.verify_image()?;
         let image = self.flash.load_image().ok_or(NvramError::NoValidImage)?;
         self.dram = image.clone();
         self.state = DimmState::Active;
@@ -491,6 +532,52 @@ mod tests {
         d.invalidate_image();
         d.enter_self_refresh();
         assert_eq!(d.restore().unwrap_err(), NvramError::NoValidImage);
+    }
+
+    #[test]
+    fn injected_command_fault_fails_then_clears() {
+        let mut d = small();
+        d.write(0, b"retry me");
+        d.inject_save_command_faults(2);
+        d.enter_self_refresh();
+        assert_eq!(
+            d.save().unwrap_err(),
+            NvramError::SaveCommandFailed { attempts: 1 }
+        );
+        assert_eq!(
+            d.save().unwrap_err(),
+            NvramError::SaveCommandFailed { attempts: 1 }
+        );
+        let out = d.save().unwrap();
+        assert!(out.completed, "third attempt succeeds");
+    }
+
+    #[test]
+    fn torn_valid_image_is_caught_by_checksum() {
+        let mut d = small();
+        d.write(0, b"head");
+        d.write(ByteSize::mib(32).as_u64(), b"tail");
+        d.enter_self_refresh();
+        d.save().unwrap();
+        d.tear_saved_image(ByteSize::mib(1).as_u64());
+        d.power_loss();
+        d.power_on();
+        assert!(matches!(
+            d.restore(),
+            Err(NvramError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn save_bumps_generation() {
+        let mut d = small();
+        d.enter_self_refresh();
+        d.save().unwrap();
+        assert_eq!(d.flash().generation(), 1);
+        d.exit_self_refresh().unwrap();
+        d.enter_self_refresh();
+        d.save().unwrap();
+        assert_eq!(d.flash().generation(), 2);
     }
 
     #[test]

@@ -31,6 +31,30 @@ pub enum NvramError {
         /// Module capacity in bytes.
         capacity: u64,
     },
+    /// The flash image's recorded checksum does not match its contents:
+    /// a torn save slipped past the valid marker (silent corruption the
+    /// per-DIMM checksums exist to catch).
+    ChecksumMismatch {
+        /// Checksum recorded when the image was stored.
+        expected: u64,
+        /// Checksum recomputed over the stored pages.
+        actual: u64,
+    },
+    /// Modules in a pool carry images from different save generations —
+    /// at least one module restored a stale image that must not be
+    /// mixed with the newer ones.
+    GenerationMismatch {
+        /// Newest generation seen across the pool.
+        newest: u64,
+        /// The stale generation that conflicted with it.
+        stale: u64,
+    },
+    /// The module's save command failed transiently (I2C relay dropped
+    /// the command) and retries were exhausted.
+    SaveCommandFailed {
+        /// Attempts made, including the first.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NvramError {
@@ -55,6 +79,17 @@ impl fmt::Display for NvramError {
                 "access [{addr:#x}, {:#x}) exceeds capacity {capacity:#x}",
                 addr + len
             ),
+            NvramError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "image checksum mismatch: recorded {expected:#018x}, computed {actual:#018x}"
+            ),
+            NvramError::GenerationMismatch { newest, stale } => write!(
+                f,
+                "pool images span save generations {stale} and {newest}"
+            ),
+            NvramError::SaveCommandFailed { attempts } => {
+                write!(f, "save command failed after {attempts} attempts")
+            }
         }
     }
 }

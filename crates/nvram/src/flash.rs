@@ -5,6 +5,8 @@ use std::collections::BTreeMap;
 
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
+use crate::error::NvramError;
+
 /// Page granularity of the sparse DRAM/flash images.
 pub(crate) const PAGE_SIZE: u64 = 4096;
 
@@ -35,8 +37,37 @@ pub struct FlashStore {
     read_bandwidth: Bandwidth,
     image: PageMap,
     valid: bool,
+    /// Monotonic save-generation number, bumped on every image write.
+    /// Lets a pool detect a module restoring a stale image from an
+    /// earlier save (mixing generations silently corrupts memory).
+    generation: u64,
+    /// FNV-1a checksum over the pages recorded *at store time*. A torn
+    /// save records the checksum of the full image it was trying to
+    /// write, so verification against the torn contents fails.
+    checksum: u64,
     pe_cycles: u64,
     endurance: u64,
+}
+
+/// FNV-1a over the page map (indices and contents), the controller's
+/// end-of-save integrity record.
+pub(crate) fn image_checksum(pages: &PageMap) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut step = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for (index, page) in pages {
+        for b in index.to_le_bytes() {
+            step(b);
+        }
+        for &b in page.iter() {
+            step(b);
+        }
+    }
+    h
 }
 
 /// Wear report for the NAND backing store. Every save is one full
@@ -84,6 +115,8 @@ impl FlashStore {
             read_bandwidth: write_bandwidth * 2.0,
             image: PageMap::new(),
             valid: false,
+            generation: 0,
+            checksum: 0,
             pe_cycles: 0,
             // MLC NAND: ~3000 full program/erase cycles.
             endurance: 3_000,
@@ -125,22 +158,62 @@ impl FlashStore {
         self.read_bandwidth.transfer_time(self.capacity)
     }
 
-    /// Stores a complete image (one program/erase cycle of wear).
+    /// Stores a complete image (one program/erase cycle of wear),
+    /// recording its checksum and bumping the save generation.
     pub(crate) fn store_image(&mut self, pages: &PageMap) {
         self.image = pages.clone();
         self.valid = true;
+        self.checksum = image_checksum(pages);
+        self.generation += 1;
         self.pe_cycles += 1;
     }
 
     /// Stores a torn prefix of an image (a save that lost power midway):
     /// only pages below `completed_bytes` land, and the image is invalid.
+    /// The checksum recorded is the *intended* full image's, so even if
+    /// the valid flag were later corrupted high, verification fails.
     pub(crate) fn store_torn_image(&mut self, pages: &PageMap, completed_bytes: u64) {
         self.image = pages
             .range(..completed_bytes / PAGE_SIZE)
             .map(|(k, v)| (*k, v.clone()))
             .collect();
         self.valid = false;
+        self.checksum = image_checksum(pages);
+        self.generation += 1;
         self.pe_cycles += 1;
+    }
+
+    /// Save generation of the stored image (0 = never saved).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Recomputes the image checksum and compares it against the value
+    /// recorded at store time.
+    ///
+    /// # Errors
+    ///
+    /// [`NvramError::ChecksumMismatch`] when the contents do not hash to
+    /// the recorded checksum (a torn or corrupted image).
+    pub fn verify_image(&self) -> Result<(), NvramError> {
+        let actual = image_checksum(&self.image);
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(NvramError::ChecksumMismatch {
+                expected: self.checksum,
+                actual,
+            })
+        }
+    }
+
+    /// Test-harness sabotage: drops stored pages at and above
+    /// `from_byte` but leaves the valid flag and recorded checksum
+    /// untouched — the "valid marker written but data torn" corruption
+    /// that only the checksum can detect.
+    pub fn corrupt_tail(&mut self, from_byte: u64) {
+        self.image.retain(|&idx, _| idx < from_byte / PAGE_SIZE);
     }
 
     /// Retrieves the image if valid.
@@ -209,6 +282,56 @@ mod tests {
         };
         assert!(h.worn_out());
         assert_eq!(h.saves_remaining(), 0);
+    }
+
+    #[test]
+    fn checksum_verifies_on_complete_image() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        let mut pages = PageMap::new();
+        pages.insert(1, page(9));
+        pages.insert(7, page(4));
+        flash.store_image(&pages);
+        assert_eq!(flash.generation(), 1);
+        assert!(flash.verify_image().is_ok());
+    }
+
+    #[test]
+    fn torn_image_fails_checksum_even_if_marked_valid() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        let mut pages = PageMap::new();
+        pages.insert(0, page(1));
+        pages.insert(50, page(2));
+        flash.store_torn_image(&pages, 10 * PAGE_SIZE);
+        assert!(matches!(
+            flash.verify_image(),
+            Err(NvramError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_tail_keeps_valid_flag_but_breaks_checksum() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        let mut pages = PageMap::new();
+        pages.insert(0, page(1));
+        pages.insert(50, page(2));
+        flash.store_image(&pages);
+        flash.corrupt_tail(10 * PAGE_SIZE);
+        assert!(flash.has_valid_image(), "sabotage leaves the marker high");
+        assert!(matches!(
+            flash.verify_image(),
+            Err(NvramError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn generations_are_monotonic() {
+        let mut flash = FlashStore::new(ByteSize::mib(1), Bandwidth::mib_per_sec(100.0));
+        let pages = PageMap::new();
+        assert_eq!(flash.generation(), 0);
+        flash.store_image(&pages);
+        flash.store_torn_image(&pages, 0);
+        flash.store_image(&pages);
+        assert_eq!(flash.generation(), 3, "torn saves consume a generation");
     }
 
     #[test]

@@ -53,4 +53,4 @@ pub use dimm::{DimmState, NvDimm, SaveOutcome, SaveTracePoint};
 pub use envy::EnvyStore;
 pub use error::NvramError;
 pub use flash::{FlashHealth, FlashStore};
-pub use pool::NvramPool;
+pub use pool::{NvramPool, PoolSaveReport};

@@ -4,7 +4,19 @@
 
 use wsp_units::{ByteSize, Nanos};
 
+use crate::dimm::DimmState;
 use crate::{NvDimm, NvramError, SaveOutcome};
+
+/// Result of a pool save that retried transient command failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSaveReport {
+    /// Per-module outcomes, in address order.
+    pub outcomes: Vec<SaveOutcome>,
+    /// Total retries performed across all modules.
+    pub retries: u32,
+    /// Simulated time spent backing off between attempts.
+    pub backoff: Nanos,
+}
 
 /// Main memory built from NVDIMMs.
 ///
@@ -123,11 +135,65 @@ impl NvramPool {
     ///
     /// Propagates the first module handshake error.
     pub fn save_all(&mut self) -> Result<Vec<SaveOutcome>, NvramError> {
-        self.dimms.iter_mut().try_for_each(|d| {
-            d.enter_self_refresh();
-            Ok(())
-        })?;
-        self.dimms.iter_mut().map(NvDimm::save).collect()
+        Ok(self.save_all_with_retry(1)?.outcomes)
+    }
+
+    /// Base backoff between save-command attempts; doubles per retry
+    /// (the monitor re-issues the I2C command after a quiet interval).
+    pub const RETRY_BACKOFF_BASE: Nanos = Nanos::from_micros(100);
+
+    /// Enters self-refresh and saves every module, retrying transient
+    /// save-command failures up to `max_attempts` times per module with
+    /// exponential backoff. Modules save in parallel on their own
+    /// ultracaps, so the pool save time is the slowest module's plus the
+    /// accumulated backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvramError::BadState`] if any module is powered off
+    /// (instead of panicking inside the handshake),
+    /// [`NvramError::SaveCommandFailed`] when a module's command keeps
+    /// failing after `max_attempts` attempts, and propagates any other
+    /// module error unchanged.
+    pub fn save_all_with_retry(&mut self, max_attempts: u32) -> Result<PoolSaveReport, NvramError> {
+        let max_attempts = max_attempts.max(1);
+        for d in &self.dimms {
+            if d.state() == DimmState::Off {
+                return Err(NvramError::BadState {
+                    state: "Off",
+                    operation: "save",
+                });
+            }
+        }
+        self.dimms.iter_mut().for_each(NvDimm::enter_self_refresh);
+        let mut outcomes = Vec::with_capacity(self.dimms.len());
+        let mut retries = 0u32;
+        let mut backoff = Nanos::ZERO;
+        for d in &mut self.dimms {
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                match d.save() {
+                    Ok(o) => {
+                        outcomes.push(o);
+                        break;
+                    }
+                    Err(NvramError::SaveCommandFailed { .. }) if attempt < max_attempts => {
+                        retries += 1;
+                        backoff += Self::RETRY_BACKOFF_BASE * (1u64 << (attempt - 1).min(6));
+                    }
+                    Err(NvramError::SaveCommandFailed { .. }) => {
+                        return Err(NvramError::SaveCommandFailed { attempts: attempt });
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(PoolSaveReport {
+            outcomes,
+            retries,
+            backoff,
+        })
     }
 
     /// True if every module holds a valid flash image.
@@ -169,9 +235,21 @@ impl NvramPool {
     ///
     /// # Errors
     ///
-    /// Fails with the first module that lacks a valid image — the caller
-    /// must then recover from the storage back end instead.
+    /// Fails with the first module that lacks a valid image or whose
+    /// image fails checksum verification, and with
+    /// [`NvramError::GenerationMismatch`] when modules hold images from
+    /// different save generations (one module kept a stale image from an
+    /// earlier save; mixing them would corrupt memory silently) — the
+    /// caller must then recover from a lower ladder rung instead.
     pub fn restore_all(&mut self) -> Result<Nanos, NvramError> {
+        if self.dimms.iter().all(|d| d.flash().has_valid_image()) {
+            let gens = self.dimms.iter().map(|d| d.flash().generation());
+            let newest = gens.clone().max().unwrap_or(0);
+            let stale = gens.min().unwrap_or(0);
+            if stale != newest {
+                return Err(NvramError::GenerationMismatch { newest, stale });
+            }
+        }
         let mut worst = Nanos::ZERO;
         for d in &mut self.dimms {
             worst = worst.max(d.restore()?);
@@ -257,5 +335,61 @@ mod tests {
     #[test]
     fn total_capacity_sums_modules() {
         assert_eq!(pool().total_capacity(), ByteSize::mib(2));
+    }
+
+    #[test]
+    fn transient_command_faults_are_retried_with_backoff() {
+        let mut p = pool();
+        p.write(0, b"flaky");
+        p.dimms_mut()[1].inject_save_command_faults(2);
+        let report = p.save_all_with_retry(4).unwrap();
+        assert!(report.outcomes.iter().all(|o| o.completed));
+        assert_eq!(report.retries, 2);
+        // 100 µs + 200 µs of exponential backoff.
+        assert_eq!(report.backoff, Nanos::from_micros(300));
+        assert!(p.all_saved());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let mut p = pool();
+        p.dimms_mut()[0].inject_save_command_faults(10);
+        assert_eq!(
+            p.save_all_with_retry(3).unwrap_err(),
+            NvramError::SaveCommandFailed { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn save_on_powered_off_pool_is_bad_state_not_panic() {
+        let mut p = pool();
+        p.power_loss();
+        assert!(matches!(
+            p.save_all(),
+            Err(NvramError::BadState { state: "Off", .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_generation_images_are_rejected() {
+        let mut p = pool();
+        p.write(0, b"gen1");
+        p.save_all().unwrap(); // both modules at generation 1
+        for d in p.dimms_mut() {
+            d.exit_self_refresh().unwrap();
+        }
+        // Second save: module 0 succeeds (generation 2), module 1 keeps
+        // failing and retains its valid generation-1 image.
+        p.dimms_mut()[1].inject_save_command_faults(10);
+        assert!(matches!(
+            p.save_all_with_retry(2),
+            Err(NvramError::SaveCommandFailed { .. })
+        ));
+        p.power_loss();
+        p.power_on();
+        assert_eq!(
+            p.restore_all().unwrap_err(),
+            NvramError::GenerationMismatch { newest: 2, stale: 1 }
+        );
     }
 }

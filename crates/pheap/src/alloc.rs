@@ -119,7 +119,7 @@ impl FreeListAllocator {
     /// Returns [`HeapError::InvalidPointer`] if `ptr` is not a live
     /// allocation from this allocator.
     pub fn free(&self, ws: &mut dyn WordStore, ptr: u64) -> Result<(), HeapError> {
-        if ptr < self.heap_start + HEADER || ptr >= self.heap_end || ptr % 8 != 0 {
+        if ptr < self.heap_start + HEADER || ptr >= self.heap_end || !ptr.is_multiple_of(8) {
             return Err(HeapError::InvalidPointer { offset: ptr });
         }
         let block = ptr - HEADER;

@@ -140,27 +140,41 @@ impl RecoveryLadder {
                 let took = heap.elapsed();
                 Ok((heap, RecoverySource::LocalNvram, took))
             }
-            Err(HeapError::Unrecoverable { .. }) => {
-                let ckpt = self.backend.checkpoint.as_ref().ok_or(
-                    HeapError::Unrecoverable {
-                        reason: "no local image and no back-end checkpoint",
-                    },
-                )?;
-                let size = ByteSize::new(ckpt.bytes.len() as u64);
-                let stream = self.backend.read_bandwidth.transfer_time(size);
-                let restored = CrashImage::new(ckpt.bytes.clone(), true, ckpt.profile.clone());
-                let heap = PersistentHeap::recover(restored)?;
-                let took = stream + heap.elapsed();
-                Ok((
-                    heap,
-                    RecoverySource::BackendCheckpoint {
-                        checkpoint_seq: ckpt.seq,
-                    },
-                    took,
-                ))
-            }
+            Err(HeapError::Unrecoverable { .. }) => self.recover_from_checkpoint(),
             Err(other) => Err(other),
         }
+    }
+
+    /// Rebuilds the heap from the back-end checkpoint alone, without
+    /// attempting local recovery first — the bottom rung of the recovery
+    /// ladder, taken when the node holds no usable NVRAM image at all
+    /// (torn save, failed save command, nothing armed).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Unrecoverable`] when no checkpoint exists.
+    pub fn recover_from_checkpoint(
+        &self,
+    ) -> Result<(PersistentHeap, RecoverySource, Nanos), HeapError> {
+        let ckpt = self
+            .backend
+            .checkpoint
+            .as_ref()
+            .ok_or(HeapError::Unrecoverable {
+                reason: "no local image and no back-end checkpoint",
+            })?;
+        let size = ByteSize::new(ckpt.bytes.len() as u64);
+        let stream = self.backend.read_bandwidth.transfer_time(size);
+        let restored = CrashImage::new(ckpt.bytes.clone(), true, ckpt.profile.clone());
+        let heap = PersistentHeap::recover(restored)?;
+        let took = stream + heap.elapsed();
+        Ok((
+            heap,
+            RecoverySource::BackendCheckpoint {
+                checkpoint_seq: ckpt.seq,
+            },
+            took,
+        ))
     }
 }
 

@@ -49,7 +49,7 @@ impl PmPtr {
     /// Wraps a non-zero, 8-byte-aligned region offset.
     #[must_use]
     pub fn new(offset: u64) -> Option<Self> {
-        (offset != 0 && offset % 8 == 0).then_some(PmPtr(offset))
+        (offset != 0 && offset.is_multiple_of(8)).then_some(PmPtr(offset))
     }
 
     /// The raw region offset.
@@ -275,7 +275,7 @@ impl PersistentHeap {
 
     fn check_word_addr(&self, addr: u64) -> Result<(), HeapError> {
         let end = self.mem.capacity().as_u64();
-        if addr % 8 != 0 || addr < ROOT_ADDR || addr + 8 > end {
+        if !addr.is_multiple_of(8) || addr < ROOT_ADDR || addr + 8 > end {
             Err(HeapError::InvalidPointer { offset: addr })
         } else {
             Ok(())
@@ -295,6 +295,50 @@ impl PersistentHeap {
     #[must_use]
     pub fn txid_high_water(&self) -> u64 {
         self.next_txid
+    }
+
+    /// Cache lines holding committed in-place data whose only durable
+    /// copy may be stale (flush-on-fail configurations accumulate these
+    /// across truncations). This is the stage-A flush working set.
+    #[must_use]
+    pub fn unflushed_line_count(&self) -> u64 {
+        self.unflushed_lines.len() as u64
+    }
+
+    /// The priority (stage-A) flush of a degraded save: makes the heap
+    /// header, the whole log area, and every tracked committed data line
+    /// durable — the minimal set from which [`PersistentHeap::recover_partial`]
+    /// can rebuild all committed state. Bulk dirty lines are left for a
+    /// later stage (or for flush-on-fail of the whole cache). Returns
+    /// the simulated time the flush cost.
+    pub fn priority_flush(&mut self) -> Nanos {
+        let before = self.mem.elapsed();
+        let log_cap = log_capacity(self.mem.capacity());
+        self.mem.clflush_range(0, LOG_BASE);
+        self.mem.clflush_range(LOG_BASE, log_cap.as_u64());
+        let mut lines: Vec<u64> = self.unflushed_lines.drain().collect();
+        lines.sort_unstable();
+        for line in lines {
+            self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+        }
+        self.mem.sfence();
+        self.mem.elapsed() - before
+    }
+
+    /// Recovers committed state from a *partial* image: one whose
+    /// flush-on-fail save did not complete, but where a priority flush
+    /// ([`PersistentHeap::priority_flush`]) made the header, log and
+    /// committed data lines durable before power died. Redo logs replay
+    /// committed transactions; undo logs roll back uncommitted ones.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Unrecoverable`] for the plain [`HeapConfig::Fof`]
+    /// configuration (it keeps no log, so a partial image cannot be
+    /// replayed — fall back to the storage back end), or
+    /// [`HeapError::CorruptHeader`] for an unrecognisable image.
+    pub fn recover_partial(image: CrashImage) -> Result<Self, HeapError> {
+        Self::recover_inner(image, OverheadModel::default(), true)
     }
 
     /// Simulates a power failure: the flush-on-fail save runs iff
@@ -329,6 +373,14 @@ impl PersistentHeap {
 
     /// [`PersistentHeap::recover`] with an explicit overhead model.
     pub fn recover_with(image: CrashImage, overheads: OverheadModel) -> Result<Self, HeapError> {
+        Self::recover_inner(image, overheads, false)
+    }
+
+    fn recover_inner(
+        image: CrashImage,
+        overheads: OverheadModel,
+        partial: bool,
+    ) -> Result<Self, HeapError> {
         let CrashImage {
             bytes,
             fof_save_completed,
@@ -344,7 +396,12 @@ impl PersistentHeap {
             return Err(HeapError::CorruptHeader);
         }
         let config = HeapConfig::from_code(word(CONFIG_ADDR)).ok_or(HeapError::CorruptHeader)?;
-        if !config.flush_on_commit() && !fof_save_completed {
+        if partial && config == HeapConfig::Fof {
+            return Err(HeapError::Unrecoverable {
+                reason: "plain FoF heap keeps no log; a partial image cannot be replayed",
+            });
+        }
+        if !partial && !config.flush_on_commit() && !fof_save_completed {
             return Err(HeapError::Unrecoverable {
                 reason: "flush-on-fail heap lost its cache contents (save did not complete)",
             });
@@ -656,6 +713,13 @@ impl Tx<'_> {
                         self.heap.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
                     }
                     self.heap.mem.sfence();
+                } else {
+                    // Flush-on-fail: committed in-place data stays cached;
+                    // remember the lines so a priority (stage-A) flush can
+                    // make exactly the committed state durable.
+                    for &line in &self.touched_lines {
+                        self.heap.unflushed_lines.insert(line);
+                    }
                 }
                 self.heap
                     .log
@@ -751,6 +815,12 @@ impl Tx<'_> {
                     self.heap.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
                 }
                 self.heap.mem.sfence();
+            } else {
+                // Flush-on-fail: the rolled-back old values live only in
+                // cache; track the lines for the priority flush.
+                for &line in &self.touched_lines {
+                    self.heap.unflushed_lines.insert(line);
+                }
             }
             self.heap
                 .log
@@ -783,9 +853,10 @@ impl PersistentHeap {
                 self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
             }
             self.mem.sfence();
-        } else {
-            self.unflushed_lines.clear();
         }
+        // Flush-on-fail: the lines stay tracked — after truncation the
+        // log can no longer replay them, so they are exactly what a
+        // priority (stage-A) flush must make durable.
         self.log.truncate(&mut self.mem, self.config.flush_on_commit());
     }
 }
@@ -915,6 +986,74 @@ mod tests {
                 Err(HeapError::Unrecoverable { .. })
             ));
         }
+    }
+
+    #[test]
+    fn fof_partial_image_recovers_committed_state() {
+        for config in [HeapConfig::FofStm, HeapConfig::FofUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 4242);
+            // Enough committed transactions to truncate the redo log at
+            // least once, exercising unflushed-line retention across
+            // truncation.
+            let mut cells = Vec::new();
+            for i in 0..400u64 {
+                let mut tx = h.begin();
+                let c = tx.alloc(8).unwrap();
+                tx.write_word(c, i * 3 + 1).unwrap();
+                tx.commit().unwrap();
+                cells.push(c);
+            }
+            let flush_cost = h.priority_flush();
+            assert!(flush_cost > Nanos::ZERO);
+            // Power dies before the bulk flush-on-fail save completes.
+            let image = h.crash(false);
+            let mut r = PersistentHeap::recover_partial(image).unwrap();
+            let root = r.root().unwrap();
+            assert_eq!(root, p);
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(root).unwrap(), 4242, "{config}");
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(
+                    tx.read_word(*c).unwrap(),
+                    i as u64 * 3 + 1,
+                    "{config} cell {i}"
+                );
+            }
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn fof_partial_recovery_rolls_back_in_flight_transaction() {
+        let mut h = heap(HeapConfig::FofUndo);
+        let p = put_one(&mut h, 41);
+        let mut tx = h.begin();
+        tx.write_word(p, 13).unwrap();
+        // Evict the dirty line so the "new value reached NVRAM early"
+        // case is exercised; the durable undo record must fix it.
+        tx.heap.mem.clflush_range(p.offset(), 8);
+        tx.heap.mem.sfence();
+        std::mem::forget(unsafe_extend(tx));
+        h.priority_flush();
+        let image = h.crash(false);
+        let mut r = PersistentHeap::recover_partial(image).unwrap();
+        let root = r.root().unwrap();
+        let mut check = r.begin();
+        assert_eq!(check.read_word(root).unwrap(), 41, "rolled back");
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn plain_fof_partial_image_is_unrecoverable() {
+        let mut h = heap(HeapConfig::Fof);
+        put_one(&mut h, 7);
+        h.priority_flush();
+        let image = h.crash(false);
+        assert!(matches!(
+            PersistentHeap::recover_partial(image),
+            Err(HeapError::Unrecoverable { .. })
+        ));
     }
 
     #[test]

@@ -289,7 +289,7 @@ impl TornLog {
                 *polarity = !*polarity;
             }
         };
-        'scan: while consumed + 1 <= cap_words {
+        'scan: while consumed < cap_words {
             let header = word_at(index);
             if (header & TORN_BIT != 0) != polarity {
                 break;
@@ -396,7 +396,7 @@ mod tests {
         // image manually — emulate by appending with cached stores and
         // flushing just the first word's line... simplest honest tear:
         // write the header word durably but not the payload words.
-        let header = (2u64 << 8) | 0 /* Write */ | (1 << 63);
+        let header = (2u64 << 8) /* kind 0 = Write */ | (1 << 63);
         let addr = BASE + log.head * 8;
         mem.ntstore_u64(addr, header);
         mem.sfence();

@@ -33,7 +33,7 @@ mod scope;
 mod ultracap;
 mod ups;
 
-pub use monitor::{PowerFailEvent, PowerMonitor};
+pub use monitor::{MonitorError, PowerFailEvent, PowerMonitor, PwrOkSample, PwrOkVerdict};
 pub use provision::{ProvisionPlan, SupercapProvisioner};
 pub use psu::{Psu, Rail};
 pub use scope::{Oscilloscope, ScopeSample, ScopeTrace};

@@ -18,6 +18,72 @@ pub struct PowerFailEvent {
     pub usable_window: Nanos,
 }
 
+/// One sampled transition of the ATX `PWR_OK` line, as recorded by the
+/// monitor's input-capture unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwrOkSample {
+    /// Timestamp of the transition.
+    pub at: Nanos,
+    /// Line level from this instant until the next sample (the final
+    /// sample's level persists).
+    pub ok: bool,
+}
+
+impl PwrOkSample {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(at: Nanos, ok: bool) -> Self {
+        PwrOkSample { at, ok }
+    }
+}
+
+/// The debounced classification of a `PWR_OK` trace (paper §5.2: the
+/// detector only declares input-power failure once the line has stayed
+/// low for a full debounce interval, so sub-threshold glitches never
+/// trigger a spurious whole-system save).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PwrOkVerdict {
+    /// Every low excursion recovered before the debounce interval
+    /// elapsed: no save is initiated.
+    Glitch {
+        /// Number of sub-threshold dips observed.
+        dips: u32,
+        /// Duration of the longest dip.
+        longest_dip: Nanos,
+    },
+    /// The line stayed low for the full debounce interval.
+    PowerFail {
+        /// When the detector committed to the failure (start of the
+        /// qualifying low interval plus the debounce time).
+        detected_at: Nanos,
+        /// Sub-threshold dips seen *before* the qualifying drop.
+        dips_before: u32,
+    },
+}
+
+/// Typed errors from the monitor's trace classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MonitorError {
+    /// Samples were not in non-decreasing timestamp order.
+    NonMonotonicTrace {
+        /// Index of the out-of-order sample.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::NonMonotonicTrace { index } => {
+                write!(f, "PWR_OK trace is non-monotonic at sample {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
 /// The NetDuino-style microcontroller of the prototype: watches
 /// `PWR_OK`, raises a host interrupt over a serial line, and relays
 /// save/restore commands to the NVDIMMs over I2C.
@@ -39,9 +105,15 @@ pub struct PowerMonitor {
     pub interrupt_latency: Nanos,
     /// Host command → NVDIMM command latency (serial + I2C relay).
     pub i2c_command_latency: Nanos,
+    /// How long `PWR_OK` must stay low before the monitor declares an
+    /// input-power failure (paper §5.2's 250 µs detector).
+    pub debounce: Nanos,
 }
 
 impl PowerMonitor {
+    /// The paper's §5.2 debounce interval: 250 µs.
+    pub const DEFAULT_DEBOUNCE: Nanos = Nanos::from_micros(250);
+
     /// The prototype's NetDuino microcontroller: ~100 µs to interrupt the
     /// host, ~200 µs to relay an I2C command to the NVDIMMs.
     #[must_use]
@@ -49,16 +121,73 @@ impl PowerMonitor {
         PowerMonitor {
             interrupt_latency: Nanos::from_micros(100),
             i2c_command_latency: Nanos::from_micros(200),
+            debounce: Self::DEFAULT_DEBOUNCE,
         }
     }
 
-    /// Creates a monitor with explicit latencies.
+    /// Creates a monitor with explicit latencies and the default
+    /// 250 µs debounce.
     #[must_use]
     pub fn new(interrupt_latency: Nanos, i2c_command_latency: Nanos) -> Self {
         PowerMonitor {
             interrupt_latency,
             i2c_command_latency,
+            debounce: Self::DEFAULT_DEBOUNCE,
         }
+    }
+
+    /// Replaces the debounce interval.
+    #[must_use]
+    pub fn with_debounce(mut self, debounce: Nanos) -> Self {
+        self.debounce = debounce;
+        self
+    }
+
+    /// Classifies a `PWR_OK` transition trace: dips shorter than the
+    /// debounce interval are glitches; the first low interval that lasts
+    /// the full interval (including a trailing low that never recovers)
+    /// is a power failure, detected `debounce` after the line dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::NonMonotonicTrace`] if sample timestamps
+    /// decrease.
+    pub fn classify_pwr_ok(&self, samples: &[PwrOkSample]) -> Result<PwrOkVerdict, MonitorError> {
+        let mut dips: u32 = 0;
+        let mut longest_dip = Nanos::ZERO;
+        let mut low_since: Option<Nanos> = None;
+        let mut last_at = Nanos::ZERO;
+        for (index, sample) in samples.iter().enumerate() {
+            if index > 0 && sample.at < last_at {
+                return Err(MonitorError::NonMonotonicTrace { index });
+            }
+            last_at = sample.at;
+            match (low_since, sample.ok) {
+                (None, false) => low_since = Some(sample.at),
+                (Some(since), true) => {
+                    let dur = sample.at.saturating_sub(since);
+                    if dur >= self.debounce {
+                        return Ok(PwrOkVerdict::PowerFail {
+                            detected_at: since + self.debounce,
+                            dips_before: dips,
+                        });
+                    }
+                    dips += 1;
+                    longest_dip = longest_dip.max(dur);
+                    low_since = None;
+                }
+                _ => {}
+            }
+        }
+        // A trailing low level persists, so it always outlasts the
+        // debounce interval eventually.
+        if let Some(since) = low_since {
+            return Ok(PwrOkVerdict::PowerFail {
+                detected_at: since + self.debounce,
+                dips_before: dips,
+            });
+        }
+        Ok(PwrOkVerdict::Glitch { dips, longest_dip })
     }
 
     /// Models an input-power failure: computes the PSU's residual window
@@ -102,5 +231,101 @@ mod tests {
     #[test]
     fn default_is_netduino() {
         assert_eq!(PowerMonitor::default(), PowerMonitor::netduino());
+    }
+
+    fn us(v: u64) -> Nanos {
+        Nanos::from_micros(v)
+    }
+
+    #[test]
+    fn sub_threshold_dips_are_glitches() {
+        let m = PowerMonitor::netduino();
+        let trace = [
+            PwrOkSample::new(us(0), true),
+            PwrOkSample::new(us(10), false),
+            PwrOkSample::new(us(60), true), // 50 µs dip
+            PwrOkSample::new(us(100), false),
+            PwrOkSample::new(us(300), true), // 200 µs dip
+        ];
+        assert_eq!(
+            m.classify_pwr_ok(&trace),
+            Ok(PwrOkVerdict::Glitch {
+                dips: 2,
+                longest_dip: us(200),
+            })
+        );
+    }
+
+    #[test]
+    fn sustained_low_is_power_fail_after_debounce() {
+        let m = PowerMonitor::netduino();
+        let trace = [
+            PwrOkSample::new(us(0), true),
+            PwrOkSample::new(us(40), false),
+            PwrOkSample::new(us(90), true), // glitch
+            PwrOkSample::new(us(500), false),
+            PwrOkSample::new(us(900), true), // 400 µs ≥ 250 µs debounce
+        ];
+        assert_eq!(
+            m.classify_pwr_ok(&trace),
+            Ok(PwrOkVerdict::PowerFail {
+                detected_at: us(750),
+                dips_before: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_low_is_power_fail() {
+        let m = PowerMonitor::netduino();
+        let trace = [
+            PwrOkSample::new(us(0), true),
+            PwrOkSample::new(us(100), false),
+        ];
+        assert_eq!(
+            m.classify_pwr_ok(&trace),
+            Ok(PwrOkVerdict::PowerFail {
+                detected_at: us(350),
+                dips_before: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn exactly_debounce_long_dip_fails() {
+        let m = PowerMonitor::netduino();
+        let trace = [
+            PwrOkSample::new(us(0), false),
+            PwrOkSample::new(us(250), true),
+        ];
+        assert!(matches!(
+            m.classify_pwr_ok(&trace),
+            Ok(PwrOkVerdict::PowerFail { .. })
+        ));
+    }
+
+    #[test]
+    fn non_monotonic_trace_is_typed_error() {
+        let m = PowerMonitor::netduino();
+        let trace = [
+            PwrOkSample::new(us(100), false),
+            PwrOkSample::new(us(50), true),
+        ];
+        assert_eq!(
+            m.classify_pwr_ok(&trace),
+            Err(MonitorError::NonMonotonicTrace { index: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let m = PowerMonitor::netduino();
+        assert_eq!(
+            m.classify_pwr_ok(&[]),
+            Ok(PwrOkVerdict::Glitch {
+                dips: 0,
+                longest_dip: Nanos::ZERO,
+            })
+        );
     }
 }

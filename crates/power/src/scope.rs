@@ -42,10 +42,10 @@ impl ScopeTrace {
         let floors: Vec<f64> = self.nominals.iter().map(|v| v * REGULATION_FLOOR).collect();
         let post: Vec<&ScopeSample> =
             self.samples.iter().filter(|s| s.offset_ns >= 0).collect();
-        for rail in 0..floors.len() {
+        for (rail, floor) in floors.iter().enumerate() {
             let mut run = 0usize;
             for (i, s) in post.iter().enumerate() {
-                if s.rails[rail] < floors[rail] {
+                if s.rails[rail] < *floor {
                     run += 1;
                     if run >= detect_samples {
                         let start = post[i + 1 - run];

@@ -112,6 +112,23 @@ impl Ultracapacitor {
         self
     }
 
+    /// Pre-ages the cell to `cycles` completed charge/discharge cycles
+    /// (a field-returned DIMM, Figure 1's x-axis) without simulating
+    /// each recharge.
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Whether the cell's present usable energy covers drawing `load`
+    /// for `duration` — the Figure 2 save-feasibility inequality with
+    /// Figure 1 aging applied.
+    #[must_use]
+    pub fn covers(&self, load: Watts, duration: Nanos) -> bool {
+        self.usable_energy() >= load * duration
+    }
+
     /// Present capacitance, accounting for cycle aging.
     #[must_use]
     pub fn capacitance(&self) -> Farads {
@@ -244,5 +261,31 @@ mod tests {
     #[should_panic(expected = "minimum usable voltage")]
     fn inverted_voltage_range_rejected() {
         let _ = Ultracapacitor::new(Farads::new(1.0), Volts::new(5.0), Volts::new(6.0));
+    }
+
+    #[test]
+    fn with_cycles_matches_recharge_aging() {
+        let mut recharged = cell();
+        for _ in 0..50_000 {
+            recharged.recharge();
+        }
+        let pre_aged = cell().with_cycles(50_000);
+        assert_eq!(pre_aged.cycles(), 50_000);
+        assert_eq!(pre_aged.capacitance(), recharged.capacitance());
+    }
+
+    #[test]
+    fn aging_can_break_a_marginal_save_budget() {
+        // A cap provisioned with ~5% margin over the save energy: fresh
+        // it covers the save, aged to 100k cycles (worst case, ~10%
+        // fade) it no longer does.
+        let load = Watts::new(8.0);
+        let duration = Nanos::from_secs(7);
+        // Usable energy = C/2 · (12² − 6²) = 54·C joules; save needs
+        // 56 J, so C = 1.09 F gives ≈5% fresh margin.
+        let fresh = Ultracapacitor::new(Farads::new(1.09), Volts::new(12.0), Volts::new(6.0));
+        assert!(fresh.covers(load, duration));
+        let aged = fresh.clone().with_cycles(100_000);
+        assert!(!aged.covers(load, duration));
     }
 }

@@ -111,11 +111,11 @@ impl fmt::Display for ByteSize {
         const MIB: u64 = 1024 * KIB;
         const GIB: u64 = 1024 * MIB;
         let n = self.0;
-        if n >= GIB && n % GIB == 0 {
+        if n >= GIB && n.is_multiple_of(GIB) {
             write!(f, "{}GiB", n / GIB)
-        } else if n >= MIB && n % MIB == 0 {
+        } else if n >= MIB && n.is_multiple_of(MIB) {
             write!(f, "{}MiB", n / MIB)
-        } else if n >= KIB && n % KIB == 0 {
+        } else if n >= KIB && n.is_multiple_of(KIB) {
             write!(f, "{}KiB", n / KIB)
         } else {
             write!(f, "{n}B")

@@ -16,6 +16,14 @@ echo "== crash sweeps under a pinned seed =="
 WSP_DET_SEED=42 cargo test -q --offline --test fault_injection
 WSP_DET_SEED=42 cargo test -q --offline --test crash_consistency
 
+echo "== crash-sweep soak: three seeds, serial and sharded =="
+for seed in 11 42 1337; do
+    echo "  -- seed $seed (thread default)"
+    WSP_DET_SEED=$seed cargo test -q --offline --test fault_injection
+    echo "  -- seed $seed (WSP_FAULTSIM_THREADS=1)"
+    WSP_DET_SEED=$seed WSP_FAULTSIM_THREADS=1 cargo test -q --offline --test fault_injection
+done
+
 echo "== benches compile (bench feature) =="
 cargo build --offline -p wsp-bench --features bench --benches
 
@@ -25,7 +33,13 @@ cargo test -q --offline -p wsp-bench --features bench
 echo "== host-time throughput gate (>20% hash-table regression fails) =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr2 -- check BENCH_PR2.json
 
+echo "== recovery-ladder time gate (>20% sweep slowdown fails) =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr3 -- check BENCH_PR3.json
+
 echo "== deny-warnings build =="
 RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "verify.sh: all gates passed"

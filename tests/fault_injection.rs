@@ -6,8 +6,9 @@
 use wsp_det::{gen, Forall};
 use wsp_repro::pheap::HeapConfig;
 use wsp_repro::wsp::{
-    save_path_crash_points, sweep_mid_transaction, sweep_save_path, RestartStrategy,
-    SaveFault, SaveStep, FLUSH_BATCHES,
+    ladder_crash_points, save_path_crash_points, sweep_mid_transaction, sweep_recovery_ladder,
+    sweep_save_path, LadderFault, LadderRung, RecoveryOutcome, RestartStrategy, SaveFault,
+    SaveStep, FLUSH_BATCHES,
 };
 use wsp_repro::machine::{Machine, SystemLoad};
 
@@ -80,4 +81,106 @@ fn mid_transaction_sweep_holds_for_every_config_and_seed() {
             assert!(report.crash_points >= 2, "{config}");
         }
     });
+}
+
+/// The ladder sweep enumerates every degraded-mode fault class: glitch
+/// storms, both window shortfalls, a mid-save brown-out, aged cells,
+/// save-command flakes and dead commands, a crash at each recovery
+/// rung, plus a torn save and a cell brown-out per NVDIMM module.
+#[test]
+fn ladder_fault_enumeration_is_exhaustive() {
+    let machine = Machine::intel_testbed();
+    let modules = machine.nvram().dimms().len();
+    let points = ladder_crash_points(modules);
+    assert_eq!(points.len(), 11 + 2 * modules);
+    for fault in [
+        LadderFault::GlitchStorm { dips: 3 },
+        LadderFault::WindowShortfall { fatal: false },
+        LadderFault::WindowShortfall { fatal: true },
+        LadderFault::BrownOutMidSave,
+        LadderFault::AgedUltracap { cycles: 150_000 },
+        LadderFault::SaveCommandFlake {
+            module: 0,
+            failures: 2,
+        },
+        LadderFault::SaveCommandStuck { module: 0 },
+        LadderFault::CrashDuringRestore {
+            rung: LadderRung::LocalWsp,
+        },
+        LadderFault::CrashDuringRestore {
+            rung: LadderRung::HeapLogReplay,
+        },
+        LadderFault::CrashDuringRestore {
+            rung: LadderRung::ClusterRebuild,
+        },
+    ] {
+        assert!(points.contains(&fault), "{fault:?}");
+    }
+    for module in 0..modules {
+        assert!(points.contains(&LadderFault::TornSave { module }));
+        assert!(points.contains(&LadderFault::UltracapBrownOut { module }));
+    }
+}
+
+/// The degraded-mode contract holds for every fault class on both
+/// testbeds, at both loads, across randomized seeds: the sweep itself
+/// panics on any violation, so reaching the count assertions means
+/// every injection ended in `Recovered` or a typed `Degraded` verdict —
+/// zero panics, zero data loss without detection. Exactly the two
+/// glitch storms are absorbed without an outage, and exactly four
+/// classes recover (the partial-window save via log replay, the
+/// save-command flake, and the crashes during the two recovering
+/// rungs); every other class degrades with the loss quantified.
+#[test]
+fn recovery_ladder_sweep_holds_across_testbeds_loads_and_seeds() {
+    Forall::new(gen::triple(
+        gen::any::<u64>(),
+        gen::any::<bool>(),
+        gen::any::<bool>(),
+    ))
+    .cases(6)
+    .check(|&(seed, intel, busy)| {
+        let make = if intel {
+            Machine::intel_testbed
+        } else {
+            Machine::amd_testbed
+        };
+        let load = if busy {
+            SystemLoad::Busy
+        } else {
+            SystemLoad::Idle
+        };
+        let report = sweep_recovery_ladder(make, load, seed);
+        assert_eq!(report.glitches_ignored, 2);
+        assert_eq!(report.recovered, 4);
+        assert_eq!(
+            report.recovered + report.degraded + report.glitches_ignored,
+            report.outcomes.len()
+        );
+        for point in &report.outcomes {
+            match (&point.outcome, point.fault) {
+                (None, LadderFault::GlitchStorm { .. }) => {}
+                (None, fault) => panic!("{fault:?} produced no recovery outcome"),
+                (Some(RecoveryOutcome::Recovered { .. }), _) => {}
+                (Some(RecoveryOutcome::Degraded { rung, reason, .. }), fault) => {
+                    assert_eq!(*rung, LadderRung::ClusterRebuild, "{fault:?}");
+                    assert!(!reason.is_empty(), "{fault:?}: untyped degradation");
+                }
+            }
+        }
+    });
+}
+
+/// Bitwise reproducibility: the same seed yields an identical sweep —
+/// outcome by outcome — on repeated runs, regardless of how
+/// `WSP_FAULTSIM_THREADS` shards the points (per-point PRNGs are split
+/// serially before dispatch, so sharding cannot perturb them).
+#[test]
+fn recovery_ladder_sweep_is_reproducible() {
+    let a = sweep_recovery_ladder(Machine::intel_testbed, SystemLoad::Busy, 0xd15ea5e);
+    let b = sweep_recovery_ladder(Machine::intel_testbed, SystemLoad::Busy, 0xd15ea5e);
+    assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
+    assert_eq!(a.recovered, b.recovered);
+    assert_eq!(a.degraded, b.degraded);
+    assert_eq!(a.glitches_ignored, b.glitches_ignored);
 }
