@@ -2,6 +2,7 @@
 //! non-temporal stores and fences, with writeback events reported to the
 //! memory model.
 
+use wsp_obs as obs;
 use wsp_units::{ByteSize, Nanos};
 
 use crate::{CacheStats, CpuProfile, Eviction, LineAddr, SetAssocCache, LINE_SIZE};
@@ -473,6 +474,18 @@ impl CacheHierarchy {
         let latency = self.profile.wbinvd_base + scan.max(stream);
         let writebacks = dirty.clone();
         self.walk_scratch = dirty;
+        // `wbinvd` is rare (one per save path); per-access operations
+        // like clflush stay uninstrumented to keep the hot path flat.
+        obs::emit(
+            "cache",
+            "wbinvd",
+            latency,
+            writebacks.len() as i64,
+            written_back.as_u64() as i64,
+        );
+        obs::count(obs::Ctr::WbinvdWalks);
+        obs::count_by(obs::Ctr::WbinvdLinesWritten, writebacks.len() as u64);
+        obs::observe(obs::Hist::Wbinvd, latency);
         WbinvdResult {
             latency,
             writebacks,

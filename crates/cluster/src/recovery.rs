@@ -1,6 +1,7 @@
 //! Recovery storms: back-end recovery vs WSP local recovery for a fleet
 //! of main-memory servers.
 
+use wsp_obs as obs;
 use wsp_units::{Bandwidth, ByteSize, Nanos};
 
 /// A fleet of main-memory servers sharing one storage back end.
@@ -74,12 +75,21 @@ impl ClusterSpec {
     /// Full report for a scenario.
     #[must_use]
     pub fn recovery_report(&self, scenario: &OutageScenario) -> StormReport {
+        let backend_time = self.backend_recovery_time(scenario.failed);
+        let wsp_time = self.wsp_recovery_time(scenario.failed, scenario.outage);
+        obs::emit(
+            "cluster",
+            "recovery_storm",
+            wsp_time,
+            scenario.failed as i64,
+            backend_time.as_nanos() as i64,
+        );
         StormReport {
             failed: scenario.failed,
             outage: scenario.outage,
             per_server_state: self.memory_per_server,
-            backend_time: self.backend_recovery_time(scenario.failed),
-            wsp_time: self.wsp_recovery_time(scenario.failed, scenario.outage),
+            backend_time,
+            wsp_time,
         }
     }
 }

@@ -37,6 +37,22 @@ pub enum WspError {
     Monitor(MonitorError),
 }
 
+impl WspError {
+    /// Stable kind label, used as the `detail` of typed refusal trace
+    /// events so tests can assert exactly one event per error variant.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WspError::BackendRecoveryRequired { .. } => "backend-recovery-required",
+            WspError::Nvram(_) => "nvram",
+            WspError::PartialImage => "partial-image",
+            WspError::TornImage { .. } => "torn-image",
+            WspError::Heap(_) => "heap",
+            WspError::Monitor(_) => "monitor",
+        }
+    }
+}
+
 impl fmt::Display for WspError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -88,6 +104,23 @@ impl From<MonitorError> for WspError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let variants = [
+            WspError::BackendRecoveryRequired { reason: String::new() },
+            WspError::Nvram(NvramError::NoValidImage),
+            WspError::PartialImage,
+            WspError::TornImage { detail: String::new() },
+            WspError::Heap(HeapError::CorruptHeader),
+            WspError::Monitor(MonitorError::NonMonotonicTrace { index: 0 }),
+        ];
+        let kinds: Vec<_> = variants.iter().map(WspError::kind).collect();
+        for (i, k) in kinds.iter().enumerate() {
+            assert!(!k.is_empty());
+            assert!(!kinds[i + 1..].contains(k), "duplicate kind {k}");
+        }
+    }
 
     #[test]
     fn displays_and_sources() {

@@ -43,6 +43,8 @@ use wsp_cache::FlushMethod;
 use wsp_cluster::ClusterSpec;
 use wsp_det::{DetRng, Rng};
 use wsp_machine::{CpuContext, Machine, SystemLoad};
+use wsp_obs as obs;
+use wsp_obs::{Capture, Ctr, MetricsSnapshot, Trace};
 use wsp_pheap::{BackendStore, HeapConfig, HeapError, PersistentHeap, PmPtr, RecoveryLadder};
 use wsp_power::{AgingModel, Ultracapacitor};
 use wsp_units::{ByteSize, Farads, Nanos, Volts, Watts};
@@ -142,6 +144,23 @@ pub struct SaveSweepReport {
     pub outcomes: Vec<FaultOutcome>,
     /// How many faults still recovered locally (post-arm points).
     pub locally_restored: usize,
+    /// Per-point traces merged in crash-point order — identical for any
+    /// `WSP_FAULTSIM_THREADS`.
+    pub trace: Trace,
+    /// Metrics aggregated across every point, in the same order.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Merges per-point captures in point order into one sweep-level trace
+/// and metrics snapshot. Each point is recorded wholly on the worker
+/// that ran it, so merging in point order makes the result independent
+/// of the thread count.
+fn merge_point_captures(captures: impl IntoIterator<Item = Capture>) -> Capture {
+    let mut merged = Capture::default();
+    for cap in captures {
+        merged.absorb(cap);
+    }
+    merged
 }
 
 /// Enumerates every injectable power-failure point of the save path:
@@ -211,17 +230,38 @@ fn sweep_save_path_threads(
     // depend only on the sweep seed and the point index, never on which
     // worker runs the point or in what order.
     let mut parent = DetRng::seed_from_u64(seed ^ 0x57u64);
-    let points: Vec<(SaveFault, DetRng)> = save_path_crash_points(strategy, modules)
+    let points: Vec<(usize, (SaveFault, DetRng))> = save_path_crash_points(strategy, modules)
         .into_iter()
         .map(|fault| (fault, parent.split()))
+        .enumerate()
         .collect();
-    let outcomes = run_sharded(points, threads, |(fault, rng)| {
-        run_save_point(&make_machine, load, strategy, seed, fault, rng)
+    let pairs = run_sharded(points, threads, |(idx, (fault, rng))| {
+        obs::capture(|| {
+            obs::emit_detail(
+                "faultsim",
+                "inject",
+                Nanos::ZERO,
+                idx as i64,
+                0,
+                format!("{fault:?}"),
+            );
+            obs::count(Ctr::FaultsInjected);
+            run_save_point(&make_machine, load, strategy, seed, fault, rng)
+        })
     });
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    let mut captures = Vec::with_capacity(pairs.len());
+    for (outcome, cap) in pairs {
+        outcomes.push(outcome);
+        captures.push(cap);
+    }
+    let merged = merge_point_captures(captures);
     let locally_restored = outcomes.iter().filter(|o| o.locally_restored).count();
     SaveSweepReport {
         outcomes,
         locally_restored,
+        trace: merged.trace,
+        metrics: merged.metrics,
     }
 }
 
@@ -328,6 +368,11 @@ pub struct MidTxSweepReport {
     /// Crash points exercised (one per prefix of the scripted
     /// transaction, including the empty prefix).
     pub crash_points: usize,
+    /// Baseline-setup events followed by per-point traces merged in
+    /// crash-point order — identical for any `WSP_FAULTSIM_THREADS`.
+    pub trace: Trace,
+    /// Metrics aggregated across the setup and every crash point.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Crashes an open transaction after every prefix of a seeded operation
@@ -352,10 +397,12 @@ fn sweep_mid_transaction_threads(config: HeapConfig, seed: u64, threads: usize) 
     let mut rng = DetRng::seed_from_u64(seed);
 
     // Committed baseline: eight root-reachable cells with known values.
-    let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+    // The setup commit is captured so its pheap metrics land in the
+    // sweep's snapshot, not in the caller's ambient recorder.
     let cells = 8usize;
-    let mut committed: Vec<(PmPtr, u64)> = Vec::new();
-    {
+    let ((heap, committed), setup) = obs::capture(|| {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut committed: Vec<(PmPtr, u64)> = Vec::new();
         let mut tx = heap.begin();
         let base = tx.alloc(cells as u64 * 8).unwrap();
         for i in 0..cells {
@@ -366,7 +413,8 @@ fn sweep_mid_transaction_threads(config: HeapConfig, seed: u64, threads: usize) 
         }
         tx.set_root(base).unwrap();
         tx.commit().unwrap();
-    }
+        (heap, committed)
+    });
 
     // The scripted in-flight transaction: twelve writes over the cells.
     let script: Vec<(usize, u64)> = (0..12)
@@ -380,13 +428,29 @@ fn sweep_mid_transaction_threads(config: HeapConfig, seed: u64, threads: usize) 
     // outcome is schedule-independent by construction.
     let save_runs = !config.flush_on_commit();
     let points: Vec<usize> = (0..=script.len()).collect();
-    run_sharded(points, threads, |crash_at| {
-        run_tx_point(&heap, &committed, &script, config, save_runs, crash_at);
+    let captures = run_sharded(points, threads, |crash_at| {
+        let ((), cap) = obs::capture(|| {
+            obs::emit_detail(
+                "faultsim",
+                "inject",
+                Nanos::ZERO,
+                crash_at as i64,
+                0,
+                format!("MidTx {{ crash_at: {crash_at} }}"),
+            );
+            obs::count(Ctr::FaultsInjected);
+            run_tx_point(&heap, &committed, &script, config, save_runs, crash_at);
+        });
+        cap
     });
+    let mut merged = setup;
+    merged.absorb(merge_point_captures(captures));
 
     MidTxSweepReport {
         config,
         crash_points: script.len() + 1,
+        trace: merged.trace,
+        metrics: merged.metrics,
     }
 }
 
@@ -533,6 +597,11 @@ pub struct LadderSweepReport {
     pub degraded: usize,
     /// Glitch storms the debounce filter absorbed (no outage at all).
     pub glitches_ignored: usize,
+    /// Per-point traces merged in fault-class order — identical for any
+    /// `WSP_FAULTSIM_THREADS`.
+    pub trace: Trace,
+    /// Metrics aggregated across every fault class, in the same order.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Enumerates every ladder fault class for a machine with `modules`
@@ -609,13 +678,32 @@ fn sweep_recovery_ladder_threads(
 ) -> LadderSweepReport {
     let modules = make_machine().nvram().dimms().len();
     let mut parent = DetRng::seed_from_u64(seed ^ 0x1ad);
-    let points: Vec<(LadderFault, DetRng)> = ladder_crash_points(modules)
+    let points: Vec<(usize, (LadderFault, DetRng))> = ladder_crash_points(modules)
         .into_iter()
         .map(|fault| (fault, parent.split()))
+        .enumerate()
         .collect();
-    let outcomes = run_sharded(points, threads, |(fault, rng)| {
-        run_ladder_point(&make_machine, load, seed, fault, rng)
+    let pairs = run_sharded(points, threads, |(idx, (fault, rng))| {
+        obs::capture(|| {
+            obs::emit_detail(
+                "faultsim",
+                "inject",
+                Nanos::ZERO,
+                idx as i64,
+                0,
+                format!("{fault:?}"),
+            );
+            obs::count(Ctr::FaultsInjected);
+            run_ladder_point(&make_machine, load, seed, fault, rng)
+        })
     });
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    let mut captures = Vec::with_capacity(pairs.len());
+    for (outcome, cap) in pairs {
+        outcomes.push(outcome);
+        captures.push(cap);
+    }
+    let merged = merge_point_captures(captures);
     let recovered = outcomes
         .iter()
         .filter(|o| matches!(o.outcome, Some(RecoveryOutcome::Recovered { .. })))
@@ -630,6 +718,8 @@ fn sweep_recovery_ladder_threads(
         recovered,
         degraded,
         glitches_ignored,
+        trace: merged.trace,
+        metrics: merged.metrics,
     }
 }
 
@@ -993,6 +1083,16 @@ mod tests {
             );
             assert_eq!(parallel.locally_restored, serial.locally_restored);
             assert_eq!(format!("{:?}", parallel.outcomes), format!("{:?}", serial.outcomes));
+            // The merged observability stream is part of the contract:
+            // bitwise-identical trace and metrics at any thread count.
+            if let Err(report) =
+                wsp_obs::diff_traces(&serial.trace, &parallel.trace, wsp_obs::DiffMode::Full)
+            {
+                panic!("{threads}-thread save-sweep trace diverges:\n{report}");
+            }
+            if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
+                panic!("{threads}-thread save-sweep metrics diverge: {diff}");
+            }
         }
     }
 
@@ -1002,6 +1102,14 @@ mod tests {
             let serial = sweep_mid_transaction_threads(config, 1234, 1);
             let parallel = sweep_mid_transaction_threads(config, 1234, 4);
             assert_eq!(parallel.crash_points, serial.crash_points, "{config}");
+            if let Err(report) =
+                wsp_obs::diff_traces(&serial.trace, &parallel.trace, wsp_obs::DiffMode::Full)
+            {
+                panic!("{config}: mid-tx sweep trace diverges:\n{report}");
+            }
+            if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
+                panic!("{config}: mid-tx sweep metrics diverge: {diff}");
+            }
         }
     }
 
@@ -1064,6 +1172,14 @@ mod tests {
                 format!("{:?}", parallel.outcomes),
                 format!("{:?}", serial.outcomes)
             );
+            if let Err(report) =
+                wsp_obs::diff_traces(&serial.trace, &parallel.trace, wsp_obs::DiffMode::Full)
+            {
+                panic!("{threads}-thread ladder-sweep trace diverges:\n{report}");
+            }
+            if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
+                panic!("{threads}-thread ladder-sweep metrics diverge: {diff}");
+            }
         }
     }
 }

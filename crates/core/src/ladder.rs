@@ -28,6 +28,7 @@
 
 use wsp_cluster::ClusterSpec;
 use wsp_machine::Machine;
+use wsp_obs as obs;
 use wsp_pheap::{PersistentHeap, RecoveryLadder, RecoverySource};
 use wsp_units::Nanos;
 
@@ -53,6 +54,17 @@ impl LadderRung {
             LadderRung::LocalWsp => "full WSP resume",
             LadderRung::HeapLogReplay => "heap log replay",
             LadderRung::ClusterRebuild => "cluster back-end rebuild",
+        }
+    }
+
+    /// Rung position, best (0) to worst (2) — the `a` payload of every
+    /// ladder trace event.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            LadderRung::LocalWsp => 0,
+            LadderRung::HeapLogReplay => 1,
+            LadderRung::ClusterRebuild => 2,
         }
     }
 }
@@ -149,13 +161,33 @@ pub fn run_recovery_ladder(input: LadderInput<'_>) -> (LadderReport, Option<Pers
     let mut attempts: Vec<RungAttempt> = Vec::new();
     let mut power_cycles: u32 = 0;
     let mut pending_crash = crash_at;
+    // The ladder's own clock: recovery time accumulated so far. Rungs
+    // advance it by their reported durations; refusals are stamped with
+    // the clock reading at which they were taken.
+    let mut now = Nanos::ZERO;
+    obs::emit("ladder", "begin", now, i64::from(image.is_some()), 0);
+
+    // A refused rung: exactly one typed trace event per refusal.
+    let refuse = |rung: LadderRung, reason: String, attempts: &mut Vec<RungAttempt>, now: Nanos| {
+        obs::emit_detail("ladder", "refusal", now, rung.index() as i64, 0, reason.clone());
+        obs::count(obs::Ctr::RungRefusals);
+        attempts.push(RungAttempt {
+            rung,
+            refusal: Some(reason),
+        });
+    };
 
     // Power fails (again) right as `rung` is entered: cycle power and
     // signal the caller to restart the ladder from the top.
-    let mut crash_now = |rung: LadderRung, machine: &mut Machine, attempts: &mut Vec<RungAttempt>| {
+    let mut crash_now = |rung: LadderRung,
+                         machine: &mut Machine,
+                         attempts: &mut Vec<RungAttempt>,
+                         now: Nanos| {
         machine.system_power_loss();
         machine.system_power_on();
         power_cycles += 1;
+        obs::emit("ladder", "power_cycle", now, rung.index() as i64, 0);
+        obs::count(obs::Ctr::PowerCycles);
         attempts.push(RungAttempt {
             rung,
             refusal: Some(format!(
@@ -169,20 +201,40 @@ pub fn run_recovery_ladder(input: LadderInput<'_>) -> (LadderReport, Option<Pers
         // ---- Rung 1: full WSP resume -------------------------------
         if pending_crash == Some(LadderRung::LocalWsp) {
             pending_crash = None;
-            crash_now(LadderRung::LocalWsp, machine, &mut attempts);
+            crash_now(LadderRung::LocalWsp, machine, &mut attempts, now);
             continue;
         }
+        obs::emit_detail(
+            "ladder",
+            "rung_attempt",
+            now,
+            LadderRung::LocalWsp.index() as i64,
+            0,
+            LadderRung::LocalWsp.label().into(),
+        );
+        obs::count(obs::Ctr::RungAttempts);
         match restore(machine, strategy) {
             Ok(report) => {
+                now += report.total;
                 // The machine image resumed; the heap must come back
                 // from its own (complete) image to call this rung good.
                 match image.clone().map(PersistentHeap::recover) {
                     Some(Ok(heap)) => {
                         let took = report.total + heap.elapsed();
+                        now += heap.elapsed();
                         attempts.push(RungAttempt {
                             rung: LadderRung::LocalWsp,
                             refusal: None,
                         });
+                        obs::emit(
+                            "ladder",
+                            "recovered",
+                            now,
+                            LadderRung::LocalWsp.index() as i64,
+                            took.as_nanos() as i64,
+                        );
+                        obs::count(obs::Ctr::LadderRecovered);
+                        obs::observe(obs::Hist::RecoveryTook, took);
                         return (
                             LadderReport {
                                 attempts,
@@ -195,39 +247,60 @@ pub fn run_recovery_ladder(input: LadderInput<'_>) -> (LadderReport, Option<Pers
                             Some(heap),
                         );
                     }
-                    Some(Err(e)) => attempts.push(RungAttempt {
-                        rung: LadderRung::LocalWsp,
-                        refusal: Some(format!(
-                            "machine image resumed but heap recovery refused: {e}"
-                        )),
-                    }),
-                    None => attempts.push(RungAttempt {
-                        rung: LadderRung::LocalWsp,
-                        refusal: Some("machine image resumed but no heap image exists".into()),
-                    }),
+                    Some(Err(e)) => refuse(
+                        LadderRung::LocalWsp,
+                        format!("machine image resumed but heap recovery refused: {e}"),
+                        &mut attempts,
+                        now,
+                    ),
+                    None => refuse(
+                        LadderRung::LocalWsp,
+                        "machine image resumed but no heap image exists".into(),
+                        &mut attempts,
+                        now,
+                    ),
                 }
             }
             Err(WspError::PartialImage) => {
-                attempts.push(RungAttempt {
-                    rung: LadderRung::LocalWsp,
-                    refusal: Some(
-                        "partial marker set: only the priority stage is durable".into(),
-                    ),
-                });
+                refuse(
+                    LadderRung::LocalWsp,
+                    "partial marker set: only the priority stage is durable".into(),
+                    &mut attempts,
+                    now,
+                );
                 // ---- Rung 2: heap log replay -----------------------
                 if pending_crash == Some(LadderRung::HeapLogReplay) {
                     pending_crash = None;
-                    crash_now(LadderRung::HeapLogReplay, machine, &mut attempts);
+                    crash_now(LadderRung::HeapLogReplay, machine, &mut attempts, now);
                     continue;
                 }
+                obs::emit_detail(
+                    "ladder",
+                    "rung_attempt",
+                    now,
+                    LadderRung::HeapLogReplay.index() as i64,
+                    0,
+                    LadderRung::HeapLogReplay.label().into(),
+                );
+                obs::count(obs::Ctr::RungAttempts);
                 match image.clone() {
                     Some(img) => match PersistentHeap::recover_partial(img) {
                         Ok(heap) => {
                             let took = heap.elapsed();
+                            now += took;
                             attempts.push(RungAttempt {
                                 rung: LadderRung::HeapLogReplay,
                                 refusal: None,
                             });
+                            obs::emit(
+                                "ladder",
+                                "recovered",
+                                now,
+                                LadderRung::HeapLogReplay.index() as i64,
+                                took.as_nanos() as i64,
+                            );
+                            obs::count(obs::Ctr::LadderRecovered);
+                            obs::observe(obs::Hist::RecoveryTook, took);
                             return (
                                 LadderReport {
                                     attempts,
@@ -240,29 +313,40 @@ pub fn run_recovery_ladder(input: LadderInput<'_>) -> (LadderReport, Option<Pers
                                 Some(heap),
                             );
                         }
-                        Err(e) => attempts.push(RungAttempt {
-                            rung: LadderRung::HeapLogReplay,
-                            refusal: Some(format!("log replay refused: {e}")),
-                        }),
+                        Err(e) => refuse(
+                            LadderRung::HeapLogReplay,
+                            format!("log replay refused: {e}"),
+                            &mut attempts,
+                            now,
+                        ),
                     },
-                    None => attempts.push(RungAttempt {
-                        rung: LadderRung::HeapLogReplay,
-                        refusal: Some("no heap image available for log replay".into()),
-                    }),
+                    None => refuse(
+                        LadderRung::HeapLogReplay,
+                        "no heap image available for log replay".into(),
+                        &mut attempts,
+                        now,
+                    ),
                 }
             }
-            Err(e) => attempts.push(RungAttempt {
-                rung: LadderRung::LocalWsp,
-                refusal: Some(e.to_string()),
-            }),
+            Err(e) => refuse(LadderRung::LocalWsp, e.to_string(), &mut attempts, now),
         }
 
         // ---- Rung 3: cluster back-end rebuild ----------------------
         if pending_crash == Some(LadderRung::ClusterRebuild) {
             pending_crash = None;
-            crash_now(LadderRung::ClusterRebuild, machine, &mut attempts);
+            crash_now(LadderRung::ClusterRebuild, machine, &mut attempts, now);
             continue;
         }
+        obs::emit_detail(
+            "ladder",
+            "rung_attempt",
+            now,
+            LadderRung::ClusterRebuild.index() as i64,
+            0,
+            LadderRung::ClusterRebuild.label().into(),
+        );
+        obs::count(obs::Ctr::RungAttempts);
+        obs::count(obs::Ctr::ClusterRebuilds);
         attempts.push(RungAttempt {
             rung: LadderRung::ClusterRebuild,
             refusal: None,
@@ -279,6 +363,17 @@ pub fn run_recovery_ladder(input: LadderInput<'_>) -> (LadderReport, Option<Pers
                 // The node-local stream is a lower bound; the cluster
                 // model's per-server rebuild time dominates at scale.
                 let took = stream.max(cluster.backend_recovery_time(1));
+                now += took;
+                obs::emit_detail(
+                    "ladder",
+                    "degraded",
+                    now,
+                    LadderRung::ClusterRebuild.index() as i64,
+                    took.as_nanos() as i64,
+                    staleness.clone(),
+                );
+                obs::count(obs::Ctr::LadderDegraded);
+                obs::observe(obs::Hist::RecoveryTook, took);
                 (
                     LadderReport {
                         attempts,
@@ -292,18 +387,30 @@ pub fn run_recovery_ladder(input: LadderInput<'_>) -> (LadderReport, Option<Pers
                     Some(heap),
                 )
             }
-            Err(e) => (
-                LadderReport {
-                    attempts,
-                    outcome: RecoveryOutcome::Degraded {
-                        rung: LadderRung::ClusterRebuild,
-                        reason: format!("bottom rung refused: {e}"),
-                        took: Nanos::ZERO,
+            Err(e) => {
+                let reason = format!("bottom rung refused: {e}");
+                obs::emit_detail(
+                    "ladder",
+                    "degraded",
+                    now,
+                    LadderRung::ClusterRebuild.index() as i64,
+                    0,
+                    reason.clone(),
+                );
+                obs::count(obs::Ctr::LadderDegraded);
+                (
+                    LadderReport {
+                        attempts,
+                        outcome: RecoveryOutcome::Degraded {
+                            rung: LadderRung::ClusterRebuild,
+                            reason,
+                            took: Nanos::ZERO,
+                        },
+                        power_cycles,
                     },
-                    power_cycles,
-                },
-                None,
-            ),
+                    None,
+                )
+            }
         };
     }
 }

@@ -3,6 +3,7 @@
 
 use wsp_machine::{CpuContext, Machine};
 use wsp_nvram::NvramError;
+use wsp_obs as obs;
 use wsp_units::Nanos;
 
 use crate::layout;
@@ -74,24 +75,44 @@ pub struct RestoreReport {
 pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<RestoreReport, WspError> {
     let mut steps = Vec::new();
     let mut total = Nanos::ZERO;
-    let push = |steps: &mut Vec<(RestoreStep, Nanos)>, total: &mut Nanos, s, t| {
+    obs::emit("restore", "begin", Nanos::ZERO, 0, 0);
+    obs::count(obs::Ctr::RestoreAttempts);
+    let push = |steps: &mut Vec<(RestoreStep, Nanos)>, total: &mut Nanos, s: RestoreStep, t: Nanos| {
         steps.push((s, t));
         *total += t;
+        obs::emit_detail(
+            "restore",
+            "step",
+            *total,
+            t.as_nanos() as i64,
+            steps.len() as i64 - 1,
+            s.label().into(),
+        );
+    };
+    // A typed refusal: exactly one event per `WspError` the restore
+    // path returns, stamped with the error's stable kind.
+    let refuse = |err: WspError, total: Nanos| {
+        obs::emit_detail("restore", "refusal", total, 0, 0, err.kind().into());
+        obs::count(obs::Ctr::RestoreRefusals);
+        err
     };
 
     // Step 10: flash -> DRAM, all modules in parallel. Integrity
     // failures (checksum, generation coherence) are typed distinctly
     // from a plain missing image: the former is detected corruption, the
     // latter an ordinary incomplete save.
-    let restore_time = machine.nvram_mut().restore_all().map_err(|e| match e {
-        NvramError::ChecksumMismatch { .. } | NvramError::GenerationMismatch { .. } => {
-            WspError::TornImage {
-                detail: format!("NVDIMM restore failed: {e}"),
+    let restore_time = machine.nvram_mut().restore_all().map_err(|e| {
+        let err = match e {
+            NvramError::ChecksumMismatch { .. } | NvramError::GenerationMismatch { .. } => {
+                WspError::TornImage {
+                    detail: format!("NVDIMM restore failed: {e}"),
+                }
             }
-        }
-        other => WspError::BackendRecoveryRequired {
-            reason: format!("NVDIMM restore failed: {other}"),
-        },
+            other => WspError::BackendRecoveryRequired {
+                reason: format!("NVDIMM restore failed: {other}"),
+            },
+        };
+        refuse(err, total)
     })?;
     push(&mut steps, &mut total, RestoreStep::RestoreNvdimmContents, restore_time);
 
@@ -109,11 +130,14 @@ pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<Resto
         let mut partial = [0u8; 8];
         machine.nvram().read(layout::PARTIAL_MARKER_ADDR, &mut partial);
         if u64::from_le_bytes(partial) == layout::PARTIAL_MAGIC {
-            return Err(WspError::PartialImage);
+            return Err(refuse(WspError::PartialImage, total));
         }
-        return Err(WspError::BackendRecoveryRequired {
-            reason: "image marker invalid: save did not complete".into(),
-        });
+        return Err(refuse(
+            WspError::BackendRecoveryRequired {
+                reason: "image marker invalid: save did not complete".into(),
+            },
+            total,
+        ));
     }
 
     push(
@@ -163,6 +187,8 @@ pub fn restore(machine: &mut Machine, strategy: RestartStrategy) -> Result<Resto
         Nanos::from_millis(1),
     );
 
+    obs::emit("restore", "done", total, ios_retried as i64, 0);
+    obs::observe(obs::Hist::RestoreTotal, total);
     Ok(RestoreReport {
         steps,
         total,

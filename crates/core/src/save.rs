@@ -4,6 +4,7 @@
 
 use wsp_cache::FlushMethod;
 use wsp_machine::{CpuContext, Machine, SystemLoad};
+use wsp_obs as obs;
 use wsp_units::{Nanos, Watts};
 
 use crate::layout;
@@ -146,18 +147,41 @@ pub fn flush_on_fail_save_with_fault(
     let window = machine.residual_window(load);
     let mut steps: Vec<(SaveStep, Nanos)> = Vec::new();
     let mut elapsed = Nanos::ZERO;
-    let push = |steps: &mut Vec<(SaveStep, Nanos)>, elapsed: &mut Nanos, s, t| {
+    obs::emit("save", "begin", Nanos::ZERO, window.as_nanos() as i64, 0);
+    let push = |steps: &mut Vec<(SaveStep, Nanos)>, elapsed: &mut Nanos, s: SaveStep, t: Nanos| {
         steps.push((s, t));
         *elapsed += t;
+        obs::emit_detail(
+            "save",
+            "step",
+            *elapsed,
+            t.as_nanos() as i64,
+            steps.len() as i64 - 1,
+            s.label().into(),
+        );
+        obs::count(obs::Ctr::SaveSteps);
+        obs::observe(obs::Hist::SaveStep, t);
     };
     // Power dies at this step: the report ends here, nothing later runs.
     let dies_before = |s: SaveStep| fault == Some(SaveFault::BeforeStep(s));
-    let interrupted = |steps: Vec<(SaveStep, Nanos)>, elapsed: Nanos| SaveReport {
-        steps,
-        total: elapsed,
-        window,
-        completed: false,
-        fraction_of_window: elapsed.ratio_of(window),
+    let interrupted = |steps: Vec<(SaveStep, Nanos)>, elapsed: Nanos| {
+        obs::emit_detail(
+            "save",
+            "interrupted",
+            elapsed,
+            steps.len() as i64,
+            0,
+            fault.map(|f| format!("{f:?}")).unwrap_or_default(),
+        );
+        obs::count(obs::Ctr::SavesInterrupted);
+        obs::observe(obs::Hist::SaveTotal, elapsed);
+        SaveReport {
+            steps,
+            total: elapsed,
+            window,
+            completed: false,
+            fraction_of_window: elapsed.ratio_of(window),
+        }
     };
 
     let monitor = machine.monitor().clone();
@@ -217,9 +241,11 @@ pub fn flush_on_fail_save_with_fault(
     if dies_before(SaveStep::FlushCaches) {
         return interrupted(steps, elapsed);
     }
+    let dirty = machine.dirty_estimate(load);
+    obs::gauge_set(obs::Gauge::DirtyEstimate, dirty.as_u64() as i64);
     let flush = machine
         .flush_analysis()
-        .flush_time(FlushMethod::Wbinvd, machine.dirty_estimate(load));
+        .flush_time(FlushMethod::Wbinvd, dirty);
     if let Some(SaveFault::DuringCacheFlush { batch, batches }) = fault {
         // Power dies with `batch`/`batches` of the dirty lines written
         // back. In the simulation the flush has no NVRAM side effects to
@@ -315,6 +341,19 @@ pub fn flush_on_fail_save_with_fault(
     }
 
     let completed = will_initiate && modules_saved;
+    obs::emit(
+        "save",
+        if completed { "complete" } else { "failed" },
+        elapsed,
+        window.as_nanos() as i64,
+        i64::from(modules_saved),
+    );
+    obs::count(if completed {
+        obs::Ctr::SavesCompleted
+    } else {
+        obs::Ctr::SavesInterrupted
+    });
+    obs::observe(obs::Hist::SaveTotal, elapsed);
     SaveReport {
         steps,
         total: elapsed,

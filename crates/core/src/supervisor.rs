@@ -31,6 +31,7 @@
 use wsp_cache::FlushMethod;
 use wsp_machine::{CpuContext, Machine, SystemLoad};
 use wsp_nvram::NvramError;
+use wsp_obs as obs;
 use wsp_pheap::PersistentHeap;
 use wsp_power::{PwrOkSample, PwrOkVerdict};
 use wsp_units::Nanos;
@@ -168,6 +169,14 @@ pub fn supervised_save(
     // 1. Debounce. A glitch storm ends here with zero mutations.
     match monitor.classify_pwr_ok(trace)? {
         PwrOkVerdict::Glitch { dips, longest_dip } => {
+            obs::emit(
+                "supervisor",
+                "glitch_ignored",
+                longest_dip,
+                i64::from(dips),
+                longest_dip.as_nanos() as i64,
+            );
+            obs::count(obs::Ctr::GlitchesIgnored);
             return Ok(StagedSaveReport {
                 verdict: SaveVerdict::GlitchIgnored { dips, longest_dip },
                 window: Nanos::ZERO,
@@ -189,16 +198,29 @@ pub fn supervised_save(
     let window = budget.window_cap.map_or(measured, |cap| cap.min(measured));
     let cut = budget.cut;
     let mut used = monitor.debounce + monitor.interrupt_latency + profile.ipi_latency;
-
-    let fail = |reason: String, used: Nanos, stage_a: Nanos, stage_b: Nanos| StagedSaveReport {
-        verdict: SaveVerdict::Failed { reason },
-        window,
+    obs::gauge_set(obs::Gauge::ResidualWindow, window.as_nanos() as i64);
+    obs::emit(
+        "supervisor",
+        "outage_detected",
         used,
-        stage_a,
-        stage_b,
-        retries: 0,
-        backoff: Nanos::ZERO,
-        armed: false,
+        window.as_nanos() as i64,
+        cut.map_or(-1, |c| c.as_nanos() as i64),
+    );
+
+    let fail = |reason: String, used: Nanos, stage_a: Nanos, stage_b: Nanos| {
+        obs::emit_detail("supervisor", "save_failed", used, 0, 0, reason.clone());
+        obs::count(obs::Ctr::SupervisedFailed);
+        obs::observe(obs::Hist::SupervisorUsed, used);
+        StagedSaveReport {
+            verdict: SaveVerdict::Failed { reason },
+            window,
+            used,
+            stage_a,
+            stage_b,
+            retries: 0,
+            backoff: Nanos::ZERO,
+            armed: false,
+        }
     };
 
     // 3. NVDIMM feasibility (Figure 1 aging vs Figure 2 demand): an
@@ -218,7 +240,10 @@ pub fn supervised_save(
     // the machine's bulk flush estimate.
     let stage_a_cost = {
         let mut probe = heap.clone();
-        probe.priority_flush()
+        // The probe is planning, not flushing: capture-and-discard keeps
+        // its events and counters out of the ambient recorder.
+        let (cost, _hypothetical) = obs::capture(|| probe.priority_flush());
+        cost
     };
     let stage_b_cost = machine
         .flush_analysis()
@@ -268,6 +293,13 @@ pub fn supervised_save(
         machine.nvram_mut().write(addr, &ctx.to_bytes());
     }
     used += contexts_cost;
+    obs::emit(
+        "supervisor",
+        "contexts_saved",
+        used,
+        core_count as i64,
+        contexts_cost.as_nanos() as i64,
+    );
 
     // 6. Stage A: heap log + metadata + committed-but-unflushed lines.
     if !survives(used, stage_a_cost, cut) {
@@ -280,6 +312,14 @@ pub fn supervised_save(
     }
     let stage_a = heap.priority_flush();
     used += stage_a;
+    obs::emit(
+        "supervisor",
+        "stage_a_flushed",
+        used,
+        stage_a.as_nanos() as i64,
+        0,
+    );
+    obs::observe(obs::Hist::StageA, stage_a);
 
     // 7. Stage B only if the plan said it fits.
     let mut stage_b = Nanos::ZERO;
@@ -297,6 +337,14 @@ pub fn supervised_save(
         }
         stage_b = stage_b_cost;
         used += stage_b;
+        obs::emit(
+            "supervisor",
+            "stage_b_flushed",
+            used,
+            stage_b.as_nanos() as i64,
+            0,
+        );
+        obs::observe(obs::Hist::StageB, stage_b);
     }
 
     // 8. Marker: VALID attests to both stages, PARTIAL to stage A only.
@@ -319,6 +367,19 @@ pub fn supervised_save(
         );
     }
     used += marker_cost;
+    obs::emit_detail(
+        "supervisor",
+        "marker_written",
+        used,
+        i64::from(full_fits),
+        0,
+        if full_fits { "valid" } else { "partial" }.into(),
+    );
+    obs::count(if full_fits {
+        obs::Ctr::ValidMarkers
+    } else {
+        obs::Ctr::PartialMarkers
+    });
 
     // 9. Arm the modules, retrying transient command failures. The
     // marker written above only becomes durable if this step lands: the
@@ -345,14 +406,23 @@ pub fn supervised_save(
         Err(other) => return Err(other.into()),
     };
     used += arm_cost + pool_report.backoff;
+    obs::emit(
+        "supervisor",
+        "modules_armed",
+        used,
+        pool_report.retries as i64,
+        pool_report.backoff.as_nanos() as i64,
+    );
     if let Some(torn) = pool_report.outcomes.iter().position(|o| !o.completed) {
         // Defensive: the feasibility gate makes this unreachable for
         // honest cells, but a cell that lies about its charge still
         // ends in a typed verdict, not a panic.
+        let reason = format!("module {torn} browned out during its DRAM→flash copy");
+        obs::emit_detail("supervisor", "save_failed", used, torn as i64, 0, reason.clone());
+        obs::count(obs::Ctr::SupervisedFailed);
+        obs::observe(obs::Hist::SupervisorUsed, used);
         return Ok(StagedSaveReport {
-            verdict: SaveVerdict::Failed {
-                reason: format!("module {torn} browned out during its DRAM→flash copy"),
-            },
+            verdict: SaveVerdict::Failed { reason },
             window,
             used,
             stage_a,
@@ -367,6 +437,20 @@ pub fn supervised_save(
         core.halted = true;
     }
 
+    obs::emit_detail(
+        "supervisor",
+        "save_done",
+        used,
+        i64::from(full_fits),
+        window.as_nanos() as i64,
+        if full_fits { "complete" } else { "partial-priority" }.into(),
+    );
+    obs::count(if full_fits {
+        obs::Ctr::SupervisedComplete
+    } else {
+        obs::Ctr::SupervisedPartial
+    });
+    obs::observe(obs::Hist::SupervisorUsed, used);
     Ok(StagedSaveReport {
         verdict: if full_fits {
             SaveVerdict::Complete

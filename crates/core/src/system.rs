@@ -2,6 +2,7 @@
 
 use wsp_det::{DetRng, Rng};
 use wsp_machine::{Machine, SystemLoad};
+use wsp_obs as obs;
 use wsp_units::Nanos;
 
 use crate::restore::restore;
@@ -83,10 +84,19 @@ impl WspSystem {
             self.machine.nvram_mut().write(*addr, data);
         }
 
+        obs::emit_detail(
+            "system",
+            "drill_begin",
+            Nanos::ZERO,
+            seed as i64,
+            0,
+            load.label().to_string(),
+        );
         let save = flush_on_fail_save(&mut self.machine, load, strategy);
 
         // The outage: system power disappears. (If the save initiated the
         // NVDIMM flash copy, it already completed on ultracap power.)
+        obs::emit("system", "power_cut", save.total, save.completed as i64, 0);
         self.machine.system_power_loss();
         self.machine.system_power_on();
 
@@ -110,6 +120,13 @@ impl WspSystem {
             + if save.completed { nvdimm_save } else { Nanos::ZERO }
             + restore_report.as_ref().map_or(Nanos::ZERO, |r| r.total);
 
+        obs::emit(
+            "system",
+            "drill_done",
+            local_downtime,
+            data_preserved as i64,
+            restore_report.is_some() as i64,
+        );
         OutageReport {
             save,
             restore: restore_report,

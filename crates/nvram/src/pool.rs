@@ -2,6 +2,7 @@
 //! concatenation, with saves and restores running on all modules in
 //! parallel (they share no resources — paper §2).
 
+use wsp_obs as obs;
 use wsp_units::{ByteSize, Nanos};
 
 use crate::dimm::DimmState;
@@ -169,20 +170,37 @@ impl NvramPool {
         let mut outcomes = Vec::with_capacity(self.dimms.len());
         let mut retries = 0u32;
         let mut backoff = Nanos::ZERO;
-        for d in &mut self.dimms {
+        for (module, d) in self.dimms.iter_mut().enumerate() {
             let mut attempt = 0u32;
             loop {
                 attempt += 1;
                 match d.save() {
                     Ok(o) => {
                         outcomes.push(o);
+                        obs::count(obs::Ctr::NvdimmModulesArmed);
                         break;
                     }
                     Err(NvramError::SaveCommandFailed { .. }) if attempt < max_attempts => {
                         retries += 1;
                         backoff += Self::RETRY_BACKOFF_BASE * (1u64 << (attempt - 1).min(6));
+                        obs::emit(
+                            "nvram",
+                            "save_retry",
+                            backoff,
+                            module as i64,
+                            i64::from(attempt),
+                        );
+                        obs::count(obs::Ctr::NvdimmSaveRetries);
                     }
                     Err(NvramError::SaveCommandFailed { .. }) => {
+                        obs::emit(
+                            "nvram",
+                            "save_command_failed",
+                            backoff,
+                            module as i64,
+                            i64::from(attempt),
+                        );
+                        obs::count(obs::Ctr::NvdimmSaveFailures);
                         return Err(NvramError::SaveCommandFailed { attempts: attempt });
                     }
                     Err(e) => return Err(e),

@@ -1,0 +1,169 @@
+//! Trace diffing with human-readable first-divergence reports.
+//!
+//! Two modes:
+//!
+//! - [`DiffMode::Full`] — every field except `seq` must match,
+//!   timestamps included (bitwise). Golden-trace regression tests use
+//!   this: with a fixed seed the stream must be identical.
+//! - [`DiffMode::Structural`] — timestamps ignored; only the event
+//!   shape (subsystem, name, payloads, detail) must match. Idempotence
+//!   tests use this: a re-climb repeats the same steps at later clock
+//!   readings.
+
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::json::ParsedEvent;
+use crate::trace::Trace;
+
+/// How strictly two traces are compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffMode {
+    /// Timestamps compared bitwise (golden traces).
+    Full,
+    /// Timestamps ignored (idempotence / re-climb checks).
+    Structural,
+}
+
+/// Number of matching events echoed before a divergence for context.
+const CONTEXT: usize = 3;
+
+fn context_lines(report: &mut String, shown: &[String], at: usize) {
+    let from = at.saturating_sub(CONTEXT);
+    if from > 0 {
+        let _ = writeln!(report, "  ... {from} matching events ...");
+    }
+    for line in &shown[from..at] {
+        let _ = writeln!(report, "  = {line}");
+    }
+}
+
+fn render_diff(
+    label_a: &str,
+    label_b: &str,
+    a: Vec<String>,
+    b: Vec<String>,
+    diverged: Option<usize>,
+) -> Result<(), String> {
+    match diverged {
+        None if a.len() == b.len() => Ok(()),
+        None => {
+            let (longer, at) = if a.len() > b.len() {
+                (label_a, b.len())
+            } else {
+                (label_b, a.len())
+            };
+            let mut report = format!(
+                "trace length mismatch: {label_a} has {} events, {label_b} has {} — {longer} continues past event {at}:\n",
+                a.len(),
+                b.len()
+            );
+            context_lines(&mut report, if a.len() > b.len() { &a } else { &b }, at);
+            let extra = if a.len() > b.len() { &a[at] } else { &b[at] };
+            let _ = writeln!(report, "  + {extra}");
+            Err(report)
+        }
+        Some(at) => {
+            let mut report = format!("traces diverge at event {at}:\n");
+            context_lines(&mut report, &a, at);
+            let _ = writeln!(report, "  - {label_a}: {}", a[at]);
+            let _ = writeln!(report, "  + {label_b}: {}", b[at]);
+            Err(report)
+        }
+    }
+}
+
+/// Compares two live event streams; `Err` carries a readable report
+/// naming the first diverging event.
+pub fn diff_events(a: &[Event], b: &[Event], mode: DiffMode) -> Result<(), String> {
+    let eq = |x: &Event, y: &Event| match mode {
+        DiffMode::Full => x.same_content(y),
+        DiffMode::Structural => x.same_shape(y),
+    };
+    let diverged = a
+        .iter()
+        .zip(b.iter())
+        .position(|(x, y)| !eq(x, y));
+    render_diff(
+        "left",
+        "right",
+        a.iter().map(ToString::to_string).collect(),
+        b.iter().map(ToString::to_string).collect(),
+        diverged,
+    )
+}
+
+/// Compares two whole traces (see [`diff_events`]).
+pub fn diff_traces(a: &Trace, b: &Trace, mode: DiffMode) -> Result<(), String> {
+    diff_events(a.events(), b.events(), mode)
+}
+
+/// Compares a recorded golden (parsed from JSONL) against a live trace.
+pub fn diff_golden(golden: &[ParsedEvent], live: &Trace, mode: DiffMode) -> Result<(), String> {
+    let eq = |g: &ParsedEvent, e: &Event| match mode {
+        DiffMode::Full => g.same_content(e),
+        DiffMode::Structural => g.same_shape(e),
+    };
+    let diverged = golden
+        .iter()
+        .zip(live.events())
+        .position(|(g, e)| !eq(g, e));
+    render_diff(
+        "golden",
+        "live",
+        golden.iter().map(ParsedEvent::display).collect(),
+        live.events().iter().map(ToString::to_string).collect(),
+        diverged,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_units::Nanos;
+
+    fn ev(t: u64, name: &'static str, a: i64) -> Event {
+        Event {
+            seq: 0,
+            t: Nanos::new(t),
+            subsystem: "s",
+            name,
+            a,
+            b: 0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn identical_traces_diff_clean() {
+        let a = [ev(1, "x", 0), ev(2, "y", 1)];
+        assert!(diff_events(&a, &a, DiffMode::Full).is_ok());
+    }
+
+    #[test]
+    fn structural_mode_ignores_timestamps() {
+        let a = [ev(1, "x", 0)];
+        let b = [ev(900, "x", 0)];
+        assert!(diff_events(&a, &b, DiffMode::Full).is_err());
+        assert!(diff_events(&a, &b, DiffMode::Structural).is_ok());
+    }
+
+    #[test]
+    fn report_names_first_divergence_with_context() {
+        let a = [ev(1, "x", 0), ev(2, "y", 1), ev(3, "z", 2)];
+        let b = [ev(1, "x", 0), ev(2, "y", 1), ev(3, "z", 99)];
+        let report = diff_events(&a, &b, DiffMode::Full).unwrap_err();
+        assert!(report.contains("diverge at event 2"), "{report}");
+        assert!(report.contains("= "), "context shown: {report}");
+        assert!(report.contains("a=99"), "{report}");
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let a = [ev(1, "x", 0), ev(2, "y", 1)];
+        let b = [ev(1, "x", 0)];
+        let report = diff_events(&a, &b, DiffMode::Full).unwrap_err();
+        assert!(report.contains("length mismatch"), "{report}");
+        assert!(report.contains("2 events"), "{report}");
+    }
+}

@@ -1,0 +1,107 @@
+//! The structured trace event: the one record type every subsystem
+//! emits.
+
+use std::fmt;
+
+use wsp_units::Nanos;
+
+/// One structured trace event.
+///
+/// Events are deliberately flat and fixed-shape: a simulation timestamp,
+/// a static subsystem/name pair, two integer payload slots and an
+/// optional detail string. Everything is deterministic — timestamps come
+/// from the simulation clock, never the host — so a fixed seed yields a
+/// bitwise-identical event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the trace (assigned by the recorder; reassigned when
+    /// traces are merged so merged streams stay gapless).
+    pub seq: u64,
+    /// Simulation timestamp (local to the emitting routine's clock).
+    pub t: Nanos,
+    /// Emitting subsystem (`"save"`, `"ladder"`, `"nvram"`, ...).
+    pub subsystem: &'static str,
+    /// Event name within the subsystem (`"step"`, `"refusal"`, ...).
+    pub name: &'static str,
+    /// First integer payload slot (meaning depends on the event).
+    pub a: i64,
+    /// Second integer payload slot.
+    pub b: i64,
+    /// Optional human-readable detail (empty when absent). Must be
+    /// deterministic: derived from simulation state only.
+    pub detail: String,
+}
+
+impl Event {
+    /// True when two events carry the same structural content —
+    /// everything except `seq` and the timestamp. The structural diff
+    /// mode uses this for idempotence checks (re-climbs repeat the same
+    /// steps at later timestamps).
+    #[must_use]
+    pub fn same_shape(&self, other: &Event) -> bool {
+        self.subsystem == other.subsystem
+            && self.name == other.name
+            && self.a == other.a
+            && self.b == other.b
+            && self.detail == other.detail
+    }
+
+    /// True when two events are identical up to `seq` (timestamps
+    /// included). The golden-trace diff uses this: merged traces
+    /// renumber `seq`, but every timestamp must still match bitwise.
+    #[must_use]
+    pub fn same_content(&self, other: &Event) -> bool {
+        self.t == other.t && self.same_shape(other)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} t={} {}.{} a={} b={}",
+            self.seq, self.t, self.subsystem, self.name, self.a, self.b
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t: u64, name: &'static str) -> Event {
+        Event {
+            seq,
+            t: Nanos::new(t),
+            subsystem: "test",
+            name,
+            a: 1,
+            b: 2,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn shape_ignores_seq_and_time() {
+        assert!(ev(0, 10, "x").same_shape(&ev(5, 99, "x")));
+        assert!(!ev(0, 10, "x").same_shape(&ev(0, 10, "y")));
+    }
+
+    #[test]
+    fn content_includes_time_but_not_seq() {
+        assert!(ev(0, 10, "x").same_content(&ev(5, 10, "x")));
+        assert!(!ev(0, 10, "x").same_content(&ev(0, 11, "x")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut e = ev(3, 42, "step");
+        e.detail = "flush".into();
+        let s = e.to_string();
+        assert!(s.contains("test.step") && s.contains("flush"), "{s}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Golden-trace checking with a `WSP_UPDATE_GOLDEN=1` regeneration
+//! path.
+//!
+//! A golden file is the JSONL export of a scenario's trace, recorded
+//! once and committed under `tests/golden/`. [`check_golden`] replays
+//! the scenario, then either rewrites the file (update mode) or diffs
+//! the live trace against the recorded one, failing with a readable
+//! first-divergence report.
+
+use std::path::Path;
+
+use crate::diff::{diff_golden, DiffMode};
+use crate::json::{parse_jsonl, trace_to_jsonl};
+use crate::trace::Trace;
+
+/// True when `WSP_UPDATE_GOLDEN=1` is set: golden files are rewritten
+/// instead of checked.
+#[must_use]
+pub fn update_mode() -> bool {
+    std::env::var("WSP_UPDATE_GOLDEN").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Checks `live` against the golden file at `path`, or rewrites it in
+/// update mode. Errors are readable reports, not raw asserts:
+///
+/// - missing golden → instructions to regenerate;
+/// - unparseable golden → the schema violation, by line;
+/// - mismatch → the first diverging event with context.
+pub fn check_golden(path: &Path, live: &Trace, mode: DiffMode) -> Result<(), String> {
+    if update_mode() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, trace_to_jsonl(live))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "golden file {} unreadable ({e}); run with WSP_UPDATE_GOLDEN=1 to record it",
+            path.display()
+        )
+    })?;
+    let golden = parse_jsonl(&text)
+        .map_err(|e| format!("golden file {} is not schema-valid: {e}", path.display()))?;
+    diff_golden(&golden, live, mode)
+        .map_err(|report| format!("golden mismatch against {}:\n{report}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::capture;
+    use crate::emit;
+    use wsp_units::Nanos;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wsp-obs-golden-{name}-{}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn missing_golden_names_the_regen_path() {
+        let ((), cap) = capture(|| emit("t", "x", Nanos::new(1), 0, 0));
+        let path = tmp("missing");
+        let err = check_golden(&path, &cap.trace, DiffMode::Full).unwrap_err();
+        assert!(err.contains("WSP_UPDATE_GOLDEN=1"), "{err}");
+    }
+
+    #[test]
+    fn written_golden_round_trips() {
+        let ((), cap) = capture(|| {
+            emit("t", "x", Nanos::new(1), 4, 5);
+            emit("t", "y", Nanos::new(2), 6, 7);
+        });
+        let path = tmp("roundtrip");
+        std::fs::write(&path, trace_to_jsonl(&cap.trace)).unwrap();
+        check_golden(&path, &cap.trace, DiffMode::Full).unwrap();
+
+        let ((), other) = capture(|| {
+            emit("t", "x", Nanos::new(1), 4, 5);
+            emit("t", "y", Nanos::new(3), 6, 7);
+        });
+        let err = check_golden(&path, &other.trace, DiffMode::Full).unwrap_err();
+        assert!(err.contains("diverge at event 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

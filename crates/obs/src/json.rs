@@ -1,0 +1,313 @@
+//! Hand-rolled JSON export and a strict parser for the trace schema.
+//!
+//! Each event serialises to one JSON object per line (JSONL):
+//!
+//! ```json
+//! {"seq":0,"t":1200,"sub":"save","ev":"step","a":3,"b":0,"d":"FlushCaches"}
+//! ```
+//!
+//! The parser is deliberately strict — it accepts exactly this shape
+//! (all seven keys, in this order) and nothing else, which doubles as
+//! the schema validator `scripts/verify.sh` runs. The crate has no
+//! external dependencies, so both directions are written by hand.
+
+use std::fmt::Write as _;
+
+use wsp_units::Nanos;
+
+use crate::event::Event;
+use crate::trace::Trace;
+
+/// An event deserialised from JSONL. Field meanings match [`Event`];
+/// string fields are owned because parsed text cannot be `'static`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedEvent {
+    /// Trace sequence number.
+    pub seq: u64,
+    /// Simulation timestamp.
+    pub t: Nanos,
+    /// Emitting subsystem.
+    pub sub: String,
+    /// Event name.
+    pub ev: String,
+    /// First payload slot.
+    pub a: i64,
+    /// Second payload slot.
+    pub b: i64,
+    /// Detail string (may be empty).
+    pub d: String,
+}
+
+impl ParsedEvent {
+    /// Structural equality against a live event (ignores `seq` and `t`).
+    #[must_use]
+    pub fn same_shape(&self, e: &Event) -> bool {
+        self.sub == e.subsystem
+            && self.ev == e.name
+            && self.a == e.a
+            && self.b == e.b
+            && self.d == e.detail
+    }
+
+    /// Full-content equality against a live event (ignores `seq` only;
+    /// timestamps must match bitwise).
+    #[must_use]
+    pub fn same_content(&self, e: &Event) -> bool {
+        self.t == e.t && self.same_shape(e)
+    }
+
+    /// Renders the parsed event like [`Event`]'s `Display`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        let mut s = format!(
+            "#{} t={} {}.{} a={} b={}",
+            self.seq, self.t, self.sub, self.ev, self.a, self.b
+        );
+        if !self.d.is_empty() {
+            let _ = write!(s, " ({})", self.d);
+        }
+        s
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises one event to its JSON line (no trailing newline).
+#[must_use]
+pub fn event_to_json(e: &Event) -> String {
+    let mut out = String::with_capacity(64 + e.detail.len());
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"t\":{},\"sub\":\"",
+        e.seq,
+        e.t.as_nanos()
+    );
+    escape_into(&mut out, e.subsystem);
+    out.push_str("\",\"ev\":\"");
+    escape_into(&mut out, e.name);
+    let _ = write!(out, "\",\"a\":{},\"b\":{},\"d\":\"", e.a, e.b);
+    escape_into(&mut out, &e.detail);
+    out.push_str("\"}");
+    out
+}
+
+/// Serialises a whole trace to JSONL (one event per line, trailing
+/// newline after each).
+#[must_use]
+pub fn trace_to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn expect(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{lit}` at byte {} (found `{}`)",
+                self.pos,
+                &self.s[self.pos..self.s.len().min(self.pos + 12)]
+            ))
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, String> {
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        if self.pos < bytes.len() && bytes[self.pos] == b'-' {
+            self.pos += 1;
+        }
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        self.s[start..self.pos]
+            .parse::<i64>()
+            .map_err(|e| format!("bad integer at byte {start}: {e}"))
+    }
+
+    fn unsigned(&mut self) -> Result<u64, String> {
+        let v = self.integer()?;
+        u64::try_from(v).map_err(|_| format!("expected unsigned value, got {v}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        let mut chars = self.s[self.pos..].char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((j, 'u')) => {
+                        let hex_start = self.pos + j + 1;
+                        let hex = self
+                            .s
+                            .get(hex_start..hex_start + 4)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        // Skip the 4 hex digits.
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+/// Parses and validates one JSONL trace line against the event schema.
+///
+/// Strict by design: the seven keys must all be present, in canonical
+/// order, with the right types. Any deviation is an error naming the
+/// offending position.
+pub fn parse_event(line: &str) -> Result<ParsedEvent, String> {
+    let mut c = Cursor {
+        s: line.trim_end(),
+        pos: 0,
+    };
+    c.expect("{\"seq\":")?;
+    let seq = c.unsigned()?;
+    c.expect(",\"t\":")?;
+    let t = Nanos::new(c.unsigned()?);
+    c.expect(",\"sub\":")?;
+    let sub = c.string()?;
+    c.expect(",\"ev\":")?;
+    let ev = c.string()?;
+    c.expect(",\"a\":")?;
+    let a = c.integer()?;
+    c.expect(",\"b\":")?;
+    let b = c.integer()?;
+    c.expect(",\"d\":")?;
+    let d = c.string()?;
+    c.expect("}")?;
+    if c.pos != c.s.len() {
+        return Err(format!("trailing data at byte {}", c.pos));
+    }
+    if sub.is_empty() || ev.is_empty() {
+        return Err("`sub` and `ev` must be non-empty".into());
+    }
+    Ok(ParsedEvent {
+        seq,
+        t,
+        sub,
+        ev,
+        a,
+        b,
+        d,
+    })
+}
+
+/// Parses a whole JSONL document, reporting the first bad line by
+/// number (1-based).
+pub fn parse_jsonl(text: &str) -> Result<Vec<ParsedEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_event(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::capture;
+    use crate::{emit, emit_detail};
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let ((), cap) = capture(|| {
+            emit("save", "step", Nanos::new(1200), 3, 0);
+            emit_detail(
+                "ladder",
+                "refusal",
+                Nanos::new(99),
+                -1,
+                7,
+                "torn \"image\"\n\\end".into(),
+            );
+        });
+        let jsonl = trace_to_jsonl(&cap.trace);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (p, e) in parsed.iter().zip(cap.trace.events()) {
+            assert_eq!(p.seq, e.seq);
+            assert!(p.same_content(e), "{} vs {}", p.display(), e);
+        }
+        assert_eq!(parsed[1].d, "torn \"image\"\n\\end");
+    }
+
+    #[test]
+    fn parser_rejects_missing_and_reordered_keys() {
+        assert!(parse_event("{\"seq\":0,\"t\":1,\"sub\":\"s\",\"ev\":\"e\",\"a\":0,\"b\":0}").is_err());
+        assert!(parse_event("{\"t\":1,\"seq\":0,\"sub\":\"s\",\"ev\":\"e\",\"a\":0,\"b\":0,\"d\":\"\"}").is_err());
+        assert!(parse_event("not json").is_err());
+        let err = parse_jsonl("{\"seq\":0,\"t\":1,\"sub\":\"\",\"ev\":\"e\",\"a\":0,\"b\":0,\"d\":\"\"}\n")
+            .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_trailing_data_and_bad_types() {
+        assert!(parse_event(
+            "{\"seq\":0,\"t\":1,\"sub\":\"s\",\"ev\":\"e\",\"a\":0,\"b\":0,\"d\":\"\"}junk"
+        )
+        .is_err());
+        assert!(parse_event(
+            "{\"seq\":-4,\"t\":1,\"sub\":\"s\",\"ev\":\"e\",\"a\":0,\"b\":0,\"d\":\"\"}"
+        )
+        .is_err());
+        assert!(parse_event(
+            "{\"seq\":0,\"t\":1,\"sub\":\"s\",\"ev\":\"e\",\"a\":x,\"b\":0,\"d\":\"\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unicode_escape_roundtrips() {
+        let line = "{\"seq\":0,\"t\":1,\"sub\":\"s\",\"ev\":\"e\",\"a\":0,\"b\":0,\"d\":\"a\\u0001b\"}";
+        let p = parse_event(line).unwrap();
+        assert_eq!(p.d, "a\u{1}b");
+    }
+}

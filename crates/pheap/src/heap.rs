@@ -6,6 +6,7 @@ use std::collections::HashSet;
 use crate::fasthash::FastSet;
 
 use wsp_cache::{CpuProfile, LINE_SIZE};
+use wsp_obs as obs;
 use wsp_units::{ByteSize, Nanos};
 
 use crate::alloc::WordStore;
@@ -318,11 +319,23 @@ impl PersistentHeap {
         self.mem.clflush_range(LOG_BASE, log_cap.as_u64());
         let mut lines: Vec<u64> = self.unflushed_lines.drain().collect();
         lines.sort_unstable();
+        let line_count = lines.len() as u64;
         for line in lines {
             self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
         }
         self.mem.sfence();
-        self.mem.elapsed() - before
+        let cost = self.mem.elapsed() - before;
+        obs::emit(
+            "pheap",
+            "priority_flush",
+            self.mem.elapsed(),
+            line_count as i64,
+            cost.as_nanos() as i64,
+        );
+        obs::count(obs::Ctr::PriorityFlushes);
+        obs::count_by(obs::Ctr::PriorityLinesFlushed, line_count);
+        obs::gauge_set(obs::Gauge::UnflushedLines, line_count as i64);
+        cost
     }
 
     /// Recovers committed state from a *partial* image: one whose
@@ -444,6 +457,13 @@ impl PersistentHeap {
         mem.flush_all();
 
         let next_txid = records.iter().map(|r| r.txid).max().unwrap_or(0) + 1;
+        obs::emit(
+            "pheap",
+            "recovered",
+            mem.elapsed(),
+            i64::from(partial),
+            committed.len() as i64,
+        );
         let heap_start = LOG_BASE + log_cap.as_u64();
         Ok(PersistentHeap {
             alloc: FreeListAllocator::new(ALLOC_HEAD_ADDR, heap_start, capacity.as_u64()),
@@ -691,6 +711,22 @@ impl Tx<'_> {
     /// [`HeapError::Conflict`] if STM validation fails (the transaction
     /// is discarded, as on abort).
     pub fn commit(mut self) -> Result<(), HeapError> {
+        // Counters and one histogram sample only — no per-commit trace
+        // event, this is the hottest path in the workload benchmarks.
+        let t0 = self.heap.mem.elapsed();
+        let result = self.commit_inner();
+        match result {
+            Ok(()) => {
+                obs::count(obs::Ctr::TxCommits);
+                obs::observe(obs::Hist::TxCommit, self.heap.mem.elapsed() - t0);
+            }
+            Err(HeapError::Conflict) => obs::count(obs::Ctr::TxConflicts),
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn commit_inner(&mut self) -> Result<(), HeapError> {
         self.finished = true;
         let config = self.heap.config;
         match config {
@@ -803,6 +839,7 @@ impl Tx<'_> {
         }
         self.finished = true;
         self.heap.stats.aborts += 1;
+        obs::count(obs::Ctr::TxAborts);
         let config = self.heap.config;
         if config.uses_undo_log() {
             for &(addr, old) in self.undo_order.iter().rev() {

@@ -1,0 +1,85 @@
+//! Trace export: run the save-path crash-point sweep, export its merged
+//! event stream as JSONL, validate the export against the strict schema
+//! in-process, and print the aggregated metrics.
+//!
+//! Run with: `cargo run --release --example trace_export [--seed N]
+//! [--out FILE]` — with `--out`, the JSONL goes to the file instead of
+//! stdout. Exits nonzero if the export fails its own schema or the
+//! round trip loses an event.
+
+use wsp_repro::machine::{Machine, SystemLoad};
+use wsp_repro::obs;
+use wsp_repro::wsp::{sweep_save_path, RestartStrategy};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed needs a u64 value"))
+        .unwrap_or(42);
+
+    eprintln!("sweeping the save path (seed {seed})...");
+    let report = sweep_save_path(
+        Machine::intel_testbed,
+        SystemLoad::Busy,
+        RestartStrategy::RestorePathReinit,
+        seed,
+    );
+    eprintln!(
+        "  {} crash points, {} locally restored, {} trace events",
+        report.outcomes.len(),
+        report.locally_restored,
+        report.trace.len()
+    );
+
+    let jsonl = obs::trace_to_jsonl(&report.trace);
+
+    // The export must satisfy its own schema, event for event.
+    let parsed = match obs::parse_jsonl(&jsonl) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: export violates the trace schema: {e}");
+            std::process::exit(1);
+        }
+    };
+    if parsed.len() != report.trace.len() {
+        eprintln!(
+            "error: round trip lost events: {} exported, {} parsed",
+            report.trace.len(),
+            parsed.len()
+        );
+        std::process::exit(1);
+    }
+    for (p, e) in parsed.iter().zip(report.trace.events()) {
+        if !p.same_content(e) {
+            eprintln!("error: round trip changed {e} into {}", p.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!("  schema check: {} events valid", parsed.len());
+
+    match arg_value("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &jsonl) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("  trace written to {path}");
+        }
+        None => print!("{jsonl}"),
+    }
+
+    eprintln!("\naggregated metrics:");
+    eprintln!("{}", report.metrics.to_json());
+}

@@ -16,6 +16,17 @@ echo "== crash sweeps under a pinned seed =="
 WSP_DET_SEED=42 cargo test -q --offline --test fault_injection
 WSP_DET_SEED=42 cargo test -q --offline --test crash_consistency
 
+echo "== golden traces: pinned at both recorded seeds =="
+cargo test -q --offline --test golden_trace
+WSP_DET_SEED=7 cargo test -q --offline --test golden_trace
+WSP_DET_SEED=42 cargo test -q --offline --test golden_trace
+
+echo "== observability error-path contracts =="
+cargo test -q --offline --test observability
+
+echo "== trace schema validation (sweep export must parse) =="
+cargo run --release --offline --example trace_export -- --out target/trace-gate.jsonl
+
 echo "== crash-sweep soak: three seeds, serial and sharded =="
 for seed in 11 42 1337; do
     echo "  -- seed $seed (thread default)"

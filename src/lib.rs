@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`units`] | `wsp-units` | simulated time, sizes, electrical units, stats |
 //! | [`cache`] | `wsp-cache` | cache-hierarchy simulator, flush instructions, CPU profiles |
+//! | [`obs`] | `wsp-obs` | deterministic tracing, metrics, golden-trace diffing |
 //! | [`nvram`] | `wsp-nvram` | NVDIMM device model (DRAM + flash + ultracap) |
 //! | [`power`] | `wsp-power` | PSUs, residual energy windows, power monitor, ultracaps |
 //! | [`pheap`] | `wsp-pheap` | persistent heaps: Mnemosyne-style STM+redo, undo log, plain |
@@ -64,6 +65,7 @@ pub use wsp_det as det;
 pub use wsp_core as wsp;
 pub use wsp_machine as machine;
 pub use wsp_nvram as nvram;
+pub use wsp_obs as obs;
 pub use wsp_pheap as pheap;
 pub use wsp_power as power;
 pub use wsp_units as units;

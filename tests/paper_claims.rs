@@ -4,10 +4,14 @@
 
 use wsp_repro::cache::{CpuProfile, FlushAnalysis, FlushMethod};
 use wsp_repro::cluster::ClusterSpec;
-use wsp_repro::pheap::HeapConfig;
+use wsp_repro::machine::{Machine, SystemLoad};
+use wsp_repro::obs::{self, Ctr, Gauge, Hist};
+use wsp_repro::pheap::{HeapConfig, PersistentHeap};
 use wsp_repro::power::Psu;
 use wsp_repro::units::{ByteSize, Nanos, Watts};
-use wsp_repro::wsp::feasibility_matrix;
+use wsp_repro::wsp::{
+    clean_failure_trace, feasibility_matrix, supervised_save, SaveBudget, SaveVerdict,
+};
 use wsp_repro::workloads::{HashBenchmark, LdapBenchmark};
 
 fn hash_bench() -> HashBenchmark {
@@ -186,4 +190,96 @@ fn scm_widen_fof_advantage() {
         scm_ratio > dram_ratio * 1.3,
         "SCM should widen the gap: DRAM {dram_ratio:.1}x vs SCM {scm_ratio:.1}x"
     );
+}
+
+/// Builds the small committed heap the supervised-save claims run over.
+fn claims_heap() -> PersistentHeap {
+    let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FofUndo);
+    let mut tx = heap.begin();
+    let p = tx.alloc(16).unwrap();
+    tx.write_word(p, 1).unwrap();
+    tx.set_root(p).unwrap();
+    tx.commit().unwrap();
+    heap
+}
+
+/// Table 3, re-asserted through the observability layer: on every paper
+/// testbed and load, the *traced* supervised save — context save,
+/// priority flush, bulk cache flush, NVDIMM arm — fits inside the
+/// *traced* residual-energy window, using well under the abstract's 35%
+/// bound.
+#[test]
+fn traced_supervised_save_fits_the_residual_window() {
+    for make in [Machine::intel_testbed, Machine::amd_testbed] {
+        for load in SystemLoad::both() {
+            let mut machine = make();
+            machine.apply_load(load, 13);
+            let name = machine.profile().name.clone();
+            let mut heap = claims_heap();
+            let ((), cap) = obs::capture(|| {
+                let report = supervised_save(
+                    &mut machine,
+                    &mut heap,
+                    load,
+                    &clean_failure_trace(),
+                    SaveBudget::trusting(),
+                )
+                .unwrap();
+                assert_eq!(report.verdict, SaveVerdict::Complete);
+            });
+            assert_eq!(cap.metrics.counter(Ctr::SupervisedComplete), 1);
+            let window = cap.metrics.gauge(Gauge::ResidualWindow);
+            assert!(window > 0, "{name} {}", load.label());
+            let used = cap.metrics.hist(Hist::SupervisorUsed).max().as_nanos() as i64;
+            assert!(used <= window, "{name} {}: used {used} > window {window}", load.label());
+            assert!(
+                (used as f64) < 0.35 * window as f64,
+                "{name} {}: {:.1}% of the window",
+                load.label(),
+                100.0 * used as f64 / window as f64
+            );
+            // Both flush stages are individually metered and together
+            // stay inside the total the supervisor reported.
+            let stages = cap.metrics.hist(Hist::StageA).max() + cap.metrics.hist(Hist::StageB).max();
+            assert!(stages.as_nanos() as i64 <= used, "{name} {}", load.label());
+        }
+    }
+}
+
+/// §4's staging contract, visible in the event stream: the heap's
+/// priority lines (log + metadata) are flushed in stage A strictly
+/// before the bulk stage-B flush runs, and the line counts show up in
+/// the counters.
+#[test]
+fn priority_lines_flush_first_in_the_trace() {
+    let mut machine = Machine::intel_testbed();
+    machine.apply_load(SystemLoad::Busy, 17);
+    let mut heap = claims_heap();
+    let ((), cap) = obs::capture(|| {
+        let report = supervised_save(
+            &mut machine,
+            &mut heap,
+            SystemLoad::Busy,
+            &clean_failure_trace(),
+            SaveBudget::trusting(),
+        )
+        .unwrap();
+        assert_eq!(report.verdict, SaveVerdict::Complete);
+    });
+    let events = cap.trace.events();
+    let pos = |sub: &str, name: &str| {
+        events
+            .iter()
+            .position(|e| e.subsystem == sub && e.name == name)
+            .unwrap_or_else(|| panic!("no {sub}/{name} event in the save trace"))
+    };
+    let priority = pos("pheap", "priority_flush");
+    let stage_a = pos("supervisor", "stage_a_flushed");
+    let stage_b = pos("supervisor", "stage_b_flushed");
+    assert!(
+        priority < stage_a && stage_a < stage_b,
+        "staging order: priority_flush@{priority}, stage_a@{stage_a}, stage_b@{stage_b}"
+    );
+    assert_eq!(cap.metrics.counter(Ctr::PriorityFlushes), 1);
+    assert!(cap.metrics.counter(Ctr::PriorityLinesFlushed) > 0);
 }
