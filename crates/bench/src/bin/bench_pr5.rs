@@ -1,0 +1,356 @@
+//! `bench_pr5` — epoch group-commit and sharded-KV throughput baseline.
+//!
+//! Measures what PR 5 buys: how much epoch group commit amortizes the
+//! flush-on-commit durability tax on the Figure-5 hash-table workload,
+//! and how aggregate KV throughput scales when the serving path is
+//! hash-partitioned across shards. Emits machine-readable JSON;
+//! `BENCH_PR5.json` at the repository root records the numbers.
+//!
+//! ```text
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr5 -- run
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr5 -- run --quick
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr5 -- check BENCH_PR5.json
+//! ```
+//!
+//! * `run` sweeps epoch sizes 1/8/32/128 over both flush-on-commit
+//!   configurations (simulated and host throughput), verifies epoch
+//!   mode is inert for flush-on-fail, and runs the 1-shard vs 4-shard
+//!   KV comparison.
+//! * `check` re-measures the quick-mode gate quantities — epoch-32
+//!   simulated speedup per FoC config and the 4-shard aggregate
+//!   scaling — and fails (exit 1) on regression beyond tolerance or
+//!   if scaling drops below the hard 3x floor.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wsp_microbench::json::Json;
+use wsp_pheap::HeapConfig;
+use wsp_units::ByteSize;
+use wsp_workloads::{HashBenchmark, ShardedKvBench, YcsbMix};
+
+/// Epoch sizes the sweep exercises (1 = per-transaction protocol).
+const EPOCHS: [u64; 4] = [1, 8, 32, 128];
+
+/// Regression tolerance for `check`: simulated ratios are deterministic,
+/// so a modest margin only absorbs intentional-but-small model drift.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Hard floor for 4-shard aggregate scaling, from the PR acceptance
+/// criteria; `check` enforces it regardless of the recorded gate.
+const KV_SCALING_FLOOR: f64 = 3.0;
+
+/// Best-of reps for host wall-clock numbers (simulated numbers are
+/// deterministic and measured once).
+const HOST_REPS: usize = 3;
+
+fn hash_bench(quick: bool) -> HashBenchmark {
+    if quick {
+        HashBenchmark {
+            prepopulate: 2_000,
+            ops: 10_000,
+            region: ByteSize::mib(8),
+        }
+    } else {
+        HashBenchmark {
+            prepopulate: 20_000,
+            ops: 50_000,
+            region: ByteSize::mib(64),
+        }
+    }
+}
+
+fn kv_pair(quick: bool) -> (ShardedKvBench, ShardedKvBench) {
+    // Same total clients, per-client work, and store size; only the
+    // shard count differs, so the ratio is pure serving-path scaling.
+    let (ops, records) = if quick { (500, 800) } else { (2_000, 2_000) };
+    let one = ShardedKvBench {
+        shards: 1,
+        clients_per_shard: 4,
+        ops_per_client: ops,
+        records_per_shard: records,
+        region: ByteSize::mib(16),
+        epoch_size: 32,
+        mix: YcsbMix::A,
+        zipf_theta: 0.99,
+    };
+    let four = ShardedKvBench {
+        shards: 4,
+        clients_per_shard: 1,
+        records_per_shard: records / 4,
+        ..one
+    };
+    (one, four)
+}
+
+/// Simulated time-per-op (ns) for one (config, epoch-size) cell.
+fn sim_ns_per_op(bench: &HashBenchmark, config: HeapConfig, epoch: u64) -> f64 {
+    let r = bench
+        .run_with_epoch(config, 0.5, 42, epoch)
+        .expect("benchmark runs");
+    r.time_per_op.as_nanos() as f64
+}
+
+/// Host wall-clock ops/sec for one cell (best of [`HOST_REPS`]).
+fn host_ops_per_sec(bench: &HashBenchmark, config: HeapConfig, epoch: u64) -> f64 {
+    (0..HOST_REPS)
+        .map(|_| {
+            let start = Instant::now();
+            bench
+                .run_with_epoch(config, 0.5, 42, epoch)
+                .expect("benchmark runs");
+            (bench.prepopulate + bench.ops) as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// The epoch-32 simulated speedup per FoC config at quick scale — the
+/// deterministic quantity `check` gates on.
+fn gate_epoch_speedups() -> Vec<(HeapConfig, f64)> {
+    let bench = hash_bench(true);
+    [HeapConfig::FocStm, HeapConfig::FocUndo]
+        .into_iter()
+        .map(|config| {
+            let per_tx = sim_ns_per_op(&bench, config, 1);
+            let epoch32 = sim_ns_per_op(&bench, config, 32);
+            (config, per_tx / epoch32)
+        })
+        .collect()
+}
+
+/// The 4-shard vs 1-shard aggregate simulated scaling at quick scale.
+fn gate_kv_scaling() -> f64 {
+    let (one, four) = kv_pair(true);
+    let r1 = one.run(HeapConfig::FocUndo, 42).expect("1-shard run");
+    let r4 = four.run(HeapConfig::FocUndo, 42).expect("4-shard run");
+    r4.aggregate_ops_per_sec / r1.aggregate_ops_per_sec
+}
+
+fn measure_epoch_sweep(quick: bool) -> Json {
+    let bench = hash_bench(quick);
+    let mut per_config = Vec::new();
+    let mut speedups = Vec::new();
+    for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+        let mut rows = Vec::new();
+        let mut by_epoch = Vec::new();
+        for epoch in EPOCHS {
+            let sim_ns = sim_ns_per_op(&bench, config, epoch);
+            let host = host_ops_per_sec(&bench, config, epoch);
+            eprintln!(
+                "  epoch {:<9} e={epoch:<4} {sim_ns:>8.1} ns/op sim, {host:>12.0} ops/sec host",
+                config.label()
+            );
+            by_epoch.push((epoch, sim_ns, host));
+            rows.push(Json::object([
+                ("epoch", Json::from(epoch)),
+                ("sim_ns_per_op", Json::from(sim_ns)),
+                ("sim_ops_per_sec", Json::from(1e9 / sim_ns)),
+                ("host_ops_per_sec", Json::from(host)),
+            ]));
+        }
+        let base = &by_epoch[0];
+        let at32 = by_epoch
+            .iter()
+            .find(|(e, _, _)| *e == 32)
+            .expect("epoch 32 is in the sweep");
+        speedups.push((
+            config.label().to_owned(),
+            Json::object([
+                ("sim", Json::from(base.1 / at32.1)),
+                ("host", Json::from(at32.2 / base.2)),
+            ]),
+        ));
+        per_config.push((config.label().to_owned(), Json::Arr(rows)));
+    }
+
+    // Flush-on-fail has no per-transaction durability work to amortize:
+    // epoch mode must be exactly inert.
+    let fof = hash_bench(true);
+    let inert = sim_ns_per_op(&fof, HeapConfig::FofStm, 32)
+        == sim_ns_per_op(&fof, HeapConfig::FofStm, 1);
+    assert!(inert, "epoch mode must be a no-op for flush-on-fail configs");
+
+    Json::object([
+        ("prepopulate", Json::from(bench.prepopulate)),
+        ("ops", Json::from(bench.ops)),
+        ("update_probability", Json::from(0.5)),
+        ("seed", Json::from(42u64)),
+        ("sweep", Json::Obj(per_config)),
+        ("speedup_at_epoch32", Json::Obj(speedups)),
+        ("fof_epoch_mode_inert", Json::from(inert)),
+    ])
+}
+
+fn measure_sharded_kv(quick: bool) -> Json {
+    let (one, four) = kv_pair(quick);
+    let r1 = one.run(HeapConfig::FocUndo, 42).expect("1-shard run");
+    let r4 = four.run(HeapConfig::FocUndo, 42).expect("4-shard run");
+    let scaling = r4.aggregate_ops_per_sec / r1.aggregate_ops_per_sec;
+    eprintln!(
+        "  kv        1 shard {:>12.0} ops/sec, 4 shards {:>12.0} ops/sec ({scaling:.2}x)",
+        r1.aggregate_ops_per_sec, r4.aggregate_ops_per_sec
+    );
+    Json::object([
+        ("mix", Json::from(one.mix.label())),
+        ("config", Json::from(HeapConfig::FocUndo.label())),
+        ("epoch_size", Json::from(one.epoch_size)),
+        ("clients_total", Json::from(4u64)),
+        ("ops_per_client", Json::from(one.ops_per_client)),
+        ("records_total", Json::from(one.records_per_shard)),
+        ("one_shard_ops_per_sec", Json::from(r1.aggregate_ops_per_sec)),
+        ("four_shard_ops_per_sec", Json::from(r4.aggregate_ops_per_sec)),
+        (
+            "one_shard_p99_ns",
+            Json::from(r1.latencies.percentile(99.0).as_nanos()),
+        ),
+        (
+            "four_shard_p99_ns",
+            Json::from(r4.latencies.percentile(99.0).as_nanos()),
+        ),
+        ("scaling", Json::from(scaling)),
+    ])
+}
+
+fn run_suite(quick: bool) -> Json {
+    eprintln!(
+        "bench_pr5: running {} suite",
+        if quick { "quick" } else { "full" }
+    );
+    let epoch = measure_epoch_sweep(quick);
+    let kv = measure_sharded_kv(quick);
+
+    eprintln!("bench_pr5: measuring quick-mode gate quantities");
+    let gate_speedups: Vec<(String, Json)> = gate_epoch_speedups()
+        .into_iter()
+        .map(|(c, s)| (c.label().to_owned(), Json::from(s)))
+        .collect();
+    let gate = Json::object([
+        ("epoch32_sim_speedup", Json::Obj(gate_speedups)),
+        ("kv_shard_scaling", Json::from(gate_kv_scaling())),
+    ]);
+
+    Json::object([
+        ("schema", Json::from("wsp-bench-pr5/v1")),
+        ("mode", Json::from(if quick { "quick" } else { "full" })),
+        ("epoch_group_commit", epoch),
+        ("sharded_kv", kv),
+        ("gate", gate),
+        (
+            "notes",
+            Json::Arr(vec![
+                Json::from(
+                    "Epoch group commit engages only for the two flush-on-commit configs; \
+                     flush-on-fail already defers durability to the failure-time save, so \
+                     epoch mode is a verified no-op there (fof_epoch_mode_inert).",
+                ),
+                Json::from(
+                    "Latency trade-off: with epoch size N a crash loses up to N committed \
+                     transactions (they roll back to the last sealed epoch), and commit \
+                     latency becomes bimodal — N-1 commits are buffer-speed, the sealing \
+                     commit pays the whole coalesced flush. The sweep shows the throughput \
+                     side: gains rise steeply to epoch 32 and flatten by 128, so 32 is the \
+                     recorded default operating point.",
+                ),
+                Json::from(
+                    "Target shortfall, documented: the ISSUE asked for >=2x ops/s at epoch 32. \
+                     Measured full-scale simulated speedups are ~1.75x for FoC+UL and ~1.34x \
+                     for FoC+STM. For STM the cap is structural: with durability made free, \
+                     FoC+STM can only fall to the FoF+STM floor, whose read/write/validate \
+                     instrumentation (35/40/10 ns) bounds total speedup at ~1.4x on this mix. \
+                     The durability tax itself shrinks by >70%; the residual is STM \
+                     instrumentation, not flushing. The check gate pins the measured ratios.",
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The `check` subcommand: quick-mode epoch-32 speedups and 4-shard
+/// scaling vs the recorded gate.
+fn check_against(baseline_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_pr5: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_pr5: {baseline_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(gate) = doc.get("gate") else {
+        eprintln!("bench_pr5: {baseline_path} has no gate section");
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+
+    let recorded_speedups = gate
+        .get("epoch32_sim_speedup")
+        .and_then(Json::entries)
+        .unwrap_or_default();
+    let current = gate_epoch_speedups();
+    for (label, recorded) in recorded_speedups {
+        let recorded = recorded.as_f64().unwrap_or(0.0);
+        let Some((_, now)) = current.iter().find(|(c, _)| c.label() == label) else {
+            eprintln!("bench_pr5: unknown heap config `{label}` in gate; skipping");
+            continue;
+        };
+        let floor = recorded * (1.0 - GATE_TOLERANCE);
+        let verdict = if *now >= floor { "ok" } else { "REGRESSED" };
+        eprintln!(
+            "  gate epoch32 {label:<9} current {now:.3}x, recorded {recorded:.3}x, floor {floor:.3}x  [{verdict}]"
+        );
+        if *now < floor {
+            failed = true;
+        }
+    }
+
+    let recorded_scaling = gate
+        .get("kv_shard_scaling")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let scaling = gate_kv_scaling();
+    let floor = (recorded_scaling * (1.0 - GATE_TOLERANCE)).max(KV_SCALING_FLOOR);
+    let verdict = if scaling >= floor { "ok" } else { "REGRESSED" };
+    eprintln!(
+        "  gate kv-scaling      current {scaling:.2}x, recorded {recorded_scaling:.2}x, floor {floor:.2}x  [{verdict}]"
+    );
+    if scaling < floor {
+        failed = true;
+    }
+
+    if failed {
+        eprintln!("bench_pr5: group-commit/sharding throughput regressed against {baseline_path}");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_pr5: epoch + sharding gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            print!("{}", run_suite(quick).to_string_pretty());
+            ExitCode::SUCCESS
+        }
+        Some("check") => match args.get(1) {
+            Some(path) => check_against(path),
+            None => {
+                eprintln!("usage: bench_pr5 check <BENCH_PR5.json>");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_pr5 run [--quick] | bench_pr5 check <baseline.json>");
+            ExitCode::FAILURE
+        }
+    }
+}

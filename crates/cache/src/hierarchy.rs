@@ -85,6 +85,9 @@ pub struct CacheHierarchy {
     /// Distinct lines touched by pending non-temporal stores; durable
     /// only after the next fence. Deduplicated at insert.
     pending_wc_lines: Vec<LineAddr>,
+    /// Membership index over `pending_wc_lines`, so long unfenced store
+    /// batches (epoch group commit) dedup in O(1) instead of scanning.
+    pending_wc_set: std::collections::HashSet<LineAddr>,
     /// Reused writeback scratch for the fast access path: dirty lines the
     /// in-flight access pushed back to memory.
     wb_scratch: Vec<LineAddr>,
@@ -120,6 +123,7 @@ impl CacheHierarchy {
             stats: CacheStats::default(),
             pending_wc: 0,
             pending_wc_lines: Vec::new(),
+            pending_wc_set: std::collections::HashSet::new(),
             wb_scratch: Vec::new(),
             walk_scratch: Vec::new(),
             last_line: u64::MAX,
@@ -395,7 +399,9 @@ impl CacheHierarchy {
                 latency += self.profile.bus.line_writeback();
                 self.wb_scratch.push(line);
             }
-            if !self.pending_wc_lines.contains(&line) {
+            // Sequential stores mostly stay within the last line; the set
+            // handles the rest without a linear scan.
+            if self.pending_wc_lines.last() != Some(&line) && self.pending_wc_set.insert(line) {
                 self.pending_wc_lines.push(line);
             }
         }
@@ -432,6 +438,7 @@ impl CacheHierarchy {
         let drain = self.profile.bus.line_writeback() * self.pending_wc_lines.len() as u64 + stream;
         std::mem::swap(&mut self.wb_scratch, &mut self.pending_wc_lines);
         self.pending_wc_lines.clear();
+        self.pending_wc_set.clear();
         self.profile.fence_cost + drain
     }
 
@@ -464,9 +471,8 @@ impl CacheHierarchy {
             level.drain_dirty_into(&mut dirty);
         }
         // Lines dirty at several levels appear once: sort-dedup over the
-        // reused walk buffer.
-        dirty.sort_unstable();
-        dirty.dedup();
+        // reused walk buffer (shared with the epoch flush coalescer).
+        crate::linewalk::coalesce_lines(&mut dirty);
         let written_back = ByteSize::new(dirty.len() as u64 * LINE_SIZE);
         self.stats.writebacks += dirty.len() as u64;
         let scan = Nanos::from_secs_f64(self.profile.wbinvd_scan_ns_per_line * total_slots as f64 * 1e-9);
@@ -507,8 +513,7 @@ impl CacheHierarchy {
         for level in &self.levels {
             level.collect_dirty_into(&mut dirty);
         }
-        dirty.sort_unstable();
-        dirty.dedup();
+        crate::linewalk::coalesce_lines(&mut dirty);
         dirty
     }
 

@@ -57,6 +57,7 @@ mod bus;
 mod config;
 mod flush;
 mod hierarchy;
+mod linewalk;
 mod profiles;
 mod reference;
 mod set;
@@ -67,6 +68,7 @@ pub use bus::MemoryBus;
 pub use config::{CacheConfig, LineAddr, LINE_SIZE};
 pub use flush::{FlushAnalysis, FlushMethod};
 pub use hierarchy::{AccessMeta, AccessResult, CacheHierarchy, FlushResult, WbinvdResult};
+pub use linewalk::{coalesce_lines, LineWalk};
 pub use profiles::CpuProfile;
 pub use reference::RefSetAssocCache;
 pub use set::{Eviction, SetAssocCache};

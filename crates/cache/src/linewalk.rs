@@ -1,0 +1,146 @@
+//! Shared sort-dedup walk over touched cache-line sets.
+//!
+//! Two paths in the simulator need the same primitive: collect the lines a
+//! code path touched (possibly with duplicates, possibly spread across
+//! several sources), then visit each distinct line exactly once in address
+//! order. [`CacheHierarchy::wbinvd`] walks every level's dirty lines this
+//! way before charging the writeback stream, and the epoch group-commit
+//! coalescer in `wsp-pheap` walks the union of every transaction's touched
+//! lines before issuing one coalesced flush per epoch. Keeping the walk in
+//! one helper means the two paths cannot drift: both get the identical
+//! sort-unstable + dedup semantics, and both reuse their scratch
+//! allocation across calls.
+//!
+//! [`CacheHierarchy::wbinvd`]: crate::CacheHierarchy::wbinvd
+
+/// Sort-dedup a touched-line buffer in place.
+///
+/// After the call `lines` is address-sorted and duplicate-free. Returns
+/// the number of duplicate entries that were coalesced away — the flush
+/// traffic the caller *avoided* by walking the deduplicated set.
+pub fn coalesce_lines<T: Ord>(lines: &mut Vec<T>) -> usize {
+    let before = lines.len();
+    lines.sort_unstable();
+    lines.dedup();
+    before - lines.len()
+}
+
+/// A reusable touched-line set with a sort-dedup drain.
+///
+/// Push line addresses as they are touched (duplicates are fine and
+/// expected — that is the point), then call [`coalesce`](Self::coalesce)
+/// to get the distinct lines in address order. The backing buffer keeps
+/// its capacity across [`clear`](Self::clear) calls so steady-state use
+/// is allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct LineWalk {
+    lines: Vec<u64>,
+    /// Duplicates removed by the most recent [`coalesce`](Self::coalesce).
+    coalesced: usize,
+}
+
+impl LineWalk {
+    /// An empty walk with no preallocated capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one touched line address.
+    pub fn push(&mut self, line: u64) {
+        self.lines.push(line);
+    }
+
+    /// Record every touched line from an iterator.
+    pub fn extend(&mut self, lines: impl IntoIterator<Item = u64>) {
+        self.lines.extend(lines);
+    }
+
+    /// Number of raw (pre-dedup) entries recorded so far.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when no lines have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Sort-dedup the recorded set and return the distinct lines in
+    /// address order. The walk stays coalesced until more lines are
+    /// pushed or [`clear`](Self::clear) is called.
+    pub fn coalesce(&mut self) -> &[u64] {
+        self.coalesced = coalesce_lines(&mut self.lines);
+        &self.lines
+    }
+
+    /// Duplicates removed by the most recent [`coalesce`](Self::coalesce).
+    #[must_use]
+    pub fn coalesced(&self) -> usize {
+        self.coalesced
+    }
+
+    /// Forget the recorded set, keeping the buffer's capacity.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.coalesced = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_sorts_and_dedups() {
+        let mut lines = vec![5u64, 1, 3, 1, 5, 5, 2];
+        let removed = coalesce_lines(&mut lines);
+        assert_eq!(lines, vec![1, 2, 3, 5]);
+        assert_eq!(removed, 3);
+    }
+
+    #[test]
+    fn coalesce_empty_is_noop() {
+        let mut lines: Vec<u64> = Vec::new();
+        assert_eq!(coalesce_lines(&mut lines), 0);
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn coalesce_already_unique_preserves_all() {
+        let mut lines = vec![9u64, 4, 7];
+        assert_eq!(coalesce_lines(&mut lines), 0);
+        assert_eq!(lines, vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn walk_reuses_capacity_across_clear() {
+        let mut walk = LineWalk::new();
+        walk.extend([8u64, 8, 2, 2, 2, 6]);
+        assert_eq!(walk.raw_len(), 6);
+        assert_eq!(walk.coalesce(), &[2, 6, 8]);
+        assert_eq!(walk.coalesced(), 3);
+        walk.clear();
+        assert!(walk.is_empty());
+        assert_eq!(walk.coalesced(), 0);
+        walk.push(3);
+        walk.push(3);
+        assert_eq!(walk.coalesce(), &[3]);
+        assert_eq!(walk.coalesced(), 1);
+    }
+
+    #[test]
+    fn walk_matches_direct_coalesce() {
+        // The struct walk and the free function must agree exactly — this
+        // is the "can't drift" guarantee the helper exists for.
+        let input = [13u64, 0, 13, 64, 64, 64, 1, 0];
+        let mut walk = LineWalk::new();
+        walk.extend(input);
+        let mut direct = input.to_vec();
+        let removed = coalesce_lines(&mut direct);
+        assert_eq!(walk.coalesce(), direct.as_slice());
+        assert_eq!(walk.coalesced(), removed);
+    }
+}

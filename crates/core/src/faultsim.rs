@@ -505,6 +505,188 @@ fn run_tx_point(
     check.commit().unwrap();
 }
 
+/// One crash point of the mid-epoch sweep.
+#[derive(Debug, Clone, Copy)]
+enum EpochCrashPoint {
+    /// Power fails after `txs` transactions committed into epochs: the
+    /// open epoch's write-behind buffer is volatile and lost wholesale.
+    AfterTx(usize),
+    /// Power fails `step` durable operations into sealing a partially
+    /// filled epoch — between record appends, past the fence, or (undo
+    /// flavour) in the middle of the coalesced line flush. The
+    /// epoch-commit marker is never written.
+    MidSeal(u64),
+}
+
+/// The result of the mid-epoch sweep for one flush-on-commit heap
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct MidEpochSweepReport {
+    /// The configuration swept.
+    pub config: HeapConfig,
+    /// Transactions per durability epoch in the swept heap.
+    pub epoch_size: u64,
+    /// Crash points exercised: one after each committed transaction
+    /// (including zero) plus one per durable step of a mid-epoch seal.
+    pub crash_points: usize,
+    /// Baseline-setup events followed by per-point traces merged in
+    /// crash-point order — identical for any `WSP_FAULTSIM_THREADS`.
+    pub trace: Trace,
+    /// Metrics aggregated across the setup and every crash point.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Crashes an epoch-group-commit heap after every committed transaction
+/// of a seeded script *and* at every durable step of a mid-epoch seal,
+/// then verifies that recovery restores exactly the last complete epoch:
+/// transactions buffered in an open epoch vanish wholesale, a
+/// half-sealed epoch rolls back, and no crash point ever exposes a
+/// partial epoch.
+///
+/// # Panics
+///
+/// Panics for configurations without flush-on-commit durability (epoch
+/// group commit is a documented no-op there, so the sweep would be
+/// vacuous), or when recovery diverges from the model at any point.
+pub fn sweep_mid_epoch(config: HeapConfig, seed: u64) -> MidEpochSweepReport {
+    sweep_mid_epoch_threads(config, seed, faultsim_threads())
+}
+
+fn sweep_mid_epoch_threads(config: HeapConfig, seed: u64, threads: usize) -> MidEpochSweepReport {
+    assert!(
+        config.flush_on_commit(),
+        "mid-epoch sweep needs a flush-on-commit configuration, got {config}"
+    );
+    let mut rng = DetRng::seed_from_u64(seed);
+    let epoch_size = 8usize;
+    let cells = 8usize;
+    let txs_total = 20usize; // two sealed epochs + four buffered txs
+    let mid_txs = 12usize; // seal crash point: one sealed epoch + four pending
+
+    // Committed baseline on distinct cache lines (so the seal's
+    // coalesced flush spans several lines), then epoch mode on.
+    let ((heap, committed), setup) = obs::capture(|| {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut committed: Vec<(PmPtr, u64)> = Vec::new();
+        let mut tx = heap.begin();
+        let base = tx.alloc(cells as u64 * 64).unwrap();
+        for i in 0..cells {
+            let p = base.byte_offset(i as u64 * 64);
+            let v = rng.gen::<u64>();
+            tx.write_word(p, v).unwrap();
+            committed.push((p, v));
+        }
+        tx.set_root(base).unwrap();
+        tx.commit().unwrap();
+        heap.set_epoch_size(epoch_size as u64);
+        (heap, committed)
+    });
+
+    // The scripted epoch workload: one single-write transaction per
+    // entry; every `epoch_size`-th commit auto-seals.
+    let script: Vec<(usize, u64)> = (0..txs_total)
+        .map(|_| (rng.gen_range(0..cells), rng.gen::<u64>()))
+        .collect();
+
+    // How many durable steps the mid-sweep seal has, measured serially
+    // on a throwaway replay (its observability is discarded — every
+    // point re-runs the same deterministic prefix).
+    let (seal_steps, _) = obs::capture(|| {
+        let mut probe = heap.clone();
+        replay_epoch_txs(&mut probe, &committed, &script[..mid_txs]);
+        probe.seal_steps()
+    });
+
+    let mut points: Vec<EpochCrashPoint> =
+        (0..=txs_total).map(EpochCrashPoint::AfterTx).collect();
+    points.extend((0..=seal_steps).map(EpochCrashPoint::MidSeal));
+    let crash_points = points.len();
+
+    let captures = run_sharded(points, threads, |point| {
+        let ((), cap) = obs::capture(|| {
+            let (a, b) = match point {
+                EpochCrashPoint::AfterTx(t) => (t as i64, -1),
+                EpochCrashPoint::MidSeal(s) => (mid_txs as i64, s as i64),
+            };
+            obs::emit_detail("faultsim", "inject", Nanos::ZERO, a, b, format!("{point:?}"));
+            obs::count(Ctr::FaultsInjected);
+            run_epoch_point(&heap, &committed, &script, epoch_size, config, mid_txs, point);
+        });
+        cap
+    });
+    let mut merged = setup;
+    merged.absorb(merge_point_captures(captures));
+
+    MidEpochSweepReport {
+        config,
+        epoch_size: epoch_size as u64,
+        crash_points,
+        trace: merged.trace,
+        metrics: merged.metrics,
+    }
+}
+
+/// Commits one single-write transaction per script entry against the
+/// baseline cells (epoch absorption and auto-sealing happen inside the
+/// heap).
+fn replay_epoch_txs(
+    heap: &mut PersistentHeap,
+    committed: &[(PmPtr, u64)],
+    prefix: &[(usize, u64)],
+) {
+    for &(idx, value) in prefix {
+        let mut tx = heap.begin();
+        tx.write_word(committed[idx].0, value).unwrap();
+        tx.commit().unwrap();
+    }
+}
+
+/// One mid-epoch crash point: replay the script prefix on a clone of
+/// the baseline heap, cut power (after a commit or partway through a
+/// seal), recover, and compare against the last-complete-epoch model.
+fn run_epoch_point(
+    heap: &PersistentHeap,
+    committed: &[(PmPtr, u64)],
+    script: &[(usize, u64)],
+    epoch_size: usize,
+    config: HeapConfig,
+    mid_txs: usize,
+    point: EpochCrashPoint,
+) {
+    let mut h = heap.clone();
+    let (ran, image) = match point {
+        EpochCrashPoint::AfterTx(t) => {
+            replay_epoch_txs(&mut h, committed, &script[..t]);
+            (t, h.crash(false))
+        }
+        EpochCrashPoint::MidSeal(step) => {
+            replay_epoch_txs(&mut h, committed, &script[..mid_txs]);
+            (mid_txs, h.crash_mid_seal(step))
+        }
+    };
+
+    // The model: the baseline overlaid by every *sealed* epoch — the
+    // longest script prefix that is a whole number of epochs. Buffered
+    // and half-sealed transactions must leave no trace.
+    let durable = (ran / epoch_size) * epoch_size;
+    let mut expected: HashMap<u64, u64> =
+        committed.iter().map(|&(p, v)| (p.offset(), v)).collect();
+    for &(idx, value) in &script[..durable] {
+        expected.insert(committed[idx].0.offset(), value);
+    }
+
+    let mut recovered = PersistentHeap::recover(image)
+        .unwrap_or_else(|e| panic!("{config}: recovery failed at {point:?}: {e}"));
+    let root = recovered.root().expect("root survives");
+    assert_eq!(root, committed[0].0, "{config}: root at {point:?}");
+    let mut check = recovered.begin();
+    for (&addr, &want) in &expected {
+        let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
+        assert_eq!(got, want, "{config}: cell {addr:#x} at {point:?}");
+    }
+    check.commit().unwrap();
+}
+
 /// A fault class injected into the supervised save → recovery-ladder
 /// pipeline. Unlike [`SaveFault`] (a single crash instant on the plain
 /// save path), each of these exercises a whole degraded-mode scenario:
@@ -1109,6 +1291,41 @@ mod tests {
             }
             if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
                 panic!("{config}: mid-tx sweep metrics diverge: {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_epoch_sweep_holds_for_foc_configs() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let report = sweep_mid_epoch(config, 4242);
+            assert_eq!(report.epoch_size, 8, "{config}");
+            // 21 after-tx points plus at least records + fence seal steps.
+            assert!(report.crash_points > 23, "{config}: {}", report.crash_points);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flush-on-commit")]
+    fn mid_epoch_sweep_rejects_flush_on_fail_configs() {
+        let _ = sweep_mid_epoch(HeapConfig::Fof, 1);
+    }
+
+    #[test]
+    fn parallel_mid_epoch_sweep_matches_serial() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let serial = sweep_mid_epoch_threads(config, 4242, 1);
+            for threads in [2, 5] {
+                let parallel = sweep_mid_epoch_threads(config, 4242, threads);
+                assert_eq!(parallel.crash_points, serial.crash_points, "{config}");
+                if let Err(report) =
+                    wsp_obs::diff_traces(&serial.trace, &parallel.trace, wsp_obs::DiffMode::Full)
+                {
+                    panic!("{config}: {threads}-thread mid-epoch sweep trace diverges:\n{report}");
+                }
+                if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
+                    panic!("{config}: {threads}-thread mid-epoch sweep metrics diverge: {diff}");
+                }
             }
         }
     }

@@ -62,9 +62,10 @@ mod vm;
 
 pub use error::WspError;
 pub use faultsim::{
-    faultsim_threads, ladder_crash_points, save_path_crash_points, sweep_mid_transaction,
-    sweep_recovery_ladder, sweep_save_path, FaultOutcome, LadderFault, LadderPointOutcome,
-    LadderSweepReport, MidTxSweepReport, SaveSweepReport, FLUSH_BATCHES,
+    faultsim_threads, ladder_crash_points, save_path_crash_points, sweep_mid_epoch,
+    sweep_mid_transaction, sweep_recovery_ladder, sweep_save_path, FaultOutcome, LadderFault,
+    LadderPointOutcome, LadderSweepReport, MidEpochSweepReport, MidTxSweepReport,
+    SaveSweepReport, FLUSH_BATCHES,
 };
 pub use feasibility::{
     feasibility_matrix, nvdimm_save_feasibility, pool_save_feasibility, FeasibilityRow,

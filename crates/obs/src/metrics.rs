@@ -100,6 +100,16 @@ metric_ids! {
         WbinvdLinesWritten => "cache.wbinvd_lines",
         /// Faults injected by the sweep engines.
         FaultsInjected => "faultsim.faults_injected",
+        /// Durability epochs sealed by the group-commit mode.
+        EpochSeals => "pheap.epoch_seals",
+        /// Transactions absorbed into sealed epochs.
+        EpochTxs => "pheap.epoch_txs",
+        /// Duplicate dirty-line flushes coalesced away by epoch sealing.
+        EpochLinesCoalesced => "pheap.epoch_coalesced_lines",
+        /// KV server commands executed.
+        KvOps => "kv.ops",
+        /// KV shard result merges performed (one per shard, in shard order).
+        KvShardMerges => "kv.shard_merges",
     }
 }
 
@@ -137,6 +147,10 @@ metric_ids! {
         TxCommit => "pheap.commit_time",
         /// `wbinvd` walk latencies.
         Wbinvd => "cache.wbinvd_time",
+        /// Epoch-seal (group-commit flush + marker) latencies.
+        EpochSeal => "pheap.epoch_seal_time",
+        /// Per-command simulated KV service time.
+        KvOp => "kv.op_time",
     }
 }
 

@@ -137,6 +137,13 @@ pub struct OverheadModel {
     pub stm_validate: Nanos,
     /// Per write in an undo-logged transaction: "already logged?" check.
     pub undo_check: Nanos,
+    /// Per read under epoch group commit: one hash probe of the epoch's
+    /// write-behind buffer. Much cheaper than [`OverheadModel::stm_read`] —
+    /// no version checks or ownership records, just an L1-resident lookup.
+    pub epoch_lookup: Nanos,
+    /// Per write under epoch group commit: appending to the volatile
+    /// write-behind buffer (vector push + index insert).
+    pub epoch_buffer: Nanos,
 }
 
 impl Default for OverheadModel {
@@ -149,6 +156,8 @@ impl Default for OverheadModel {
             redo_append: Nanos::new(60),
             stm_validate: Nanos::new(10),
             undo_check: Nanos::new(8),
+            epoch_lookup: Nanos::new(6),
+            epoch_buffer: Nanos::new(12),
         }
     }
 }

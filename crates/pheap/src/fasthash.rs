@@ -6,7 +6,7 @@
 //! Keys here are addresses and stripe indices the simulator itself
 //! generates, so a statistical mix is enough.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Fibonacci-multiply + xor-shift hasher for `u64`/`usize` keys.
@@ -43,6 +43,10 @@ impl Hasher for FastHasher {
 /// A `HashSet` keyed by the simulator's own integers, with the cheap
 /// hasher.
 pub(crate) type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// A `HashMap` keyed by the simulator's own integers, with the cheap
+/// hasher (the epoch group-commit write-behind buffer's lookup index).
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 #[cfg(test)]
 mod tests {

@@ -3,9 +3,9 @@
 
 use std::collections::HashSet;
 
-use crate::fasthash::FastSet;
+use crate::fasthash::{FastMap, FastSet};
 
-use wsp_cache::{CpuProfile, LINE_SIZE};
+use wsp_cache::{CpuProfile, LineWalk, LINE_SIZE};
 use wsp_obs as obs;
 use wsp_units::{ByteSize, Nanos};
 
@@ -113,6 +113,81 @@ impl CrashImage {
     }
 }
 
+/// Volatile state of the epoch-based group-commit mode: transactions
+/// batched into the currently open durability epoch.
+///
+/// With an epoch size of N, the heap makes state durable once per N
+/// transactions instead of once per transaction. Committed write-sets are
+/// buffered *write-behind* in volatile memory — NVRAM sees no log traffic
+/// and no data stores until the epoch seals. The seal coalesces the
+/// buffer down to one log record per distinct address and one flush per
+/// distinct line (the shared [`LineWalk`] sort-dedup walk), then writes
+/// one fenced [`RecordKind::EpochCommit`] marker covering the whole
+/// batch. A crash mid-epoch rolls the entire epoch back on recovery —
+/// durability granularity becomes the epoch, atomicity is preserved.
+#[derive(Debug, Clone, Default)]
+pub struct EpochCommitter {
+    /// Transactions per durability epoch.
+    size: u64,
+    /// Transactions (commits and aborts) absorbed into the open epoch.
+    pending: u64,
+    /// Highest txid absorbed into the open epoch.
+    max_txid: u64,
+    /// Scratch walk for the seal's coalesced line flush (undo flavour).
+    walk: LineWalk,
+    /// Write-behind buffer: committed write-sets not yet applied in
+    /// place, in commit order (later entries win on replay).
+    buffered: Vec<(u64, u64)>,
+    /// Lookup index over `buffered` for read-your-epoch's-writes.
+    buffered_index: FastMap<u64, u64>,
+    /// Epochs sealed so far.
+    sealed: u64,
+}
+
+impl EpochCommitter {
+    fn with_size(size: u64) -> Self {
+        EpochCommitter {
+            size,
+            ..EpochCommitter::default()
+        }
+    }
+
+    /// Transactions per durability epoch.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Transactions absorbed into the currently open epoch.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Epochs sealed so far.
+    #[must_use]
+    pub fn sealed(&self) -> u64 {
+        self.sealed
+    }
+
+    /// True when nothing is buffered: sealing would be a no-op and log
+    /// truncation is safe.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.pending == 0 && self.walk.is_empty() && self.buffered.is_empty()
+    }
+
+    /// The epoch buffer's value for `addr`, if a transaction in the open
+    /// epoch committed a write to it that is not yet applied in place.
+    fn buffered_value(&self, addr: u64) -> Option<u64> {
+        if self.buffered.is_empty() {
+            None
+        } else {
+            self.buffered_index.get(&addr).copied()
+        }
+    }
+}
+
 /// An NVRAM-backed persistent heap in one of the five paper
 /// configurations. See the crate-level docs for the configuration matrix
 /// and a complete example.
@@ -128,6 +203,9 @@ pub struct PersistentHeap {
     /// Data lines updated in place since the last log truncation; a
     /// flush-on-commit truncation must flush them first.
     unflushed_lines: FastSet<u64>,
+    /// Epoch group-commit state; `None` runs the per-transaction
+    /// durability protocol.
+    epoch: Option<EpochCommitter>,
     stats: HeapStats,
 }
 
@@ -189,6 +267,7 @@ impl PersistentHeap {
             stm: Stm::new(1024),
             next_txid: 1,
             unflushed_lines: FastSet::default(),
+            epoch: None,
             stats: HeapStats::default(),
         }
     }
@@ -230,8 +309,178 @@ impl PersistentHeap {
         &mut self.stm
     }
 
+    /// Enables epoch-based group commit with `size` transactions per
+    /// durability epoch (sealing any open epoch first); `size <= 1`
+    /// restores the per-transaction protocol.
+    ///
+    /// Only the flush-on-commit configurations have per-transaction
+    /// durability work to amortize; for flush-on-fail configurations
+    /// (durability already deferred to the failure-time save) the call is
+    /// a documented no-op.
+    pub fn set_epoch_size(&mut self, size: u64) {
+        self.seal_epoch();
+        self.epoch = (size > 1 && self.config.flush_on_commit())
+            .then(|| EpochCommitter::with_size(size));
+    }
+
+    /// Transactions per durability epoch (1 = per-transaction protocol).
+    #[must_use]
+    pub fn epoch_size(&self) -> u64 {
+        self.epoch.as_ref().map_or(1, EpochCommitter::size)
+    }
+
+    /// The group-commit state, when epoch mode is enabled.
+    #[must_use]
+    pub fn epoch(&self) -> Option<&EpochCommitter> {
+        self.epoch.as_ref()
+    }
+
+    /// Seals the open durability epoch, if any: coalesces the write-behind
+    /// buffer to one log record per distinct address, makes the records
+    /// durable behind a single fence, writes one fenced
+    /// [`RecordKind::EpochCommit`] marker covering every absorbed
+    /// transaction, and applies the buffer in place. No-op when epoch mode
+    /// is off or nothing is pending.
+    pub fn seal_epoch(&mut self) {
+        let Some(mut epoch) = self.epoch.take() else {
+            return;
+        };
+        if epoch.is_clean() {
+            self.epoch = Some(epoch);
+            return;
+        }
+        let t0 = self.mem.elapsed();
+        // Coalesce: one record per distinct address, first-write order
+        // (deterministic). Duplicate writes within the epoch cost nothing
+        // durable — that is the amortization.
+        let mut seen: FastSet<u64> = FastSet::default();
+        let mut unique: Vec<u64> = Vec::with_capacity(epoch.buffered_index.len());
+        for &(addr, _) in &epoch.buffered {
+            if seen.insert(addr) {
+                unique.push(addr);
+            }
+        }
+        let dupes = (epoch.buffered.len() - unique.len()) as u64;
+        self.stats.epoch_coalesced_lines += dupes;
+        obs::count_by(obs::Ctr::EpochLinesCoalesced, dupes);
+        // Room for the whole coalesced record set plus the marker. Prior
+        // epochs' records are dead (their data was applied durably), so
+        // truncation is always safe here.
+        let needed = unique.len() as u64 * 4 + 1;
+        if self.log.free_words() < needed + 8 {
+            if self.config.uses_redo_log() {
+                self.truncate_redo_log();
+            } else {
+                self.stats.truncations += 1;
+                self.log.truncate(&mut self.mem, true);
+            }
+        }
+        if self.config.uses_undo_log() {
+            // Undo flavour: log the OLD values, fence, apply the buffer in
+            // place and coalesce-flush its lines, fence — only then the
+            // marker. A crash mid-seal finds the undo records durable and
+            // rolls the half-applied epoch back.
+            self.stats.undo_records += unique.len() as u64;
+            // Read every old value before the first append: loads must not
+            // interleave with pending non-temporal stores (store-forwarding
+            // checks make that path far more expensive).
+            let mut olds = Vec::with_capacity(unique.len());
+            for &addr in &unique {
+                olds.push(self.mem.read_u64(addr));
+            }
+            for (&addr, &old) in unique.iter().zip(&olds) {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, old), true);
+            }
+            self.mem.sfence();
+            for &(addr, value) in &epoch.buffered {
+                self.mem.write_u64(addr, value);
+            }
+            epoch.walk.clear();
+            epoch.walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
+            for &line in epoch.walk.coalesce() {
+                self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+            }
+            self.mem.sfence();
+            self.log
+                .append(&mut self.mem, &LogRecord::epoch_commit(epoch.max_txid), true);
+            self.mem.sfence();
+            epoch.walk.clear();
+        } else {
+            // Redo flavour: log the FINAL values, fence, marker, fence —
+            // only then apply the write-behind buffer (cached). NVRAM never
+            // holds a byte of the epoch until the marker commits it
+            // wholesale; a crash mid-seal leaves the records uncovered and
+            // recovery ignores them.
+            // No per-record `redo_append` charge here: that models the
+            // pipeline stalls of the *fenced* per-transaction append path.
+            // A batched unfenced stream pays only the non-temporal store
+            // cost the cache model already charges.
+            self.stats.redo_records += unique.len() as u64;
+            for &addr in &unique {
+                let value = epoch.buffered_index[&addr];
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, value), true);
+            }
+            self.mem.sfence();
+            self.log
+                .append(&mut self.mem, &LogRecord::epoch_commit(epoch.max_txid), true);
+            self.mem.sfence();
+            for &(addr, value) in &epoch.buffered {
+                self.mem.write_u64(addr, value);
+                self.unflushed_lines.insert(addr / LINE_SIZE);
+            }
+        }
+        epoch.buffered.clear();
+        epoch.buffered_index.clear();
+        obs::count(obs::Ctr::EpochSeals);
+        obs::count_by(obs::Ctr::EpochTxs, epoch.pending);
+        obs::observe(obs::Hist::EpochSeal, self.mem.elapsed() - t0);
+        self.stats.epochs_sealed += 1;
+        epoch.sealed += 1;
+        epoch.pending = 0;
+        epoch.max_txid = 0;
+        self.epoch = Some(epoch);
+        if self.log.needs_truncation() {
+            if self.config.uses_redo_log() {
+                self.truncate_redo_log();
+            } else {
+                // Undo: the epoch's data lines were just flushed, so the
+                // records before the marker are dead.
+                self.stats.truncations += 1;
+                self.log.truncate(&mut self.mem, true);
+            }
+        }
+    }
+
+    /// Absorbs a committed transaction's write set into the open epoch's
+    /// write-behind buffer, sealing when the epoch is full or its
+    /// coalesced record set approaches log capacity (an epoch must fit in
+    /// the log in one piece).
+    fn epoch_absorb(&mut self, txid: u64, write_set: &[(u64, u64)]) {
+        let epoch = self.epoch.as_mut().expect("epoch mode active");
+        for &(addr, value) in write_set {
+            epoch.buffered.push((addr, value));
+            epoch.buffered_index.insert(addr, value);
+        }
+        epoch.pending += 1;
+        epoch.max_txid = epoch.max_txid.max(txid);
+        let pressure =
+            epoch.buffered_index.len() as u64 * 4 + 64 >= self.log.capacity_words();
+        if epoch.pending >= epoch.size || pressure {
+            self.seal_epoch();
+        }
+    }
+
     /// The current root object, if one was ever published.
     pub fn root(&mut self) -> Option<PmPtr> {
+        // A root published inside the open epoch lives in the write-behind
+        // buffer, not yet in memory.
+        if let Some(epoch) = &self.epoch {
+            if let Some(v) = epoch.buffered_value(ROOT_ADDR) {
+                return PmPtr::new(v);
+            }
+        }
         PmPtr::new(self.mem.read_u64(ROOT_ADDR))
     }
 
@@ -246,8 +495,12 @@ impl PersistentHeap {
         });
         // Undo logs can only truncate between transactions (truncating
         // mid-transaction would discard the records needed to roll this
-        // very transaction back).
-        if self.config.uses_undo_log() && self.log.needs_truncation() {
+        // very transaction back). Under an open epoch the seal manages
+        // its own log space, so truncation is left to it.
+        if self.config.uses_undo_log()
+            && self.log.needs_truncation()
+            && self.epoch.as_ref().is_none_or(EpochCommitter::is_clean)
+        {
             // Committed data was flushed at each commit (FoC) or will be
             // covered by flush-on-fail (FoF); either way the log records
             // before this point are dead.
@@ -285,10 +538,14 @@ impl PersistentHeap {
 
     /// Takes a consistent snapshot of the heap as a crash image (the
     /// quiesce-and-copy a checkpoint performs): everything including
-    /// cached state is captured, without disturbing the live heap.
+    /// cached state is captured, without disturbing the live heap. An
+    /// open durability epoch is sealed in the copy, so the checkpoint
+    /// includes every committed transaction.
     #[must_use]
     pub fn checkpoint_image(&self) -> CrashImage {
-        self.clone().crash(true)
+        let mut copy = self.clone();
+        copy.seal_epoch();
+        copy.crash(true)
     }
 
     /// The transaction-id high-water mark (staleness metric for
@@ -318,7 +575,7 @@ impl PersistentHeap {
         self.mem.clflush_range(0, LOG_BASE);
         self.mem.clflush_range(LOG_BASE, log_cap.as_u64());
         let mut lines: Vec<u64> = self.unflushed_lines.drain().collect();
-        lines.sort_unstable();
+        wsp_cache::coalesce_lines(&mut lines);
         let line_count = lines.len() as u64;
         for line in lines {
             self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
@@ -352,6 +609,106 @@ impl PersistentHeap {
     /// [`HeapError::CorruptHeader`] for an unrecognisable image.
     pub fn recover_partial(image: CrashImage) -> Result<Self, HeapError> {
         Self::recover_inner(image, OverheadModel::default(), true)
+    }
+
+    /// Durable steps an epoch seal would run right now, for mid-seal
+    /// fault injection: one per coalesced record append, one for the
+    /// post-append fence (plus, for the undo flavour, the in-place
+    /// applies it unlocks), and — undo flavour only — one per coalesced
+    /// data-line flush. Zero when epoch mode is off or nothing is
+    /// buffered.
+    #[must_use]
+    pub fn seal_steps(&self) -> u64 {
+        let Some(epoch) = &self.epoch else {
+            return 0;
+        };
+        if epoch.buffered.is_empty() {
+            return 0;
+        }
+        let records = epoch.buffered_index.len() as u64;
+        if self.config.uses_undo_log() {
+            let mut walk = LineWalk::default();
+            walk.extend(epoch.buffered_index.keys().map(|&a| a / LINE_SIZE));
+            records + 1 + walk.coalesce().len() as u64
+        } else {
+            records + 1
+        }
+    }
+
+    /// Simulates power failing `step` durable operations into sealing
+    /// the open epoch: the seal's durable prefix runs — coalesced
+    /// record appends, then (past the fence step) the post-append
+    /// `sfence` and, for the undo flavour, the in-place applies and a
+    /// prefix of the coalesced line flushes — but the covering
+    /// [`RecordKind::EpochCommit`] marker is never written, so recovery
+    /// must roll the half-sealed epoch back to the last complete one.
+    /// `step` past [`PersistentHeap::seal_steps`] behaves as the largest
+    /// crash point (everything durable except the marker). With epoch
+    /// mode off or nothing buffered this is a plain unsaved crash.
+    #[must_use]
+    pub fn crash_mid_seal(mut self, step: u64) -> CrashImage {
+        let Some(mut epoch) = self.epoch.take() else {
+            return self.crash(false);
+        };
+        if epoch.buffered.is_empty() {
+            self.epoch = Some(epoch);
+            return self.crash(false);
+        }
+        // Coalesce and make room exactly as the real seal does.
+        let mut seen: FastSet<u64> = FastSet::default();
+        let mut unique: Vec<u64> = Vec::with_capacity(epoch.buffered_index.len());
+        for &(addr, _) in &epoch.buffered {
+            if seen.insert(addr) {
+                unique.push(addr);
+            }
+        }
+        let needed = unique.len() as u64 * 4 + 1;
+        if self.log.free_words() < needed + 8 {
+            if self.config.uses_redo_log() {
+                self.truncate_redo_log();
+            } else {
+                self.stats.truncations += 1;
+                self.log.truncate(&mut self.mem, true);
+            }
+        }
+        let records = unique.len() as u64;
+        let appends = step.min(records) as usize;
+        if self.config.uses_undo_log() {
+            let mut olds = Vec::with_capacity(unique.len());
+            for &addr in &unique {
+                olds.push(self.mem.read_u64(addr));
+            }
+            for (&addr, &old) in unique.iter().zip(&olds).take(appends) {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, old), true);
+            }
+            if step > records {
+                // Past the fence: every record is durable, the buffer is
+                // applied in place, and `step - records - 1` of the
+                // coalesced line flushes complete before power dies.
+                self.mem.sfence();
+                for &(addr, value) in &epoch.buffered {
+                    self.mem.write_u64(addr, value);
+                }
+                epoch.walk.clear();
+                epoch.walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
+                let flushes = (step - records - 1) as usize;
+                for &line in epoch.walk.coalesce().iter().take(flushes) {
+                    self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+                }
+            }
+        } else {
+            for &addr in unique.iter().take(appends) {
+                let value = epoch.buffered_index[&addr];
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, value), true);
+            }
+            if step > records {
+                self.mem.sfence();
+            }
+        }
+        // Power dies before the marker append — always.
+        self.crash(false)
     }
 
     /// Simulates a power failure: the flush-on-fail save runs iff
@@ -430,21 +787,36 @@ impl PersistentHeap {
             .filter(|r| r.kind == RecordKind::Commit)
             .map(|r| r.txid)
             .collect();
+        // Epoch group commit: one durable marker commits every txid at or
+        // below it. Records written after the last marker belong to the
+        // open (partial) epoch and are treated as uncommitted wholesale —
+        // replay truncates at the marker, never exposing a partial epoch.
+        let epoch_max = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::EpochCommit)
+            .map(|r| r.txid)
+            .max();
+        let is_committed = |txid: u64| -> bool {
+            committed.contains(&txid) || epoch_max.is_some_and(|max| txid <= max)
+        };
 
         if config.uses_redo_log() && !fof_save_completed {
             // Redo: replay every committed transaction's writes in order.
-            for r in records.iter().filter(|r| {
-                r.kind == RecordKind::Write && committed.contains(&r.txid)
-            }) {
+            for r in records
+                .iter()
+                .filter(|r| r.kind == RecordKind::Write && is_committed(r.txid))
+            {
                 mem.write_u64(r.addr, r.value);
             }
         }
         if config.uses_undo_log() {
             // Undo: roll back transactions that never committed, newest
             // record first.
-            for r in records.iter().rev().filter(|r| {
-                r.kind == RecordKind::Write && !committed.contains(&r.txid)
-            }) {
+            for r in records
+                .iter()
+                .rev()
+                .filter(|r| r.kind == RecordKind::Write && !is_committed(r.txid))
+            {
                 mem.write_u64(r.addr, r.value);
             }
         }
@@ -474,6 +846,7 @@ impl PersistentHeap {
             stm: Stm::new(1024),
             next_txid,
             unflushed_lines: FastSet::default(),
+            epoch: None,
             stats: HeapStats::default(),
         })
     }
@@ -550,6 +923,30 @@ impl Tx<'_> {
             if self.read_stripes.insert(stripe) {
                 self.read_set.push((stripe, version));
             }
+            // Earlier transactions in the open epoch committed into the
+            // write-behind buffer; their values are not in memory yet.
+            if let Some(epoch) = &self.heap.epoch {
+                self.heap.mem.charge(self.heap.overheads.epoch_lookup);
+                if let Some(v) = epoch.buffered_value(addr) {
+                    return Ok(v);
+                }
+            }
+        } else if self.heap.config.uses_undo_log() && self.heap.epoch.is_some() {
+            // Undo-flavour epoch mode buffers writes instead of applying
+            // them in place, so reads go through the buffers: this
+            // transaction's own writes first, then the open epoch's.
+            self.heap.mem.charge(
+                self.heap.overheads.epoch_lookup
+                    + self.heap.overheads.stm_ws_scan * self.write_set.len() as u64,
+            );
+            if let Some(&(_, v)) = self.write_set.iter().rev().find(|&&(a, _)| a == addr) {
+                return Ok(v);
+            }
+            if let Some(epoch) = &self.heap.epoch {
+                if let Some(v) = epoch.buffered_value(addr) {
+                    return Ok(v);
+                }
+            }
         }
         Ok(self.heap.mem.read_u64(addr))
     }
@@ -572,6 +969,16 @@ impl Tx<'_> {
             return Ok(());
         }
         if config.uses_undo_log() {
+            if self.heap.epoch.is_some() {
+                // Epoch group commit: buffer the write volatile — no undo
+                // record, no fence, no in-place store. The seal logs old
+                // values and applies the whole epoch at once.
+                self.heap
+                    .mem
+                    .charge(self.heap.overheads.undo_check + self.heap.overheads.epoch_buffer);
+                self.write_set.push((addr, value));
+                return Ok(());
+            }
             self.heap.mem.charge(self.heap.overheads.undo_check);
             let fresh = self
                 .fresh_allocs
@@ -736,11 +1143,22 @@ impl Tx<'_> {
             }
             HeapConfig::FocUndo | HeapConfig::FofUndo => {
                 self.heap.stats.commits += 1;
+                let flush = config.flush_on_commit();
+                if flush && self.heap.epoch.is_some() {
+                    // Epoch group commit: hand the buffered write set to
+                    // the epoch. Nothing touched NVRAM during this
+                    // transaction, so a crash before the seal simply loses
+                    // the whole epoch — atomically.
+                    if !self.write_set.is_empty() {
+                        let write_set = std::mem::take(&mut self.write_set);
+                        self.heap.epoch_absorb(self.txid, &write_set);
+                    }
+                    return Ok(());
+                }
                 if self.undo_order.is_empty() && self.touched_lines.is_empty() {
                     // Read-only: nothing to make durable, no marker needed.
                     return Ok(());
                 }
-                let flush = config.flush_on_commit();
                 if flush {
                     // Data must be durable before the commit marker: a
                     // marker without the data would break recovery.
@@ -781,6 +1199,16 @@ impl Tx<'_> {
                 self.heap.stats.commits += 1;
                 if self.write_set.is_empty() {
                     // Read-only: validated, nothing to log or apply.
+                    return Ok(());
+                }
+                if flush && self.heap.epoch.is_some() {
+                    // Epoch group commit: no log traffic at all — the
+                    // write set is buffered write-behind and the seal
+                    // writes one coalesced, fenced record batch for the
+                    // whole epoch.
+                    self.heap.stm.commit(self.write_set.iter().map(|&(a, _)| a));
+                    let write_set = std::mem::take(&mut self.write_set);
+                    self.heap.epoch_absorb(self.txid, &write_set);
                     return Ok(());
                 }
                 self.heap.stats.redo_records += self.write_set.len() as u64;
@@ -842,10 +1270,17 @@ impl Tx<'_> {
         obs::count(obs::Ctr::TxAborts);
         let config = self.heap.config;
         if config.uses_undo_log() {
+            let flush = config.flush_on_commit();
+            if flush && self.heap.epoch.is_some() {
+                // Epoch mode: the transaction's writes were buffered, never
+                // applied and never logged — discarding them is the whole
+                // rollback.
+                self.write_set.clear();
+                return;
+            }
             for &(addr, old) in self.undo_order.iter().rev() {
                 self.heap.mem.write_u64(addr, old);
             }
-            let flush = config.flush_on_commit();
             if flush {
                 let lines: Vec<u64> = self.touched_lines.iter().copied().collect();
                 for line in lines {
@@ -1289,6 +1724,300 @@ mod tests {
         let misaligned = PmPtr::new(LOG_BASE + 4);
         assert!(misaligned.is_none());
         tx.commit().unwrap();
+    }
+
+    #[test]
+    fn epoch_mode_inert_for_flush_on_fail_configs() {
+        for config in [HeapConfig::FofStm, HeapConfig::FofUndo, HeapConfig::Fof] {
+            let mut h = heap(config);
+            h.set_epoch_size(32);
+            assert_eq!(h.epoch_size(), 1, "{config}");
+            assert!(h.epoch().is_none());
+        }
+    }
+
+    #[test]
+    fn epoch_commit_batches_markers() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            h.set_epoch_size(8);
+            for i in 0..20u64 {
+                let mut tx = h.begin();
+                tx.write_word(p, i + 1).unwrap();
+                tx.commit().unwrap();
+            }
+            assert_eq!(h.stats().epochs_sealed, 2, "{config}");
+            assert_eq!(h.epoch().unwrap().pending(), 4);
+            h.seal_epoch();
+            assert_eq!(h.stats().epochs_sealed, 3);
+            assert_eq!(h.epoch().unwrap().pending(), 0);
+        }
+    }
+
+    #[test]
+    fn epoch_crash_rolls_back_to_last_sealed_epoch() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            h.set_epoch_size(4);
+            // 6 commits: txs 1–4 seal an epoch, 5–6 stay open.
+            for i in 1..=6u64 {
+                let mut tx = h.begin();
+                tx.write_word(p, i * 100).unwrap();
+                tx.commit().unwrap();
+            }
+            let image = h.crash(false);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let root = r.root().unwrap();
+            let mut tx = r.begin();
+            assert_eq!(
+                tx.read_word(root).unwrap(),
+                400,
+                "{config}: restore truncates at the epoch marker"
+            );
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_mid_seal_never_exposes_partial_epoch() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            // Baseline: one sealed epoch over eight cells spanning
+            // several cache lines, so the seal has records to append
+            // AND multiple coalesced lines to flush.
+            let mut h = heap(config);
+            let mut tx = h.begin();
+            let base = tx.alloc(8 * 64).unwrap();
+            let cells: Vec<PmPtr> = (0..8).map(|i| base.byte_offset(i * 64)).collect();
+            for (i, &p) in cells.iter().enumerate() {
+                tx.write_word(p, i as u64 + 10).unwrap();
+            }
+            tx.set_root(base).unwrap();
+            tx.commit().unwrap();
+            h.set_epoch_size(16);
+            for (i, &p) in cells.iter().enumerate() {
+                let mut tx = h.begin();
+                tx.write_word(p, i as u64 + 1000).unwrap();
+                tx.commit().unwrap();
+            }
+            h.seal_epoch();
+            // Open epoch: overwrite every cell again, never sealed.
+            for (i, &p) in cells.iter().enumerate() {
+                let mut tx = h.begin();
+                tx.write_word(p, i as u64 + 9000).unwrap();
+                tx.commit().unwrap();
+            }
+            let steps = h.seal_steps();
+            assert!(steps > 8, "{config}: records + fence at minimum");
+            for step in 0..=steps {
+                let image = h.clone().crash_mid_seal(step);
+                let mut r = PersistentHeap::recover(image).unwrap();
+                let mut tx = r.begin();
+                for (i, &p) in cells.iter().enumerate() {
+                    assert_eq!(
+                        tx.read_word(p).unwrap(),
+                        i as u64 + 1000,
+                        "{config}: cell {i} at seal step {step}/{steps}"
+                    );
+                }
+                tx.commit().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sealed_epoch_survives_crash() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            h.set_epoch_size(32);
+            for i in 1..=5u64 {
+                let mut tx = h.begin();
+                tx.write_word(p, i).unwrap();
+                tx.commit().unwrap();
+            }
+            h.seal_epoch();
+            let image = h.crash(false);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let root = r.root().unwrap();
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(root).unwrap(), 5, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn epoch_reads_see_write_behind_buffer() {
+        let mut h = heap(HeapConfig::FocStm);
+        let p = put_one(&mut h, 1);
+        h.set_epoch_size(16);
+        let mut tx = h.begin();
+        tx.write_word(p, 2).unwrap();
+        tx.commit().unwrap();
+        // The committed value lives only in the epoch buffer, but later
+        // transactions must read it.
+        let mut tx = h.begin();
+        assert_eq!(tx.read_word(p).unwrap(), 2);
+        tx.write_word(p, 3).unwrap();
+        tx.commit().unwrap();
+        let mut tx = h.begin();
+        assert_eq!(tx.read_word(p).unwrap(), 3);
+        tx.commit().unwrap();
+        // Sealing applies the buffer in place; reads still agree.
+        h.seal_epoch();
+        let mut tx = h.begin();
+        assert_eq!(tx.read_word(p).unwrap(), 3);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn epoch_abort_restores_old_value_durably() {
+        let mut h = heap(HeapConfig::FocUndo);
+        let p = put_one(&mut h, 7);
+        h.set_epoch_size(8);
+        let mut tx = h.begin();
+        tx.write_word(p, 999).unwrap();
+        tx.abort();
+        // A few commits then a crash without sealing: the aborted value
+        // must never surface.
+        for i in 0..3u64 {
+            let mut tx = h.begin();
+            let c = tx.alloc(8).unwrap();
+            tx.write_word(c, i).unwrap();
+            tx.commit().unwrap();
+        }
+        h.seal_epoch();
+        let image = h.crash(false);
+        let mut r = PersistentHeap::recover(image).unwrap();
+        let root = r.root().unwrap();
+        let mut tx = r.begin();
+        assert_eq!(tx.read_word(root).unwrap(), 7);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn epoch_mixed_with_per_tx_markers_recovers_both() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            // Per-transaction commits first...
+            for i in 1..=3u64 {
+                let mut tx = h.begin();
+                tx.write_word(p, i).unwrap();
+                tx.commit().unwrap();
+            }
+            // ...then epoch mode on the same log.
+            h.set_epoch_size(2);
+            for i in 4..=5u64 {
+                let mut tx = h.begin();
+                tx.write_word(p, i).unwrap();
+                tx.commit().unwrap();
+            }
+            let image = h.crash(false);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let root = r.root().unwrap();
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(root).unwrap(), 5, "{config}");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn epoch_seals_under_log_pressure_and_stays_consistent() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            // Epoch far larger than the log can hold: the coalesced
+            // record set (one per distinct address) must pressure-seal
+            // early instead of overflowing. Allocations make every
+            // transaction touch fresh addresses.
+            h.set_epoch_size(1_000_000);
+            for i in 1..=800u64 {
+                let mut tx = h.begin();
+                let c = tx.alloc(8).unwrap();
+                tx.write_word(c, i).unwrap();
+                tx.write_word(p, i).unwrap();
+                tx.commit().unwrap();
+            }
+            assert!(h.stats().epochs_sealed > 0, "{config}: pressure seals");
+            let image = h.crash(false);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let root = r.root().unwrap();
+            let mut tx = r.begin();
+            let v = tx.read_word(root).unwrap();
+            assert!(v <= 800, "{config}");
+            assert!(v > 0, "{config}: at least one sealed epoch survives");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn epoch_mode_outruns_per_tx_durability() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut per_tx = heap(config);
+            let mut epoch = heap(config);
+            let p1 = put_one(&mut per_tx, 0);
+            let p2 = put_one(&mut epoch, 0);
+            epoch.set_epoch_size(32);
+            let t1 = per_tx.elapsed();
+            let t2 = epoch.elapsed();
+            for i in 0..256u64 {
+                let mut tx = per_tx.begin();
+                tx.write_word(p1, i).unwrap();
+                tx.commit().unwrap();
+                let mut tx = epoch.begin();
+                tx.write_word(p2, i).unwrap();
+                tx.commit().unwrap();
+            }
+            epoch.seal_epoch();
+            let per_tx_time = per_tx.elapsed() - t1;
+            let epoch_time = epoch.elapsed() - t2;
+            assert!(
+                epoch_time.as_nanos() * 2 < per_tx_time.as_nanos(),
+                "{config}: epoch {epoch_time} should be well under half of per-tx {per_tx_time}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_coalesces_duplicate_line_flushes() {
+        let mut h = heap(HeapConfig::FocUndo);
+        let p = put_one(&mut h, 0);
+        h.set_epoch_size(16);
+        // 16 transactions all dirtying the same line: the seal should
+        // flush it once and count the rest as coalesced.
+        for i in 0..16u64 {
+            let mut tx = h.begin();
+            tx.write_word(p, i).unwrap();
+            tx.commit().unwrap();
+        }
+        assert_eq!(h.stats().epochs_sealed, 1);
+        assert!(
+            h.stats().epoch_coalesced_lines > 0,
+            "duplicates coalesced: {}",
+            h.stats()
+        );
+    }
+
+    #[test]
+    fn checkpoint_includes_open_epoch() {
+        let mut h = heap(HeapConfig::FocStm);
+        let p = put_one(&mut h, 1);
+        h.set_epoch_size(64);
+        let mut tx = h.begin();
+        tx.write_word(p, 2).unwrap();
+        tx.commit().unwrap();
+        // The live heap's epoch is still open, but the checkpoint seals
+        // its private copy.
+        let image = h.checkpoint_image();
+        let mut r = PersistentHeap::recover(image).unwrap();
+        let root = r.root().unwrap();
+        let mut tx = r.begin();
+        assert_eq!(tx.read_word(root).unwrap(), 2);
+        tx.commit().unwrap();
+        // And the live heap still works.
+        assert_eq!(h.epoch().unwrap().pending(), 1);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct HeapStats {
     pub bytes_allocated: u64,
     /// Allocations freed.
     pub frees: u64,
+    /// Durability epochs sealed by the group-commit mode.
+    pub epochs_sealed: u64,
+    /// Duplicate dirty-line flushes coalesced away by epoch sealing.
+    pub epoch_coalesced_lines: u64,
 }
 
 impl HeapStats {
@@ -48,7 +52,7 @@ impl fmt::Display for HeapStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "txs={} commits={} aborts={} conflicts={} undo={} redo={} truncations={} alloc={}B frees={}",
+            "txs={} commits={} aborts={} conflicts={} undo={} redo={} truncations={} alloc={}B frees={} epochs={} coalesced={}",
             self.txs_started,
             self.commits,
             self.aborts,
@@ -58,6 +62,8 @@ impl fmt::Display for HeapStats {
             self.truncations,
             self.bytes_allocated,
             self.frees,
+            self.epochs_sealed,
+            self.epoch_coalesced_lines,
         )
     }
 }

@@ -19,6 +19,10 @@ pub enum RecordKind {
     Commit,
     /// Transaction abort marker.
     Abort,
+    /// Epoch group-commit marker: every transaction with a txid at or
+    /// below this record's `txid` is durably committed. One fenced
+    /// marker covers a whole durability epoch.
+    EpochCommit,
 }
 
 impl RecordKind {
@@ -27,6 +31,7 @@ impl RecordKind {
             RecordKind::Write => 0,
             RecordKind::Commit => 1,
             RecordKind::Abort => 2,
+            RecordKind::EpochCommit => 3,
         }
     }
 
@@ -35,6 +40,7 @@ impl RecordKind {
             0 => Some(RecordKind::Write),
             1 => Some(RecordKind::Commit),
             2 => Some(RecordKind::Abort),
+            3 => Some(RecordKind::EpochCommit),
             _ => None,
         }
     }
@@ -43,7 +49,7 @@ impl RecordKind {
     fn words(self) -> u64 {
         match self {
             RecordKind::Write => 4,
-            RecordKind::Commit | RecordKind::Abort => 1,
+            RecordKind::Commit | RecordKind::Abort | RecordKind::EpochCommit => 1,
         }
     }
 }
@@ -91,6 +97,18 @@ impl LogRecord {
         LogRecord {
             kind: RecordKind::Abort,
             txid,
+            addr: 0,
+            value: 0,
+        }
+    }
+
+    /// An epoch group-commit marker covering every txid up to and
+    /// including `max_txid`.
+    #[must_use]
+    pub fn epoch_commit(max_txid: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::EpochCommit,
+            txid: max_txid,
             addr: 0,
             value: 0,
         }
@@ -188,6 +206,13 @@ impl TornLog {
         } else {
             self.tail - self.head - 1
         }
+    }
+
+    /// Total words the log can hold (sizing bound for batched appends,
+    /// e.g. an epoch seal's coalesced record set).
+    #[must_use]
+    pub fn capacity_words(&self) -> u64 {
+        self.cap_words
     }
 
     /// True when less than a quarter of the log remains — time for the
@@ -484,5 +509,30 @@ mod tests {
         mem.sfence();
         let records = recover_from(mem, false);
         assert_eq!(records, vec![LogRecord::abort(5)]);
+    }
+
+    #[test]
+    fn epoch_commit_records_round_trip() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(6, 128, 11), true);
+        log.append(&mut mem, &LogRecord::write(7, 136, 12), true);
+        log.append(&mut mem, &LogRecord::epoch_commit(7), true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2], LogRecord::epoch_commit(7));
+        assert_eq!(records[2].kind, RecordKind::EpochCommit);
+        assert_eq!(records[2].txid, 7);
+    }
+
+    #[test]
+    fn unfenced_epoch_marker_is_lost() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(6, 128, 11), true);
+        mem.sfence();
+        log.append(&mut mem, &LogRecord::epoch_commit(6), true);
+        // The marker's ntstore never fenced: recovery must not see it.
+        let records = recover_from(mem, false);
+        assert_eq!(records, vec![LogRecord::write(6, 128, 11)]);
     }
 }

@@ -81,7 +81,26 @@ impl HashBenchmark {
         update_probability: f64,
         seed: u64,
     ) -> Result<BenchResult, HeapError> {
+        self.run_with_epoch(config, update_probability, seed, 1)
+    }
+
+    /// [`HashBenchmark::run`] with epoch group commit: `epoch_size`
+    /// transactions per durability epoch (1 = per-transaction protocol).
+    /// The final open epoch is sealed inside the measured window, so the
+    /// reported time includes full durability of every operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn run_with_epoch(
+        &self,
+        config: HeapConfig,
+        update_probability: f64,
+        seed: u64,
+        epoch_size: u64,
+    ) -> Result<BenchResult, HeapError> {
         let mut heap = PersistentHeap::create(self.region, config);
+        heap.set_epoch_size(epoch_size);
         let buckets = (self.prepopulate / 4).next_power_of_two().max(64);
         let table = PmHashTable::create(&mut heap, buckets)?;
 
@@ -113,6 +132,7 @@ impl HashBenchmark {
                 }
             }
         }
+        heap.seal_epoch();
         let elapsed = heap.elapsed() - start;
         Ok(BenchResult {
             config,

@@ -47,6 +47,7 @@ mod generators;
 mod hashtable;
 mod kvserver;
 mod queue;
+mod shard;
 mod ycsb;
 
 pub use avl::PmAvlTree;
@@ -58,4 +59,5 @@ pub use generators::{random_dn, KeyDistribution, Op, OpMix, Zipfian};
 pub use hashtable::PmHashTable;
 pub use kvserver::{Command, KvServer, ProtocolError, Response, ServeError};
 pub use queue::PmQueue;
+pub use shard::{kv_worker_threads, ShardOutcome, ShardedKvBench, ShardedKvReport};
 pub use ycsb::{YcsbDriver, YcsbMix, YcsbResult};

@@ -47,6 +47,12 @@ cargo run --release --offline -p wsp-bench --features bench --bin bench_pr2 -- c
 echo "== recovery-ladder time gate (>20% sweep slowdown fails) =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr3 -- check BENCH_PR3.json
 
+echo "== epoch group-commit + shard-scaling gate =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr5 -- check BENCH_PR5.json
+
+echo "== sharded KV determinism spot-check (single worker) =="
+WSP_KV_SHARDS=1 cargo test -q --offline -p wsp-workloads shard::
+
 echo "== deny-warnings build =="
 RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
 

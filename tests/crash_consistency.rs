@@ -289,6 +289,75 @@ fn repeated_crash_during_restore_sweep() {
     });
 }
 
+/// Epoch group commit trades durability granularity for throughput —
+/// but never atomicity: a crash restores exactly the state of the last
+/// *sealed* epoch, with every later operation vanished wholesale.
+fn check_epoch_recovers_last_sealed_epoch(
+    ops: &[Op],
+    crash_at: usize,
+    seal_every: usize,
+    use_stm: bool,
+) {
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+    let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+    let table = PmHashTable::create(&mut heap, 32).unwrap();
+    // Oversized epoch: seals happen only where this test places them,
+    // so the expected durable state is known exactly.
+    heap.set_epoch_size(100_000);
+
+    let mut model = HashMap::new();
+    let mut sealed_model = model.clone();
+    let crash_at = crash_at.min(ops.len());
+    for (i, op) in ops[..crash_at].iter().enumerate() {
+        apply_table(&table, &mut heap, *op).unwrap();
+        apply_model(&mut model, *op);
+        if (i + 1) % seal_every == 0 {
+            heap.seal_epoch();
+            sealed_model = model.clone();
+        }
+    }
+
+    let image = heap.crash(false);
+    let mut recovered = PersistentHeap::recover(image).unwrap();
+    let table = PmHashTable::open(&mut recovered).unwrap();
+    check_matches_model(&table, &mut recovered, &sealed_model);
+}
+
+#[test]
+fn epoch_recovers_last_sealed_epoch() {
+    Forall::new(gen::pair(
+        gen::triple(ops(60), gen::in_range(0usize..60), gen::in_range(1usize..9)),
+        gen::any::<bool>(),
+    ))
+    .cases(24)
+    .check(|((ops, crash_at, seal_every), use_stm)| {
+        check_epoch_recovers_last_sealed_epoch(ops, *crash_at, *seal_every, *use_stm);
+    });
+}
+
+/// The mid-epoch crash-point sweep: power failure after every committed
+/// transaction inside an epoch and at every durable step of the seal
+/// itself (including mid-coalesced-flush) restores the last complete
+/// epoch — no crash point exposes a partial one.
+#[test]
+fn mid_epoch_sweep_never_exposes_partial_epoch() {
+    for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+        for seed in [7u64, 42, 0x00DE_C0DE] {
+            let report = wsp_repro::wsp::sweep_mid_epoch(config, seed);
+            assert_eq!(report.epoch_size, 8, "{config}");
+            assert!(
+                report.crash_points > 23,
+                "{config} seed {seed}: {} crash points",
+                report.crash_points
+            );
+        }
+    }
+}
+
 /// Fixed-seed regression corpus: seeds that exercised interesting
 /// schedules stay pinned so every future run re-checks them even after
 /// the default seed or generators change.
@@ -323,6 +392,15 @@ fn fixed_seed_regression_corpus() {
         .cases(6)
         .check(|((ops, between, crashes), use_stm)| {
             check_repeated_crash_during_restore(ops, between, *crashes, *use_stm);
+        });
+        Forall::new(gen::pair(
+            gen::triple(ops(60), gen::in_range(0usize..60), gen::in_range(1usize..9)),
+            gen::any::<bool>(),
+        ))
+        .seed(seed)
+        .cases(6)
+        .check(|((ops, crash_at, seal_every), use_stm)| {
+            check_epoch_recovers_last_sealed_epoch(ops, *crash_at, *seal_every, *use_stm);
         });
     }
 }
