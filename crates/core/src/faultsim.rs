@@ -45,7 +45,9 @@ use wsp_det::{DetRng, Rng};
 use wsp_machine::{CpuContext, Machine, SystemLoad};
 use wsp_obs as obs;
 use wsp_obs::{Capture, Ctr, MetricsSnapshot, Trace};
-use wsp_pheap::{BackendStore, HeapConfig, HeapError, PersistentHeap, PmPtr, RecoveryLadder};
+use wsp_pheap::{
+    BackendStore, CrashImage, HeapConfig, HeapError, PersistentHeap, PmPtr, RecoveryLadder,
+};
 use wsp_power::{AgingModel, Ultracapacitor};
 use wsp_units::{ByteSize, Farads, Nanos, Volts, Watts};
 
@@ -55,6 +57,7 @@ use crate::save::{flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep
 use crate::supervisor::{
     clean_failure_trace, glitch_storm_trace, supervised_save, SaveBudget, SaveVerdict,
 };
+use crate::txn::{resolve_cross_shard, CrossShardTxn, TxnCoordinator, TxnOutcome};
 use crate::{layout, RestartStrategy, WspError};
 
 /// How many equal batches the cache flush is split into for
@@ -685,6 +688,546 @@ fn run_epoch_point(
         assert_eq!(got, want, "{config}: cell {addr:#x} at {point:?}");
     }
     check.commit().unwrap();
+}
+
+/// Shards in the cross-shard 2PC sweep.
+const XS_SHARDS: usize = 3;
+/// Cells per shard (each on its own cache line).
+const XS_CELLS: usize = 4;
+/// Scripted cross-shard transactions per sweep.
+const XS_TXNS: usize = 4;
+
+/// One injected crash point of [`sweep_cross_shard_2pc`]: a power
+/// failure at a specific step of the two-phase commit protocol, on the
+/// coordinator or partway through a participant shard's seal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnCrashPoint {
+    /// The coordinator dies before any participant prepares: nothing of
+    /// the transaction is durable anywhere.
+    CoordPrePrepare {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+    },
+    /// The coordinator dies after `prepared` participants hold a
+    /// durable PREPARED record; presumed abort must erase them.
+    BetweenPrepares {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+        /// Participants already prepared when power fails.
+        prepared: usize,
+    },
+    /// Every participant is prepared but the coordinator dies before
+    /// its decision record — the canonical in-doubt case, resolved to
+    /// abort.
+    PostPrepareNoDecision {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+    },
+    /// The decision record is durable but no shard holds its commit
+    /// marker yet: every participant is in doubt and must resolve to
+    /// commit.
+    PostDecisionPreCommit {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+    },
+    /// The decision is durable and `committed` participants already
+    /// hold their local commit markers; the rest resolve to commit.
+    BetweenShardCommits {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+        /// Participants whose local commit marker is already durable.
+        committed: usize,
+    },
+    /// A participant crashes after `step` durable words of its own
+    /// prepare seal — before its PREPARED marker exists, so the
+    /// transaction presumes abort everywhere.
+    ShardMidPrepare {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+        /// Durable words of the prepare seal when power fails.
+        step: u64,
+    },
+    /// A participant crashes while writing its phase-2 commit marker
+    /// (decision already durable): torn or fenced, the transaction
+    /// still commits everywhere.
+    ShardMidCommit {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+        /// True when the marker's fence landed before the crash.
+        marker_durable: bool,
+    },
+    /// A participant loses its NVRAM image outright mid-2PC: that shard
+    /// degrades through the recovery ladder while the survivors still
+    /// resolve the transaction from the coordinator log.
+    ShardImageLost {
+        /// Index of the scripted transaction being attempted.
+        txn: usize,
+    },
+}
+
+impl TxnCrashPoint {
+    /// Index of the scripted transaction the crash lands in.
+    #[must_use]
+    pub fn txn(&self) -> usize {
+        match *self {
+            Self::CoordPrePrepare { txn }
+            | Self::BetweenPrepares { txn, .. }
+            | Self::PostPrepareNoDecision { txn }
+            | Self::PostDecisionPreCommit { txn }
+            | Self::BetweenShardCommits { txn, .. }
+            | Self::ShardMidPrepare { txn, .. }
+            | Self::ShardMidCommit { txn, .. }
+            | Self::ShardImageLost { txn } => txn,
+        }
+    }
+
+    /// The protocol-step family this point belongs to.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::CoordPrePrepare { .. } => "coord-pre-prepare",
+            Self::BetweenPrepares { .. } => "between-prepares",
+            Self::PostPrepareNoDecision { .. } => "post-prepare-no-decision",
+            Self::PostDecisionPreCommit { .. } => "post-decision-pre-commit",
+            Self::BetweenShardCommits { .. } => "between-shard-commits",
+            Self::ShardMidPrepare { .. } => "shard-mid-prepare",
+            Self::ShardMidCommit { .. } => "shard-mid-commit",
+            Self::ShardImageLost { .. } => "shard-image-lost",
+        }
+    }
+
+    /// True when the coordinator's decision record is durable at this
+    /// point. The all-or-nothing contract then requires the transaction
+    /// to commit on every shard; otherwise presumed abort must erase it
+    /// from every shard.
+    #[must_use]
+    pub fn decision_durable(&self) -> bool {
+        matches!(
+            self,
+            Self::PostDecisionPreCommit { .. }
+                | Self::BetweenShardCommits { .. }
+                | Self::ShardMidCommit { .. }
+                | Self::ShardImageLost { .. }
+        )
+    }
+
+    /// Stable ordinal for trace payloads.
+    fn family_code(&self) -> i64 {
+        match self {
+            Self::CoordPrePrepare { .. } => 0,
+            Self::BetweenPrepares { .. } => 1,
+            Self::PostPrepareNoDecision { .. } => 2,
+            Self::PostDecisionPreCommit { .. } => 3,
+            Self::BetweenShardCommits { .. } => 4,
+            Self::ShardMidPrepare { .. } => 5,
+            Self::ShardMidCommit { .. } => 6,
+            Self::ShardImageLost { .. } => 7,
+        }
+    }
+}
+
+/// The resolved fate of one 2PC crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnPointVerdict {
+    /// The decision was durable: the write-set is visible on every
+    /// shard.
+    CommittedEverywhere,
+    /// No durable decision: presumed abort erased the write-set from
+    /// every shard.
+    AbortedEverywhere,
+    /// One shard lost its image and degraded to a cluster rebuild; the
+    /// surviving shards still applied the decided outcome.
+    DegradedShard {
+        /// The shard that could not recover locally.
+        shard: usize,
+    },
+}
+
+/// The full cross-shard 2PC crash sweep for one heap configuration.
+#[derive(Debug, Clone)]
+pub struct CrossShard2pcReport {
+    /// Heap configuration under test.
+    pub config: HeapConfig,
+    /// Participant shards in the deployment.
+    pub shards: usize,
+    /// Scripted cross-shard transactions.
+    pub txns: usize,
+    /// Crash points injected.
+    pub crash_points: usize,
+    /// Per-point verdicts, in injection order.
+    pub outcomes: Vec<(TxnCrashPoint, TxnPointVerdict)>,
+    /// Points that resolved to commit-everywhere.
+    pub committed: usize,
+    /// Points that resolved to abort-everywhere.
+    pub aborted: usize,
+    /// Points where a lost shard degraded through the ladder.
+    pub degraded: usize,
+    /// Per-point traces merged in crash-point order — identical for any
+    /// `WSP_FAULTSIM_THREADS`.
+    pub trace: Trace,
+    /// Metrics aggregated across every point, in the same order.
+    pub metrics: MetricsSnapshot,
+}
+
+impl CrossShard2pcReport {
+    /// Distinct protocol-step families the sweep covered, in first-hit
+    /// order.
+    #[must_use]
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut seen: Vec<&'static str> = Vec::new();
+        for (point, _) in &self.outcomes {
+            let family = point.family();
+            if !seen.contains(&family) {
+                seen.push(family);
+            }
+        }
+        seen
+    }
+}
+
+/// Crashes a three-shard deployment at **every** step of the two-phase
+/// epoch seal — coordinator-side (pre-prepare, between prepares,
+/// post-prepare/pre-decision, post-decision, between shard commits) and
+/// shard-side (every durable word of a prepare seal, a torn and a
+/// fenced commit marker, a lost image) — then resolves the whole fleet
+/// with [`resolve_cross_shard`] and checks the all-or-nothing contract
+/// against an in-memory model: a transaction with a durable coordinator
+/// decision is visible on every shard, one without vanishes from every
+/// shard, and a lost shard yields a typed degraded verdict with
+/// quantified staleness while its peers still apply the decided
+/// outcome.
+///
+/// Sharded over [`faultsim_threads`] workers, bitwise identical to the
+/// serial order.
+///
+/// # Panics
+///
+/// Panics for configurations without flush-on-commit durability (they
+/// refuse to prepare — there is nothing to sweep) and when any crash
+/// point violates the all-or-nothing contract.
+#[must_use]
+pub fn sweep_cross_shard_2pc(config: HeapConfig, seed: u64) -> CrossShard2pcReport {
+    sweep_cross_shard_2pc_threads(config, seed, faultsim_threads())
+}
+
+fn sweep_cross_shard_2pc_threads(
+    config: HeapConfig,
+    seed: u64,
+    threads: usize,
+) -> CrossShard2pcReport {
+    assert!(
+        config.flush_on_commit(),
+        "cross-shard 2PC sweep needs a flush-on-commit configuration, got {config}"
+    );
+    let mut rng = DetRng::seed_from_u64(seed);
+
+    // The baseline fleet: XS_SHARDS heaps, each with XS_CELLS committed
+    // cells on distinct cache lines.
+    let ((heaps, cells), setup) = obs::capture(|| {
+        let mut heaps: Vec<PersistentHeap> = Vec::with_capacity(XS_SHARDS);
+        let mut cells: Vec<Vec<(PmPtr, u64)>> = Vec::with_capacity(XS_SHARDS);
+        for _ in 0..XS_SHARDS {
+            let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+            let mut shard_cells = Vec::with_capacity(XS_CELLS);
+            let mut tx = heap.begin();
+            let base = tx.alloc(XS_CELLS as u64 * 64).unwrap();
+            for i in 0..XS_CELLS {
+                let p = base.byte_offset(i as u64 * 64);
+                let v = rng.gen::<u64>();
+                tx.write_word(p, v).unwrap();
+                shard_cells.push((p, v));
+            }
+            tx.set_root(base).unwrap();
+            tx.commit().unwrap();
+            heaps.push(heap);
+            cells.push(shard_cells);
+        }
+        (heaps, cells)
+    });
+
+    // The scripted workload: each transaction spans two adjacent shards
+    // with two writes per participant.
+    let script: Vec<Vec<(usize, usize, u64)>> = (0..XS_TXNS)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for shard in [t % XS_SHARDS, (t + 1) % XS_SHARDS] {
+                for _ in 0..2 {
+                    ops.push((shard, rng.gen_range(0..XS_CELLS), rng.gen::<u64>()));
+                }
+            }
+            ops
+        })
+        .collect();
+
+    let cluster = ClusterSpec::memcache_tier(8);
+    let mid = XS_TXNS / 2;
+
+    // How many durable words the mid-sweep participant's prepare seal
+    // has (`prepare_steps` is a pure count — the lowest-numbered
+    // participant of txn `mid` is the one the shard-side points crash).
+    let mid_shard = (mid % XS_SHARDS).min((mid + 1) % XS_SHARDS);
+    let mid_writes: Vec<(u64, u64)> = script[mid]
+        .iter()
+        .filter(|&&(s, _, _)| s == mid_shard)
+        .map(|&(_, cell, v)| (cells[mid_shard][cell].0.offset(), v))
+        .collect();
+    let seal_steps = heaps[mid_shard].prepare_steps(&mid_writes);
+
+    let mut points: Vec<TxnCrashPoint> = Vec::new();
+    for t in 0..XS_TXNS {
+        points.push(TxnCrashPoint::CoordPrePrepare { txn: t });
+        points.push(TxnCrashPoint::BetweenPrepares { txn: t, prepared: 1 });
+        points.push(TxnCrashPoint::PostPrepareNoDecision { txn: t });
+        points.push(TxnCrashPoint::PostDecisionPreCommit { txn: t });
+        points.push(TxnCrashPoint::BetweenShardCommits { txn: t, committed: 1 });
+    }
+    points.extend((0..=seal_steps).map(|step| TxnCrashPoint::ShardMidPrepare { txn: mid, step }));
+    points.push(TxnCrashPoint::ShardMidCommit { txn: mid, marker_durable: false });
+    points.push(TxnCrashPoint::ShardMidCommit { txn: mid, marker_durable: true });
+    points.push(TxnCrashPoint::ShardImageLost { txn: mid });
+    let crash_points = points.len();
+
+    let results = run_sharded(points, threads, |point| {
+        let (verdict, cap) = obs::capture(|| {
+            obs::emit_detail(
+                "faultsim",
+                "inject",
+                Nanos::ZERO,
+                point.txn() as i64,
+                point.family_code(),
+                format!("{point:?}"),
+            );
+            obs::count(Ctr::FaultsInjected);
+            run_cross_shard_point(config, &heaps, &cells, &script, &cluster, point)
+        });
+        (point, verdict, cap)
+    });
+
+    let mut merged = setup;
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (point, verdict, cap) in results {
+        merged.absorb(cap);
+        outcomes.push((point, verdict));
+    }
+    let committed = outcomes
+        .iter()
+        .filter(|(_, v)| *v == TxnPointVerdict::CommittedEverywhere)
+        .count();
+    let aborted = outcomes
+        .iter()
+        .filter(|(_, v)| *v == TxnPointVerdict::AbortedEverywhere)
+        .count();
+    let degraded = outcomes
+        .iter()
+        .filter(|(_, v)| matches!(v, TxnPointVerdict::DegradedShard { .. }))
+        .count();
+
+    CrossShard2pcReport {
+        config,
+        shards: XS_SHARDS,
+        txns: XS_TXNS,
+        crash_points,
+        outcomes,
+        committed,
+        aborted,
+        degraded,
+        trace: merged.trace,
+        metrics: merged.metrics,
+    }
+}
+
+/// Stages the scripted ops of one transaction on a fresh handle from
+/// `coordinator`.
+fn build_cross_shard_txn(
+    coordinator: &mut TxnCoordinator,
+    cells: &[Vec<(PmPtr, u64)>],
+    ops: &[(usize, usize, u64)],
+) -> CrossShardTxn {
+    let mut txn = coordinator.begin(cells.len());
+    for &(shard, cell, value) in ops {
+        txn.stage(shard, cells[shard][cell].0.offset(), value);
+    }
+    txn
+}
+
+/// Phase 1 on every participant, in ascending shard order.
+fn prepare_all(
+    coordinator: &mut TxnCoordinator,
+    heaps: &mut [PersistentHeap],
+    txn: &CrossShardTxn,
+    participants: &[usize],
+) {
+    for &shard in participants {
+        coordinator
+            .prepare_shard(&mut heaps[shard], shard, txn)
+            .unwrap();
+    }
+}
+
+/// A shard-side crash flavor for the mid-seal crash points.
+#[derive(Clone, Copy)]
+enum MidCrash {
+    /// Crash after this many durable words of the prepare seal.
+    Prepare(u64),
+    /// Crash on the phase-2 commit marker (fenced or torn).
+    Commit(bool),
+}
+
+/// One 2PC crash point: replay the committed prefix on clones of the
+/// baseline shards, drive the scripted transaction up to the crash
+/// point, cut power on the whole fleet, resolve it with
+/// [`resolve_cross_shard`], and check the all-or-nothing contract cell
+/// by cell.
+fn run_cross_shard_point(
+    config: HeapConfig,
+    baseline: &[PersistentHeap],
+    cells: &[Vec<(PmPtr, u64)>],
+    script: &[Vec<(usize, usize, u64)>],
+    cluster: &ClusterSpec,
+    point: TxnCrashPoint,
+) -> TxnPointVerdict {
+    let mut heaps: Vec<PersistentHeap> = baseline.to_vec();
+    let mut coordinator = TxnCoordinator::new();
+    let k = point.txn();
+    for ops in &script[..k] {
+        let txn = build_cross_shard_txn(&mut coordinator, cells, ops);
+        let outcome = coordinator.commit(&mut heaps, &txn).unwrap();
+        assert!(
+            matches!(outcome, TxnOutcome::Committed),
+            "{config}: prefix txn refused before {point:?}: {outcome:?}"
+        );
+    }
+    let txn = build_cross_shard_txn(&mut coordinator, cells, &script[k]);
+    let participants = txn.participants();
+    let gtxid = txn.gtxid();
+
+    // Drive the protocol up to the crash instant.
+    let mut lost: Option<usize> = None;
+    let mut mid_crash: Option<(usize, MidCrash)> = None;
+    match point {
+        TxnCrashPoint::CoordPrePrepare { .. } => {}
+        TxnCrashPoint::BetweenPrepares { prepared, .. } => {
+            for &shard in participants.iter().take(prepared) {
+                coordinator
+                    .prepare_shard(&mut heaps[shard], shard, &txn)
+                    .unwrap();
+            }
+        }
+        TxnCrashPoint::PostPrepareNoDecision { .. } => {
+            prepare_all(&mut coordinator, &mut heaps, &txn, &participants);
+        }
+        TxnCrashPoint::PostDecisionPreCommit { .. } => {
+            prepare_all(&mut coordinator, &mut heaps, &txn, &participants);
+            coordinator.record_decision(&txn);
+        }
+        TxnCrashPoint::BetweenShardCommits { committed, .. } => {
+            prepare_all(&mut coordinator, &mut heaps, &txn, &participants);
+            coordinator.record_decision(&txn);
+            for &shard in participants.iter().take(committed) {
+                coordinator
+                    .commit_shard(&mut heaps[shard], shard, &txn)
+                    .unwrap();
+            }
+        }
+        TxnCrashPoint::ShardMidPrepare { step, .. } => {
+            mid_crash = Some((participants[0], MidCrash::Prepare(step)));
+        }
+        TxnCrashPoint::ShardMidCommit { marker_durable, .. } => {
+            prepare_all(&mut coordinator, &mut heaps, &txn, &participants);
+            coordinator.record_decision(&txn);
+            mid_crash = Some((participants[0], MidCrash::Commit(marker_durable)));
+        }
+        TxnCrashPoint::ShardImageLost { .. } => {
+            prepare_all(&mut coordinator, &mut heaps, &txn, &participants);
+            coordinator.record_decision(&txn);
+            lost = Some(participants[0]);
+        }
+    }
+
+    // Power fails everywhere at once.
+    let coordinator_image = coordinator.crash_image();
+    let mut images: Vec<Option<CrashImage>> = Vec::with_capacity(heaps.len());
+    for (shard, heap) in heaps.into_iter().enumerate() {
+        images.push(if lost == Some(shard) {
+            None
+        } else if let Some((_, crash)) = mid_crash.filter(|&(s, _)| s == shard) {
+            Some(match crash {
+                MidCrash::Prepare(step) => {
+                    heap.crash_mid_prepare(gtxid, txn.writes_for(shard), step)
+                }
+                MidCrash::Commit(durable) => heap.crash_mid_commit(gtxid, durable),
+            })
+        } else {
+            Some(heap.crash(false))
+        });
+    }
+
+    let recovery = resolve_cross_shard(&coordinator_image, images, cluster);
+    let txn_committed = recovery.decided.contains(&gtxid);
+    assert_eq!(
+        txn_committed,
+        point.decision_durable(),
+        "{config}: decision durability at {point:?}"
+    );
+
+    // The model: the baseline overlaid by the committed prefix, plus
+    // the crashed transaction exactly when its decision was durable.
+    let visible = if txn_committed { k + 1 } else { k };
+    let mut expected: Vec<HashMap<u64, u64>> = cells
+        .iter()
+        .map(|sc| sc.iter().map(|&(p, v)| (p.offset(), v)).collect())
+        .collect();
+    for ops in &script[..visible] {
+        for &(shard, cell, value) in ops {
+            expected[shard].insert(cells[shard][cell].0.offset(), value);
+        }
+    }
+
+    for mut shard_rec in recovery.shards {
+        let shard = shard_rec.shard;
+        if lost == Some(shard) {
+            match &shard_rec.outcome {
+                RecoveryOutcome::Degraded { rung, reason, took } => {
+                    assert_eq!(*rung, LadderRung::ClusterRebuild, "{config}: {point:?}");
+                    assert!(!reason.is_empty(), "{config}: staleness reason at {point:?}");
+                    assert!(
+                        *took > Nanos::ZERO,
+                        "{config}: staleness quantified at {point:?}"
+                    );
+                }
+                other => {
+                    panic!("{config}: lost shard {shard} must degrade at {point:?}, got {other:?}")
+                }
+            }
+            assert!(
+                matches!(
+                    shard_rec.refusal,
+                    Some(WspError::BackendRecoveryRequired { .. })
+                ),
+                "{config}: lost shard {shard} needs a typed refusal at {point:?}"
+            );
+            continue;
+        }
+        let heap = shard_rec
+            .heap
+            .as_mut()
+            .unwrap_or_else(|| panic!("{config}: shard {shard} must recover at {point:?}"));
+        let mut check = heap.begin();
+        for (&addr, &want) in &expected[shard] {
+            let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
+            assert_eq!(
+                got, want,
+                "{config}: shard {shard} cell {addr:#x} at {point:?}"
+            );
+        }
+        check.commit().unwrap();
+    }
+
+    match lost {
+        Some(shard) => TxnPointVerdict::DegradedShard { shard },
+        None if txn_committed => TxnPointVerdict::CommittedEverywhere,
+        None => TxnPointVerdict::AbortedEverywhere,
+    }
 }
 
 /// A fault class injected into the supervised save → recovery-ladder
@@ -1325,6 +1868,58 @@ mod tests {
                 }
                 if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
                     panic!("{config}: {threads}-thread mid-epoch sweep metrics diverge: {diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_sweep_holds_for_foc_configs() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let report = sweep_cross_shard_2pc(config, 4242);
+            assert_eq!(report.shards, XS_SHARDS, "{config}");
+            // 5 coordinator-side families per txn, plus the shard-side
+            // seal steps, two marker flavors, and the lost image.
+            assert!(report.crash_points >= XS_TXNS * 5 + 6, "{config}: {}", report.crash_points);
+            assert_eq!(report.families().len(), 8, "{config}: {:?}", report.families());
+            assert_eq!(report.degraded, 1, "{config}");
+            // Post-decision and mid-commit points commit everywhere.
+            assert_eq!(report.committed, XS_TXNS * 2 + 2, "{config}");
+            // Everything pre-decision presumes abort everywhere.
+            assert_eq!(
+                report.aborted,
+                report.crash_points - report.committed - report.degraded,
+                "{config}"
+            );
+            assert!(report.aborted > XS_TXNS * 3, "{config}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flush-on-commit")]
+    fn cross_shard_sweep_rejects_flush_on_fail_configs() {
+        let _ = sweep_cross_shard_2pc(HeapConfig::Fof, 1);
+    }
+
+    #[test]
+    fn parallel_cross_shard_sweep_matches_serial() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let serial = sweep_cross_shard_2pc_threads(config, 4242, 1);
+            for threads in [2, 4] {
+                let parallel = sweep_cross_shard_2pc_threads(config, 4242, threads);
+                assert_eq!(parallel.crash_points, serial.crash_points, "{config}");
+                assert_eq!(
+                    format!("{:?}", parallel.outcomes),
+                    format!("{:?}", serial.outcomes),
+                    "{config}"
+                );
+                if let Err(report) =
+                    wsp_obs::diff_traces(&serial.trace, &parallel.trace, wsp_obs::DiffMode::Full)
+                {
+                    panic!("{config}: {threads}-thread cross-shard sweep trace diverges:\n{report}");
+                }
+                if let Some(diff) = serial.metrics.first_difference(&parallel.metrics) {
+                    panic!("{config}: {threads}-thread cross-shard sweep metrics diverge: {diff}");
                 }
             }
         }

@@ -58,14 +58,16 @@ mod save;
 mod supervisor;
 mod system;
 mod tradeoff;
+mod txn;
 mod vm;
 
 pub use error::WspError;
 pub use faultsim::{
-    faultsim_threads, ladder_crash_points, save_path_crash_points, sweep_mid_epoch,
-    sweep_mid_transaction, sweep_recovery_ladder, sweep_save_path, FaultOutcome, LadderFault,
-    LadderPointOutcome, LadderSweepReport, MidEpochSweepReport, MidTxSweepReport,
-    SaveSweepReport, FLUSH_BATCHES,
+    faultsim_threads, ladder_crash_points, save_path_crash_points, sweep_cross_shard_2pc,
+    sweep_mid_epoch, sweep_mid_transaction, sweep_recovery_ladder, sweep_save_path,
+    CrossShard2pcReport, FaultOutcome, LadderFault, LadderPointOutcome, LadderSweepReport,
+    MidEpochSweepReport, MidTxSweepReport, SaveSweepReport, TxnCrashPoint, TxnPointVerdict,
+    FLUSH_BATCHES,
 };
 pub use feasibility::{
     feasibility_matrix, nvdimm_save_feasibility, pool_save_feasibility, FeasibilityRow,
@@ -82,6 +84,10 @@ pub use supervisor::{
 };
 pub use system::{OutageReport, WspSystem};
 pub use tradeoff::{CapacitanceTradeoff, TradeoffPoint};
+pub use txn::{
+    recover_decisions, resolve_cross_shard, ClusterTxnRecovery, CrossShardTxn, ShardRecovery,
+    TxnCoordinator, TxnOutcome,
+};
 pub use vm::{VirtualizedHost, VmInstance, VmRestoreMilestone, VmRestoreSchedule};
 
 /// NVRAM layout used by the save/restore protocol (addresses within the

@@ -1,0 +1,700 @@
+//! Cross-shard transactions: a two-phase epoch seal over sharded
+//! persistent heaps.
+//!
+//! A single heap's durability point is its epoch seal (PR 5): records,
+//! fence, one covering marker. A transaction spanning shards needs the
+//! same shape *across* heaps, and this module provides it as classic
+//! presumed-abort two-phase commit built from the seal machinery:
+//!
+//! 1. **Prepare** — each participant shard coalesces the transaction's
+//!    write set like an epoch seal (one log record per address, one
+//!    clflush per line) and covers it with a fenced
+//!    [`wsp_pheap::RecordKind::Prepare`] marker. From that marker on the
+//!    shard is bound by the coordinator's decision.
+//! 2. **Decide** — the coordinator appends one fenced commit record for
+//!    the global txid to its own durable torn-bit log. This single
+//!    store is the transaction's commit point.
+//! 3. **Commit** — each participant writes a fenced local commit marker
+//!    (and the redo flavour applies its buffered writes in place), so
+//!    later recoveries never consult the coordinator again.
+//!
+//! **Presumed abort**: a shard that recovers with a durable PREPARED
+//! marker but no local decision is *in doubt* and asks the recovered
+//! coordinator log; if the decision record is absent the transaction
+//! aborts everywhere — safe because phase 2 starts only after every
+//! participant's marker is durable. A shard that lost its image outright
+//! cannot vote at all: [`resolve_cross_shard`] degrades it through the
+//! recovery-ladder verdict types with the staleness quantified from the
+//! cluster model, instead of failing the whole fleet.
+
+use std::collections::HashSet;
+
+use wsp_cluster::ClusterSpec;
+use wsp_obs as obs;
+use wsp_pheap::{
+    CrashImage, HeapError, LogRecord, PersistentHeap, PersistentMemory, RecordKind, TornLog,
+    TxnResolution, GTXID_BASE,
+};
+use wsp_units::{ByteSize, Nanos};
+
+use crate::error::WspError;
+use crate::ladder::{LadderRung, RecoveryOutcome};
+
+/// Coordinator decision-log layout inside its private region: one page
+/// of header (the persistent tail pointer word), then the log area.
+const DECISION_TAIL_ADDR: u64 = 8;
+const DECISION_LOG_BASE: u64 = 4096;
+const DECISION_LOG_CAP: ByteSize = ByteSize::kib(8);
+const DECISION_REGION: ByteSize = ByteSize::kib(64);
+
+/// A cross-shard transaction buffering writes per participant shard
+/// until [`TxnCoordinator::commit`] runs the two-phase seal.
+#[derive(Debug, Clone)]
+pub struct CrossShardTxn {
+    gtxid: u64,
+    writes: Vec<Vec<(u64, u64)>>,
+}
+
+impl CrossShardTxn {
+    /// The global transaction id ([`GTXID_BASE`]-offset namespace).
+    #[must_use]
+    pub fn gtxid(&self) -> u64 {
+        self.gtxid
+    }
+
+    /// Stages a word write on `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for the shard count the
+    /// transaction was begun with.
+    pub fn stage(&mut self, shard: usize, addr: u64, value: u64) {
+        self.writes[shard].push((addr, value));
+    }
+
+    /// Participant shards (non-empty write sets), ascending — the order
+    /// both phases visit them in.
+    #[must_use]
+    pub fn participants(&self) -> Vec<usize> {
+        (0..self.writes.len())
+            .filter(|&s| !self.writes[s].is_empty())
+            .collect()
+    }
+
+    /// The staged writes for `shard`.
+    #[must_use]
+    pub fn writes_for(&self, shard: usize) -> &[(u64, u64)] {
+        &self.writes[shard]
+    }
+
+    fn short_id(&self) -> i64 {
+        (self.gtxid - GTXID_BASE) as i64
+    }
+}
+
+/// How a cross-shard commit ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Decision marker durable and every participant holds its local
+    /// commit marker.
+    Committed,
+    /// A prepare was refused before the decision; every already-prepared
+    /// participant was rolled back.
+    Aborted {
+        /// The refusing shard's error.
+        reason: String,
+    },
+}
+
+/// The 2PC coordinator: assigns global txids and owns the durable
+/// decision log that in-doubt shards are resolved against.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_core::TxnCoordinator;
+/// use wsp_pheap::{HeapConfig, PersistentHeap};
+/// use wsp_units::ByteSize;
+///
+/// let mut shards = vec![
+///     PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo),
+///     PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo),
+/// ];
+/// // One committed cell per shard to transact over.
+/// let mut cells = Vec::new();
+/// for heap in &mut shards {
+///     let mut tx = heap.begin();
+///     let p = tx.alloc(8).unwrap();
+///     tx.write_word(p, 100).unwrap();
+///     tx.set_root(p).unwrap();
+///     tx.commit().unwrap();
+///     cells.push(p.offset());
+/// }
+///
+/// let mut coordinator = TxnCoordinator::new();
+/// let mut txn = coordinator.begin(shards.len());
+/// txn.stage(0, cells[0], 70); // transfer 30 from shard 0 ...
+/// txn.stage(1, cells[1], 130); // ... to shard 1
+/// let outcome = coordinator.commit(&mut shards, &txn).unwrap();
+/// assert_eq!(outcome, wsp_core::TxnOutcome::Committed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxnCoordinator {
+    mem: PersistentMemory,
+    log: TornLog,
+    next: u64,
+    /// Decisions whose every participant holds a durable local marker —
+    /// safe to drop at the next truncation point.
+    settled: u64,
+    /// Decisions recorded since the last truncation.
+    recorded: u64,
+}
+
+impl Default for TxnCoordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnCoordinator {
+    /// A fresh coordinator with an empty, initialized decision log.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut mem = PersistentMemory::new(DECISION_REGION);
+        let log = TornLog::new(DECISION_LOG_BASE, DECISION_LOG_CAP, DECISION_TAIL_ADDR);
+        log.initialize(&mut mem);
+        TxnCoordinator {
+            mem,
+            log,
+            next: 0,
+            settled: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Simulated time the coordinator's own durable operations have
+    /// cost.
+    #[must_use]
+    pub fn elapsed(&self) -> Nanos {
+        self.mem.elapsed()
+    }
+
+    /// Opens a cross-shard transaction over `shards` shards.
+    pub fn begin(&mut self, shards: usize) -> CrossShardTxn {
+        let gtxid = GTXID_BASE + self.next;
+        self.next += 1;
+        let txn = CrossShardTxn {
+            gtxid,
+            writes: vec![Vec::new(); shards],
+        };
+        obs::emit(
+            "txn",
+            "begin",
+            self.mem.elapsed(),
+            txn.short_id(),
+            shards as i64,
+        );
+        txn
+    }
+
+    /// Phase 1 on one participant: durable PREPARED record on `heap`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`PersistentHeap::prepare_distributed`] refuses with;
+    /// the caller (or [`TxnCoordinator::commit`]) must then abort the
+    /// already-prepared participants.
+    pub fn prepare_shard(
+        &mut self,
+        heap: &mut PersistentHeap,
+        shard: usize,
+        txn: &CrossShardTxn,
+    ) -> Result<(), HeapError> {
+        heap.prepare_distributed(txn.gtxid, txn.writes_for(shard))?;
+        obs::emit(
+            "txn",
+            "prepare",
+            heap.elapsed(),
+            shard as i64,
+            txn.short_id(),
+        );
+        obs::count(obs::Ctr::TxnPrepares);
+        Ok(())
+    }
+
+    /// The commit point: appends the fenced decision record for `txn` to
+    /// the coordinator's durable log. After this store the transaction
+    /// commits everywhere, no matter which nodes crash.
+    pub fn record_decision(&mut self, txn: &CrossShardTxn) {
+        self.log
+            .append(&mut self.mem, &LogRecord::commit(txn.gtxid), true);
+        self.mem.sfence();
+        self.recorded += 1;
+        obs::emit("txn", "decide", self.mem.elapsed(), txn.short_id(), 1);
+        obs::count(obs::Ctr::TxnDecisions);
+    }
+
+    /// Phase 2 on one participant: durable local commit marker on
+    /// `heap`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoTransaction`] if the txn was never prepared there.
+    pub fn commit_shard(
+        &mut self,
+        heap: &mut PersistentHeap,
+        shard: usize,
+        txn: &CrossShardTxn,
+    ) -> Result<(), HeapError> {
+        heap.commit_distributed(txn.gtxid)?;
+        obs::emit(
+            "txn",
+            "commit_shard",
+            heap.elapsed(),
+            shard as i64,
+            txn.short_id(),
+        );
+        obs::count(obs::Ctr::TxnShardCommits);
+        Ok(())
+    }
+
+    /// Rolls back a prepared participant (coordinator-initiated abort).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoTransaction`] if the txn was never prepared there.
+    pub fn abort_shard(
+        &mut self,
+        heap: &mut PersistentHeap,
+        shard: usize,
+        txn: &CrossShardTxn,
+    ) -> Result<(), HeapError> {
+        heap.abort_distributed(txn.gtxid)?;
+        obs::emit(
+            "txn",
+            "abort_shard",
+            heap.elapsed(),
+            shard as i64,
+            txn.short_id(),
+        );
+        Ok(())
+    }
+
+    /// Marks `txn`'s decision as settled on every participant; once all
+    /// recorded decisions are settled the decision log truncates (a
+    /// settled decision can never be asked for again).
+    fn settle(&mut self, _txn: &CrossShardTxn) {
+        self.settled += 1;
+        if self.settled == self.recorded && self.log.needs_truncation() {
+            self.log.truncate(&mut self.mem, true);
+        }
+    }
+
+    /// Runs the full two-phase seal for `txn` against `heaps`: prepares
+    /// every participant in ascending shard order, records the durable
+    /// decision, then writes every participant's commit marker. A
+    /// refused prepare aborts the already-prepared participants and
+    /// returns [`TxnOutcome::Aborted`] — the transaction is then visible
+    /// on no shard.
+    ///
+    /// # Errors
+    ///
+    /// Only on protocol misuse (e.g. a participant shard that was
+    /// swapped out mid-commit); prepare refusals are a normal
+    /// [`TxnOutcome::Aborted`], not an error.
+    pub fn commit(
+        &mut self,
+        heaps: &mut [PersistentHeap],
+        txn: &CrossShardTxn,
+    ) -> Result<TxnOutcome, HeapError> {
+        let participants = txn.participants();
+        let clock = |mem_elapsed: Nanos, heaps: &[PersistentHeap]| {
+            participants
+                .iter()
+                .fold(mem_elapsed, |acc, &s| acc + heaps[s].elapsed())
+        };
+        let t0 = clock(self.mem.elapsed(), heaps);
+        let mut prepared: Vec<usize> = Vec::with_capacity(participants.len());
+        for &shard in &participants {
+            match self.prepare_shard(&mut heaps[shard], shard, txn) {
+                Ok(()) => prepared.push(shard),
+                Err(refusal) => {
+                    for &p in &prepared {
+                        self.abort_shard(&mut heaps[p], p, txn)?;
+                    }
+                    obs::emit("txn", "abort", self.mem.elapsed(), txn.short_id(), 0);
+                    obs::count(obs::Ctr::TxnAborts);
+                    return Ok(TxnOutcome::Aborted {
+                        reason: refusal.to_string(),
+                    });
+                }
+            }
+        }
+        self.record_decision(txn);
+        for &shard in &participants {
+            self.commit_shard(&mut heaps[shard], shard, txn)?;
+        }
+        self.settle(txn);
+        let t1 = clock(self.mem.elapsed(), heaps);
+        obs::observe(obs::Hist::TxnCommit, t1 - t0);
+        Ok(TxnOutcome::Committed)
+    }
+
+    /// The coordinator's durable bytes as they would survive a power
+    /// failure right now: every fenced decision record, nothing else.
+    /// Feed this to [`recover_decisions`] or [`resolve_cross_shard`].
+    #[must_use]
+    pub fn crash_image(&self) -> Vec<u8> {
+        self.mem.clone().crash(false)
+    }
+}
+
+/// Scans a crashed coordinator's durable log and returns the set of
+/// global txids with a durable commit decision. Everything absent is,
+/// by the presumed-abort rule, aborted.
+#[must_use]
+pub fn recover_decisions(coordinator_image: &[u8]) -> HashSet<u64> {
+    TornLog::recover(
+        coordinator_image,
+        DECISION_LOG_BASE,
+        DECISION_LOG_CAP,
+        DECISION_TAIL_ADDR,
+    )
+    .into_iter()
+    .filter(|r| r.kind == RecordKind::Commit)
+    .map(|r| r.txid)
+    .collect()
+}
+
+/// One shard's fate after a cluster-wide 2PC crash resolution.
+#[derive(Debug)]
+pub struct ShardRecovery {
+    /// Shard index.
+    pub shard: usize,
+    /// The recovered heap, when the shard's image was usable.
+    pub heap: Option<PersistentHeap>,
+    /// In-doubt resolution bookkeeping, when recovery ran.
+    pub resolution: Option<TxnResolution>,
+    /// Ladder verdict: `Recovered` via log replay, or `Degraded` with
+    /// the loss quantified.
+    pub outcome: RecoveryOutcome,
+    /// The typed refusal for a shard that could not recover locally.
+    pub refusal: Option<WspError>,
+}
+
+/// The fleet-wide result of [`resolve_cross_shard`].
+#[derive(Debug)]
+pub struct ClusterTxnRecovery {
+    /// Per-shard verdicts, in shard order.
+    pub shards: Vec<ShardRecovery>,
+    /// Global txids with a durable coordinator decision.
+    pub decided: HashSet<u64>,
+}
+
+impl ClusterTxnRecovery {
+    /// True when every shard recovered locally (no degraded verdicts).
+    #[must_use]
+    pub fn fully_recovered(&self) -> bool {
+        self.shards.iter().all(|s| s.outcome.is_recovered())
+    }
+}
+
+/// Recovers a whole sharded deployment after a crash anywhere in the
+/// 2PC protocol: replays the coordinator's decision log, then recovers
+/// each shard with in-doubt transactions resolved against it
+/// (presumed-abort for every txid the log does not answer for).
+///
+/// A shard whose image is `None` (lost outright — NVDIMM failure, torn
+/// header) cannot recover locally: it receives a typed
+/// [`WspError::BackendRecoveryRequired`] refusal and a
+/// [`RecoveryOutcome::Degraded`] verdict at the cluster-rebuild rung,
+/// with the rebuild time quantified from `cluster` — the PR 3 ladder
+/// semantics, applied fleet-wide. Surviving shards still resolve to the
+/// decision log, so committed cross-shard transactions stay visible on
+/// every shard that still exists.
+#[must_use]
+pub fn resolve_cross_shard(
+    coordinator_image: &[u8],
+    shard_images: Vec<Option<CrashImage>>,
+    cluster: &ClusterSpec,
+) -> ClusterTxnRecovery {
+    let decided = recover_decisions(coordinator_image);
+    let mut shards = Vec::with_capacity(shard_images.len());
+    for (shard, image) in shard_images.into_iter().enumerate() {
+        let recovery = match image {
+            Some(image) => {
+                match PersistentHeap::recover_distributed(image, |g| decided.contains(&g)) {
+                    Ok((heap, resolution)) => {
+                        obs::emit(
+                            "txn",
+                            "resolve",
+                            heap.elapsed(),
+                            shard as i64,
+                            resolution.in_doubt.len() as i64,
+                        );
+                        obs::count_by(
+                            obs::Ctr::TxnInDoubtResolved,
+                            resolution.in_doubt.len() as u64,
+                        );
+                        obs::count_by(obs::Ctr::TxnAborts, resolution.aborted.len() as u64);
+                        let took = heap.elapsed();
+                        ShardRecovery {
+                            shard,
+                            heap: Some(heap),
+                            resolution: Some(resolution),
+                            outcome: RecoveryOutcome::Recovered {
+                                rung: LadderRung::HeapLogReplay,
+                                took,
+                            },
+                            refusal: None,
+                        }
+                    }
+                    Err(e) => {
+                        let refusal = WspError::Heap(e);
+                        let reason = format!(
+                            "shard {shard} image unusable ({refusal}); rebuild from the back end"
+                        );
+                        obs::emit_detail(
+                            "txn",
+                            "refusal",
+                            Nanos::ZERO,
+                            shard as i64,
+                            0,
+                            refusal.kind().to_string(),
+                        );
+                        ShardRecovery {
+                            shard,
+                            heap: None,
+                            resolution: None,
+                            outcome: RecoveryOutcome::Degraded {
+                                rung: LadderRung::ClusterRebuild,
+                                reason,
+                                took: cluster.backend_recovery_time(1),
+                            },
+                            refusal: Some(refusal),
+                        }
+                    }
+                }
+            }
+            None => {
+                let staleness = cluster.backend_recovery_time(1);
+                let reason = format!(
+                    "shard {shard} lost its NVRAM image mid-2PC; cluster rebuild streams \
+                     the back end in ~{staleness} while peers serve stale reads"
+                );
+                let refusal = WspError::BackendRecoveryRequired {
+                    reason: reason.clone(),
+                };
+                obs::emit_detail(
+                    "txn",
+                    "refusal",
+                    Nanos::ZERO,
+                    shard as i64,
+                    staleness.as_nanos() as i64,
+                    refusal.kind().to_string(),
+                );
+                ShardRecovery {
+                    shard,
+                    heap: None,
+                    resolution: None,
+                    outcome: RecoveryOutcome::Degraded {
+                        rung: LadderRung::ClusterRebuild,
+                        reason,
+                        took: staleness,
+                    },
+                    refusal: Some(refusal),
+                }
+            }
+        };
+        shards.push(recovery);
+    }
+    ClusterTxnRecovery { shards, decided }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_pheap::{HeapConfig, PmPtr};
+
+    fn shard_with_cell(config: HeapConfig, value: u64) -> (PersistentHeap, PmPtr) {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut tx = heap.begin();
+        let p = tx.alloc(8).unwrap();
+        tx.write_word(p, value).unwrap();
+        tx.set_root(p).unwrap();
+        tx.commit().unwrap();
+        (heap, p)
+    }
+
+    fn cell(heap: &mut PersistentHeap) -> u64 {
+        let root = heap.root().unwrap();
+        let mut tx = heap.begin();
+        let v = tx.read_word(root).unwrap();
+        tx.commit().unwrap();
+        v
+    }
+
+    fn rig(config: HeapConfig) -> (TxnCoordinator, Vec<PersistentHeap>, Vec<u64>) {
+        let mut heaps = Vec::new();
+        let mut cells = Vec::new();
+        for value in [100u64, 200] {
+            let (heap, p) = shard_with_cell(config, value);
+            heaps.push(heap);
+            cells.push(p.offset());
+        }
+        (TxnCoordinator::new(), heaps, cells)
+    }
+
+    #[test]
+    fn two_shard_commit_is_visible_everywhere() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let (mut coordinator, mut heaps, cells) = rig(config);
+            let mut txn = coordinator.begin(2);
+            txn.stage(0, cells[0], 70);
+            txn.stage(1, cells[1], 230);
+            let outcome = coordinator.commit(&mut heaps, &txn).unwrap();
+            assert_eq!(outcome, TxnOutcome::Committed, "{config}");
+            for (heap, want) in heaps.iter_mut().zip([70, 230]) {
+                assert_eq!(cell(heap), want, "{config}");
+            }
+            // And it survives both shards crashing unsaved.
+            for (heap, want) in heaps.into_iter().zip([70, 230]) {
+                let mut r = PersistentHeap::recover(heap.crash(false)).unwrap();
+                assert_eq!(cell(&mut r), want, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn refused_prepare_aborts_everywhere() {
+        // Shard 1 is flush-on-fail: it cannot prepare, so the whole
+        // transaction must abort and shard 0's prepare must roll back.
+        let (heap0, p0) = shard_with_cell(HeapConfig::FocUndo, 100);
+        let (heap1, p1) = shard_with_cell(HeapConfig::Fof, 200);
+        let mut heaps = vec![heap0, heap1];
+        let mut coordinator = TxnCoordinator::new();
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, p0.offset(), 1);
+        txn.stage(1, p1.offset(), 2);
+        let outcome = coordinator.commit(&mut heaps, &txn).unwrap();
+        assert!(matches!(outcome, TxnOutcome::Aborted { .. }), "{outcome:?}");
+        assert_eq!(cell(&mut heaps[0]), 100);
+        assert_eq!(cell(&mut heaps[1]), 200);
+    }
+
+    #[test]
+    fn decision_log_round_trips_through_a_crash() {
+        let (mut coordinator, mut heaps, cells) = rig(HeapConfig::FocUndo);
+        let mut committed_txn = coordinator.begin(2);
+        committed_txn.stage(0, cells[0], 1);
+        committed_txn.stage(1, cells[1], 2);
+        coordinator.commit(&mut heaps, &committed_txn).unwrap();
+        let undecided = coordinator.begin(2);
+        let decisions = recover_decisions(&coordinator.crash_image());
+        assert!(decisions.contains(&committed_txn.gtxid()));
+        assert!(!decisions.contains(&undecided.gtxid()));
+    }
+
+    #[test]
+    fn post_decision_crash_resolves_in_doubt_to_commit() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let (mut coordinator, mut heaps, cells) = rig(config);
+            let mut txn = coordinator.begin(2);
+            txn.stage(0, cells[0], 11);
+            txn.stage(1, cells[1], 22);
+            for shard in [0, 1] {
+                coordinator
+                    .prepare_shard(&mut heaps[shard], shard, &txn)
+                    .unwrap();
+            }
+            coordinator.record_decision(&txn);
+            // Power dies before any phase-2 marker.
+            let coordinator_image = coordinator.crash_image();
+            let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+            let recovery = resolve_cross_shard(
+                &coordinator_image,
+                images,
+                &ClusterSpec::memcache_tier(8),
+            );
+            assert!(recovery.fully_recovered(), "{config}");
+            for (s, want) in recovery.shards.into_iter().zip([11u64, 22]) {
+                let mut heap = s.heap.unwrap();
+                let resolution = s.resolution.unwrap();
+                assert_eq!(resolution.committed, vec![txn.gtxid()], "{config}");
+                assert_eq!(cell(&mut heap), want, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_decision_crash_resolves_in_doubt_to_abort() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let (mut coordinator, mut heaps, cells) = rig(config);
+            let mut txn = coordinator.begin(2);
+            txn.stage(0, cells[0], 11);
+            txn.stage(1, cells[1], 22);
+            for shard in [0, 1] {
+                coordinator
+                    .prepare_shard(&mut heaps[shard], shard, &txn)
+                    .unwrap();
+            }
+            // Coordinator dies before the decision record.
+            let coordinator_image = coordinator.crash_image();
+            let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+            let recovery = resolve_cross_shard(
+                &coordinator_image,
+                images,
+                &ClusterSpec::memcache_tier(8),
+            );
+            assert!(recovery.fully_recovered(), "{config}");
+            for (s, want) in recovery.shards.into_iter().zip([100u64, 200]) {
+                let mut heap = s.heap.unwrap();
+                let resolution = s.resolution.unwrap();
+                assert_eq!(resolution.aborted, vec![txn.gtxid()], "{config}");
+                assert_eq!(cell(&mut heap), want, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn lost_shard_degrades_with_quantified_staleness() {
+        let (mut coordinator, mut heaps, cells) = rig(HeapConfig::FocUndo);
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, cells[0], 11);
+        txn.stage(1, cells[1], 22);
+        for shard in [0, 1] {
+            coordinator
+                .prepare_shard(&mut heaps[shard], shard, &txn)
+                .unwrap();
+        }
+        coordinator.record_decision(&txn);
+        let coordinator_image = coordinator.crash_image();
+        let mut images: Vec<Option<CrashImage>> =
+            heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+        images[0] = None; // shard 0's NVRAM image is gone
+        let cluster = ClusterSpec::memcache_tier(8);
+        let recovery = resolve_cross_shard(&coordinator_image, images, &cluster);
+        assert!(!recovery.fully_recovered());
+        let lost = &recovery.shards[0];
+        assert!(
+            matches!(
+                lost.refusal,
+                Some(WspError::BackendRecoveryRequired { .. })
+            ),
+            "{:?}",
+            lost.refusal
+        );
+        match &lost.outcome {
+            RecoveryOutcome::Degraded { rung, reason, took } => {
+                assert_eq!(*rung, LadderRung::ClusterRebuild);
+                assert_eq!(*took, cluster.backend_recovery_time(1));
+                assert!(!reason.is_empty());
+            }
+            other => panic!("lost shard must degrade, got {other:?}"),
+        }
+        // The surviving shard still honours the durable decision.
+        let survivor = recovery.shards.into_iter().nth(1).unwrap();
+        let mut heap = survivor.heap.unwrap();
+        assert_eq!(cell(&mut heap), 22);
+    }
+}

@@ -110,6 +110,18 @@ metric_ids! {
         KvOps => "kv.ops",
         /// KV shard result merges performed (one per shard, in shard order).
         KvShardMerges => "kv.shard_merges",
+        /// Cross-shard 2PC phase-1 PREPARED records made durable.
+        TxnPrepares => "txn.prepares",
+        /// Coordinator decision markers made durable.
+        TxnDecisions => "txn.decisions",
+        /// Per-shard phase-2 commit markers made durable.
+        TxnShardCommits => "txn.shard_commits",
+        /// Cross-shard transactions aborted (coordinator-initiated or
+        /// presumed on recovery).
+        TxnAborts => "txn.aborts",
+        /// In-doubt shard transactions resolved against the
+        /// coordinator's decision log on recovery.
+        TxnInDoubtResolved => "txn.indoubt_resolved",
     }
 }
 
@@ -151,6 +163,9 @@ metric_ids! {
         EpochSeal => "pheap.epoch_seal_time",
         /// Per-command simulated KV service time.
         KvOp => "kv.op_time",
+        /// End-to-end cross-shard 2PC commit latencies (prepare through
+        /// last shard commit, simulated time).
+        TxnCommit => "txn.commit_time",
     }
 }
 

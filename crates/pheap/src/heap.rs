@@ -72,6 +72,38 @@ impl PmPtr {
     }
 }
 
+/// Global (cross-shard) transaction ids live in a disjoint high range so
+/// shard-local txids and two-phase-commit txids can share one log
+/// without colliding: an epoch-commit marker covers every txid *at or
+/// below* its own, and global ids above this base can never be swept
+/// into local epoch coverage. (Log headers pack the txid into 55 bits,
+/// so the range stays far from the packing limit.)
+pub const GTXID_BASE: u64 = 1 << 48;
+
+/// What distributed-transaction resolution found in a recovered shard
+/// log: the global txids whose PREPARED marker was durable but that held
+/// no local decision marker, and how each was resolved against the
+/// coordinator's decision log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnResolution {
+    /// Prepared, locally undecided global txids, in log order.
+    pub in_doubt: Vec<u64>,
+    /// In-doubt txids the coordinator's decision log confirmed
+    /// committed.
+    pub committed: Vec<u64>,
+    /// In-doubt txids resolved by presumed abort.
+    pub aborted: Vec<u64>,
+}
+
+/// Volatile bookkeeping for a prepared-but-undecided global transaction.
+#[derive(Debug, Clone)]
+struct PreparedTxn {
+    /// Coalesced write set (final values), first-write order.
+    writes: Vec<(u64, u64)>,
+    /// Old values logged by the undo flavour, append order.
+    olds: Vec<(u64, u64)>,
+}
+
 /// The durable bytes surviving a power failure, plus what the hardware
 /// knows about how the failure went.
 #[derive(Debug, Clone)]
@@ -206,6 +238,9 @@ pub struct PersistentHeap {
     /// Epoch group-commit state; `None` runs the per-transaction
     /// durability protocol.
     epoch: Option<EpochCommitter>,
+    /// Prepared-but-undecided global transactions (volatile: recovery
+    /// re-derives them from the durable PREPARED markers).
+    prepared: FastMap<u64, PreparedTxn>,
     stats: HeapStats,
 }
 
@@ -268,6 +303,7 @@ impl PersistentHeap {
             next_txid: 1,
             unflushed_lines: FastSet::default(),
             epoch: None,
+            prepared: FastMap::default(),
             stats: HeapStats::default(),
         }
     }
@@ -608,7 +644,7 @@ impl PersistentHeap {
     /// replayed — fall back to the storage back end), or
     /// [`HeapError::CorruptHeader`] for an unrecognisable image.
     pub fn recover_partial(image: CrashImage) -> Result<Self, HeapError> {
-        Self::recover_inner(image, OverheadModel::default(), true)
+        Self::recover_inner(image, OverheadModel::default(), true, None).map(|(heap, _)| heap)
     }
 
     /// Durable steps an epoch seal would run right now, for mid-seal
@@ -711,6 +747,309 @@ impl PersistentHeap {
         self.crash(false)
     }
 
+    // ---- cross-shard two-phase commit ---------------------------------
+
+    /// Prepares global transaction `gtxid` on this shard — phase 1 of
+    /// the cross-shard two-phase seal. The write set is coalesced
+    /// exactly like an epoch seal (one log record per distinct address,
+    /// one clflush per distinct line), made durable behind a fence, and
+    /// covered by a fenced [`RecordKind::Prepare`] marker. From that
+    /// marker on the shard is bound by the coordinator's decision:
+    /// recovery keeps the transaction in doubt until the decision log
+    /// answers, and presumes abort when it has no answer.
+    ///
+    /// Any open durability epoch is sealed first so the log's record
+    /// stream stays ordered. The undo flavour applies the new values in
+    /// place at prepare time (its records hold the old values); the redo
+    /// flavour buffers them until [`PersistentHeap::commit_distributed`].
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Unrecoverable`] for flush-on-fail configurations — a
+    /// PREPARED record must be durable *before* the coordinator decides,
+    /// and flush-on-fail defers all durability to the failure-time save.
+    /// [`HeapError::InvalidPointer`] for an out-of-range address, and
+    /// [`HeapError::Conflict`] if `gtxid` is already prepared here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gtxid` is below [`GTXID_BASE`].
+    pub fn prepare_distributed(
+        &mut self,
+        gtxid: u64,
+        writes: &[(u64, u64)],
+    ) -> Result<(), HeapError> {
+        assert!(
+            gtxid >= GTXID_BASE,
+            "global txids live at or above GTXID_BASE"
+        );
+        if !self.config.flush_on_commit() {
+            return Err(HeapError::Unrecoverable {
+                reason:
+                    "flush-on-fail shards cannot make a PREPARED record durable ahead of the decision",
+            });
+        }
+        if self.prepared.contains_key(&gtxid) {
+            return Err(HeapError::Conflict);
+        }
+        for &(addr, _) in writes {
+            self.check_word_addr(addr)?;
+        }
+        self.seal_epoch();
+        let (unique, finals) = Self::coalesce_writes(writes);
+        // Room for the records, the PREPARED marker and the later
+        // decision marker — but never truncate while another global
+        // transaction is still in doubt here (its records must survive
+        // until the coordinator decides).
+        let needed = unique.len() as u64 * 4 + 2;
+        if self.prepared.is_empty() && self.log.free_words() < needed + 8 {
+            if self.config.uses_redo_log() {
+                self.truncate_redo_log();
+            } else {
+                self.stats.truncations += 1;
+                self.log.truncate(&mut self.mem, true);
+            }
+        }
+        let mut olds = Vec::new();
+        if self.config.uses_undo_log() {
+            self.stats.undo_records += unique.len() as u64;
+            olds.reserve(unique.len());
+            for &addr in &unique {
+                olds.push((addr, self.mem.read_u64(addr)));
+            }
+            for &(addr, old) in &olds {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(gtxid, addr, old), true);
+            }
+            self.mem.sfence();
+            let mut walk = LineWalk::default();
+            for &addr in &unique {
+                self.mem.write_u64(addr, finals[&addr]);
+                walk.extend([addr / LINE_SIZE]);
+            }
+            for &line in walk.coalesce() {
+                self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+            }
+            self.mem.sfence();
+        } else {
+            self.stats.redo_records += unique.len() as u64;
+            for &addr in &unique {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(gtxid, addr, finals[&addr]), true);
+            }
+            self.mem.sfence();
+        }
+        self.log.append(&mut self.mem, &LogRecord::prepare(gtxid), true);
+        self.mem.sfence();
+        self.prepared.insert(
+            gtxid,
+            PreparedTxn {
+                writes: unique.iter().map(|&a| (a, finals[&a])).collect(),
+                olds,
+            },
+        );
+        Ok(())
+    }
+
+    /// Phase 2 on this shard: writes the fenced local commit marker for
+    /// a prepared `gtxid` and (redo flavour) applies the buffered write
+    /// set in place. Call only once the coordinator's decision marker is
+    /// durable — the local marker is what lets this shard recover
+    /// without consulting the coordinator again.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoTransaction`] if `gtxid` was never prepared here.
+    pub fn commit_distributed(&mut self, gtxid: u64) -> Result<(), HeapError> {
+        let p = self
+            .prepared
+            .remove(&gtxid)
+            .ok_or(HeapError::NoTransaction)?;
+        self.log
+            .append(&mut self.mem, &LogRecord::commit(gtxid), true);
+        self.mem.sfence();
+        if self.config.uses_redo_log() {
+            for &(addr, value) in &p.writes {
+                self.mem.write_u64(addr, value);
+                self.unflushed_lines.insert(addr / LINE_SIZE);
+            }
+            self.stm.commit(p.writes.iter().map(|&(addr, _)| addr));
+        }
+        self.stats.commits += 1;
+        if self.prepared.is_empty() && self.log.needs_truncation() {
+            if self.config.uses_redo_log() {
+                self.truncate_redo_log();
+            } else {
+                self.stats.truncations += 1;
+                self.log.truncate(&mut self.mem, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Aborts a prepared `gtxid` on this shard: the undo flavour rolls
+    /// the prepare-time in-place applies back (newest first) and
+    /// re-flushes the touched lines; both flavours then write a fenced
+    /// local abort marker so recovery never has to consult the
+    /// coordinator for this transaction again.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoTransaction`] if `gtxid` was never prepared here.
+    pub fn abort_distributed(&mut self, gtxid: u64) -> Result<(), HeapError> {
+        let p = self
+            .prepared
+            .remove(&gtxid)
+            .ok_or(HeapError::NoTransaction)?;
+        if self.config.uses_undo_log() {
+            let mut walk = LineWalk::default();
+            for &(addr, old) in p.olds.iter().rev() {
+                self.mem.write_u64(addr, old);
+                walk.extend([addr / LINE_SIZE]);
+            }
+            for &line in walk.coalesce() {
+                self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+            }
+            self.mem.sfence();
+        }
+        self.log
+            .append(&mut self.mem, &LogRecord::abort(gtxid), true);
+        self.mem.sfence();
+        self.stats.aborts += 1;
+        Ok(())
+    }
+
+    /// Durable steps [`PersistentHeap::prepare_distributed`] would run
+    /// for `writes`, for mid-prepare fault injection: one per coalesced
+    /// record append, one for the post-append fence (plus, undo flavour,
+    /// the in-place applies it unlocks), and — undo flavour only — one
+    /// per coalesced line flush. [`PersistentHeap::crash_mid_prepare`]
+    /// never writes the PREPARED marker itself, so every step recovers
+    /// by presumed abort.
+    #[must_use]
+    pub fn prepare_steps(&self, writes: &[(u64, u64)]) -> u64 {
+        let (unique, _) = Self::coalesce_writes(writes);
+        let records = unique.len() as u64;
+        if self.config.uses_undo_log() {
+            let mut walk = LineWalk::default();
+            walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
+            records + 1 + walk.coalesce().len() as u64
+        } else {
+            records + 1
+        }
+    }
+
+    /// Simulates power failing `step` durable operations into preparing
+    /// `gtxid`: the prepare's durable prefix runs, but the PREPARED
+    /// marker is never written — after recovery the shard holds no
+    /// PREPARED record, so the coordinator cannot have decided commit
+    /// and presumed abort is the only consistent outcome. `step` past
+    /// [`PersistentHeap::prepare_steps`] behaves as the largest crash
+    /// point (everything durable except the marker).
+    ///
+    /// # Panics
+    ///
+    /// Panics for flush-on-fail configurations (which cannot prepare).
+    #[must_use]
+    pub fn crash_mid_prepare(
+        mut self,
+        gtxid: u64,
+        writes: &[(u64, u64)],
+        step: u64,
+    ) -> CrashImage {
+        assert!(
+            self.config.flush_on_commit(),
+            "prepare is flush-on-commit only"
+        );
+        self.seal_epoch();
+        let (unique, finals) = Self::coalesce_writes(writes);
+        let records = unique.len() as u64;
+        let needed = records * 4 + 2;
+        if self.prepared.is_empty() && self.log.free_words() < needed + 8 {
+            if self.config.uses_redo_log() {
+                self.truncate_redo_log();
+            } else {
+                self.stats.truncations += 1;
+                self.log.truncate(&mut self.mem, true);
+            }
+        }
+        let appends = step.min(records) as usize;
+        if self.config.uses_undo_log() {
+            let mut olds = Vec::with_capacity(unique.len());
+            for &addr in &unique {
+                olds.push(self.mem.read_u64(addr));
+            }
+            for (&addr, &old) in unique.iter().zip(&olds).take(appends) {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(gtxid, addr, old), true);
+            }
+            if step > records {
+                // Past the fence: every record is durable, the new values
+                // go in place, and `step - records - 1` of the coalesced
+                // line flushes complete before power dies.
+                self.mem.sfence();
+                let mut walk = LineWalk::default();
+                for &addr in &unique {
+                    self.mem.write_u64(addr, finals[&addr]);
+                    walk.extend([addr / LINE_SIZE]);
+                }
+                let flushes = (step - records - 1) as usize;
+                for &line in walk.coalesce().iter().take(flushes) {
+                    self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
+                }
+            }
+        } else {
+            for &addr in unique.iter().take(appends) {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(gtxid, addr, finals[&addr]), true);
+            }
+            if step > records {
+                self.mem.sfence();
+            }
+        }
+        // Power dies before the PREPARED marker append — always.
+        self.crash(false)
+    }
+
+    /// Simulates power failing while this shard writes its phase-2
+    /// commit marker for a prepared `gtxid`: the marker's non-temporal
+    /// store issues, and power dies just after the covering fence
+    /// (`marker_durable`) or just before it. Without the fence the
+    /// marker is torn away and the shard recovers still in doubt; with
+    /// it the local decision is already durable. Either way the
+    /// coordinator's decision log agrees (phase 2 only starts after the
+    /// decision marker), so recovery converges on commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gtxid` is not prepared on this shard.
+    #[must_use]
+    pub fn crash_mid_commit(mut self, gtxid: u64, marker_durable: bool) -> CrashImage {
+        assert!(
+            self.prepared.contains_key(&gtxid),
+            "crash_mid_commit needs a prepared gtxid"
+        );
+        self.log
+            .append(&mut self.mem, &LogRecord::commit(gtxid), true);
+        if marker_durable {
+            self.mem.sfence();
+        }
+        self.crash(false)
+    }
+
+    /// Coalesces a raw write set the way an epoch seal does: unique
+    /// addresses in first-write order, last write per address wins.
+    fn coalesce_writes(writes: &[(u64, u64)]) -> (Vec<u64>, FastMap<u64, u64>) {
+        let mut finals: FastMap<u64, u64> = FastMap::default();
+        let mut unique: Vec<u64> = Vec::with_capacity(writes.len());
+        for &(addr, value) in writes {
+            if finals.insert(addr, value).is_none() {
+                unique.push(addr);
+            }
+        }
+        (unique, finals)
+    }
+
     /// Simulates a power failure: the flush-on-fail save runs iff
     /// `fof_save_completed` (i.e. it fit in the residual energy window),
     /// and the durable image is returned for later recovery.
@@ -743,14 +1082,34 @@ impl PersistentHeap {
 
     /// [`PersistentHeap::recover`] with an explicit overhead model.
     pub fn recover_with(image: CrashImage, overheads: OverheadModel) -> Result<Self, HeapError> {
-        Self::recover_inner(image, overheads, false)
+        Self::recover_inner(image, overheads, false, None).map(|(heap, _)| heap)
+    }
+
+    /// Recovers a two-phase-commit participant shard, resolving in-doubt
+    /// global transactions against the coordinator's decision log:
+    /// `decided` answers "did the coordinator durably decide commit for
+    /// this gtxid?". A prepared transaction the coordinator confirms is
+    /// replayed (redo) or kept in place (undo, which applied it at
+    /// prepare time); one it does not confirm is presumed aborted — the
+    /// same answer plain [`PersistentHeap::recover`] gives for *every*
+    /// in-doubt transaction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PersistentHeap::recover`].
+    pub fn recover_distributed(
+        image: CrashImage,
+        decided: impl Fn(u64) -> bool,
+    ) -> Result<(Self, TxnResolution), HeapError> {
+        Self::recover_inner(image, OverheadModel::default(), false, Some(&decided))
     }
 
     fn recover_inner(
         image: CrashImage,
         overheads: OverheadModel,
         partial: bool,
-    ) -> Result<Self, HeapError> {
+        resolver: Option<&dyn Fn(u64) -> bool>,
+    ) -> Result<(Self, TxnResolution), HeapError> {
         let CrashImage {
             bytes,
             fof_save_completed,
@@ -796,8 +1155,37 @@ impl PersistentHeap {
             .filter(|r| r.kind == RecordKind::EpochCommit)
             .map(|r| r.txid)
             .max();
+        // Two-phase commit: a global transaction whose PREPARED marker is
+        // durable but that holds no local decision marker is *in doubt*.
+        // The coordinator's decision log (when offered) resolves it;
+        // without one the shard presumes abort — safe, because phase 2
+        // only starts once every participant's PREPARED marker is
+        // durable, so a missing decision means no shard committed.
+        let locally_decided: HashSet<u64> = records
+            .iter()
+            .filter(|r| matches!(r.kind, RecordKind::Commit | RecordKind::Abort))
+            .map(|r| r.txid)
+            .collect();
+        let mut resolution = TxnResolution::default();
+        let mut resolved_commits: HashSet<u64> = HashSet::new();
+        let mut seen_prepared: HashSet<u64> = HashSet::new();
+        for r in records.iter().filter(|r| r.kind == RecordKind::Prepare) {
+            if locally_decided.contains(&r.txid) || !seen_prepared.insert(r.txid) {
+                continue;
+            }
+            resolution.in_doubt.push(r.txid);
+            match resolver {
+                Some(decide) if decide(r.txid) => {
+                    resolved_commits.insert(r.txid);
+                    resolution.committed.push(r.txid);
+                }
+                _ => resolution.aborted.push(r.txid),
+            }
+        }
         let is_committed = |txid: u64| -> bool {
-            committed.contains(&txid) || epoch_max.is_some_and(|max| txid <= max)
+            committed.contains(&txid)
+                || resolved_commits.contains(&txid)
+                || epoch_max.is_some_and(|max| txid <= max)
         };
 
         if config.uses_redo_log() && !fof_save_completed {
@@ -828,7 +1216,24 @@ impl PersistentHeap {
         log.initialize(&mut mem);
         mem.flush_all();
 
-        let next_txid = records.iter().map(|r| r.txid).max().unwrap_or(0) + 1;
+        // Global 2PC txids live in their own high range and must not
+        // inflate the local txid counter.
+        let next_txid = records
+            .iter()
+            .map(|r| r.txid)
+            .filter(|&txid| txid < GTXID_BASE)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        if resolver.is_some() && !resolution.in_doubt.is_empty() {
+            obs::emit(
+                "pheap",
+                "txn_resolved",
+                mem.elapsed(),
+                resolution.committed.len() as i64,
+                resolution.aborted.len() as i64,
+            );
+        }
         obs::emit(
             "pheap",
             "recovered",
@@ -837,18 +1242,22 @@ impl PersistentHeap {
             committed.len() as i64,
         );
         let heap_start = LOG_BASE + log_cap.as_u64();
-        Ok(PersistentHeap {
-            alloc: FreeListAllocator::new(ALLOC_HEAD_ADDR, heap_start, capacity.as_u64()),
-            mem,
-            config,
-            overheads,
-            log,
-            stm: Stm::new(1024),
-            next_txid,
-            unflushed_lines: FastSet::default(),
-            epoch: None,
-            stats: HeapStats::default(),
-        })
+        Ok((
+            PersistentHeap {
+                alloc: FreeListAllocator::new(ALLOC_HEAD_ADDR, heap_start, capacity.as_u64()),
+                mem,
+                config,
+                overheads,
+                log,
+                stm: Stm::new(1024),
+                next_txid,
+                unflushed_lines: FastSet::default(),
+                epoch: None,
+                prepared: FastMap::default(),
+                stats: HeapStats::default(),
+            },
+            resolution,
+        ))
     }
 }
 
@@ -2029,5 +2438,180 @@ mod tests {
             Err(HeapError::OutOfMemory { .. })
         ));
         tx.commit().unwrap();
+    }
+
+    // ---- cross-shard two-phase commit ---------------------------------
+
+    const GTX: u64 = GTXID_BASE + 7;
+
+    fn read_cell(heap: &mut PersistentHeap, p: PmPtr) -> u64 {
+        let mut tx = heap.begin();
+        let v = tx.read_word(p).unwrap();
+        tx.commit().unwrap();
+        v
+    }
+
+    #[test]
+    fn prepared_then_committed_survives_a_crash_in_foc_configs() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            h.commit_distributed(GTX).unwrap();
+            let mut r = PersistentHeap::recover(h.crash(false)).unwrap();
+            let root = r.root().unwrap();
+            assert_eq!(read_cell(&mut r, root), 99, "{config}");
+        }
+    }
+
+    #[test]
+    fn prepared_without_decision_presumes_abort() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            // No decision anywhere: plain recovery rolls the prepared
+            // transaction back wholesale.
+            let mut r = PersistentHeap::recover(h.crash(false)).unwrap();
+            let root = r.root().unwrap();
+            assert_eq!(read_cell(&mut r, root), 1, "{config}");
+        }
+    }
+
+    #[test]
+    fn resolver_confirms_in_doubt_transaction() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            let (mut r, resolution) =
+                PersistentHeap::recover_distributed(h.crash(false), |g| g == GTX).unwrap();
+            assert_eq!(resolution.in_doubt, vec![GTX], "{config}");
+            assert_eq!(resolution.committed, vec![GTX], "{config}");
+            assert!(resolution.aborted.is_empty(), "{config}");
+            let root = r.root().unwrap();
+            assert_eq!(read_cell(&mut r, root), 99, "{config}");
+        }
+    }
+
+    #[test]
+    fn resolver_presumes_abort_when_coordinator_never_decided() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            let (mut r, resolution) =
+                PersistentHeap::recover_distributed(h.crash(false), |_| false).unwrap();
+            assert_eq!(resolution.aborted, vec![GTX], "{config}");
+            let root = r.root().unwrap();
+            assert_eq!(read_cell(&mut r, root), 1, "{config}");
+        }
+    }
+
+    #[test]
+    fn local_abort_marker_settles_the_doubt() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            h.abort_distributed(GTX).unwrap();
+            assert_eq!(read_cell(&mut h, p), 1, "{config}: rolled back live");
+            // Even a lying resolver cannot resurrect it: the local abort
+            // marker decided first.
+            let (mut r, resolution) =
+                PersistentHeap::recover_distributed(h.crash(false), |_| true).unwrap();
+            assert!(resolution.in_doubt.is_empty(), "{config}");
+            let root = r.root().unwrap();
+            assert_eq!(read_cell(&mut r, root), 1, "{config}");
+        }
+    }
+
+    #[test]
+    fn every_mid_prepare_step_recovers_by_presumed_abort() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            let q = put_one(&mut h, 2);
+            let writes = [(p.offset(), 90), (q.offset(), 91)];
+            let steps = h.prepare_steps(&writes);
+            assert!(steps >= 3, "{config}");
+            for step in 0..=steps {
+                let image = h.clone().crash_mid_prepare(GTX, &writes, step);
+                let (mut r, resolution) =
+                    PersistentHeap::recover_distributed(image, |_| true).unwrap();
+                assert!(
+                    resolution.in_doubt.is_empty(),
+                    "{config} step {step}: no marker, no doubt"
+                );
+                assert_eq!(read_cell(&mut r, p), 1, "{config} step {step}");
+                assert_eq!(read_cell(&mut r, q), 2, "{config} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_commit_marker_crash_converges_on_commit() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            for marker_durable in [false, true] {
+                let mut h = heap(config);
+                let p = put_one(&mut h, 1);
+                h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+                let image = h.crash_mid_commit(GTX, marker_durable);
+                // The coordinator's decision log says commit (phase 2 had
+                // started), so either marker fate converges.
+                let (mut r, _) =
+                    PersistentHeap::recover_distributed(image, |g| g == GTX).unwrap();
+                assert_eq!(
+                    read_cell(&mut r, p),
+                    99,
+                    "{config} marker_durable={marker_durable}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fof_configs_refuse_to_prepare() {
+        for config in [HeapConfig::Fof, HeapConfig::FofStm, HeapConfig::FofUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            assert!(
+                matches!(
+                    h.prepare_distributed(GTX, &[(p.offset(), 2)]),
+                    Err(HeapError::Unrecoverable { .. })
+                ),
+                "{config}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_seals_the_open_epoch_first() {
+        let mut h = heap(HeapConfig::FocStm);
+        let p = put_one(&mut h, 1);
+        h.set_epoch_size(64);
+        let mut tx = h.begin();
+        tx.write_word(p, 5).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(h.epoch().unwrap().pending(), 1);
+        h.prepare_distributed(GTX, &[(p.offset(), 6)]).unwrap();
+        assert!(h.epoch().unwrap().is_clean(), "epoch sealed by prepare");
+        // The sealed epoch survives even though the prepared txn aborts.
+        let mut r = PersistentHeap::recover(h.crash(false)).unwrap();
+        assert_eq!(read_cell(&mut r, p), 5);
+    }
+
+    #[test]
+    fn gtxids_do_not_leak_into_the_local_txid_space() {
+        let mut h = heap(HeapConfig::FocUndo);
+        let p = put_one(&mut h, 1);
+        h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+        h.commit_distributed(GTX).unwrap();
+        let r = PersistentHeap::recover(h.crash(false)).unwrap();
+        assert!(
+            r.txid_high_water() < GTXID_BASE,
+            "recovered next_txid {} must stay local",
+            r.txid_high_water()
+        );
     }
 }

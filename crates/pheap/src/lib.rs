@@ -67,7 +67,9 @@ pub use alloc::FreeListAllocator;
 pub use backend::{BackendStore, RecoveryLadder, RecoverySource};
 pub use config::{HeapConfig, OverheadModel};
 pub use error::HeapError;
-pub use heap::{CrashImage, EpochCommitter, PersistentHeap, PmPtr, Tx};
+pub use heap::{
+    CrashImage, EpochCommitter, PersistentHeap, PmPtr, Tx, TxnResolution, GTXID_BASE,
+};
 pub use heap_stats::HeapStats;
 pub use log::{LogRecord, RecordKind, TornLog};
 pub use mem::PersistentMemory;

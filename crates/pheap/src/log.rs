@@ -23,6 +23,13 @@ pub enum RecordKind {
     /// below this record's `txid` is durably committed. One fenced
     /// marker covers a whole durability epoch.
     EpochCommit,
+    /// Two-phase-commit PREPARED marker: the write records logged under
+    /// this record's `txid` (a global transaction id) are durable and
+    /// the shard is bound by the coordinator's decision. Without a
+    /// later Commit or Abort marker the transaction is *in doubt*:
+    /// recovery presumes abort unless the coordinator's decision log
+    /// says otherwise.
+    Prepare,
 }
 
 impl RecordKind {
@@ -32,6 +39,7 @@ impl RecordKind {
             RecordKind::Commit => 1,
             RecordKind::Abort => 2,
             RecordKind::EpochCommit => 3,
+            RecordKind::Prepare => 4,
         }
     }
 
@@ -41,6 +49,7 @@ impl RecordKind {
             1 => Some(RecordKind::Commit),
             2 => Some(RecordKind::Abort),
             3 => Some(RecordKind::EpochCommit),
+            4 => Some(RecordKind::Prepare),
             _ => None,
         }
     }
@@ -49,7 +58,10 @@ impl RecordKind {
     fn words(self) -> u64 {
         match self {
             RecordKind::Write => 4,
-            RecordKind::Commit | RecordKind::Abort | RecordKind::EpochCommit => 1,
+            RecordKind::Commit
+            | RecordKind::Abort
+            | RecordKind::EpochCommit
+            | RecordKind::Prepare => 1,
         }
     }
 }
@@ -109,6 +121,18 @@ impl LogRecord {
         LogRecord {
             kind: RecordKind::EpochCommit,
             txid: max_txid,
+            addr: 0,
+            value: 0,
+        }
+    }
+
+    /// A two-phase-commit PREPARED marker for global transaction
+    /// `gtxid`.
+    #[must_use]
+    pub fn prepare(gtxid: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::Prepare,
+            txid: gtxid,
             addr: 0,
             value: 0,
         }
@@ -523,6 +547,32 @@ mod tests {
         assert_eq!(records[2], LogRecord::epoch_commit(7));
         assert_eq!(records[2].kind, RecordKind::EpochCommit);
         assert_eq!(records[2].txid, 7);
+    }
+
+    #[test]
+    fn prepare_records_round_trip() {
+        let (mut mem, mut log) = fresh();
+        let gtxid = (1u64 << 48) + 3;
+        log.append(&mut mem, &LogRecord::write(gtxid, 128, 11), true);
+        log.append(&mut mem, &LogRecord::prepare(gtxid), true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], LogRecord::prepare(gtxid));
+        assert_eq!(records[1].kind, RecordKind::Prepare);
+        assert_eq!(records[1].txid, gtxid);
+    }
+
+    #[test]
+    fn unfenced_prepare_marker_is_lost() {
+        let (mut mem, mut log) = fresh();
+        let gtxid = (1u64 << 48) + 3;
+        log.append(&mut mem, &LogRecord::write(gtxid, 128, 11), true);
+        mem.sfence();
+        log.append(&mut mem, &LogRecord::prepare(gtxid), true);
+        // The marker's ntstore never fenced: the shard is NOT prepared.
+        let records = recover_from(mem, false);
+        assert_eq!(records, vec![LogRecord::write(gtxid, 128, 11)]);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod hashtable;
 mod kvserver;
 mod queue;
 mod shard;
+mod xshard;
 mod ycsb;
 
 pub use avl::PmAvlTree;
@@ -60,4 +61,7 @@ pub use hashtable::PmHashTable;
 pub use kvserver::{Command, KvServer, ProtocolError, Response, ServeError};
 pub use queue::PmQueue;
 pub use shard::{kv_worker_threads, ShardOutcome, ShardedKvBench, ShardedKvReport};
+pub use xshard::{
+    CrossShardKvBench, CrossShardKvReport, DegradedShard, Transfer, TransferOutcome,
+};
 pub use ycsb::{YcsbDriver, YcsbMix, YcsbResult};

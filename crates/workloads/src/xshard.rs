@@ -1,0 +1,500 @@
+//! Cross-shard transactions over the sharded KV engine: a deterministic
+//! bank-transfer workload driven through `wsp_core`'s two-phase-commit
+//! coordinator, with the whole fleet crashed at the end and resolved
+//! against the coordinator's durable decision log.
+//!
+//! Each shard holds a column of fixed-location account cells (one per
+//! cache line, like the serving engine's records). A transfer debits an
+//! account on one shard and credits an account on another — the
+//! write-set spans two persistent heaps, so it must go through the
+//! two-phase epoch seal: durable per-shard `PREPARED` records, a fenced
+//! coordinator decision, then per-shard commit markers. The workload
+//! checks the invariant that matters for a bank: the sum of all
+//! balances is conserved by every schedule, crash included.
+//!
+//! Losing a shard's NVRAM image mid-run exercises the PR 3 recovery
+//! ladder fleet-wide: the lost shard comes back as a typed
+//! [`WspError::BackendRecoveryRequired`] refusal with quantified
+//! staleness, while the survivors still apply every decided outcome.
+
+use std::collections::HashSet;
+
+use wsp_cluster::ClusterSpec;
+use wsp_core::{
+    resolve_cross_shard, LadderRung, RecoveryOutcome, TxnCoordinator, TxnOutcome, WspError,
+};
+use wsp_det::{DetRng, Rng};
+use wsp_obs as obs;
+use wsp_pheap::{HeapConfig, HeapError, PersistentHeap, PmPtr};
+use wsp_units::{ByteSize, Nanos};
+
+/// A deterministic cross-shard transfer workload over per-shard
+/// persistent heaps, committed through the 2PC coordinator.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_pheap::HeapConfig;
+/// use wsp_workloads::CrossShardKvBench;
+///
+/// let report = CrossShardKvBench::quick(3).run(HeapConfig::FocUndo, 42)?;
+/// assert!(report.committed > 0);
+/// assert!(report.balance_conserved);
+/// # Ok::<(), wsp_pheap::HeapError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossShardKvBench {
+    /// Participant shards (per-shard heaps).
+    pub shards: usize,
+    /// Account cells per shard, each on its own cache line.
+    pub accounts_per_shard: usize,
+    /// Transfers issued through the coordinator.
+    pub transfers: usize,
+    /// Fraction of transfers whose debit and credit live on different
+    /// shards (the rest stay on one shard but still run the protocol).
+    pub cross_shard_pct: f64,
+    /// Starting balance of every account.
+    pub initial_balance: u64,
+    /// Heap region size per shard.
+    pub region: ByteSize,
+    /// Crash the fleet with this shard's NVRAM image lost outright,
+    /// exercising the degraded rung of the recovery ladder.
+    pub lose_shard: Option<usize>,
+    /// Leave the final transfer in doubt (prepared everywhere, decision
+    /// durable, no commit marker) when the fleet crashes: recovery must
+    /// resolve it to commit from the coordinator log.
+    pub in_doubt_tail: bool,
+}
+
+impl CrossShardKvBench {
+    /// Standard scale: 16 accounts per shard, 400 transfers, 60 %
+    /// cross-shard, an in-doubt tail transfer.
+    #[must_use]
+    pub fn standard(shards: usize) -> Self {
+        CrossShardKvBench {
+            shards,
+            accounts_per_shard: 16,
+            transfers: 400,
+            cross_shard_pct: 0.6,
+            initial_balance: 20,
+            region: ByteSize::kib(512),
+            lose_shard: None,
+            in_doubt_tail: true,
+        }
+    }
+
+    /// Scaled down for tests and doc examples.
+    #[must_use]
+    pub fn quick(shards: usize) -> Self {
+        CrossShardKvBench {
+            shards,
+            accounts_per_shard: 4,
+            transfers: 40,
+            cross_shard_pct: 0.6,
+            initial_balance: 20,
+            region: ByteSize::kib(256),
+            lose_shard: None,
+            in_doubt_tail: true,
+        }
+    }
+
+    /// Runs the workload: seeds the fleet, drives every transfer
+    /// through the two-phase seal, crashes all shards (and the
+    /// coordinator) at once, resolves the wreckage against the decision
+    /// log, and audits every surviving balance against the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures from any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards < 2`, if `lose_shard` is out of range, or if
+    /// recovery violates the all-or-nothing contract.
+    pub fn run(&self, config: HeapConfig, seed: u64) -> Result<CrossShardKvReport, HeapError> {
+        assert!(self.shards >= 2, "cross-shard transfers need two shards");
+        if let Some(s) = self.lose_shard {
+            assert!(s < self.shards, "lose_shard out of range");
+        }
+        let (report, capture) = obs::capture(|| self.run_inner(config, seed));
+        let mut report = report?;
+        report.trace = capture.trace;
+        report.metrics = capture.metrics;
+        Ok(report)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_inner(&self, config: HeapConfig, seed: u64) -> Result<CrossShardKvReport, HeapError> {
+        let mut rng = DetRng::seed_from_u64(seed);
+
+        // Seed the fleet: one heap per shard, accounts on distinct
+        // cache lines, everything sealed before the measured phase.
+        let mut heaps: Vec<PersistentHeap> = Vec::with_capacity(self.shards);
+        let mut accounts: Vec<Vec<PmPtr>> = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let mut heap = PersistentHeap::create(self.region, config);
+            let mut tx = heap.begin();
+            let base = tx.alloc(self.accounts_per_shard as u64 * 64)?;
+            let mut cells = Vec::with_capacity(self.accounts_per_shard);
+            for i in 0..self.accounts_per_shard {
+                let p = base.byte_offset(i as u64 * 64);
+                tx.write_word(p, self.initial_balance)?;
+                cells.push(p);
+            }
+            tx.set_root(base)?;
+            tx.commit()?;
+            heap.seal_epoch();
+            heaps.push(heap);
+            accounts.push(cells);
+        }
+        // The volatile mirror the audit checks against.
+        let mut model: Vec<Vec<u64>> =
+            vec![vec![self.initial_balance; self.accounts_per_shard]; self.shards];
+        let total_balance =
+            self.initial_balance * (self.shards * self.accounts_per_shard) as u64;
+
+        let mut coordinator = TxnCoordinator::new();
+        let clock = |coordinator: &TxnCoordinator, heaps: &[PersistentHeap]| {
+            heaps
+                .iter()
+                .fold(coordinator.elapsed(), |acc, h| acc + h.elapsed())
+        };
+        let t0 = clock(&coordinator, &heaps);
+
+        let mut outcomes: Vec<TransferOutcome> = Vec::with_capacity(self.transfers);
+        let mut in_doubt_gtxid: Option<u64> = None;
+        for t in 0..self.transfers {
+            let src_shard = rng.gen_range(0..self.shards);
+            let cross = rng.gen::<f64>() < self.cross_shard_pct;
+            let dst_shard = if cross {
+                // A different shard, chosen uniformly among the others.
+                let d = rng.gen_range(0..self.shards - 1);
+                if d >= src_shard { d + 1 } else { d }
+            } else {
+                src_shard
+            };
+            let src_acct = rng.gen_range(0..self.accounts_per_shard);
+            let dst_acct = if dst_shard == src_shard {
+                // A different account on the same shard.
+                let d = rng.gen_range(0..self.accounts_per_shard - 1);
+                if d >= src_acct { d + 1 } else { d }
+            } else {
+                rng.gen_range(0..self.accounts_per_shard)
+            };
+            let amount = rng.gen_range(1..16u64);
+
+            let transfer = Transfer {
+                txn: t,
+                src: (src_shard, src_acct),
+                dst: (dst_shard, dst_acct),
+                amount,
+                cross_shard: dst_shard != src_shard,
+            };
+
+            // Application-level admission check: an overdraft aborts
+            // before anything touches NVRAM.
+            if model[src_shard][src_acct] < amount {
+                outcomes.push(TransferOutcome {
+                    transfer,
+                    outcome: TxnOutcome::Aborted {
+                        reason: format!(
+                            "insufficient funds: balance {} < amount {amount}",
+                            model[src_shard][src_acct]
+                        ),
+                    },
+                    resolved_in_doubt: false,
+                });
+                continue;
+            }
+
+            let mut txn = coordinator.begin(self.shards);
+            txn.stage(
+                src_shard,
+                accounts[src_shard][src_acct].offset(),
+                model[src_shard][src_acct] - amount,
+            );
+            let credited = model[dst_shard][dst_acct] + amount;
+            txn.stage(dst_shard, accounts[dst_shard][dst_acct].offset(), credited);
+
+            let last = t + 1 == self.transfers;
+            if last && self.in_doubt_tail && config.flush_on_commit() {
+                // Drive the final transfer to the canonical in-doubt
+                // point: prepared on every participant, decision
+                // durable, no commit marker anywhere.
+                for &shard in &txn.participants() {
+                    coordinator.prepare_shard(&mut heaps[shard], shard, &txn)?;
+                }
+                coordinator.record_decision(&txn);
+                in_doubt_gtxid = Some(txn.gtxid());
+                model[src_shard][src_acct] -= amount;
+                model[dst_shard][dst_acct] = credited;
+                outcomes.push(TransferOutcome {
+                    transfer,
+                    outcome: TxnOutcome::Committed,
+                    resolved_in_doubt: true,
+                });
+                continue;
+            }
+
+            let outcome = coordinator.commit(&mut heaps, &txn)?;
+            if matches!(outcome, TxnOutcome::Committed) {
+                model[src_shard][src_acct] -= amount;
+                model[dst_shard][dst_acct] = credited;
+            }
+            outcomes.push(TransferOutcome {
+                transfer,
+                outcome,
+                resolved_in_doubt: false,
+            });
+        }
+        let elapsed = clock(&coordinator, &heaps) - t0;
+
+        // Power fails everywhere at once; the lost shard (if any)
+        // never produces an image.
+        let coordinator_image = coordinator.crash_image();
+        let images = heaps
+            .into_iter()
+            .enumerate()
+            .map(|(shard, heap)| {
+                if self.lose_shard == Some(shard) {
+                    None
+                } else {
+                    // FoC shards recover from their logs alone; FoF
+                    // shards get the whole-system save they rely on.
+                    Some(heap.crash(!config.flush_on_commit()))
+                }
+            })
+            .collect();
+        let cluster = ClusterSpec::memcache_tier(self.shards.max(2));
+        let recovery = resolve_cross_shard(&coordinator_image, images, &cluster);
+        if let Some(gtxid) = in_doubt_gtxid {
+            assert!(
+                recovery.decided.contains(&gtxid),
+                "the in-doubt tail transfer has a durable decision"
+            );
+        }
+
+        // Audit every surviving shard cell-by-cell against the model.
+        let mut degraded = None;
+        let mut audited = HashSet::new();
+        for mut shard_rec in recovery.shards {
+            let shard = shard_rec.shard;
+            if self.lose_shard == Some(shard) {
+                let (reason, staleness) = match &shard_rec.outcome {
+                    RecoveryOutcome::Degraded { rung, reason, took } => {
+                        assert_eq!(*rung, LadderRung::ClusterRebuild);
+                        (reason.clone(), *took)
+                    }
+                    other => panic!("lost shard {shard} must degrade, got {other:?}"),
+                };
+                let kind = match shard_rec.refusal {
+                    Some(e @ WspError::BackendRecoveryRequired { .. }) => e.kind(),
+                    other => panic!("lost shard {shard} needs a typed refusal, got {other:?}"),
+                };
+                degraded = Some(DegradedShard {
+                    shard,
+                    kind,
+                    reason,
+                    staleness,
+                });
+                continue;
+            }
+            let heap = shard_rec
+                .heap
+                .as_mut()
+                .unwrap_or_else(|| panic!("shard {shard} must recover locally"));
+            let mut check = heap.begin();
+            for (acct, &cell) in accounts[shard].iter().enumerate() {
+                let got = check.read_word(cell)?;
+                assert_eq!(
+                    got, model[shard][acct],
+                    "shard {shard} account {acct} diverged after recovery"
+                );
+            }
+            check.commit()?;
+            audited.insert(shard);
+        }
+
+        let committed = outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome, TxnOutcome::Committed))
+            .count();
+        let aborted = outcomes.len() - committed;
+        let cross_shard = outcomes.iter().filter(|o| o.transfer.cross_shard).count();
+        let model_total: u64 = model.iter().flatten().sum();
+
+        Ok(CrossShardKvReport {
+            config,
+            shards: self.shards,
+            transfers: self.transfers,
+            cross_shard,
+            committed,
+            aborted,
+            resolved_in_doubt: in_doubt_gtxid.is_some(),
+            balance_conserved: model_total == total_balance,
+            shards_audited: audited.len(),
+            txns_per_sec: self.transfers as f64 / elapsed.as_secs_f64().max(1e-12),
+            elapsed,
+            degraded,
+            outcomes,
+            trace: obs::Trace::default(),
+            metrics: obs::MetricsSnapshot::default(),
+        })
+    }
+}
+
+/// One scripted transfer: debit `src`, credit `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Index in issue order.
+    pub txn: usize,
+    /// Debited `(shard, account)`.
+    pub src: (usize, usize),
+    /// Credited `(shard, account)`.
+    pub dst: (usize, usize),
+    /// Amount moved.
+    pub amount: u64,
+    /// True when debit and credit live on different shards.
+    pub cross_shard: bool,
+}
+
+/// The fate of one transfer, including how the final crash resolved it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// The transfer that was attempted.
+    pub transfer: Transfer,
+    /// Committed everywhere or aborted everywhere — 2PC admits nothing
+    /// in between.
+    pub outcome: TxnOutcome,
+    /// True when the transfer was left prepared-but-unmarked at the
+    /// crash and recovery resolved it to commit from the decision log.
+    pub resolved_in_doubt: bool,
+}
+
+/// The typed verdict for a shard whose NVRAM image was lost mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedShard {
+    /// The lost shard.
+    pub shard: usize,
+    /// Stable error-kind label of the refusal
+    /// (`backend-recovery-required`).
+    pub kind: &'static str,
+    /// The human-readable refusal, including the staleness quote.
+    pub reason: String,
+    /// Quantified staleness: how long the cluster rebuild streams from
+    /// the back end while peers serve stale reads.
+    pub staleness: Nanos,
+}
+
+/// The merged result of one cross-shard transfer run.
+#[derive(Debug, Clone)]
+pub struct CrossShardKvReport {
+    /// Heap configuration every shard ran.
+    pub config: HeapConfig,
+    /// Participant shards.
+    pub shards: usize,
+    /// Transfers issued.
+    pub transfers: usize,
+    /// Transfers that spanned two shards.
+    pub cross_shard: usize,
+    /// Transfers that committed everywhere.
+    pub committed: usize,
+    /// Transfers that aborted everywhere (overdrafts, refusals).
+    pub aborted: usize,
+    /// True when the final transfer crashed in doubt and recovery
+    /// committed it from the decision log.
+    pub resolved_in_doubt: bool,
+    /// True when the post-recovery audit conserved the total balance.
+    pub balance_conserved: bool,
+    /// Shards audited cell-by-cell after recovery.
+    pub shards_audited: usize,
+    /// Simulated transfer throughput through the two-phase seal.
+    pub txns_per_sec: f64,
+    /// Simulated time of the measured phase (coordinator + all shards).
+    pub elapsed: Nanos,
+    /// The lost shard's typed verdict, when `lose_shard` was set.
+    pub degraded: Option<DegradedShard>,
+    /// Per-transfer outcomes, in issue order.
+    pub outcomes: Vec<TransferOutcome>,
+    /// The run's trace (setup, transfers, crash resolution).
+    pub trace: obs::Trace,
+    /// The run's metrics.
+    pub metrics: obs::MetricsSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_conserve_the_total_balance() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let report = CrossShardKvBench::quick(3).run(config, 42).unwrap();
+            assert!(report.balance_conserved, "{config}");
+            assert!(report.committed > 0, "{config}");
+            assert!(report.cross_shard > 0, "{config}");
+            assert!(report.resolved_in_doubt, "{config}");
+            assert_eq!(report.shards_audited, 3, "{config}");
+            assert!(report.txns_per_sec > 0.0, "{config}");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_identical() {
+        let bench = CrossShardKvBench::quick(3);
+        let a = bench.run(HeapConfig::FocUndo, 7).unwrap();
+        let b = bench.run(HeapConfig::FocUndo, 7).unwrap();
+        assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
+        assert_eq!(a.txns_per_sec.to_bits(), b.txns_per_sec.to_bits());
+        if let Err(report) = obs::diff_traces(&a.trace, &b.trace, obs::DiffMode::Full) {
+            panic!("same-seed cross-shard traces diverge:\n{report}");
+        }
+        if let Some(diff) = a.metrics.first_difference(&b.metrics) {
+            panic!("same-seed cross-shard metrics diverge: {diff}");
+        }
+    }
+
+    #[test]
+    fn overdrafts_abort_everywhere() {
+        // Tiny balances force application-level aborts; the audit still
+        // conserves the total.
+        let bench = CrossShardKvBench {
+            initial_balance: 3,
+            ..CrossShardKvBench::quick(3)
+        };
+        let report = bench.run(HeapConfig::FocUndo, 11).unwrap();
+        assert!(report.aborted > 0);
+        assert!(report.balance_conserved);
+    }
+
+    #[test]
+    fn losing_a_shard_degrades_with_quantified_staleness() {
+        let bench = CrossShardKvBench {
+            lose_shard: Some(1),
+            ..CrossShardKvBench::quick(3)
+        };
+        let report = bench.run(HeapConfig::FocUndo, 42).unwrap();
+        let degraded = report.degraded.expect("lost shard is reported");
+        assert_eq!(degraded.shard, 1);
+        assert_eq!(degraded.kind, "backend-recovery-required");
+        assert!(degraded.staleness > Nanos::ZERO);
+        assert!(degraded.reason.contains("rebuild"));
+        // The survivors still audit clean.
+        assert_eq!(report.shards_audited, 2);
+    }
+
+    #[test]
+    fn fof_shards_refuse_every_transfer() {
+        // Flush-on-fail shards cannot make a PREPARED record durable
+        // ahead of the decision, so every transfer aborts (typed), and
+        // nothing ever moves.
+        let bench = CrossShardKvBench {
+            in_doubt_tail: false,
+            ..CrossShardKvBench::quick(2)
+        };
+        let report = bench.run(HeapConfig::Fof, 5).unwrap();
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.aborted, report.transfers);
+        assert!(report.balance_conserved);
+    }
+}

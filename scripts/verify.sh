@@ -35,6 +35,10 @@ for seed in 11 42 1337; do
     WSP_DET_SEED=$seed WSP_FAULTSIM_THREADS=1 cargo test -q --offline --test fault_injection
 done
 
+echo "== cross-shard 2PC sweep: serial and sharded must agree =="
+WSP_DET_SEED=7 WSP_FAULTSIM_THREADS=1 cargo test -q --offline --test fault_injection cross_shard
+WSP_DET_SEED=7 WSP_FAULTSIM_THREADS=4 cargo test -q --offline --test fault_injection cross_shard
+
 echo "== benches compile (bench feature) =="
 cargo build --offline -p wsp-bench --features bench --benches
 
@@ -49,6 +53,9 @@ cargo run --release --offline -p wsp-bench --features bench --bin bench_pr3 -- c
 
 echo "== epoch group-commit + shard-scaling gate =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr5 -- check BENCH_PR5.json
+
+echo "== cross-shard 2PC throughput gate =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr6 -- check BENCH_PR6.json
 
 echo "== sharded KV determinism spot-check (single worker) =="
 WSP_KV_SHARDS=1 cargo test -q --offline -p wsp-workloads shard::

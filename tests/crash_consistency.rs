@@ -404,3 +404,190 @@ fn fixed_seed_regression_corpus() {
         });
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cross-shard 2PC all-or-nothing
+// ---------------------------------------------------------------------------
+
+/// Drives one randomly generated cross-shard transaction over a
+/// three-shard fleet to a randomly chosen 2PC step, cuts power on the
+/// whole fleet, resolves it against the coordinator's decision log, and
+/// checks the bank invariant: the write-set is visible on every shard
+/// or on none — no crash point may expose a partial write-set.
+fn check_cross_shard_all_or_nothing(
+    ops: &[(usize, usize, u64)],
+    step_pick: usize,
+    sub_step: u64,
+    use_stm: bool,
+) {
+    use wsp_repro::cluster::ClusterSpec;
+    use wsp_repro::pheap::PmPtr;
+    use wsp_repro::wsp::{resolve_cross_shard, TxnCoordinator};
+
+    const SHARDS: usize = 3;
+    const CELLS: usize = 4;
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+
+    // A committed baseline cell grid on every shard.
+    let mut heaps: Vec<PersistentHeap> = Vec::with_capacity(SHARDS);
+    let mut cells: Vec<Vec<(PmPtr, u64)>> = Vec::with_capacity(SHARDS);
+    for s in 0..SHARDS {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut tx = heap.begin();
+        let base = tx.alloc(CELLS as u64 * 64).unwrap();
+        let mut sc = Vec::with_capacity(CELLS);
+        for i in 0..CELLS {
+            let p = base.byte_offset(i as u64 * 64);
+            let v = 1_000 + (s * CELLS + i) as u64;
+            tx.write_word(p, v).unwrap();
+            sc.push((p, v));
+        }
+        tx.set_root(base).unwrap();
+        tx.commit().unwrap();
+        heaps.push(heap);
+        cells.push(sc);
+    }
+
+    let mut coordinator = TxnCoordinator::new();
+    let mut txn = coordinator.begin(SHARDS);
+    for &(shard, cell, value) in ops {
+        let (shard, cell) = (shard % SHARDS, cell % CELLS);
+        txn.stage(shard, cells[shard][cell].0.offset(), value);
+    }
+    let participants = txn.participants();
+    let gtxid = txn.gtxid();
+    let first = participants[0];
+
+    // Drive the protocol to the generated crash step. 0 = pre-prepare,
+    // 1 = between prepares, 2 = all prepared / no decision, 3 = decided
+    // / no shard marker, 4 = decided / first marker durable, 5 = first
+    // participant dies `sub_step` words into its prepare seal, 6 =
+    // first participant's commit marker torn or fenced.
+    let mut decided = false;
+    let mut mid_prepare: Option<u64> = None;
+    let mut mid_commit: Option<bool> = None;
+    match step_pick % 7 {
+        0 => {}
+        1 => {
+            coordinator
+                .prepare_shard(&mut heaps[first], first, &txn)
+                .unwrap();
+        }
+        2 => {
+            for &s in &participants {
+                coordinator.prepare_shard(&mut heaps[s], s, &txn).unwrap();
+            }
+        }
+        3 | 4 => {
+            for &s in &participants {
+                coordinator.prepare_shard(&mut heaps[s], s, &txn).unwrap();
+            }
+            coordinator.record_decision(&txn);
+            decided = true;
+            if step_pick % 7 == 4 {
+                coordinator
+                    .commit_shard(&mut heaps[first], first, &txn)
+                    .unwrap();
+            }
+        }
+        5 => mid_prepare = Some(sub_step),
+        6 => {
+            for &s in &participants {
+                coordinator.prepare_shard(&mut heaps[s], s, &txn).unwrap();
+            }
+            coordinator.record_decision(&txn);
+            decided = true;
+            mid_commit = Some(sub_step.is_multiple_of(2));
+        }
+        _ => unreachable!(),
+    }
+
+    // Power fails everywhere at once.
+    let coordinator_image = coordinator.crash_image();
+    let images = heaps
+        .into_iter()
+        .enumerate()
+        .map(|(shard, heap)| {
+            Some(match (shard == first, mid_prepare, mid_commit) {
+                (true, Some(step), _) => {
+                    heap.crash_mid_prepare(gtxid, txn.writes_for(shard), step)
+                }
+                (true, None, Some(durable)) => heap.crash_mid_commit(gtxid, durable),
+                _ => heap.crash(false),
+            })
+        })
+        .collect();
+
+    let recovery = resolve_cross_shard(&coordinator_image, images, &ClusterSpec::memcache_tier(8));
+    assert_eq!(
+        recovery.decided.contains(&gtxid),
+        decided,
+        "decision durability must match the protocol step"
+    );
+    assert!(recovery.fully_recovered(), "no shard image was lost");
+
+    // The model: baseline, plus the whole write-set iff decided.
+    let mut expected: Vec<HashMap<u64, u64>> = cells
+        .iter()
+        .map(|sc| sc.iter().map(|&(p, v)| (p.offset(), v)).collect())
+        .collect();
+    if decided {
+        for &(shard, cell, value) in ops {
+            let (shard, cell) = (shard % SHARDS, cell % CELLS);
+            expected[shard].insert(cells[shard][cell].0.offset(), value);
+        }
+    }
+    for mut shard_rec in recovery.shards {
+        let shard = shard_rec.shard;
+        let heap = shard_rec.heap.as_mut().unwrap();
+        let mut check = heap.begin();
+        for (&addr, &want) in &expected[shard] {
+            let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
+            assert_eq!(
+                got, want,
+                "shard {shard} cell {addr:#x}: partial write-set exposed at step {step_pick}"
+            );
+        }
+        check.commit().unwrap();
+    }
+}
+
+fn xshard_ops() -> Gen<Vec<(usize, usize, u64)>> {
+    gen::vec_of(
+        gen::triple(gen::in_range(0usize..3), gen::in_range(0usize..4), gen::any::<u64>()),
+        1..7,
+    )
+}
+
+#[test]
+fn cross_shard_txn_is_all_or_nothing() {
+    Forall::new(gen::pair(
+        gen::triple(xshard_ops(), gen::in_range(0usize..7), gen::in_range(0u64..12)),
+        gen::any::<bool>(),
+    ))
+    .cases(32)
+    .check(|((ops, step_pick, sub_step), use_stm)| {
+        check_cross_shard_all_or_nothing(ops, *step_pick, *sub_step, *use_stm);
+    });
+}
+
+/// Fixed-seed regression corpus for the cross-shard property: pinned
+/// seeds keep re-checking historically interesting 2PC schedules.
+#[test]
+fn cross_shard_fixed_seed_corpus() {
+    for seed in [1u64, 42, 0x5749_5350, 0x00DE_C0DE] {
+        Forall::new(gen::pair(
+            gen::triple(xshard_ops(), gen::in_range(0usize..7), gen::in_range(0u64..12)),
+            gen::any::<bool>(),
+        ))
+        .seed(seed)
+        .cases(8)
+        .check(|((ops, step_pick, sub_step), use_stm)| {
+            check_cross_shard_all_or_nothing(ops, *step_pick, *sub_step, *use_stm);
+        });
+    }
+}

@@ -225,6 +225,103 @@ fn ladder_cluster_rebuild(seed: u64) -> Capture {
     cap
 }
 
+/// A two-shard fleet for the cross-shard 2PC scenarios: one committed
+/// cell per shard, flush-on-commit (undo) heaps.
+fn xshard_rig(seed: u64) -> (Vec<PersistentHeap>, Vec<wsp_repro::pheap::PmPtr>) {
+    let mut heaps = Vec::with_capacity(2);
+    let mut cells = Vec::with_capacity(2);
+    for s in 0..2u64 {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo);
+        let mut tx = heap.begin();
+        let p = tx.alloc(64).unwrap();
+        tx.write_word(p, 1_000 + seed + s).unwrap();
+        tx.set_root(p).unwrap();
+        tx.commit().unwrap();
+        heaps.push(heap);
+        cells.push(p);
+    }
+    (heaps, cells)
+}
+
+/// A clean two-shard commit through the two-phase seal, then a
+/// fleet-wide crash resolved against the coordinator's decision log:
+/// the transaction stays visible on both shards.
+fn cross_shard_commit(seed: u64) -> Capture {
+    use wsp_repro::wsp::{resolve_cross_shard, TxnCoordinator, TxnOutcome};
+
+    let (mut heaps, cells) = xshard_rig(seed);
+    let ((), cap) = obs::capture(|| {
+        obs::emit("golden", "scenario", Nanos::ZERO, seed as i64, 0);
+        let mut coordinator = TxnCoordinator::new();
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, cells[0].offset(), seed + 10);
+        txn.stage(1, cells[1].offset(), seed + 20);
+        let gtxid = txn.gtxid();
+        let outcome = coordinator.commit(&mut heaps, &txn).unwrap();
+        assert!(matches!(outcome, TxnOutcome::Committed), "seed {seed}");
+
+        let coordinator_image = coordinator.crash_image();
+        let images = heaps.drain(..).map(|h| Some(h.crash(false))).collect();
+        let recovery = resolve_cross_shard(
+            &coordinator_image,
+            images,
+            &ClusterSpec::memcache_tier(8),
+        );
+        assert!(recovery.fully_recovered(), "seed {seed}");
+        assert!(recovery.decided.contains(&gtxid), "seed {seed}");
+        for (s, mut shard) in recovery.shards.into_iter().enumerate() {
+            let heap = shard.heap.as_mut().unwrap();
+            let mut check = heap.begin();
+            let got = check.read_word(cells[s]).unwrap();
+            assert_eq!(got, seed + 10 + 10 * s as u64, "seed {seed} shard {s}");
+            check.commit().unwrap();
+        }
+    });
+    cap
+}
+
+/// The coordinator dies after both shards hold durable PREPARED records
+/// but before its decision record: both shards recover in doubt and
+/// presumed abort erases the write-set everywhere.
+fn cross_shard_coordinator_death(seed: u64) -> Capture {
+    use wsp_repro::wsp::{resolve_cross_shard, TxnCoordinator};
+
+    let (mut heaps, cells) = xshard_rig(seed);
+    let ((), cap) = obs::capture(|| {
+        obs::emit("golden", "scenario", Nanos::ZERO, seed as i64, 0);
+        let mut coordinator = TxnCoordinator::new();
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, cells[0].offset(), seed + 10);
+        txn.stage(1, cells[1].offset(), seed + 20);
+        let gtxid = txn.gtxid();
+        for shard in txn.participants() {
+            coordinator
+                .prepare_shard(&mut heaps[shard], shard, &txn)
+                .unwrap();
+        }
+        // The decision record never lands: coordinator death.
+        let coordinator_image = coordinator.crash_image();
+        let images = heaps.drain(..).map(|h| Some(h.crash(false))).collect();
+        let recovery = resolve_cross_shard(
+            &coordinator_image,
+            images,
+            &ClusterSpec::memcache_tier(8),
+        );
+        assert!(recovery.fully_recovered(), "seed {seed}");
+        assert!(!recovery.decided.contains(&gtxid), "seed {seed}");
+        for (s, mut shard) in recovery.shards.into_iter().enumerate() {
+            let resolution = shard.resolution.clone().unwrap();
+            assert_eq!(resolution.aborted, vec![gtxid], "seed {seed} shard {s}");
+            let heap = shard.heap.as_mut().unwrap();
+            let mut check = heap.begin();
+            let got = check.read_word(cells[s]).unwrap();
+            assert_eq!(got, 1_000 + seed + s as u64, "seed {seed} shard {s}");
+            check.commit().unwrap();
+        }
+    });
+    cap
+}
+
 // ---- the pinned corpus -------------------------------------------------
 
 #[test]
@@ -259,6 +356,24 @@ fn ladder_log_replay_trace_is_pinned() {
 fn ladder_cluster_rebuild_trace_is_pinned() {
     for seed in seeds() {
         pin("ladder_cluster_rebuild", seed, &ladder_cluster_rebuild(seed));
+    }
+}
+
+#[test]
+fn cross_shard_commit_trace_is_pinned() {
+    for seed in seeds() {
+        pin("cross_shard_commit", seed, &cross_shard_commit(seed));
+    }
+}
+
+#[test]
+fn cross_shard_coordinator_death_trace_is_pinned() {
+    for seed in seeds() {
+        pin(
+            "cross_shard_coordinator_death",
+            seed,
+            &cross_shard_coordinator_death(seed),
+        );
     }
 }
 
@@ -334,5 +449,5 @@ fn golden_corpus_is_schema_valid() {
         assert!(!events.is_empty(), "{} is empty", path.display());
         checked += 1;
     }
-    assert!(checked >= 10, "expected >= 10 golden files, found {checked}");
+    assert!(checked >= 14, "expected >= 14 golden files, found {checked}");
 }
