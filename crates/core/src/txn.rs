@@ -143,11 +143,11 @@ pub struct TxnCoordinator {
     mem: PersistentMemory,
     log: TornLog,
     next: u64,
-    /// Decisions whose every participant holds a durable local marker —
-    /// safe to drop at the next truncation point.
-    settled: u64,
-    /// Decisions recorded since the last truncation.
-    recorded: u64,
+    /// Recorded decisions some participant may still ask for (no durable
+    /// local marker everywhere yet). While any remain the decision log
+    /// must not truncate; once the set drains every logged decision is
+    /// dead weight and the log can recycle.
+    unsettled: HashSet<u64>,
 }
 
 impl Default for TxnCoordinator {
@@ -167,9 +167,39 @@ impl TxnCoordinator {
             mem,
             log,
             next: 0,
-            settled: 0,
-            recorded: 0,
+            unsettled: HashSet::new(),
         }
+    }
+
+    /// Rebuilds a coordinator from its crashed decision log: every
+    /// durable decision is re-appended to a fresh log (so in-doubt
+    /// shards can still be resolved against it) and the txid counter
+    /// resumes above every decided gtxid — a restarted coordinator must
+    /// never reissue a gtxid that a surviving shard's log already holds
+    /// a decision marker for, or that shard's recovery would mistake a
+    /// new in-doubt transaction for a decided one.
+    ///
+    /// Recovered decisions start out unsettled (some shard may still ask
+    /// for them); call [`TxnCoordinator::settle`] once every participant
+    /// is known to hold its local marker. An issued-but-undecided gtxid
+    /// from before the crash can be reissued, which is safe: recovered
+    /// shards resolved it by presumed abort and scrubbed their logs,
+    /// and a surviving shard still holding it prepared refuses the
+    /// reissue with a conflict.
+    #[must_use]
+    pub fn recover(coordinator_image: &[u8]) -> Self {
+        let mut coordinator = Self::new();
+        let mut decided: Vec<u64> = recover_decisions(coordinator_image).into_iter().collect();
+        decided.sort_unstable();
+        for &gtxid in &decided {
+            coordinator
+                .log
+                .append(&mut coordinator.mem, &LogRecord::commit(gtxid), true);
+            coordinator.unsettled.insert(gtxid);
+        }
+        coordinator.mem.sfence();
+        coordinator.next = decided.last().map_or(0, |&g| g - GTXID_BASE + 1);
+        coordinator
     }
 
     /// Simulated time the coordinator's own durable operations have
@@ -226,10 +256,11 @@ impl TxnCoordinator {
     /// the coordinator's durable log. After this store the transaction
     /// commits everywhere, no matter which nodes crash.
     pub fn record_decision(&mut self, txn: &CrossShardTxn) {
+        self.truncate_if_settled();
         self.log
             .append(&mut self.mem, &LogRecord::commit(txn.gtxid), true);
         self.mem.sfence();
-        self.recorded += 1;
+        self.unsettled.insert(txn.gtxid);
         obs::emit("txn", "decide", self.mem.elapsed(), txn.short_id(), 1);
         obs::count(obs::Ctr::TxnDecisions);
     }
@@ -280,12 +311,20 @@ impl TxnCoordinator {
         Ok(())
     }
 
-    /// Marks `txn`'s decision as settled on every participant; once all
-    /// recorded decisions are settled the decision log truncates (a
-    /// settled decision can never be asked for again).
-    fn settle(&mut self, _txn: &CrossShardTxn) {
-        self.settled += 1;
-        if self.settled == self.recorded && self.log.needs_truncation() {
+    /// Marks `gtxid`'s decision as settled: every participant holds a
+    /// durable local marker, so no recovery will ever ask the decision
+    /// log for it again. Protocol drivers that record decisions directly
+    /// (via [`TxnCoordinator::record_decision`]) must call this once the
+    /// phase-2 markers land, or the decision log can never truncate.
+    pub fn settle(&mut self, gtxid: u64) {
+        self.unsettled.remove(&gtxid);
+        self.truncate_if_settled();
+    }
+
+    /// Truncates the decision log when nothing unsettled pins it and it
+    /// is running low.
+    fn truncate_if_settled(&mut self) {
+        if self.unsettled.is_empty() && self.log.needs_truncation() {
             self.log.truncate(&mut self.mem, true);
         }
     }
@@ -334,7 +373,7 @@ impl TxnCoordinator {
         for &shard in &participants {
             self.commit_shard(&mut heaps[shard], shard, txn)?;
         }
-        self.settle(txn);
+        self.settle(txn.gtxid());
         let t1 = clock(self.mem.elapsed(), heaps);
         obs::observe(obs::Hist::TxnCommit, t1 - t0);
         Ok(TxnOutcome::Committed)
@@ -653,6 +692,52 @@ mod tests {
                 assert_eq!(resolution.aborted, vec![txn.gtxid()], "{config}");
                 assert_eq!(cell(&mut heap), want, "{config}");
             }
+        }
+    }
+
+    #[test]
+    fn recovered_coordinator_never_reissues_a_decided_gtxid() {
+        let (mut coordinator, mut heaps, cells) = rig(HeapConfig::FocUndo);
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, cells[0], 70);
+        txn.stage(1, cells[1], 230);
+        coordinator.commit(&mut heaps, &txn).unwrap();
+        let image = coordinator.crash_image();
+
+        let mut recovered = TxnCoordinator::recover(&image);
+        // The decided gtxid is still answerable after the restart ...
+        assert!(recover_decisions(&recovered.crash_image()).contains(&txn.gtxid()));
+        // ... and never reissued, even against shards that did not crash.
+        let mut txn2 = recovered.begin(2);
+        assert!(txn2.gtxid() > txn.gtxid(), "gtxid reuse");
+        txn2.stage(0, cells[0], 60);
+        txn2.stage(1, cells[1], 240);
+        recovered.settle(txn.gtxid());
+        let outcome = recovered.commit(&mut heaps, &txn2).unwrap();
+        assert_eq!(outcome, TxnOutcome::Committed);
+        for (heap, want) in heaps.iter_mut().zip([60, 240]) {
+            assert_eq!(cell(heap), want);
+        }
+    }
+
+    #[test]
+    fn fresh_coordinator_recovers_to_empty_state() {
+        let coordinator = TxnCoordinator::new();
+        let mut recovered = TxnCoordinator::recover(&coordinator.crash_image());
+        assert_eq!(recovered.begin(1).gtxid(), GTXID_BASE);
+    }
+
+    #[test]
+    fn decision_log_truncates_once_decisions_settle() {
+        // Far more decisions than the 8 KiB decision log holds in one
+        // pass; settling each one lets the log recycle indefinitely
+        // (this used to diverge and panic after ~1000 decisions when
+        // decisions were recorded outside TxnCoordinator::commit).
+        let mut coordinator = TxnCoordinator::new();
+        for _ in 0..4096 {
+            let txn = coordinator.begin(1);
+            coordinator.record_decision(&txn);
+            coordinator.settle(txn.gtxid());
         }
     }
 

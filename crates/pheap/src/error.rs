@@ -33,6 +33,16 @@ pub enum HeapError {
     /// The operation requires an open transaction, or the transaction is
     /// already finished.
     NoTransaction,
+    /// The log cannot hold the operation's records, and truncation could
+    /// not reclaim enough space (in-doubt prepared transactions must keep
+    /// their records until the coordinator decides). The caller should
+    /// abort or retry once the in-doubt transactions resolve.
+    LogFull {
+        /// Log words the operation needs.
+        needed_words: u64,
+        /// Log words actually free.
+        free_words: u64,
+    },
 }
 
 impl fmt::Display for HeapError {
@@ -50,6 +60,14 @@ impl fmt::Display for HeapError {
             }
             HeapError::CorruptHeader => write!(f, "region header is corrupt"),
             HeapError::NoTransaction => write!(f, "no open transaction"),
+            HeapError::LogFull {
+                needed_words,
+                free_words,
+            } => write!(
+                f,
+                "log cannot hold {needed_words} words ({free_words} free, \
+                 in-doubt records pinned)"
+            ),
         }
     }
 }
@@ -71,6 +89,10 @@ mod tests {
             },
             HeapError::CorruptHeader,
             HeapError::NoTransaction,
+            HeapError::LogFull {
+                needed_words: 402,
+                free_words: 222,
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

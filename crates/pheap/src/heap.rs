@@ -401,15 +401,11 @@ impl PersistentHeap {
         obs::count_by(obs::Ctr::EpochLinesCoalesced, dupes);
         // Room for the whole coalesced record set plus the marker. Prior
         // epochs' records are dead (their data was applied durably), so
-        // truncation is always safe here.
+        // truncation is always safe here — in-doubt prepared records are
+        // carried across it by the preserving truncation.
         let needed = unique.len() as u64 * 4 + 1;
         if self.log.free_words() < needed + 8 {
-            if self.config.uses_redo_log() {
-                self.truncate_redo_log();
-            } else {
-                self.stats.truncations += 1;
-                self.log.truncate(&mut self.mem, true);
-            }
+            self.make_log_room();
         }
         if self.config.uses_undo_log() {
             // Undo flavour: log the OLD values, fence, apply the buffer in
@@ -478,14 +474,9 @@ impl PersistentHeap {
         epoch.max_txid = 0;
         self.epoch = Some(epoch);
         if self.log.needs_truncation() {
-            if self.config.uses_redo_log() {
-                self.truncate_redo_log();
-            } else {
-                // Undo: the epoch's data lines were just flushed, so the
-                // records before the marker are dead.
-                self.stats.truncations += 1;
-                self.log.truncate(&mut self.mem, true);
-            }
+            // Undo flavour: the epoch's data lines were just flushed, so
+            // the records before the marker are dead.
+            self.make_log_room();
         }
     }
 
@@ -494,6 +485,10 @@ impl PersistentHeap {
     /// coalesced record set approaches log capacity (an epoch must fit in
     /// the log in one piece).
     fn epoch_absorb(&mut self, txid: u64, write_set: &[(u64, u64)]) {
+        // In-doubt prepared records are pinned in the log until the
+        // coordinator decides; the epoch's coalesced set must fit beside
+        // them.
+        let pinned = self.prepared_log_words();
         let epoch = self.epoch.as_mut().expect("epoch mode active");
         for &(addr, value) in write_set {
             epoch.buffered.push((addr, value));
@@ -502,7 +497,7 @@ impl PersistentHeap {
         epoch.pending += 1;
         epoch.max_txid = epoch.max_txid.max(txid);
         let pressure =
-            epoch.buffered_index.len() as u64 * 4 + 64 >= self.log.capacity_words();
+            epoch.buffered_index.len() as u64 * 4 + 64 + pinned >= self.log.capacity_words();
         if epoch.pending >= epoch.size || pressure {
             self.seal_epoch();
         }
@@ -539,9 +534,9 @@ impl PersistentHeap {
         {
             // Committed data was flushed at each commit (FoC) or will be
             // covered by flush-on-fail (FoF); either way the log records
-            // before this point are dead.
-            self.stats.truncations += 1;
-            self.log.truncate(&mut self.mem, self.config.flush_on_commit());
+            // before this point are dead — except in-doubt prepared
+            // records, which the preserving truncation carries across.
+            self.truncate_preserving(self.config.flush_on_commit());
         }
         self.stats.txs_started += 1;
         let txid = self.next_txid;
@@ -700,12 +695,7 @@ impl PersistentHeap {
         }
         let needed = unique.len() as u64 * 4 + 1;
         if self.log.free_words() < needed + 8 {
-            if self.config.uses_redo_log() {
-                self.truncate_redo_log();
-            } else {
-                self.stats.truncations += 1;
-                self.log.truncate(&mut self.mem, true);
-            }
+            self.make_log_room();
         }
         let records = unique.len() as u64;
         let appends = step.min(records) as usize;
@@ -798,17 +788,19 @@ impl PersistentHeap {
         self.seal_epoch();
         let (unique, finals) = Self::coalesce_writes(writes);
         // Room for the records, the PREPARED marker and the later
-        // decision marker — but never truncate while another global
-        // transaction is still in doubt here (its records must survive
-        // until the coordinator decides).
+        // decision marker. Truncation preserves any other in-doubt
+        // transaction's records; if the pinned set still leaves too
+        // little room, refuse with a typed error so the coordinator can
+        // abort cleanly instead of the append panicking.
         let needed = unique.len() as u64 * 4 + 2;
-        if self.prepared.is_empty() && self.log.free_words() < needed + 8 {
-            if self.config.uses_redo_log() {
-                self.truncate_redo_log();
-            } else {
-                self.stats.truncations += 1;
-                self.log.truncate(&mut self.mem, true);
-            }
+        if self.log.free_words() < needed + 8 {
+            self.make_log_room();
+        }
+        if self.log.free_words() < needed {
+            return Err(HeapError::LogFull {
+                needed_words: needed,
+                free_words: self.log.free_words(),
+            });
         }
         let mut olds = Vec::new();
         if self.config.uses_undo_log() {
@@ -861,10 +853,15 @@ impl PersistentHeap {
     ///
     /// [`HeapError::NoTransaction`] if `gtxid` was never prepared here.
     pub fn commit_distributed(&mut self, gtxid: u64) -> Result<(), HeapError> {
-        let p = self
-            .prepared
-            .remove(&gtxid)
-            .ok_or(HeapError::NoTransaction)?;
+        if !self.prepared.contains_key(&gtxid) {
+            return Err(HeapError::NoTransaction);
+        }
+        // Make room for the marker while `gtxid` is still in the
+        // prepared map, so a preserving truncation keeps its records.
+        if self.log.free_words() < 1 {
+            self.make_log_room();
+        }
+        let p = self.prepared.remove(&gtxid).expect("checked above");
         self.log
             .append(&mut self.mem, &LogRecord::commit(gtxid), true);
         self.mem.sfence();
@@ -876,13 +873,8 @@ impl PersistentHeap {
             self.stm.commit(p.writes.iter().map(|&(addr, _)| addr));
         }
         self.stats.commits += 1;
-        if self.prepared.is_empty() && self.log.needs_truncation() {
-            if self.config.uses_redo_log() {
-                self.truncate_redo_log();
-            } else {
-                self.stats.truncations += 1;
-                self.log.truncate(&mut self.mem, true);
-            }
+        if self.log.needs_truncation() {
+            self.make_log_room();
         }
         Ok(())
     }
@@ -897,10 +889,15 @@ impl PersistentHeap {
     ///
     /// [`HeapError::NoTransaction`] if `gtxid` was never prepared here.
     pub fn abort_distributed(&mut self, gtxid: u64) -> Result<(), HeapError> {
-        let p = self
-            .prepared
-            .remove(&gtxid)
-            .ok_or(HeapError::NoTransaction)?;
+        if !self.prepared.contains_key(&gtxid) {
+            return Err(HeapError::NoTransaction);
+        }
+        // Room for the abort marker, preserving every in-doubt record
+        // set (including this one — rollback has not run yet).
+        if self.log.free_words() < 1 {
+            self.make_log_room();
+        }
+        let p = self.prepared.remove(&gtxid).expect("checked above");
         if self.config.uses_undo_log() {
             let mut walk = LineWalk::default();
             for &(addr, old) in p.olds.iter().rev() {
@@ -965,13 +962,13 @@ impl PersistentHeap {
         let (unique, finals) = Self::coalesce_writes(writes);
         let records = unique.len() as u64;
         let needed = records * 4 + 2;
-        if self.prepared.is_empty() && self.log.free_words() < needed + 8 {
-            if self.config.uses_redo_log() {
-                self.truncate_redo_log();
-            } else {
-                self.stats.truncations += 1;
-                self.log.truncate(&mut self.mem, true);
-            }
+        if self.log.free_words() < needed + 8 {
+            self.make_log_room();
+        }
+        if self.log.free_words() < needed {
+            // prepare_distributed would have refused with LogFull; the
+            // crash happens before any record lands.
+            return self.crash(false);
         }
         let appends = step.min(records) as usize;
         if self.config.uses_undo_log() {
@@ -1394,6 +1391,18 @@ impl Tx<'_> {
                 .iter()
                 .any(|&(start, len)| addr >= start && addr < start + len);
             if !fresh && self.undo_logged.insert(addr) {
+                // An undo log cannot truncate mid-transaction; if the
+                // free space (minus one word reserved for the commit or
+                // abort marker) cannot hold this record, refuse instead
+                // of letting the append panic. In-doubt prepared records
+                // pinning the log is the usual way to get here.
+                if self.heap.log.free_words() < 5 {
+                    self.undo_logged.remove(&addr);
+                    return Err(HeapError::LogFull {
+                        needed_words: 5,
+                        free_words: self.heap.log.free_words(),
+                    });
+                }
                 self.heap.stats.undo_records += 1;
                 let old = self.heap.mem.read_u64(addr);
                 self.heap.log.append(
@@ -1591,8 +1600,7 @@ impl Tx<'_> {
                     self.heap.mem.sfence();
                 }
                 if self.heap.log.needs_truncation() {
-                    self.heap.stats.truncations += 1;
-                    self.heap.log.truncate(&mut self.heap.mem, flush);
+                    self.heap.truncate_preserving(flush);
                 }
                 Ok(())
             }
@@ -1605,9 +1613,9 @@ impl Tx<'_> {
                     self.heap.stats.conflicts += 1;
                     return Err(HeapError::Conflict);
                 }
-                self.heap.stats.commits += 1;
                 if self.write_set.is_empty() {
                     // Read-only: validated, nothing to log or apply.
+                    self.heap.stats.commits += 1;
                     return Ok(());
                 }
                 if flush && self.heap.epoch.is_some() {
@@ -1615,17 +1623,27 @@ impl Tx<'_> {
                     // write set is buffered write-behind and the seal
                     // writes one coalesced, fenced record batch for the
                     // whole epoch.
+                    self.heap.stats.commits += 1;
                     self.heap.stm.commit(self.write_set.iter().map(|&(a, _)| a));
                     let write_set = std::mem::take(&mut self.write_set);
                     self.heap.epoch_absorb(self.txid, &write_set);
                     return Ok(());
                 }
-                self.heap.stats.redo_records += self.write_set.len() as u64;
-                // Make room in the log for the whole commit record set.
+                // Make room in the log for the whole commit record set;
+                // in-doubt prepared records are pinned across the
+                // truncation, so the room may genuinely not exist.
                 let needed = self.write_set.len() as u64 * 4 + 1;
                 if self.heap.log.free_words() < needed + 8 {
                     self.heap.truncate_redo_log();
                 }
+                if self.heap.log.free_words() < needed {
+                    return Err(HeapError::LogFull {
+                        needed_words: needed,
+                        free_words: self.heap.log.free_words(),
+                    });
+                }
+                self.heap.stats.commits += 1;
+                self.heap.stats.redo_records += self.write_set.len() as u64;
                 if flush {
                     self.heap
                         .mem
@@ -1703,11 +1721,16 @@ impl Tx<'_> {
                     self.heap.unflushed_lines.insert(line);
                 }
             }
-            self.heap
-                .log
-                .append(&mut self.heap.mem, &LogRecord::abort(self.txid), flush);
-            if flush {
-                self.heap.mem.sfence();
+            // The abort marker is an optimization (recovery rolls back
+            // any uncommitted records anyway); skip it rather than
+            // panic when in-doubt records have pinned the log full.
+            if self.heap.log.free_words() >= 1 {
+                self.heap
+                    .log
+                    .append(&mut self.heap.mem, &LogRecord::abort(self.txid), flush);
+                if flush {
+                    self.heap.mem.sfence();
+                }
             }
         }
         // STM / plain: buffered writes are simply discarded.
@@ -1727,7 +1750,6 @@ impl PersistentHeap {
     /// truncation the log can no longer replay them, so NVRAM must hold
     /// them directly.
     fn truncate_redo_log(&mut self) {
-        self.stats.truncations += 1;
         if self.config.flush_on_commit() {
             let lines: Vec<u64> = self.unflushed_lines.drain().collect();
             for line in lines {
@@ -1738,7 +1760,73 @@ impl PersistentHeap {
         // Flush-on-fail: the lines stay tracked — after truncation the
         // log can no longer replay them, so they are exactly what a
         // priority (stage-A) flush must make durable.
-        self.log.truncate(&mut self.mem, self.config.flush_on_commit());
+        self.truncate_preserving(self.config.flush_on_commit());
+    }
+
+    /// Log words the in-doubt prepared transactions occupy — what a
+    /// preserving truncation re-appends, and the floor the log can never
+    /// be truncated below while the coordinator's decisions are pending.
+    fn prepared_log_words(&self) -> u64 {
+        self.prepared
+            .values()
+            .map(|p| p.writes.len() as u64 * 4 + 1)
+            .sum()
+    }
+
+    /// Truncates the log while keeping every in-doubt prepared global
+    /// transaction recoverable: its write records and PREPARED marker
+    /// are re-appended so the coordinator's eventual decision can still
+    /// be honoured after a crash. When space allows, the copies go in
+    /// *before* the tail pointer moves (fenced), so every durable step
+    /// of the truncation leaves a complete in-doubt record set; when the
+    /// log is too full for the copies, it truncates first — records that
+    /// were live a moment ago always fit in the emptied log.
+    fn truncate_preserving(&mut self, flush: bool) {
+        self.stats.truncations += 1;
+        if self.prepared.is_empty() {
+            self.log.truncate(&mut self.mem, flush);
+            return;
+        }
+        let needed = self.prepared_log_words();
+        let safe_order = self.log.free_words() >= needed;
+        let mark = self.log.mark();
+        if !safe_order {
+            self.log.truncate(&mut self.mem, flush);
+        }
+        let mut gtxids: Vec<u64> = self.prepared.keys().copied().collect();
+        gtxids.sort_unstable();
+        for gtxid in gtxids {
+            let p = &self.prepared[&gtxid];
+            // Undo flavour logged old values, redo flavour final ones —
+            // re-append exactly what prepare wrote.
+            let records: Vec<(u64, u64)> = if self.config.uses_undo_log() {
+                p.olds.clone()
+            } else {
+                p.writes.clone()
+            };
+            for (addr, value) in records {
+                self.log
+                    .append(&mut self.mem, &LogRecord::write(gtxid, addr, value), flush);
+            }
+            self.log.append(&mut self.mem, &LogRecord::prepare(gtxid), flush);
+        }
+        if flush {
+            self.mem.sfence();
+        }
+        if safe_order {
+            self.log.truncate_to(&mut self.mem, mark, flush);
+        }
+    }
+
+    /// Makes log room ahead of a batched append: flushes replay-dependent
+    /// data lines first for the redo flavour, and always preserves
+    /// in-doubt prepared transactions across the truncation.
+    fn make_log_room(&mut self) {
+        if self.config.uses_redo_log() {
+            self.truncate_redo_log();
+        } else {
+            self.truncate_preserving(true);
+        }
     }
 }
 
@@ -2599,6 +2687,115 @@ mod tests {
         // The sealed epoch survives even though the prepared txn aborts.
         let mut r = PersistentHeap::recover(h.crash(false)).unwrap();
         assert_eq!(read_cell(&mut r, p), 5);
+    }
+
+    #[test]
+    fn local_traffic_between_prepare_and_decision_preserves_the_doubt() {
+        // Regression: local commits used to truncate the log while a
+        // global transaction was in doubt, destroying its PREPARED
+        // marker — a coordinator-committed transaction then vanished
+        // from the shard at recovery.
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            let truncations_before = h.stats().truncations;
+            // Enough local traffic to truncate the log several times
+            // while the global transaction is still undecided.
+            let mut cells = Vec::new();
+            for i in 0..600u64 {
+                let mut tx = h.begin();
+                let c = tx.alloc(8).unwrap();
+                tx.write_word(c, i).unwrap();
+                tx.commit().unwrap();
+                cells.push(c);
+            }
+            assert!(
+                h.stats().truncations > truncations_before,
+                "{config}: the sweep must actually exercise truncation"
+            );
+            let (mut r, resolution) =
+                PersistentHeap::recover_distributed(h.crash(false), |g| g == GTX).unwrap();
+            assert_eq!(resolution.in_doubt, vec![GTX], "{config}");
+            assert_eq!(resolution.committed, vec![GTX], "{config}");
+            assert_eq!(read_cell(&mut r, p), 99, "{config}");
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(read_cell(&mut r, *c), i as u64, "{config} cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_seals_between_prepare_and_decision_preserve_the_doubt() {
+        // Same invariant for the epoch seal's own truncation sites.
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            let q = put_one(&mut h, 2);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            h.set_epoch_size(4);
+            for i in 0..800u64 {
+                let mut tx = h.begin();
+                tx.write_word(q, i).unwrap();
+                tx.commit().unwrap();
+            }
+            h.seal_epoch();
+            let (mut r, resolution) =
+                PersistentHeap::recover_distributed(h.crash(false), |g| g == GTX).unwrap();
+            assert_eq!(resolution.committed, vec![GTX], "{config}");
+            assert_eq!(read_cell(&mut r, p), 99, "{config}");
+            assert_eq!(read_cell(&mut r, q), 799, "{config}");
+        }
+    }
+
+    #[test]
+    fn presumed_abort_still_holds_after_preserving_truncations() {
+        // The preserved records must roll back cleanly when the
+        // coordinator never decided.
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.prepare_distributed(GTX, &[(p.offset(), 99)]).unwrap();
+            for i in 0..600u64 {
+                let mut tx = h.begin();
+                let c = tx.alloc(8).unwrap();
+                tx.write_word(c, i).unwrap();
+                tx.commit().unwrap();
+            }
+            let (mut r, resolution) =
+                PersistentHeap::recover_distributed(h.crash(false), |_| false).unwrap();
+            assert_eq!(resolution.aborted, vec![GTX], "{config}");
+            assert_eq!(read_cell(&mut r, p), 1, "{config}");
+        }
+    }
+
+    #[test]
+    fn oversized_second_prepare_refused_with_typed_log_full() {
+        // 64 KiB heap -> 8 KiB log (1023 usable words). The first
+        // prepare pins ~801 words; the second cannot fit even after a
+        // preserving truncation and must refuse, not panic.
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let mut h = PersistentHeap::create(ByteSize::kib(64), config);
+            let heap_base = 4096 + 8 * 1024;
+            let big: Vec<(u64, u64)> =
+                (0..200u64).map(|i| (heap_base + i * 8, i)).collect();
+            h.prepare_distributed(GTXID_BASE + 1, &big).unwrap();
+            let big2: Vec<(u64, u64)> =
+                (200..400u64).map(|i| (heap_base + i * 8, i)).collect();
+            assert!(
+                matches!(
+                    h.prepare_distributed(GTXID_BASE + 2, &big2),
+                    Err(HeapError::LogFull { .. })
+                ),
+                "{config}"
+            );
+            // The refused prepare left no trace; the first is intact.
+            h.commit_distributed(GTXID_BASE + 1).unwrap();
+            let mut r = PersistentHeap::recover(h.crash(false)).unwrap();
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(PmPtr::new(heap_base).unwrap()).unwrap(), 0, "{config}");
+            tx.commit().unwrap();
+        }
     }
 
     #[test]

@@ -295,8 +295,25 @@ impl TornLog {
     /// With `flush`, the new tail pointer is made durable immediately
     /// (non-temporal store + fence).
     pub fn truncate(&mut self, mem: &mut PersistentMemory, flush: bool) {
-        self.tail = self.head;
-        self.tail_polarity = self.polarity;
+        let mark = self.mark();
+        self.truncate_to(mem, mark, flush);
+    }
+
+    /// The current append position (head index plus torn-bit polarity):
+    /// a truncation point that can be captured before further appends
+    /// and handed back to [`TornLog::truncate_to`].
+    #[must_use]
+    pub fn mark(&self) -> (u64, bool) {
+        (self.head, self.polarity)
+    }
+
+    /// Truncates to a previously captured [`TornLog::mark`]: every word
+    /// before the mark is dead, words appended after it stay live. Lets
+    /// an owner re-append records it must preserve *before* publishing
+    /// the new tail, so no crash point loses them.
+    pub fn truncate_to(&mut self, mem: &mut PersistentMemory, mark: (u64, bool), flush: bool) {
+        self.tail = mark.0;
+        self.tail_polarity = mark.1;
         let packed = Self::pack_tail(self.tail, self.tail_polarity);
         if flush {
             mem.ntstore_u64(self.tail_ptr_addr, packed);
@@ -465,6 +482,25 @@ mod tests {
         log.truncate(&mut mem, true);
         let records = recover_from(mem, false);
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn truncate_to_mark_keeps_later_appends_live() {
+        let (mut mem, mut log) = fresh();
+        log.append(&mut mem, &LogRecord::write(1, 100, 7), true);
+        mem.sfence();
+        // Re-append the records that must survive, fence, and only then
+        // move the tail past the dead prefix — the preserving-truncation
+        // protocol.
+        let mark = log.mark();
+        log.append(&mut mem, &LogRecord::write(2, 200, 9), true);
+        log.append(&mut mem, &LogRecord::prepare((1 << 48) + 1), true);
+        mem.sfence();
+        log.truncate_to(&mut mem, mark, true);
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], LogRecord::write(2, 200, 9));
+        assert_eq!(records[1].kind, RecordKind::Prepare);
     }
 
     #[test]
