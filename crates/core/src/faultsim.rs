@@ -512,13 +512,18 @@ fn run_tx_point(
 #[derive(Debug, Clone, Copy)]
 enum EpochCrashPoint {
     /// Power fails after `txs` transactions committed into epochs: the
-    /// open epoch's write-behind buffer is volatile and lost wholesale.
+    /// open buffer and any staged-but-undrained generation are volatile
+    /// and lost wholesale (seals lag one generation behind staging).
     AfterTx(usize),
-    /// Power fails `step` durable operations into sealing a partially
-    /// filled epoch — between record appends, past the fence, or (undo
-    /// flavour) in the middle of the coalesced line flush. The
-    /// epoch-commit marker is never written.
+    /// Power fails `step` durable operations into the full seal of a
+    /// heap holding a staged generation *and* a partially filled open
+    /// one — inside the staged batch's record appends, at its marker
+    /// boundary, or anywhere in the open batch's pipeline behind it.
     MidSeal(u64),
+    /// Power fails `step` durable operations into sealing a heap whose
+    /// only buffered transactions live in the open generation (nothing
+    /// staged yet). The epoch-commit marker is never written.
+    MidSealOpen(u64),
 }
 
 /// The result of the mid-epoch sweep for one flush-on-commit heap
@@ -530,7 +535,9 @@ pub struct MidEpochSweepReport {
     /// Transactions per durability epoch in the swept heap.
     pub epoch_size: u64,
     /// Crash points exercised: one after each committed transaction
-    /// (including zero) plus one per durable step of a mid-epoch seal.
+    /// (including zero), one per durable step of a double-generation
+    /// mid-epoch seal (staged batch, marker boundary, open batch), and
+    /// one per durable step of an open-only seal.
     pub crash_points: usize,
     /// Baseline-setup events followed by per-point traces merged in
     /// crash-point order — identical for any `WSP_FAULTSIM_THREADS`.
@@ -540,11 +547,15 @@ pub struct MidEpochSweepReport {
 }
 
 /// Crashes an epoch-group-commit heap after every committed transaction
-/// of a seeded script *and* at every durable step of a mid-epoch seal,
-/// then verifies that recovery restores exactly the last complete epoch:
-/// transactions buffered in an open epoch vanish wholesale, a
-/// half-sealed epoch rolls back, and no crash point ever exposes a
-/// partial epoch.
+/// of a seeded script *and* at every durable step of its pipelined
+/// seals, then verifies that recovery restores exactly the epochs whose
+/// write-behind drain completed: with double-buffered seals durability
+/// lags staging by one generation, so transactions in the open buffer
+/// *or* a staged-but-undrained generation vanish wholesale, a
+/// half-drained batch rolls back past its missing marker, and a crash
+/// one step past the staged boundary keeps the staged epoch while the
+/// open one still vanishes. No crash point ever exposes a partial
+/// epoch.
 ///
 /// # Panics
 ///
@@ -563,8 +574,9 @@ fn sweep_mid_epoch_threads(config: HeapConfig, seed: u64, threads: usize) -> Mid
     let mut rng = DetRng::seed_from_u64(seed);
     let epoch_size = 8usize;
     let cells = 8usize;
-    let txs_total = 20usize; // two sealed epochs + four buffered txs
-    let mid_txs = 12usize; // seal crash point: one sealed epoch + four pending
+    let txs_total = 20usize; // two staged generations + four open txs
+    let mid_txs = 12usize; // seal crash point: one staged epoch + four open
+    let early_txs = 4usize; // open-only seal crash point: nothing staged
 
     // Committed baseline on distinct cache lines (so the seal's
     // coalesced flush spans several lines), then epoch mode on.
@@ -591,18 +603,32 @@ fn sweep_mid_epoch_threads(config: HeapConfig, seed: u64, threads: usize) -> Mid
         .map(|_| (rng.gen_range(0..cells), rng.gen::<u64>()))
         .collect();
 
-    // How many durable steps the mid-sweep seal has, measured serially
-    // on a throwaway replay (its observability is discarded — every
-    // point re-runs the same deterministic prefix).
-    let (seal_steps, _) = obs::capture(|| {
+    // How many durable steps each crash-sweep seal has, measured
+    // serially on throwaway replays (their observability is discarded —
+    // every point re-runs the same deterministic prefix). At `mid_txs`
+    // one generation is staged behind four open transactions, so the
+    // step space spans both batches plus the staged marker; at
+    // `early_txs` only the open buffer exists.
+    let ((mid_steps, staged_boundary, open_steps), _) = obs::capture(|| {
         let mut probe = heap.clone();
         replay_epoch_txs(&mut probe, &committed, &script[..mid_txs]);
-        probe.seal_steps()
+        let mut open_probe = heap.clone();
+        replay_epoch_txs(&mut open_probe, &committed, &script[..early_txs]);
+        (
+            probe.seal_steps(),
+            probe.staged_seal_steps(),
+            open_probe.seal_steps(),
+        )
     });
+    assert!(
+        staged_boundary > 0 && mid_steps > staged_boundary,
+        "{config}: mid-seal crash space must straddle the staged boundary"
+    );
 
     let mut points: Vec<EpochCrashPoint> =
         (0..=txs_total).map(EpochCrashPoint::AfterTx).collect();
-    points.extend((0..=seal_steps).map(EpochCrashPoint::MidSeal));
+    points.extend((0..=mid_steps).map(EpochCrashPoint::MidSeal));
+    points.extend((0..=open_steps).map(EpochCrashPoint::MidSealOpen));
     let crash_points = points.len();
 
     let captures = run_sharded(points, threads, |point| {
@@ -610,10 +636,19 @@ fn sweep_mid_epoch_threads(config: HeapConfig, seed: u64, threads: usize) -> Mid
             let (a, b) = match point {
                 EpochCrashPoint::AfterTx(t) => (t as i64, -1),
                 EpochCrashPoint::MidSeal(s) => (mid_txs as i64, s as i64),
+                EpochCrashPoint::MidSealOpen(s) => (early_txs as i64, s as i64),
             };
             obs::emit_detail("faultsim", "inject", Nanos::ZERO, a, b, format!("{point:?}"));
             obs::count(Ctr::FaultsInjected);
-            run_epoch_point(&heap, &committed, &script, epoch_size, config, mid_txs, point);
+            run_epoch_point(
+                &heap,
+                &committed,
+                &script,
+                epoch_size,
+                config,
+                (mid_txs, early_txs, staged_boundary),
+                point,
+            );
         });
         cap
     });
@@ -646,32 +681,40 @@ fn replay_epoch_txs(
 
 /// One mid-epoch crash point: replay the script prefix on a clone of
 /// the baseline heap, cut power (after a commit or partway through a
-/// seal), recover, and compare against the last-complete-epoch model.
+/// seal), recover, and compare against the pipelined-durability model.
 fn run_epoch_point(
     heap: &PersistentHeap,
     committed: &[(PmPtr, u64)],
     script: &[(usize, u64)],
     epoch_size: usize,
     config: HeapConfig,
-    mid_txs: usize,
+    (mid_txs, early_txs, staged_boundary): (usize, usize, u64),
     point: EpochCrashPoint,
 ) {
     let mut h = heap.clone();
-    let (ran, image) = match point {
+    // The model: the baseline overlaid by every *drained* epoch. With
+    // double-buffered seals a generation stages at every
+    // `epoch_size`-th commit but only drains when the *next* one
+    // stages, so durability lags staging by one full generation. A
+    // mid-seal crash past the staged batch's marker step makes that
+    // epoch durable; at or below the boundary (or in an open-only
+    // seal) nothing new survives.
+    let (durable, image) = match point {
         EpochCrashPoint::AfterTx(t) => {
             replay_epoch_txs(&mut h, committed, &script[..t]);
-            (t, h.crash(false))
+            let staged = t / epoch_size;
+            (staged.saturating_sub(1) * epoch_size, h.crash(false))
         }
         EpochCrashPoint::MidSeal(step) => {
             replay_epoch_txs(&mut h, committed, &script[..mid_txs]);
-            (mid_txs, h.crash_mid_seal(step))
+            let durable = if step > staged_boundary { epoch_size } else { 0 };
+            (durable, h.crash_mid_seal(step))
+        }
+        EpochCrashPoint::MidSealOpen(step) => {
+            replay_epoch_txs(&mut h, committed, &script[..early_txs]);
+            (0, h.crash_mid_seal(step))
         }
     };
-
-    // The model: the baseline overlaid by every *sealed* epoch — the
-    // longest script prefix that is a whole number of epochs. Buffered
-    // and half-sealed transactions must leave no trace.
-    let durable = (ran / epoch_size) * epoch_size;
     let mut expected: HashMap<u64, u64> =
         committed.iter().map(|&(p, v)| (p.offset(), v)).collect();
     for &(idx, value) in &script[..durable] {

@@ -122,6 +122,13 @@ metric_ids! {
         /// In-doubt shard transactions resolved against the
         /// coordinator's decision log on recovery.
         TxnInDoubtResolved => "txn.indoubt_resolved",
+        /// Persistence actions (log record + eventual flush) elided by
+        /// the FliT per-word tracking table: the word already had a
+        /// pending record, so the write updated it in place.
+        FlushSkipped => "pheap.flush_skipped",
+        /// Line flushes actually issued by seal/truncation walks — the
+        /// denominator for FliT elision rates.
+        FlushIssued => "pheap.flush_issued",
     }
 }
 
@@ -166,6 +173,11 @@ metric_ids! {
         /// End-to-end cross-shard 2PC commit latencies (prepare through
         /// last shard commit, simulated time).
         TxnCommit => "txn.commit_time",
+        /// Foreground time an epoch seal actually cost after pipelining:
+        /// seal execution minus the portion overlapped with the commits
+        /// that ran since the batch was staged. Zero means the seal hid
+        /// completely behind foreground work.
+        SealStall => "pheap.seal_stall_time",
     }
 }
 

@@ -144,6 +144,20 @@ pub struct OverheadModel {
     /// Per write under epoch group commit: appending to the volatile
     /// write-behind buffer (vector push + index insert).
     pub epoch_buffer: Nanos,
+    /// Per access with FliT tracking active: one probe of the
+    /// L1-resident per-word flush table. Replaces the separate
+    /// write-set scan ([`OverheadModel::stm_read`] +
+    /// [`OverheadModel::stm_ws_scan`]) and epoch-buffer lookup
+    /// ([`OverheadModel::epoch_lookup`]) — the table answers both
+    /// questions in one cache hit.
+    pub flit_probe: Nanos,
+    /// Per tracked write whose word already has a pending record: the
+    /// in-place value update that elides a redundant log record and
+    /// flush.
+    pub flit_hit: Nanos,
+    /// Per tracked write to a word with no pending record: table insert
+    /// plus write-set append.
+    pub flit_insert: Nanos,
 }
 
 impl Default for OverheadModel {
@@ -158,6 +172,9 @@ impl Default for OverheadModel {
             undo_check: Nanos::new(8),
             epoch_lookup: Nanos::new(6),
             epoch_buffer: Nanos::new(12),
+            flit_probe: Nanos::new(5),
+            flit_hit: Nanos::new(4),
+            flit_insert: Nanos::new(9),
         }
     }
 }

@@ -1,0 +1,260 @@
+//! FliT-style per-word flush tracking.
+//!
+//! The FoC fast path pays an instrumentation tax on every access: STM
+//! reads scan the write set for read-your-own-writes, writes append
+//! unconditionally, and the epoch committer keeps its own address map —
+//! three lookups that all answer the same question, "does this word
+//! already have a pending record somewhere?". FliT's observation is
+//! that one small, L1-resident counter table can answer it in a single
+//! probe, and that a hit means every downstream persistence action
+//! (log record, clflush, fence) for that word is redundant and can be
+//! elided.
+//!
+//! [`FlitTable`] is that table. Each entry is keyed by a word address
+//! and carries **two** generation-tagged slots:
+//!
+//! * a *transaction* slot — `(tx_gen, tx_slot)` pointing into the open
+//!   transaction's write set, valid only while `tx_gen` equals the
+//!   current txid (txids are unique per heap, so stale entries
+//!   invalidate themselves the moment a new transaction begins — no
+//!   table sweep);
+//! * an *epoch* slot — `(epoch_gen, epoch_slot)` pointing into one of
+//!   the epoch committer's write-behind batches, valid only while
+//!   `epoch_gen` matches a live batch generation (sealing a batch bumps
+//!   the generation, invalidating every entry that pointed at it in
+//!   O(1)).
+//!
+//! Both slots live in the same entry on purpose: a transactional write
+//! over an epoch-buffered word must not destroy the epoch's slot info
+//! (an abort would then read stale memory), and a read wants both
+//! answers from one probe.
+//!
+//! The table itself follows the [`linetable`](crate::linetable) idiom:
+//! power-of-two capacity, SplitMix64 probe starts, linear probing,
+//! growth at ~75% load. There is no deletion — generation tags make
+//! entries self-invalidating, and the population is bounded by the
+//! heap's distinct hot words, so the table plateaus at working-set
+//! size and stays cache-resident.
+
+/// Slot marker for "no entry". Word addresses are 8-byte aligned heap
+/// offsets, so the all-ones value can never be a real key.
+const EMPTY: u64 = u64::MAX;
+
+/// Generation tag for "never written". Txids and epoch generations both
+/// start at 1, so 0 matches nothing.
+const NEVER: u64 = 0;
+
+/// Initial slot count (power of two). Sized for a transaction-scale
+/// working set without growth; cloning stays cheap for crash sweeps.
+const INITIAL_SLOTS: usize = 64;
+
+/// Maximum load numerator: grow when `len * 4 > slots * 3`.
+const LOAD_NUM: usize = 3;
+
+/// SplitMix64 finalizer, identical to the dirty-line overlay's mix.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One tracked word: where its pending records live, if anywhere.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitEntry {
+    /// Word address (key).
+    addr: u64,
+    /// Txid of the transaction whose write set holds this word, or
+    /// [`NEVER`].
+    pub(crate) tx_gen: u64,
+    /// Index into that transaction's write set.
+    pub(crate) tx_slot: usize,
+    /// Generation of the epoch batch buffering this word, or
+    /// [`NEVER`].
+    pub(crate) epoch_gen: u64,
+    /// Index into that batch's buffered vector.
+    pub(crate) epoch_slot: usize,
+}
+
+const VACANT: FlitEntry = FlitEntry {
+    addr: EMPTY,
+    tx_gen: NEVER,
+    tx_slot: 0,
+    epoch_gen: NEVER,
+    epoch_slot: 0,
+};
+
+/// The per-word flush-tracking table: word address → pending-record
+/// locations, generation-tagged for O(1) bulk invalidation.
+#[derive(Debug, Clone)]
+pub(crate) struct FlitTable {
+    entries: Box<[FlitEntry]>,
+    len: usize,
+}
+
+impl FlitTable {
+    pub(crate) fn new() -> Self {
+        FlitTable {
+            entries: vec![VACANT; INITIAL_SLOTS].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.entries.len() - 1
+    }
+
+    /// Slot holding `addr`, or the vacant slot where it would go.
+    #[inline]
+    fn probe(&self, addr: u64) -> usize {
+        let mask = self.mask();
+        let mut slot = (mix(addr) as usize) & mask;
+        loop {
+            let e = &self.entries[slot];
+            if e.addr == addr || e.addr == EMPTY {
+                return slot;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// One probe answering both "is this word in the open transaction's
+    /// write set?" and "is it in a live epoch batch?". The caller
+    /// validates the generation tags against its current txid and batch
+    /// generations; a copy is returned so no borrow is held.
+    #[inline]
+    pub(crate) fn lookup(&self, addr: u64) -> Option<FlitEntry> {
+        let e = &self.entries[self.probe(addr)];
+        if e.addr == addr {
+            Some(*e)
+        } else {
+            None
+        }
+    }
+
+    /// Records that `addr` now lives at `write_set[tx_slot]` of the
+    /// transaction `tx_gen`. Preserves any epoch slot already tracked.
+    pub(crate) fn note_tx_write(&mut self, addr: u64, tx_gen: u64, tx_slot: usize) {
+        let slot = self.slot_for_insert(addr);
+        let e = &mut self.entries[slot];
+        e.tx_gen = tx_gen;
+        e.tx_slot = tx_slot;
+    }
+
+    /// Records that `addr` now lives at `buffered[epoch_slot]` of the
+    /// epoch batch `epoch_gen`. Preserves any transaction slot already
+    /// tracked.
+    pub(crate) fn note_epoch_write(&mut self, addr: u64, epoch_gen: u64, epoch_slot: usize) {
+        let slot = self.slot_for_insert(addr);
+        let e = &mut self.entries[slot];
+        e.epoch_gen = epoch_gen;
+        e.epoch_slot = epoch_slot;
+    }
+
+    /// Finds (or creates) the entry slot for `addr`, growing first if
+    /// an insert would cross the load limit.
+    fn slot_for_insert(&mut self, addr: u64) -> usize {
+        let mut slot = self.probe(addr);
+        if self.entries[slot].addr == EMPTY {
+            if (self.len + 1) * 4 > self.entries.len() * LOAD_NUM {
+                self.grow();
+                slot = self.probe(addr);
+            }
+            self.entries[slot].addr = addr;
+            self.len += 1;
+        }
+        slot
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.entries.len() * 2;
+        let old = std::mem::replace(
+            &mut self.entries,
+            vec![VACANT; new_cap].into_boxed_slice(),
+        );
+        for e in old.iter().filter(|e| e.addr != EMPTY) {
+            let mask = self.mask();
+            let mut slot = (mix(e.addr) as usize) & mask;
+            while self.entries[slot].addr != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.entries[slot] = *e;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let mut t = FlitTable::new();
+        assert!(t.lookup(64).is_none());
+        t.note_tx_write(64, 3, 7);
+        let e = t.lookup(64).expect("entry");
+        assert_eq!(e.tx_gen, 3);
+        assert_eq!(e.tx_slot, 7);
+        assert_eq!(e.epoch_gen, NEVER, "epoch slot untouched");
+    }
+
+    #[test]
+    fn tx_and_epoch_slots_are_independent() {
+        let mut t = FlitTable::new();
+        t.note_epoch_write(128, 5, 2);
+        t.note_tx_write(128, 9, 0);
+        let e = t.lookup(128).expect("entry");
+        assert_eq!((e.tx_gen, e.tx_slot), (9, 0));
+        assert_eq!(
+            (e.epoch_gen, e.epoch_slot),
+            (5, 2),
+            "tx write must not clobber the epoch slot"
+        );
+        t.note_epoch_write(128, 6, 11);
+        let e = t.lookup(128).expect("entry");
+        assert_eq!((e.tx_gen, e.tx_slot), (9, 0), "and vice versa");
+        assert_eq!((e.epoch_gen, e.epoch_slot), (6, 11));
+    }
+
+    #[test]
+    fn updates_do_not_grow_the_table() {
+        let mut t = FlitTable::new();
+        for round in 1..=10 {
+            t.note_tx_write(8, round, round as usize);
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(8).expect("entry").tx_gen, 10);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut t = FlitTable::new();
+        for i in 0..500u64 {
+            t.note_tx_write(i * 8, 1, i as usize);
+            t.note_epoch_write(i * 8, 2, i as usize);
+        }
+        assert_eq!(t.len(), 500);
+        for i in 0..500u64 {
+            let e = t.lookup(i * 8).expect("entry survives rehash");
+            assert_eq!(e.tx_slot, i as usize);
+            assert_eq!(e.epoch_slot, i as usize);
+        }
+        assert!(t.lookup(500 * 8).is_none());
+    }
+
+    #[test]
+    fn stale_generations_are_callers_problem_but_distinguishable() {
+        // The table never deletes; callers compare generation tags.
+        let mut t = FlitTable::new();
+        t.note_tx_write(16, 1, 0);
+        let e = t.lookup(16).expect("entry");
+        assert_ne!(e.tx_gen, 2, "a new txid sees the tag mismatch");
+    }
+}

@@ -10,6 +10,7 @@ use wsp_obs as obs;
 use wsp_units::{ByteSize, Nanos};
 
 use crate::alloc::WordStore;
+use crate::flit::FlitTable;
 use crate::{
     FreeListAllocator, HeapConfig, HeapError, HeapStats, LogRecord, OverheadModel,
     PersistentMemory, RecordKind, Stm, TornLog,
@@ -157,21 +158,66 @@ impl CrashImage {
 /// one fenced [`RecordKind::EpochCommit`] marker covering the whole
 /// batch. A crash mid-epoch rolls the entire epoch back on recovery —
 /// durability granularity becomes the epoch, atomicity is preserved.
+/// One generation of the epoch's write-behind buffer: the unit that is
+/// staged, drained and crash-tested as a whole. The committer keeps two
+/// of these — the *open* batch absorbing commits and, under double
+/// buffering, one *in-flight* batch whose seal overlaps them.
+#[derive(Debug, Clone, Default)]
+struct SealBatch {
+    /// Committed write-sets not yet applied in place, in commit order
+    /// (later entries win on replay).
+    buffered: Vec<(u64, u64)>,
+    /// Lookup index over `buffered`: address → latest buffered value,
+    /// for read-your-epoch's-writes and the redo seal's final values.
+    index: FastMap<u64, u64>,
+    /// Transactions absorbed into this batch.
+    pending: u64,
+    /// Highest txid absorbed into this batch.
+    max_txid: u64,
+    /// Batch generation — the tag FliT entries carry; bumping it on
+    /// drain invalidates every entry pointing here in O(1).
+    gen: u64,
+    /// Simulated clock when the batch was staged behind a fresh open
+    /// buffer; the drain rebates seal time up to the foreground work
+    /// done since, modeling the overlapped flush.
+    handoff: Option<Nanos>,
+}
+
+impl SealBatch {
+    fn fresh(gen: u64) -> Self {
+        SealBatch {
+            gen,
+            ..SealBatch::default()
+        }
+    }
+
+    fn value(&self, addr: u64) -> Option<u64> {
+        if self.buffered.is_empty() {
+            None
+        } else {
+            self.index.get(&addr).copied()
+        }
+    }
+}
+
+/// Epoch group-commit state: the write-behind batching machinery behind
+/// [`PersistentHeap::set_epoch_size`]. Holds up to two batch
+/// generations — the open one absorbing commits and, once the epoch
+/// fills, a staged in-flight one whose seal is pipelined behind the
+/// next epoch's foreground commits (double buffering). Durability then
+/// lags one generation; the full-barrier [`PersistentHeap::seal_epoch`]
+/// drains both.
 #[derive(Debug, Clone, Default)]
 pub struct EpochCommitter {
     /// Transactions per durability epoch.
     size: u64,
-    /// Transactions (commits and aborts) absorbed into the open epoch.
-    pending: u64,
-    /// Highest txid absorbed into the open epoch.
-    max_txid: u64,
     /// Scratch walk for the seal's coalesced line flush (undo flavour).
     walk: LineWalk,
-    /// Write-behind buffer: committed write-sets not yet applied in
-    /// place, in commit order (later entries win on replay).
-    buffered: Vec<(u64, u64)>,
-    /// Lookup index over `buffered` for read-your-epoch's-writes.
-    buffered_index: FastMap<u64, u64>,
+    /// The batch absorbing commits right now.
+    open: SealBatch,
+    /// The previous batch, staged full but not yet durable: its seal is
+    /// pipelined behind the commits filling `open`.
+    in_flight: Option<SealBatch>,
     /// Epochs sealed so far.
     sealed: u64,
 }
@@ -180,6 +226,7 @@ impl EpochCommitter {
     fn with_size(size: u64) -> Self {
         EpochCommitter {
             size,
+            open: SealBatch::fresh(1),
             ..EpochCommitter::default()
         }
     }
@@ -190,10 +237,17 @@ impl EpochCommitter {
         self.size
     }
 
-    /// Transactions absorbed into the currently open epoch.
+    /// Transactions absorbed into the currently open batch.
     #[must_use]
     pub fn pending(&self) -> u64 {
-        self.pending
+        self.open.pending
+    }
+
+    /// Transactions staged in the in-flight batch — full, but with the
+    /// seal still overlapping foreground commits (not yet durable).
+    #[must_use]
+    pub fn staged(&self) -> u64 {
+        self.in_flight.as_ref().map_or(0, |b| b.pending)
     }
 
     /// Epochs sealed so far.
@@ -202,20 +256,35 @@ impl EpochCommitter {
         self.sealed
     }
 
-    /// True when nothing is buffered: sealing would be a no-op and log
-    /// truncation is safe.
+    /// True when nothing is buffered in either generation: sealing would
+    /// be a no-op and log truncation is safe.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.pending == 0 && self.walk.is_empty() && self.buffered.is_empty()
+        self.open.pending == 0
+            && self.open.buffered.is_empty()
+            && self.in_flight.is_none()
+            && self.walk.is_empty()
     }
 
-    /// The epoch buffer's value for `addr`, if a transaction in the open
-    /// epoch committed a write to it that is not yet applied in place.
+    /// The epoch buffers' value for `addr`, if a committed-but-unapplied
+    /// write to it exists in either generation. The open batch is newer,
+    /// so it wins.
     fn buffered_value(&self, addr: u64) -> Option<u64> {
-        if self.buffered.is_empty() {
-            None
+        self.open
+            .value(addr)
+            .or_else(|| self.in_flight.as_ref().and_then(|b| b.value(addr)))
+    }
+
+    /// The buffered value at `slot` of the live batch tagged `gen`, if
+    /// that generation is still live — the FliT read path's resolver.
+    fn gen_value(&self, gen: u64, slot: usize) -> Option<u64> {
+        if gen == self.open.gen {
+            self.open.buffered.get(slot).map(|&(_, v)| v)
         } else {
-            self.buffered_index.get(&addr).copied()
+            match &self.in_flight {
+                Some(b) if b.gen == gen => b.buffered.get(slot).map(|&(_, v)| v),
+                _ => None,
+            }
         }
     }
 }
@@ -241,6 +310,14 @@ pub struct PersistentHeap {
     /// Prepared-but-undecided global transactions (volatile: recovery
     /// re-derives them from the durable PREPARED markers).
     prepared: FastMap<u64, PreparedTxn>,
+    /// FliT-style per-word flush tracking: one probe answers both
+    /// read-your-own-writes and the epoch-buffer lookup, and a hit on
+    /// the write path elides the redundant record (see `flit.rs`).
+    flit: FlitTable,
+    /// `false` switches the epoch-mode barriers to the always-append
+    /// reference path — the elision-off mode differential crash tests
+    /// compare against.
+    flit_enabled: bool,
     stats: HeapStats,
 }
 
@@ -304,6 +381,8 @@ impl PersistentHeap {
             unflushed_lines: FastSet::default(),
             epoch: None,
             prepared: FastMap::default(),
+            flit: FlitTable::new(),
+            flit_enabled: true,
             stats: HeapStats::default(),
         }
     }
@@ -345,6 +424,32 @@ impl PersistentHeap {
         &mut self.stm
     }
 
+    /// Credits back simulated time for work that overlapped execution
+    /// elsewhere (see [`PersistentMemory::rebate`]). Multi-shard drivers
+    /// whose fleet clock sums per-shard time use this to model
+    /// participants working concurrently instead of serially.
+    pub fn rebate(&mut self, d: Nanos) {
+        self.mem.rebate(d);
+    }
+
+    /// Disables (or re-enables) the FliT per-word tracking table under
+    /// epoch mode. `false` is the always-append *reference mode*: every
+    /// write pushes its own record exactly as the pre-FliT barriers did,
+    /// which differential crash tests compare elision against. Seals any
+    /// open epoch first so both modes start from identical durable
+    /// state. On by default; irrelevant outside epoch mode.
+    pub fn set_flit_enabled(&mut self, on: bool) {
+        self.seal_epoch();
+        self.flit_enabled = on;
+    }
+
+    /// Whether FliT per-word flush tracking is active (see
+    /// [`PersistentHeap::set_flit_enabled`]).
+    #[must_use]
+    pub fn flit_enabled(&self) -> bool {
+        self.flit_enabled
+    }
+
     /// Enables epoch-based group commit with `size` transactions per
     /// durability epoch (sealing any open epoch first); `size <= 1`
     /// restores the per-transaction protocol.
@@ -371,32 +476,71 @@ impl PersistentHeap {
         self.epoch.as_ref()
     }
 
-    /// Seals the open durability epoch, if any: coalesces the write-behind
-    /// buffer to one log record per distinct address, makes the records
-    /// durable behind a single fence, writes one fenced
-    /// [`RecordKind::EpochCommit`] marker covering every absorbed
-    /// transaction, and applies the buffer in place. No-op when epoch mode
-    /// is off or nothing is pending.
+    /// Seals every live durability generation — the full barrier. Drains
+    /// the staged in-flight batch first (if double buffering left one
+    /// pipelined), then the open batch, each behind its own fenced
+    /// [`RecordKind::EpochCommit`] marker. Guarded no-op when epoch mode
+    /// is off or nothing is buffered: an empty seal writes no records,
+    /// no marker, and grows the log by nothing.
     pub fn seal_epoch(&mut self) {
-        let Some(mut epoch) = self.epoch.take() else {
-            return;
-        };
-        if epoch.is_clean() {
-            self.epoch = Some(epoch);
+        if self.epoch.is_none() {
             return;
         }
+        if let Some(staged) = self.epoch.as_mut().and_then(|e| e.in_flight.take()) {
+            self.drain_batch(staged);
+        }
+        let epoch = self.epoch.as_mut().expect("epoch mode active");
+        if epoch.open.buffered.is_empty() {
+            return;
+        }
+        let next_gen = epoch.open.gen + 1;
+        let batch = std::mem::replace(&mut epoch.open, SealBatch::fresh(next_gen));
+        self.drain_batch(batch);
+    }
+
+    /// Pipelines a full open batch: drains the previously staged batch
+    /// (charging only what its seal could not hide behind the commits
+    /// that ran since it was staged), then stages the open buffer as the
+    /// new in-flight generation. Durability now lags one generation — a
+    /// raw crash loses both the open and the staged batch, exactly the
+    /// window the extended `crash_mid_seal` sweep covers.
+    fn stage_open_batch(&mut self) {
+        if let Some(staged) = self.epoch.as_mut().and_then(|e| e.in_flight.take()) {
+            self.drain_batch(staged);
+        }
+        let now = self.mem.elapsed();
+        let epoch = self.epoch.as_mut().expect("epoch mode active");
+        let next_gen = epoch.open.gen + 1;
+        let mut batch = std::mem::replace(&mut epoch.open, SealBatch::fresh(next_gen));
+        batch.handoff = Some(now);
+        epoch.in_flight = Some(batch);
+    }
+
+    /// Makes one batch durable: coalesces it to one log record per
+    /// distinct address, makes the records durable behind a single
+    /// fence, writes one fenced [`RecordKind::EpochCommit`] marker
+    /// covering every absorbed transaction, and applies the write-behind
+    /// buffer. A staged batch additionally rebates the portion of its
+    /// seal that overlapped foreground commits since the handoff.
+    fn drain_batch(&mut self, batch: SealBatch) {
         let t0 = self.mem.elapsed();
+        let mut walk = {
+            let epoch = self.epoch.as_mut().expect("epoch mode active");
+            std::mem::take(&mut epoch.walk)
+        };
         // Coalesce: one record per distinct address, first-write order
-        // (deterministic). Duplicate writes within the epoch cost nothing
-        // durable — that is the amortization.
+        // (deterministic). Duplicate writes within the batch cost nothing
+        // durable — under FliT they were merged at absorb time, in
+        // reference mode they are merged here; either way the durable
+        // record set is identical.
         let mut seen: FastSet<u64> = FastSet::default();
-        let mut unique: Vec<u64> = Vec::with_capacity(epoch.buffered_index.len());
-        for &(addr, _) in &epoch.buffered {
+        let mut unique: Vec<u64> = Vec::with_capacity(batch.index.len());
+        for &(addr, _) in &batch.buffered {
             if seen.insert(addr) {
                 unique.push(addr);
             }
         }
-        let dupes = (epoch.buffered.len() - unique.len()) as u64;
+        let dupes = (batch.buffered.len() - unique.len()) as u64;
         self.stats.epoch_coalesced_lines += dupes;
         obs::count_by(obs::Ctr::EpochLinesCoalesced, dupes);
         // Room for the whole coalesced record set plus the marker. Prior
@@ -422,26 +566,28 @@ impl PersistentHeap {
             }
             for (&addr, &old) in unique.iter().zip(&olds) {
                 self.log
-                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, old), true);
+                    .append(&mut self.mem, &LogRecord::write(batch.max_txid, addr, old), true);
             }
             self.mem.sfence();
-            for &(addr, value) in &epoch.buffered {
+            for &(addr, value) in &batch.buffered {
                 self.mem.write_u64(addr, value);
             }
-            epoch.walk.clear();
-            epoch.walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
-            for &line in epoch.walk.coalesce() {
+            walk.clear();
+            walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
+            let lines = walk.coalesce();
+            obs::count_by(obs::Ctr::FlushIssued, lines.len() as u64);
+            for &line in lines {
                 self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
             }
             self.mem.sfence();
             self.log
-                .append(&mut self.mem, &LogRecord::epoch_commit(epoch.max_txid), true);
+                .append(&mut self.mem, &LogRecord::epoch_commit(batch.max_txid), true);
             self.mem.sfence();
-            epoch.walk.clear();
+            walk.clear();
         } else {
             // Redo flavour: log the FINAL values, fence, marker, fence —
             // only then apply the write-behind buffer (cached). NVRAM never
-            // holds a byte of the epoch until the marker commits it
+            // holds a byte of the batch until the marker commits it
             // wholesale; a crash mid-seal leaves the records uncovered and
             // recovery ignores them.
             // No per-record `redo_append` charge here: that models the
@@ -450,56 +596,97 @@ impl PersistentHeap {
             // cost the cache model already charges.
             self.stats.redo_records += unique.len() as u64;
             for &addr in &unique {
-                let value = epoch.buffered_index[&addr];
+                let value = batch.index[&addr];
                 self.log
-                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, value), true);
+                    .append(&mut self.mem, &LogRecord::write(batch.max_txid, addr, value), true);
             }
             self.mem.sfence();
             self.log
-                .append(&mut self.mem, &LogRecord::epoch_commit(epoch.max_txid), true);
+                .append(&mut self.mem, &LogRecord::epoch_commit(batch.max_txid), true);
             self.mem.sfence();
-            for &(addr, value) in &epoch.buffered {
+            for &(addr, value) in &batch.buffered {
                 self.mem.write_u64(addr, value);
                 self.unflushed_lines.insert(addr / LINE_SIZE);
             }
         }
-        epoch.buffered.clear();
-        epoch.buffered_index.clear();
         obs::count(obs::Ctr::EpochSeals);
-        obs::count_by(obs::Ctr::EpochTxs, epoch.pending);
-        obs::observe(obs::Hist::EpochSeal, self.mem.elapsed() - t0);
+        obs::count_by(obs::Ctr::EpochTxs, batch.pending);
+        let d = self.mem.elapsed() - t0;
+        obs::observe(obs::Hist::EpochSeal, d);
+        if let Some(handoff) = batch.handoff {
+            // The batch sat staged for `t0 - handoff` of foreground work;
+            // that much of the seal ran overlapped and is not charged to
+            // this shard's serial clock. What remains is the true stall.
+            let overlap = d.min(t0.saturating_sub(handoff));
+            self.mem.rebate(overlap);
+            obs::observe(obs::Hist::SealStall, d.saturating_sub(overlap));
+        }
         self.stats.epochs_sealed += 1;
+        let epoch = self.epoch.as_mut().expect("epoch mode active");
         epoch.sealed += 1;
-        epoch.pending = 0;
-        epoch.max_txid = 0;
-        self.epoch = Some(epoch);
+        epoch.walk = walk;
         if self.log.needs_truncation() {
-            // Undo flavour: the epoch's data lines were just flushed, so
+            // Undo flavour: the batch's data lines were just flushed, so
             // the records before the marker are dead.
             self.make_log_room();
         }
     }
 
-    /// Absorbs a committed transaction's write set into the open epoch's
-    /// write-behind buffer, sealing when the epoch is full or its
-    /// coalesced record set approaches log capacity (an epoch must fit in
+    /// Absorbs a committed transaction's write set into the open batch,
+    /// staging the batch behind a fresh one when the epoch fills (the
+    /// double-buffered pipeline) and fully sealing when the coalesced
+    /// record sets approach log capacity (every live batch must fit in
     /// the log in one piece).
     fn epoch_absorb(&mut self, txid: u64, write_set: &[(u64, u64)]) {
         // In-doubt prepared records are pinned in the log until the
-        // coordinator decides; the epoch's coalesced set must fit beside
+        // coordinator decides; the epochs' coalesced sets must fit beside
         // them.
         let pinned = self.prepared_log_words();
+        let flit_on = self.flit_enabled;
         let epoch = self.epoch.as_mut().expect("epoch mode active");
+        let gen = epoch.open.gen;
+        let mut elided = 0u64;
         for &(addr, value) in write_set {
-            epoch.buffered.push((addr, value));
-            epoch.buffered_index.insert(addr, value);
+            if flit_on {
+                // FliT: a live tag for the open generation means the word
+                // already has a buffered record — update it in place,
+                // eliding the duplicate (and the redundant log record,
+                // clflush and fence it would turn into at seal time).
+                match self.flit.lookup(addr).filter(|e| e.epoch_gen == gen) {
+                    Some(e) => {
+                        epoch.open.buffered[e.epoch_slot].1 = value;
+                        elided += 1;
+                    }
+                    None => {
+                        let slot = epoch.open.buffered.len();
+                        epoch.open.buffered.push((addr, value));
+                        self.flit.note_epoch_write(addr, gen, slot);
+                    }
+                }
+            } else {
+                epoch.open.buffered.push((addr, value));
+            }
+            epoch.open.index.insert(addr, value);
         }
-        epoch.pending += 1;
-        epoch.max_txid = epoch.max_txid.max(txid);
-        let pressure =
-            epoch.buffered_index.len() as u64 * 4 + 64 + pinned >= self.log.capacity_words();
-        if epoch.pending >= epoch.size || pressure {
+        if elided > 0 {
+            // The same merges the seal's coalesce pass would perform;
+            // counted here because the duplicate never even gets buffered.
+            self.stats.epoch_coalesced_lines += elided;
+            obs::count_by(obs::Ctr::EpochLinesCoalesced, elided);
+            obs::count_by(obs::Ctr::FlushSkipped, elided);
+        }
+        epoch.open.pending += 1;
+        epoch.open.max_txid = epoch.open.max_txid.max(txid);
+        let unique_records = epoch.open.index.len() as u64
+            + epoch.in_flight.as_ref().map_or(0, |b| b.index.len() as u64);
+        let pressure = unique_records * 4 + 64 + pinned >= self.log.capacity_words();
+        let full = epoch.open.pending >= epoch.size;
+        if pressure {
+            // Give up the overlap: both generations must fit in the log,
+            // so make everything durable now.
             self.seal_epoch();
+        } else if full {
+            self.stage_open_batch();
         }
     }
 
@@ -642,53 +829,105 @@ impl PersistentHeap {
         Self::recover_inner(image, OverheadModel::default(), true, None).map(|(heap, _)| heap)
     }
 
-    /// Durable steps an epoch seal would run right now, for mid-seal
-    /// fault injection: one per coalesced record append, one for the
-    /// post-append fence (plus, for the undo flavour, the in-place
-    /// applies it unlocks), and — undo flavour only — one per coalesced
-    /// data-line flush. Zero when epoch mode is off or nothing is
-    /// buffered.
+    /// Durable steps an epoch seal would run right now, across *both*
+    /// write-behind generations, for mid-seal fault injection. For each
+    /// live batch — staged in-flight first, then open — the steps are:
+    /// one per coalesced record append, one for the post-append fence
+    /// (plus, for the undo flavour, the in-place applies it unlocks),
+    /// and — undo flavour only — one per coalesced data-line flush.
+    /// When both generations are live, one extra step sits between them
+    /// for the staged batch's covering marker: crashing at or past it is
+    /// the first point where the staged epoch survives. Zero when epoch
+    /// mode is off or nothing is buffered.
     #[must_use]
     pub fn seal_steps(&self) -> u64 {
         let Some(epoch) = &self.epoch else {
             return 0;
         };
-        if epoch.buffered.is_empty() {
-            return 0;
+        let staged = epoch.in_flight.as_ref().map(|b| self.batch_steps(b));
+        let open = (!epoch.open.buffered.is_empty()).then(|| self.batch_steps(&epoch.open));
+        match (staged, open) {
+            (None, None) => 0,
+            (Some(s), None) => s,
+            (None, Some(o)) => o,
+            (Some(s), Some(o)) => s + 1 + o,
         }
-        let records = epoch.buffered_index.len() as u64;
+    }
+
+    /// Durable steps belonging to the staged (in-flight) batch alone —
+    /// the boundary in [`PersistentHeap::seal_steps`]'s numbering at or
+    /// below which a mid-seal crash loses that batch too. Zero when
+    /// nothing is staged.
+    #[must_use]
+    pub fn staged_seal_steps(&self) -> u64 {
+        self.epoch
+            .as_ref()
+            .and_then(|e| e.in_flight.as_ref())
+            .map_or(0, |b| self.batch_steps(b))
+    }
+
+    fn batch_steps(&self, batch: &SealBatch) -> u64 {
+        let records = batch.index.len() as u64;
         if self.config.uses_undo_log() {
             let mut walk = LineWalk::default();
-            walk.extend(epoch.buffered_index.keys().map(|&a| a / LINE_SIZE));
+            walk.extend(batch.index.keys().map(|&a| a / LINE_SIZE));
             records + 1 + walk.coalesce().len() as u64
         } else {
             records + 1
         }
     }
 
-    /// Simulates power failing `step` durable operations into sealing
-    /// the open epoch: the seal's durable prefix runs — coalesced
-    /// record appends, then (past the fence step) the post-append
-    /// `sfence` and, for the undo flavour, the in-place applies and a
-    /// prefix of the coalesced line flushes — but the covering
-    /// [`RecordKind::EpochCommit`] marker is never written, so recovery
-    /// must roll the half-sealed epoch back to the last complete one.
-    /// `step` past [`PersistentHeap::seal_steps`] behaves as the largest
-    /// crash point (everything durable except the marker). With epoch
-    /// mode off or nothing buffered this is a plain unsaved crash.
+    /// Simulates power failing `step` durable operations into the full
+    /// seal of both write-behind generations. With a staged batch live,
+    /// steps up to [`PersistentHeap::staged_seal_steps`] crash inside
+    /// *its* seal — neither generation's marker is durable and recovery
+    /// rolls back to the last fully drained epoch; one step later its
+    /// marker lands, and every further step crashes inside the open
+    /// batch's seal with the staged epoch already durable. Within a
+    /// batch the durable prefix runs exactly as before: coalesced record
+    /// appends, then (past the fence step) the post-append `sfence` and,
+    /// for the undo flavour, the in-place applies and a prefix of the
+    /// coalesced line flushes — but that batch's covering
+    /// [`RecordKind::EpochCommit`] marker is never written. `step` past
+    /// [`PersistentHeap::seal_steps`] behaves as the largest crash
+    /// point. With epoch mode off or nothing buffered this is a plain
+    /// unsaved crash.
     #[must_use]
     pub fn crash_mid_seal(mut self, step: u64) -> CrashImage {
-        let Some(mut epoch) = self.epoch.take() else {
-            return self.crash(false);
-        };
-        if epoch.buffered.is_empty() {
-            self.epoch = Some(epoch);
+        if self.epoch.is_none() {
             return self.crash(false);
         }
-        // Coalesce and make room exactly as the real seal does.
+        let staged = self.epoch.as_mut().and_then(|e| e.in_flight.take());
+        if let Some(batch) = staged {
+            let boundary = self.batch_steps(&batch);
+            if step <= boundary {
+                // Power dies inside the staged batch's seal: its marker
+                // never lands, and the open batch never even starts.
+                return self.crash_mid_batch(batch, step);
+            }
+            // The staged batch seals completely (step `boundary + 1` is
+            // its marker); power then dies inside the open batch's seal.
+            self.drain_batch(batch);
+            return self.crash_open_mid_seal(step - boundary - 1);
+        }
+        self.crash_open_mid_seal(step)
+    }
+
+    fn crash_open_mid_seal(mut self, step: u64) -> CrashImage {
+        let epoch = self.epoch.as_mut().expect("epoch mode active");
+        if epoch.open.buffered.is_empty() {
+            return self.crash(false);
+        }
+        let next_gen = epoch.open.gen + 1;
+        let batch = std::mem::replace(&mut epoch.open, SealBatch::fresh(next_gen));
+        self.crash_mid_batch(batch, step)
+    }
+
+    fn crash_mid_batch(mut self, batch: SealBatch, step: u64) -> CrashImage {
+        // Coalesce and make room exactly as the real drain does.
         let mut seen: FastSet<u64> = FastSet::default();
-        let mut unique: Vec<u64> = Vec::with_capacity(epoch.buffered_index.len());
-        for &(addr, _) in &epoch.buffered {
+        let mut unique: Vec<u64> = Vec::with_capacity(batch.index.len());
+        for &(addr, _) in &batch.buffered {
             if seen.insert(addr) {
                 unique.push(addr);
             }
@@ -706,34 +945,34 @@ impl PersistentHeap {
             }
             for (&addr, &old) in unique.iter().zip(&olds).take(appends) {
                 self.log
-                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, old), true);
+                    .append(&mut self.mem, &LogRecord::write(batch.max_txid, addr, old), true);
             }
             if step > records {
                 // Past the fence: every record is durable, the buffer is
                 // applied in place, and `step - records - 1` of the
                 // coalesced line flushes complete before power dies.
                 self.mem.sfence();
-                for &(addr, value) in &epoch.buffered {
+                for &(addr, value) in &batch.buffered {
                     self.mem.write_u64(addr, value);
                 }
-                epoch.walk.clear();
-                epoch.walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
+                let mut walk = LineWalk::default();
+                walk.extend(unique.iter().map(|&a| a / LINE_SIZE));
                 let flushes = (step - records - 1) as usize;
-                for &line in epoch.walk.coalesce().iter().take(flushes) {
+                for &line in walk.coalesce().iter().take(flushes) {
                     self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
                 }
             }
         } else {
             for &addr in unique.iter().take(appends) {
-                let value = epoch.buffered_index[&addr];
+                let value = batch.index[&addr];
                 self.log
-                    .append(&mut self.mem, &LogRecord::write(epoch.max_txid, addr, value), true);
+                    .append(&mut self.mem, &LogRecord::write(batch.max_txid, addr, value), true);
             }
             if step > records {
                 self.mem.sfence();
             }
         }
-        // Power dies before the marker append — always.
+        // Power dies before this batch's marker append — always.
         self.crash(false)
     }
 
@@ -819,7 +1058,9 @@ impl PersistentHeap {
                 self.mem.write_u64(addr, finals[&addr]);
                 walk.extend([addr / LINE_SIZE]);
             }
-            for &line in walk.coalesce() {
+            let lines = walk.coalesce();
+            obs::count_by(obs::Ctr::FlushIssued, lines.len() as u64);
+            for &line in lines {
                 self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
             }
             self.mem.sfence();
@@ -1251,6 +1492,8 @@ impl PersistentHeap {
                 unflushed_lines: FastSet::default(),
                 epoch: None,
                 prepared: FastMap::default(),
+                flit: FlitTable::new(),
+                flit_enabled: true,
                 stats: HeapStats::default(),
             },
             resolution,
@@ -1313,6 +1556,39 @@ impl Tx<'_> {
     fn read_addr(&mut self, addr: u64) -> Result<u64, HeapError> {
         self.heap.check_word_addr(addr)?;
         if self.heap.config.uses_stm() {
+            if self.heap.flit_enabled && self.heap.epoch.is_some() {
+                // FliT read barrier: one L1-resident probe answers both
+                // "did this transaction already write the word?" and "is
+                // it buffered in a live epoch generation?" — replacing
+                // the write-set scan and the separate epoch-buffer
+                // lookup.
+                self.heap.mem.charge(self.heap.overheads.flit_probe);
+                let hit = self.heap.flit.lookup(addr);
+                if let Some(e) = hit {
+                    if e.tx_gen == self.txid {
+                        return Ok(self.write_set[e.tx_slot].1);
+                    }
+                }
+                let stripe = self.heap.stm.stripe_of(addr);
+                let version = self.heap.stm.stripe_version(addr);
+                if version > self.rv {
+                    return Err(HeapError::Conflict);
+                }
+                if self.read_stripes.insert(stripe) {
+                    self.read_set.push((stripe, version));
+                }
+                if let Some(e) = hit {
+                    if let Some(v) = self
+                        .heap
+                        .epoch
+                        .as_ref()
+                        .and_then(|ep| ep.gen_value(e.epoch_gen, e.epoch_slot))
+                    {
+                        return Ok(v);
+                    }
+                }
+                return Ok(self.heap.mem.read_u64(addr));
+            }
             self.heap.mem.charge(
                 self.heap.overheads.stm_read
                     + self.heap.overheads.stm_ws_scan * self.write_set.len() as u64,
@@ -1340,7 +1616,25 @@ impl Tx<'_> {
         } else if self.heap.config.uses_undo_log() && self.heap.epoch.is_some() {
             // Undo-flavour epoch mode buffers writes instead of applying
             // them in place, so reads go through the buffers: this
-            // transaction's own writes first, then the open epoch's.
+            // transaction's own writes first, then the live epoch
+            // generations'.
+            if self.heap.flit_enabled {
+                self.heap.mem.charge(self.heap.overheads.flit_probe);
+                if let Some(e) = self.heap.flit.lookup(addr) {
+                    if e.tx_gen == self.txid {
+                        return Ok(self.write_set[e.tx_slot].1);
+                    }
+                    if let Some(v) = self
+                        .heap
+                        .epoch
+                        .as_ref()
+                        .and_then(|ep| ep.gen_value(e.epoch_gen, e.epoch_slot))
+                    {
+                        return Ok(v);
+                    }
+                }
+                return Ok(self.heap.mem.read_u64(addr));
+            }
             self.heap.mem.charge(
                 self.heap.overheads.epoch_lookup
                     + self.heap.overheads.stm_ws_scan * self.write_set.len() as u64,
@@ -1366,10 +1660,39 @@ impl Tx<'_> {
         self.write_addr(ptr.offset(), value)
     }
 
+    /// The FliT write barrier shared by both epoch-mode flavours: probe
+    /// the per-word table, update the pending write-set entry in place
+    /// on a hit (eliding the duplicate record and the flush it would
+    /// become), append and tag on a miss.
+    fn flit_buffered_write(&mut self, addr: u64, value: u64) {
+        match self
+            .heap
+            .flit
+            .lookup(addr)
+            .filter(|e| e.tx_gen == self.txid)
+        {
+            Some(e) => {
+                self.heap.mem.charge(self.heap.overheads.flit_hit);
+                self.write_set[e.tx_slot].1 = value;
+                obs::count(obs::Ctr::FlushSkipped);
+            }
+            None => {
+                self.heap.mem.charge(self.heap.overheads.flit_insert);
+                let slot = self.write_set.len();
+                self.write_set.push((addr, value));
+                self.heap.flit.note_tx_write(addr, self.txid, slot);
+            }
+        }
+    }
+
     fn write_addr(&mut self, addr: u64, value: u64) -> Result<(), HeapError> {
         self.heap.check_word_addr(addr)?;
         let config = self.heap.config;
         if config.uses_stm() {
+            if self.heap.flit_enabled && self.heap.epoch.is_some() {
+                self.flit_buffered_write(addr, value);
+                return Ok(());
+            }
             self.heap.mem.charge(self.heap.overheads.stm_write);
             self.write_set.push((addr, value));
             return Ok(());
@@ -1379,6 +1702,10 @@ impl Tx<'_> {
                 // Epoch group commit: buffer the write volatile — no undo
                 // record, no fence, no in-place store. The seal logs old
                 // values and applies the whole epoch at once.
+                if self.heap.flit_enabled {
+                    self.flit_buffered_write(addr, value);
+                    return Ok(());
+                }
                 self.heap
                     .mem
                     .charge(self.heap.overheads.undo_check + self.heap.overheads.epoch_buffer);
@@ -1752,6 +2079,7 @@ impl PersistentHeap {
     fn truncate_redo_log(&mut self) {
         if self.config.flush_on_commit() {
             let lines: Vec<u64> = self.unflushed_lines.drain().collect();
+            obs::count_by(obs::Ctr::FlushIssued, lines.len() as u64);
             for line in lines {
                 self.mem.clflush_range(line * LINE_SIZE, LINE_SIZE);
             }
@@ -2244,10 +2572,16 @@ mod tests {
                 tx.write_word(p, i + 1).unwrap();
                 tx.commit().unwrap();
             }
-            assert_eq!(h.stats().epochs_sealed, 2, "{config}");
+            // Double buffering: epoch 1 (txs 1–8) staged at tx 8 and
+            // drained when epoch 2 staged at tx 16; epoch 2 is still in
+            // flight, txs 17–20 fill the open batch.
+            assert_eq!(h.stats().epochs_sealed, 1, "{config}");
+            assert_eq!(h.epoch().unwrap().staged(), 8);
             assert_eq!(h.epoch().unwrap().pending(), 4);
+            // The full barrier drains both generations.
             h.seal_epoch();
             assert_eq!(h.stats().epochs_sealed, 3);
+            assert_eq!(h.epoch().unwrap().staged(), 0);
             assert_eq!(h.epoch().unwrap().pending(), 0);
         }
     }
@@ -2258,8 +2592,12 @@ mod tests {
             let mut h = heap(config);
             let p = put_one(&mut h, 0);
             h.set_epoch_size(4);
-            // 6 commits: txs 1–4 seal an epoch, 5–6 stay open.
-            for i in 1..=6u64 {
+            // 10 commits: epoch 1 (txs 1–4) is staged at tx 4 and made
+            // durable when epoch 2 stages at tx 8 — double buffering
+            // lags durability by one generation. Epoch 2 is still in
+            // flight and txs 9–10 sit in the open batch; the crash
+            // loses both.
+            for i in 1..=10u64 {
                 let mut tx = h.begin();
                 tx.write_word(p, i * 100).unwrap();
                 tx.commit().unwrap();
@@ -2404,13 +2742,16 @@ mod tests {
                 tx.write_word(p, i).unwrap();
                 tx.commit().unwrap();
             }
-            // ...then epoch mode on the same log.
+            // ...then epoch mode on the same log. The full barrier
+            // drains the staged generation double buffering would
+            // otherwise still be pipelining.
             h.set_epoch_size(2);
             for i in 4..=5u64 {
                 let mut tx = h.begin();
                 tx.write_word(p, i).unwrap();
                 tx.commit().unwrap();
             }
+            h.seal_epoch();
             let image = h.crash(false);
             let mut r = PersistentHeap::recover(image).unwrap();
             let root = r.root().unwrap();
@@ -2482,19 +2823,180 @@ mod tests {
         let mut h = heap(HeapConfig::FocUndo);
         let p = put_one(&mut h, 0);
         h.set_epoch_size(16);
-        // 16 transactions all dirtying the same line: the seal should
-        // flush it once and count the rest as coalesced.
+        // 16 transactions all dirtying the same word: FliT merges the
+        // duplicates at absorb time, so the seal flushes the line once
+        // and the rest count as coalesced.
         for i in 0..16u64 {
             let mut tx = h.begin();
             tx.write_word(p, i).unwrap();
             tx.commit().unwrap();
         }
+        h.seal_epoch();
         assert_eq!(h.stats().epochs_sealed, 1);
         assert!(
             h.stats().epoch_coalesced_lines > 0,
             "duplicates coalesced: {}",
             h.stats()
         );
+    }
+
+    #[test]
+    fn empty_seal_is_a_guarded_noop() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            h.set_epoch_size(8);
+            let free_before = h.log.free_words();
+            let sealed_before = h.stats().epochs_sealed;
+            // Nothing buffered: no records, no marker, no log growth.
+            h.seal_epoch();
+            h.seal_epoch();
+            assert_eq!(h.log.free_words(), free_before, "{config}: zero log growth");
+            assert_eq!(h.stats().epochs_sealed, sealed_before, "{config}");
+            // A real seal then an empty one: only the first moves the log.
+            let mut tx = h.begin();
+            tx.write_word(p, 42).unwrap();
+            tx.commit().unwrap();
+            h.seal_epoch();
+            let free_after_real = h.log.free_words();
+            assert!(free_after_real < free_before, "{config}: real seal appends");
+            h.seal_epoch();
+            assert_eq!(h.log.free_words(), free_after_real, "{config}");
+        }
+    }
+
+    #[test]
+    fn staged_epoch_values_stay_readable() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 1);
+            h.set_epoch_size(2);
+            // Txs 1–2 fill and stage generation 1 (not yet durable);
+            // tx 3 opens generation 2.
+            for v in [2u64, 3, 4] {
+                let mut tx = h.begin();
+                tx.write_word(p, v).unwrap();
+                tx.commit().unwrap();
+            }
+            assert_eq!(h.epoch().unwrap().staged(), 2, "{config}: gen 1 in flight");
+            let mut tx = h.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 4, "{config}: open batch read");
+            tx.commit().unwrap();
+            // The second stage drains gen 1 and puts gen 2 {4, 5} in
+            // flight; its values must still be readable through FliT's
+            // generation tags.
+            let mut tx = h.begin();
+            tx.write_word(p, 5).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(h.epoch().unwrap().staged(), 2, "{config}");
+            let mut tx = h.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 5, "{config}: staged batch read");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn seal_steps_span_both_generations() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let mut h = heap(config);
+            let p = put_one(&mut h, 0);
+            h.set_epoch_size(2);
+            // Distinct words so the staged and open batches both hold
+            // records of their own.
+            let mut tx = h.begin();
+            let q = tx.alloc(8).unwrap();
+            tx.write_word(q, 1).unwrap();
+            tx.commit().unwrap();
+            let mut tx = h.begin();
+            tx.write_word(p, 2).unwrap();
+            tx.commit().unwrap();
+            let staged_only = h.seal_steps();
+            assert!(staged_only > 0, "{config}");
+            assert_eq!(h.staged_seal_steps(), staged_only, "{config}: all staged");
+            let mut tx = h.begin();
+            tx.write_word(p, 3).unwrap();
+            tx.commit().unwrap();
+            let both = h.seal_steps();
+            assert!(
+                both > h.staged_seal_steps(),
+                "{config}: open batch adds steps past the staged boundary"
+            );
+            // Crashing past the staged boundary must preserve the staged
+            // epoch; at or below it, nothing.
+            let image = h.clone().crash_mid_seal(h.staged_seal_steps() + 1);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 2, "{config}: staged epoch durable");
+            tx.commit().unwrap();
+            let image = h.clone().crash_mid_seal(0);
+            let mut r = PersistentHeap::recover(image).unwrap();
+            let mut tx = r.begin();
+            assert_eq!(tx.read_word(p).unwrap(), 0, "{config}: staged epoch lost");
+            tx.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn flit_reference_mode_reaches_identical_durable_state() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let run = |flit: bool| {
+                let mut h = heap(config);
+                let p = put_one(&mut h, 0);
+                h.set_epoch_size(8);
+                h.set_flit_enabled(flit);
+                for i in 0..20u64 {
+                    let mut tx = h.begin();
+                    let c = tx.alloc(8).unwrap();
+                    tx.write_word(c, i).unwrap();
+                    // Duplicate writes inside the tx and across the epoch:
+                    // exactly what elision collapses.
+                    tx.write_word(p, i).unwrap();
+                    tx.write_word(p, i * 10).unwrap();
+                    tx.commit().unwrap();
+                }
+                h.seal_epoch();
+                h.crash(false)
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(
+                on.bytes(),
+                off.bytes(),
+                "{config}: elision must be invisible in the durable image"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_seal_charges_less_than_foreground_seal() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let run = |explicit_seals: bool| {
+                let mut h = heap(config);
+                let p = put_one(&mut h, 0);
+                h.set_epoch_size(4);
+                let t0 = h.elapsed();
+                for i in 0..16u64 {
+                    let mut tx = h.begin();
+                    let c = tx.alloc(8).unwrap();
+                    tx.write_word(c, i).unwrap();
+                    tx.write_word(p, i).unwrap();
+                    tx.commit().unwrap();
+                    if explicit_seals && (i + 1).is_multiple_of(4) {
+                        // Foreground barrier after every epoch: no overlap
+                        // to rebate.
+                        h.seal_epoch();
+                    }
+                }
+                h.seal_epoch();
+                h.elapsed() - t0
+            };
+            let pipelined = run(false);
+            let foreground = run(true);
+            assert!(
+                pipelined < foreground,
+                "{config}: pipelined {pipelined} must beat foreground {foreground}"
+            );
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod backend;
 mod config;
 mod error;
 mod fasthash;
+mod flit;
 mod heap;
 mod heap_stats;
 mod linetable;

@@ -111,6 +111,14 @@ impl PersistentMemory {
         self.elapsed += d;
     }
 
+    /// Credits back time that was charged serially but models work
+    /// overlapped with execution elsewhere — a pipelined epoch seal
+    /// draining behind foreground commits, or a 2PC participant
+    /// preparing concurrently with its siblings. Saturates at zero.
+    pub fn rebate(&mut self, d: Nanos) {
+        self.elapsed = self.elapsed.saturating_sub(d);
+    }
+
     /// The cache hierarchy (for statistics inspection).
     #[must_use]
     pub fn cache(&self) -> &CacheHierarchy {
@@ -591,6 +599,17 @@ mod tests {
         let t1 = m.elapsed();
         m.charge(Nanos::new(100));
         assert_eq!(m.elapsed(), t1 + Nanos::new(100));
+    }
+
+    #[test]
+    fn rebate_credits_back_and_saturates() {
+        let mut m = mem();
+        m.charge(Nanos::new(100));
+        let t = m.elapsed();
+        m.rebate(Nanos::new(40));
+        assert_eq!(m.elapsed(), t - Nanos::new(40));
+        m.rebate(Nanos::new(1_000_000_000));
+        assert_eq!(m.elapsed(), Nanos::ZERO, "rebate saturates at zero");
     }
 
     #[test]

@@ -99,8 +99,28 @@ impl HashBenchmark {
         seed: u64,
         epoch_size: u64,
     ) -> Result<BenchResult, HeapError> {
+        self.run_with_epoch_flit(config, update_probability, seed, epoch_size, true)
+    }
+
+    /// [`HashBenchmark::run_with_epoch`] with FliT per-word flush
+    /// tracking switched on or off, for measuring what write elision
+    /// buys on its own. `flit = false` runs the reference always-append
+    /// barriers; both modes reach identical durable states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures.
+    pub fn run_with_epoch_flit(
+        &self,
+        config: HeapConfig,
+        update_probability: f64,
+        seed: u64,
+        epoch_size: u64,
+        flit: bool,
+    ) -> Result<BenchResult, HeapError> {
         let mut heap = PersistentHeap::create(self.region, config);
         heap.set_epoch_size(epoch_size);
+        heap.set_flit_enabled(flit);
         let buckets = (self.prepopulate / 4).next_power_of_two().max(64);
         let table = PmHashTable::create(&mut heap, buckets)?;
 

@@ -57,6 +57,13 @@ cargo run --release --offline -p wsp-bench --features bench --bin bench_pr5 -- c
 echo "== cross-shard 2PC throughput gate =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr6 -- check BENCH_PR6.json
 
+echo "== FliT elision + seal-pipeline gate (epoch-32 STM floor 1.8x) =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr7 -- check BENCH_PR7.json
+
+echo "== extended mid-seal crash sweep: serial and sharded must agree =="
+WSP_DET_SEED=7 WSP_FAULTSIM_THREADS=1 cargo test -q --offline --test crash_consistency mid_epoch
+WSP_DET_SEED=7 WSP_FAULTSIM_THREADS=4 cargo test -q --offline --test crash_consistency mid_epoch
+
 echo "== sharded KV determinism spot-check (single worker) =="
 WSP_KV_SHARDS=1 cargo test -q --offline -p wsp-workloads shard::
 

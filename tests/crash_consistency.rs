@@ -358,6 +358,131 @@ fn mid_epoch_sweep_never_exposes_partial_epoch() {
     }
 }
 
+/// Differential property: FliT write elision is a pure performance
+/// optimisation. An elision-on heap and a reference (always-append)
+/// heap driven through the same epoch workload must produce
+/// bitwise-identical crash images at every crash point — after every
+/// committed transaction and at every durable step of a pipelined
+/// double-generation seal — and recover to identical states. Any
+/// divergence means elision changed what reaches NVRAM, not just how
+/// fast it got there.
+fn check_flit_elision_is_invisible(txs: &[Vec<(usize, u64)>], use_stm: bool) {
+    use wsp_repro::pheap::PmPtr;
+
+    const CELLS: usize = 4;
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+    let build = |flit: bool| -> (PersistentHeap, Vec<PmPtr>) {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut tx = heap.begin();
+        let base = tx.alloc(CELLS as u64 * 64).unwrap();
+        let mut cells = Vec::with_capacity(CELLS);
+        for i in 0..CELLS {
+            let p = base.byte_offset(i as u64 * 64);
+            tx.write_word(p, 100 + i as u64).unwrap();
+            cells.push(p);
+        }
+        tx.set_root(base).unwrap();
+        tx.commit().unwrap();
+        // Small epochs so the script stages several generations and
+        // ends with both a staged and an open batch in flight.
+        heap.set_epoch_size(3);
+        heap.set_flit_enabled(flit);
+        (heap, cells)
+    };
+    let (mut on, cells) = build(true);
+    let (mut off, _) = build(false);
+
+    let replay = |heap: &mut PersistentHeap, tx_ops: &[(usize, u64)]| {
+        let mut tx = heap.begin();
+        for &(cell, value) in tx_ops {
+            tx.write_word(cells[cell % CELLS], value).unwrap();
+        }
+        tx.commit().unwrap();
+    };
+
+    for (t, tx_ops) in txs.iter().enumerate() {
+        replay(&mut on, tx_ops);
+        replay(&mut off, tx_ops);
+        assert_eq!(
+            on.clone().crash(false).bytes(),
+            off.clone().crash(false).bytes(),
+            "{config}: crash image diverged after tx {t}"
+        );
+        assert_eq!(
+            (on.seal_steps(), on.staged_seal_steps()),
+            (off.seal_steps(), off.staged_seal_steps()),
+            "{config}: seal pipeline diverged after tx {t}"
+        );
+    }
+
+    // Every durable step of sealing the final state — spanning the
+    // staged batch, its marker, and the open batch when both are live.
+    let steps = on.seal_steps();
+    for step in 0..=steps {
+        let img_on = on.clone().crash_mid_seal(step);
+        let img_off = off.clone().crash_mid_seal(step);
+        assert_eq!(
+            img_on.bytes(),
+            img_off.bytes(),
+            "{config}: mid-seal image diverged at step {step}/{steps}"
+        );
+        let mut on_rec = PersistentHeap::recover(img_on).unwrap();
+        let mut off_rec = PersistentHeap::recover(img_off).unwrap();
+        let mut chk_on = on_rec.begin();
+        let mut chk_off = off_rec.begin();
+        for &p in &cells {
+            assert_eq!(
+                chk_on.read_word(p).unwrap(),
+                chk_off.read_word(p).unwrap(),
+                "{config}: recovered value diverged at step {step}/{steps}"
+            );
+        }
+        chk_on.commit().unwrap();
+        chk_off.commit().unwrap();
+    }
+}
+
+fn flit_txs() -> Gen<Vec<Vec<(usize, u64)>>> {
+    // Four cells and 1-4 writes per transaction make repeated writes to
+    // the same word (the elision case) the common schedule, not a rare
+    // one.
+    gen::vec_of(
+        gen::vec_of(
+            gen::pair(gen::in_range(0usize..4), gen::any::<u64>()),
+            1..5,
+        ),
+        1..13,
+    )
+}
+
+#[test]
+fn flit_elision_is_invisible_at_every_crash_point() {
+    Forall::new(gen::pair(flit_txs(), gen::any::<bool>()))
+        .cases(12)
+        .check(|(txs, use_stm)| {
+            check_flit_elision_is_invisible(txs, *use_stm);
+        });
+}
+
+/// Fixed-seed corpus for the elision property: pinned seeds keep
+/// re-checking schedules that exercised the staged/open boundary and
+/// heavy same-word rewrite bursts.
+#[test]
+fn flit_elision_fixed_seed_corpus() {
+    for seed in [7u64, 42, 0x00DE_C0DE] {
+        Forall::new(gen::pair(flit_txs(), gen::any::<bool>()))
+            .seed(seed)
+            .cases(6)
+            .check(|(txs, use_stm)| {
+                check_flit_elision_is_invisible(txs, *use_stm);
+            });
+    }
+}
+
 /// Fixed-seed regression corpus: seeds that exercised interesting
 /// schedules stay pinned so every future run re-checks them even after
 /// the default seed or generators change.
