@@ -1,0 +1,486 @@
+//! `bench_pr8` — shared power domain: global triage vs private budgets,
+//! and the storm-survival scorecard.
+//!
+//! Measures what PR 8 buys: how much more of a sharded fleet the domain
+//! supervisor's *global* residual-energy triage seals under contention
+//! than the same window split into private per-shard budgets, and
+//! whether the intermittent-computing storm (dozens of outages landing
+//! mid-recovery) survives with full decision/rung coverage. Emits
+//! machine-readable JSON; `BENCH_PR8.json` at the repository root
+//! records the numbers.
+//!
+//! ```text
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr8 -- run
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr8 -- run --quick
+//! cargo run --release -p wsp-bench --features bench --bin bench_pr8 -- check BENCH_PR8.json
+//! ```
+//!
+//! * `run` drives a contended three-shard save through the domain
+//!   supervisor and through an equal split of the same window, scores
+//!   both (complete = 2, partial = 1, sacrificed = 0), then runs the
+//!   power-storm sweep for both flush-on-commit configurations and
+//!   records the survival scorecard.
+//! * `check` re-measures the quick-mode gate quantities and fails
+//!   (exit 1) on regression beyond tolerance, if the triage advantage
+//!   drops below 1.0 (the global window must never seal less than
+//!   private budgets), or if a storm stops surviving with full
+//!   coverage.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wsp_core::{
+    clean_failure_trace, domain_decision_points, domain_save, supervised_save, sweep_power_storm,
+    DomainBudget, DomainInput, PowerStormReport, SaveBudget, SaveVerdict, ShardVerdict,
+};
+use wsp_machine::{Machine, SystemLoad};
+use wsp_microbench::json::Json;
+use wsp_pheap::{HeapConfig, PersistentHeap};
+use wsp_power::{PowerDomain, Psu, Ultracapacitor};
+use wsp_units::{ByteSize, Farads, Nanos, Volts};
+
+/// Regression tolerance for `check`: the measured quantities are
+/// deterministic, so the margin only absorbs intentional model drift.
+const GATE_TOLERANCE: f64 = 0.10;
+
+/// Hard floor for the triage advantage: a *global* window must never
+/// seal less of the fleet than the same joules split into private
+/// per-shard budgets.
+const TRIAGE_ADVANTAGE_FLOOR: f64 = 1.0;
+
+/// Shards in the contended-save fleet.
+const SHARDS: usize = 3;
+
+fn verdict_score(complete: usize, partial: usize) -> u64 {
+    (2 * complete + partial) as u64
+}
+
+/// An uneven fleet: shard 0 carries a deep committed history (a large
+/// priority stage), shards 1–2 are light. Exactly the case where a
+/// global window beats private slices — the light shards' surplus can
+/// pay for the heavy shard's priority stage.
+fn contended_fleet(config: HeapConfig) -> Vec<PersistentHeap> {
+    let mut heaps = Vec::with_capacity(SHARDS);
+    for shard in 0..SHARDS {
+        let mut heap = PersistentHeap::create(ByteSize::kib(512), config);
+        let txns = if shard == 0 { 160 } else { 4 };
+        for t in 0..txns {
+            let mut tx = heap.begin();
+            let p = tx.alloc(64).expect("fleet seed allocation");
+            tx.write_word(p, (shard as u64) << 32 | t).expect("seed write");
+            if t == 0 {
+                tx.set_root(p).expect("root");
+            }
+            tx.commit().expect("seed commit");
+        }
+        heaps.push(heap);
+    }
+    heaps
+}
+
+fn loaded_machine() -> Machine {
+    let mut machine = Machine::intel_testbed();
+    machine.apply_load(SystemLoad::Busy, 42);
+    machine
+}
+
+/// The shared window the comparison runs under: one fixed detection
+/// cost plus the heaviest shard's priority stage plus one light full
+/// save — enough for the triage to seal most of the fleet, far too
+/// little for three private slices to each re-pay detection.
+fn contention_window(machine: &Machine, heaps: &[PersistentHeap]) -> Nanos {
+    let per_shard: Vec<Nanos> = heaps
+        .iter()
+        .map(|h| wsp_core::priority_stage_window(machine, h))
+        .collect();
+    let heaviest = per_shard.iter().copied().max().unwrap_or(Nanos::ZERO);
+    let lightest = per_shard.iter().copied().min().unwrap_or(Nanos::ZERO);
+    let share = machine.flush_analysis().flush_time(
+        wsp_cache::FlushMethod::Wbinvd,
+        machine.dirty_estimate(SystemLoad::Busy) / SHARDS as u64,
+    );
+    heaviest + lightest + share
+}
+
+struct TriageOutcome {
+    complete: usize,
+    partial: usize,
+    sacrificed: usize,
+    window: Nanos,
+    used: Nanos,
+}
+
+/// The contended save through the domain supervisor: one global window,
+/// urgency-ranked staged budgets.
+fn run_global_triage(config: HeapConfig) -> TriageOutcome {
+    let mut machine = loaded_machine();
+    let mut heaps = contended_fleet(config);
+    let window = contention_window(&machine, &heaps);
+    let mut domain = PowerDomain::new(
+        Psu::atx_750w(),
+        Ultracapacitor::new(Farads::new(2.0), Volts::new(12.0), Volts::new(6.0)),
+        machine.power_draw(SystemLoad::Busy),
+        SHARDS,
+    );
+    let staleness = vec![Nanos::ZERO; SHARDS];
+    let report = domain_save(DomainInput {
+        machine: &mut machine,
+        domain: &mut domain,
+        heaps: &mut heaps,
+        staleness: &staleness,
+        load: SystemLoad::Busy,
+        trace: &clean_failure_trace(),
+        budget: DomainBudget {
+            window_cap: Some(window),
+            ..DomainBudget::trusting()
+        },
+    })
+    .expect("domain save yields a verdict");
+    TriageOutcome {
+        complete: report.count(ShardVerdict::Complete),
+        partial: report.count(ShardVerdict::PartialPriority),
+        sacrificed: report.count(ShardVerdict::Sacrificed),
+        window: report.window,
+        used: report.used,
+    }
+}
+
+/// The same fleet and the same total window, but split into three
+/// private slices — every slice re-pays its own detection and context
+/// costs, and no shard can borrow a neighbour's surplus.
+fn run_private_split(config: HeapConfig) -> TriageOutcome {
+    let heaps = contended_fleet(config);
+    let window = contention_window(&loaded_machine(), &heaps);
+    let slice = window / SHARDS as u64;
+    let (mut complete, mut partial, mut sacrificed) = (0, 0, 0);
+    let mut used = Nanos::ZERO;
+    for mut heap in heaps {
+        let mut machine = loaded_machine();
+        let report = supervised_save(
+            &mut machine,
+            &mut heap,
+            SystemLoad::Busy,
+            &clean_failure_trace(),
+            SaveBudget {
+                window_cap: Some(slice),
+                ..SaveBudget::trusting()
+            },
+        )
+        .expect("supervised save yields a verdict");
+        match report.verdict {
+            SaveVerdict::Complete => complete += 1,
+            SaveVerdict::PartialPriority => partial += 1,
+            _ => sacrificed += 1,
+        }
+        used = used.saturating_add(report.used);
+    }
+    TriageOutcome {
+        complete,
+        partial,
+        sacrificed,
+        window,
+        used,
+    }
+}
+
+/// The deterministic triage-advantage pair `check` gates on.
+fn gate_triage_advantage(config: HeapConfig) -> (u64, u64, f64) {
+    let triaged = run_global_triage(config);
+    let split = run_private_split(config);
+    let t = verdict_score(triaged.complete, triaged.partial);
+    let s = verdict_score(split.complete, split.partial);
+    (t, s, t as f64 / (s as f64).max(1.0))
+}
+
+fn outcome_json(o: &TriageOutcome) -> Json {
+    Json::object([
+        ("complete", Json::from(o.complete as u64)),
+        ("partial", Json::from(o.partial as u64)),
+        ("sacrificed", Json::from(o.sacrificed as u64)),
+        ("score", Json::from(verdict_score(o.complete, o.partial))),
+        ("window_ns", Json::from(o.window.as_nanos())),
+        ("used_ns", Json::from(o.used.as_nanos())),
+    ])
+}
+
+fn measure_triage() -> Json {
+    let mut per_config = Vec::new();
+    for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+        let triaged = run_global_triage(config);
+        let split = run_private_split(config);
+        let t = verdict_score(triaged.complete, triaged.partial);
+        let s = verdict_score(split.complete, split.partial);
+        eprintln!(
+            "  triage {:<9} global {}C/{}P/{}S (score {t}), private split \
+             {}C/{}P/{}S (score {s}), advantage {:.2}x",
+            config.label(),
+            triaged.complete,
+            triaged.partial,
+            triaged.sacrificed,
+            split.complete,
+            split.partial,
+            split.sacrificed,
+            t as f64 / (s as f64).max(1.0),
+        );
+        per_config.push((
+            config.label().to_owned(),
+            Json::object([
+                ("global_triage", outcome_json(&triaged)),
+                ("private_split", outcome_json(&split)),
+                ("advantage", Json::from(t as f64 / (s as f64).max(1.0))),
+            ]),
+        ));
+    }
+    Json::object([
+        ("shards", Json::from(SHARDS as u64)),
+        ("scoring", Json::from("complete=2 partial=1 sacrificed=0")),
+        ("by_config", Json::Obj(per_config)),
+    ])
+}
+
+/// The sealed-shard fraction of one storm sweep — the quantity `check`
+/// gates survival quality on.
+fn sealed_fraction(report: &PowerStormReport) -> f64 {
+    let (mut sealed, mut total) = (0usize, 0usize);
+    for point in &report.points {
+        sealed += point.stats.complete + point.stats.partial;
+        total += point.stats.complete + point.stats.partial + point.stats.sacrificed;
+    }
+    sealed as f64 / (total as f64).max(1.0)
+}
+
+fn storm_json(config: HeapConfig, seeds: &[u64], host_secs: f64, sweeps: &[PowerStormReport]) -> Json {
+    let mut outages = 0usize;
+    let mut committed = 0usize;
+    let mut aborts = 0usize;
+    let mut sacrificed = 0usize;
+    let mut rebuilt = 0usize;
+    let mut rerouted = 0u64;
+    let mut coord = 0usize;
+    let mut reclimbs = 0usize;
+    let mut covered = true;
+    for sweep in sweeps {
+        outages += sweep.outages;
+        rebuilt += sweep.rebuilt;
+        rerouted += sweep.rerouted_writes;
+        covered &= sweep.decision_cuts_covered == domain_decision_points(3)
+            && sweep.crash_rungs_covered == 3;
+        for p in &sweep.points {
+            committed += p.stats.committed_txns;
+            aborts += p.stats.presumed_aborts;
+            sacrificed += p.stats.sacrificed;
+            coord += p.stats.coordinator_shard_sacrifices;
+            reclimbs += p.stats.reclimbs_verified;
+        }
+    }
+    let fraction =
+        sweeps.iter().map(sealed_fraction).sum::<f64>() / (sweeps.len() as f64).max(1.0);
+    eprintln!(
+        "  storm  {:<9} {} outages across {} sweeps: {:.1}% shard-epochs sealed, \
+         {sacrificed} sacrificed / {rebuilt} rebuilt, {rerouted} words rerouted, \
+         {coord} coordinator-shard losses, {reclimbs} re-climbs verified \
+         ({host_secs:.2}s host)",
+        config.label(),
+        outages,
+        sweeps.len(),
+        fraction * 100.0,
+    );
+    Json::object([
+        ("seeds", Json::Arr(seeds.iter().map(|&s| Json::from(s)).collect())),
+        ("outages", Json::from(outages as u64)),
+        ("committed_txns", Json::from(committed as u64)),
+        ("presumed_aborts", Json::from(aborts as u64)),
+        ("sealed_fraction", Json::from(fraction)),
+        ("sacrificed", Json::from(sacrificed as u64)),
+        ("rebuilt", Json::from(rebuilt as u64)),
+        ("rerouted_writes", Json::from(rerouted)),
+        ("coordinator_shard_sacrifices", Json::from(coord as u64)),
+        ("reclimbs_verified", Json::from(reclimbs as u64)),
+        ("full_coverage", Json::from(covered)),
+        ("host_secs", Json::from(host_secs)),
+    ])
+}
+
+fn measure_storm(quick: bool) -> Json {
+    let seeds: &[u64] = if quick { &[42] } else { &[42, 7, 4242] };
+    let mut per_config = Vec::new();
+    for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+        let start = Instant::now();
+        let sweeps: Vec<PowerStormReport> = seeds
+            .iter()
+            .map(|&seed| sweep_power_storm(config, seed))
+            .collect();
+        let host = start.elapsed().as_secs_f64();
+        per_config.push((
+            config.label().to_owned(),
+            storm_json(config, seeds, host, &sweeps),
+        ));
+    }
+    Json::object([("by_config", Json::Obj(per_config))])
+}
+
+/// The quick-mode storm gate pair: sealed fraction and full coverage.
+fn gate_storm(config: HeapConfig) -> (f64, bool) {
+    let sweep = sweep_power_storm(config, 42);
+    let covered = sweep.decision_cuts_covered == domain_decision_points(3)
+        && sweep.crash_rungs_covered == 3
+        && sweep.rebuilt > 0;
+    (sealed_fraction(&sweep), covered)
+}
+
+fn run_suite(quick: bool) -> Json {
+    eprintln!(
+        "bench_pr8: running {} suite",
+        if quick { "quick" } else { "full" }
+    );
+    let triage = measure_triage();
+    let storm = measure_storm(quick);
+
+    eprintln!("bench_pr8: measuring quick-mode gate quantities");
+    let mut gate_configs = Vec::new();
+    for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+        let (t, s, advantage) = gate_triage_advantage(config);
+        let (fraction, covered) = gate_storm(config);
+        gate_configs.push((
+            config.label().to_owned(),
+            Json::object([
+                ("triage_score", Json::from(t)),
+                ("split_score", Json::from(s)),
+                ("triage_advantage", Json::from(advantage)),
+                ("storm_sealed_fraction", Json::from(fraction)),
+                ("storm_full_coverage", Json::from(covered)),
+            ]),
+        ));
+    }
+    let gate = Json::Obj(gate_configs);
+
+    Json::object([
+        ("schema", Json::from("wsp-bench-pr8/v1")),
+        ("mode", Json::from(if quick { "quick" } else { "full" })),
+        ("triage_vs_private_budgets", triage),
+        ("power_storm", storm),
+        ("gate", gate),
+        (
+            "notes",
+            Json::Arr(vec![
+                Json::from(
+                    "The triage comparison runs one uneven fleet (one shard with a deep \
+                     committed history, two light ones) under the same total residual \
+                     window twice: once through the domain supervisor's global triage, \
+                     once as three private per-shard slices. Private slices each re-pay \
+                     detection + context costs and strand the light shards' surplus; the \
+                     global window pays detection once and moves the surplus to where the \
+                     urgency ranking says it buys the most durable state.",
+                ),
+                Json::from(
+                    "The storm scorecard aggregates sweep_power_storm: 6 storms per seed \
+                     (3 rung phases x 2 triage biases) of 27 outages each, every outage \
+                     cutting a triage decision and landing mid-recovery of the previous \
+                     one. sealed_fraction counts shard-epochs that ended Complete or \
+                     PartialPriority; the remainder were typed sacrifices, every one \
+                     rebuilt from a checkpoint plus the coordinator's routing log — the \
+                     in-sweep asserts already proved no committed transaction was lost.",
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The `check` subcommand: quick-mode triage advantage and storm
+/// quality vs the recorded gate, plus the hard floors.
+fn check_against(baseline_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_pr8: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_pr8: {baseline_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(gate) = doc.get("gate") else {
+        eprintln!("bench_pr8: {baseline_path} has no gate section");
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+        let label = config.label();
+        let Some(recorded) = gate.get(label) else {
+            eprintln!("bench_pr8: gate has no `{label}` section");
+            failed = true;
+            continue;
+        };
+        let recorded_adv = recorded
+            .get("triage_advantage")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let (_, _, advantage) = gate_triage_advantage(config);
+        let floor = (recorded_adv * (1.0 - GATE_TOLERANCE)).max(TRIAGE_ADVANTAGE_FLOOR);
+        let verdict = if advantage >= floor { "ok" } else { "REGRESSED" };
+        eprintln!(
+            "  gate triage {label:<9} current {advantage:.3}x, recorded {recorded_adv:.3}x, \
+             floor {floor:.3}x  [{verdict}]"
+        );
+        if advantage < floor {
+            failed = true;
+        }
+
+        let recorded_fraction = recorded
+            .get("storm_sealed_fraction")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let (fraction, covered) = gate_storm(config);
+        let floor = recorded_fraction * (1.0 - GATE_TOLERANCE);
+        let verdict = if fraction >= floor && covered {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        eprintln!(
+            "  gate storm  {label:<9} sealed {:.1}% (recorded {:.1}%, floor {:.1}%), \
+             coverage {covered}  [{verdict}]",
+            fraction * 100.0,
+            recorded_fraction * 100.0,
+            floor * 100.0,
+        );
+        if fraction < floor || !covered {
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("bench_pr8: shared-domain triage/storm gate regressed against {baseline_path}");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_pr8: shared-domain triage + storm-survival gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let quick = args.iter().any(|a| a == "--quick");
+            print!("{}", run_suite(quick).to_string_pretty());
+            ExitCode::SUCCESS
+        }
+        Some("check") => match args.get(1) {
+            Some(path) => check_against(path),
+            None => {
+                eprintln!("usage: bench_pr8 check <BENCH_PR8.json>");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_pr8 run [--quick] | bench_pr8 check <baseline.json>");
+            ExitCode::FAILURE
+        }
+    }
+}

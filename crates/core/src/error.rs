@@ -6,6 +6,7 @@ use std::fmt;
 use wsp_nvram::NvramError;
 use wsp_pheap::HeapError;
 use wsp_power::MonitorError;
+use wsp_units::Nanos;
 
 /// Errors from the save/restore protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +36,17 @@ pub enum WspError {
     Heap(HeapError),
     /// The power monitor rejected its `PWR_OK` trace.
     Monitor(MonitorError),
+    /// The residual-energy window ran out before a save step could run
+    /// (or retry): the supervisor refuses the step instead of spinning
+    /// the simulated clock past the power it does not have. Under a
+    /// shared power domain this is also the triage verdict for a
+    /// sacrificed shard — the global window could not cover it.
+    WindowExhausted {
+        /// Window time the refused step still needed.
+        needed: Nanos,
+        /// Window time that remained when it was refused.
+        window: Nanos,
+    },
 }
 
 impl WspError {
@@ -49,6 +61,7 @@ impl WspError {
             WspError::TornImage { .. } => "torn-image",
             WspError::Heap(_) => "heap",
             WspError::Monitor(_) => "monitor",
+            WspError::WindowExhausted { .. } => "window-exhausted",
         }
     }
 }
@@ -66,6 +79,10 @@ impl fmt::Display for WspError {
             WspError::TornImage { detail } => write!(f, "torn save image: {detail}"),
             WspError::Heap(e) => write!(f, "persistent heap error: {e}"),
             WspError::Monitor(e) => write!(f, "power monitor error: {e}"),
+            WspError::WindowExhausted { needed, window } => write!(
+                f,
+                "residual window exhausted: {needed} still needed, {window} left"
+            ),
         }
     }
 }
@@ -78,7 +95,8 @@ impl Error for WspError {
             WspError::Monitor(e) => Some(e),
             WspError::BackendRecoveryRequired { .. }
             | WspError::PartialImage
-            | WspError::TornImage { .. } => None,
+            | WspError::TornImage { .. }
+            | WspError::WindowExhausted { .. } => None,
         }
     }
 }
@@ -114,6 +132,10 @@ mod tests {
             WspError::TornImage { detail: String::new() },
             WspError::Heap(HeapError::CorruptHeader),
             WspError::Monitor(MonitorError::NonMonotonicTrace { index: 0 }),
+            WspError::WindowExhausted {
+                needed: Nanos::ZERO,
+                window: Nanos::ZERO,
+            },
         ];
         let kinds: Vec<_> = variants.iter().map(WspError::kind).collect();
         for (i, k) in kinds.iter().enumerate() {

@@ -82,7 +82,7 @@ pub fn faultsim_threads() -> usize {
 /// Distributes `items` round-robin over `threads` scoped workers, runs
 /// `work` on each, and returns the results in the original item order.
 /// Worker panics (invariant violations) propagate to the caller.
-fn run_sharded<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
+pub(crate) fn run_sharded<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -158,7 +158,7 @@ pub struct SaveSweepReport {
 /// and metrics snapshot. Each point is recorded wholly on the worker
 /// that ran it, so merging in point order makes the result independent
 /// of the thread count.
-fn merge_point_captures(captures: impl IntoIterator<Item = Capture>) -> Capture {
+pub(crate) fn merge_point_captures(captures: impl IntoIterator<Item = Capture>) -> Capture {
     let mut merged = Capture::default();
     for cap in captures {
         merged.absorb(cap);
@@ -1596,11 +1596,13 @@ fn run_ladder_point(
         let mut probe = heap.clone();
         probe.priority_flush()
     };
-    let partial_window = detection
-        + machine.profile().context_save
-        + stage_a_probe
-        + machine.monitor().i2c_command_latency
-        + Nanos::from_micros(60);
+    // Historically this budget was derived inline from this machine's
+    // own monitor latencies — a single-shard assumption (each node
+    // budgeted as if it owned the whole window). Under the shared power
+    // domain the same quantity is the *per-shard* priority-stage cost
+    // the triage carves from the global window, so the supervisor now
+    // owns the formula.
+    let partial_window = crate::supervisor::priority_stage_window(&machine, &heap);
     let budget = match fault {
         LadderFault::WindowShortfall { fatal: false }
         | LadderFault::CrashDuringRestore {

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod domain;
 mod error;
 pub mod faultsim;
 mod feasibility;
@@ -55,12 +56,17 @@ mod process;
 mod restart;
 mod restore;
 mod save;
+mod storm;
 mod supervisor;
 mod system;
 mod tradeoff;
 mod txn;
 mod vm;
 
+pub use domain::{
+    domain_decision_points, domain_save, DomainBudget, DomainInput, DomainSaveReport,
+    DomainVerdict, ShardSaveReport, ShardTriage, ShardVerdict, DOMAIN_CONTROL_MODULES,
+};
 pub use error::WspError;
 pub use faultsim::{
     faultsim_threads, ladder_crash_points, save_path_crash_points, sweep_cross_shard_2pc,
@@ -78,15 +84,19 @@ pub use process::{ProcessPersistence, ProcessSaveReport};
 pub use restart::RestartStrategy;
 pub use restore::{restore, RestoreReport, RestoreStep};
 pub use save::{flush_on_fail_save, flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep};
+pub use storm::{
+    run_power_storm, sweep_power_storm, sweep_power_storm_threads, PowerStormReport, StormPoint,
+    StormPointOutcome, StormSpec, StormStats,
+};
 pub use supervisor::{
-    clean_failure_trace, glitch_storm_trace, supervised_save, SaveBudget, SaveVerdict,
-    StagedSaveReport,
+    clean_failure_trace, glitch_storm_trace, priority_stage_window, supervised_save,
+    SaveBudget, SaveVerdict, StagedSaveReport, PARTIAL_STAGE_SLACK,
 };
 pub use system::{OutageReport, WspSystem};
 pub use tradeoff::{CapacitanceTradeoff, TradeoffPoint};
 pub use txn::{
-    recover_decisions, resolve_cross_shard, ClusterTxnRecovery, CrossShardTxn, ShardRecovery,
-    TxnCoordinator, TxnOutcome,
+    reapply_routed, recover_decisions, recover_routing, resolve_cross_shard, ClusterTxnRecovery,
+    CrossShardTxn, RoutedWrite, ShardRecovery, TxnCoordinator, TxnOutcome,
 };
 pub use vm::{VirtualizedHost, VmInstance, VmRestoreMilestone, VmRestoreSchedule};
 

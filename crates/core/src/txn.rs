@@ -32,8 +32,8 @@ use std::collections::HashSet;
 use wsp_cluster::ClusterSpec;
 use wsp_obs as obs;
 use wsp_pheap::{
-    CrashImage, HeapError, LogRecord, PersistentHeap, PersistentMemory, RecordKind, TornLog,
-    TxnResolution, GTXID_BASE,
+    CrashImage, HeapError, LogRecord, PersistentHeap, PersistentMemory, PmPtr, RecordKind,
+    TornLog, TxnResolution, GTXID_BASE,
 };
 use wsp_units::{ByteSize, Nanos};
 
@@ -46,6 +46,19 @@ const DECISION_TAIL_ADDR: u64 = 8;
 const DECISION_LOG_BASE: u64 = 4096;
 const DECISION_LOG_CAP: ByteSize = ByteSize::kib(8);
 const DECISION_REGION: ByteSize = ByteSize::kib(64);
+
+/// Optional write-routing log (same region, after the decision log):
+/// records every committed transaction's write set so a shard whose
+/// NVRAM image was sacrificed can be rebuilt from an old back-end
+/// checkpoint *plus* a replay of the cross-shard writes it voted for.
+const ROUTING_TAIL_ADDR: u64 = 16;
+const ROUTING_LOG_BASE: u64 = 16_384;
+const ROUTING_LOG_CAP: ByteSize = ByteSize::kib(32);
+
+/// Shard index is packed into the high bits of a routed record's
+/// address word (heap offsets are far below 2^48).
+const ROUTE_SHARD_SHIFT: u32 = 48;
+const ROUTE_ADDR_MASK: u64 = (1 << ROUTE_SHARD_SHIFT) - 1;
 
 /// A cross-shard transaction buffering writes per participant shard
 /// until [`TxnCoordinator::commit`] runs the two-phase seal.
@@ -148,6 +161,10 @@ pub struct TxnCoordinator {
     /// must not truncate; once the set drains every logged decision is
     /// dead weight and the log can recycle.
     unsettled: HashSet<u64>,
+    /// The write-routing log, when this coordinator was opened with
+    /// [`TxnCoordinator::with_routing`]. `None` keeps the classic
+    /// coordinator bit-for-bit unchanged.
+    routing: Option<TornLog>,
 }
 
 impl Default for TxnCoordinator {
@@ -168,7 +185,51 @@ impl TxnCoordinator {
             log,
             next: 0,
             unsettled: HashSet::new(),
+            routing: None,
         }
+    }
+
+    /// A fresh coordinator that additionally routes every committed
+    /// transaction's write set into a second durable log. Routing costs
+    /// one fenced append per write at decision time and buys the storm
+    /// path its strongest guarantee: a shard sacrificed by the power
+    /// domain's triage can be rebuilt from a *stale* back-end checkpoint
+    /// and still end up holding every committed cross-shard write.
+    #[must_use]
+    pub fn with_routing() -> Self {
+        let mut coordinator = Self::new();
+        let routing = TornLog::new(ROUTING_LOG_BASE, ROUTING_LOG_CAP, ROUTING_TAIL_ADDR);
+        routing.initialize(&mut coordinator.mem);
+        coordinator.routing = Some(routing);
+        coordinator
+    }
+
+    /// [`TxnCoordinator::recover`], for a coordinator that was opened
+    /// with [`TxnCoordinator::with_routing`]: the routed write history
+    /// is carried across the restart along with the decisions, so a
+    /// shard sacrificed *before* the coordinator itself crashed can
+    /// still be rebuilt afterwards.
+    #[must_use]
+    pub fn recover_routed(coordinator_image: &[u8]) -> Self {
+        let mut coordinator = Self::recover(coordinator_image);
+        let mut routing = TornLog::new(ROUTING_LOG_BASE, ROUTING_LOG_CAP, ROUTING_TAIL_ADDR);
+        routing.initialize(&mut coordinator.mem);
+        let mut routed = recover_routing(coordinator_image);
+        routed.sort_by_key(|w| (w.gtxid, w.shard, w.addr));
+        for w in &routed {
+            routing.append(
+                &mut coordinator.mem,
+                &LogRecord::write(
+                    w.gtxid,
+                    ((w.shard as u64) << ROUTE_SHARD_SHIFT) | w.addr,
+                    w.value,
+                ),
+                true,
+            );
+        }
+        coordinator.mem.sfence();
+        coordinator.routing = Some(routing);
+        coordinator
     }
 
     /// Rebuilds a coordinator from its crashed decision log: every
@@ -257,6 +318,26 @@ impl TxnCoordinator {
     /// commits everywhere, no matter which nodes crash.
     pub fn record_decision(&mut self, txn: &CrossShardTxn) {
         self.truncate_if_settled();
+        // Route the write set *before* the decision record: a crash
+        // between the two leaves routed writes for an undecided gtxid,
+        // which replay ignores (presumed abort); the reverse order could
+        // leave a decided transaction with no routed writes to rebuild
+        // a sacrificed shard from.
+        if let Some(routing) = &mut self.routing {
+            for shard in txn.participants() {
+                for &(addr, value) in txn.writes_for(shard) {
+                    routing.append(
+                        &mut self.mem,
+                        &LogRecord::write(
+                            txn.gtxid,
+                            ((shard as u64) << ROUTE_SHARD_SHIFT) | addr,
+                            value,
+                        ),
+                        true,
+                    );
+                }
+            }
+        }
         self.log
             .append(&mut self.mem, &LogRecord::commit(txn.gtxid), true);
         self.mem.sfence();
@@ -422,6 +503,111 @@ impl TxnCoordinator {
     pub fn crash_image(&self) -> Vec<u8> {
         self.mem.clone().crash(false)
     }
+
+    /// Discards the routed write history (a no-op without routing).
+    /// Call only once every shard's back-end checkpoint is newer than
+    /// every routed write — replayed rebuilds reach no further back
+    /// than the surviving routing log.
+    pub fn prune_routing(&mut self) {
+        if let Some(routing) = &mut self.routing {
+            routing.truncate(&mut self.mem, true);
+            self.mem.sfence();
+        }
+    }
+}
+
+/// One write of a committed cross-shard transaction, as recovered from
+/// the coordinator's routing log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedWrite {
+    /// The transaction that carried the write.
+    pub gtxid: u64,
+    /// The participant shard the write landed on.
+    pub shard: usize,
+    /// Heap offset within that shard.
+    pub addr: u64,
+    /// The committed value.
+    pub value: u64,
+}
+
+/// Scans a crashed coordinator's routing log (see
+/// [`TxnCoordinator::with_routing`]) and returns every durably routed
+/// write, decided or not — filter against [`recover_decisions`] before
+/// replaying. Empty for a coordinator without routing.
+#[must_use]
+pub fn recover_routing(coordinator_image: &[u8]) -> Vec<RoutedWrite> {
+    // An initialized tail word is never zero (TornLog::initialize packs
+    // polarity = true), but a coordinator created without routing leaves
+    // the word zeroed — and a zeroed region would decode as an endless
+    // run of polarity-false Write records. Distinguish the two here.
+    let tail = u64::from_le_bytes(
+        coordinator_image[ROUTING_TAIL_ADDR as usize..ROUTING_TAIL_ADDR as usize + 8]
+            .try_into()
+            .expect("aligned read"),
+    );
+    if tail == 0 {
+        return Vec::new();
+    }
+    TornLog::recover(
+        coordinator_image,
+        ROUTING_LOG_BASE,
+        ROUTING_LOG_CAP,
+        ROUTING_TAIL_ADDR,
+    )
+    .into_iter()
+    .filter(|r| r.kind == RecordKind::Write)
+    .map(|r| RoutedWrite {
+        gtxid: r.txid,
+        shard: (r.addr >> ROUTE_SHARD_SHIFT) as usize,
+        addr: r.addr & ROUTE_ADDR_MASK,
+        value: r.value,
+    })
+    .collect()
+}
+
+/// Replays the *decided* routed writes for `shard` onto a heap rebuilt
+/// from a stale back-end checkpoint, returning how many words were
+/// re-applied. Writes are applied in `(gtxid, addr)` order so a later
+/// transaction's value wins; values are absolute, so replaying writes
+/// the checkpoint already contains is idempotent. This is the last leg
+/// of storm recovery: triage sacrificed the shard's NVRAM image, the
+/// ladder rebuilt it from the back end, and the routing log closes the
+/// gap up to the last committed cross-shard transaction.
+///
+/// # Errors
+///
+/// [`HeapError`] if a routed address is outside the rebuilt heap — the
+/// checkpoint predates the allocation, i.e. it is older than the
+/// routing log's reach (see [`TxnCoordinator::prune_routing`]).
+pub fn reapply_routed(
+    heap: &mut PersistentHeap,
+    shard: usize,
+    routed: &[RoutedWrite],
+    decided: &HashSet<u64>,
+) -> Result<u64, HeapError> {
+    let mut mine: Vec<&RoutedWrite> = routed
+        .iter()
+        .filter(|w| w.shard == shard && decided.contains(&w.gtxid))
+        .collect();
+    if mine.is_empty() {
+        return Ok(0);
+    }
+    mine.sort_by_key(|w| (w.gtxid, w.addr));
+    let mut tx = heap.begin();
+    for w in &mine {
+        let p = PmPtr::new(w.addr).ok_or(HeapError::InvalidPointer { offset: w.addr })?;
+        tx.write_word(p, w.value)?;
+    }
+    tx.commit()?;
+    obs::count_by(obs::Ctr::TxnReroutedWrites, mine.len() as u64);
+    obs::emit(
+        "txn",
+        "reroute",
+        heap.elapsed(),
+        shard as i64,
+        mine.len() as i64,
+    );
+    Ok(mine.len() as u64)
 }
 
 /// Scans a crashed coordinator's durable log and returns the set of
@@ -775,6 +961,120 @@ mod tests {
             coordinator.record_decision(&txn);
             coordinator.settle(txn.gtxid());
         }
+    }
+
+    #[test]
+    fn routing_log_round_trips_committed_write_sets() {
+        let mut heaps = Vec::new();
+        let mut cells = Vec::new();
+        for value in [100u64, 200] {
+            let (heap, p) = shard_with_cell(HeapConfig::FocUndo, value);
+            heaps.push(heap);
+            cells.push(p.offset());
+        }
+        let mut coordinator = TxnCoordinator::with_routing();
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, cells[0], 70);
+        txn.stage(1, cells[1], 230);
+        coordinator.commit(&mut heaps, &txn).unwrap();
+        // Prepared but never decided: routed nothing.
+        let mut undecided = coordinator.begin(2);
+        undecided.stage(0, cells[0], 1);
+        coordinator
+            .prepare_shard(&mut heaps[0], 0, &undecided)
+            .unwrap();
+
+        let image = coordinator.crash_image();
+        let routed = recover_routing(&image);
+        assert_eq!(
+            routed,
+            vec![
+                RoutedWrite {
+                    gtxid: txn.gtxid(),
+                    shard: 0,
+                    addr: cells[0],
+                    value: 70
+                },
+                RoutedWrite {
+                    gtxid: txn.gtxid(),
+                    shard: 1,
+                    addr: cells[1],
+                    value: 230
+                },
+            ]
+        );
+        // A classic coordinator routes nothing at all.
+        let (mut classic, mut classic_heaps, classic_cells) = rig(HeapConfig::FocUndo);
+        let mut t = classic.begin(2);
+        t.stage(0, classic_cells[0], 1);
+        t.stage(1, classic_cells[1], 2);
+        classic.commit(&mut classic_heaps, &t).unwrap();
+        assert!(recover_routing(&classic.crash_image()).is_empty());
+    }
+
+    #[test]
+    fn reapply_rebuilds_a_sacrificed_shard_from_a_stale_checkpoint() {
+        let mut heaps = Vec::new();
+        let mut cells = Vec::new();
+        let mut checkpoints = Vec::new();
+        for value in [100u64, 200] {
+            let (heap, p) = shard_with_cell(HeapConfig::FocUndo, value);
+            checkpoints.push(heap.clone());
+            heaps.push(heap);
+            cells.push(p.offset());
+        }
+        let mut coordinator = TxnCoordinator::with_routing();
+        // Two committed transactions touching shard 1; the later value
+        // must win the replay.
+        for value in [230u64, 260] {
+            let mut txn = coordinator.begin(2);
+            txn.stage(0, cells[0], 300 - value);
+            txn.stage(1, cells[1], value);
+            coordinator.commit(&mut heaps, &txn).unwrap();
+        }
+        let image = coordinator.crash_image();
+        let decided = recover_decisions(&image);
+        let routed = recover_routing(&image);
+        // Shard 1's NVRAM image is sacrificed: rebuild from the stale
+        // checkpoint, then replay its routed writes.
+        let mut rebuilt = checkpoints.into_iter().nth(1).unwrap();
+        assert_eq!(cell(&mut rebuilt), 200, "checkpoint is stale");
+        let applied = reapply_routed(&mut rebuilt, 1, &routed, &decided).unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(cell(&mut rebuilt), 260, "last committed value wins");
+        // Replaying again is idempotent (absolute values).
+        reapply_routed(&mut rebuilt, 1, &routed, &decided).unwrap();
+        assert_eq!(cell(&mut rebuilt), 260);
+        // Undecided gtxids replay nothing.
+        let none = reapply_routed(&mut rebuilt, 1, &routed, &HashSet::new()).unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn recovered_routed_coordinator_keeps_the_write_history() {
+        let mut heaps = Vec::new();
+        let mut cells = Vec::new();
+        for value in [100u64, 200] {
+            let (heap, p) = shard_with_cell(HeapConfig::FocUndo, value);
+            heaps.push(heap);
+            cells.push(p.offset());
+        }
+        let mut coordinator = TxnCoordinator::with_routing();
+        let mut txn = coordinator.begin(2);
+        txn.stage(0, cells[0], 70);
+        txn.stage(1, cells[1], 230);
+        coordinator.commit(&mut heaps, &txn).unwrap();
+
+        // Coordinator crashes and restarts; the routed history must
+        // survive into the *new* coordinator's own crash image.
+        let recovered = TxnCoordinator::recover_routed(&coordinator.crash_image());
+        let routed = recover_routing(&recovered.crash_image());
+        assert_eq!(routed.len(), 2);
+        assert!(routed.iter().any(|w| w.shard == 1 && w.value == 230));
+        // Pruning empties it once checkpoints catch up.
+        let mut recovered = recovered;
+        recovered.prune_routing();
+        assert!(recover_routing(&recovered.crash_image()).is_empty());
     }
 
     #[test]

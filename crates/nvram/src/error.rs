@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use wsp_units::Nanos;
+
 /// Errors returned by NVDIMM and pool operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -55,6 +57,18 @@ pub enum NvramError {
         /// Attempts made, including the first.
         attempts: u32,
     },
+    /// The exponential backoff of a retried save command would overrun
+    /// the residual-energy window it must finish inside: the pool
+    /// refuses with this typed error instead of spinning the simulated
+    /// clock past power it does not have.
+    RetryWindowExhausted {
+        /// Attempts made before the refusal, including the first.
+        attempts: u32,
+        /// Backoff the next retry would have accumulated in total.
+        needed: Nanos,
+        /// The backoff budget the retries had to fit inside.
+        budget: Nanos,
+    },
 }
 
 impl fmt::Display for NvramError {
@@ -90,6 +104,15 @@ impl fmt::Display for NvramError {
             NvramError::SaveCommandFailed { attempts } => {
                 write!(f, "save command failed after {attempts} attempts")
             }
+            NvramError::RetryWindowExhausted {
+                attempts,
+                needed,
+                budget,
+            } => write!(
+                f,
+                "save retries exhausted the residual window after {attempts} attempts: \
+                 {needed} of backoff against a {budget} budget"
+            ),
         }
     }
 }

@@ -47,6 +47,7 @@ mod envy;
 mod error;
 mod flash;
 mod pool;
+mod region;
 
 pub use command::{I2cCommand, I2cResponse};
 pub use dimm::{DimmState, NvDimm, SaveOutcome, SaveTracePoint};
@@ -54,3 +55,4 @@ pub use envy::EnvyStore;
 pub use error::NvramError;
 pub use flash::{FlashHealth, FlashStore};
 pub use pool::{NvramPool, PoolSaveReport};
+pub use region::{Region, RegionMap};

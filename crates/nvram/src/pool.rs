@@ -157,8 +157,50 @@ impl NvramPool {
     /// failing after `max_attempts` attempts, and propagates any other
     /// module error unchanged.
     pub fn save_all_with_retry(&mut self, max_attempts: u32) -> Result<PoolSaveReport, NvramError> {
+        self.save_all_within(max_attempts, Nanos::MAX)
+    }
+
+    /// [`NvramPool::save_all_with_retry`] with a bounded backoff budget:
+    /// when the *next* retry's exponential backoff would push the
+    /// accumulated total past `window`, the pool refuses with
+    /// [`NvramError::RetryWindowExhausted`] instead of spinning the
+    /// simulated clock past the residual energy it does not have (the
+    /// failure mode of every retry landing inside the same glitch
+    /// storm).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`NvramPool::save_all_with_retry`] returns, plus
+    /// [`NvramError::RetryWindowExhausted`] for the budget refusal.
+    pub fn save_all_within(
+        &mut self,
+        max_attempts: u32,
+        window: Nanos,
+    ) -> Result<PoolSaveReport, NvramError> {
+        self.save_range_within(0..self.dimms.len(), max_attempts, window)
+    }
+
+    /// Region-scoped arm for a shared power domain: saves only the
+    /// modules in `range` (a shard's region of the pool), leaving the
+    /// rest active and writable, with the same retry/backoff budget as
+    /// [`NvramPool::save_all_within`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NvramPool::save_all_within`], scoped to the
+    /// modules in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the pool's module count.
+    pub fn save_range_within(
+        &mut self,
+        range: std::ops::Range<usize>,
+        max_attempts: u32,
+        window: Nanos,
+    ) -> Result<PoolSaveReport, NvramError> {
         let max_attempts = max_attempts.max(1);
-        for d in &self.dimms {
+        for d in &self.dimms[range.clone()] {
             if d.state() == DimmState::Off {
                 return Err(NvramError::BadState {
                     state: "Off",
@@ -166,11 +208,14 @@ impl NvramPool {
                 });
             }
         }
-        self.dimms.iter_mut().for_each(NvDimm::enter_self_refresh);
-        let mut outcomes = Vec::with_capacity(self.dimms.len());
+        self.dimms[range.clone()]
+            .iter_mut()
+            .for_each(NvDimm::enter_self_refresh);
+        let mut outcomes = Vec::with_capacity(range.len());
         let mut retries = 0u32;
         let mut backoff = Nanos::ZERO;
-        for (module, d) in self.dimms.iter_mut().enumerate() {
+        for (offset, d) in self.dimms[range.clone()].iter_mut().enumerate() {
+            let module = range.start + offset;
             let mut attempt = 0u32;
             loop {
                 attempt += 1;
@@ -181,8 +226,24 @@ impl NvramPool {
                         break;
                     }
                     Err(NvramError::SaveCommandFailed { .. }) if attempt < max_attempts => {
+                        let step = Self::RETRY_BACKOFF_BASE * (1u64 << (attempt - 1).min(6));
+                        if backoff.saturating_add(step) > window {
+                            obs::emit(
+                                "nvram",
+                                "save_window_exhausted",
+                                backoff,
+                                module as i64,
+                                i64::from(attempt),
+                            );
+                            obs::count(obs::Ctr::NvdimmSaveFailures);
+                            return Err(NvramError::RetryWindowExhausted {
+                                attempts: attempt,
+                                needed: backoff.saturating_add(step),
+                                budget: window,
+                            });
+                        }
                         retries += 1;
-                        backoff += Self::RETRY_BACKOFF_BASE * (1u64 << (attempt - 1).min(6));
+                        backoff += step;
                         obs::emit(
                             "nvram",
                             "save_retry",
@@ -376,6 +437,48 @@ mod tests {
             p.save_all_with_retry(3).unwrap_err(),
             NvramError::SaveCommandFailed { attempts: 3 }
         );
+    }
+
+    #[test]
+    fn backoff_past_the_window_budget_refuses_instead_of_spinning() {
+        let mut p = pool();
+        p.dimms_mut()[1].inject_save_command_faults(3);
+        // Four attempts would accumulate 100 + 200 + 400 µs of backoff;
+        // a 250 µs budget covers the first retry but not the second.
+        let err = p
+            .save_all_within(4, Nanos::from_micros(250))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NvramError::RetryWindowExhausted {
+                attempts: 2,
+                needed: Nanos::from_micros(300),
+                budget: Nanos::from_micros(250),
+            }
+        );
+        // An unbounded window behaves exactly like save_all_with_retry.
+        let mut p = pool();
+        p.dimms_mut()[1].inject_save_command_faults(2);
+        let report = p.save_all_within(4, Nanos::MAX).unwrap();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.backoff, Nanos::from_micros(300));
+    }
+
+    #[test]
+    fn range_save_arms_only_the_region_modules() {
+        let mut p = NvramPool::uniform(4, ByteSize::mib(1));
+        p.write(0, b"control");
+        p.write(ByteSize::mib(1).as_u64(), b"shard-one");
+        let report = p.save_range_within(1..3, 4, Nanos::MAX).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcomes.iter().all(|o| o.completed));
+        assert!(!p.all_saved(), "modules outside the range are untouched");
+        assert!(p.dimms()[1].flash().has_valid_image());
+        assert!(p.dimms()[2].flash().has_valid_image());
+        assert!(!p.dimms()[0].flash().has_valid_image());
+        assert!(!p.dimms()[3].flash().has_valid_image());
+        // The untouched modules are still active and writable.
+        p.write(0, b"still-writable");
     }
 
     #[test]

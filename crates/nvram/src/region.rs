@@ -1,0 +1,179 @@
+//! Per-shard region accounting over a pool's flat address space.
+//!
+//! A shared power domain divides one NVDIMM pool among several
+//! persistent heaps: each shard owns a module-aligned slice of the pool
+//! (its **region**) so the domain supervisor can arm regions
+//! independently ([`crate::NvramPool::save_range_within`]) and stamp a
+//! per-region save marker, while a reserved prefix of modules holds the
+//! domain's own control state (CPU contexts, global markers).
+//!
+//! Module alignment is what makes per-region arming physical: a save
+//! command addresses whole DIMMs, so a region that split a module would
+//! entangle two shards' durability.
+
+use wsp_units::ByteSize;
+
+use crate::NvramPool;
+
+/// One shard's module-aligned slice of the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Owning shard index.
+    pub shard: usize,
+    /// Module indices the region owns (half-open).
+    pub modules: std::ops::Range<usize>,
+    /// First pool byte address of the region.
+    pub base: u64,
+    /// Region capacity.
+    pub bytes: ByteSize,
+}
+
+impl Region {
+    /// Pool address of the region's VALID save marker.
+    #[must_use]
+    pub fn marker_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Pool address of the region's PARTIAL save marker.
+    #[must_use]
+    pub fn partial_marker_addr(&self) -> u64 {
+        self.base + 8
+    }
+
+    /// One past the last pool byte address of the region.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.as_u64()
+    }
+
+    /// True if the pool address falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// The pool's shard-region layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Partitions `pool` into `shards` module-aligned regions after
+    /// setting aside the first `reserved_modules` modules for the
+    /// domain's control state. Shards get an equal module count; any
+    /// remainder modules go to the last shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or the pool does not hold at least
+    /// one module per shard beyond the reserved prefix.
+    #[must_use]
+    pub fn partition(pool: &NvramPool, shards: usize, reserved_modules: usize) -> Self {
+        assert!(shards > 0, "a region map needs at least one shard");
+        let total = pool.dimms().len();
+        assert!(
+            total >= reserved_modules + shards,
+            "pool has {total} modules; {reserved_modules} reserved + {shards} shards \
+             need at least one module each"
+        );
+        let per_shard = (total - reserved_modules) / shards;
+        let mut base = 0u64;
+        for d in &pool.dimms()[..reserved_modules] {
+            base += d.capacity().as_u64();
+        }
+        let mut regions = Vec::with_capacity(shards);
+        let mut module = reserved_modules;
+        for shard in 0..shards {
+            let last = shard == shards - 1;
+            let end = if last { total } else { module + per_shard };
+            let bytes = pool.dimms()[module..end]
+                .iter()
+                .map(|d| d.capacity().as_u64())
+                .sum::<u64>();
+            regions.push(Region {
+                shard,
+                modules: module..end,
+                base,
+                bytes: ByteSize::new(bytes),
+            });
+            base += bytes;
+            module = end;
+        }
+        RegionMap { regions }
+    }
+
+    /// Regions in shard order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region owned by `shard`.
+    #[must_use]
+    pub fn region(&self, shard: usize) -> &Region {
+        &self.regions[shard]
+    }
+
+    /// The shard owning pool address `addr`, if any (reserved control
+    /// modules belong to no shard).
+    #[must_use]
+    pub fn region_of(&self, addr: u64) -> Option<usize> {
+        self.regions.iter().find(|r| r.contains(addr)).map(|r| r.shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_module_aligned_disjoint_and_exhaustive() {
+        let pool = NvramPool::uniform(4, ByteSize::mib(64));
+        let map = RegionMap::partition(&pool, 3, 1);
+        assert_eq!(map.regions().len(), 3);
+        let mut next_module = 1;
+        let mut next_base = ByteSize::mib(64).as_u64();
+        for (shard, r) in map.regions().iter().enumerate() {
+            assert_eq!(r.shard, shard);
+            assert_eq!(r.modules.start, next_module);
+            assert_eq!(r.base, next_base);
+            assert_eq!(r.bytes, ByteSize::mib(64));
+            next_module = r.modules.end;
+            next_base = r.end();
+        }
+        assert_eq!(next_module, 4, "every non-reserved module is owned");
+        assert_eq!(next_base, pool.total_capacity().as_u64());
+    }
+
+    #[test]
+    fn remainder_modules_fold_into_the_last_shard() {
+        let pool = NvramPool::uniform(6, ByteSize::mib(64));
+        let map = RegionMap::partition(&pool, 2, 1);
+        assert_eq!(map.region(0).modules, 1..3);
+        assert_eq!(map.region(1).modules, 3..6, "remainder goes to the tail");
+    }
+
+    #[test]
+    fn region_lookup_round_trips_and_reserved_space_is_unowned() {
+        let pool = NvramPool::uniform(4, ByteSize::mib(64));
+        let map = RegionMap::partition(&pool, 3, 1);
+        assert_eq!(map.region_of(0), None, "control modules have no shard");
+        for shard in 0..3 {
+            let r = map.region(shard);
+            assert_eq!(map.region_of(r.marker_addr()), Some(shard));
+            assert_eq!(map.region_of(r.partial_marker_addr()), Some(shard));
+            assert_eq!(map.region_of(r.end() - 1), Some(shard));
+        }
+        assert_eq!(map.region_of(pool.total_capacity().as_u64()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one module each")]
+    fn partition_refuses_more_shards_than_modules() {
+        let pool = NvramPool::uniform(3, ByteSize::mib(64));
+        let _ = RegionMap::partition(&pool, 3, 1);
+    }
+}

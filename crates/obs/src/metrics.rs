@@ -129,6 +129,18 @@ metric_ids! {
         /// Line flushes actually issued by seal/truncation walks — the
         /// denominator for FliT elision rates.
         FlushIssued => "pheap.flush_issued",
+        /// Shared-power-domain triage passes: each one ranks every
+        /// shard and carves the global window into staged budgets.
+        DomainTriageRuns => "domain.triage_runs",
+        /// Shards the domain triage sacrificed (no durable image; a
+        /// typed refusal routed them to the cluster-rebuild rung).
+        ShardsSacrificed => "domain.shards_sacrificed",
+        /// Sequential micro-outages fired by the power-storm scenario
+        /// family.
+        StormOutages => "faultsim.storm_outages",
+        /// Committed cross-shard writes re-applied to a rebuilt shard
+        /// from the coordinator's routing log.
+        TxnReroutedWrites => "txn.rerouted_writes",
     }
 }
 
@@ -141,6 +153,10 @@ metric_ids! {
         ResidualWindow => "supervisor.residual_window_ns",
         /// Dirty bytes the last bulk-flush estimate covered.
         DirtyEstimate => "save.dirty_estimate_bytes",
+        /// Shortfall of the shared domain window against the fleet's
+        /// total full-save demand at the last triage, in nanoseconds
+        /// (zero when every shard fit a complete save).
+        WindowDeficit => "power.window_deficit",
     }
 }
 
@@ -178,6 +194,9 @@ metric_ids! {
         /// that ran since the batch was staged. Zero means the seal hid
         /// completely behind foreground work.
         SealStall => "pheap.seal_stall_time",
+        /// Wall clock consumed by domain-supervised (multi-shard
+        /// triage) saves.
+        DomainUsed => "domain.used",
     }
 }
 

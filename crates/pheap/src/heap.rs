@@ -1426,12 +1426,21 @@ impl PersistentHeap {
                 || epoch_max.is_some_and(|max| txid <= max)
         };
 
-        if config.uses_redo_log() && !fof_save_completed {
+        if config.uses_redo_log() {
             // Redo: replay every committed transaction's writes in order.
-            for r in records
-                .iter()
-                .filter(|r| r.kind == RecordKind::Write && is_committed(r.txid))
-            {
+            // When the failure-time save completed, everything commit
+            // already applied is durable in place — but an in-doubt
+            // transaction resolved commit *here* never ran phase 2, so
+            // its buffered writes exist only as log records and must be
+            // replayed regardless.
+            for r in records.iter().filter(|r| {
+                r.kind == RecordKind::Write
+                    && if fof_save_completed {
+                        resolved_commits.contains(&r.txid)
+                    } else {
+                        is_committed(r.txid)
+                    }
+            }) {
                 mem.write_u64(r.addr, r.value);
             }
         }
@@ -2089,6 +2098,15 @@ impl PersistentHeap {
         // log can no longer replay them, so they are exactly what a
         // priority (stage-A) flush must make durable.
         self.truncate_preserving(self.config.flush_on_commit());
+    }
+
+    /// In-doubt 2PC pins: global transactions prepared here and still
+    /// awaiting the coordinator's decision. A shard holding pins ranks
+    /// above its peers in shared-power-domain triage — losing its image
+    /// forfeits votes other shards' outcomes depend on.
+    #[must_use]
+    pub fn in_doubt_pins(&self) -> u64 {
+        self.prepared.len() as u64
     }
 
     /// Log words the in-doubt prepared transactions occupy — what a

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod domain;
 mod monitor;
 mod provision;
 mod psu;
@@ -33,6 +34,7 @@ mod scope;
 mod ultracap;
 mod ups;
 
+pub use domain::{PowerDomain, ShardScope};
 pub use monitor::{MonitorError, PowerFailEvent, PowerMonitor, PwrOkSample, PwrOkVerdict};
 pub use provision::{ProvisionPlan, SupercapProvisioner};
 pub use psu::{Psu, Rail};

@@ -175,6 +175,27 @@ impl Ultracapacitor {
         self.voltage = self.charge_voltage;
         self.cycles += 1;
     }
+
+    /// Harvesting-style partial recharge: deposits `energy` into the
+    /// cell (`V' = sqrt(V² + 2E/C)` at the aged capacitance), capped at
+    /// the full charge voltage. Returns `true` when the cell reached
+    /// full charge — which, like [`Ultracapacitor::recharge`], records
+    /// one Figure 1 aging cycle. A top-up that stops short records no
+    /// cycle: dozens of micro-outage replenish intervals between storms
+    /// must not each burn a full charge/discharge cycle.
+    pub fn recharge_partial(&mut self, energy: Joules) -> bool {
+        let c = self.capacitance();
+        let v_sq =
+            self.voltage.get() * self.voltage.get() + 2.0 * energy.get().max(0.0) / c.get();
+        let v = Volts::new(v_sq.sqrt());
+        if v >= self.charge_voltage {
+            self.recharge();
+            true
+        } else {
+            self.voltage = v;
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +204,24 @@ mod tests {
 
     fn cell() -> Ultracapacitor {
         Ultracapacitor::new(Farads::new(50.0), Volts::new(12.0), Volts::new(6.0))
+    }
+
+    #[test]
+    fn partial_recharge_tops_up_without_burning_a_cycle() {
+        let mut c = cell();
+        assert!(c.discharge(Watts::new(20.0), Nanos::from_secs(30)));
+        let sagged = c.voltage();
+        let drained = c.usable_energy();
+        // A small deposit raises the voltage but records no cycle.
+        assert!(!c.recharge_partial(Joules::new(100.0)));
+        assert!(c.voltage() > sagged);
+        assert!(c.voltage() < Volts::new(12.0));
+        assert!(c.usable_energy() > drained);
+        assert_eq!(c.cycles(), 0);
+        // Overfilling caps at the charge voltage and counts the cycle.
+        assert!(c.recharge_partial(Joules::new(1e9)));
+        assert_eq!(c.voltage(), Volts::new(12.0));
+        assert_eq!(c.cycles(), 1);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod hashtable;
 mod kvserver;
 mod queue;
 mod shard;
+mod storm;
 mod xshard;
 mod ycsb;
 
@@ -61,6 +62,7 @@ pub use hashtable::PmHashTable;
 pub use kvserver::{Command, KvServer, ProtocolError, Response, ServeError};
 pub use queue::PmQueue;
 pub use shard::{kv_worker_threads, ShardOutcome, ShardedKvBench, ShardedKvReport};
+pub use storm::{PowerStormBench, PowerStormSoakReport};
 pub use xshard::{
     CrossShardKvBench, CrossShardKvReport, DegradedShard, Transfer, TransferOutcome,
 };

@@ -60,6 +60,19 @@ cargo run --release --offline -p wsp-bench --features bench --bin bench_pr6 -- c
 echo "== FliT elision + seal-pipeline gate (epoch-32 STM floor 1.8x) =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr7 -- check BENCH_PR7.json
 
+echo "== shared-domain triage + storm-survival gate =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr8 -- check BENCH_PR8.json
+
+echo "== power-storm soak: three seeds, serial and sharded must agree =="
+for seed in 42 7 4242; do
+    echo "  -- seed $seed (WSP_FAULTSIM_THREADS=1)"
+    WSP_DET_SEED=$seed WSP_FAULTSIM_THREADS=1 \
+        cargo test -q --release --offline --test fault_injection power_storm
+    echo "  -- seed $seed (WSP_FAULTSIM_THREADS=4)"
+    WSP_DET_SEED=$seed WSP_FAULTSIM_THREADS=4 \
+        cargo test -q --release --offline --test fault_injection power_storm
+done
+
 echo "== extended mid-seal crash sweep: serial and sharded must agree =="
 WSP_DET_SEED=7 WSP_FAULTSIM_THREADS=1 cargo test -q --offline --test crash_consistency mid_epoch
 WSP_DET_SEED=7 WSP_FAULTSIM_THREADS=4 cargo test -q --offline --test crash_consistency mid_epoch

@@ -716,3 +716,111 @@ fn cross_shard_fixed_seed_corpus() {
         });
     }
 }
+
+/// Two cross-shard transactions in flight at the same outage, prepared
+/// interleaved on an overlapping shard: A spans shards 0–1, B spans
+/// shards 1–2, and the crash lands after A's decision record but before
+/// B's. Shard 1's single log then holds both prepared write-sets, and
+/// one recovery pass over that shared flush must split them — A applied
+/// everywhere, B presumed-abort everywhere — with nothing in between.
+fn check_interleaved_in_flight_txns(use_stm: bool, interleave: usize) {
+    use wsp_repro::cluster::ClusterSpec;
+    use wsp_repro::pheap::PmPtr;
+    use wsp_repro::wsp::{resolve_cross_shard, TxnCoordinator};
+
+    const SHARDS: usize = 3;
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+
+    // Baseline: two committed cells per shard, on distinct lines. A
+    // writes cell 0, B writes cell 1 — disjoint even on the shared
+    // shard, as in-flight write-sets must be (the undo flavour applies
+    // prepares in place).
+    let mut heaps: Vec<PersistentHeap> = Vec::with_capacity(SHARDS);
+    let mut cells: Vec<Vec<(PmPtr, u64)>> = Vec::with_capacity(SHARDS);
+    for s in 0..SHARDS {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut tx = heap.begin();
+        let base = tx.alloc(2 * 64).unwrap();
+        let mut sc = Vec::with_capacity(2);
+        for i in 0..2 {
+            let p = base.byte_offset(i as u64 * 64);
+            let v = 500 + (s * 2 + i) as u64;
+            tx.write_word(p, v).unwrap();
+            sc.push((p, v));
+        }
+        tx.set_root(base).unwrap();
+        tx.commit().unwrap();
+        heaps.push(heap);
+        cells.push(sc);
+    }
+
+    let mut coordinator = TxnCoordinator::new();
+    let mut txn_a = coordinator.begin(SHARDS);
+    txn_a.stage(0, cells[0][0].0.offset(), 7_001);
+    txn_a.stage(1, cells[1][0].0.offset(), 7_002);
+    let mut txn_b = coordinator.begin(SHARDS);
+    txn_b.stage(1, cells[1][1].0.offset(), 8_001);
+    txn_b.stage(2, cells[2][1].0.offset(), 8_002);
+
+    // Three interleavings of the four prepares; every one ends with
+    // both write-sets durable in shard 1's log and only A decided.
+    let order: &[(usize, bool)] = match interleave % 3 {
+        0 => &[(0, true), (1, false), (1, true), (2, false)],
+        1 => &[(1, false), (0, true), (2, false), (1, true)],
+        _ => &[(0, true), (1, true), (1, false), (2, false)],
+    };
+    for &(shard, is_a) in order {
+        let txn = if is_a { &txn_a } else { &txn_b };
+        coordinator.prepare_shard(&mut heaps[shard], shard, txn).unwrap();
+    }
+    coordinator.record_decision(&txn_a);
+
+    // One outage takes the whole fleet.
+    let coordinator_image = coordinator.crash_image();
+    let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+    let recovery =
+        resolve_cross_shard(&coordinator_image, images, &ClusterSpec::memcache_tier(8));
+    assert!(recovery.decided.contains(&txn_a.gtxid()));
+    assert!(!recovery.decided.contains(&txn_b.gtxid()));
+    assert!(recovery.fully_recovered());
+
+    // A landed everywhere, B nowhere — shard 1 resolved both from the
+    // same recovered log, one commit and one presumed abort.
+    let mut expected: Vec<Vec<u64>> = cells
+        .iter()
+        .map(|sc| sc.iter().map(|&(_, v)| v).collect())
+        .collect();
+    expected[0][0] = 7_001;
+    expected[1][0] = 7_002;
+    for mut shard_rec in recovery.shards {
+        let shard = shard_rec.shard;
+        if shard == 1 {
+            let resolution = shard_rec.resolution.as_ref().unwrap();
+            assert!(resolution.committed.contains(&txn_a.gtxid()), "{config}");
+            assert!(resolution.aborted.contains(&txn_b.gtxid()), "{config}");
+        }
+        let heap = shard_rec.heap.as_mut().unwrap();
+        let mut check = heap.begin();
+        for (cell, &want) in expected[shard].iter().enumerate() {
+            let got = check.read_word(cells[shard][cell].0).unwrap();
+            assert_eq!(
+                got, want,
+                "{config} interleave {interleave}: shard {shard} cell {cell}"
+            );
+        }
+        check.commit().unwrap();
+    }
+}
+
+#[test]
+fn interleaved_in_flight_txns_resolve_split() {
+    for use_stm in [false, true] {
+        for interleave in 0..3 {
+            check_interleaved_in_flight_txns(use_stm, interleave);
+        }
+    }
+}

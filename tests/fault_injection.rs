@@ -258,3 +258,96 @@ fn cross_shard_sweep_is_reproducible() {
         assert_eq!(r.degraded, 1, "seed {seed}");
     });
 }
+
+/// The power-storm sweep: 6 storms (3 rung phases x 2 triage biases) of
+/// 27 sequential micro-outages each, every one landing mid-recovery of
+/// the one before. Coverage must be total — every global-triage
+/// decision point cut at least once, every recovery rung interrupted —
+/// and survival absolute: every sacrificed shard-epoch rebuilt, every
+/// committed cross-shard transaction present afterwards (the sweep
+/// panics internally on any lost cell or divergent re-climb).
+#[test]
+fn power_storm_survives_with_full_triage_coverage() {
+    use wsp_repro::wsp::{domain_decision_points, sweep_power_storm};
+
+    let seed = std::env::var("WSP_DET_SEED")
+        .ok()
+        .map_or(42, |v| v.parse().expect("WSP_DET_SEED must be a u64"));
+    for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+        let report = sweep_power_storm(config, seed);
+        assert_eq!(report.points.len(), 6, "{config}");
+        assert_eq!(
+            report.decision_cuts_covered,
+            domain_decision_points(3),
+            "{config} seed {seed}: every triage decision point crashed"
+        );
+        assert_eq!(report.crash_rungs_covered, 3, "{config} seed {seed}");
+        for point in &report.points {
+            let stats = &point.stats;
+            assert!(stats.outages >= 24, "{config}: {:?}", point.point);
+            assert!(stats.complete > 0, "{config}: {:?}", point.point);
+            assert!(stats.partial > 0, "{config}: {:?}", point.point);
+            assert!(stats.sacrificed > 0, "{config}: {:?}", point.point);
+            assert_eq!(
+                stats.rebuilt, stats.sacrificed,
+                "{config}: {:?}: a sacrifice without a rebuild",
+                point.point
+            );
+            assert!(
+                stats.coordinator_shard_sacrifices >= 3,
+                "{config}: {:?}: the coordinator's own shard was sacrificed \
+                 with transactions in doubt",
+                point.point
+            );
+            assert!(stats.presumed_aborts > 0, "{config}: {:?}", point.point);
+            assert!(stats.rerouted_writes > 0, "{config}: {:?}", point.point);
+            assert!(
+                stats.reclimbs_verified > 0,
+                "{config}: {:?}: interrupted recoveries re-climbed",
+                point.point
+            );
+        }
+    }
+}
+
+/// Sharding the storm sweep over worker threads is invisible: points,
+/// merged trace, and metrics are bitwise identical to the serial run
+/// (per-point seeds are split serially before dispatch, captures merged
+/// in point order).
+#[test]
+fn power_storm_sweep_is_bitwise_identical_serial_vs_sharded() {
+    use wsp_repro::obs;
+    use wsp_repro::wsp::sweep_power_storm_threads;
+
+    let serial = sweep_power_storm_threads(HeapConfig::FocUndo, 7, 1);
+    for threads in [2, 4] {
+        let sharded = sweep_power_storm_threads(HeapConfig::FocUndo, 7, threads);
+        assert_eq!(
+            format!("{:?}", sharded.points),
+            format!("{:?}", serial.points),
+            "{threads} threads"
+        );
+        if let Err(report) =
+            obs::diff_traces(&serial.trace, &sharded.trace, obs::DiffMode::Full)
+        {
+            panic!("{threads}-thread storm sweep trace diverges:\n{report}");
+        }
+        if let Some(diff) = serial.metrics.first_difference(&sharded.metrics) {
+            panic!("{threads}-thread storm sweep metrics diverge: {diff}");
+        }
+    }
+}
+
+/// The multi-seed soak the roadmap's verify gate runs: full coverage
+/// and a clean survival verdict on every seed, for the workload-level
+/// driver too.
+#[test]
+fn power_storm_soak_scorecard_survives() {
+    use wsp_repro::workloads::PowerStormBench;
+
+    let report = PowerStormBench::quick(HeapConfig::FocUndo).run();
+    assert!(report.survived);
+    assert_eq!(report.rebuilt, report.sacrificed);
+    assert!(report.rerouted_writes > 0);
+    assert!(report.coordinator_shard_sacrifices > 0);
+}

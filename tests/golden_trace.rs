@@ -69,22 +69,12 @@ fn heap_with_root(value: u64) -> PersistentHeap {
 
 /// A budget whose window cap admits detection + contexts + the priority
 /// flush but not the bulk stage — forcing the partial-priority path.
+/// [`wsp_repro::wsp::priority_stage_window`] is the shared formula the domain
+/// supervisor budgets with; the inline single-shard arithmetic this
+/// helper used to carry is gone.
 fn partial_budget(machine: &Machine, heap: &PersistentHeap) -> SaveBudget {
-    let detection = machine.monitor().debounce
-        + machine.monitor().interrupt_latency
-        + machine.profile().ipi_latency;
-    let probe = {
-        let mut p = heap.clone();
-        p.priority_flush()
-    };
     SaveBudget {
-        window_cap: Some(
-            detection
-                + machine.profile().context_save
-                + probe
-                + machine.monitor().i2c_command_latency
-                + Nanos::from_micros(60),
-        ),
+        window_cap: Some(wsp_repro::wsp::priority_stage_window(machine, heap)),
         ..SaveBudget::trusting()
     }
 }

@@ -6,7 +6,7 @@ use wsp_repro::cluster::ClusterSpec;
 use wsp_repro::machine::{Machine, SystemLoad};
 use wsp_repro::obs::{self, Ctr, DiffMode, Event};
 use wsp_repro::pheap::{BackendStore, HeapConfig, PersistentHeap, RecoveryLadder};
-use wsp_repro::units::{ByteSize, Nanos};
+use wsp_repro::units::ByteSize;
 use wsp_repro::wsp::{
     clean_failure_trace, flush_on_fail_save, restore, run_recovery_ladder, supervised_save,
     sweep_save_path, LadderInput, LadderRung, RestartStrategy, SaveBudget, SaveVerdict, WspError,
@@ -31,21 +31,10 @@ fn heap_with_root(value: u64) -> PersistentHeap {
 }
 
 fn partial_budget(machine: &Machine, heap: &PersistentHeap) -> SaveBudget {
-    let detection = machine.monitor().debounce
-        + machine.monitor().interrupt_latency
-        + machine.profile().ipi_latency;
-    let probe = {
-        let mut p = heap.clone();
-        p.priority_flush()
-    };
+    // The shared-domain formula (stage A + marker + arm + slack); see
+    // wsp_repro::wsp::priority_stage_window for why the inline arithmetic left.
     SaveBudget {
-        window_cap: Some(
-            detection
-                + machine.profile().context_save
-                + probe
-                + machine.monitor().i2c_command_latency
-                + Nanos::from_micros(60),
-        ),
+        window_cap: Some(wsp_repro::wsp::priority_stage_window(machine, heap)),
         ..SaveBudget::trusting()
     }
 }
