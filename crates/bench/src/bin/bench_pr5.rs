@@ -73,6 +73,7 @@ fn kv_pair(quick: bool) -> (ShardedKvBench, ShardedKvBench) {
         epoch_size: 32,
         mix: YcsbMix::A,
         zipf_theta: 0.99,
+        in_shard_threads: 1,
     };
     let four = ShardedKvBench {
         shards: 4,

@@ -69,6 +69,7 @@ fn kv_baseline(quick: bool) -> ShardedKvBench {
         epoch_size: 32,
         mix: YcsbMix::A,
         zipf_theta: 0.99,
+        in_shard_threads: 1,
     }
 }
 

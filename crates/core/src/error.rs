@@ -36,6 +36,11 @@ pub enum WspError {
     Heap(HeapError),
     /// The power monitor rejected its `PWR_OK` trace.
     Monitor(MonitorError),
+    /// A detectable lock-free operation could not be classified after
+    /// a crash: the durable descriptor is torn or names an operation
+    /// recovery cannot resolve. The structure must not be served until
+    /// the affected thread's state is repaired from a higher rung.
+    Detectability(wsp_pheap::lockfree::DetectFailure),
     /// The residual-energy window ran out before a save step could run
     /// (or retry): the supervisor refuses the step instead of spinning
     /// the simulated clock past the power it does not have. Under a
@@ -61,6 +66,7 @@ impl WspError {
             WspError::TornImage { .. } => "torn-image",
             WspError::Heap(_) => "heap",
             WspError::Monitor(_) => "monitor",
+            WspError::Detectability(_) => "detectability",
             WspError::WindowExhausted { .. } => "window-exhausted",
         }
     }
@@ -79,6 +85,7 @@ impl fmt::Display for WspError {
             WspError::TornImage { detail } => write!(f, "torn save image: {detail}"),
             WspError::Heap(e) => write!(f, "persistent heap error: {e}"),
             WspError::Monitor(e) => write!(f, "power monitor error: {e}"),
+            WspError::Detectability(e) => write!(f, "detectability failure: {e}"),
             WspError::WindowExhausted { needed, window } => write!(
                 f,
                 "residual window exhausted: {needed} still needed, {window} left"
@@ -93,6 +100,7 @@ impl Error for WspError {
             WspError::Nvram(e) => Some(e),
             WspError::Heap(e) => Some(e),
             WspError::Monitor(e) => Some(e),
+            WspError::Detectability(e) => Some(e),
             WspError::BackendRecoveryRequired { .. }
             | WspError::PartialImage
             | WspError::TornImage { .. }
@@ -119,6 +127,12 @@ impl From<MonitorError> for WspError {
     }
 }
 
+impl From<wsp_pheap::lockfree::DetectFailure> for WspError {
+    fn from(e: wsp_pheap::lockfree::DetectFailure) -> Self {
+        WspError::Detectability(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +146,10 @@ mod tests {
             WspError::TornImage { detail: String::new() },
             WspError::Heap(HeapError::CorruptHeader),
             WspError::Monitor(MonitorError::NonMonotonicTrace { index: 0 }),
+            WspError::Detectability(wsp_pheap::lockfree::DetectFailure::TornDescriptor {
+                thread: 0,
+                detail: String::new(),
+            }),
             WspError::WindowExhausted {
                 needed: Nanos::ZERO,
                 window: Nanos::ZERO,

@@ -60,6 +60,11 @@ use crate::supervisor::{
 use crate::txn::{resolve_cross_shard, CrossShardTxn, TxnCoordinator, TxnOutcome};
 use crate::{layout, RestartStrategy, WspError};
 
+pub use crate::lockfree_sweep::{
+    classify_recovery, sweep_lockfree, sweep_lockfree_threads, LfScenarioOutcome, LfStructure,
+    LockfreeSweepReport,
+};
+
 /// How many equal batches the cache flush is split into for
 /// mid-flush injection points.
 pub const FLUSH_BATCHES: usize = 4;

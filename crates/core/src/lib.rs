@@ -52,6 +52,7 @@ mod error;
 pub mod faultsim;
 mod feasibility;
 mod ladder;
+mod lockfree_sweep;
 mod process;
 mod restart;
 mod restore;
@@ -80,6 +81,10 @@ pub use feasibility::{
     SaveFeasibility,
 };
 pub use ladder::{run_recovery_ladder, LadderInput, LadderReport, LadderRung, RecoveryOutcome, RungAttempt};
+pub use lockfree_sweep::{
+    classify_recovery, sweep_lockfree, sweep_lockfree_threads, LfScenarioOutcome, LfStructure,
+    LockfreeSweepReport,
+};
 pub use process::{ProcessPersistence, ProcessSaveReport};
 pub use restart::RestartStrategy;
 pub use restore::{restore, RestoreReport, RestoreStep};

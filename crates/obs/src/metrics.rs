@@ -141,6 +141,21 @@ metric_ids! {
         /// Committed cross-shard writes re-applied to a rebuilt shard
         /// from the coordinator's routing log.
         TxnReroutedWrites => "txn.rerouted_writes",
+        /// Lock-free structure operations completed (all kinds).
+        LockfreeOps => "lockfree.ops",
+        /// CAS attempts issued by lock-free operations (linearizing
+        /// and help-note).
+        LockfreeCas => "lockfree.cas_attempts",
+        /// CAS attempts that lost a race and retried.
+        LockfreeCasConflicts => "lockfree.cas_conflicts",
+        /// Help notes recorded before overwriting another thread's
+        /// tagged value.
+        LockfreeHelps => "lockfree.helps",
+        /// Post-crash detectability classifications performed.
+        LockfreeRecoveries => "lockfree.recoveries",
+        /// Detectability classifications refused with a typed error
+        /// (torn descriptor / unresolvable operation).
+        LockfreeRefusals => "lockfree.refusals",
     }
 }
 
@@ -197,6 +212,8 @@ metric_ids! {
         /// Wall clock consumed by domain-supervised (multi-shard
         /// triage) saves.
         DomainUsed => "domain.used",
+        /// Per-operation simulated time of lock-free structure ops.
+        LockfreeOp => "lockfree.op_time",
     }
 }
 

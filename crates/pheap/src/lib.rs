@@ -60,6 +60,7 @@ mod flit;
 mod heap;
 mod heap_stats;
 mod linetable;
+pub mod lockfree;
 mod log;
 mod mem;
 mod stm;

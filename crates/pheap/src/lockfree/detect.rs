@@ -1,0 +1,305 @@
+//! Tagged values, durable operation descriptors, and crash-time
+//! classification — the "detectable" half of the lock-free structures.
+//!
+//! Every linearizing CAS installs a *tagged* word: the new value's
+//! payload (a line address) packed with the writing thread's id and
+//! its per-thread operation sequence number. Before attempting the
+//! CAS, the thread seals a descriptor in its private durable line:
+//! `(seq, opcode, target, expected, new, arena cursor, seq)` — the
+//! sequence number appears first *and* last so a torn descriptor line
+//! is detectable. After a crash, [`recover_op`] reads only durable
+//! state and classifies the thread's in-flight operation:
+//!
+//! * **Completed** — the tag is still at the target, or another thread
+//!   recorded a help note for this sequence number before overwriting
+//!   the tag. Either way the effect is durably in the structure.
+//! * **NotStarted** — the descriptor describes an older operation:
+//!   the crash hit before the new descriptor was sealed, so the CAS
+//!   cannot have executed (descriptor-before-CAS ordering).
+//! * **Resolved** — the descriptor is sealed but no durable evidence
+//!   of the CAS exists. Because every *successful* CAS is flushed (or
+//!   saved by flush-on-fail) before the next operation begins, and
+//!   every *overwritten* tag is preceded by a help note, absence of
+//!   evidence proves absence of durable effect: the operation can be
+//!   safely re-executed exactly once.
+//!
+//! The help protocol closes the one hole in tag evidence: a thread
+//! replacing a tagged value first persists the target line (so the
+//! victim's effect is durable), then CAS-maxes the victim's help word
+//! to the victim's sequence number. The CAS-max matters — two helpers
+//! racing to record help for different operations of the same victim
+//! must never regress the note, or recovery would misclassify the
+//! newer operation as never-happened. A helper that merely *observes*
+//! a sufficient note still persists it before its main CAS under
+//! flush-on-commit: the note's writer flushes only after its own CAS,
+//! so the observed value may not be durable yet, and destroying the
+//! tag on the strength of a cache-resident note would strand the
+//! victim with no durable evidence.
+
+use super::region::LfRegion;
+
+/// Bit marking a word as a tagged CAS-published value.
+pub const TAG_FLAG: u64 = 1 << 63;
+/// Reserved tid marking values installed by structure preloading
+/// (never helped: preloads are durable by construction).
+pub const PRELOAD_TID: u8 = 0x7f;
+
+const TID_SHIFT: u32 = 56;
+const TID_MASK: u64 = 0x7f;
+const SEQ_SHIFT: u32 = 32;
+const SEQ_MASK: u64 = 0xff_ffff;
+const PAYLOAD_MASK: u64 = 0xffff_ffff;
+
+/// Packs `(tid, seq, payload)` into a tagged word.
+///
+/// # Panics
+///
+/// Panics if any field overflows its bit budget (7/24/32 bits).
+#[must_use]
+pub fn pack(tid: u8, seq: u64, payload: u64) -> u64 {
+    assert!(u64::from(tid) <= TID_MASK, "tid {tid} overflows tag");
+    assert!(seq <= SEQ_MASK, "seq {seq} overflows tag");
+    assert!(payload <= PAYLOAD_MASK, "payload {payload:#x} overflows tag");
+    TAG_FLAG | (u64::from(tid) << TID_SHIFT) | (seq << SEQ_SHIFT) | payload
+}
+
+/// True when the word carries a tag.
+#[must_use]
+pub fn is_tagged(word: u64) -> bool {
+    word & TAG_FLAG != 0
+}
+
+/// Owning thread id of a tagged word.
+#[must_use]
+pub fn tag_tid(word: u64) -> u8 {
+    ((word >> TID_SHIFT) & TID_MASK) as u8
+}
+
+/// Operation sequence number of a tagged word.
+#[must_use]
+pub fn tag_seq(word: u64) -> u64 {
+    (word >> SEQ_SHIFT) & SEQ_MASK
+}
+
+/// Payload (line address or 0) of a word, tagged or not.
+#[must_use]
+pub fn payload(word: u64) -> u64 {
+    word & PAYLOAD_MASK
+}
+
+/// Opcode: Treiber-stack push.
+pub const OP_PUSH: u64 = 1;
+/// Opcode: Treiber-stack pop.
+pub const OP_POP: u64 = 2;
+/// Opcode: hash insert.
+pub const OP_INSERT: u64 = 3;
+/// Opcode: hash update.
+pub const OP_UPDATE: u64 = 4;
+/// Opcode: hash get (read-only; never arms a descriptor).
+pub const OP_GET: u64 = 5;
+
+/// Durable view of one thread's descriptor line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescSnapshot {
+    /// Leading sequence number.
+    pub seq: u64,
+    /// Opcode of the armed operation.
+    pub opcode: u64,
+    /// CAS target address.
+    pub target: u64,
+    /// Expected (pre-CAS) word.
+    pub expected: u64,
+    /// New (post-CAS) word.
+    pub new_val: u64,
+    /// Arena cursor at arm time (monotonic; recovery resumes from it).
+    pub arena_next: u64,
+    /// Trailing sequence number (equals `seq` iff the line is whole).
+    pub seal: u64,
+}
+
+/// Reads thread `tid`'s descriptor from durable media.
+#[must_use]
+pub fn desc_snapshot(region: &LfRegion, tid: u8) -> DescSnapshot {
+    let d = region.layout().desc_addr(tid);
+    DescSnapshot {
+        seq: region.durable_word(d),
+        opcode: region.durable_word(d + 8),
+        target: region.durable_word(d + 16),
+        expected: region.durable_word(d + 24),
+        new_val: region.durable_word(d + 32),
+        arena_next: region.durable_word(d + 40),
+        seal: region.durable_word(d + 48),
+    }
+}
+
+/// Crash-time classification of one thread's in-flight operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpVerdict {
+    /// The descriptor predates the operation: its CAS never ran.
+    NotStarted,
+    /// Durable evidence proves the CAS took effect.
+    Completed,
+    /// Descriptor armed, no durable effect: safe to re-execute once.
+    Resolved,
+}
+
+impl OpVerdict {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OpVerdict::NotStarted => "not-started",
+            OpVerdict::Completed => "completed",
+            OpVerdict::Resolved => "resolved",
+        }
+    }
+}
+
+/// A detectability failure: durable metadata that cannot be trusted.
+/// These only arise from media corruption — the protocol itself never
+/// produces them, which the interleaving sweep proves exhaustively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectFailure {
+    /// The descriptor line is internally inconsistent (torn seal, or a
+    /// sequence number from the future).
+    TornDescriptor {
+        /// Thread whose descriptor is torn.
+        thread: usize,
+        /// Human-readable inconsistency.
+        detail: String,
+    },
+    /// The descriptor is whole but describes an operation that cannot
+    /// be classified (target outside the region, unknown opcode).
+    Unresolvable {
+        /// Thread whose operation cannot be resolved.
+        thread: usize,
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DetectFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectFailure::TornDescriptor { thread, detail } => {
+                write!(f, "thread {thread}: torn descriptor ({detail})")
+            }
+            DetectFailure::Unresolvable { thread, detail } => {
+                write!(f, "thread {thread}: unresolvable operation ({detail})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectFailure {}
+
+/// Classifies thread `tid`'s operation `current_seq` against the
+/// durable image in `region`.
+///
+/// `current_seq` is the sequence number of the operation the thread
+/// was executing when power failed (1-based; operation *k* has
+/// sequence *k*). Callers know it from their own durable progress
+/// record — in the sweep it is the schedule's bookkeeping, in a real
+/// client it would be the last acknowledged response plus one.
+///
+/// # Errors
+///
+/// Returns [`DetectFailure`] when the durable metadata is corrupt:
+/// torn descriptor seal, descriptor from the future, out-of-region
+/// CAS target, or unknown opcode.
+pub fn recover_op(
+    region: &LfRegion,
+    tid: u8,
+    current_seq: u64,
+) -> Result<OpVerdict, DetectFailure> {
+    let lay = region.layout();
+    let thread = usize::from(tid);
+    let d = desc_snapshot(region, tid);
+    if d.seq != d.seal {
+        return Err(DetectFailure::TornDescriptor {
+            thread,
+            detail: format!("seal {} does not match seq {}", d.seal, d.seq),
+        });
+    }
+    if d.seq > current_seq {
+        return Err(DetectFailure::TornDescriptor {
+            thread,
+            detail: format!("descriptor seq {} is ahead of program seq {current_seq}", d.seq),
+        });
+    }
+    if d.seq < current_seq {
+        // The crash hit before this operation sealed its descriptor;
+        // descriptor-before-CAS ordering proves the CAS never ran.
+        return Ok(OpVerdict::NotStarted);
+    }
+    match d.opcode {
+        OP_PUSH | OP_POP | OP_INSERT | OP_UPDATE => {}
+        other => {
+            return Err(DetectFailure::Unresolvable {
+                thread,
+                detail: format!("unknown opcode {other}"),
+            })
+        }
+    }
+    if !lay.contains_word(d.target) {
+        return Err(DetectFailure::Unresolvable {
+            thread,
+            detail: format!("CAS target {:#x} outside region", d.target),
+        });
+    }
+    let cur = region.durable_word(d.target);
+    if is_tagged(cur) && tag_tid(cur) == tid && tag_seq(cur) == d.seq {
+        return Ok(OpVerdict::Completed);
+    }
+    if region.durable_word(lay.help_addr(tid)) >= d.seq {
+        return Ok(OpVerdict::Completed);
+    }
+    Ok(OpVerdict::Resolved)
+}
+
+/// For a [`OpVerdict::Completed`] pop, the value that was popped —
+/// read from the durable image via the descriptor's expected word.
+#[must_use]
+pub fn recovered_pop_value(region: &LfRegion, tid: u8) -> u64 {
+    let d = desc_snapshot(region, tid);
+    debug_assert_eq!(d.opcode, OP_POP);
+    region.durable_word(payload(d.expected))
+}
+
+/// Arena cursor a thread must resume from after recovery: the maximum
+/// of the arena base and the durably recorded cursor. Monotonic, so
+/// recovered structures never alias a line a retry could reuse.
+#[must_use]
+pub fn recovered_arena_next(region: &LfRegion, tid: u8) -> u64 {
+    let lay = region.layout();
+    let base = lay.arena_base(usize::from(tid));
+    let end = base + lay.arena_bytes();
+    let d = desc_snapshot(region, tid);
+    if d.arena_next > base && d.arena_next <= end {
+        d.arena_next
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_fields_round_trip() {
+        let w = pack(5, 1234, 0x00de_adb0);
+        assert!(is_tagged(w));
+        assert_eq!(tag_tid(w), 5);
+        assert_eq!(tag_seq(w), 1234);
+        assert_eq!(payload(w), 0x00de_adb0);
+        assert!(!is_tagged(payload(w)));
+        assert_eq!(payload(0), 0);
+    }
+
+    #[test]
+    fn preload_tid_is_representable() {
+        let w = pack(PRELOAD_TID, 0, 0x40);
+        assert_eq!(tag_tid(w), PRELOAD_TID);
+    }
+}

@@ -1,0 +1,333 @@
+//! Detectable open-addressed hash.
+//!
+//! The table is an array of 8-byte slots holding tagged pointers to
+//! immutable entry lines (`+0` key, `+8` value). Linear probing, no
+//! deletion: a key's slot is claimed once by the first successful
+//! insert CAS and thereafter only *replaced* by update CASes that
+//! swing the slot to a fresh entry line. Entry lines are written and
+//! persisted before the descriptor is armed, so a published slot
+//! always points at durable contents.
+//!
+//! Detectability follows the stack's protocol exactly: descriptor
+//! sealed (and flushed under flush-on-commit) before the slot CAS; a
+//! CAS replacing another live thread's tag first persists the slot
+//! and CAS-maxes the victim's help word. Read-only probes that end in
+//! an answer (`Exists`, `NotFound`, `Found`) flush the slot the
+//! answer hinges on before returning — durable linearizability for
+//! the reader's benefit, and incidental extra evidence for the writer
+//! whose tag gets persisted along the way.
+
+use super::detect::{pack, payload, OP_INSERT, OP_UPDATE};
+use super::machine::{CasOutcome, CasSeq, Ev, OpCtx, OpResult, Prim};
+use super::region::{LfRegion, LfLayout};
+
+fn next_slot(lay: &LfLayout, idx: usize) -> usize {
+    (idx + 1) & (lay.slots - 1)
+}
+
+/// In-flight insert.
+#[derive(Debug, Clone)]
+pub(crate) struct InsertOp {
+    key: u64,
+    entry: u64,
+    idx: usize,
+    probes: usize,
+    cas: Option<CasSeq>,
+    phase: HashPhase,
+}
+
+#[derive(Debug, Clone)]
+enum HashPhase {
+    SlotRead,
+    KeyRead,
+    Casing,
+    ValRead,
+}
+
+impl InsertOp {
+    pub fn begin(ctx: &mut OpCtx<'_>, key: u64, val: u64) -> (Self, Vec<Prim>) {
+        let entry = ctx.alloc_line();
+        let idx = ctx.lay.home_slot(key);
+        let mut prims = vec![
+            Prim::Write { addr: entry, val: key },
+            Prim::Write { addr: entry + 8, val },
+        ];
+        if ctx.foc {
+            // Fence folded into the descriptor fence at arm time.
+            prims.push(Prim::Flush { addr: entry });
+        }
+        prims.push(Prim::Read { addr: ctx.lay.slot_addr(idx) });
+        (
+            InsertOp { key, entry, idx, probes: 0, cas: None, phase: HashPhase::SlotRead },
+            prims,
+        )
+    }
+
+    fn on_slot(&mut self, ctx: &mut OpCtx<'_>, word: u64) -> Vec<Prim> {
+        if payload(word) == 0 {
+            let target = ctx.lay.slot_addr(self.idx);
+            let (cas, prims) =
+                CasSeq::start(ctx, OP_INSERT, target, word, pack(ctx.tid, ctx.seq, self.entry));
+            self.cas = Some(cas);
+            self.phase = HashPhase::Casing;
+            return prims;
+        }
+        self.phase = HashPhase::KeyRead;
+        vec![Prim::Read { addr: payload(word) }]
+    }
+
+    pub fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> Vec<Prim> {
+        match self.phase {
+            HashPhase::SlotRead => {
+                let Ev::Read(w) = ev else { unreachable!("insert expected a slot read") };
+                self.on_slot(ctx, w)
+            }
+            HashPhase::KeyRead => {
+                let Ev::Read(k) = ev else { unreachable!("insert expected a key read") };
+                if k == self.key {
+                    let mut p = Vec::new();
+                    if ctx.foc {
+                        p.push(Prim::Flush { addr: ctx.lay.slot_addr(self.idx) });
+                        p.push(Prim::Fence);
+                    }
+                    p.push(Prim::Return(OpResult::Exists));
+                    return p;
+                }
+                self.probes += 1;
+                if self.probes >= ctx.lay.slots {
+                    return vec![Prim::Return(OpResult::TableFull)];
+                }
+                self.idx = next_slot(&ctx.lay, self.idx);
+                self.phase = HashPhase::SlotRead;
+                vec![Prim::Read { addr: ctx.lay.slot_addr(self.idx) }]
+            }
+            HashPhase::Casing => {
+                match self.cas.as_mut().expect("insert cas armed").on_event(ctx, ev) {
+                    CasOutcome::Continue(p) => p,
+                    CasOutcome::Done => {
+                        let mut p = Vec::new();
+                        if ctx.foc {
+                            p.push(Prim::Flush { addr: ctx.lay.slot_addr(self.idx) });
+                            p.push(Prim::Fence);
+                        }
+                        p.push(Prim::Return(OpResult::Inserted));
+                        p
+                    }
+                    // Lost the slot: someone claimed it; re-examine.
+                    CasOutcome::Failed { current } => self.on_slot(ctx, current),
+                }
+            }
+            HashPhase::ValRead => unreachable!("insert never reads a value"),
+        }
+    }
+}
+
+/// In-flight update.
+#[derive(Debug, Clone)]
+pub(crate) struct UpdateOp {
+    key: u64,
+    entry: u64,
+    idx: usize,
+    probes: usize,
+    slot_val: u64,
+    cas: Option<CasSeq>,
+    phase: HashPhase,
+}
+
+impl UpdateOp {
+    pub fn begin(ctx: &mut OpCtx<'_>, key: u64, val: u64) -> (Self, Vec<Prim>) {
+        let entry = ctx.alloc_line();
+        let idx = ctx.lay.home_slot(key);
+        let mut prims = vec![
+            Prim::Write { addr: entry, val: key },
+            Prim::Write { addr: entry + 8, val },
+        ];
+        if ctx.foc {
+            prims.push(Prim::Flush { addr: entry });
+        }
+        prims.push(Prim::Read { addr: ctx.lay.slot_addr(idx) });
+        (
+            UpdateOp {
+                key,
+                entry,
+                idx,
+                probes: 0,
+                slot_val: 0,
+                cas: None,
+                phase: HashPhase::SlotRead,
+            },
+            prims,
+        )
+    }
+
+    fn on_slot(&mut self, ctx: &mut OpCtx<'_>, word: u64) -> Vec<Prim> {
+        self.slot_val = word;
+        if payload(word) == 0 {
+            // Absent key: the answer depends on this slot being empty.
+            let mut p = Vec::new();
+            if ctx.foc {
+                p.push(Prim::Flush { addr: ctx.lay.slot_addr(self.idx) });
+                p.push(Prim::Fence);
+            }
+            p.push(Prim::Return(OpResult::NotFound));
+            return p;
+        }
+        self.phase = HashPhase::KeyRead;
+        vec![Prim::Read { addr: payload(word) }]
+    }
+
+    pub fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> Vec<Prim> {
+        match self.phase {
+            HashPhase::SlotRead => {
+                let Ev::Read(w) = ev else { unreachable!("update expected a slot read") };
+                self.on_slot(ctx, w)
+            }
+            HashPhase::KeyRead => {
+                let Ev::Read(k) = ev else { unreachable!("update expected a key read") };
+                if k == self.key {
+                    let target = ctx.lay.slot_addr(self.idx);
+                    let (cas, prims) = CasSeq::start(
+                        ctx,
+                        OP_UPDATE,
+                        target,
+                        self.slot_val,
+                        pack(ctx.tid, ctx.seq, self.entry),
+                    );
+                    self.cas = Some(cas);
+                    self.phase = HashPhase::Casing;
+                    return prims;
+                }
+                self.probes += 1;
+                if self.probes >= ctx.lay.slots {
+                    return vec![Prim::Return(OpResult::NotFound)];
+                }
+                self.idx = next_slot(&ctx.lay, self.idx);
+                self.phase = HashPhase::SlotRead;
+                vec![Prim::Read { addr: ctx.lay.slot_addr(self.idx) }]
+            }
+            HashPhase::Casing => {
+                match self.cas.as_mut().expect("update cas armed").on_event(ctx, ev) {
+                    CasOutcome::Continue(p) => p,
+                    CasOutcome::Done => {
+                        let mut p = Vec::new();
+                        if ctx.foc {
+                            p.push(Prim::Flush { addr: ctx.lay.slot_addr(self.idx) });
+                            p.push(Prim::Fence);
+                        }
+                        p.push(Prim::Return(OpResult::Updated));
+                        p
+                    }
+                    // A racing update swung the slot; the key cannot
+                    // leave (no deletes), so retry against the new tag.
+                    CasOutcome::Failed { current } => self.on_slot(ctx, current),
+                }
+            }
+            HashPhase::ValRead => unreachable!("update never reads a value"),
+        }
+    }
+}
+
+/// In-flight get (read-only; never arms a descriptor).
+#[derive(Debug, Clone)]
+pub(crate) struct GetOp {
+    key: u64,
+    idx: usize,
+    probes: usize,
+    entry: u64,
+    phase: HashPhase,
+}
+
+impl GetOp {
+    pub fn begin(ctx: &mut OpCtx<'_>, key: u64) -> (Self, Vec<Prim>) {
+        let idx = ctx.lay.home_slot(key);
+        (
+            GetOp { key, idx, probes: 0, entry: 0, phase: HashPhase::SlotRead },
+            vec![Prim::Read { addr: ctx.lay.slot_addr(idx) }],
+        )
+    }
+
+    pub fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> Vec<Prim> {
+        match self.phase {
+            HashPhase::SlotRead => {
+                let Ev::Read(w) = ev else { unreachable!("get expected a slot read") };
+                if payload(w) == 0 {
+                    let mut p = Vec::new();
+                    if ctx.foc {
+                        p.push(Prim::Flush { addr: ctx.lay.slot_addr(self.idx) });
+                        p.push(Prim::Fence);
+                    }
+                    p.push(Prim::Return(OpResult::NotFound));
+                    return p;
+                }
+                self.entry = payload(w);
+                self.phase = HashPhase::KeyRead;
+                vec![Prim::Read { addr: self.entry }]
+            }
+            HashPhase::KeyRead => {
+                let Ev::Read(k) = ev else { unreachable!("get expected a key read") };
+                if k == self.key {
+                    self.phase = HashPhase::ValRead;
+                    return vec![Prim::Read { addr: self.entry + 8 }];
+                }
+                self.probes += 1;
+                if self.probes >= ctx.lay.slots {
+                    return vec![Prim::Return(OpResult::NotFound)];
+                }
+                self.idx = next_slot(&ctx.lay, self.idx);
+                self.phase = HashPhase::SlotRead;
+                vec![Prim::Read { addr: ctx.lay.slot_addr(self.idx) }]
+            }
+            HashPhase::ValRead => {
+                let Ev::Read(v) = ev else { unreachable!("get expected a value read") };
+                let mut p = Vec::new();
+                if ctx.foc {
+                    // The answer hinges on the slot that published the
+                    // entry; persist it before replying.
+                    p.push(Prim::Flush { addr: ctx.lay.slot_addr(self.idx) });
+                    p.push(Prim::Fence);
+                }
+                p.push(Prim::Return(OpResult::Found(v)));
+                p
+            }
+            HashPhase::Casing => unreachable!("get never CASes"),
+        }
+    }
+}
+
+/// Seeds `(key, value)` pairs from the preload arena, durably, slots
+/// tagged with the preload tid.
+///
+/// # Panics
+///
+/// Panics if the table or preload arena cannot hold the pairs.
+pub fn preload_hash(region: &mut LfRegion, pairs: &[(u64, u64)]) {
+    let lay = region.layout();
+    let base = lay.arena_base(lay.threads);
+    assert!(
+        pairs.len() as u64 * 64 <= lay.arena_bytes(),
+        "preload arena too small for {} entries",
+        pairs.len()
+    );
+    assert!(pairs.len() < lay.slots, "table too small for {} entries", pairs.len());
+    for (i, &(key, val)) in pairs.iter().enumerate() {
+        let entry = base + i as u64 * 64;
+        region.preload_word(entry, key);
+        region.preload_word(entry + 8, val);
+        let mut idx = lay.home_slot(key);
+        let mut guard = 0;
+        loop {
+            let slot = lay.slot_addr(idx);
+            if payload(region.durable_word(slot)) == 0 {
+                region.preload_word(slot, pack(super::detect::PRELOAD_TID, 0, entry));
+                break;
+            }
+            assert!(
+                region.durable_word(payload(region.durable_word(slot))) != key,
+                "duplicate preload key {key}"
+            );
+            idx = next_slot(&lay, idx);
+            guard += 1;
+            assert!(guard < lay.slots, "preload probe loop");
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! Cloneable per-thread operation machines.
+//!
+//! Each structure operation compiles, step by step, into a queue of
+//! primitives. *Visible* primitives — shared-word reads, CASes, line
+//! flushes, fences — execute one per scheduler step and are the only
+//! places another thread can observe progress or a crash can land.
+//! Plain `Write` primitives touch thread-private lines (the thread's
+//! own descriptor, an unpublished node or entry), so they execute
+//! eagerly, bundled with the preceding visible step; this is the
+//! standard visible-step reduction and is what keeps exhaustive
+//! interleaving enumeration tractable.
+//!
+//! Machines own no memory: they hold a [`LfLayout`] copy and receive
+//! the [`LfRegion`] only inside [`ThreadMachine::step`]. Cloning a
+//! machine together with its region snapshots the whole execution, so
+//! the sweep can branch at every scheduling choice.
+
+use std::collections::VecDeque;
+
+use super::detect::{is_tagged, tag_seq, tag_tid, PRELOAD_TID};
+use super::hash::{GetOp, InsertOp, UpdateOp};
+use super::region::{LfLayout, LfRegion, LF_LINE};
+use super::stack::{PopOp, PushOp};
+
+/// One planned structure operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Push `value` onto the Treiber stack.
+    Push(u64),
+    /// Pop the top of the Treiber stack.
+    Pop,
+    /// Insert `(key, value)` into the hash (no-op if the key exists).
+    Insert(u64, u64),
+    /// Replace the value of an existing key.
+    Update(u64, u64),
+    /// Read a key's value.
+    Get(u64),
+}
+
+/// Result returned by a completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// Push linearized.
+    Pushed,
+    /// Pop linearized with this value.
+    Popped(u64),
+    /// Pop observed an empty stack.
+    Empty,
+    /// Insert linearized.
+    Inserted,
+    /// Insert found the key already present.
+    Exists,
+    /// Update linearized.
+    Updated,
+    /// Update or get found no such key.
+    NotFound,
+    /// Get observed this value.
+    Found(u64),
+    /// Insert ran out of probe slots.
+    TableFull,
+}
+
+impl OpResult {
+    /// True when the result implies a durable structure mutation.
+    #[must_use]
+    pub fn effectful(self) -> bool {
+        matches!(
+            self,
+            OpResult::Pushed | OpResult::Popped(_) | OpResult::Inserted | OpResult::Updated
+        )
+    }
+}
+
+/// Kind of a visible step — the granularity at which the scheduler
+/// interleaves threads and the sweep injects power failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Shared-word read.
+    Read,
+    /// Compare-and-swap (linearizing or help-note).
+    Cas,
+    /// Cache-line flush.
+    Flush,
+    /// Store fence.
+    Fence,
+}
+
+impl StepKind {
+    /// Crash points are the persistence-ordering steps: CAS, flush,
+    /// fence. (A crash "before a read" is indistinguishable from one
+    /// before the previous step — the image is identical.)
+    #[must_use]
+    pub fn is_crash_point(self) -> bool {
+        matches!(self, StepKind::Cas | StepKind::Flush | StepKind::Fence)
+    }
+
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::Read => "read",
+            StepKind::Cas => "cas",
+            StepKind::Flush => "flush",
+            StepKind::Fence => "fence",
+        }
+    }
+}
+
+/// Micro-program primitive.
+#[derive(Debug, Clone)]
+pub(crate) enum Prim {
+    /// Thread-private store; executes eagerly with the previous step.
+    Write { addr: u64, val: u64 },
+    /// Visible shared read.
+    Read { addr: u64 },
+    /// Visible line flush.
+    Flush { addr: u64 },
+    /// Visible store fence.
+    Fence,
+    /// Visible compare-and-swap.
+    Cas { addr: u64, expected: u64, new: u64 },
+    /// Operation finished with this result.
+    Return(OpResult),
+}
+
+/// Event delivered back to operation logic after a visible step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    Read(u64),
+    CasOk,
+    CasFail(u64),
+}
+
+/// Counters a machine accumulates across its run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// CAS attempts (linearizing and help-note).
+    pub cas_attempts: u64,
+    /// CAS attempts that lost a race.
+    pub cas_conflicts: u64,
+    /// Help notes recorded for other threads.
+    pub helps: u64,
+    /// Visible steps executed.
+    pub steps: u64,
+}
+
+/// Per-event context handed to operation logic.
+pub(crate) struct OpCtx<'a> {
+    pub lay: LfLayout,
+    pub tid: u8,
+    pub seq: u64,
+    pub foc: bool,
+    pub arena_next: &'a mut u64,
+    pub stats: &'a mut MachineStats,
+}
+
+impl OpCtx<'_> {
+    /// Bumps the thread's arena cursor by one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena is exhausted — size arenas for the plan.
+    pub fn alloc_line(&mut self) -> u64 {
+        let base = self.lay.arena_base(usize::from(self.tid));
+        let end = base + self.lay.arena_bytes();
+        let line = *self.arena_next;
+        assert!(line + LF_LINE <= end, "thread {} arena exhausted", self.tid);
+        *self.arena_next += LF_LINE;
+        line
+    }
+}
+
+/// Phase of a detectable-CAS attempt.
+#[derive(Debug, Clone)]
+enum CasPhase {
+    /// Waiting for the victim's help-word read.
+    HelpRead,
+    /// CAS-maxing the victim's help word.
+    HelpCas,
+    /// The linearizing CAS itself.
+    Main,
+}
+
+/// What a detectable-CAS attempt reported after an event.
+pub(crate) enum CasOutcome {
+    /// More prims to run; attempt still in flight.
+    Continue(Vec<Prim>),
+    /// Linearizing CAS succeeded.
+    Done,
+    /// Linearizing CAS lost; `current` is the witnessed word.
+    Failed { current: u64 },
+}
+
+/// One armed detectable-CAS attempt: descriptor seal, optional help
+/// protocol for a tagged victim, then the linearizing CAS.
+#[derive(Debug, Clone)]
+pub(crate) struct CasSeq {
+    target: u64,
+    expected: u64,
+    new_val: u64,
+    help_owner: u8,
+    help_seq: u64,
+    phase: CasPhase,
+}
+
+impl CasSeq {
+    /// Arms the descriptor and emits the attempt's opening prims.
+    pub fn start(
+        ctx: &mut OpCtx<'_>,
+        opcode: u64,
+        target: u64,
+        expected: u64,
+        new_val: u64,
+    ) -> (CasSeq, Vec<Prim>) {
+        let d = ctx.lay.desc_addr(ctx.tid);
+        let mut prims = vec![
+            Prim::Write { addr: d, val: ctx.seq },
+            Prim::Write { addr: d + 8, val: opcode },
+            Prim::Write { addr: d + 16, val: target },
+            Prim::Write { addr: d + 24, val: expected },
+            Prim::Write { addr: d + 32, val: new_val },
+            Prim::Write { addr: d + 40, val: *ctx.arena_next },
+            Prim::Write { addr: d + 48, val: ctx.seq },
+        ];
+        if ctx.foc {
+            prims.push(Prim::Flush { addr: d });
+            prims.push(Prim::Fence);
+        }
+        // Replacing another live thread's tagged value destroys its CAS
+        // evidence: persist the victim's effect, then CAS-max its help
+        // word, and only then race for the target. Preload tags need no
+        // help (durable by construction), nor do our own older tags
+        // (their operations already returned, hence already durable).
+        let needs_help =
+            is_tagged(expected) && tag_tid(expected) != PRELOAD_TID && tag_tid(expected) != ctx.tid;
+        let (phase, owner, owner_seq) = if needs_help {
+            if ctx.foc {
+                prims.push(Prim::Flush { addr: target });
+                prims.push(Prim::Fence);
+            }
+            prims.push(Prim::Read { addr: ctx.lay.help_addr(tag_tid(expected)) });
+            (CasPhase::HelpRead, tag_tid(expected), tag_seq(expected))
+        } else {
+            prims.push(Prim::Cas { addr: target, expected, new: new_val });
+            (CasPhase::Main, 0, 0)
+        };
+        let seq = CasSeq {
+            target,
+            expected,
+            new_val,
+            help_owner: owner,
+            help_seq: owner_seq,
+            phase,
+        };
+        (seq, prims)
+    }
+
+    fn main_cas(&self) -> Prim {
+        Prim::Cas { addr: self.target, expected: self.expected, new: self.new_val }
+    }
+
+    /// Prims for proceeding to the main CAS on the strength of an
+    /// *observed* help note. The note's writer flushes only after its
+    /// own CAS, so the observed value may still be cache-resident —
+    /// under flush-on-commit it must be persisted before the main CAS
+    /// destroys the tag it vouches for, or a crash right after the
+    /// main CAS would leave the victim's operation with no durable
+    /// evidence at all.
+    fn rely_on_note(&self, ctx: &OpCtx<'_>, help_addr: u64) -> Vec<Prim> {
+        let mut prims = Vec::new();
+        if ctx.foc {
+            prims.push(Prim::Flush { addr: help_addr });
+            prims.push(Prim::Fence);
+        }
+        prims.push(self.main_cas());
+        prims
+    }
+
+    pub fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> CasOutcome {
+        let help_addr = ctx.lay.help_addr(self.help_owner);
+        match (&self.phase, ev) {
+            (CasPhase::HelpRead, Ev::Read(noted)) => {
+                if noted >= self.help_seq {
+                    self.phase = CasPhase::Main;
+                    CasOutcome::Continue(self.rely_on_note(ctx, help_addr))
+                } else {
+                    self.phase = CasPhase::HelpCas;
+                    CasOutcome::Continue(vec![Prim::Cas {
+                        addr: help_addr,
+                        expected: noted,
+                        new: self.help_seq,
+                    }])
+                }
+            }
+            (CasPhase::HelpCas, Ev::CasOk) => {
+                ctx.stats.helps += 1;
+                self.phase = CasPhase::Main;
+                let mut prims = Vec::new();
+                if ctx.foc {
+                    prims.push(Prim::Flush { addr: help_addr });
+                    prims.push(Prim::Fence);
+                }
+                prims.push(self.main_cas());
+                CasOutcome::Continue(prims)
+            }
+            (CasPhase::HelpCas, Ev::CasFail(noted)) => {
+                if noted >= self.help_seq {
+                    self.phase = CasPhase::Main;
+                    CasOutcome::Continue(self.rely_on_note(ctx, help_addr))
+                } else {
+                    CasOutcome::Continue(vec![Prim::Cas {
+                        addr: help_addr,
+                        expected: noted,
+                        new: self.help_seq,
+                    }])
+                }
+            }
+            (CasPhase::Main, Ev::CasOk) => CasOutcome::Done,
+            (CasPhase::Main, Ev::CasFail(current)) => CasOutcome::Failed { current },
+            (phase, ev) => unreachable!("cas phase {phase:?} got {ev:?}"),
+        }
+    }
+}
+
+/// Per-operation state machine.
+#[derive(Debug, Clone)]
+pub(crate) enum OpState {
+    Push(PushOp),
+    Pop(PopOp),
+    Insert(InsertOp),
+    Update(UpdateOp),
+    Get(GetOp),
+}
+
+impl OpState {
+    fn begin(ctx: &mut OpCtx<'_>, op: OpKind) -> (OpState, Vec<Prim>) {
+        match op {
+            OpKind::Push(v) => {
+                let (s, p) = PushOp::begin(ctx, v);
+                (OpState::Push(s), p)
+            }
+            OpKind::Pop => {
+                let (s, p) = PopOp::begin();
+                (OpState::Pop(s), p)
+            }
+            OpKind::Insert(k, v) => {
+                let (s, p) = InsertOp::begin(ctx, k, v);
+                (OpState::Insert(s), p)
+            }
+            OpKind::Update(k, v) => {
+                let (s, p) = UpdateOp::begin(ctx, k, v);
+                (OpState::Update(s), p)
+            }
+            OpKind::Get(k) => {
+                let (s, p) = GetOp::begin(ctx, k);
+                (OpState::Get(s), p)
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> Vec<Prim> {
+        match self {
+            OpState::Push(s) => s.on_event(ctx, ev),
+            OpState::Pop(s) => s.on_event(ctx, ev),
+            OpState::Insert(s) => s.on_event(ctx, ev),
+            OpState::Update(s) => s.on_event(ctx, ev),
+            OpState::Get(s) => s.on_event(ctx, ev),
+        }
+    }
+}
+
+/// A thread's whole planned execution: operations, in-flight state,
+/// queued prims, results, arena cursor, and counters.
+#[derive(Debug, Clone)]
+pub struct ThreadMachine {
+    lay: LfLayout,
+    tid: u8,
+    plan: Vec<OpKind>,
+    /// Index of the op currently in flight (== results.len()).
+    next_op: usize,
+    /// Sequence number of `plan[0]`.
+    seq_base: u64,
+    state: Option<OpState>,
+    queue: VecDeque<Prim>,
+    results: Vec<OpResult>,
+    arena_next: u64,
+    stats: MachineStats,
+}
+
+impl ThreadMachine {
+    /// Fresh machine for thread `tid` executing `plan` from sequence 1.
+    #[must_use]
+    pub fn new(lay: LfLayout, tid: u8, plan: Vec<OpKind>) -> Self {
+        let arena = lay.arena_base(usize::from(tid));
+        Self::with_progress(lay, tid, plan, 1, arena)
+    }
+
+    /// Machine resuming after recovery: `plan` is the remaining
+    /// operations, `seq_base` the sequence number of the first of
+    /// them, `arena_next` the recovered arena cursor.
+    #[must_use]
+    pub fn with_progress(
+        lay: LfLayout,
+        tid: u8,
+        plan: Vec<OpKind>,
+        seq_base: u64,
+        arena_next: u64,
+    ) -> Self {
+        let mut m = ThreadMachine {
+            lay,
+            tid,
+            plan,
+            next_op: 0,
+            seq_base,
+            state: None,
+            queue: VecDeque::new(),
+            results: Vec::new(),
+            arena_next,
+            stats: MachineStats::default(),
+        };
+        m.begin_next();
+        m
+    }
+
+    /// Thread id.
+    #[must_use]
+    pub fn tid(&self) -> u8 {
+        self.tid
+    }
+
+    /// All operations this machine was planned with.
+    #[must_use]
+    pub fn plan(&self) -> &[OpKind] {
+        &self.plan
+    }
+
+    /// Results of operations that returned so far, in plan order.
+    #[must_use]
+    pub fn results(&self) -> &[OpResult] {
+        &self.results
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Arena cursor (next free line).
+    #[must_use]
+    pub fn arena_next(&self) -> u64 {
+        self.arena_next
+    }
+
+    /// Sequence number of the op in flight — or of the last op when
+    /// the plan has run to completion (what recovery should expect).
+    #[must_use]
+    pub fn current_seq(&self) -> u64 {
+        let idx = self.next_op.min(self.plan.len().saturating_sub(1));
+        self.seq_base + idx as u64
+    }
+
+    /// Index of the op in flight (== number of ops returned).
+    #[must_use]
+    pub fn ops_returned(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when every planned op has returned.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.state.is_none() && self.next_op >= self.plan.len()
+    }
+
+    /// Kind of the next visible step, if any.
+    #[must_use]
+    pub fn peek_kind(&self) -> Option<StepKind> {
+        match self.queue.front() {
+            Some(Prim::Read { .. }) => Some(StepKind::Read),
+            Some(Prim::Cas { .. }) => Some(StepKind::Cas),
+            Some(Prim::Flush { .. }) => Some(StepKind::Flush),
+            Some(Prim::Fence) => Some(StepKind::Fence),
+            Some(Prim::Write { .. } | Prim::Return(_)) => {
+                unreachable!("queue front must be a visible prim")
+            }
+            None => None,
+        }
+    }
+
+    fn ctx<'a>(
+        lay: LfLayout,
+        tid: u8,
+        seq: u64,
+        arena_next: &'a mut u64,
+        stats: &'a mut MachineStats,
+    ) -> OpCtx<'a> {
+        OpCtx { lay, tid, seq, foc: lay.policy.flush_on_commit(), arena_next, stats }
+    }
+
+    /// Executes one visible step against `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is already done.
+    pub fn step(&mut self, region: &mut LfRegion) -> StepKind {
+        debug_assert_eq!(region.layout(), self.lay, "machine bound to a different layout");
+        let prim = self.queue.pop_front().expect("step on a finished machine");
+        let kind = match prim {
+            Prim::Read { addr } => {
+                let v = region.read_word(addr);
+                self.dispatch(Ev::Read(v));
+                StepKind::Read
+            }
+            Prim::Flush { addr } => {
+                region.flush_line(addr);
+                StepKind::Flush
+            }
+            Prim::Fence => {
+                region.fence();
+                StepKind::Fence
+            }
+            Prim::Cas { addr, expected, new } => {
+                self.stats.cas_attempts += 1;
+                match region.cas_word(addr, expected, new) {
+                    Ok(()) => self.dispatch(Ev::CasOk),
+                    Err(current) => {
+                        self.stats.cas_conflicts += 1;
+                        self.dispatch(Ev::CasFail(current));
+                    }
+                }
+                StepKind::Cas
+            }
+            Prim::Write { .. } | Prim::Return(_) => {
+                unreachable!("queue front must be a visible prim")
+            }
+        };
+        self.settle(region);
+        self.stats.steps += 1;
+        kind
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        let seq = self.seq_base + self.next_op as u64;
+        let mut state = self.state.take().expect("event without an op in flight");
+        let prims = {
+            let mut ctx =
+                Self::ctx(self.lay, self.tid, seq, &mut self.arena_next, &mut self.stats);
+            state.on_event(&mut ctx, ev)
+        };
+        self.state = Some(state);
+        self.queue.extend(prims);
+    }
+
+    /// Executes leading private writes (they bundle with the step that
+    /// just ran — they touch only lines no other thread reads live),
+    /// records returns, and begins follow-on operations, until the
+    /// queue fronts a visible prim or the plan is exhausted.
+    fn settle(&mut self, region: &mut LfRegion) {
+        loop {
+            match self.queue.front() {
+                Some(Prim::Write { .. }) => {
+                    let Some(Prim::Write { addr, val }) = self.queue.pop_front() else {
+                        unreachable!()
+                    };
+                    region.write_word(addr, val);
+                }
+                Some(Prim::Return(_)) => {
+                    let Some(Prim::Return(res)) = self.queue.pop_front() else { unreachable!() };
+                    self.results.push(res);
+                    self.state = None;
+                    self.next_op += 1;
+                    self.begin_next();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn begin_next(&mut self) {
+        if self.next_op >= self.plan.len() {
+            return;
+        }
+        let op = self.plan[self.next_op];
+        let seq = self.seq_base + self.next_op as u64;
+        let (state, prims) = {
+            let mut ctx =
+                Self::ctx(self.lay, self.tid, seq, &mut self.arena_next, &mut self.stats);
+            OpState::begin(&mut ctx, op)
+        };
+        self.state = Some(state);
+        self.queue.extend(prims);
+    }
+
+    /// Settles the queue against `region`: executes leading private
+    /// writes, records returns, begins follow-on ops. Must be called
+    /// after construction and after every [`ThreadMachine::step`]
+    /// before the next peek. Idempotent.
+    pub fn prepare(&mut self, region: &mut LfRegion) {
+        self.settle(region);
+    }
+}

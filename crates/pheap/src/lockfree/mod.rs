@@ -1,0 +1,159 @@
+//! Detectable lock-free persistent structures.
+//!
+//! The transactional heaps in this crate serialize every mutation
+//! through a log; this module is the other end of the design space
+//! the WSP paper argues about: CAS-published structures where many
+//! threads mutate one shard concurrently and a power failure can land
+//! between any two persistence-ordering instructions. Two structures
+//! are provided — a Treiber stack and an open-addressed hash — built
+//! on the *detectable operation* idiom from the persistent lock-free
+//! literature (see PAPERS.md): a per-thread durable descriptor is
+//! sealed before each linearizing CAS, and a help protocol preserves
+//! evidence for overwritten CASes, so [`recover_op`] can classify any
+//! in-flight operation after a crash as Completed, NotStarted, or
+//! Resolved (provably without durable effect, safe to re-execute).
+//!
+//! Operations are expressed as cloneable micro-program machines
+//! ([`ThreadMachine`]) rather than native threads: the deterministic
+//! interleaving sweep in `wsp-core::faultsim` drives them one visible
+//! step at a time, branches the whole execution at every scheduling
+//! choice, and injects a crash at every CAS/flush/fence step. The
+//! same machines back the multi-client mode of the sharded KV bench.
+
+mod detect;
+mod hash;
+mod machine;
+mod region;
+mod stack;
+
+pub use detect::{
+    desc_snapshot, is_tagged, pack, payload, recover_op, recovered_arena_next,
+    recovered_pop_value, tag_seq, tag_tid, DescSnapshot, DetectFailure, OpVerdict, OP_GET,
+    OP_INSERT, OP_POP, OP_PUSH, OP_UPDATE, PRELOAD_TID, TAG_FLAG,
+};
+pub use hash::preload_hash;
+pub use machine::{MachineStats, OpKind, OpResult, StepKind, ThreadMachine};
+pub use region::{FlushPolicy, LfLayout, LfRegion, HEAD_ADDR, LF_LINE, LF_MAGIC};
+pub use stack::preload_stack;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_round_robin(region: &mut LfRegion, machines: &mut [ThreadMachine]) {
+        for m in machines.iter_mut() {
+            m.prepare(region);
+        }
+        let mut guard = 0;
+        while machines.iter().any(|m| !m.done()) {
+            for m in machines.iter_mut() {
+                if !m.done() {
+                    m.step(region);
+                }
+            }
+            guard += 1;
+            assert!(guard < 10_000, "machines did not quiesce");
+        }
+    }
+
+    #[test]
+    fn serial_stack_push_pop() {
+        for policy in [FlushPolicy::FlushOnCommit, FlushPolicy::FlushOnFail] {
+            let lay = LfLayout::new(1, 0, 8, policy);
+            let mut region = LfRegion::create(lay);
+            let plan = vec![OpKind::Push(7), OpKind::Push(8), OpKind::Pop, OpKind::Pop, OpKind::Pop];
+            let mut ms = vec![ThreadMachine::new(lay, 0, plan)];
+            run_round_robin(&mut region, &mut ms);
+            assert_eq!(
+                ms[0].results(),
+                &[
+                    OpResult::Pushed,
+                    OpResult::Pushed,
+                    OpResult::Popped(8),
+                    OpResult::Popped(7),
+                    OpResult::Empty,
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_pushes_keep_all_nodes() {
+        let lay = LfLayout::new(2, 0, 8, FlushPolicy::FlushOnCommit);
+        let mut region = LfRegion::create(lay);
+        preload_stack(&mut region, &[100]);
+        let mut ms = vec![
+            ThreadMachine::new(lay, 0, vec![OpKind::Push(1), OpKind::Push(2)]),
+            ThreadMachine::new(lay, 1, vec![OpKind::Push(3), OpKind::Pop]),
+        ];
+        run_round_robin(&mut region, &mut ms);
+        // Walk the chain from the durable head (everything flushed).
+        let image = region.crash_image();
+        let r = LfRegion::from_image(image, lay);
+        let mut seen = Vec::new();
+        let mut cur = r.durable_word(HEAD_ADDR);
+        while payload(cur) != 0 {
+            let node = payload(cur);
+            seen.push(r.durable_word(node));
+            cur = r.durable_word(node + 8);
+            assert!(seen.len() <= 4, "cycle in stack chain");
+        }
+        let popped: Vec<_> = ms[1]
+            .results()
+            .iter()
+            .filter_map(|r| match r {
+                OpResult::Popped(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        let mut all: Vec<u64> = seen.iter().chain(popped.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 100]);
+    }
+
+    #[test]
+    fn serial_hash_ops() {
+        let lay = LfLayout::new(1, 16, 8, FlushPolicy::FlushOnCommit);
+        let mut region = LfRegion::create(lay);
+        preload_hash(&mut region, &[(5, 50)]);
+        let plan = vec![
+            OpKind::Insert(9, 90),
+            OpKind::Insert(9, 91),
+            OpKind::Get(9),
+            OpKind::Update(5, 55),
+            OpKind::Get(5),
+            OpKind::Get(77),
+            OpKind::Update(77, 1),
+        ];
+        let mut ms = vec![ThreadMachine::new(lay, 0, plan)];
+        run_round_robin(&mut region, &mut ms);
+        assert_eq!(
+            ms[0].results(),
+            &[
+                OpResult::Inserted,
+                OpResult::Exists,
+                OpResult::Found(90),
+                OpResult::Updated,
+                OpResult::Found(55),
+                OpResult::NotFound,
+                OpResult::NotFound,
+            ]
+        );
+    }
+
+    #[test]
+    fn foc_effects_are_durable_at_return() {
+        let lay = LfLayout::new(1, 16, 8, FlushPolicy::FlushOnCommit);
+        let mut region = LfRegion::create(lay);
+        let mut ms = vec![ThreadMachine::new(lay, 0, vec![OpKind::Insert(3, 30)])];
+        run_round_robin(&mut region, &mut ms);
+        // No flush-on-fail save: the insert must already be durable.
+        let r = LfRegion::from_image(region.crash_image(), lay);
+        let slot = lay.slot_addr(lay.home_slot(3));
+        let w = r.durable_word(slot);
+        assert!(is_tagged(w) && tag_tid(w) == 0 && tag_seq(w) == 1);
+        assert_eq!(r.durable_word(payload(w)), 3);
+        assert_eq!(r.durable_word(payload(w) + 8), 30);
+        assert_eq!(recover_op(&r, 0, 1), Ok(OpVerdict::Completed));
+    }
+}

@@ -1,0 +1,188 @@
+//! Detectable Treiber stack.
+//!
+//! The head word holds a tagged pointer to the top node (payload 0 ⇒
+//! empty; the tag survives even on the empty value so a pop-to-empty
+//! leaves CAS evidence). Nodes are single arena lines: `+0` value,
+//! `+8` the head word the node was pushed over — pops re-tag that
+//! word's payload, so the head's tag always names the *last* CAS-er,
+//! giving pushes and pops the same recovery evidence.
+//!
+//! Flush-on-commit ordering per push: node line flushed, descriptor
+//! sealed and flushed, fence, linearizing CAS, head flush, fence.
+//! Pops mirror it, and value-bearing or empty returns flush the line
+//! they depend on first (durable linearizability: a returned answer
+//! must still be justified after the crash). Flush-on-fail drops all
+//! of those flushes — the residual-energy save is the persistence
+//! step — but keeps the help protocol, because an overwritten tag is
+//! lost evidence under *both* policies.
+
+use super::detect::{pack, payload, OP_POP, OP_PUSH};
+use super::machine::{CasOutcome, CasSeq, Ev, OpCtx, OpResult, Prim};
+use super::region::{LfRegion, HEAD_ADDR};
+
+/// In-flight push.
+#[derive(Debug, Clone)]
+pub(crate) struct PushOp {
+    node: u64,
+    cas: Option<CasSeq>,
+    phase: PushPhase,
+}
+
+#[derive(Debug, Clone)]
+enum PushPhase {
+    HeadRead,
+    Casing,
+}
+
+impl PushOp {
+    pub fn begin(ctx: &mut OpCtx<'_>, value: u64) -> (Self, Vec<Prim>) {
+        let node = ctx.alloc_line();
+        let prims = vec![
+            Prim::Write { addr: node, val: value },
+            Prim::Read { addr: HEAD_ADDR },
+        ];
+        (PushOp { node, cas: None, phase: PushPhase::HeadRead }, prims)
+    }
+
+    fn attempt(&mut self, ctx: &mut OpCtx<'_>, head: u64) -> Vec<Prim> {
+        let mut prims = vec![Prim::Write { addr: self.node + 8, val: head }];
+        if ctx.foc {
+            // Fence folded into the descriptor fence CasSeq emits next.
+            prims.push(Prim::Flush { addr: self.node });
+        }
+        let new_head = pack(ctx.tid, ctx.seq, self.node);
+        let (cas, cp) = CasSeq::start(ctx, OP_PUSH, HEAD_ADDR, head, new_head);
+        prims.extend(cp);
+        self.cas = Some(cas);
+        self.phase = PushPhase::Casing;
+        prims
+    }
+
+    pub fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> Vec<Prim> {
+        match self.phase {
+            PushPhase::HeadRead => {
+                let Ev::Read(head) = ev else { unreachable!("push expected a head read") };
+                self.attempt(ctx, head)
+            }
+            PushPhase::Casing => {
+                match self.cas.as_mut().expect("push cas armed").on_event(ctx, ev) {
+                    CasOutcome::Continue(p) => p,
+                    CasOutcome::Done => {
+                        let mut p = Vec::new();
+                        if ctx.foc {
+                            p.push(Prim::Flush { addr: HEAD_ADDR });
+                            p.push(Prim::Fence);
+                        }
+                        p.push(Prim::Return(OpResult::Pushed));
+                        p
+                    }
+                    CasOutcome::Failed { current } => self.attempt(ctx, current),
+                }
+            }
+        }
+    }
+}
+
+/// In-flight pop.
+#[derive(Debug, Clone)]
+pub(crate) struct PopOp {
+    /// Head word this attempt is popping.
+    head: u64,
+    cas: Option<CasSeq>,
+    phase: PopPhase,
+}
+
+#[derive(Debug, Clone)]
+enum PopPhase {
+    HeadRead,
+    NextRead,
+    Casing,
+    ValRead,
+}
+
+impl PopOp {
+    pub fn begin() -> (Self, Vec<Prim>) {
+        (
+            PopOp { head: 0, cas: None, phase: PopPhase::HeadRead },
+            vec![Prim::Read { addr: HEAD_ADDR }],
+        )
+    }
+
+    fn on_head(&mut self, ctx: &mut OpCtx<'_>, head: u64) -> Vec<Prim> {
+        if payload(head) == 0 {
+            // Empty. The answer depends on the head word we read:
+            // persist it before telling the client (this also makes a
+            // racing pop-to-empty durable — harmless extra evidence).
+            let mut p = Vec::new();
+            if ctx.foc {
+                p.push(Prim::Flush { addr: HEAD_ADDR });
+                p.push(Prim::Fence);
+            }
+            p.push(Prim::Return(OpResult::Empty));
+            return p;
+        }
+        self.head = head;
+        self.phase = PopPhase::NextRead;
+        vec![Prim::Read { addr: payload(head) + 8 }]
+    }
+
+    pub fn on_event(&mut self, ctx: &mut OpCtx<'_>, ev: Ev) -> Vec<Prim> {
+        match self.phase {
+            PopPhase::HeadRead => {
+                let Ev::Read(head) = ev else { unreachable!("pop expected a head read") };
+                self.on_head(ctx, head)
+            }
+            PopPhase::NextRead => {
+                let Ev::Read(next) = ev else { unreachable!("pop expected a next read") };
+                let new_head = pack(ctx.tid, ctx.seq, payload(next));
+                let (cas, prims) = CasSeq::start(ctx, OP_POP, HEAD_ADDR, self.head, new_head);
+                self.cas = Some(cas);
+                self.phase = PopPhase::Casing;
+                prims
+            }
+            PopPhase::Casing => {
+                match self.cas.as_mut().expect("pop cas armed").on_event(ctx, ev) {
+                    CasOutcome::Continue(p) => p,
+                    CasOutcome::Done => {
+                        let mut p = Vec::new();
+                        if ctx.foc {
+                            p.push(Prim::Flush { addr: HEAD_ADDR });
+                            p.push(Prim::Fence);
+                        }
+                        // The node is exclusively ours once unlinked;
+                        // its line was persisted before it was ever
+                        // published, so the value read is durable.
+                        p.push(Prim::Read { addr: payload(self.head) });
+                        self.phase = PopPhase::ValRead;
+                        p
+                    }
+                    CasOutcome::Failed { current } => self.on_head(ctx, current),
+                }
+            }
+            PopPhase::ValRead => {
+                let Ev::Read(value) = ev else { unreachable!("pop expected a value read") };
+                vec![Prim::Return(OpResult::Popped(value))]
+            }
+        }
+    }
+}
+
+/// Seeds a stack with `values` (bottom to top) from the preload arena,
+/// all durably, head tagged with the preload tid.
+pub fn preload_stack(region: &mut LfRegion, values: &[u64]) {
+    let lay = region.layout();
+    let base = lay.arena_base(lay.threads);
+    assert!(
+        values.len() as u64 * 64 <= lay.arena_bytes(),
+        "preload arena too small for {} values",
+        values.len()
+    );
+    let mut head = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        let node = base + i as u64 * 64;
+        region.preload_word(node, v);
+        region.preload_word(node + 8, head);
+        head = pack(super::detect::PRELOAD_TID, 0, node);
+    }
+    region.preload_word(HEAD_ADDR, head);
+}

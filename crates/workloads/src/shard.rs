@@ -18,6 +18,9 @@
 
 use wsp_det::{DetRng, Rng};
 use wsp_obs as obs;
+use wsp_pheap::lockfree::{
+    payload, preload_hash, FlushPolicy, LfLayout, LfRegion, OpKind, ThreadMachine,
+};
 use wsp_pheap::{HeapConfig, HeapError, PersistentHeap};
 use wsp_units::{ByteSize, LatencyHistogram, Nanos};
 
@@ -118,6 +121,11 @@ pub struct ShardedKvBench {
     pub mix: YcsbMix,
     /// Zipfian skew for key selection.
     pub zipf_theta: f64,
+    /// Concurrent client threads inside each shard for the lock-free
+    /// serving path ([`ShardedKvBench::run_concurrent`]). The classic
+    /// [`ShardedKvBench::run`] path ignores this and serializes
+    /// `clients_per_shard` closed-loop clients through the shard heap.
+    pub in_shard_threads: usize,
 }
 
 impl ShardedKvBench {
@@ -134,6 +142,7 @@ impl ShardedKvBench {
             epoch_size: 32,
             mix: YcsbMix::A,
             zipf_theta: 0.99,
+            in_shard_threads: 1,
         }
     }
 
@@ -149,6 +158,7 @@ impl ShardedKvBench {
             epoch_size: 8,
             mix: YcsbMix::A,
             zipf_theta: 0.99,
+            in_shard_threads: 1,
         }
     }
 
@@ -182,6 +192,60 @@ impl ShardedKvBench {
         seed: u64,
         threads: usize,
     ) -> Result<ShardedKvReport, HeapError> {
+        self.run_inner(config, seed, threads, false)
+    }
+
+    /// Runs the lock-free concurrent serving path: inside every shard,
+    /// [`ShardedKvBench::in_shard_threads`] client threads mutate one
+    /// detectable open-addressed hash concurrently (YCSB on many cores
+    /// inside one shard), with the ambient worker count across shards.
+    ///
+    /// Each in-shard thread pays simulated time only for the steps it
+    /// executes, so the shard's measured phase is the *slowest thread's
+    /// clock* — concurrency shortens the shard wall exactly as extra
+    /// cores would, while CAS conflicts and helping charge the threads
+    /// that incur them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures (none arise on this path today; the
+    /// signature matches [`ShardedKvBench::run`] for drop-in use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `in_shard_threads` is zero.
+    pub fn run_concurrent(&self, config: HeapConfig, seed: u64) -> Result<ShardedKvReport, HeapError> {
+        self.run_concurrent_on(config, seed, kv_worker_threads())
+    }
+
+    /// [`ShardedKvBench::run_concurrent`] on an explicit cross-shard
+    /// worker count. The report is bitwise identical for every
+    /// `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap failures from any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `in_shard_threads` is zero.
+    pub fn run_concurrent_on(
+        &self,
+        config: HeapConfig,
+        seed: u64,
+        threads: usize,
+    ) -> Result<ShardedKvReport, HeapError> {
+        assert!(self.in_shard_threads > 0, "at least one in-shard thread");
+        self.run_inner(config, seed, threads, true)
+    }
+
+    fn run_inner(
+        &self,
+        config: HeapConfig,
+        seed: u64,
+        threads: usize,
+        concurrent: bool,
+    ) -> Result<ShardedKvReport, HeapError> {
         assert!(self.shards > 0, "at least one shard");
         assert!(self.clients_per_shard > 0, "at least one client per shard");
 
@@ -192,7 +256,13 @@ impl ShardedKvBench {
             (0..self.shards).map(|s| (s, parent.split())).collect();
 
         let outcomes = run_on_workers(plans, threads, |(shard, rng)| {
-            let (outcome, capture) = obs::capture(|| self.run_shard(config, shard, rng));
+            let (outcome, capture) = obs::capture(|| {
+                if concurrent {
+                    self.run_shard_concurrent(config, shard, rng)
+                } else {
+                    self.run_shard(config, shard, rng)
+                }
+            });
             (outcome, capture)
         });
 
@@ -296,6 +366,135 @@ impl ShardedKvBench {
             latencies: server.latencies().clone(),
         })
     }
+
+    /// One shard of the concurrent path: `in_shard_threads` detectable
+    /// hash clients racing on a single lock-free region.
+    fn run_shard_concurrent(
+        &self,
+        config: HeapConfig,
+        shard: usize,
+        mut rng: DetRng,
+    ) -> Result<ShardOutcome, HeapError> {
+        let stride = self.shards as u64;
+        let shard_key = |k: u64| k * stride + shard as u64;
+        let policy = if config.flush_on_commit() {
+            FlushPolicy::FlushOnCommit
+        } else {
+            FlushPolicy::FlushOnFail
+        };
+        let clients = self.in_shard_threads;
+        // Mix D is the only insert-bearing mix; budget fresh keys for it.
+        let fresh_budget = match self.mix {
+            YcsbMix::D => self.ops_per_client * clients as u64,
+            _ => 0,
+        };
+        let slots = ((self.records_per_shard + fresh_budget) * 2)
+            .next_power_of_two()
+            .max(16) as usize;
+        // Inserts and updates each publish one fresh entry line; the
+        // preload arena holds one line per preloaded record.
+        let arena_lines = (self.ops_per_client as usize).max(self.records_per_shard as usize) + 1;
+        let lay = LfLayout::new(clients, slots, arena_lines, policy);
+        let mut region = LfRegion::create(lay);
+        let pairs: Vec<(u64, u64)> =
+            (0..self.records_per_shard).map(|k| (shard_key(k), k)).collect();
+        preload_hash(&mut region, &pairs);
+
+        // Client plans from serially split PRNGs (client order), then
+        // the scheduler stream: the crash-sweep determinism recipe.
+        let zipf = Zipfian::new(self.records_per_shard, self.zipf_theta);
+        let mut machines: Vec<ThreadMachine> = (0..clients)
+            .map(|c| {
+                let mut crng = rng.split();
+                let first_fresh = self.records_per_shard + c as u64;
+                let mut fresh = first_fresh;
+                let plan: Vec<OpKind> = (0..self.ops_per_client)
+                    .map(|_| {
+                        let key = shard_key(zipf.sample(&mut crng));
+                        let roll: f64 = crng.gen();
+                        match self.mix {
+                            YcsbMix::A if roll < 0.5 => OpKind::Get(key),
+                            YcsbMix::A => OpKind::Update(key, roll.to_bits()),
+                            YcsbMix::B if roll < 0.95 => OpKind::Get(key),
+                            YcsbMix::B => OpKind::Update(key, roll.to_bits()),
+                            YcsbMix::C => OpKind::Get(key),
+                            YcsbMix::D if roll < 0.95 => {
+                                // Read the newest key this client wrote
+                                // (or the newest preload before any).
+                                let latest = if fresh > first_fresh {
+                                    fresh - clients as u64
+                                } else {
+                                    self.records_per_shard - 1
+                                };
+                                OpKind::Get(shard_key(latest))
+                            }
+                            YcsbMix::D => {
+                                let k = fresh;
+                                fresh += clients as u64;
+                                OpKind::Insert(shard_key(k), k)
+                            }
+                            // Incr is read-modify-write; the lock-free
+                            // table models it as a value replacement.
+                            YcsbMix::F if roll < 0.5 => OpKind::Get(key),
+                            YcsbMix::F => OpKind::Update(key, roll.to_bits()),
+                        }
+                    })
+                    .collect();
+                ThreadMachine::new(lay, c as u8, plan)
+            })
+            .collect();
+        let mut sched = rng.split();
+        for m in &mut machines {
+            m.prepare(&mut region);
+        }
+
+        // Uniform random scheduling over unfinished clients. Each
+        // thread's clock accumulates only its own steps' simulated
+        // time: threads run on their own cores, so the shard's wall is
+        // the slowest thread's clock, not the sum.
+        let mut clocks = vec![Nanos::ZERO; clients];
+        let mut op_start = vec![Nanos::ZERO; clients];
+        let mut returned = vec![0usize; clients];
+        let mut latencies = LatencyHistogram::new();
+        let mut commands = 0u64;
+        loop {
+            let live: Vec<usize> = (0..clients).filter(|&i| !machines[i].done()).collect();
+            if live.is_empty() {
+                break;
+            }
+            let i = live[sched.gen_range(0..live.len())];
+            let before = region.elapsed();
+            machines[i].step(&mut region);
+            clocks[i] += region.elapsed() - before;
+            while returned[i] < machines[i].results().len() {
+                returned[i] += 1;
+                let lat = clocks[i] - op_start[i];
+                op_start[i] = clocks[i];
+                latencies.record(lat);
+                obs::observe(obs::Hist::LockfreeOp, lat);
+                obs::count(obs::Ctr::LockfreeOps);
+                commands += 1;
+            }
+        }
+        let wall = clocks.iter().copied().max().unwrap_or(Nanos::ZERO);
+        for m in &machines {
+            obs::count_by(obs::Ctr::LockfreeCas, m.stats().cas_attempts);
+            obs::count_by(obs::Ctr::LockfreeCasConflicts, m.stats().cas_conflicts);
+            obs::count_by(obs::Ctr::LockfreeHelps, m.stats().helps);
+        }
+        let items = (0..lay.slots)
+            .filter(|&idx| payload(region.read_word(lay.slot_addr(idx))) != 0)
+            .count() as u64;
+
+        Ok(ShardOutcome {
+            shard,
+            ops: self.ops_per_client * clients as u64,
+            elapsed: wall,
+            commands,
+            items,
+            latencies,
+        })
+    }
 }
 
 /// Per-shard results, merged in shard order into a [`ShardedKvReport`].
@@ -318,7 +517,7 @@ pub struct ShardOutcome {
 }
 
 /// The merged result of one sharded KV run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardedKvReport {
     /// Heap configuration every shard ran.
     pub config: HeapConfig,
@@ -438,5 +637,74 @@ mod tests {
             let report = bench.run(HeapConfig::FocStm, 5).unwrap();
             assert!(report.aggregate_ops_per_sec > 0.0, "{}", mix.label());
         }
+    }
+
+    #[test]
+    fn every_mix_runs_concurrent() {
+        for mix in YcsbMix::all() {
+            let bench = ShardedKvBench {
+                mix,
+                ops_per_client: 60,
+                in_shard_threads: 3,
+                ..ShardedKvBench::quick(2)
+            };
+            for config in [HeapConfig::FocUndo, HeapConfig::Fof] {
+                let report = bench.run_concurrent(config, 5).unwrap();
+                assert_eq!(report.total_ops, 2 * 3 * 60, "{}", mix.label());
+                assert!(report.aggregate_ops_per_sec > 0.0, "{}", mix.label());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_run_is_deterministic_across_workers() {
+        let bench = ShardedKvBench {
+            in_shard_threads: 4,
+            ops_per_client: 80,
+            ..ShardedKvBench::quick(2)
+        };
+        let serial = bench.run_concurrent_on(HeapConfig::FocUndo, 9, 1).unwrap();
+        let sharded = bench.run_concurrent_on(HeapConfig::FocUndo, 9, 4).unwrap();
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn in_shard_threads_scale_throughput() {
+        // Same total op count; four in-shard clients split it and the
+        // shard finishes on the slowest thread's clock.
+        let one = ShardedKvBench {
+            in_shard_threads: 1,
+            ops_per_client: 400,
+            ..ShardedKvBench::quick(1)
+        };
+        let four = ShardedKvBench {
+            in_shard_threads: 4,
+            ops_per_client: 100,
+            ..ShardedKvBench::quick(1)
+        };
+        let r1 = one.run_concurrent(HeapConfig::FocUndo, 21).unwrap();
+        let r4 = four.run_concurrent(HeapConfig::FocUndo, 21).unwrap();
+        assert_eq!(r1.total_ops, r4.total_ops);
+        let scaling = r4.aggregate_ops_per_sec / r1.aggregate_ops_per_sec;
+        assert!(scaling > 1.8, "4-thread in-shard scaling only {scaling:.2}x");
+    }
+
+    #[test]
+    fn concurrent_fof_beats_foc_under_contention() {
+        let bench = ShardedKvBench {
+            in_shard_threads: 4,
+            ops_per_client: 150,
+            zipf_theta: 0.99,
+            mix: YcsbMix::A,
+            ..ShardedKvBench::quick(1)
+        };
+        let foc = bench.run_concurrent(HeapConfig::FocUndo, 13).unwrap();
+        let fof = bench.run_concurrent(HeapConfig::Fof, 13).unwrap();
+        assert!(
+            fof.aggregate_ops_per_sec > foc.aggregate_ops_per_sec,
+            "fof {:.0} <= foc {:.0}",
+            fof.aggregate_ops_per_sec,
+            foc.aggregate_ops_per_sec
+        );
     }
 }

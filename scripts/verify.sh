@@ -63,6 +63,13 @@ cargo run --release --offline -p wsp-bench --features bench --bin bench_pr7 -- c
 echo "== shared-domain triage + storm-survival gate =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr8 -- check BENCH_PR8.json
 
+echo "== concurrent in-shard scaling + FoF-gap gate (floor 1.8x at 4 threads) =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr9 -- check BENCH_PR9.json
+
+echo "== lock-free interleaving sweep: fixed-seed corpus at both worker counts =="
+WSP_FAULTSIM_THREADS=1 cargo test -q --release --offline --test lockfree_detect
+WSP_FAULTSIM_THREADS=4 cargo test -q --release --offline --test lockfree_detect
+
 echo "== power-storm soak: three seeds, serial and sharded must agree =="
 for seed in 42 7 4242; do
     echo "  -- seed $seed (WSP_FAULTSIM_THREADS=1)"

@@ -483,6 +483,68 @@ fn flit_elision_fixed_seed_corpus() {
     }
 }
 
+/// Two clients racing on the same words: each brings its own
+/// transaction stream, a generated schedule interleaves their commits
+/// (transactions are the heap's concurrency unit — sub-transactional
+/// races live in the lock-free sweep), and the merged schedule must
+/// keep elision-on and reference heaps bitwise identical. The racing
+/// shape matters to FliT specifically: back-to-back rewrites of one
+/// word now arrive from *different* writers, so per-word flush
+/// tracking that keyed elision on the writing client — rather than on
+/// the word's actual flush state — would diverge here and nowhere in
+/// the single-writer property above.
+fn check_flit_elision_under_racing_writers(
+    a: &[Vec<(usize, u64)>],
+    b: &[Vec<(usize, u64)>],
+    schedule: &[bool],
+    use_stm: bool,
+) {
+    let (mut ia, mut ib) = (0, 0);
+    let mut merged: Vec<Vec<(usize, u64)>> = Vec::with_capacity(a.len() + b.len());
+    for &pick_a in schedule {
+        if (pick_a && ia < a.len()) || ib >= b.len() {
+            if ia < a.len() {
+                merged.push(a[ia].clone());
+                ia += 1;
+            }
+        } else {
+            merged.push(b[ib].clone());
+            ib += 1;
+        }
+    }
+    merged.extend(a[ia..].iter().cloned());
+    merged.extend(b[ib..].iter().cloned());
+    check_flit_elision_is_invisible(&merged, use_stm);
+}
+
+/// Both racing clients favor the same two cells, making cross-writer
+/// same-word rewrites the common case instead of a lucky draw.
+fn racing_txs() -> Gen<Vec<Vec<(usize, u64)>>> {
+    gen::vec_of(
+        gen::vec_of(
+            gen::pair(gen::in_range(0usize..2), gen::any::<u64>()),
+            1..4,
+        ),
+        1..8,
+    )
+}
+
+#[test]
+fn flit_elision_is_invisible_under_racing_writers() {
+    Forall::new(gen::pair(
+        gen::triple(
+            racing_txs(),
+            racing_txs(),
+            gen::vec_of(gen::any::<bool>(), 1..15),
+        ),
+        gen::any::<bool>(),
+    ))
+    .cases(10)
+    .check(|((a, b, schedule), use_stm)| {
+        check_flit_elision_under_racing_writers(a, b, schedule, *use_stm);
+    });
+}
+
 /// Fixed-seed regression corpus: seeds that exercised interesting
 /// schedules stay pinned so every future run re-checks them even after
 /// the default seed or generators change.

@@ -428,16 +428,35 @@ fn golden_corpus_is_schema_valid() {
     let entries = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("{} unreadable ({e}); record the corpus with WSP_UPDATE_GOLDEN=1", dir.display()));
     let mut checked = 0usize;
+    let mut lockfree = 0usize;
     for entry in entries {
         let path = entry.unwrap().path();
         if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
             continue;
         }
         let text = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if name.starts_with("lockfree_") {
+            // Lock-free sweep corpus: its own line schema, pinned by exact
+            // string replay in tests/lockfree_detect.rs. Here only check
+            // that every line is a JSON object.
+            assert!(!text.trim().is_empty(), "{} is empty", path.display());
+            for (i, line) in text.lines().enumerate() {
+                assert!(
+                    line.starts_with('{') && line.ends_with('}'),
+                    "{} line {}: not a JSON object",
+                    path.display(),
+                    i + 1
+                );
+            }
+            lockfree += 1;
+            continue;
+        }
         let events = obs::parse_jsonl(&text)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(!events.is_empty(), "{} is empty", path.display());
         checked += 1;
     }
     assert!(checked >= 14, "expected >= 14 golden files, found {checked}");
+    assert!(lockfree >= 7, "expected >= 7 lock-free corpus files, found {lockfree}");
 }
