@@ -54,6 +54,8 @@ fn xs_bench(quick: bool, pct: f64) -> CrossShardKvBench {
         lose_shard: None,
         // Every transfer runs the full protocol to its commit markers.
         in_doubt_tail: false,
+        coordinators: 1,
+        decision_group: 1,
     }
 }
 

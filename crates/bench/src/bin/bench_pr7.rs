@@ -78,6 +78,8 @@ fn xs_bench(quick: bool, pct: f64) -> CrossShardKvBench {
         region: ByteSize::mib(1),
         lose_shard: None,
         in_doubt_tail: false,
+        coordinators: 1,
+        decision_group: 1,
     }
 }
 

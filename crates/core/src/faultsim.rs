@@ -57,7 +57,10 @@ use crate::save::{flush_on_fail_save_with_fault, SaveFault, SaveReport, SaveStep
 use crate::supervisor::{
     clean_failure_trace, glitch_storm_trace, supervised_save, SaveBudget, SaveVerdict,
 };
-use crate::txn::{resolve_cross_shard, CrossShardTxn, TxnCoordinator, TxnOutcome};
+use crate::txn::{
+    coordinator_of, resolve_cross_shard, CoordinatorPool, CrossShardTxn, GtxidOrigin,
+    SubmitOutcome, TxnCoordinator, TxnOutcome,
+};
 use crate::{layout, RestartStrategy, WspError};
 
 pub use crate::lockfree_sweep::{
@@ -811,7 +814,38 @@ pub enum TxnCrashPoint {
         /// Index of the scripted transaction being attempted.
         txn: usize,
     },
+    /// A two-coordinator [`CoordinatorPool`] dies at a group boundary:
+    /// `buffered` transactions are prepared everywhere with their
+    /// decisions buffered but no covering group record sealed. Presumed
+    /// abort must erase every one of them from every shard.
+    GroupBoundary {
+        /// Decisions buffered (and lost) when power fails.
+        buffered: usize,
+    },
+    /// The pool seals a *prefix* of its buffered decisions under one
+    /// shared-log flush, interleaved with further submissions, then dies
+    /// before any phase 2: the sealed prefix must resolve to commit on
+    /// every shard while the still-buffered tail presumes abort — a
+    /// split resolution from a single flush.
+    GroupInterleavedSplit {
+        /// Decisions covered by the sealed group record.
+        sealed: usize,
+    },
+    /// The pool dies partway through writing the group record itself:
+    /// only `durable_words` words (header first, then one entry per
+    /// member) reach NVRAM. Any torn prefix must presume abort for
+    /// *every* member; only the complete, fenced record commits them.
+    TornGroupRecord {
+        /// Durable words of the group record when power fails.
+        durable_words: usize,
+    },
 }
+
+/// Coordinators in the pool driven by the group-family crash points.
+const XS_POOL_COORDS: usize = 2;
+/// Words of a group record covering all [`XS_TXNS`] scripted
+/// transactions: one header plus one entry per member.
+const XS_GROUP_WORDS: usize = XS_TXNS + 1;
 
 impl TxnCrashPoint {
     /// Index of the scripted transaction the crash lands in.
@@ -826,6 +860,10 @@ impl TxnCrashPoint {
             | Self::ShardMidPrepare { txn, .. }
             | Self::ShardMidCommit { txn, .. }
             | Self::ShardImageLost { txn } => txn,
+            // Group-family points span several transactions; report the
+            // last one in flight.
+            Self::GroupBoundary { buffered } => buffered - 1,
+            Self::GroupInterleavedSplit { .. } | Self::TornGroupRecord { .. } => XS_TXNS - 1,
         }
     }
 
@@ -841,22 +879,29 @@ impl TxnCrashPoint {
             Self::ShardMidPrepare { .. } => "shard-mid-prepare",
             Self::ShardMidCommit { .. } => "shard-mid-commit",
             Self::ShardImageLost { .. } => "shard-image-lost",
+            Self::GroupBoundary { .. } => "group-boundary",
+            Self::GroupInterleavedSplit { .. } => "interleaved-split",
+            Self::TornGroupRecord { .. } => "torn-group-record",
         }
     }
 
-    /// True when the coordinator's decision record is durable at this
-    /// point. The all-or-nothing contract then requires the transaction
-    /// to commit on every shard; otherwise presumed abort must erase it
-    /// from every shard.
+    /// True when a durable decision record covers at least one in-flight
+    /// transaction at this point. The all-or-nothing contract then
+    /// requires every covered transaction to commit on every shard;
+    /// uncovered ones must vanish from every shard by presumed abort.
+    /// For [`TxnCrashPoint::GroupInterleavedSplit`] the two coexist: the
+    /// sealed prefix is durable, the buffered tail is not.
     #[must_use]
     pub fn decision_durable(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Self::PostDecisionPreCommit { .. }
-                | Self::BetweenShardCommits { .. }
-                | Self::ShardMidCommit { .. }
-                | Self::ShardImageLost { .. }
-        )
+            | Self::BetweenShardCommits { .. }
+            | Self::ShardMidCommit { .. }
+            | Self::ShardImageLost { .. }
+            | Self::GroupInterleavedSplit { .. } => true,
+            Self::TornGroupRecord { durable_words } => *durable_words == XS_GROUP_WORDS,
+            _ => false,
+        }
     }
 
     /// Stable ordinal for trace payloads.
@@ -870,7 +915,21 @@ impl TxnCrashPoint {
             Self::ShardMidPrepare { .. } => 5,
             Self::ShardMidCommit { .. } => 6,
             Self::ShardImageLost { .. } => 7,
+            Self::GroupBoundary { .. } => 8,
+            Self::GroupInterleavedSplit { .. } => 9,
+            Self::TornGroupRecord { .. } => 10,
         }
+    }
+
+    /// True for points driven through a [`CoordinatorPool`] rather than
+    /// a single [`TxnCoordinator`].
+    fn is_group_family(&self) -> bool {
+        matches!(
+            self,
+            Self::GroupBoundary { .. }
+                | Self::GroupInterleavedSplit { .. }
+                | Self::TornGroupRecord { .. }
+        )
     }
 }
 
@@ -888,6 +947,15 @@ pub enum TxnPointVerdict {
     DegradedShard {
         /// The shard that could not recover locally.
         shard: usize,
+    },
+    /// A single shared-log flush split the in-flight set: the sealed
+    /// prefix committed on every shard while the still-buffered tail
+    /// presumed abort on every shard.
+    SplitResolved {
+        /// Transactions the sealed group record committed.
+        committed: usize,
+        /// Transactions presumed abort erased.
+        aborted: usize,
     },
 }
 
@@ -910,6 +978,9 @@ pub struct CrossShard2pcReport {
     pub aborted: usize,
     /// Points where a lost shard degraded through the ladder.
     pub degraded: usize,
+    /// Points where one shared-log flush resolved a split: a sealed
+    /// prefix committed while the buffered tail aborted.
+    pub split: usize,
     /// Per-point traces merged in crash-point order — identical for any
     /// `WSP_FAULTSIM_THREADS`.
     pub trace: Trace,
@@ -937,7 +1008,12 @@ impl CrossShard2pcReport {
 /// epoch seal — coordinator-side (pre-prepare, between prepares,
 /// post-prepare/pre-decision, post-decision, between shard commits) and
 /// shard-side (every durable word of a prepare seal, a torn and a
-/// fenced commit marker, a lost image) — then resolves the whole fleet
+/// fenced commit marker, a lost image) — plus the group-commit families
+/// driven through a two-coordinator [`CoordinatorPool`]: a crash at
+/// every group boundary with decisions buffered, an interleaved seal
+/// whose single flush splits the in-flight set into a committed prefix
+/// and an aborted tail, and a crash after every durable word of the
+/// group record itself — then resolves the whole fleet
 /// with [`resolve_cross_shard`] and checks the all-or-nothing contract
 /// against an in-memory model: a transaction with a durable coordinator
 /// decision is visible on every shard, one without vanishes from every
@@ -1007,6 +1083,21 @@ fn sweep_cross_shard_2pc_threads(
         })
         .collect();
 
+    // The group-family workload: same shard spans, but transaction `t`
+    // owns cell `t` on each participant so concurrently-prepared
+    // write sets stay pairwise disjoint.
+    let pool_script: Vec<Vec<(usize, usize, u64)>> = (0..XS_TXNS)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for shard in [t % XS_SHARDS, (t + 1) % XS_SHARDS] {
+                for _ in 0..2 {
+                    ops.push((shard, t, rng.gen::<u64>()));
+                }
+            }
+            ops
+        })
+        .collect();
+
     let cluster = ClusterSpec::memcache_tier(8);
     let mid = XS_TXNS / 2;
 
@@ -1033,6 +1124,15 @@ fn sweep_cross_shard_2pc_threads(
     points.push(TxnCrashPoint::ShardMidCommit { txn: mid, marker_durable: false });
     points.push(TxnCrashPoint::ShardMidCommit { txn: mid, marker_durable: true });
     points.push(TxnCrashPoint::ShardImageLost { txn: mid });
+    for buffered in 1..=XS_TXNS {
+        points.push(TxnCrashPoint::GroupBoundary { buffered });
+    }
+    for sealed in 1..XS_TXNS {
+        points.push(TxnCrashPoint::GroupInterleavedSplit { sealed });
+    }
+    for durable_words in 0..=XS_GROUP_WORDS {
+        points.push(TxnCrashPoint::TornGroupRecord { durable_words });
+    }
     let crash_points = points.len();
 
     let results = run_sharded(points, threads, |point| {
@@ -1046,7 +1146,11 @@ fn sweep_cross_shard_2pc_threads(
                 format!("{point:?}"),
             );
             obs::count(Ctr::FaultsInjected);
-            run_cross_shard_point(config, &heaps, &cells, &script, &cluster, point)
+            if point.is_group_family() {
+                run_group_point(config, &heaps, &cells, &pool_script, &cluster, point)
+            } else {
+                run_cross_shard_point(config, &heaps, &cells, &script, &cluster, point)
+            }
         });
         (point, verdict, cap)
     });
@@ -1069,6 +1173,10 @@ fn sweep_cross_shard_2pc_threads(
         .iter()
         .filter(|(_, v)| matches!(v, TxnPointVerdict::DegradedShard { .. }))
         .count();
+    let split = outcomes
+        .iter()
+        .filter(|(_, v)| matches!(v, TxnPointVerdict::SplitResolved { .. }))
+        .count();
 
     CrossShard2pcReport {
         config,
@@ -1079,6 +1187,7 @@ fn sweep_cross_shard_2pc_threads(
         committed,
         aborted,
         degraded,
+        split,
         trace: merged.trace,
         metrics: merged.metrics,
     }
@@ -1190,6 +1299,7 @@ fn run_cross_shard_point(
             coordinator.record_decision(&txn);
             lost = Some(participants[0]);
         }
+        other => unreachable!("group-family point {other:?} routed to run_group_point"),
     }
 
     // Power fails everywhere at once.
@@ -1275,6 +1385,146 @@ fn run_cross_shard_point(
         Some(shard) => TxnPointVerdict::DegradedShard { shard },
         None if txn_committed => TxnPointVerdict::CommittedEverywhere,
         None => TxnPointVerdict::AbortedEverywhere,
+    }
+}
+
+/// One group-family crash point: drive the scripted transactions
+/// through a two-coordinator [`CoordinatorPool`] sharing one decision
+/// log, cut power at the scripted instant (group boundary, mid-record,
+/// or between an interleaved seal and its phase 2), resolve the fleet
+/// with [`resolve_cross_shard`], and check per-transaction
+/// all-or-nothing plus recovered-pool attribution.
+fn run_group_point(
+    config: HeapConfig,
+    baseline: &[PersistentHeap],
+    cells: &[Vec<(PmPtr, u64)>],
+    pool_script: &[Vec<(usize, usize, u64)>],
+    cluster: &ClusterSpec,
+    point: TxnCrashPoint,
+) -> TxnPointVerdict {
+    let mut heaps: Vec<PersistentHeap> = baseline.to_vec();
+    // The group size sits above anything the script stages: sealing is
+    // driven by the crash point, never by the trigger.
+    let mut pool = CoordinatorPool::new(XS_POOL_COORDS, XS_TXNS + 1);
+    let (in_flight, sealed_prefix, torn) = match point {
+        TxnCrashPoint::GroupBoundary { buffered } => (buffered, 0, None),
+        TxnCrashPoint::GroupInterleavedSplit { sealed } => (XS_TXNS, sealed, None),
+        TxnCrashPoint::TornGroupRecord { durable_words } => (XS_TXNS, 0, Some(durable_words)),
+        other => unreachable!("not a group-family point: {other:?}"),
+    };
+
+    let mut gtxids: Vec<u64> = Vec::with_capacity(in_flight);
+    for (t, ops) in pool_script.iter().take(in_flight).enumerate() {
+        let coordinator = t % XS_POOL_COORDS;
+        let mut txn = pool.begin(coordinator, cells.len());
+        for &(shard, cell, value) in ops {
+            txn.stage(shard, cells[shard][cell].0.offset(), value);
+        }
+        let outcome = pool.submit(coordinator, &mut heaps, &txn).unwrap();
+        assert_eq!(
+            outcome,
+            SubmitOutcome::Buffered,
+            "{config}: pool txn {t} must buffer at {point:?}"
+        );
+        gtxids.push(txn.gtxid());
+        // The interleaved split: seal the prefix mid-stream, then keep
+        // submitting into the next (never-sealed) group.
+        if t + 1 == sealed_prefix {
+            assert_eq!(
+                pool.seal_decisions(coordinator),
+                sealed_prefix,
+                "{config}: prefix seal at {point:?}"
+            );
+        }
+    }
+
+    // Power fails everywhere at once — mid-record for the torn family.
+    let coordinator_image = match torn {
+        Some(durable_words) => pool.crash_mid_group_seal(durable_words),
+        None => pool.crash_image(),
+    };
+    let images: Vec<Option<CrashImage>> = heaps
+        .into_iter()
+        .map(|heap| Some(heap.crash(false)))
+        .collect();
+
+    let recovery = resolve_cross_shard(&coordinator_image, images, cluster);
+    let committed_txns = match point {
+        TxnCrashPoint::GroupBoundary { .. } => 0,
+        TxnCrashPoint::GroupInterleavedSplit { sealed } => sealed,
+        TxnCrashPoint::TornGroupRecord { durable_words } => {
+            if durable_words == XS_GROUP_WORDS {
+                in_flight
+            } else {
+                0
+            }
+        }
+        _ => unreachable!(),
+    };
+    for (t, &gtxid) in gtxids.iter().enumerate() {
+        assert_eq!(
+            recovery.decided.contains(&gtxid),
+            t < committed_txns,
+            "{config}: decision durability of pool txn {t} at {point:?}"
+        );
+    }
+
+    // Attribution: the recovered pool names the sealing coordinator
+    // generation for every durable decision and disowns the rest, while
+    // the issuer stays decodable from the gtxid either way.
+    let recovered = CoordinatorPool::recover(&coordinator_image, XS_POOL_COORDS, XS_TXNS + 1);
+    for (t, &gtxid) in gtxids.iter().enumerate() {
+        assert_eq!(
+            coordinator_of(gtxid),
+            t % XS_POOL_COORDS,
+            "{config}: issuer of pool txn {t} at {point:?}"
+        );
+        let want = (t < committed_txns).then_some(GtxidOrigin {
+            coordinator: t % XS_POOL_COORDS,
+            generation: 1,
+        });
+        assert_eq!(
+            recovered.attribute(gtxid),
+            want,
+            "{config}: attribution of pool txn {t} at {point:?}"
+        );
+    }
+
+    // The model: the baseline overlaid by every committed transaction's
+    // writes — all-or-nothing per transaction, on every shard.
+    let mut expected: Vec<HashMap<u64, u64>> = cells
+        .iter()
+        .map(|sc| sc.iter().map(|&(p, v)| (p.offset(), v)).collect())
+        .collect();
+    for ops in &pool_script[..committed_txns] {
+        for &(shard, cell, value) in ops {
+            expected[shard].insert(cells[shard][cell].0.offset(), value);
+        }
+    }
+    for mut shard_rec in recovery.shards {
+        let shard = shard_rec.shard;
+        let heap = shard_rec
+            .heap
+            .as_mut()
+            .unwrap_or_else(|| panic!("{config}: shard {shard} must recover at {point:?}"));
+        let mut check = heap.begin();
+        for (&addr, &want) in &expected[shard] {
+            let got = check.read_word(PmPtr::new(addr).unwrap()).unwrap();
+            assert_eq!(
+                got, want,
+                "{config}: shard {shard} cell {addr:#x} at {point:?}"
+            );
+        }
+        check.commit().unwrap();
+    }
+
+    match point {
+        TxnCrashPoint::GroupInterleavedSplit { sealed } => TxnPointVerdict::SplitResolved {
+            committed: sealed,
+            aborted: XS_TXNS - sealed,
+        },
+        _ if committed_txns > 0 => TxnPointVerdict::CommittedEverywhere,
+        _ => TxnPointVerdict::AbortedEverywhere,
     }
 }
 
@@ -1929,16 +2179,24 @@ mod tests {
             let report = sweep_cross_shard_2pc(config, 4242);
             assert_eq!(report.shards, XS_SHARDS, "{config}");
             // 5 coordinator-side families per txn, plus the shard-side
-            // seal steps, two marker flavors, and the lost image.
-            assert!(report.crash_points >= XS_TXNS * 5 + 6, "{config}: {}", report.crash_points);
-            assert_eq!(report.families().len(), 8, "{config}: {:?}", report.families());
+            // seal steps, two marker flavors, the lost image, and the
+            // group families (boundaries, splits, torn record words).
+            assert!(
+                report.crash_points >= XS_TXNS * 5 + 6 + (2 * XS_TXNS + XS_GROUP_WORDS),
+                "{config}: {}",
+                report.crash_points
+            );
+            assert_eq!(report.families().len(), 11, "{config}: {:?}", report.families());
             assert_eq!(report.degraded, 1, "{config}");
-            // Post-decision and mid-commit points commit everywhere.
-            assert_eq!(report.committed, XS_TXNS * 2 + 2, "{config}");
+            // Interleaved seals split every proper prefix of the script.
+            assert_eq!(report.split, XS_TXNS - 1, "{config}");
+            // Post-decision and mid-commit points commit everywhere,
+            // plus the one fully-durable torn-record point.
+            assert_eq!(report.committed, XS_TXNS * 2 + 3, "{config}");
             // Everything pre-decision presumes abort everywhere.
             assert_eq!(
                 report.aborted,
-                report.crash_points - report.committed - report.degraded,
+                report.crash_points - report.committed - report.degraded - report.split,
                 "{config}"
             );
             assert!(report.aborted > XS_TXNS * 3, "{config}");

@@ -100,8 +100,9 @@ pub use supervisor::{
 pub use system::{OutageReport, WspSystem};
 pub use tradeoff::{CapacitanceTradeoff, TradeoffPoint};
 pub use txn::{
-    reapply_routed, recover_decisions, recover_routing, resolve_cross_shard, ClusterTxnRecovery,
-    CrossShardTxn, RoutedWrite, ShardRecovery, TxnCoordinator, TxnOutcome,
+    coordinator_of, group_size_from_env, reapply_routed, recover_decisions, recover_routing,
+    recover_settled, resolve_cross_shard, ClusterTxnRecovery, CoordinatorPool, CrossShardTxn,
+    GtxidOrigin, RoutedWrite, ShardRecovery, SubmitOutcome, TxnCoordinator, TxnOutcome,
 };
 pub use vm::{VirtualizedHost, VmInstance, VmRestoreMilestone, VmRestoreSchedule};
 

@@ -26,14 +26,30 @@
 //! cannot vote at all: [`resolve_cross_shard`] degrades it through the
 //! recovery-ladder verdict types with the staleness quantified from the
 //! cluster model, instead of failing the whole fleet.
+//!
+//! # Group-decided commit
+//!
+//! PR 7's prepare rebates left the *decision record* — one fenced store
+//! per transaction — as the dominant serial cost on the 2PC path. The
+//! [`CoordinatorPool`] amortizes it exactly the way the epoch seal
+//! amortizes local commits: coordinators buffer decided gtxids and seal
+//! the whole batch with a single fenced
+//! [`wsp_pheap::RecordKind::GroupDecision`] record, so N transactions
+//! pay one decision fence. Multiple coordinators share that one
+//! decision log, stamped with per-coordinator *generation numbers*
+//! packed into each group entry; recovery replays the shared log and
+//! [`CoordinatorPool::attribute`]s every decided gtxid back to the
+//! coordinator generation that sealed it. Presumed abort extends to
+//! torn group records: any strict prefix of the record's words recovers
+//! *no* member, so a group is decided all-or-nothing.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use wsp_cluster::ClusterSpec;
 use wsp_obs as obs;
 use wsp_pheap::{
-    CrashImage, HeapError, LogRecord, PersistentHeap, PersistentMemory, PmPtr, RecordKind,
-    TornLog, TxnResolution, GTXID_BASE,
+    pack_group_entry, CrashImage, HeapError, LogRecord, PersistentHeap, PersistentMemory, PmPtr,
+    RecordKind, TornLog, TxnResolution, GROUP_ENTRY_GEN_MAX, GTXID_BASE,
 };
 use wsp_units::{ByteSize, Nanos};
 
@@ -227,32 +243,59 @@ impl TxnCoordinator {
                 true,
             );
         }
+        // A settled decision is prunable for *in-doubt* resolution, but
+        // the routed-rebuild path still needs it: a shard sacrificed in
+        // a later outage is rebuilt from its checkpoint plus a replay of
+        // routed writes filtered on the decided set. Re-pin every
+        // settled decision the routing log still carries writes for —
+        // they stay answerable (and survive compaction as unsettled)
+        // until the routing history itself is pruned.
+        let decided = recover_decisions(coordinator_image);
+        let settled = recover_settled(coordinator_image);
+        let mut pins: Vec<u64> = routed
+            .iter()
+            .map(|w| w.gtxid)
+            .filter(|g| settled.contains(g) && decided.contains(g))
+            .collect();
+        pins.sort_unstable();
+        pins.dedup();
+        for &gtxid in &pins {
+            coordinator
+                .log
+                .append(&mut coordinator.mem, &LogRecord::commit(gtxid), true);
+            coordinator.unsettled.insert(gtxid);
+        }
         coordinator.mem.sfence();
         coordinator.routing = Some(routing);
         coordinator
     }
 
     /// Rebuilds a coordinator from its crashed decision log: every
-    /// durable decision is re-appended to a fresh log (so in-doubt
-    /// shards can still be resolved against it) and the txid counter
-    /// resumes above every decided gtxid — a restarted coordinator must
-    /// never reissue a gtxid that a surviving shard's log already holds
-    /// a decision marker for, or that shard's recovery would mistake a
-    /// new in-doubt transaction for a decided one.
+    /// *unsettled* durable decision is re-appended to a fresh log (so
+    /// in-doubt shards can still be resolved against it) and the txid
+    /// counter resumes above every decided gtxid — settled or not — as a
+    /// restarted coordinator must never reissue a gtxid that a surviving
+    /// shard's log already holds a decision marker for, or that shard's
+    /// recovery would mistake a new in-doubt transaction for a decided
+    /// one.
     ///
-    /// Recovered decisions start out unsettled (some shard may still ask
-    /// for them); call [`TxnCoordinator::settle`] once every participant
-    /// is known to hold its local marker. An issued-but-undecided gtxid
-    /// from before the crash can be reissued, which is safe: recovered
-    /// shards resolved it by presumed abort and scrubbed their logs,
-    /// and a surviving shard still holding it prepared refuses the
-    /// reissue with a conflict.
+    /// Decisions covered by a durable [`RecordKind::Settle`] marker are
+    /// *pruned* here: every participant already holds its local phase-2
+    /// marker, so no recovery will ever ask for them again and replaying
+    /// them forever would only grow the log. Decisions without a settle
+    /// marker start out unsettled; call [`TxnCoordinator::settle`] once
+    /// every participant is known to hold its local marker. An
+    /// issued-but-undecided gtxid from before the crash can be reissued,
+    /// which is safe: recovered shards resolved it by presumed abort and
+    /// scrubbed their logs, and a surviving shard still holding it
+    /// prepared refuses the reissue with a conflict.
     #[must_use]
     pub fn recover(coordinator_image: &[u8]) -> Self {
         let mut coordinator = Self::new();
+        let settled = recover_settled(coordinator_image);
         let mut decided: Vec<u64> = recover_decisions(coordinator_image).into_iter().collect();
         decided.sort_unstable();
-        for &gtxid in &decided {
+        for &gtxid in decided.iter().filter(|g| !settled.contains(g)) {
             coordinator
                 .log
                 .append(&mut coordinator.mem, &LogRecord::commit(gtxid), true);
@@ -397,17 +440,42 @@ impl TxnCoordinator {
     /// log for it again. Protocol drivers that record decisions directly
     /// (via [`TxnCoordinator::record_decision`]) must call this once the
     /// phase-2 markers land, or the decision log can never truncate.
+    ///
+    /// Settling is itself made durable with a [`RecordKind::Settle`]
+    /// marker (unfenced — it rides the next fence; losing it merely
+    /// means a conservative replay), which is what lets
+    /// [`TxnCoordinator::recover`] prune the decision instead of
+    /// carrying it forever.
     pub fn settle(&mut self, gtxid: u64) {
         self.unsettled.remove(&gtxid);
+        self.log
+            .append(&mut self.mem, &LogRecord::settle(gtxid), true);
         self.truncate_if_settled();
     }
 
-    /// Truncates the decision log when nothing unsettled pins it and it
-    /// is running low.
+    /// Truncates the decision log when it is running low. With nothing
+    /// unsettled the whole log is dead weight and drops in one step;
+    /// otherwise the unsettled decisions are re-appended ahead of the
+    /// new tail first (the PR 6 preserving-truncation protocol), so an
+    /// in-doubt shard can still resolve against them at any crash point
+    /// while the settled bulk recycles.
     fn truncate_if_settled(&mut self) {
-        if self.unsettled.is_empty() && self.log.needs_truncation() {
-            self.log.truncate(&mut self.mem, true);
+        if !self.log.needs_truncation() {
+            return;
         }
+        if self.unsettled.is_empty() {
+            self.log.truncate(&mut self.mem, true);
+            return;
+        }
+        let mark = self.log.mark();
+        let mut live: Vec<u64> = self.unsettled.iter().copied().collect();
+        live.sort_unstable();
+        for &gtxid in &live {
+            self.log
+                .append(&mut self.mem, &LogRecord::commit(gtxid), true);
+        }
+        self.mem.sfence();
+        self.log.truncate_to(&mut self.mem, mark, true);
     }
 
     /// Runs the full two-phase seal for `txn` against `heaps`: prepares
@@ -516,6 +584,598 @@ impl TxnCoordinator {
     }
 }
 
+/// Where a gtxid's coordinator index lives inside the id: gtxids issued
+/// by a [`CoordinatorPool`] are `GTXID_BASE + (coordinator << 32) + seq`,
+/// so the id itself names its issuer across crashes.
+const POOL_COORD_SHIFT: u64 = 32;
+const POOL_SEQ_MASK: u64 = (1 << POOL_COORD_SHIFT) - 1;
+
+/// Decodes the issuing coordinator index from a pool-issued gtxid.
+#[must_use]
+pub fn coordinator_of(gtxid: u64) -> usize {
+    ((gtxid - GTXID_BASE) >> POOL_COORD_SHIFT) as usize
+}
+
+/// The provenance of a decided gtxid after a pool recovery: which
+/// coordinator sealed it, under which generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtxidOrigin {
+    /// Issuing coordinator index (decoded from the gtxid).
+    pub coordinator: usize,
+    /// The coordinator generation stamped into the sealed group entry.
+    pub generation: u64,
+}
+
+/// How [`CoordinatorPool::submit`] left a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Prepared everywhere and the decision is buffered — *not yet
+    /// durable*. A crash now presumes abort. The size/age trigger (or
+    /// [`CoordinatorPool::drain`]) will seal it.
+    Buffered,
+    /// The submission tripped the group trigger: the whole buffered
+    /// group sealed under one fence and ran phase 2.
+    Committed {
+        /// Decisions covered by the sealing record.
+        group: usize,
+    },
+    /// A prepare was refused; every already-prepared participant was
+    /// rolled back. Never buffered.
+    Aborted {
+        /// The refusing shard's error.
+        reason: String,
+    },
+}
+
+/// One decided-but-unsealed (or sealed-but-uncommitted) transaction
+/// inside the pool.
+#[derive(Debug, Clone)]
+struct PendingDecision {
+    coordinator: usize,
+    generation: u64,
+    gtxid: u64,
+    participants: Vec<usize>,
+    /// Owner's simulated clock when the decision was buffered — the
+    /// numerator of `txn.decision_stall_time`.
+    buffered_at: Nanos,
+}
+
+/// Volatile per-coordinator state inside the pool.
+#[derive(Debug, Clone)]
+struct CoordSlot {
+    /// Stamped into every group entry this coordinator seals; bumped on
+    /// recovery so replayed entries are attributable to the incarnation
+    /// that wrote them.
+    generation: u64,
+    /// Next sequence number (low gtxid bits).
+    next_seq: u64,
+    /// This coordinator's simulated clock.
+    clock: Nanos,
+}
+
+/// A pool of concurrent 2PC coordinators sharing one durable decision
+/// log, with group-decided commit: decided gtxids buffer until a size
+/// (or age) trigger seals them all under a *single* fenced
+/// [`RecordKind::GroupDecision`] record — N transactions, one decision
+/// fence. Concurrency is modeled on the simulated clock exactly like
+/// PR 7's participant rebates: each coordinator owns a clock, shards
+/// and the shared log are resources with availability times, and the
+/// pool's wall clock is the maximum coordinator clock — so only the
+/// slowest coordinator in a group pays unrebated time.
+///
+/// The decision-log layout matches [`TxnCoordinator`]'s, so
+/// [`resolve_cross_shard`] and [`recover_decisions`] work unchanged on
+/// a pool's crash image.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_core::{CoordinatorPool, SubmitOutcome};
+/// use wsp_pheap::{HeapConfig, PersistentHeap};
+/// use wsp_units::ByteSize;
+///
+/// let mut shards = vec![
+///     PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo),
+///     PersistentHeap::create(ByteSize::kib(256), HeapConfig::FocUndo),
+/// ];
+/// let mut cells = Vec::new();
+/// for heap in &mut shards {
+///     let mut tx = heap.begin();
+///     let p = tx.alloc(8).unwrap();
+///     tx.write_word(p, 100).unwrap();
+///     tx.set_root(p).unwrap();
+///     tx.commit().unwrap();
+///     cells.push(p.offset());
+/// }
+///
+/// // Two coordinators, groups of two decisions per fence.
+/// let mut pool = CoordinatorPool::new(2, 2);
+/// let mut a = pool.begin(0, shards.len());
+/// a.stage(0, cells[0], 70);
+/// a.stage(1, cells[1], 130);
+/// assert_eq!(pool.submit(0, &mut shards, &a).unwrap(), SubmitOutcome::Buffered);
+/// let mut b = pool.begin(1, shards.len());
+/// b.stage(0, cells[0], 60);
+/// assert_eq!(
+///     pool.submit(1, &mut shards, &b).unwrap(),
+///     SubmitOutcome::Committed { group: 2 },
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoordinatorPool {
+    mem: PersistentMemory,
+    log: TornLog,
+    group_size: usize,
+    group_age: Option<Nanos>,
+    coords: Vec<CoordSlot>,
+    /// Decided, buffered, not yet sealed: a crash loses all of these.
+    pending: Vec<PendingDecision>,
+    /// Sealed (decision durable) but phase 2 not yet run.
+    sealed: Vec<PendingDecision>,
+    /// Sealed decisions some participant may still ask for.
+    unsettled: HashSet<u64>,
+    /// Every durable decision, with the generation that sealed it.
+    decided: HashMap<u64, u64>,
+    /// Discrete-event availability of each shard (grown on demand).
+    shard_free: Vec<Nanos>,
+    /// Discrete-event availability of the shared decision log.
+    log_free: Nanos,
+}
+
+impl CoordinatorPool {
+    /// A pool of `coordinators` sharing one fresh decision log, sealing
+    /// after every `group_size` buffered decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coordinators` is 0 or above 256 (the gtxid packing
+    /// bound), or `group_size` is 0.
+    #[must_use]
+    pub fn new(coordinators: usize, group_size: usize) -> Self {
+        assert!(
+            (1..=256).contains(&coordinators),
+            "1..=256 coordinators fit the gtxid layout"
+        );
+        assert!(group_size > 0, "group size must be at least 1");
+        let mut mem = PersistentMemory::new(DECISION_REGION);
+        let log = TornLog::new(DECISION_LOG_BASE, DECISION_LOG_CAP, DECISION_TAIL_ADDR);
+        log.initialize(&mut mem);
+        CoordinatorPool {
+            mem,
+            log,
+            group_size,
+            group_age: None,
+            coords: vec![
+                CoordSlot {
+                    generation: 1,
+                    next_seq: 0,
+                    clock: Nanos::ZERO,
+                };
+                coordinators
+            ],
+            pending: Vec::new(),
+            sealed: Vec::new(),
+            unsettled: HashSet::new(),
+            decided: HashMap::new(),
+            shard_free: Vec::new(),
+            log_free: Nanos::ZERO,
+        }
+    }
+
+    /// Adds an age trigger: a submission also seals when the oldest
+    /// buffered decision has waited at least `age` on the owner's clock,
+    /// bounding decision latency when traffic is slow.
+    #[must_use]
+    pub fn with_group_age(mut self, age: Nanos) -> Self {
+        self.group_age = Some(age);
+        self
+    }
+
+    /// Number of coordinators in the pool.
+    #[must_use]
+    pub fn coordinators(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Simulated time the shared decision log's durable operations have
+    /// cost — the coordinator-path cost the group seal amortizes.
+    #[must_use]
+    pub fn elapsed(&self) -> Nanos {
+        self.mem.elapsed()
+    }
+
+    /// The pool's wall clock: the slowest coordinator's clock. Work on
+    /// different coordinators overlaps; only contention on a shard or
+    /// the shared log serializes.
+    #[must_use]
+    pub fn wall(&self) -> Nanos {
+        self.coords
+            .iter()
+            .map(|c| c.clock)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// One coordinator's simulated clock.
+    #[must_use]
+    pub fn clock(&self, coordinator: usize) -> Nanos {
+        self.coords[coordinator].clock
+    }
+
+    /// Decisions buffered but not yet sealed (lost on a crash).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Opens a cross-shard transaction on `coordinator` over `shards`
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinator's 32-bit sequence space is exhausted.
+    pub fn begin(&mut self, coordinator: usize, shards: usize) -> CrossShardTxn {
+        let slot = &mut self.coords[coordinator];
+        assert!(slot.next_seq <= POOL_SEQ_MASK, "gtxid sequence exhausted");
+        let gtxid = GTXID_BASE + ((coordinator as u64) << POOL_COORD_SHIFT) + slot.next_seq;
+        slot.next_seq += 1;
+        let txn = CrossShardTxn {
+            gtxid,
+            writes: vec![Vec::new(); shards],
+        };
+        obs::emit("txn", "begin", slot.clock, txn.short_id(), shards as i64);
+        txn
+    }
+
+    /// Runs one shard-touching step on the event model: the step starts
+    /// when both the coordinator and the shard are free and holds the
+    /// shard until it ends. Returns the step's end time.
+    fn run_on_shard(&mut self, coordinator: usize, shard: usize, duration: Nanos) -> Nanos {
+        if self.shard_free.len() <= shard {
+            self.shard_free.resize(shard + 1, Nanos::ZERO);
+        }
+        let start = self.coords[coordinator].clock.max(self.shard_free[shard]);
+        let end = start + duration;
+        self.shard_free[shard] = end;
+        end
+    }
+
+    /// Phase 1 for every participant of `txn`, on `coordinator`'s clock.
+    /// Participants run concurrently (the phase ends at the slowest
+    /// one), but two transactions contending for the same shard
+    /// serialize on it. Returns the refusing shard's reason when the
+    /// transaction must abort, in which case every already-prepared
+    /// participant was rolled back.
+    ///
+    /// # Errors
+    ///
+    /// Only on protocol misuse while rolling back prepared participants;
+    /// prepare refusals are a normal `Ok(Some(reason))`.
+    pub fn prepare(
+        &mut self,
+        coordinator: usize,
+        heaps: &mut [PersistentHeap],
+        txn: &CrossShardTxn,
+    ) -> Result<Option<String>, HeapError> {
+        let participants = txn.participants();
+        let mut prepared: Vec<usize> = Vec::with_capacity(participants.len());
+        let mut phase_end = self.coords[coordinator].clock;
+        for &shard in &participants {
+            let h0 = heaps[shard].elapsed();
+            match heaps[shard].prepare_distributed(txn.gtxid, txn.writes_for(shard)) {
+                Ok(()) => {
+                    let end = self.run_on_shard(coordinator, shard, heaps[shard].elapsed() - h0);
+                    phase_end = phase_end.max(end);
+                    obs::emit("txn", "prepare", end, shard as i64, txn.short_id());
+                    obs::count(obs::Ctr::TxnPrepares);
+                    prepared.push(shard);
+                }
+                Err(refusal) => {
+                    for &p in &prepared {
+                        let a0 = heaps[p].elapsed();
+                        heaps[p].abort_distributed(txn.gtxid)?;
+                        let end = self.run_on_shard(coordinator, p, heaps[p].elapsed() - a0);
+                        phase_end = phase_end.max(end);
+                    }
+                    self.coords[coordinator].clock = phase_end;
+                    obs::emit("txn", "abort", phase_end, txn.short_id(), 0);
+                    obs::count(obs::Ctr::TxnAborts);
+                    return Ok(Some(refusal.to_string()));
+                }
+            }
+        }
+        self.coords[coordinator].clock = phase_end;
+        Ok(None)
+    }
+
+    /// Buffers `txn`'s commit decision on `coordinator`. The decision is
+    /// *volatile* until a seal covers it: a crash before the covering
+    /// group record fences resolves the transaction by presumed abort.
+    pub fn buffer_decision(&mut self, coordinator: usize, txn: &CrossShardTxn) {
+        let slot = &self.coords[coordinator];
+        self.pending.push(PendingDecision {
+            coordinator,
+            generation: slot.generation,
+            gtxid: txn.gtxid,
+            participants: txn.participants(),
+            buffered_at: slot.clock,
+        });
+    }
+
+    /// True when the buffered group should seal: the size trigger is
+    /// met, or the age trigger (when configured) has expired on
+    /// `coordinator`'s clock.
+    #[must_use]
+    pub fn should_seal(&self, coordinator: usize) -> bool {
+        if self.pending.len() >= self.group_size {
+            return true;
+        }
+        match (self.group_age, self.pending.first()) {
+            (Some(age), Some(oldest)) => {
+                self.coords[coordinator].clock >= oldest.buffered_at + age
+            }
+            _ => false,
+        }
+    }
+
+    /// Seals every buffered decision under one fenced group record —
+    /// the commit point for all of them at once. `sealer` pays the seal
+    /// on its clock (serialized on the shared log); every member
+    /// coordinator then waits for the seal before its phase 2, so only
+    /// the slowest coordinator in the group pays unrebated time.
+    /// Returns the number of decisions sealed (0 = no-op).
+    pub fn seal_decisions(&mut self, sealer: usize) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        self.compact_decision_log();
+        let entries: Vec<u64> = self
+            .pending
+            .iter()
+            .map(|p| pack_group_entry(p.generation, p.gtxid))
+            .collect();
+        let m0 = self.mem.elapsed();
+        self.log.append_group_decision(&mut self.mem, &entries, true);
+        self.mem.sfence();
+        let seal_cost = self.mem.elapsed() - m0;
+        let start = self.coords[sealer].clock.max(self.log_free);
+        let seal_end = start + seal_cost;
+        self.log_free = seal_end;
+        self.coords[sealer].clock = seal_end;
+
+        let group = self.pending.len();
+        for p in &self.pending {
+            self.decided.insert(p.gtxid, p.generation);
+            self.unsettled.insert(p.gtxid);
+            let slot = &mut self.coords[p.coordinator];
+            slot.clock = slot.clock.max(seal_end);
+            obs::observe(
+                obs::Hist::TxnDecisionStall,
+                seal_end.saturating_sub(p.buffered_at),
+            );
+        }
+        obs::emit(
+            "txn",
+            "decide_group",
+            seal_end,
+            sealer as i64,
+            group as i64,
+        );
+        obs::count(obs::Ctr::TxnDecisionGroups);
+        obs::count_by(obs::Ctr::TxnDecisions, group as u64);
+        // A count, not a time: the histogram machinery tracks the
+        // per-group batching distribution.
+        obs::observe(obs::Hist::TxnDecisionsPerGroup, Nanos::new(group as u64));
+        self.sealed.append(&mut self.pending);
+        group
+    }
+
+    /// Phase 2 for every sealed decision: each owner writes its
+    /// participants' durable commit markers on its own clock, then
+    /// settles the decision.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NoTransaction`] on protocol misuse (a participant
+    /// that was never prepared).
+    pub fn complete_sealed(&mut self, heaps: &mut [PersistentHeap]) -> Result<(), HeapError> {
+        let sealed = std::mem::take(&mut self.sealed);
+        for p in &sealed {
+            let mut phase_end = self.coords[p.coordinator].clock;
+            for &shard in &p.participants {
+                let h0 = heaps[shard].elapsed();
+                heaps[shard].commit_distributed(p.gtxid)?;
+                let end = self.run_on_shard(p.coordinator, shard, heaps[shard].elapsed() - h0);
+                phase_end = phase_end.max(end);
+                obs::emit(
+                    "txn",
+                    "commit_shard",
+                    end,
+                    shard as i64,
+                    (p.gtxid - GTXID_BASE) as i64,
+                );
+                obs::count(obs::Ctr::TxnShardCommits);
+            }
+            self.coords[p.coordinator].clock = phase_end;
+            self.unsettled.remove(&p.gtxid);
+            self.log
+                .append(&mut self.mem, &LogRecord::settle(p.gtxid), true);
+        }
+        Ok(())
+    }
+
+    /// The composed fast path: prepare, buffer the decision, and seal +
+    /// complete when the group trigger fires.
+    ///
+    /// # Errors
+    ///
+    /// Only on protocol misuse; refusals come back as
+    /// [`SubmitOutcome::Aborted`].
+    pub fn submit(
+        &mut self,
+        coordinator: usize,
+        heaps: &mut [PersistentHeap],
+        txn: &CrossShardTxn,
+    ) -> Result<SubmitOutcome, HeapError> {
+        if let Some(reason) = self.prepare(coordinator, heaps, txn)? {
+            return Ok(SubmitOutcome::Aborted { reason });
+        }
+        self.buffer_decision(coordinator, txn);
+        if self.should_seal(coordinator) {
+            let group = self.seal_decisions(coordinator);
+            self.complete_sealed(heaps)?;
+            Ok(SubmitOutcome::Committed { group })
+        } else {
+            Ok(SubmitOutcome::Buffered)
+        }
+    }
+
+    /// Seals and completes whatever is buffered, regardless of the
+    /// trigger — end-of-run flush. Returns the sealed count.
+    ///
+    /// # Errors
+    ///
+    /// As [`CoordinatorPool::complete_sealed`].
+    pub fn drain(
+        &mut self,
+        sealer: usize,
+        heaps: &mut [PersistentHeap],
+    ) -> Result<usize, HeapError> {
+        let group = self.seal_decisions(sealer);
+        self.complete_sealed(heaps)?;
+        Ok(group)
+    }
+
+    /// Compacts the shared decision log when it runs low, preserving
+    /// unsettled decisions (re-sealed as one group record carrying
+    /// their original generations) ahead of the new tail.
+    fn compact_decision_log(&mut self) {
+        if !self.log.needs_truncation() {
+            return;
+        }
+        let mark = self.log.mark();
+        if !self.unsettled.is_empty() {
+            let mut live: Vec<u64> = self.unsettled.iter().copied().collect();
+            live.sort_unstable();
+            let entries: Vec<u64> = live
+                .iter()
+                .map(|g| pack_group_entry(self.decided[g], *g))
+                .collect();
+            self.log.append_group_decision(&mut self.mem, &entries, true);
+            self.mem.sfence();
+        }
+        self.log.truncate_to(&mut self.mem, mark, true);
+    }
+
+    /// The pool's durable bytes as they would survive a power failure
+    /// right now: sealed group records, nothing buffered. Feed to
+    /// [`resolve_cross_shard`], [`recover_decisions`], or
+    /// [`CoordinatorPool::recover`].
+    #[must_use]
+    pub fn crash_image(&self) -> Vec<u8> {
+        self.mem.clone().crash(false)
+    }
+
+    /// Crashes the pool mid-group-seal: only the first `durable_words`
+    /// words of the covering group record (header first, then one entry
+    /// per buffered decision) reach NVRAM before the power dies.
+    /// Recovery must presume abort for *every* member unless the record
+    /// is complete — the torn-group-record crash family.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing is buffered or `durable_words` exceeds the
+    /// record length.
+    #[must_use]
+    pub fn crash_mid_group_seal(&mut self, durable_words: usize) -> Vec<u8> {
+        assert!(!self.pending.is_empty(), "nothing buffered to seal");
+        let entries: Vec<u64> = self
+            .pending
+            .iter()
+            .map(|p| pack_group_entry(p.generation, p.gtxid))
+            .collect();
+        self.log
+            .append_group_decision_torn(&mut self.mem, &entries, durable_words);
+        self.mem.clone().crash(false)
+    }
+
+    /// Rebuilds a pool from a crashed shared decision log. Settled
+    /// decisions are pruned (their settle markers survived); unsettled
+    /// ones are re-sealed under one fresh group record, keeping their
+    /// original generations so [`CoordinatorPool::attribute`] still
+    /// names the sealing incarnation. Every coordinator's sequence
+    /// counter resumes above its decided gtxids and its generation is
+    /// bumped past every generation the log holds for it.
+    #[must_use]
+    pub fn recover(coordinator_image: &[u8], coordinators: usize, group_size: usize) -> Self {
+        let mut pool = Self::new(coordinators, group_size);
+        let settled = recover_settled(coordinator_image);
+        let mut decided: Vec<(u64, u64)> = decision_records(coordinator_image)
+            .filter(|r| matches!(r.kind, RecordKind::Commit | RecordKind::GroupDecision))
+            .map(|r| (r.txid, r.addr))
+            .collect();
+        decided.sort_unstable();
+        decided.dedup();
+        for &(gtxid, generation) in &decided {
+            let coordinator = coordinator_of(gtxid);
+            if coordinator < pool.coords.len() {
+                let slot = &mut pool.coords[coordinator];
+                let seq = (gtxid - GTXID_BASE) & POOL_SEQ_MASK;
+                slot.next_seq = slot.next_seq.max(seq + 1);
+                slot.generation = slot.generation.max((generation + 1).min(GROUP_ENTRY_GEN_MAX));
+            }
+            pool.decided.insert(gtxid, generation);
+        }
+        let live: Vec<u64> = decided
+            .iter()
+            .map(|&(g, _)| g)
+            .filter(|g| !settled.contains(g))
+            .collect();
+        if !live.is_empty() {
+            let entries: Vec<u64> = live
+                .iter()
+                .map(|g| pack_group_entry(pool.decided[g], *g))
+                .collect();
+            pool.log.append_group_decision(&mut pool.mem, &entries, true);
+            pool.mem.sfence();
+            pool.unsettled.extend(&live);
+        }
+        pool
+    }
+
+    /// Attributes a decided gtxid to the coordinator generation that
+    /// sealed it; `None` for gtxids with no durable decision (in-doubt
+    /// prepares resolve by presumed abort, and their *issuer* is still
+    /// readable via [`coordinator_of`]).
+    #[must_use]
+    pub fn attribute(&self, gtxid: u64) -> Option<GtxidOrigin> {
+        self.decided.get(&gtxid).map(|&generation| GtxidOrigin {
+            coordinator: coordinator_of(gtxid),
+            generation,
+        })
+    }
+
+    /// Marks a recovered decision as settled once every participant is
+    /// known to hold its phase-2 marker (mirror of
+    /// [`TxnCoordinator::settle`]).
+    pub fn settle(&mut self, gtxid: u64) {
+        self.unsettled.remove(&gtxid);
+        self.log
+            .append(&mut self.mem, &LogRecord::settle(gtxid), true);
+    }
+}
+
+/// Reads the `WSP_TXN_GROUP` environment knob: the decision group size
+/// for workloads and benches that honour it (clamped to at least 1);
+/// `default` when unset or unparsable.
+#[must_use]
+pub fn group_size_from_env(default: usize) -> usize {
+    std::env::var("WSP_TXN_GROUP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(default, |v| v.max(1))
+}
+
 /// One write of a committed cross-shard transaction, as recovered from
 /// the coordinator's routing log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -611,10 +1271,31 @@ pub fn reapply_routed(
 }
 
 /// Scans a crashed coordinator's durable log and returns the set of
-/// global txids with a durable commit decision. Everything absent is,
-/// by the presumed-abort rule, aborted.
+/// global txids with a durable commit decision — classic per-txn
+/// [`RecordKind::Commit`] records and every member of an intact
+/// [`RecordKind::GroupDecision`] record alike. Everything absent is, by
+/// the presumed-abort rule, aborted; a torn group record contributes
+/// *none* of its members.
 #[must_use]
 pub fn recover_decisions(coordinator_image: &[u8]) -> HashSet<u64> {
+    decision_records(coordinator_image)
+        .filter(|r| matches!(r.kind, RecordKind::Commit | RecordKind::GroupDecision))
+        .map(|r| r.txid)
+        .collect()
+}
+
+/// Scans a crashed coordinator's durable log for [`RecordKind::Settle`]
+/// markers: decisions every participant has already confirmed, which
+/// recovery-time compaction may prune.
+#[must_use]
+pub fn recover_settled(coordinator_image: &[u8]) -> HashSet<u64> {
+    decision_records(coordinator_image)
+        .filter(|r| r.kind == RecordKind::Settle)
+        .map(|r| r.txid)
+        .collect()
+}
+
+fn decision_records(coordinator_image: &[u8]) -> impl Iterator<Item = LogRecord> {
     TornLog::recover(
         coordinator_image,
         DECISION_LOG_BASE,
@@ -622,9 +1303,6 @@ pub fn recover_decisions(coordinator_image: &[u8]) -> HashSet<u64> {
         DECISION_TAIL_ADDR,
     )
     .into_iter()
-    .filter(|r| r.kind == RecordKind::Commit)
-    .map(|r| r.txid)
-    .collect()
 }
 
 /// One shard's fate after a cluster-wide 2PC crash resolution.
@@ -927,19 +1605,89 @@ mod tests {
         let image = coordinator.crash_image();
 
         let mut recovered = TxnCoordinator::recover(&image);
-        // The decided gtxid is still answerable after the restart ...
-        assert!(recover_decisions(&recovered.crash_image()).contains(&txn.gtxid()));
-        // ... and never reissued, even against shards that did not crash.
+        // commit() settled the decision, so recovery pruned it — but the
+        // gtxid is still never reissued, even against shards that did
+        // not crash.
         let mut txn2 = recovered.begin(2);
         assert!(txn2.gtxid() > txn.gtxid(), "gtxid reuse");
         txn2.stage(0, cells[0], 60);
         txn2.stage(1, cells[1], 240);
-        recovered.settle(txn.gtxid());
         let outcome = recovered.commit(&mut heaps, &txn2).unwrap();
         assert_eq!(outcome, TxnOutcome::Committed);
         for (heap, want) in heaps.iter_mut().zip([60, 240]) {
             assert_eq!(cell(heap), want);
         }
+    }
+
+    #[test]
+    fn recovery_prunes_settled_decisions_but_keeps_unsettled_ones() {
+        // Regression test for recovery-time compaction: a settled
+        // decision must vanish from the recovered log, an unsettled one
+        // must survive so an in-doubt shard can still resolve to commit,
+        // and the txid counter must still clear *both*.
+        let (mut coordinator, mut heaps, cells) = rig(HeapConfig::FocUndo);
+        let mut settled_txn = coordinator.begin(2);
+        settled_txn.stage(0, cells[0], 70);
+        settled_txn.stage(1, cells[1], 230);
+        coordinator.commit(&mut heaps, &settled_txn).unwrap(); // settles
+        let mut unsettled_txn = coordinator.begin(2);
+        unsettled_txn.stage(0, cells[0], 60);
+        unsettled_txn.stage(1, cells[1], 240);
+        for shard in [0, 1] {
+            coordinator
+                .prepare_shard(&mut heaps[shard], shard, &unsettled_txn)
+                .unwrap();
+        }
+        coordinator.record_decision(&unsettled_txn); // decided, never settled
+
+        let recovered = TxnCoordinator::recover(&coordinator.crash_image());
+        let replayed = recover_decisions(&recovered.crash_image());
+        assert!(
+            !replayed.contains(&settled_txn.gtxid()),
+            "settled decision must be pruned at recovery"
+        );
+        assert!(
+            replayed.contains(&unsettled_txn.gtxid()),
+            "unsettled decision must survive recovery"
+        );
+        // The in-doubt shards resolve the unsettled txn to commit
+        // against the *recovered* coordinator's log.
+        let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+        let recovery = resolve_cross_shard(
+            &recovered.crash_image(),
+            images,
+            &ClusterSpec::memcache_tier(8),
+        );
+        assert!(recovery.fully_recovered());
+        for (s, want) in recovery.shards.into_iter().zip([60u64, 240]) {
+            let mut heap = s.heap.unwrap();
+            assert_eq!(cell(&mut heap), want);
+        }
+        // And the counter cleared the pruned gtxid too.
+        let mut recovered = recovered;
+        assert!(recovered.begin(2).gtxid() > unsettled_txn.gtxid());
+    }
+
+    #[test]
+    fn preserving_truncation_keeps_unsettled_decisions_under_pressure() {
+        // Thousands of settled decisions around one long-lived unsettled
+        // decision: the log must recycle (no "log full" panic) while the
+        // unsettled decision stays answerable at every point.
+        let mut coordinator = TxnCoordinator::new();
+        let pinned = coordinator.begin(1);
+        coordinator.record_decision(&pinned);
+        for i in 0..4096 {
+            let txn = coordinator.begin(1);
+            coordinator.record_decision(&txn);
+            coordinator.settle(txn.gtxid());
+            if i % 64 == 0 {
+                assert!(
+                    recover_decisions(&coordinator.crash_image()).contains(&pinned.gtxid()),
+                    "unsettled decision lost to truncation"
+                );
+            }
+        }
+        assert!(recover_decisions(&coordinator.crash_image()).contains(&pinned.gtxid()));
     }
 
     #[test]
@@ -1117,5 +1865,279 @@ mod tests {
         let survivor = recovery.shards.into_iter().nth(1).unwrap();
         let mut heap = survivor.heap.unwrap();
         assert_eq!(cell(&mut heap), 22);
+    }
+
+    /// Builds `n` shards, each with four committed cells holding 100 —
+    /// enough distinct addresses that concurrent in-flight transactions
+    /// can keep pairwise-disjoint write sets.
+    fn pool_rig(config: HeapConfig, n: usize) -> (Vec<PersistentHeap>, Vec<Vec<u64>>) {
+        let mut heaps = Vec::new();
+        let mut cells = Vec::new();
+        for _ in 0..n {
+            let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+            let mut shard_cells = Vec::new();
+            let mut tx = heap.begin();
+            for i in 0..4 {
+                let p = tx.alloc(8).unwrap();
+                tx.write_word(p, 100).unwrap();
+                if i == 0 {
+                    tx.set_root(p).unwrap();
+                }
+                shard_cells.push(p.offset());
+            }
+            tx.commit().unwrap();
+            heaps.push(heap);
+            cells.push(shard_cells);
+        }
+        (heaps, cells)
+    }
+
+    #[test]
+    fn grouped_commits_are_visible_and_crash_durable() {
+        for config in [HeapConfig::FocStm, HeapConfig::FocUndo] {
+            let (mut heaps, cells) = pool_rig(config, 3);
+            let mut pool = CoordinatorPool::new(2, 4);
+            // Four transactions with pairwise-disjoint write sets; the
+            // fourth submission trips the size trigger.
+            let mut outcomes = Vec::new();
+            for t in 0..4usize {
+                let coord = t % 2;
+                let mut txn = pool.begin(coord, 3);
+                // Cell index == txn index: all (shard, cell) pairs are
+                // distinct across the in-flight group.
+                txn.stage(t % 3, cells[t % 3][t], t as u64);
+                txn.stage((t + 1) % 3, cells[(t + 1) % 3][t], (t + 1) as u64 * 10);
+                outcomes.push(pool.submit(coord, &mut heaps, &txn).unwrap());
+            }
+            assert!(outcomes[..3]
+                .iter()
+                .all(|o| *o == SubmitOutcome::Buffered));
+            assert_eq!(outcomes[3], SubmitOutcome::Committed { group: 4 }, "{config}");
+            // One fenced group record decided all four: every write is
+            // visible after a full-fleet unsaved crash.
+            let coordinator_image = pool.crash_image();
+            let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+            let recovery =
+                resolve_cross_shard(&coordinator_image, images, &ClusterSpec::memcache_tier(8));
+            assert!(recovery.fully_recovered(), "{config}");
+            assert_eq!(recovery.decided.len(), 4, "{config}");
+        }
+    }
+
+    #[test]
+    fn buffered_decisions_presume_abort_on_crash() {
+        let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+        let mut pool = CoordinatorPool::new(1, 8);
+        let mut txn = pool.begin(0, 2);
+        txn.stage(0, cells[0][0], 1);
+        txn.stage(1, cells[1][0], 2);
+        assert_eq!(
+            pool.submit(0, &mut heaps, &txn).unwrap(),
+            SubmitOutcome::Buffered
+        );
+        // Crash with the decision buffered but unsealed: nothing durable
+        // names the gtxid, so both prepared shards presume abort.
+        let coordinator_image = pool.crash_image();
+        let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+        let recovery =
+            resolve_cross_shard(&coordinator_image, images, &ClusterSpec::memcache_tier(8));
+        assert!(recovery.fully_recovered());
+        for s in recovery.shards {
+            let mut heap = s.heap.unwrap();
+            assert_eq!(s.resolution.unwrap().aborted, vec![txn.gtxid()]);
+            assert_eq!(cell(&mut heap), 100);
+        }
+    }
+
+    #[test]
+    fn sealed_but_uncommitted_group_resolves_to_commit_everywhere() {
+        let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+        let mut pool = CoordinatorPool::new(2, 8);
+        let mut a = pool.begin(0, 2);
+        a.stage(0, cells[0][0], 11);
+        let mut b = pool.begin(1, 2);
+        b.stage(1, cells[1][0], 22);
+        for (coord, txn) in [(0, &a), (1, &b)] {
+            assert!(pool.prepare(coord, &mut heaps, txn).unwrap().is_none());
+            pool.buffer_decision(coord, txn);
+        }
+        // Sealed (decision durable) but phase 2 never runs.
+        assert_eq!(pool.seal_decisions(0), 2);
+        let coordinator_image = pool.crash_image();
+        let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+        let recovery =
+            resolve_cross_shard(&coordinator_image, images, &ClusterSpec::memcache_tier(8));
+        assert!(recovery.fully_recovered());
+        for (s, want) in recovery.shards.into_iter().zip([11u64, 22]) {
+            let mut heap = s.heap.unwrap();
+            assert_eq!(s.resolution.unwrap().committed.len(), 1);
+            assert_eq!(cell(&mut heap), want);
+        }
+    }
+
+    #[test]
+    fn torn_group_record_prefix_presumes_abort_for_every_member() {
+        // Words 0..full of the covering record durable: any strict
+        // prefix must resolve every member aborted; the complete record
+        // commits them all — all-or-nothing at group granularity.
+        for durable_words in 0..4usize {
+            let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+            let mut pool = CoordinatorPool::new(2, 8);
+            let mut a = pool.begin(0, 2);
+            a.stage(0, cells[0][0], 11);
+            let mut b = pool.begin(1, 2);
+            b.stage(1, cells[1][0], 22);
+            for (coord, txn) in [(0, &a), (1, &b)] {
+                assert!(pool.prepare(coord, &mut heaps, txn).unwrap().is_none());
+                pool.buffer_decision(coord, txn);
+            }
+            let coordinator_image = pool.crash_mid_group_seal(durable_words);
+            let decided = recover_decisions(&coordinator_image);
+            if durable_words == 3 {
+                assert_eq!(decided.len(), 2, "complete record decides all");
+            } else {
+                assert!(
+                    decided.is_empty(),
+                    "{durable_words} durable words must decide nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_coordinators_overlap_on_the_simulated_clock() {
+        // The same 8 disjoint transactions, one coordinator vs four:
+        // the pool's wall clock must show real overlap (prepares and
+        // phase-2 markers on different shards run concurrently).
+        let wall_with = |coordinators: usize| {
+            let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 8);
+            let mut pool = CoordinatorPool::new(coordinators, 4);
+            for t in 0..8usize {
+                let coord = t % coordinators;
+                let shard = t % 8;
+                let mut txn = pool.begin(coord, 8);
+                txn.stage(shard, cells[shard][0], 7);
+                pool.submit(coord, &mut heaps, &txn).unwrap();
+            }
+            pool.drain(0, &mut heaps).unwrap();
+            pool.wall()
+        };
+        let serial = wall_with(1);
+        let parallel = wall_with(4);
+        assert!(
+            parallel < serial,
+            "4 coordinators must overlap: {parallel} !< {serial}"
+        );
+    }
+
+    #[test]
+    fn pool_recovery_attributes_gtxids_and_prunes_settled() {
+        let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+        let mut pool = CoordinatorPool::new(2, 2);
+        // Group 1 commits fully (settled); then one decision seals
+        // without phase 2 (unsettled).
+        let mut a = pool.begin(0, 2);
+        a.stage(0, cells[0][0], 11);
+        let mut b = pool.begin(1, 2);
+        b.stage(1, cells[1][0], 22);
+        pool.submit(0, &mut heaps, &a).unwrap();
+        pool.submit(1, &mut heaps, &b).unwrap(); // seals + completes group 1
+        let mut c = pool.begin(0, 2);
+        c.stage(0, cells[0][1], 33);
+        assert!(pool.prepare(0, &mut heaps, &c).unwrap().is_none());
+        pool.buffer_decision(0, &c);
+        assert_eq!(pool.seal_decisions(1), 1); // durable, never completed
+
+        let recovered = CoordinatorPool::recover(&pool.crash_image(), 2, 2);
+        // Settled group-1 decisions pruned; unsettled decision survives.
+        let replayed = recover_decisions(&recovered.crash_image());
+        assert!(!replayed.contains(&a.gtxid()));
+        assert!(!replayed.contains(&b.gtxid()));
+        assert!(replayed.contains(&c.gtxid()));
+        // Attribution still names issuer and generation for every
+        // decided gtxid the log answers for.
+        assert_eq!(
+            recovered.attribute(c.gtxid()),
+            Some(GtxidOrigin {
+                coordinator: 0,
+                generation: 1
+            })
+        );
+        assert_eq!(coordinator_of(b.gtxid()), 1);
+        // Fresh gtxids never collide with pre-crash ones, per slot.
+        let mut recovered = recovered;
+        let fresh_a = recovered.begin(0, 2);
+        let fresh_b = recovered.begin(1, 2);
+        assert!(fresh_a.gtxid() > c.gtxid());
+        assert!(fresh_b.gtxid() > b.gtxid());
+        // And the recovered incarnation seals under a bumped generation.
+        let mut d = recovered.begin(0, 2);
+        d.stage(0, cells[0][2], 44);
+        assert!(recovered.prepare(0, &mut heaps, &d).unwrap().is_none());
+        recovered.buffer_decision(0, &d);
+        recovered.seal_decisions(0);
+        assert_eq!(
+            recovered.attribute(d.gtxid()).unwrap().generation,
+            2,
+            "recovered incarnation must seal under a new generation"
+        );
+    }
+
+    #[test]
+    fn group_size_one_matches_classic_decision_count() {
+        // A pool with group size 1 seals every submission immediately —
+        // the degenerate case the bench compares against.
+        let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+        let mut pool = CoordinatorPool::new(1, 1);
+        for t in 0..3u64 {
+            let mut txn = pool.begin(0, 2);
+            txn.stage((t % 2) as usize, cells[(t % 2) as usize][0], t + 1);
+            assert_eq!(
+                pool.submit(0, &mut heaps, &txn).unwrap(),
+                SubmitOutcome::Committed { group: 1 }
+            );
+        }
+        assert_eq!(pool.buffered(), 0);
+    }
+
+    #[test]
+    fn age_trigger_seals_a_lagging_group() {
+        let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+        let mut pool = CoordinatorPool::new(1, 64).with_group_age(Nanos::ZERO);
+        let mut txn = pool.begin(0, 2);
+        txn.stage(0, cells[0][0], 5);
+        // Size trigger is far away, but a zero age expires immediately.
+        assert_eq!(
+            pool.submit(0, &mut heaps, &txn).unwrap(),
+            SubmitOutcome::Committed { group: 1 }
+        );
+    }
+
+    #[test]
+    fn pool_decision_log_recycles_under_sustained_load() {
+        // Far more groups than the 8 KiB decision log holds in one pass:
+        // settle markers + compaction must keep it recycling, while one
+        // pinned unsettled decision survives every compaction.
+        let (mut heaps, cells) = pool_rig(HeapConfig::FocUndo, 2);
+        let mut pool = CoordinatorPool::new(2, 4);
+        let mut pinned = pool.begin(0, 2);
+        pinned.stage(0, cells[0][0], 9);
+        assert!(pool.prepare(0, &mut heaps, &pinned).unwrap().is_none());
+        pool.buffer_decision(0, &pinned);
+        pool.seal_decisions(0);
+        // Emulate an unreachable participant: phase 2 never runs for the
+        // pinned decision, so it stays unsettled for the whole soak.
+        pool.sealed.clear();
+        for t in 0..2048u64 {
+            let coord = (t % 2) as usize;
+            let mut txn = pool.begin(coord, 2);
+            txn.stage(1, cells[1][(t % 4) as usize], t);
+            pool.submit(coord, &mut heaps, &txn).unwrap();
+        }
+        pool.drain(0, &mut heaps).unwrap();
+        assert!(
+            recover_decisions(&pool.crash_image()).contains(&pinned.gtxid()),
+            "pinned unsettled decision lost to pool compaction"
+        );
     }
 }

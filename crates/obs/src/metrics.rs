@@ -114,6 +114,10 @@ metric_ids! {
         TxnPrepares => "txn.prepares",
         /// Coordinator decision markers made durable.
         TxnDecisions => "txn.decisions",
+        /// Fenced group-decision records sealed (each covers one or
+        /// more decided gtxids; the batching denominator is
+        /// [`Hist::TxnDecisionsPerGroup`]).
+        TxnDecisionGroups => "txn.decision_groups",
         /// Per-shard phase-2 commit markers made durable.
         TxnShardCommits => "txn.shard_commits",
         /// Cross-shard transactions aborted (coordinator-initiated or
@@ -209,6 +213,13 @@ metric_ids! {
         /// that ran since the batch was staged. Zero means the seal hid
         /// completely behind foreground work.
         SealStall => "pheap.seal_stall_time",
+        /// Decided gtxids covered per sealed group-decision record.
+        /// Counts, not times: recorded as `Nanos::new(count)` so the
+        /// fixed-slot histogram machinery can track the distribution.
+        TxnDecisionsPerGroup => "txn.decisions_per_group",
+        /// Time a decided gtxid waited in the coordinator's buffer
+        /// before its group record was sealed (simulated clock).
+        TxnDecisionStall => "txn.decision_stall_time",
         /// Wall clock consumed by domain-supervised (multi-shard
         /// triage) saves.
         DomainUsed => "domain.used",

@@ -73,6 +73,9 @@ pub use heap::{
     CrashImage, EpochCommitter, PersistentHeap, PmPtr, Tx, TxnResolution, GTXID_BASE,
 };
 pub use heap_stats::HeapStats;
-pub use log::{LogRecord, RecordKind, TornLog};
+pub use log::{
+    pack_group_entry, unpack_group_entry, LogRecord, RecordKind, TornLog, GROUP_ENTRY_GEN_MAX,
+    GROUP_ENTRY_GEN_SHIFT,
+};
 pub use mem::PersistentMemory;
 pub use stm::Stm;

@@ -30,6 +30,19 @@ pub enum RecordKind {
     /// recovery presumes abort unless the coordinator's decision log
     /// says otherwise.
     Prepare,
+    /// Group-decided commit: one fenced record covering a whole batch of
+    /// global transaction ids. On NVRAM the record is variable-length —
+    /// a header word carrying the member count followed by one packed
+    /// `(generation, gtxid)` word per member (see [`pack_group_entry`]).
+    /// Recovery expands an intact group record into one `GroupDecision`
+    /// [`LogRecord`] per member (`txid` = gtxid, `addr` = generation);
+    /// a torn record — any prefix of its words — yields *none* of its
+    /// members, which is exactly presumed-abort for the whole group.
+    GroupDecision,
+    /// Decision-settled marker: every participant of global transaction
+    /// `txid` has written its phase-2 marker, so the decision record is
+    /// dead weight and recovery-time compaction may drop it.
+    Settle,
 }
 
 impl RecordKind {
@@ -40,6 +53,8 @@ impl RecordKind {
             RecordKind::Abort => 2,
             RecordKind::EpochCommit => 3,
             RecordKind::Prepare => 4,
+            RecordKind::GroupDecision => 5,
+            RecordKind::Settle => 6,
         }
     }
 
@@ -50,6 +65,8 @@ impl RecordKind {
             2 => Some(RecordKind::Abort),
             3 => Some(RecordKind::EpochCommit),
             4 => Some(RecordKind::Prepare),
+            5 => Some(RecordKind::GroupDecision),
+            6 => Some(RecordKind::Settle),
             _ => None,
         }
     }
@@ -61,7 +78,13 @@ impl RecordKind {
             RecordKind::Commit
             | RecordKind::Abort
             | RecordKind::EpochCommit
-            | RecordKind::Prepare => 1,
+            | RecordKind::Prepare
+            | RecordKind::Settle => 1,
+            // Variable length; appended via `append_group_decision`,
+            // never through the fixed-size `append` path.
+            RecordKind::GroupDecision => {
+                unreachable!("group decisions are appended via append_group_decision")
+            }
         }
     }
 }
@@ -137,6 +160,57 @@ impl LogRecord {
             value: 0,
         }
     }
+
+    /// A decision-settled marker for global transaction `gtxid`.
+    #[must_use]
+    pub fn settle(gtxid: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::Settle,
+            txid: gtxid,
+            addr: 0,
+            value: 0,
+        }
+    }
+
+    /// The decoded form of one member of a [`RecordKind::GroupDecision`]
+    /// record: `txid` is the member gtxid, `addr` its coordinator
+    /// generation, `value` its position within the group.
+    #[must_use]
+    pub fn group_member(gtxid: u64, generation: u64, position: u64) -> Self {
+        LogRecord {
+            kind: RecordKind::GroupDecision,
+            txid: gtxid,
+            addr: generation,
+            value: position,
+        }
+    }
+}
+
+/// Bit position of the coordinator generation inside a packed group-
+/// decision entry word: bits `[50, 63)` hold the generation, bits
+/// `[0, 50)` the gtxid. Both fields share one 63-bit torn-log payload
+/// word so a whole batch member costs exactly one log word.
+pub const GROUP_ENTRY_GEN_SHIFT: u64 = 50;
+const GROUP_ENTRY_GTXID_MASK: u64 = (1 << GROUP_ENTRY_GEN_SHIFT) - 1;
+/// Generations fit in 13 bits (the payload bits above the gtxid field).
+pub const GROUP_ENTRY_GEN_MAX: u64 = (1 << (63 - GROUP_ENTRY_GEN_SHIFT)) - 1;
+
+/// Packs one group-decision member into a single log payload word.
+///
+/// # Panics
+///
+/// Panics when `gtxid` or `generation` overflow their fields.
+#[must_use]
+pub fn pack_group_entry(generation: u64, gtxid: u64) -> u64 {
+    assert!(gtxid <= GROUP_ENTRY_GTXID_MASK, "gtxid overflows entry word");
+    assert!(generation <= GROUP_ENTRY_GEN_MAX, "generation overflows entry word");
+    (generation << GROUP_ENTRY_GEN_SHIFT) | gtxid
+}
+
+/// Unpacks a group-decision entry word into `(generation, gtxid)`.
+#[must_use]
+pub fn unpack_group_entry(word: u64) -> (u64, u64) {
+    (word >> GROUP_ENTRY_GEN_SHIFT, word & GROUP_ENTRY_GTXID_MASK)
 }
 
 const TORN_BIT: u64 = 1 << 63;
@@ -291,6 +365,57 @@ impl TornLog {
         }
     }
 
+    /// Appends one group-decision record covering `entries` — packed
+    /// `(generation, gtxid)` words built with [`pack_group_entry`]. The
+    /// record is `1 + entries.len()` log words: a header carrying the
+    /// member count, then one word per member. All words go out in one
+    /// burst; the caller fences once afterwards, which is the whole
+    /// point — N decisions, one fence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or the log lacks room; the owner
+    /// must truncate first.
+    pub fn append_group_decision(
+        &mut self,
+        mem: &mut PersistentMemory,
+        entries: &[u64],
+        flush: bool,
+    ) {
+        let count = entries.len() as u64;
+        assert!(count > 0, "a group decision must cover at least one gtxid");
+        assert!(
+            self.free_words() > count,
+            "log full: truncation was not performed in time"
+        );
+        let header = (count << 8) | RecordKind::GroupDecision.code();
+        self.push_word(mem, header, flush);
+        for &entry in entries {
+            self.push_word(mem, entry, flush);
+        }
+    }
+
+    /// Crash-emulation variant of [`TornLog::append_group_decision`]:
+    /// only the first `durable` words of the record (header first, then
+    /// entries) reach NVRAM before the fence — the power failed mid-
+    /// burst. Recovery must treat any strict prefix as a torn record and
+    /// presume abort for every member. With `durable == entries.len() + 1`
+    /// the record is complete and fenced, the all-or-nothing other edge.
+    pub fn append_group_decision_torn(
+        &mut self,
+        mem: &mut PersistentMemory,
+        entries: &[u64],
+        durable: usize,
+    ) {
+        assert!(!entries.is_empty(), "a group decision must cover at least one gtxid");
+        assert!(durable <= entries.len() + 1, "record is only {} words", entries.len() + 1);
+        let header = ((entries.len() as u64) << 8) | RecordKind::GroupDecision.code();
+        for &payload in std::iter::once(&header).chain(entries).take(durable) {
+            self.push_word(mem, payload, true);
+        }
+        mem.sfence();
+    }
+
     /// Truncates the log: everything before the current head is dead.
     /// With `flush`, the new tail pointer is made durable immediately
     /// (non-temporal store + fence).
@@ -367,6 +492,36 @@ impl TornLog {
             let txid = payload >> 8;
             let mut addr = 0u64;
             let mut value = 0u64;
+            if kind == RecordKind::GroupDecision {
+                // Variable-length record: `txid` is the member count and
+                // each member is one packed entry word. Any torn word —
+                // including a torn header already caught above — drops
+                // the whole record: no member of a partially durable
+                // group is ever considered decided (presumed abort).
+                let count = txid;
+                if count == 0 || count >= cap_words {
+                    break; // implausible count: treat as torn
+                }
+                let mut members = Vec::with_capacity(count as usize);
+                let mut scratch_index = index;
+                let mut scratch_polarity = polarity;
+                for position in 0..count {
+                    next(&mut scratch_index, &mut scratch_polarity);
+                    let w = word_at(scratch_index);
+                    if (w & TORN_BIT != 0) != scratch_polarity {
+                        break 'scan; // torn group record
+                    }
+                    let (generation, gtxid) = unpack_group_entry(w & PAYLOAD_MASK);
+                    members.push(LogRecord::group_member(gtxid, generation, position));
+                }
+                records.extend(members);
+                index = scratch_index;
+                polarity = scratch_polarity;
+                consumed += count;
+                next(&mut index, &mut polarity);
+                consumed += 1;
+                continue 'scan;
+            }
             if kind == RecordKind::Write {
                 let mut parts = [0u64; 3];
                 let mut scratch_index = index;
@@ -609,6 +764,98 @@ mod tests {
         // The marker's ntstore never fenced: the shard is NOT prepared.
         let records = recover_from(mem, false);
         assert_eq!(records, vec![LogRecord::write(gtxid, 128, 11)]);
+    }
+
+    #[test]
+    fn group_decision_round_trips_every_member() {
+        let (mut mem, mut log) = fresh();
+        let entries: Vec<u64> = (0..4u64)
+            .map(|i| pack_group_entry(3 + i, (1 << 48) + 10 + i))
+            .collect();
+        log.append_group_decision(&mut mem, &entries, true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(*r, LogRecord::group_member((1 << 48) + 10 + i, 3 + i, i));
+        }
+    }
+
+    #[test]
+    fn torn_group_record_yields_no_members() {
+        // Durably write the header plus a strict prefix of the entry
+        // words, then crash: presumed abort must hold for the WHOLE
+        // group — recovery returns none of its members.
+        let entries: Vec<u64> = (0..4u64).map(|i| pack_group_entry(1, 100 + i)).collect();
+        for durable_words in 0..entries.len() + 1 {
+            let (mut mem, mut log) = fresh();
+            log.append(&mut mem, &LogRecord::commit(7), true);
+            mem.sfence();
+            // Replay the record word by word, fencing only the prefix.
+            let header = (4u64 << 8) | 5 /* GroupDecision */;
+            let mut words = vec![header];
+            words.extend(&entries);
+            for (i, payload) in words.iter().enumerate().take(durable_words) {
+                let addr = BASE + (log.head + i as u64) * 8;
+                mem.ntstore_u64(addr, payload | (1 << 63));
+            }
+            mem.sfence();
+            let records = recover_from(mem, false);
+            assert_eq!(
+                records.len(),
+                1,
+                "prefix of {durable_words} durable words must drop the whole group"
+            );
+            assert_eq!(records[0], LogRecord::commit(7));
+        }
+    }
+
+    #[test]
+    fn complete_fenced_group_record_is_all_or_nothing() {
+        // The same word-by-word replay with ALL words durable recovers
+        // every member: the only two outcomes are none or all.
+        let (mut mem, mut log) = fresh();
+        let entries: Vec<u64> = (0..4u64).map(|i| pack_group_entry(2, 200 + i)).collect();
+        log.append_group_decision(&mut mem, &entries, true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.kind == RecordKind::GroupDecision));
+    }
+
+    #[test]
+    fn unfenced_group_decision_is_lost() {
+        let (mut mem, mut log) = fresh();
+        let entries = [pack_group_entry(1, 300), pack_group_entry(1, 301)];
+        log.append_group_decision(&mut mem, &entries, true);
+        // No fence: the batch never reached NVRAM.
+        let records = recover_from(mem, false);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn settle_records_round_trip() {
+        let (mut mem, mut log) = fresh();
+        let gtxid = (1u64 << 48) + 9;
+        log.append(&mut mem, &LogRecord::commit(gtxid), true);
+        log.append(&mut mem, &LogRecord::settle(gtxid), true);
+        mem.sfence();
+        let records = recover_from(mem, false);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], LogRecord::settle(gtxid));
+    }
+
+    #[test]
+    fn group_entry_packing_round_trips() {
+        for (generation, gtxid) in [
+            (0, 0),
+            (1, (1 << 48) + 5),
+            (GROUP_ENTRY_GEN_MAX, (1 << 50) - 1),
+        ] {
+            let (g, t) = unpack_group_entry(pack_group_entry(generation, gtxid));
+            assert_eq!((g, t), (generation, gtxid));
+        }
     }
 
     #[test]

@@ -21,7 +21,8 @@ use std::collections::HashSet;
 
 use wsp_cluster::ClusterSpec;
 use wsp_core::{
-    resolve_cross_shard, LadderRung, RecoveryOutcome, TxnCoordinator, TxnOutcome, WspError,
+    resolve_cross_shard, CoordinatorPool, LadderRung, RecoveryOutcome, SubmitOutcome,
+    TxnCoordinator, TxnOutcome, WspError,
 };
 use wsp_det::{DetRng, Rng};
 use wsp_obs as obs;
@@ -64,6 +65,14 @@ pub struct CrossShardKvBench {
     /// durable, no commit marker) when the fleet crashes: recovery must
     /// resolve it to commit from the coordinator log.
     pub in_doubt_tail: bool,
+    /// Concurrent coordinators sharing one decision log. `1` with
+    /// `decision_group == 1` runs the classic single-coordinator path,
+    /// bitwise identical to earlier revisions; anything else drives the
+    /// transfers through a [`CoordinatorPool`].
+    pub coordinators: usize,
+    /// Decisions buffered per fenced group record in pool mode (the
+    /// `WSP_TXN_GROUP` knob): N transfers share one decision fence.
+    pub decision_group: usize,
 }
 
 impl CrossShardKvBench {
@@ -80,6 +89,8 @@ impl CrossShardKvBench {
             region: ByteSize::kib(512),
             lose_shard: None,
             in_doubt_tail: true,
+            coordinators: 1,
+            decision_group: 1,
         }
     }
 
@@ -95,6 +106,8 @@ impl CrossShardKvBench {
             region: ByteSize::kib(256),
             lose_shard: None,
             in_doubt_tail: true,
+            coordinators: 1,
+            decision_group: 1,
         }
     }
 
@@ -109,14 +122,27 @@ impl CrossShardKvBench {
     ///
     /// # Panics
     ///
-    /// Panics if `shards < 2`, if `lose_shard` is out of range, or if
+    /// Panics if `shards < 2`, if `lose_shard` is out of range, if the
+    /// pool parameters are zero (or `coordinators > 256`), or if
     /// recovery violates the all-or-nothing contract.
     pub fn run(&self, config: HeapConfig, seed: u64) -> Result<CrossShardKvReport, HeapError> {
         assert!(self.shards >= 2, "cross-shard transfers need two shards");
+        assert!(
+            (1..=256).contains(&self.coordinators),
+            "coordinators must fit the gtxid layout"
+        );
+        assert!(self.decision_group >= 1, "decision group must be at least 1");
         if let Some(s) = self.lose_shard {
             assert!(s < self.shards, "lose_shard out of range");
         }
-        let (report, capture) = obs::capture(|| self.run_inner(config, seed));
+        let pooled = self.coordinators > 1 || self.decision_group > 1;
+        let (report, capture) = obs::capture(|| {
+            if pooled {
+                self.run_pool_inner(config, seed)
+            } else {
+                self.run_inner(config, seed)
+            }
+        });
         let mut report = report?;
         report.trace = capture.trace;
         report.metrics = capture.metrics;
@@ -160,6 +186,7 @@ impl CrossShardKvBench {
                 .fold(coordinator.elapsed(), |acc, h| acc + h.elapsed())
         };
         let t0 = clock(&coordinator, &heaps);
+        let c0 = coordinator.elapsed();
 
         let mut outcomes: Vec<TransferOutcome> = Vec::with_capacity(self.transfers);
         let mut in_doubt_gtxid: Option<u64> = None;
@@ -248,6 +275,7 @@ impl CrossShardKvBench {
             });
         }
         let elapsed = clock(&coordinator, &heaps) - t0;
+        let coordinator_ns = coordinator.elapsed() - c0;
 
         // Power fails everywhere at once; the lost shard (if any)
         // never produces an image.
@@ -335,6 +363,274 @@ impl CrossShardKvBench {
             shards_audited: audited.len(),
             txns_per_sec: self.transfers as f64 / elapsed.as_secs_f64().max(1e-12),
             elapsed,
+            // One fenced decision record per committed transfer: the
+            // classic path has no batching to report.
+            decision_groups: committed,
+            wall: elapsed,
+            coordinator_ns,
+            degraded,
+            outcomes,
+            trace: obs::Trace::default(),
+            metrics: obs::MetricsSnapshot::default(),
+        })
+    }
+
+    /// The pool-mode measured phase: transfers round-robin across
+    /// `coordinators`, decisions buffered and sealed in groups of
+    /// `decision_group` under one fence each. Accounts referenced by a
+    /// buffered-but-unsettled decision are locked — the undo flavour
+    /// applies prepared writes in place, so a new transfer touching one
+    /// drains the pool first, keeping concurrently-prepared write sets
+    /// pairwise disjoint.
+    #[allow(clippy::too_many_lines)]
+    fn run_pool_inner(&self, config: HeapConfig, seed: u64) -> Result<CrossShardKvReport, HeapError> {
+        let mut rng = DetRng::seed_from_u64(seed);
+
+        // Seed the fleet exactly like the classic path.
+        let mut heaps: Vec<PersistentHeap> = Vec::with_capacity(self.shards);
+        let mut accounts: Vec<Vec<PmPtr>> = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let mut heap = PersistentHeap::create(self.region, config);
+            let mut tx = heap.begin();
+            let base = tx.alloc(self.accounts_per_shard as u64 * 64)?;
+            let mut cells = Vec::with_capacity(self.accounts_per_shard);
+            for i in 0..self.accounts_per_shard {
+                let p = base.byte_offset(i as u64 * 64);
+                tx.write_word(p, self.initial_balance)?;
+                cells.push(p);
+            }
+            tx.set_root(base)?;
+            tx.commit()?;
+            heap.seal_epoch();
+            heaps.push(heap);
+            accounts.push(cells);
+        }
+        let mut model: Vec<Vec<u64>> =
+            vec![vec![self.initial_balance; self.accounts_per_shard]; self.shards];
+        let total_balance =
+            self.initial_balance * (self.shards * self.accounts_per_shard) as u64;
+
+        let mut pool = CoordinatorPool::new(self.coordinators, self.decision_group);
+        let clock = |pool: &CoordinatorPool, heaps: &[PersistentHeap]| {
+            heaps.iter().fold(pool.elapsed(), |acc, h| acc + h.elapsed())
+        };
+        let t0 = clock(&pool, &heaps);
+        let c0 = pool.elapsed();
+
+        let mut outcomes: Vec<TransferOutcome> = Vec::with_capacity(self.transfers);
+        let mut in_doubt_gtxid: Option<u64> = None;
+        let mut decision_groups = 0usize;
+        // Accounts referenced by a buffered (decided-but-unsealed)
+        // transfer.
+        let mut open: HashSet<(usize, usize)> = HashSet::new();
+        for t in 0..self.transfers {
+            let src_shard = rng.gen_range(0..self.shards);
+            let cross = rng.gen::<f64>() < self.cross_shard_pct;
+            let dst_shard = if cross {
+                let d = rng.gen_range(0..self.shards - 1);
+                if d >= src_shard { d + 1 } else { d }
+            } else {
+                src_shard
+            };
+            let src_acct = rng.gen_range(0..self.accounts_per_shard);
+            let dst_acct = if dst_shard == src_shard {
+                let d = rng.gen_range(0..self.accounts_per_shard - 1);
+                if d >= src_acct { d + 1 } else { d }
+            } else {
+                rng.gen_range(0..self.accounts_per_shard)
+            };
+            let amount = rng.gen_range(1..16u64);
+
+            let transfer = Transfer {
+                txn: t,
+                src: (src_shard, src_acct),
+                dst: (dst_shard, dst_acct),
+                amount,
+                cross_shard: dst_shard != src_shard,
+            };
+            let coordinator = t % self.coordinators;
+
+            if model[src_shard][src_acct] < amount {
+                outcomes.push(TransferOutcome {
+                    transfer,
+                    outcome: TxnOutcome::Aborted {
+                        reason: format!(
+                            "insufficient funds: balance {} < amount {amount}",
+                            model[src_shard][src_acct]
+                        ),
+                    },
+                    resolved_in_doubt: false,
+                });
+                continue;
+            }
+
+            // Account conflict with an open group: flush the group
+            // early so the write sets stay disjoint.
+            if open.contains(&transfer.src) || open.contains(&transfer.dst) {
+                if pool.drain(coordinator, &mut heaps)? > 0 {
+                    decision_groups += 1;
+                }
+                open.clear();
+            }
+
+            let mut txn = pool.begin(coordinator, self.shards);
+            txn.stage(
+                src_shard,
+                accounts[src_shard][src_acct].offset(),
+                model[src_shard][src_acct] - amount,
+            );
+            let credited = model[dst_shard][dst_acct] + amount;
+            txn.stage(dst_shard, accounts[dst_shard][dst_acct].offset(), credited);
+
+            let last = t + 1 == self.transfers;
+            if last && self.in_doubt_tail && config.flush_on_commit() {
+                // Seal the whole open group (tail included) but run no
+                // phase 2: every member crashes in doubt and recovery
+                // must commit them all from the shared log.
+                let refusal = pool.prepare(coordinator, &mut heaps, &txn)?;
+                assert!(refusal.is_none(), "disjoint write sets cannot refuse");
+                pool.buffer_decision(coordinator, &txn);
+                pool.seal_decisions(coordinator);
+                decision_groups += 1;
+                in_doubt_gtxid = Some(txn.gtxid());
+                model[src_shard][src_acct] -= amount;
+                model[dst_shard][dst_acct] = credited;
+                outcomes.push(TransferOutcome {
+                    transfer,
+                    outcome: TxnOutcome::Committed,
+                    resolved_in_doubt: true,
+                });
+                continue;
+            }
+
+            match pool.submit(coordinator, &mut heaps, &txn)? {
+                SubmitOutcome::Buffered => {
+                    // The decision is buffered, not yet durable — but
+                    // every group is drained before the final crash, so
+                    // it will commit. Lock its accounts until then.
+                    open.insert(transfer.src);
+                    open.insert(transfer.dst);
+                    model[src_shard][src_acct] -= amount;
+                    model[dst_shard][dst_acct] = credited;
+                    outcomes.push(TransferOutcome {
+                        transfer,
+                        outcome: TxnOutcome::Committed,
+                        resolved_in_doubt: false,
+                    });
+                }
+                SubmitOutcome::Committed { .. } => {
+                    decision_groups += 1;
+                    open.clear();
+                    model[src_shard][src_acct] -= amount;
+                    model[dst_shard][dst_acct] = credited;
+                    outcomes.push(TransferOutcome {
+                        transfer,
+                        outcome: TxnOutcome::Committed,
+                        resolved_in_doubt: false,
+                    });
+                }
+                SubmitOutcome::Aborted { reason } => {
+                    outcomes.push(TransferOutcome {
+                        transfer,
+                        outcome: TxnOutcome::Aborted { reason },
+                        resolved_in_doubt: false,
+                    });
+                }
+            }
+        }
+        // End-of-run flush of any open group (unless the in-doubt tail
+        // already sealed it).
+        if in_doubt_gtxid.is_none() && pool.drain(0, &mut heaps)? > 0 {
+            decision_groups += 1;
+        }
+        let elapsed = clock(&pool, &heaps) - t0;
+        let coordinator_ns = pool.elapsed() - c0;
+        let wall = pool.wall();
+
+        let coordinator_image = pool.crash_image();
+        let images = heaps
+            .into_iter()
+            .enumerate()
+            .map(|(shard, heap)| {
+                if self.lose_shard == Some(shard) {
+                    None
+                } else {
+                    Some(heap.crash(!config.flush_on_commit()))
+                }
+            })
+            .collect();
+        let cluster = ClusterSpec::memcache_tier(self.shards.max(2));
+        let recovery = resolve_cross_shard(&coordinator_image, images, &cluster);
+        if let Some(gtxid) = in_doubt_gtxid {
+            assert!(
+                recovery.decided.contains(&gtxid),
+                "the in-doubt tail transfer has a durable decision"
+            );
+        }
+
+        let mut degraded = None;
+        let mut audited = HashSet::new();
+        for mut shard_rec in recovery.shards {
+            let shard = shard_rec.shard;
+            if self.lose_shard == Some(shard) {
+                let (reason, staleness) = match &shard_rec.outcome {
+                    RecoveryOutcome::Degraded { rung, reason, took } => {
+                        assert_eq!(*rung, LadderRung::ClusterRebuild);
+                        (reason.clone(), *took)
+                    }
+                    other => panic!("lost shard {shard} must degrade, got {other:?}"),
+                };
+                let kind = match shard_rec.refusal {
+                    Some(e @ WspError::BackendRecoveryRequired { .. }) => e.kind(),
+                    other => panic!("lost shard {shard} needs a typed refusal, got {other:?}"),
+                };
+                degraded = Some(DegradedShard {
+                    shard,
+                    kind,
+                    reason,
+                    staleness,
+                });
+                continue;
+            }
+            let heap = shard_rec
+                .heap
+                .as_mut()
+                .unwrap_or_else(|| panic!("shard {shard} must recover locally"));
+            let mut check = heap.begin();
+            for (acct, &cell) in accounts[shard].iter().enumerate() {
+                let got = check.read_word(cell)?;
+                assert_eq!(
+                    got, model[shard][acct],
+                    "shard {shard} account {acct} diverged after recovery"
+                );
+            }
+            check.commit()?;
+            audited.insert(shard);
+        }
+
+        let committed = outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome, TxnOutcome::Committed))
+            .count();
+        let aborted = outcomes.len() - committed;
+        let cross_shard = outcomes.iter().filter(|o| o.transfer.cross_shard).count();
+        let model_total: u64 = model.iter().flatten().sum();
+
+        Ok(CrossShardKvReport {
+            config,
+            shards: self.shards,
+            transfers: self.transfers,
+            cross_shard,
+            committed,
+            aborted,
+            resolved_in_doubt: in_doubt_gtxid.is_some(),
+            balance_conserved: model_total == total_balance,
+            shards_audited: audited.len(),
+            txns_per_sec: self.transfers as f64 / elapsed.as_secs_f64().max(1e-12),
+            elapsed,
+            decision_groups,
+            wall,
+            coordinator_ns,
             degraded,
             outcomes,
             trace: obs::Trace::default(),
@@ -412,6 +708,15 @@ pub struct CrossShardKvReport {
     pub txns_per_sec: f64,
     /// Simulated time of the measured phase (coordinator + all shards).
     pub elapsed: Nanos,
+    /// Fenced decision records written: in pool mode one per sealed
+    /// group (the batching win), in classic mode one per commit.
+    pub decision_groups: usize,
+    /// Pool-mode wall clock (slowest coordinator); equals `elapsed` on
+    /// the serial classic path.
+    pub wall: Nanos,
+    /// Simulated time spent on the shared decision log alone — the
+    /// coordinator-path cost that group sealing amortizes.
+    pub coordinator_ns: Nanos,
     /// The lost shard's typed verdict, when `lose_shard` was set.
     pub degraded: Option<DegradedShard>,
     /// Per-transfer outcomes, in issue order.
@@ -481,6 +786,90 @@ mod tests {
         assert!(degraded.reason.contains("rebuild"));
         // The survivors still audit clean.
         assert_eq!(report.shards_audited, 2);
+    }
+
+    #[test]
+    fn pool_mode_batches_decisions_and_conserves_balance() {
+        for config in [HeapConfig::FocUndo, HeapConfig::FocStm] {
+            let bench = CrossShardKvBench {
+                coordinators: 2,
+                decision_group: 8,
+                accounts_per_shard: 16,
+                ..CrossShardKvBench::quick(3)
+            };
+            let report = bench.run(config, 42).unwrap();
+            assert!(report.balance_conserved, "{config}");
+            assert!(report.committed > 0, "{config}");
+            assert!(report.resolved_in_doubt, "{config}");
+            assert_eq!(report.shards_audited, 3, "{config}");
+            // Batching: far fewer fenced decision records than commits.
+            assert!(
+                report.decision_groups < report.committed,
+                "{config}: {} groups for {} commits",
+                report.decision_groups,
+                report.committed
+            );
+            // Concurrent coordinators overlap: the wall clock undercuts
+            // the serial sum of simulated time.
+            assert!(report.wall <= report.elapsed, "{config}");
+        }
+    }
+
+    #[test]
+    fn pool_mode_same_seed_is_bitwise_identical() {
+        let bench = CrossShardKvBench {
+            coordinators: 4,
+            decision_group: 4,
+            accounts_per_shard: 16,
+            ..CrossShardKvBench::quick(3)
+        };
+        let a = bench.run(HeapConfig::FocUndo, 7).unwrap();
+        let b = bench.run(HeapConfig::FocUndo, 7).unwrap();
+        assert_eq!(format!("{:?}", a.outcomes), format!("{:?}", b.outcomes));
+        assert_eq!(a.decision_groups, b.decision_groups);
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.txns_per_sec.to_bits(), b.txns_per_sec.to_bits());
+        if let Err(report) = obs::diff_traces(&a.trace, &b.trace, obs::DiffMode::Full) {
+            panic!("same-seed pool traces diverge:\n{report}");
+        }
+        if let Some(diff) = a.metrics.first_difference(&b.metrics) {
+            panic!("same-seed pool metrics diverge: {diff}");
+        }
+    }
+
+    #[test]
+    fn group_size_one_pool_writes_one_record_per_commit() {
+        let bench = CrossShardKvBench {
+            coordinators: 2,
+            decision_group: 1,
+            ..CrossShardKvBench::quick(3)
+        };
+        let report = bench.run(HeapConfig::FocUndo, 9).unwrap();
+        assert!(report.balance_conserved);
+        assert_eq!(report.decision_groups, report.committed);
+    }
+
+    #[test]
+    fn grouping_cuts_coordinator_path_time() {
+        let grouped = CrossShardKvBench {
+            decision_group: 16,
+            accounts_per_shard: 32,
+            transfers: 120,
+            ..CrossShardKvBench::quick(3)
+        };
+        let classic = CrossShardKvBench {
+            decision_group: 1,
+            coordinators: 2, // stay on the pool path for a fair clock
+            ..grouped
+        };
+        let g = grouped.run(HeapConfig::FocUndo, 21).unwrap();
+        let c = classic.run(HeapConfig::FocUndo, 21).unwrap();
+        assert!(
+            g.coordinator_ns < c.coordinator_ns,
+            "grouped {:?} vs per-commit {:?}",
+            g.coordinator_ns,
+            c.coordinator_ns
+        );
     }
 
     #[test]

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Print the recorded bench trajectory: one row per BENCH_PR*.json at the
+# repository root, showing each PR's headline gate quantities. Purely a
+# reporting convenience — verify.sh is the enforcement surface.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - "$@" <<'EOF'
+import glob
+import json
+import re
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:,.2f}" if v < 1000 else f"{v:,.0f}"
+    return str(v)
+
+def flat(prefix, node, out):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            flat(f"{prefix}.{k}" if prefix else k, v, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out.append((prefix, node))
+
+paths = sorted(
+    glob.glob("BENCH_PR*.json"),
+    key=lambda p: int(re.search(r"(\d+)", p).group(1)),
+)
+if not paths:
+    raise SystemExit("bench_trend: no BENCH_PR*.json files at the repo root")
+
+print(f"{'pr':<4} {'schema':<22} headline gate quantities")
+print("-" * 78)
+for path in paths:
+    with open(path) as f:
+        doc = json.load(f)
+    pr = re.search(r"(\d+)", path).group(1)
+    schema = doc.get("schema", "?")
+    metrics = []
+    flat("", doc.get("gate", {}), metrics)
+    head = ", ".join(f"{k}={fmt(v)}" for k, v in metrics[:4])
+    if len(metrics) > 4:
+        head += f", +{len(metrics) - 4} more"
+    print(f"{pr:<4} {schema:<22} {head or '(no numeric gate)'}")
+EOF

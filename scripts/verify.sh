@@ -66,6 +66,13 @@ cargo run --release --offline -p wsp-bench --features bench --bin bench_pr8 -- c
 echo "== concurrent in-shard scaling + FoF-gap gate (floor 1.8x at 4 threads) =="
 cargo run --release --offline -p wsp-bench --features bench --bin bench_pr9 -- check BENCH_PR9.json
 
+echo "== group-decided 2PC gate (batching floor 2.0x, coordinator floor 1.8x) =="
+cargo run --release --offline -p wsp-bench --features bench --bin bench_pr10 -- check BENCH_PR10.json
+
+echo "== grouped split-resolution sweep: serial and sharded must agree =="
+WSP_FAULTSIM_THREADS=1 cargo test -q --offline --test crash_consistency grouped_split
+WSP_FAULTSIM_THREADS=4 cargo test -q --offline --test crash_consistency grouped_split
+
 echo "== lock-free interleaving sweep: fixed-seed corpus at both worker counts =="
 WSP_FAULTSIM_THREADS=1 cargo test -q --release --offline --test lockfree_detect
 WSP_FAULTSIM_THREADS=4 cargo test -q --release --offline --test lockfree_detect

@@ -886,3 +886,139 @@ fn interleaved_in_flight_txns_resolve_split() {
         }
     }
 }
+
+/// Group-decided split resolution: four transactions from two
+/// concurrent coordinators share one decision log, a *single* group
+/// record seals the first `split` of them, and the outage lands before
+/// anything else — phase 2 included. One recovery pass over that one
+/// shared-log flush must commit every sealed member on every shard and
+/// presume abort for every still-buffered one, and the recovered pool
+/// must attribute each durable decision to the coordinator generation
+/// that sealed it.
+fn check_grouped_split(use_stm: bool, seed: u64, split: usize) {
+    use wsp_det::{DetRng, Rng};
+    use wsp_repro::cluster::ClusterSpec;
+    use wsp_repro::pheap::PmPtr;
+    use wsp_repro::wsp::{
+        coordinator_of, resolve_cross_shard, CoordinatorPool, SubmitOutcome,
+    };
+
+    const SHARDS: usize = 3;
+    const TXNS: usize = 4;
+    const POOL_COORDS: usize = 2;
+    let config = if use_stm {
+        HeapConfig::FocStm
+    } else {
+        HeapConfig::FocUndo
+    };
+    let mut rng = DetRng::seed_from_u64(seed);
+
+    // Baseline: one committed cell per transaction per shard, so the
+    // concurrently-prepared write sets stay pairwise disjoint.
+    let mut heaps: Vec<PersistentHeap> = Vec::with_capacity(SHARDS);
+    let mut cells: Vec<Vec<(PmPtr, u64)>> = Vec::with_capacity(SHARDS);
+    for _ in 0..SHARDS {
+        let mut heap = PersistentHeap::create(ByteSize::kib(256), config);
+        let mut tx = heap.begin();
+        let base = tx.alloc(TXNS as u64 * 64).unwrap();
+        let mut sc = Vec::with_capacity(TXNS);
+        for i in 0..TXNS {
+            let p = base.byte_offset(i as u64 * 64);
+            let v = rng.gen::<u64>();
+            tx.write_word(p, v).unwrap();
+            sc.push((p, v));
+        }
+        tx.set_root(base).unwrap();
+        tx.commit().unwrap();
+        heaps.push(heap);
+        cells.push(sc);
+    }
+
+    // Large group size: the seal below is the only one, covering
+    // exactly the first `split` decisions.
+    let mut pool = CoordinatorPool::new(POOL_COORDS, TXNS + 1);
+    let mut gtxids = Vec::with_capacity(TXNS);
+    let mut staged: Vec<Vec<(usize, u64)>> = Vec::with_capacity(TXNS);
+    #[allow(clippy::needless_range_loop)]
+    for t in 0..TXNS {
+        let coordinator = t % POOL_COORDS;
+        let mut txn = pool.begin(coordinator, SHARDS);
+        let mut writes = Vec::new();
+        for shard in [t % SHARDS, (t + 1) % SHARDS] {
+            let value = rng.gen::<u64>();
+            txn.stage(shard, cells[shard][t].0.offset(), value);
+            writes.push((shard, value));
+        }
+        assert_eq!(
+            pool.submit(coordinator, &mut heaps, &txn).unwrap(),
+            SubmitOutcome::Buffered,
+            "{config} seed {seed}: txn {t}"
+        );
+        gtxids.push(txn.gtxid());
+        staged.push(writes);
+        if t + 1 == split {
+            assert_eq!(pool.seal_decisions(coordinator), split);
+        }
+    }
+
+    // One outage takes the fleet before any phase 2.
+    let coordinator_image = pool.crash_image();
+    let images = heaps.into_iter().map(|h| Some(h.crash(false))).collect();
+    let recovery =
+        resolve_cross_shard(&coordinator_image, images, &ClusterSpec::memcache_tier(8));
+    assert!(recovery.fully_recovered(), "{config} seed {seed}");
+
+    let recovered = CoordinatorPool::recover(&coordinator_image, POOL_COORDS, TXNS + 1);
+    let mut expected: Vec<Vec<u64>> = cells
+        .iter()
+        .map(|sc| sc.iter().map(|&(_, v)| v).collect())
+        .collect();
+    for (t, &gtxid) in gtxids.iter().enumerate() {
+        let sealed = t < split;
+        assert_eq!(
+            recovery.decided.contains(&gtxid),
+            sealed,
+            "{config} seed {seed} split {split}: txn {t}"
+        );
+        let origin = recovered.attribute(gtxid);
+        if sealed {
+            let origin = origin.expect("sealed decision attributes");
+            assert_eq!(origin.coordinator, t % POOL_COORDS, "{config} seed {seed}");
+            assert_eq!(origin.generation, 1, "{config} seed {seed}");
+            for &(shard, value) in &staged[t] {
+                expected[shard][t] = value;
+            }
+        } else {
+            assert_eq!(origin, None, "{config} seed {seed}: txn {t}");
+        }
+        assert_eq!(coordinator_of(gtxid), t % POOL_COORDS, "{config} seed {seed}");
+    }
+
+    // The sealed members landed everywhere, the buffered tail nowhere.
+    for mut shard_rec in recovery.shards {
+        let shard = shard_rec.shard;
+        let heap = shard_rec.heap.as_mut().unwrap();
+        let mut check = heap.begin();
+        for (cell, &want) in expected[shard].iter().enumerate() {
+            let got = check.read_word(cells[shard][cell].0).unwrap();
+            assert_eq!(
+                got, want,
+                "{config} seed {seed} split {split}: shard {shard} cell {cell}"
+            );
+        }
+        check.commit().unwrap();
+    }
+}
+
+/// Fixed-seed matrix for the grouped split: both FoC configs, every
+/// proper prefix length, pinned seeds.
+#[test]
+fn grouped_split_fixed_seed_corpus() {
+    for use_stm in [false, true] {
+        for seed in [1u64, 42, 0x5749_5350, 0x00DE_C0DE] {
+            for split in 1..4 {
+                check_grouped_split(use_stm, seed, split);
+            }
+        }
+    }
+}

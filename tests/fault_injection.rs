@@ -203,6 +203,9 @@ fn cross_shard_sweep_covers_every_protocol_step() {
                 "{config} seed {seed}: only {families:?}"
             );
             for family in [
+                "group-boundary",
+                "interleaved-split",
+                "torn-group-record",
                 "coord-pre-prepare",
                 "between-prepares",
                 "post-prepare-no-decision",
@@ -214,17 +217,19 @@ fn cross_shard_sweep_covers_every_protocol_step() {
             ] {
                 assert!(families.contains(&family), "{config} seed {seed}: {family}");
             }
-            // Every point resolved all-or-nothing (the in-sweep asserts
-            // already checked cell contents); the verdict split is
-            // structural: pre-decision points abort, post-decision
-            // points commit, exactly one lost image degrades.
+            // Every point resolved all-or-nothing per transaction (the
+            // in-sweep asserts already checked cell contents); the
+            // verdict accounting is structural: pre-decision points
+            // abort, post-decision points commit, exactly one lost
+            // image degrades, and every interleaved prefix seal splits.
             assert_eq!(report.outcomes.len(), report.crash_points, "{config}");
             assert_eq!(
-                report.committed + report.aborted + report.degraded,
+                report.committed + report.aborted + report.degraded + report.split,
                 report.crash_points,
                 "{config} seed {seed}"
             );
             assert_eq!(report.degraded, 1, "{config} seed {seed}");
+            assert!(report.split > 0, "{config} seed {seed}");
             for (point, verdict) in &report.outcomes {
                 match verdict {
                     TxnPointVerdict::CommittedEverywhere => {
@@ -235,6 +240,10 @@ fn cross_shard_sweep_covers_every_protocol_step() {
                     }
                     TxnPointVerdict::DegradedShard { .. } => {
                         assert_eq!(point.family(), "shard-image-lost", "{config}");
+                    }
+                    TxnPointVerdict::SplitResolved { committed, aborted } => {
+                        assert_eq!(point.family(), "interleaved-split", "{config}");
+                        assert!(*committed > 0 && *aborted > 0, "{config}: {point:?}");
                     }
                 }
             }
@@ -254,7 +263,7 @@ fn cross_shard_sweep_is_reproducible() {
     assert_eq!(a.metrics.first_difference(&b.metrics), None);
     Forall::new(gen::any::<u64>()).cases(4).check(|&seed| {
         let r = sweep_cross_shard_2pc(HeapConfig::FocStm, seed);
-        assert_eq!(r.families().len(), 8, "seed {seed}");
+        assert_eq!(r.families().len(), 11, "seed {seed}");
         assert_eq!(r.degraded, 1, "seed {seed}");
     });
 }
